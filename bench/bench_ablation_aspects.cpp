@@ -1,0 +1,94 @@
+// Ablation — methodology aspects 1 and 4 beyond the headline timing rule:
+//   * meter reporting granularity (1 s vs coarse) on a rippling workload,
+//   * point of measurement: AC tap vs DC tap with no / vendor-nominal /
+//     measured-curve conversion correction.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "sim/fleet.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+int main() {
+  using namespace pv;
+
+  // A machine running Rodinia CFD (2 s iteration ripple) — the workload
+  // class where sampling granularity matters.
+  auto workload = std::make_shared<RodiniaCfdWorkload>(
+      minutes(40.0), 0.88, 0.12, Seconds{2.0});
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.02);
+  auto powers = generate_node_powers(128, 300.0, var, 77);
+  const ClusterPowerModel cluster("aspects-rig", std::move(powers), workload);
+  const SystemPowerModel electrical = make_system_power_model(
+      cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+
+  PlanInputs in;
+  in.total_nodes = 128;
+  in.approx_node_power = Watts{300.0};
+  in.run = cluster.phases();
+  Rng rng(3);
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV2015);
+
+  bench::banner("Ablation: aspect 1 (granularity)",
+                "instantaneous-sampling meters vs reporting interval");
+  TextTable g({"meter interval", "mode", "submitted (kW)", "error vs truth"});
+  for (double dt : {1.0, 7.0, 31.0}) {
+    for (MeterMode mode : {MeterMode::kSampled, MeterMode::kIntegrated}) {
+      auto plan = plan_measurement(spec, in, rng);
+      plan.meter_mode = mode;
+      CampaignConfig cfg;
+      cfg.meter_accuracy = MeterAccuracy::perfect();
+      cfg.meter_interval_override = Seconds{dt};
+      const auto r = run_campaign(cluster, electrical, plan, cfg);
+      g.add_row({fmt_fixed(dt, 0) + " s",
+                 mode == MeterMode::kSampled ? "sampled" : "integrated",
+                 fmt_fixed(r.submitted_power.value() / 1000.0, 2),
+                 fmt_percent(r.relative_error, 2)});
+    }
+  }
+  std::cout << g.render();
+  std::cout << "\nIntegrating meters are granularity-insensitive; sampling\n"
+               "meters alias the iteration ripple once the interval is a\n"
+               "multiple of its period — why Table 1 demands 1 sample/s.\n";
+
+  bench::banner("Ablation: aspect 4 (point of measurement)",
+                "AC tap vs DC tap under each correction");
+  TextTable c({"tap", "correction", "submitted (kW)", "error vs truth",
+               "legal?"});
+  struct Case {
+    MeasurementPoint point;
+    ConversionCorrection conv;
+    const char* label;
+  };
+  const Case cases[] = {
+      {MeasurementPoint::kNodeAc, ConversionCorrection::kNone, "node AC"},
+      {MeasurementPoint::kRackPdu, ConversionCorrection::kNone, "rack PDU"},
+      {MeasurementPoint::kNodeDc, ConversionCorrection::kNone, "node DC"},
+      {MeasurementPoint::kNodeDc, ConversionCorrection::kVendorNominal,
+       "node DC"},
+      {MeasurementPoint::kNodeDc, ConversionCorrection::kMeasuredCurve,
+       "node DC"},
+  };
+  for (const Case& kase : cases) {
+    auto plan = plan_measurement(spec, in, rng);
+    plan.point = kase.point;
+    plan.conversion = kase.conv;
+    CampaignConfig cfg;
+    cfg.meter_accuracy = MeterAccuracy::perfect();
+    cfg.meter_interval_override = Seconds{5.0};
+    const auto r = run_campaign(cluster, electrical, plan, cfg);
+    c.add_row({kase.label, to_string(kase.conv),
+               fmt_fixed(r.submitted_power.value() / 1000.0, 2),
+               fmt_percent(r.relative_error, 2),
+               validate_plan(plan, in).empty() ? "yes" : "NO"});
+  }
+  std::cout << c.render();
+  std::cout << "\nAn uncorrected DC tap flatters the system by the full PSU\n"
+               "loss; the vendor-nominal correction (legal at Level 1 only)\n"
+               "closes most but not all of the gap.  Rack-PDU taps see the\n"
+               "distribution loss node taps miss and carry the least bias.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation (§5) — the two mitigation recommendations:
+//   1. pin all node fans to one speed (fan variability dominates silicon);
+//   2. beware VID screening: metering only low-VID nodes biases results.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/gaming.hpp"
+#include "sim/catalog.hpp"
+#include "stats/descriptive.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pv;
+  bench::banner("Ablation: fan policy (§5)",
+                "fleet power spread under auto vs pinned fans, L-CSC");
+
+  const auto fleet = build_fleet(catalog::lcsc_node_spec(),
+                                 catalog::lcsc_node_count(), /*seed=*/3,
+                                 &default_pool());
+  {
+    TextTable t({"fan policy", "fleet power cv", "mean fan power"});
+    const auto impact =
+        fan_policy_impact(fleet, NodeSettings::defaults(), /*pinned=*/0.5);
+    t.add_row({"automatic (thermal control)", fmt_percent(impact.cv_auto, 2),
+               fmt_fixed(impact.mean_fan_power_auto_w, 1) + " W"});
+    t.add_row({"pinned @ 0.5", fmt_percent(impact.cv_pinned, 2),
+               fmt_fixed(impact.mean_fan_power_pinned_w, 1) + " W"});
+    std::cout << t.render();
+    std::cout << "\nPinning removes the fan channel entirely; the paper finds\n"
+                 "fan-induced variation larger than the silicon spread\n"
+                 "(>100 W swings on dense 4-GPU nodes).\n";
+  }
+
+  bench::banner("Ablation: VID screening (§5)",
+                "bias from metering only the k lowest-VID nodes");
+  TextTable t({"metric", "settings", "fleet mean", "screened mean (k=16)",
+               "bias"});
+  const auto add = [&t](const char* metric, const char* settings,
+                        const VidScreeningResult& r) {
+    t.add_row({metric, settings, fmt_fixed(r.fleet_mean, 3),
+               fmt_fixed(r.screened_mean, 3),
+               fmt_percent(r.bias, 2)});
+  };
+  add("node power (W)", "default (VID voltage)",
+      vid_screening_power_bias(fleet, NodeSettings::defaults(), 16));
+  add("efficiency (GF/W)", "default (VID voltage)",
+      vid_screening_efficiency_bias(fleet, NodeSettings::defaults(), 16));
+  add("node power (W)", "fixed 774MHz/1.018V",
+      vid_screening_power_bias(fleet, NodeSettings::tuned_lcsc(), 16));
+  add("efficiency (GF/W)", "fixed 774MHz/1.018V",
+      vid_screening_efficiency_bias(fleet, NodeSettings::tuned_lcsc(), 16));
+  std::cout << t.render();
+  std::cout << "\nUnder default settings low-VID screening buys a favorable\n"
+               "bias; with voltage fixed (the paper's surprise finding) the\n"
+               "VID no longer predicts efficiency and the bias collapses.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation — the "regular workload" boundary (§4/§6).
+//
+// The sample-size machinery assumes balanced workloads.  Sweep workload
+// imbalance and show: fleet cv inflates, the per-node distribution skews
+// away from normal, and an Equation 5 sample size computed from a
+// balanced-benchmark pilot stops delivering its promised accuracy.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/sample_size.hpp"
+#include "sim/fleet.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/sampling.hpp"
+#include "util/mathx.hpp"
+#include "util/table.hpp"
+#include "workload/imbalance.hpp"
+
+int main() {
+  using namespace pv;
+  bench::banner("Ablation: workload imbalance (§4/§6)",
+                "Eq. 5 accuracy under irregular workloads");
+
+  constexpr std::size_t kN = 5000;
+  constexpr double kLambda = 0.01;
+  const std::size_t trials = bench::env_size("PV_IMBALANCE_TRIALS", 3000);
+
+  // Hardware fleet: ~2% cv, as under a balanced benchmark.
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.02);
+  var.outlier_prob = 0.0;
+  const auto hardware = generate_node_powers(kN, 400.0, var, 11);
+  const std::size_t n_rec =
+      required_sample_size(0.05, kLambda, summarize(hardware).cv, kN);
+
+  TextTable t({"imbalance cv", "hot nodes", "fleet cv", "skewness",
+               "miss rate @ n=" + std::to_string(n_rec),
+               "n needed for true cv"});
+  for (const auto& [share_cv, hot] :
+       std::vector<std::pair<double, double>>{
+           {0.0, 0.0}, {0.05, 0.0}, {0.10, 0.0}, {0.20, 0.02}, {0.40, 0.05}}) {
+    auto powers = hardware;
+    ImbalanceParams p;
+    p.share_cv = share_cv;
+    p.hot_node_prob = hot;
+    p.hot_node_factor = 2.5;
+    apply_load_shares(powers, imbalanced_load_shares(kN, p, 13), 0.35);
+    const Summary s = summarize(powers);
+    const double mu = s.mean;
+
+    Rng rng(17);
+    std::size_t missed = 0;
+    for (std::size_t tr = 0; tr < trials; ++tr) {
+      const auto idx = sample_without_replacement(rng, kN, n_rec);
+      if (std::fabs(mean_of(gather(powers, idx)) - mu) > kLambda * mu) {
+        ++missed;
+      }
+    }
+    t.add_row({fmt_percent(share_cv, 0), fmt_percent(hot, 0),
+               fmt_percent(s.cv, 1), fmt_fixed(skewness(powers), 2),
+               fmt_percent(static_cast<double>(missed) /
+                               static_cast<double>(trials),
+                           1),
+               std::to_string(required_sample_size(0.05, kLambda, s.cv, kN))});
+  }
+  std::cout << t.render();
+  std::cout <<
+      "\nTarget miss rate is 5%.  Balanced rows stay near it; imbalanced\n"
+      "workloads blow through it unless the sample size is recomputed from\n"
+      "the *actual* (inflated, skewed) distribution — which is why the\n"
+      "paper scopes its recommendation to regular workloads and why Davis\n"
+      "et al. fell back to distribution-free bounds for data-intensive ones.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Ablation (§1) — ranking volatility.
+//
+// "The advantage of the current 1st ranked system over the current 3rd
+// ranked system is less than 20%" — i.e. smaller than the legal
+// measurement spread.  Simulate a small Green500-style list whose entries'
+// true efficiencies are a few percent apart, re-measure every system many
+// times under each rule set, and count how often the *measured* ranking
+// disagrees with the *true* ranking.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "core/submission.hpp"
+#include "sim/fleet.hpp"
+#include "util/table.hpp"
+#include "workload/hpl.hpp"
+
+namespace {
+
+using namespace pv;
+
+struct Entry {
+  std::string name;
+  std::size_t nodes;
+  double node_w;
+  double rmax_gf;  // chosen so true efficiencies are a few percent apart
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation: ranking volatility (§1)",
+                "does the measured order match the true order?");
+
+  // Five GPU systems whose true efficiencies step by ~5%.
+  const std::vector<Entry> entries = {
+      {"sys-A", 160, 1150.0, 1150.0 * 160 * 5.60 / 1000.0 * 1000.0},
+      {"sys-B", 220, 1000.0, 1000.0 * 220 * 5.32 / 1000.0 * 1000.0},
+      {"sys-C", 320, 900.0, 900.0 * 320 * 5.05 / 1000.0 * 1000.0},
+      {"sys-D", 450, 800.0, 800.0 * 450 * 4.80 / 1000.0 * 1000.0},
+      {"sys-E", 600, 700.0, 700.0 * 600 * 4.56 / 1000.0 * 1000.0},
+  };
+
+  const std::size_t reps = bench::env_size("PV_RANK_REPS", 15);
+
+  const auto study = [&](Revision rev) {
+    std::size_t inversions = 0;
+    std::size_t lists = 0;
+    Rng rng(99);
+    for (std::size_t r = 0; r < reps; ++r) {
+      RankedList list("trial");
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        const Entry& entry = entries[e];
+        auto workload = std::make_shared<HplWorkload>(
+            HplParams::gpu_incore(), hours(1.0), minutes(3.0), minutes(2.0));
+        auto powers = generate_node_powers(
+            entry.nodes, entry.node_w,
+            FleetVariability::typical_cpu().scaled_to(0.02), 7 + e);
+        const ClusterPowerModel cluster(entry.name, std::move(powers),
+                                        workload);
+        const SystemPowerModel electrical = make_system_power_model(
+            cluster, 8, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+        PlanInputs in;
+        in.total_nodes = entry.nodes;
+        in.approx_node_power = Watts{entry.node_w};
+        in.run = cluster.phases();
+        // Each site picks its own (legal) window position and subset.
+        const double pos = rng.uniform();
+        const auto plan = plan_measurement(
+            MethodologySpec::get(Level::kL1, rev), in, rng,
+            SubsetStrategy::kRandom, pos);
+        CampaignConfig cfg;
+        cfg.seed = 1000 * r + e;
+        cfg.meter_interval_override = Seconds{15.0};
+        const auto result = run_campaign(cluster, electrical, plan, cfg);
+
+        Submission sub;
+        sub.system_name = entry.name;
+        sub.site = "site";
+        sub.rmax = gigaflops(entry.rmax_gf);
+        sub.power = result.submitted_power;
+        list.add(sub);
+      }
+      // True order is A > B > C > D > E by construction; count adjacent
+      // inversions in the measured order.
+      const auto ranked = list.ranked_by_efficiency();
+      for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
+        if (ranked[i].system_name > ranked[i + 1].system_name) ++inversions;
+      }
+      ++lists;
+    }
+    return std::pair<std::size_t, std::size_t>{inversions,
+                                               lists * (entries.size() - 1)};
+  };
+
+  TextTable t({"rules", "adjacent inversions", "of possible", "rate"});
+  for (Revision rev : {Revision::kV1_2, Revision::kV2015}) {
+    const auto [inv, total] = study(rev);
+    t.add_row({to_string(rev), std::to_string(inv), std::to_string(total),
+               fmt_percent(static_cast<double>(inv) /
+                               static_cast<double>(total),
+                           1)});
+  }
+  std::cout << t.render();
+  std::cout <<
+      "\nTrue efficiencies step by ~5% between neighbours.  Under the v1.2\n"
+      "rules, window placement (up to ~20% power swing) regularly flips\n"
+      "neighbours; under the 2015 rules the measured order is stable —\n"
+      "the ranking-integrity argument of §1.\n";
+  return 0;
+}

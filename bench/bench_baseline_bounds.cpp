@@ -1,0 +1,80 @@
+// Baseline comparison (§2.1) — the paper argues that for balanced
+// workloads "a much less conservative bound [than Davis et al.'s
+// Chernoff-Hoeffding] is sufficient".  Quantify it: required sample sizes
+// under normal theory (Eq. 5), Chebyshev, and Hoeffding, plus Monte-Carlo
+// coverage showing all three deliver the target while the baselines
+// overpay by an order of magnitude.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "core/sample_size.hpp"
+#include "sim/fleet.hpp"
+#include "stats/sampling.hpp"
+#include "util/mathx.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pv;
+  bench::banner("Baseline: sample-size rules (§2.1)",
+                "normal theory (this paper) vs Chebyshev vs Hoeffding");
+
+  constexpr std::size_t kN = 10000;
+  constexpr double kMean = 500.0;
+  constexpr double kCv = 0.02;
+
+  TextTable t({"target lambda", "Eq. 5 (paper)", "Chebyshev",
+               "Hoeffding (6-sigma range)", "Hoeffding (idle..peak range)"});
+  for (double lambda : {0.005, 0.01, 0.015, 0.02}) {
+    t.add_row({fmt_percent(lambda, 1),
+               std::to_string(required_sample_size(0.05, lambda, kCv, kN)),
+               std::to_string(chebyshev_required_sample_size(0.05, lambda, kCv)),
+               std::to_string(hoeffding_required_sample_size(
+                   0.05, lambda, kMean, 6.0 * kCv * kMean)),
+               // Without fleet statistics a site only knows physical bounds:
+               // idle ~ 0.4 mean .. peak ~ 1.2 mean.
+               std::to_string(hoeffding_required_sample_size(
+                   0.05, lambda, kMean, 0.8 * kMean))});
+  }
+  std::cout << t.render();
+
+  // Monte-Carlo: coverage each rule actually achieves at lambda = 1.5%.
+  const double lambda = 0.015;
+  const std::size_t trials = bench::env_size("PV_BASELINE_TRIALS", 4000);
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(kCv);
+  const auto fleet = generate_node_powers(kN, kMean, var, 21);
+  const double mu = mean_of(fleet);
+  const auto coverage = [&](std::size_t n) {
+    n = std::min(n, kN);
+    Rng rng(5);
+    std::size_t hit = 0;
+    for (std::size_t tr = 0; tr < trials; ++tr) {
+      const auto idx = sample_without_replacement(rng, kN, n);
+      if (std::fabs(mean_of(gather(fleet, idx)) - mu) <= lambda * mu) ++hit;
+    }
+    return static_cast<double>(hit) / static_cast<double>(trials);
+  };
+
+  std::cout << "\nMonte-Carlo at lambda = 1.5% (target >= 95% coverage, "
+            << trials << " trials):\n";
+  TextTable mc({"rule", "n", "empirical coverage", "conservatism vs Eq. 5"});
+  const std::size_t n_eq5 = required_sample_size(0.05, lambda, kCv, kN);
+  const std::size_t n_cheb = chebyshev_required_sample_size(0.05, lambda, kCv);
+  const std::size_t n_hoef =
+      hoeffding_required_sample_size(0.05, lambda, kMean, 6.0 * kCv * kMean);
+  mc.add_row({"Eq. 5 (paper)", std::to_string(n_eq5),
+              fmt_percent(coverage(n_eq5), 1), "1.0x"});
+  mc.add_row({"Chebyshev", std::to_string(n_cheb),
+              fmt_percent(coverage(n_cheb), 1),
+              fmt_fixed(conservatism_vs_normal(n_cheb, 0.05, lambda, kCv, kN), 1) + "x"});
+  mc.add_row({"Hoeffding (6 sigma)", std::to_string(n_hoef),
+              fmt_percent(coverage(n_hoef), 1),
+              fmt_fixed(conservatism_vs_normal(n_hoef, 0.05, lambda, kCv, kN), 1) + "x"});
+  std::cout << mc.render();
+  std::cout << "\nAll rules meet the target; the distribution-free bounds\n"
+               "overpay by roughly an order of magnitude — the paper's case\n"
+               "for the normal-theory recommendation on balanced workloads.\n";
+  return 0;
+}

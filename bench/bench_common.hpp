@@ -1,0 +1,26 @@
+#pragma once
+// Shared helpers for the reproduction benches.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace pv::bench {
+
+/// Reads a std::size_t from the environment, with a default — used to let
+/// CI shrink Monte-Carlo counts (e.g. PV_FIG3_SIMS=5000).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Standard bench banner.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << what << '\n'
+            << "================================================================\n";
+}
+
+}  // namespace pv::bench

@@ -1,0 +1,96 @@
+// Figure 1 + Table 2 — system average power over time for HPL on Colosse,
+// Sequoia(-25), Piz Daint and L-CSC, and the segment-average table
+// (full core phase / first 20% / last 20%).
+//
+// Prints Table 2 with paper-vs-measured rows, an ASCII rendering of each
+// power profile, and writes fig1_<system>.csv series for plotting.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/catalog.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Downsamples a trace to `cols` columns and renders power as a vertical
+// ASCII chart (rows from max to min).
+void ascii_chart(const pv::PowerTrace& trace, std::size_t cols,
+                 std::size_t rows) {
+  const std::size_t group = std::max<std::size_t>(1, trace.size() / cols);
+  std::vector<double> v;
+  for (std::size_t i = 0; i + group <= trace.size(); i += group) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < group; ++j) acc += trace.watt_at(i + j);
+    v.push_back(acc / static_cast<double>(group));
+  }
+  const double lo = *std::min_element(v.begin(), v.end());
+  const double hi = *std::max_element(v.begin(), v.end());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double level = hi - (hi - lo) * static_cast<double>(r) /
+                                  static_cast<double>(rows - 1);
+    std::string line;
+    for (double x : v) line += (x >= level - (hi - lo) * 0.5 / rows) ? '*' : ' ';
+    std::printf("%9.1f kW |%s\n", level / 1000.0, line.c_str());
+  }
+  std::printf("%14s+%s\n", "", std::string(v.size(), '-').c_str());
+  std::printf("%15st = 0 .. core-phase end\n", "");
+}
+
+}  // namespace
+
+int main() {
+  using namespace pv;
+  bench::banner("Table 2 + Figure 1",
+                "HPL power over time: runtime and segment averages");
+
+  TextTable table({"system", "HPL runtime", "core phase power (kW)",
+                   "first 20% (kW)", "last 20% (kW)", "paper core/first/last"});
+  for (const auto& sys : catalog::table2_systems()) {
+    const CalibratedSystemProfile prof = catalog::make_profile(sys);
+    const PowerTrace trace = prof.core_phase_trace(
+        Seconds{sys.hpl_runtime.value() >= 3600.0 * 10.0 ? 60.0 : 10.0},
+        sys.noise_sigma_frac, 0.9, /*seed=*/2015);
+    const RunPhases p = prof.phases();
+    const Watts core = trace.mean_power(p.core_window());
+    const Watts first20 = trace.mean_power(p.core_fraction(0.0, 0.2));
+    const Watts last20 = trace.mean_power(p.core_fraction(0.8, 1.0));
+    char paper[64];
+    std::snprintf(paper, sizeof paper, "%.1f / %.1f / %.1f",
+                  sys.core_avg.value() / 1000.0,
+                  sys.first20_avg.value() / 1000.0,
+                  sys.last20_avg.value() / 1000.0);
+    table.add_row({sys.name, to_string(sys.hpl_runtime),
+                   fmt_fixed(core.value() / 1000.0, 1),
+                   fmt_fixed(first20.value() / 1000.0, 1),
+                   fmt_fixed(last20.value() / 1000.0, 1), paper});
+
+    // Figure 1 series for external plotting.
+    CsvWriter csv({"t_s", "power_w"});
+    const PowerTrace full = prof.full_run_trace(
+        Seconds{p.total().value() / 2000.0}, sys.noise_sigma_frac, 0.9, 2015);
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      csv.add_row(std::vector<double>{full.time_at(i).value(), full.watt_at(i)});
+    }
+    std::string fname = "fig1_" + sys.name + ".csv";
+    for (auto& c : fname) {
+      if (c == ' ') c = '_';
+    }
+    csv.write_file(fname);
+  }
+  std::cout << table.render();
+
+  std::cout << "\nFigure 1 — power profiles (core phase, ASCII):\n";
+  for (const auto& sys : catalog::table2_systems()) {
+    const CalibratedSystemProfile prof = catalog::make_profile(sys);
+    const PowerTrace trace = prof.core_phase_trace(
+        Seconds{sys.hpl_runtime.value() / 1000.0}, sys.noise_sigma_frac, 0.9,
+        2015);
+    std::cout << '\n' << sys.name << ":\n";
+    ascii_chart(trace, 64, 10);
+  }
+  std::cout << "\n(series written to fig1_<system>.csv)\n";
+  return 0;
+}

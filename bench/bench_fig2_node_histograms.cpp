@@ -1,0 +1,58 @@
+// Figure 2 — histograms of whole-node power under load across the six
+// Table 3/4 systems (plus the Table 3 configuration summary).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/catalog.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/normality.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pv;
+  bench::banner("Table 3", "test-system configurations");
+  TextTable t3({"system", "CPUs per node", "RAM per node",
+                "components measured", "workload"});
+  for (const auto& sys : catalog::table4_systems()) {
+    t3.add_row({sys.name, sys.cpus_per_node, sys.ram_per_node,
+                sys.components_measured, sys.workload_name});
+  }
+  std::cout << t3.render();
+
+  bench::banner("Figure 2", "per-node power histograms under load");
+  for (const auto& sys : catalog::table4_systems()) {
+    const auto powers =
+        catalog::make_fleet_powers(sys, /*seed=*/2015, /*exact=*/true);
+    const Summary s = summarize(powers);
+    const Histogram h = Histogram::auto_binned(powers);
+    std::cout << '\n'
+              << sys.name << "  (N=" << powers.size() << ", mean "
+              << fmt_fixed(s.mean, 2) << " W, sd " << fmt_fixed(s.stddev, 2)
+              << " W, modality " << h.modality() << "):\n";
+    // Re-bin to a readable number of rows for the console.
+    Histogram coarse(h.lo(), h.hi(),
+                     std::min<std::size_t>(18, h.bin_count()));
+    coarse.add_all(powers);
+    std::cout << coarse.render(48);
+  }
+  std::cout << "\nDistribution-shape summary (the §4.2 normality question):\n";
+  TextTable shape({"system", "skewness", "excess kurtosis", "JB stat",
+                   "AD stat", "modality"});
+  for (const auto& sys : catalog::table4_systems()) {
+    const auto powers = catalog::make_fleet_powers(sys, 2015, true);
+    const Histogram h = Histogram::auto_binned(powers);
+    shape.add_row({sys.name, fmt_fixed(skewness(powers), 2),
+                   fmt_fixed(excess_kurtosis(powers), 2),
+                   fmt_fixed(jarque_bera(powers).statistic, 1),
+                   fmt_fixed(anderson_darling(powers).statistic, 2),
+                   std::to_string(h.modality())});
+  }
+  std::cout << shape.render();
+  std::cout << "\nAll systems are roughly unimodal with few (hot) outliers —\n"
+               "mild positive skew from the outlier tail, exactly the Figure 2\n"
+               "picture; §4.2 therefore validates the CI machinery by bootstrap\n"
+               "(Figure 3) rather than by strict normality.\n";
+  return 0;
+}

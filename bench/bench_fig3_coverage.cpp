@@ -1,0 +1,84 @@
+// Figure 3 — coverage of 80/95/99% confidence intervals in bootstrap
+// simulation from a 516-node LRZ pilot sample, N = 9216, across sample
+// sizes.  The paper runs 100,000 simulations per point; override with
+// PV_FIG3_SIMS for quicker runs.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/coverage.hpp"
+#include "sim/catalog.hpp"
+#include "stats/sampling.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pv;
+  const std::size_t sims = bench::env_size("PV_FIG3_SIMS", 100000);
+  bench::banner("Figure 3",
+                "CI coverage vs sample size (LRZ pilot, N = 9216, " +
+                    std::to_string(sims) + " sims/point)");
+
+  // The pilot: 516 metered LRZ nodes (Figure 3 caption).
+  const catalog::FleetSystem& lrz = catalog::fleet_system("LRZ");
+  const auto fleet = catalog::make_fleet_powers(lrz, 2015, /*exact=*/true);
+  Rng rng(516);
+  const auto pilot_idx = sample_without_replacement(rng, fleet.size(), 516);
+  const auto pilot = gather(fleet, pilot_idx);
+
+  CoverageConfig cfg;
+  cfg.full_system_nodes = lrz.total_nodes;
+  cfg.sample_sizes = {3, 5, 10, 15, 20, 30, 50};
+  cfg.confidence_levels = {0.80, 0.95, 0.99};
+  cfg.simulations = sims;
+  cfg.seed = 42;
+  const auto points = coverage_study(pilot, cfg, &default_pool());
+
+  TextTable t({"n", "80% coverage", "95% coverage", "99% coverage"});
+  CsvWriter csv({"n", "level", "coverage"});
+  for (std::size_t si = 0; si < cfg.sample_sizes.size(); ++si) {
+    std::vector<std::string> row{std::to_string(cfg.sample_sizes[si])};
+    for (std::size_t li = 0; li < cfg.confidence_levels.size(); ++li) {
+      const auto& p = points[si * cfg.confidence_levels.size() + li];
+      row.push_back(fmt_percent(p.coverage, 2));
+      csv.add_row(std::vector<double>{static_cast<double>(p.sample_size),
+                                      p.confidence_level, p.coverage});
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render();
+  csv.write_file("fig3_coverage.csv");
+
+  std::cout << "\nDashed targets: 80.00% / 95.00% / 99.00%.  The paper finds\n"
+               "good calibration down to n = 5; rows above should sit within\n"
+               "a fraction of a point of the targets (series in "
+               "fig3_coverage.csv).\n";
+
+  // "Simulation studies on the other systems reveal that the normality
+  // assumption is appropriate for all systems we have tested, with good
+  // calibration as low as n = 5 on all systems."
+  const std::size_t sims_all = std::max<std::size_t>(2000, sims / 5);
+  std::cout << "\nAll systems, 95% interval, " << sims_all
+            << " sims/point (pilot = each system's instrumented subset):\n";
+  TextTable all({"system", "pilot n", "coverage @ n=5", "coverage @ n=15"});
+  for (const auto& sys : catalog::table4_systems()) {
+    const auto fleet_all = catalog::make_fleet_powers(sys, 2015, true);
+    Rng prng(sys.total_nodes);
+    const auto idx = sample_without_replacement(
+        prng, fleet_all.size(),
+        std::min(sys.measured_nodes, fleet_all.size()));
+    const auto sys_pilot = gather(fleet_all, idx);
+    CoverageConfig c;
+    c.full_system_nodes = sys.total_nodes;
+    c.sample_sizes = {5, 15};
+    c.confidence_levels = {0.95};
+    c.simulations = sims_all;
+    c.seed = 7;
+    const auto pts = coverage_study(sys_pilot, c, &default_pool());
+    all.add_row({sys.name, std::to_string(sys_pilot.size()),
+                 fmt_percent(pts[0].coverage, 1),
+                 fmt_percent(pts[1].coverage, 1)});
+  }
+  std::cout << all.render();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 4 — power efficiency of individual L-CSC nodes in single-node
+// Linpack, grouped by the GPUs' VIDs, under three configurations:
+//   (a) fixed ASIC settings 774 MHz / 1.018 V (ignoring the VID),
+//   (b) default 900 MHz with VID-defined voltage (faster fans),
+//   (c) the 900 MHz data corrected for the extra fan power.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "sim/catalog.hpp"
+#include "stats/descriptive.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace pv;
+  bench::banner("Figure 4",
+                "L-CSC single-node HPL efficiency vs GPU VID (GFLOPS/W)");
+
+  const auto fleet = build_fleet(catalog::lcsc_node_spec(),
+                                 catalog::lcsc_node_count(), /*seed=*/2015,
+                                 &default_pool());
+
+  // Configuration (a): fixed frequency/voltage, pinned slow fans.
+  const NodeSettings tuned = NodeSettings::tuned_lcsc();
+  // Configuration (b): defaults — VID voltage at 900 MHz, auto fans.
+  const NodeSettings defaults = NodeSettings::defaults();
+
+  struct Acc {
+    RunningStats tuned, def, fan_corrected;
+  };
+  std::map<std::size_t, Acc> by_vid;
+  RunningStats fan_tuned_w, fan_def_w;
+  for (const auto& node : fleet) {
+    fan_tuned_w.add(node.thermal_state(1.0, tuned).fan_power_w.value());
+    fan_def_w.add(node.thermal_state(1.0, defaults).fan_power_w.value());
+  }
+  // Constant fan-power offset between the two configurations (the paper
+  // measures this offset and subtracts it).
+  const double fan_offset = fan_def_w.mean() - fan_tuned_w.mean();
+
+  for (const auto& node : fleet) {
+    Acc& acc = by_vid[node.vid_bin()];
+    acc.tuned.add(node.hpl_gflops_per_watt(tuned));
+    acc.def.add(node.hpl_gflops_per_watt(defaults));
+    const double p_def = node.dc_power(1.0, defaults).value();
+    acc.fan_corrected.add(node.hpl_gflops(defaults) / (p_def - fan_offset));
+  }
+
+  TextTable t({"VID (default V @900MHz)", "nodes", "fixed 774MHz/1.018V",
+               "default 900MHz/VID", "900MHz fan-corrected"});
+  CsvWriter csv({"vid_bin", "default_voltage", "eff_fixed", "eff_default",
+                 "eff_fan_corrected"});
+  const GpuSpec gpu = catalog::lcsc_node_spec().gpu;
+  for (const auto& [vid, acc] : by_vid) {
+    const double v = gpu.vid_base_v + gpu.vid_step_v * static_cast<double>(vid);
+    char label[48];
+    std::snprintf(label, sizeof label, "%zu (%.3f V)", vid, v);
+    t.add_row({label, std::to_string(acc.tuned.count()),
+               fmt_fixed(acc.tuned.mean(), 3), fmt_fixed(acc.def.mean(), 3),
+               fmt_fixed(acc.fan_corrected.mean(), 3)});
+    csv.add_row(std::vector<double>{static_cast<double>(vid), v,
+                                    acc.tuned.mean(), acc.def.mean(),
+                                    acc.fan_corrected.mean()});
+  }
+  std::cout << t.render();
+  csv.write_file("fig4_vid_efficiency.csv");
+
+  // Fleet-level statistics backing the paper's bullet list.
+  RunningStats eff_tuned_all, eff_def_all;
+  for (const auto& node : fleet) {
+    eff_tuned_all.add(node.hpl_gflops_per_watt(tuned));
+    eff_def_all.add(node.hpl_gflops_per_watt(defaults));
+  }
+  std::cout << "\nfan power:   auto-900MHz mean " << fmt_fixed(fan_def_w.mean(), 1)
+            << " W vs pinned-774MHz " << fmt_fixed(fan_tuned_w.mean(), 1)
+            << " W  (offset " << fmt_fixed(fan_offset, 1) << " W)\n";
+  std::cout << "efficiency sd: fixed-voltage configuration "
+            << fmt_percent(eff_tuned_all.cv(), 1) << " (paper: 1.2%), default "
+            << fmt_percent(eff_def_all.cv(), 1) << "\n";
+  std::cout << "\nPaper findings to check against the table:\n"
+               "  * fixed-voltage efficiency shows no VID trend;\n"
+               "  * default settings trend downward with VID;\n"
+               "  * fan-corrected curve parallels the default curve, offset up;\n"
+               "  * fan effect >> silicon effect.\n"
+               "(series in fig4_vid_efficiency.csv)\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Headline (§1) — the total spread a pre-2015 Level 1 measurement could
+// exhibit on the same system: up to ~20% from window timing plus a further
+// ~10-15% from small-sample extrapolation; and what the 2015 rules reduce
+// it to.  Full campaign simulation on an L-CSC-like machine.
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <tuple>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "core/report.hpp"
+#include "sim/catalog.hpp"
+#include "stats/descriptive.hpp"
+#include "util/table.hpp"
+#include "workload/hpl.hpp"
+
+int main() {
+  using namespace pv;
+  bench::banner("Headline (§1)",
+                "Level 1 measurement spread: v1.2 rules vs 2015 rules");
+
+  // An L-CSC-like machine: 160 nodes, in-core GPU HPL, cv ~2%.
+  const std::size_t kNodes = 160;
+  auto workload = std::make_shared<HplWorkload>(
+      HplParams::gpu_incore(), hours(1.5), minutes(4.0), minutes(3.0));
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.02);
+  auto powers = generate_node_powers(kNodes, 1100.0, var, 5);
+  const ClusterPowerModel cluster("L-CSC-like", std::move(powers), workload,
+                                  /*static_fraction=*/0.35);
+  const SystemPowerModel electrical = make_system_power_model(
+      cluster, 8, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+
+  PlanInputs in;
+  in.total_nodes = kNodes;
+  in.approx_node_power = Watts{1100.0};
+  in.run = cluster.phases();
+
+  const std::size_t reps = bench::env_size("PV_HEADLINE_REPS", 40);
+  const auto spread_for = [&](Revision rev) {
+    const auto spec = MethodologySpec::get(Level::kL1, rev);
+    std::vector<double> submitted;
+    Rng rng(17);
+    for (std::size_t r = 0; r < reps; ++r) {
+      // Vary everything a site legitimately could: subset draw, window
+      // position (v1.2 only), meter devices.
+      const double pos = static_cast<double>(r) / std::max<std::size_t>(1, reps - 1);
+      const auto plan = plan_measurement(spec, in, rng,
+                                         SubsetStrategy::kRandom, pos);
+      CampaignConfig cfg;
+      cfg.seed = 1000 + r;
+      cfg.meter_interval_override = Seconds{10.0};
+      const auto result = run_campaign(cluster, electrical, plan, cfg);
+      submitted.push_back(result.submitted_power.value());
+    }
+    const auto [mn, mx] = std::minmax_element(submitted.begin(), submitted.end());
+    const Summary s = summarize(submitted);
+    const Watts truth = true_scope_power(
+        cluster, electrical, spec);
+    return std::tuple<double, double, double>{
+        (*mx - *mn) / s.mean, s.cv,
+        (s.mean - truth.value()) / truth.value()};
+  };
+
+  TextTable t({"rules", "min-max spread", "cv of submissions", "mean bias"});
+  {
+    const auto [spread, cv, bias] = spread_for(Revision::kV1_2);
+    t.add_row({"Level 1, v1.2 (20% window, 1/64 nodes)", fmt_percent(spread, 1),
+               fmt_percent(cv, 1), fmt_percent(bias, 1)});
+  }
+  {
+    const auto [spread, cv, bias] = spread_for(Revision::kV2015);
+    t.add_row({"Level 1, 2015 (full core, max(16,10%))", fmt_percent(spread, 1),
+               fmt_percent(cv, 1), fmt_percent(bias, 1)});
+  }
+  std::cout << t.render();
+  std::cout <<
+      "\nUnder the v1.2 rules, identical hardware + honest procedures can\n"
+      "report numbers ~20% apart (window placement dominates; small subsets\n"
+      "add several points more).  The 2015 rules collapse the spread to the\n"
+      "percent level.  The residual negative bias is structural: per-node AC\n"
+      "taps do not see PDU distribution losses.\n";
+  return 0;
+}

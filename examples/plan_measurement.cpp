@@ -1,0 +1,68 @@
+// plan_measurement — the §4.2 two-step pilot workflow for a site.
+//
+// "How many nodes must I meter?"  Take a small pilot sample, estimate
+// sigma/mu, and apply Equation 5 (with finite-population correction) for a
+// chosen confidence and accuracy.  Compares the answer with the fixed
+// rules (1/64 old, max(16, 10%) new) across target accuracies.
+//
+//   $ ./examples/plan_measurement [total_nodes] [pilot_size]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sample_size.hpp"
+#include "sim/fleet.hpp"
+#include "stats/sampling.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pv;
+  const std::size_t total_nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4096;
+  const std::size_t pilot_size =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 10;
+
+  std::cout << "system: " << total_nodes << " nodes; pilot of " << pilot_size
+            << " nodes\n\n";
+
+  // Simulate the machine (in the field this is your real fleet).
+  const auto fleet = generate_node_powers(
+      total_nodes, 350.0, FleetVariability::typical_cpu().scaled_to(0.022),
+      /*seed=*/2015);
+
+  // Step 1: pilot.
+  Rng rng(99);
+  const auto pilot_idx =
+      sample_without_replacement(rng, total_nodes, pilot_size);
+  const auto pilot = gather(fleet, pilot_idx);
+
+  // Step 2: recommendations per target accuracy.
+  TextTable t({"target accuracy", "Eq. 5 recommendation", "old 1/64 rule",
+               "2015 rule max(16,10%)"});
+  for (double lambda : {0.005, 0.01, 0.015, 0.02}) {
+    const PilotRecommendation rec =
+        two_step_pilot(pilot, /*alpha=*/0.05, lambda, total_nodes);
+    t.add_row({fmt_percent(lambda, 1), std::to_string(rec.recommended_n),
+               std::to_string(rule_1_64(total_nodes)),
+               std::to_string(rule_2015(total_nodes))});
+  }
+  const PilotRecommendation base =
+      two_step_pilot(pilot, 0.05, 0.01, total_nodes);
+  std::cout << "pilot statistics: mean " << fmt_fixed(base.pilot_mean, 1)
+            << " W, sd " << fmt_fixed(base.pilot_sd, 2) << " W, sigma/mu "
+            << fmt_percent(base.pilot_cv, 2) << "\n\n";
+  std::cout << t.render();
+
+  std::cout << "\nWith n nodes metered you can claim (95% confidence):\n";
+  TextTable a({"n", "achievable lambda (t-based)"});
+  for (std::size_t n : {std::size_t{4}, std::size_t{11}, std::size_t{16},
+                        rule_2015(total_nodes)}) {
+    if (n > total_nodes) continue;
+    a.add_row({std::to_string(n),
+               fmt_percent(achievable_accuracy(0.05, base.pilot_cv, n,
+                                               total_nodes),
+                           2)});
+  }
+  std::cout << a.render();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "core/baselines.hpp"
+
+#include <cmath>
+
+#include "core/sample_size.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+std::size_t hoeffding_required_sample_size(double alpha, double lambda,
+                                           double mean_w, double range_w) {
+  PV_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  PV_EXPECTS(lambda > 0.0, "accuracy lambda must be positive");
+  PV_EXPECTS(mean_w > 0.0, "mean power must be positive");
+  PV_EXPECTS(range_w > 0.0, "power range must be positive");
+  const double t = lambda * mean_w;
+  const double n = range_w * range_w * std::log(2.0 / alpha) / (2.0 * t * t);
+  return static_cast<std::size_t>(std::ceil(n - 1e-12));
+}
+
+std::size_t chebyshev_required_sample_size(double alpha, double lambda,
+                                           double cv) {
+  PV_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  PV_EXPECTS(lambda > 0.0, "accuracy lambda must be positive");
+  PV_EXPECTS(cv > 0.0, "cv must be positive");
+  const double n = cv * cv / (alpha * lambda * lambda);
+  return static_cast<std::size_t>(std::ceil(n - 1e-12));
+}
+
+double conservatism_vs_normal(std::size_t baseline_n, double alpha,
+                              double lambda, double cv,
+                              std::size_t total_nodes) {
+  const std::size_t normal_n =
+      required_sample_size(alpha, lambda, cv, total_nodes);
+  PV_EXPECTS(normal_n > 0, "normal-theory recommendation must be positive");
+  return static_cast<double>(baseline_n) / static_cast<double>(normal_n);
+}
+
+}  // namespace pv

@@ -1,0 +1,43 @@
+#pragma once
+// Baseline sample-size rules the paper compares its normal-theory
+// recommendation against (§2.1).
+//
+// Davis et al. [3] proposed selecting the subset size with a
+// Chernoff–Hoeffding bound — distribution-free, but requiring a known
+// *range* for per-node power and far more conservative than necessary for
+// balanced workloads.  The paper's position is that for regular workloads
+// the near-normal per-node distribution justifies the much smaller
+// Equation 5 sizes.  This module implements the Hoeffding rule plus a
+// Chebyshev (known-variance, distribution-free) rule so the comparison can
+// be reproduced quantitatively.
+
+#include <cstddef>
+
+namespace pv {
+
+/// Chernoff–Hoeffding sample size: for per-node power bounded in an
+/// interval of width `range_w` watts around a mean of `mean_w`,
+///   P(|Xbar - mu| >= lambda mu) <= 2 exp(-2 n (lambda mu)^2 / range_w^2),
+/// so n >= range_w^2 ln(2/alpha) / (2 (lambda mu)^2).
+/// Rounded up; no finite-population correction (the bound has none).
+[[nodiscard]] std::size_t hoeffding_required_sample_size(double alpha,
+                                                         double lambda,
+                                                         double mean_w,
+                                                         double range_w);
+
+/// Chebyshev sample size: knowing only the variance,
+///   P(|Xbar - mu| >= lambda mu) <= sigma^2 / (n (lambda mu)^2),
+/// so n >= cv^2 / (alpha lambda^2).  Distribution-free like Hoeffding, but
+/// uses second-moment information.
+[[nodiscard]] std::size_t chebyshev_required_sample_size(double alpha,
+                                                         double lambda,
+                                                         double cv);
+
+/// Convenience: the conservatism factor of a baseline rule relative to the
+/// paper's Equation 5 recommendation for the same (alpha, lambda) target.
+[[nodiscard]] double conservatism_vs_normal(std::size_t baseline_n,
+                                            double alpha, double lambda,
+                                            double cv,
+                                            std::size_t total_nodes);
+
+}  // namespace pv

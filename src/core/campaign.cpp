@@ -1,0 +1,269 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+#include "workload/workload.hpp"
+
+namespace pv {
+namespace {
+
+// Average of f over [a, b] via midpoint panels — used for ground truth.
+double mean_over_window(const std::function<double(double)>& f, double a,
+                        double b) {
+  return average_over(f, a, b, 2048);
+}
+
+}  // namespace
+
+Watts true_scope_power(const ClusterPowerModel& cluster,
+                       const SystemPowerModel& electrical,
+                       const MethodologySpec& spec) {
+  const TimeWindow core = cluster.phases().core_window();
+  const double compute = mean_over_window(
+      [&](double t) { return electrical.compute_ac_w(t); },
+      core.begin.value(), core.end.value());
+  if (spec.subsystems == SubsystemRule::kComputeOnly) return Watts{compute};
+  const double aux = mean_over_window(
+      [&](double t) { return electrical.auxiliary_ac_w(t); },
+      core.begin.value(), core.end.value());
+  return Watts{compute + aux};
+}
+
+CampaignResult run_campaign(const ClusterPowerModel& cluster,
+                            const SystemPowerModel& electrical,
+                            const MeasurementPlan& plan,
+                            const CampaignConfig& config) {
+  PV_EXPECTS(!plan.node_indices.empty(), "plan selects no nodes");
+  PV_EXPECTS(electrical.node_count() == cluster.node_count(),
+             "electrical model does not match the cluster");
+  PV_EXPECTS(plan.window.valid(), "plan window is empty");
+
+  const Seconds interval = config.meter_interval_override.value() > 0.0
+                               ? config.meter_interval_override
+                               : plan.meter_interval;
+
+  CampaignResult result;
+  result.system_name = cluster.name();
+  result.nodes_measured = plan.node_count();
+  result.window_duration = plan.window.duration();
+
+  // The time windows this plan actually meters (aspect 1): either the
+  // whole window, or Level 2's ten equally spaced spot averages.
+  std::vector<TimeWindow> metered_windows;
+  if (plan.timing == TimingStrategy::kContinuous) {
+    metered_windows.push_back(plan.window);
+  } else {
+    const double span = plan.window.duration().value();
+    const double spot =
+        std::max(plan.spot_duration.value(), interval.value());
+    PV_EXPECTS(spot * 10.0 <= span + 1e-9,
+               "ten spot averages do not fit in the plan window");
+    for (int k = 0; k < 10; ++k) {
+      const double center =
+          plan.window.begin.value() + (k + 0.5) * span / 10.0;
+      metered_windows.push_back(
+          {Seconds{center - 0.5 * spot}, Seconds{center + 0.5 * spot}});
+    }
+  }
+
+  // Facility-feed tap: one meter on the whole feed — the realistic Level 3
+  // instrumentation.  No extrapolation happens at all; the only error
+  // sources are the meter itself and any scope mismatch.
+  if (plan.point == MeasurementPoint::kFacilityFeed) {
+    Rng calibration(config.seed ^ 0x5CA1AB1EULL, 9'999'999);
+    Rng noise(config.seed ^ 0xBADCAB1EULL, 9'999'999);
+    const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
+                           calibration);
+    double mean_acc = 0.0;
+    double energy_acc = 0.0;
+    for (const TimeWindow& w : metered_windows) {
+      const PowerTrace trace =
+          meter.measure(electrical.facility_function(), w.begin, w.end, noise);
+      mean_acc += trace.mean_power().value();
+      energy_acc += trace.energy().value();
+    }
+    const double mean =
+        mean_acc / static_cast<double>(metered_windows.size());
+    if (plan.timing != TimingStrategy::kContinuous) {
+      energy_acc = mean * plan.window.duration().value();
+    }
+    result.nodes_measured = cluster.node_count();
+    result.submitted_energy = Joules{energy_acc};
+    // The facility feed includes every auxiliary; for compute-only scopes
+    // the measured aux must be deducted (it is measured, not estimated).
+    double submitted = mean;
+    if (plan.spec.subsystems == SubsystemRule::kComputeOnly) {
+      const double t_mid =
+          plan.window.begin.value() + 0.5 * plan.window.duration().value();
+      submitted -= electrical.auxiliary_ac_w(t_mid);
+    }
+    result.submitted_power = Watts{submitted};
+    result.true_power = true_scope_power(cluster, electrical, plan.spec);
+    result.relative_error =
+        std::fabs(result.submitted_power.value() - result.true_power.value()) /
+        result.true_power.value();
+    return result;
+  }
+
+  // Rack-PDU tap: one meter per rack containing a selected node.  The
+  // rack reading (which *includes* PDU distribution loss, unlike node
+  // taps) is attributed evenly to the rack's nodes — the standard site
+  // practice when only PDU instrumentation exists.
+  if (plan.point == MeasurementPoint::kRackPdu) {
+    std::vector<std::size_t> racks;
+    for (std::size_t node : plan.node_indices) {
+      PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
+      racks.push_back(node / electrical.nodes_per_rack());
+    }
+    std::sort(racks.begin(), racks.end());
+    racks.erase(std::unique(racks.begin(), racks.end()), racks.end());
+
+    double energy_acc = 0.0;
+    for (std::size_t rack : racks) {
+      Rng calibration(config.seed ^ 0x5CA1AB1EULL, 1'000'000 + rack);
+      Rng noise(config.seed ^ 0xBADCAB1EULL, 1'000'000 + rack);
+      const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
+                             calibration);
+      const std::size_t first = rack * electrical.nodes_per_rack();
+      const std::size_t nodes_in_rack =
+          std::min(electrical.nodes_per_rack(),
+                   electrical.node_count() - first);
+      double mean_acc = 0.0;
+      double rack_energy = 0.0;
+      for (const TimeWindow& w : metered_windows) {
+        const PowerTrace trace = meter.measure(
+            [&electrical, rack](double t) {
+              return electrical.rack_pdu_w(rack, t);
+            },
+            w.begin, w.end, noise);
+        mean_acc += trace.mean_power().value();
+        rack_energy += trace.energy().value();
+      }
+      const double rack_mean =
+          mean_acc / static_cast<double>(metered_windows.size());
+      if (plan.timing != TimingStrategy::kContinuous) {
+        rack_energy = rack_mean * plan.window.duration().value();
+      }
+      const double per_node =
+          rack_mean / static_cast<double>(nodes_in_rack);
+      for (std::size_t i = 0; i < nodes_in_rack; ++i) {
+        result.node_mean_powers_w.push_back(per_node);
+      }
+      energy_acc += rack_energy;
+    }
+    result.nodes_measured = result.node_mean_powers_w.size();
+    result.submitted_energy = Joules{energy_acc};
+
+    const Summary rack_nodes = summarize(result.node_mean_powers_w);
+    double rack_submitted =
+        rack_nodes.mean * static_cast<double>(cluster.node_count());
+    if (plan.spec.subsystems != SubsystemRule::kComputeOnly) {
+      const double t_mid =
+          plan.window.begin.value() + 0.5 * plan.window.duration().value();
+      rack_submitted += electrical.auxiliary_ac_w(t_mid);
+    }
+    result.submitted_power = Watts{rack_submitted};
+    if (result.node_mean_powers_w.size() >= 2 && rack_nodes.stddev > 0.0) {
+      result.node_mean_ci =
+          t_confidence_interval(result.node_mean_powers_w, 0.05);
+      result.relative_halfwidth =
+          0.5 * result.node_mean_ci.width() / rack_nodes.mean;
+    }
+    result.true_power = true_scope_power(cluster, electrical, plan.spec);
+    result.relative_error =
+        std::fabs(result.submitted_power.value() - result.true_power.value()) /
+        result.true_power.value();
+    return result;
+  }
+
+  // Meter every selected node.  Each node gets its own meter device whose
+  // calibration errors are drawn from a stream keyed by the node id, and a
+  // separate per-sample noise stream.
+  double energy_j = 0.0;
+  result.node_mean_powers_w.reserve(plan.node_count());
+  for (std::size_t node : plan.node_indices) {
+    PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
+    Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
+    Rng noise(config.seed ^ 0xBADCAB1EULL, node);
+    const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
+                           calibration);
+    const PowerFunction truth =
+        plan.point == MeasurementPoint::kNodeDc
+            ? PowerFunction([&electrical, node](double t) {
+                return electrical.node_dc_w(node, t);
+              })
+            : electrical.node_ac_function(node);
+
+    double mean_acc = 0.0;
+    double node_energy = 0.0;
+    for (const TimeWindow& w : metered_windows) {
+      const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
+      mean_acc += trace.mean_power().value();
+      node_energy += trace.energy().value();
+    }
+    double node_mean = mean_acc / static_cast<double>(metered_windows.size());
+    if (plan.timing != TimingStrategy::kContinuous) {
+      // Spot sampling: report energy as mean power over the whole window.
+      node_energy = node_mean * plan.window.duration().value();
+    }
+
+    // Aspect 4: correct a DC-side reading back to AC.
+    if (plan.point == MeasurementPoint::kNodeDc) {
+      switch (plan.conversion) {
+        case ConversionCorrection::kNone:
+          break;  // uncorrected — the validator flags this
+        case ConversionCorrection::kVendorNominal: {
+          const NominalConversionModel vendor{plan.vendor_nominal_efficiency};
+          node_energy *= vendor.ac_from_dc(Watts{node_mean}).value() / node_mean;
+          node_mean = vendor.ac_from_dc(Watts{node_mean}).value();
+          break;
+        }
+        case ConversionCorrection::kMeasuredCurve: {
+          const Watts ac = electrical.node_psu(node).ac_input(Watts{node_mean});
+          node_energy *= ac.value() / node_mean;
+          node_mean = ac.value();
+          break;
+        }
+      }
+    }
+    result.node_mean_powers_w.push_back(node_mean);
+    energy_j += node_energy;
+  }
+  result.submitted_energy = Joules{energy_j};
+
+  const Summary nodes = summarize(result.node_mean_powers_w);
+  // Linear extrapolation to the full compute subsystem (§2.2).  Note the
+  // per-node AC taps do not see PDU distribution losses, which the true
+  // compute power includes — a structural Level 1 bias the benches expose.
+  double submitted =
+      nodes.mean * static_cast<double>(cluster.node_count());
+
+  // Auxiliary subsystems per the spec's aspect 3.
+  if (plan.spec.subsystems != SubsystemRule::kComputeOnly) {
+    const double t_mid =
+        plan.window.begin.value() + 0.5 * plan.window.duration().value();
+    submitted += electrical.auxiliary_ac_w(t_mid);
+  }
+  result.submitted_power = Watts{submitted};
+
+  // Accuracy assessment: Equation 1 on the metered per-node averages.
+  if (plan.node_count() >= 2 && nodes.stddev > 0.0) {
+    result.node_mean_ci =
+        t_confidence_interval(result.node_mean_powers_w, /*alpha=*/0.05);
+    result.relative_halfwidth =
+        0.5 * result.node_mean_ci.width() / nodes.mean;
+  }
+
+  // Ground truth and error.
+  result.true_power = true_scope_power(cluster, electrical, plan.spec);
+  result.relative_error =
+      std::fabs(result.submitted_power.value() - result.true_power.value()) /
+      result.true_power.value();
+  return result;
+}
+
+}  // namespace pv

@@ -1,0 +1,68 @@
+#pragma once
+// Campaign execution: run a MeasurementPlan against a simulated system and
+// produce what a site would submit — the extrapolated system power — plus
+// the accuracy assessment the paper says should accompany every
+// submission, and the ground truth the simulation uniquely provides.
+
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/sample_size.hpp"
+#include "meter/hierarchy.hpp"
+#include "sim/cluster.hpp"
+
+namespace pv {
+
+/// Execution knobs of a campaign.
+struct CampaignConfig {
+  MeterAccuracy meter_accuracy = MeterAccuracy::pdu_grade();
+  std::uint64_t seed = 1;
+  /// Meter reporting interval override.  The specs demand 1 s; large/long
+  /// simulations may coarsen this for speed (statistically immaterial for
+  /// mean power over minutes-to-hours windows).  0 = use the plan's value.
+  Seconds meter_interval_override{0.0};
+};
+
+/// Everything a campaign produces.
+struct CampaignResult {
+  // --- what the site reports -------------------------------------------
+  std::string system_name;
+  Watts submitted_power{0.0};    ///< extrapolated full-system power
+  Joules submitted_energy{0.0};  ///< over the measurement window
+  std::size_t nodes_measured = 0;
+  Seconds window_duration{0.0};
+
+  // --- the accuracy assessment (paper §6 recommendation) ----------------
+  std::vector<double> node_mean_powers_w;  ///< metered per-node averages
+  Interval node_mean_ci;     ///< Equation 1 t-CI on the node mean
+  double relative_halfwidth = 0.0;  ///< CI halfwidth / mean ("lambda achieved")
+
+  // --- ground truth (simulation only) ------------------------------------
+  Watts true_power{0.0};  ///< true average of the quantity being estimated
+  double relative_error = 0.0;  ///< |submitted - true| / true
+};
+
+/// Executes `plan` on the cluster lowered into `electrical`.
+///
+/// The campaign meters each selected node at the plan's tap point over the
+/// plan window (one MeterModel per node, calibration drawn per device),
+/// extrapolates linearly to all compute nodes, and — when the spec includes
+/// auxiliary subsystems — adds their (estimated at L2 / measured at L3)
+/// power.  `true_power` is the core-phase average of the same scope, so
+/// relative_error isolates extrapolation + metering error from scope
+/// differences.
+///
+/// Lifetime: `electrical` must have been built from `cluster` (see
+/// make_system_power_model) and both must outlive the call.
+[[nodiscard]] CampaignResult run_campaign(const ClusterPowerModel& cluster,
+                                          const SystemPowerModel& electrical,
+                                          const MeasurementPlan& plan,
+                                          const CampaignConfig& config);
+
+/// The scope-matched true power for a spec: compute-only average for
+/// compute-only rules, compute + auxiliaries otherwise (core phase).
+[[nodiscard]] Watts true_scope_power(const ClusterPowerModel& cluster,
+                                     const SystemPowerModel& electrical,
+                                     const MethodologySpec& spec);
+
+}  // namespace pv

@@ -1,0 +1,49 @@
+#include "core/capping.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+ProvisioningAnalysis analyze_provisioning(std::span<const double> node_powers_w,
+                                          double nameplate_w_per_node,
+                                          double alpha) {
+  PV_EXPECTS(node_powers_w.size() >= 2, "need at least two nodes");
+  PV_EXPECTS(nameplate_w_per_node > 0.0, "nameplate must be positive");
+  PV_EXPECTS(alpha > 0.0 && alpha < 0.5, "exceedance alpha in (0, 0.5)");
+
+  const Summary s = summarize(node_powers_w);
+  PV_EXPECTS(s.max <= nameplate_w_per_node,
+             "a node exceeds its nameplate rating; check the measurement");
+  const double n = static_cast<double>(node_powers_w.size());
+
+  ProvisioningAnalysis out;
+  out.nameplate_w = nameplate_w_per_node * n;
+  out.observed_peak_w = s.sum;
+  out.statistical_bound_w =
+      s.mean * n + norm_quantile(1.0 - alpha) * std::sqrt(n) * s.stddev;
+  out.headroom_frac = 1.0 - out.statistical_bound_w / out.nameplate_w;
+  return out;
+}
+
+double node_cap_for_throttle_fraction(double mean_w, double sd_w,
+                                      double throttle_fraction) {
+  PV_EXPECTS(mean_w > 0.0, "mean power must be positive");
+  PV_EXPECTS(sd_w >= 0.0, "sd must be non-negative");
+  PV_EXPECTS(throttle_fraction > 0.0 && throttle_fraction < 1.0,
+             "throttle fraction in (0,1)");
+  return mean_w + norm_quantile(1.0 - throttle_fraction) * sd_w;
+}
+
+double expected_throttled_nodes(double mean_w, double sd_w, double cap_w,
+                                std::size_t nodes) {
+  PV_EXPECTS(sd_w > 0.0, "sd must be positive");
+  PV_EXPECTS(nodes > 0, "fleet must be non-empty");
+  const double z = (cap_w - mean_w) / sd_w;
+  return static_cast<double>(nodes) * (1.0 - norm_cdf(z));
+}
+
+}  // namespace pv

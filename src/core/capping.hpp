@@ -1,0 +1,45 @@
+#pragma once
+// Power provisioning & capping analysis — the §1 use-case list
+// ("system modeling …, procurement, operational improvements and power
+// capping") applied to the fleet statistics this library produces.
+//
+// Facilities provision for nameplate sums, but a fleet's statistical
+// behaviour admits far tighter budgets (Fan et al. [6]): with per-node
+// power ~ (mu, sigma) and N independent nodes, the whole-fleet draw under
+// a balanced load concentrates as mu N + z sqrt(N) sigma.  Conversely,
+// per-node caps can be placed at quantiles of the node distribution so
+// only a chosen fraction of nodes ever throttle.
+
+#include <cstddef>
+#include <span>
+
+namespace pv {
+
+/// Provisioning numbers for one fleet.
+struct ProvisioningAnalysis {
+  double nameplate_w = 0.0;          ///< N x nameplate (what naive sizing buys)
+  double observed_peak_w = 0.0;      ///< sum of measured per-node powers
+  double statistical_bound_w = 0.0;  ///< mu N + z_{1-alpha} sqrt(N) sigma
+  /// Fraction of the nameplate budget the statistical bound releases.
+  double headroom_frac = 0.0;
+};
+
+/// Analyzes a fleet of measured per-node powers against a per-node
+/// nameplate rating.  `alpha` is the exceedance probability of the
+/// statistical fleet bound (one-sided).
+[[nodiscard]] ProvisioningAnalysis analyze_provisioning(
+    std::span<const double> node_powers_w, double nameplate_w_per_node,
+    double alpha = 0.001);
+
+/// Per-node power cap such that (in a normal fleet with the given moments)
+/// only `throttle_fraction` of nodes exceed it under the measured load:
+/// cap = mu + z_{1 - throttle_fraction} * sigma.
+[[nodiscard]] double node_cap_for_throttle_fraction(double mean_w, double sd_w,
+                                                    double throttle_fraction);
+
+/// Expected number of throttling nodes in an N-node fleet under a cap
+/// (normal model).
+[[nodiscard]] double expected_throttled_nodes(double mean_w, double sd_w,
+                                              double cap_w, std::size_t nodes);
+
+}  // namespace pv

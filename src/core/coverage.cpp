@@ -1,0 +1,102 @@
+#include "core/coverage.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "core/sample_size.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+std::vector<CoveragePoint> coverage_study(std::span<const double> pilot,
+                                          const CoverageConfig& config,
+                                          ThreadPool* pool) {
+  PV_EXPECTS(pilot.size() >= 2, "pilot sample too small");
+  PV_EXPECTS(config.full_system_nodes >= 2, "simulated machine too small");
+  PV_EXPECTS(!config.sample_sizes.empty(), "no sample sizes requested");
+  PV_EXPECTS(!config.confidence_levels.empty(), "no confidence levels");
+  PV_EXPECTS(config.simulations >= 100, "too few simulations to estimate coverage");
+  for (std::size_t n : config.sample_sizes) {
+    PV_EXPECTS(n >= 2 && n <= config.full_system_nodes,
+               "sample sizes must satisfy 2 <= n <= N");
+  }
+  for (double level : config.confidence_levels) {
+    PV_EXPECTS(level > 0.0 && level < 1.0, "levels must lie in (0,1)");
+  }
+
+  const std::size_t n_sizes = config.sample_sizes.size();
+  const std::size_t n_levels = config.confidence_levels.size();
+  const std::size_t big_n = config.full_system_nodes;
+
+  // Precompute the t critical values: quantile evaluation is the only
+  // expensive special-function call and it is loop-invariant.
+  std::vector<double> t_crit(n_sizes * n_levels);
+  for (std::size_t si = 0; si < n_sizes; ++si) {
+    const double nu = static_cast<double>(config.sample_sizes[si] - 1);
+    for (std::size_t li = 0; li < n_levels; ++li) {
+      t_crit[si * n_levels + li] =
+          t_critical(1.0 - config.confidence_levels[li], nu);
+    }
+  }
+
+  std::vector<std::atomic<std::size_t>> hits(n_sizes * n_levels);
+  for (auto& h : hits) h.store(0);
+
+  parallel_for(
+      pool, config.simulations,
+      [&](std::size_t sim) {
+        Rng rng(config.seed, /*stream=*/sim);
+        // Step 1: simulate the complete machine; track its true mean.
+        std::vector<double> machine(big_n);
+        double total = 0.0;
+        for (auto& v : machine) {
+          v = pilot[rng.uniform_index(pilot.size())];
+          total += v;
+        }
+        const double true_mean = total / static_cast<double>(big_n);
+
+        for (std::size_t si = 0; si < n_sizes; ++si) {
+          const std::size_t n = config.sample_sizes[si];
+          // Step 2: sample n nodes without replacement via a partial
+          // Fisher-Yates over the machine itself (restored afterwards is
+          // unnecessary — order does not matter for later draws of this
+          // same simulation because each si re-samples fresh positions).
+          RunningStats stats;
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t j =
+                i + rng.uniform_index(big_n - i);
+            std::swap(machine[i], machine[j]);
+            stats.add(machine[i]);
+          }
+          const double mean = stats.mean();
+          const double sd = stats.count() >= 2 ? stats.stddev() : 0.0;
+          const double se = sd / std::sqrt(static_cast<double>(n));
+          // Steps 3-4: Equation 1 intervals at each level.
+          for (std::size_t li = 0; li < n_levels; ++li) {
+            const double half = t_crit[si * n_levels + li] * se;
+            if (true_mean >= mean - half && true_mean <= mean + half) {
+              hits[si * n_levels + li].fetch_add(1,
+                                                 std::memory_order_relaxed);
+            }
+          }
+        }
+      },
+      /*grain=*/64);
+
+  std::vector<CoveragePoint> out;
+  out.reserve(n_sizes * n_levels);
+  for (std::size_t si = 0; si < n_sizes; ++si) {
+    for (std::size_t li = 0; li < n_levels; ++li) {
+      out.push_back(
+          {config.sample_sizes[si], config.confidence_levels[li],
+           static_cast<double>(hits[si * n_levels + li].load()) /
+               static_cast<double>(config.simulations)});
+    }
+  }
+  return out;
+}
+
+}  // namespace pv

@@ -1,0 +1,135 @@
+#include "core/gaming.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+#include "util/mathx.hpp"
+
+namespace pv {
+
+WindowGamingResult analyze_window_gaming(const PowerTrace& core_trace,
+                                         const RunPhases& run) {
+  WindowGamingResult result;
+  result.full_core_avg = core_trace.mean_power(run.core_window());
+  const TimeWindow bounds = run.middle_80();
+  const Seconds width = run.level1_min_duration();
+  result.best_window = min_average_window(core_trace, bounds, width);
+  result.worst_window = max_average_window(core_trace, bounds, width);
+  result.best_reduction =
+      1.0 - result.best_window.mean / result.full_core_avg;
+  result.spread = (result.worst_window.mean - result.best_window.mean) /
+                  result.full_core_avg;
+  return result;
+}
+
+Volts min_stable_voltage(const GpuModel& gpu, Hertz f) {
+  PV_EXPECTS(f.value() > 0.0, "frequency must be positive");
+  const double f_rel = f / gpu.spec().reference.frequency;
+  PV_EXPECTS(f_rel <= 1.3, "frequency beyond the ASIC's validated range");
+  const double scaled = gpu.default_voltage().value() * (0.55 + 0.45 * f_rel);
+  return Volts{std::max(scaled, gpu.spec().min_voltage_v)};
+}
+
+DvfsSearchResult dvfs_search(const NodeInstance& node, Hertz f_lo, Hertz f_hi,
+                             Hertz f_step) {
+  PV_EXPECTS(!node.gpus().empty(), "DVFS search targets GPU nodes");
+  PV_EXPECTS(f_lo.value() > 0.0 && f_hi.value() >= f_lo.value(),
+             "invalid frequency range");
+  PV_EXPECTS(f_step.value() > 0.0, "frequency step must be positive");
+
+  DvfsSearchResult result;
+  result.default_gflops_per_watt =
+      node.hpl_gflops_per_watt(NodeSettings::defaults());
+
+  for (double f = f_lo.value(); f <= f_hi.value() + 1e-6;
+       f += f_step.value()) {
+    // The node-wide voltage must be stable on every board.
+    double v_need = 0.0;
+    for (const auto& gpu : node.gpus()) {
+      v_need = std::max(v_need,
+                        min_stable_voltage(gpu, Hertz{f}).value());
+    }
+    NodeSettings s;
+    s.gpu_mode = NodeSettings::GpuMode::kFixed;
+    s.gpu_fixed_op = {Hertz{f}, Volts{v_need}};
+    s.fan_policy = NodeSettings::defaults().fan_policy;
+    const double eff = node.hpl_gflops_per_watt(s);
+    if (eff > result.best_gflops_per_watt) {
+      result.best_gflops_per_watt = eff;
+      result.best_op = s.gpu_fixed_op;
+    }
+  }
+  result.gain = result.best_gflops_per_watt / result.default_gflops_per_watt -
+                1.0;
+  return result;
+}
+
+namespace {
+
+std::vector<std::size_t> lowest_vid_indices(
+    std::span<const NodeInstance> fleet, std::size_t k) {
+  PV_EXPECTS(k >= 1 && k <= fleet.size(), "invalid screening count");
+  std::vector<std::size_t> idx(fleet.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return fleet[a].vid_bin() < fleet[b].vid_bin();
+  });
+  idx.resize(k);
+  return idx;
+}
+
+VidScreeningResult screening_bias(std::span<const double> metric,
+                                  std::span<const std::size_t> screened) {
+  VidScreeningResult r;
+  r.fleet_mean = mean_of(metric);
+  double acc = 0.0;
+  for (std::size_t i : screened) acc += metric[i];
+  r.screened_mean = acc / static_cast<double>(screened.size());
+  r.bias = (r.screened_mean - r.fleet_mean) / r.fleet_mean;
+  return r;
+}
+
+}  // namespace
+
+VidScreeningResult vid_screening_power_bias(std::span<const NodeInstance> fleet,
+                                            const NodeSettings& settings,
+                                            std::size_t k, double activity) {
+  const auto powers = fleet_dc_powers(fleet, activity, settings);
+  return screening_bias(powers, lowest_vid_indices(fleet, k));
+}
+
+VidScreeningResult vid_screening_efficiency_bias(
+    std::span<const NodeInstance> fleet, const NodeSettings& settings,
+    std::size_t k) {
+  const auto effs = fleet_efficiencies(fleet, settings);
+  return screening_bias(effs, lowest_vid_indices(fleet, k));
+}
+
+FanPolicyImpact fan_policy_impact(std::span<const NodeInstance> fleet,
+                                  const NodeSettings& base_settings,
+                                  double pinned_speed, double activity) {
+  PV_EXPECTS(!fleet.empty(), "fleet must be non-empty");
+  NodeSettings auto_settings = base_settings;
+  auto_settings.fan_policy = FanPolicy::automatic();
+  NodeSettings pinned_settings = base_settings;
+  pinned_settings.fan_policy = FanPolicy::pinned(pinned_speed);
+
+  FanPolicyImpact impact;
+  RunningStats p_auto, p_pinned, f_auto, f_pinned;
+  for (const auto& node : fleet) {
+    p_auto.add(node.dc_power(activity, auto_settings).value());
+    p_pinned.add(node.dc_power(activity, pinned_settings).value());
+    f_auto.add(node.thermal_state(activity, auto_settings).fan_power_w.value());
+    f_pinned.add(
+        node.thermal_state(activity, pinned_settings).fan_power_w.value());
+  }
+  impact.cv_auto = p_auto.cv();
+  impact.cv_pinned = p_pinned.cv();
+  impact.mean_fan_power_auto_w = f_auto.mean();
+  impact.mean_fan_power_pinned_w = f_pinned.mean();
+  return impact;
+}
+
+}  // namespace pv

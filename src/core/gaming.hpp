@@ -1,0 +1,99 @@
+#pragma once
+// Quantifying the ways a submission can be (or was) gamed, and the §5
+// mitigations:
+//   * window gaming — placing the v1.2 Level 1 window over the lowest
+//     stretch of the run (TSUBAME-KFC −10.9%, L-CSC −23.9%);
+//   * DVFS tuning — legal, but interacts with partial windows;
+//   * VID screening — measuring only low-VID nodes biases the result;
+//   * fan pinning — removes the dominant node-variability channel.
+
+#include <span>
+
+#include "sim/fleet.hpp"
+#include "trace/segment.hpp"
+#include "trace/window_select.hpp"
+
+namespace pv {
+
+// --------------------------------------------------------------------------
+// Window gaming (§3)
+
+/// Outcome of sweeping every legal v1.2 Level 1 window over a run.
+struct WindowGamingResult {
+  Watts full_core_avg{0.0};   ///< honest: whole-core-phase average
+  WindowAverage best_window;  ///< lowest-average legal window
+  WindowAverage worst_window; ///< highest-average legal window
+  /// Fractional reduction the best window yields: 1 - best/full.
+  double best_reduction = 0.0;
+  /// Full spread between extreme legal windows: (worst - best)/full.
+  double spread = 0.0;
+};
+
+/// Sweeps the minimum-duration Level 1 window across the legal middle-80%
+/// region of `core_trace` (which must cover the core phase of `run`).
+[[nodiscard]] WindowGamingResult analyze_window_gaming(
+    const PowerTrace& core_trace, const RunPhases& run);
+
+// --------------------------------------------------------------------------
+// DVFS tuning (§5)
+
+/// Minimum stable GPU voltage at frequency f for a specific ASIC: the
+/// fused VID voltage scaled down as frequency drops, clamped to the
+/// process's minimum operating voltage.  Linear model
+/// V_min(f) = max(V_floor, V_vid * (0.55 + 0.45 f / f_ref)); at the L-CSC
+/// numbers this lands a mid-VID ASIC at ~1.02 V for 774 MHz, matching [16],
+/// and the floor is what pins the efficiency optimum near 774 MHz.
+[[nodiscard]] Volts min_stable_voltage(const GpuModel& gpu, Hertz f);
+
+/// Result of an exhaustive frequency/voltage search on one node.
+struct DvfsSearchResult {
+  OperatingPoint best_op;
+  double best_gflops_per_watt = 0.0;
+  double default_gflops_per_watt = 0.0;
+  /// Fractional efficiency gain over the default operating point.
+  double gain = 0.0;
+};
+
+/// Searches frequencies [f_lo, f_hi] in steps of f_step; at each
+/// frequency, the node-wide voltage is the smallest that is stable on
+/// *every* GPU of the node (boards in a node share a programmed setting).
+[[nodiscard]] DvfsSearchResult dvfs_search(const NodeInstance& node,
+                                           Hertz f_lo, Hertz f_hi,
+                                           Hertz f_step);
+
+// --------------------------------------------------------------------------
+// VID screening (§5)
+
+/// Bias obtained by metering only the k lowest-VID nodes.
+struct VidScreeningResult {
+  double fleet_mean = 0.0;     ///< fleet-wide mean of the metric
+  double screened_mean = 0.0;  ///< mean over the k lowest-VID nodes
+  double bias = 0.0;           ///< (screened - fleet) / fleet
+};
+
+/// Screening bias on node *power* (lower is "better" for a submission).
+[[nodiscard]] VidScreeningResult vid_screening_power_bias(
+    std::span<const NodeInstance> fleet, const NodeSettings& settings,
+    std::size_t k, double activity = 1.0);
+
+/// Screening bias on node *efficiency* (higher is better).
+[[nodiscard]] VidScreeningResult vid_screening_efficiency_bias(
+    std::span<const NodeInstance> fleet, const NodeSettings& settings,
+    std::size_t k);
+
+// --------------------------------------------------------------------------
+// Fan policy (§5)
+
+/// Fleet power cv under automatic vs pinned fans, all else equal.
+struct FanPolicyImpact {
+  double cv_auto = 0.0;
+  double cv_pinned = 0.0;
+  double mean_fan_power_auto_w = 0.0;
+  double mean_fan_power_pinned_w = 0.0;
+};
+
+[[nodiscard]] FanPolicyImpact fan_policy_impact(
+    std::span<const NodeInstance> fleet, const NodeSettings& base_settings,
+    double pinned_speed, double activity = 1.0);
+
+}  // namespace pv

@@ -1,0 +1,69 @@
+#include "core/list_quality.hpp"
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+double ListQualityBreakdown::measured_fraction() const {
+  PV_EXPECTS(total > 0, "empty list");
+  return static_cast<double>(total - derived) / static_cast<double>(total);
+}
+
+double ListQualityBreakdown::level1_share_of_measured() const {
+  const std::size_t measured = level1 + level2 + level3;
+  PV_EXPECTS(measured > 0, "no measured entries");
+  return static_cast<double>(level1) / static_cast<double>(measured);
+}
+
+ListQualityBreakdown summarize_quality(
+    const std::vector<Submission>& entries) {
+  ListQualityBreakdown b;
+  b.total = entries.size();
+  for (const Submission& s : entries) {
+    if (s.provenance == PowerProvenance::kDerived) {
+      ++b.derived;
+      continue;
+    }
+    switch (s.level) {
+      case Level::kL1: ++b.level1; break;
+      case Level::kL2: ++b.level2; break;
+      case Level::kL3: ++b.level3; break;
+    }
+  }
+  return b;
+}
+
+ListQualityBreakdown november_2014_green500() {
+  ListQualityBreakdown b;
+  b.total = 267;
+  b.derived = 233;
+  b.level1 = 28;
+  // "only 6 used a higher measurement level" — split unknown; record all
+  // six at Level 2 (the paper does not separate them).
+  b.level2 = 6;
+  b.level3 = 0;
+  return b;
+}
+
+double expected_list_uncertainty(const ListQualityBreakdown& mix,
+                                 Revision level1_rules,
+                                 double derived_uncertainty) {
+  PV_EXPECTS(mix.total > 0, "empty list");
+  PV_EXPECTS(derived_uncertainty >= 0.0 && derived_uncertainty < 1.0,
+             "derived uncertainty in [0,1)");
+  // Typical relative uncertainties per class, from the paper's findings:
+  // v1.2 Level 1 carries the ~20% timing exposure plus sampling error;
+  // under the 2015 rules it collapses to the percent level.  L2/L3 are
+  // full-core-phase by construction.
+  const double l1 = level1_rules == Revision::kV1_2 ? 0.20 : 0.02;
+  const double l2 = 0.015;
+  const double l3 = 0.005;
+  const double total = static_cast<double>(mix.total);
+  return (static_cast<double>(mix.derived) * derived_uncertainty +
+          static_cast<double>(mix.level1) * l1 +
+          static_cast<double>(mix.level2) * l2 +
+          static_cast<double>(mix.level3) * l3) /
+         total;
+}
+
+}  // namespace pv

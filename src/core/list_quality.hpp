@@ -1,0 +1,49 @@
+#pragma once
+// Measurement-quality composition of a ranked list.
+//
+// §1: of the 267 submissions on the November 2014 Green500 list, 233 were
+// derived from vendor data, 28 used Level 1 and only 6 used a higher
+// level — which is why Level 1's accuracy "is extremely important to the
+// value of the data collected".  This module summarizes a list's quality
+// mix and weights the headline accuracy story by it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/submission.hpp"
+
+namespace pv {
+
+/// Counts of entries per provenance/level class.
+struct ListQualityBreakdown {
+  std::size_t total = 0;
+  std::size_t derived = 0;
+  std::size_t level1 = 0;
+  std::size_t level2 = 0;
+  std::size_t level3 = 0;
+
+  /// Fraction of entries whose power is an actual measurement.
+  [[nodiscard]] double measured_fraction() const;
+  /// Fraction of *measured* entries that are Level 1 (the population whose
+  /// accuracy the paper's rules fix).
+  [[nodiscard]] double level1_share_of_measured() const;
+};
+
+/// Tallies a list.
+[[nodiscard]] ListQualityBreakdown summarize_quality(
+    const std::vector<Submission>& entries);
+
+/// The November 2014 Green500 composition the paper cites.
+[[nodiscard]] ListQualityBreakdown november_2014_green500();
+
+/// A rough expected-accuracy figure for the list: each class contributes
+/// its typical relative uncertainty (derived: `derived_uncertainty`,
+/// defaults to 15%; L1 under the given revision: the window exposure or
+/// the statistical CI; L2/L3: percent-level).  Returns the entry-weighted
+/// mean uncertainty.
+[[nodiscard]] double expected_list_uncertainty(
+    const ListQualityBreakdown& mix, Revision level1_rules,
+    double derived_uncertainty = 0.15);
+
+}  // namespace pv

@@ -1,0 +1,207 @@
+#include "core/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "stats/sampling.hpp"
+#include "util/expects.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+const char* to_string(TimingStrategy s) {
+  switch (s) {
+    case TimingStrategy::kContinuous: return "continuous window";
+    case TimingStrategy::kTenSpotAverages: return "ten spot averages";
+  }
+  return "unknown";
+}
+
+const char* to_string(ConversionCorrection c) {
+  switch (c) {
+    case ConversionCorrection::kNone: return "none";
+    case ConversionCorrection::kVendorNominal: return "vendor nominal";
+    case ConversionCorrection::kMeasuredCurve: return "measured PSU curve";
+  }
+  return "unknown";
+}
+
+const char* to_string(SubsetStrategy s) {
+  switch (s) {
+    case SubsetStrategy::kRandom: return "random";
+    case SubsetStrategy::kFirstRack: return "first-rack";
+    case SubsetStrategy::kLowVid: return "low-VID screened";
+    case SubsetStrategy::kLowPower: return "lowest-power screened";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<std::size_t> pick_subset(const PlanInputs& in, std::size_t k,
+                                     SubsetStrategy strategy, Rng& rng) {
+  const std::size_t n = in.total_nodes;
+  switch (strategy) {
+    case SubsetStrategy::kRandom:
+      return sample_without_replacement(rng, n, k);
+    case SubsetStrategy::kFirstRack: {
+      std::vector<std::size_t> idx(k);
+      std::iota(idx.begin(), idx.end(), std::size_t{0});
+      return idx;
+    }
+    case SubsetStrategy::kLowVid: {
+      PV_EXPECTS(in.vid_bins.size() == n,
+                 "low-VID strategy needs per-node VID bins");
+      std::vector<std::size_t> idx(n);
+      std::iota(idx.begin(), idx.end(), std::size_t{0});
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return in.vid_bins[a] < in.vid_bins[b];
+                       });
+      idx.resize(k);
+      return idx;
+    }
+    case SubsetStrategy::kLowPower: {
+      PV_EXPECTS(in.node_powers.size() == n,
+                 "low-power strategy needs per-node powers");
+      std::vector<std::size_t> idx(n);
+      std::iota(idx.begin(), idx.end(), std::size_t{0});
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return in.node_powers[a] < in.node_powers[b];
+                       });
+      idx.resize(k);
+      return idx;
+    }
+  }
+  PV_ENSURES(false, "unhandled subset strategy");
+  return {};
+}
+
+}  // namespace
+
+MeasurementPlan plan_measurement(const MethodologySpec& spec,
+                                 const PlanInputs& in, Rng& rng,
+                                 SubsetStrategy strategy,
+                                 double window_position) {
+  PV_EXPECTS(in.total_nodes > 0, "system must have nodes");
+  PV_EXPECTS(in.run.core.value() > 0.0, "run must have a core phase");
+
+  MeasurementPlan plan;
+  plan.spec = spec;
+  const std::size_t k =
+      spec.required_node_count(in.total_nodes, in.approx_node_power);
+  plan.node_indices = pick_subset(in, k, strategy, rng);
+  std::sort(plan.node_indices.begin(), plan.node_indices.end());
+
+  if (spec.timing.full_core_phase) {
+    plan.window = in.run.core_window();
+  } else {
+    plan.window = in.run.level1_window(window_position);
+  }
+  plan.meter_mode = spec.timing.integrated_energy_required
+                        ? MeterMode::kIntegrated
+                        : MeterMode::kSampled;
+  plan.meter_interval = spec.timing.max_reporting_interval;
+  plan.point = MeasurementPoint::kNodeAc;
+  // Level 2's aspect-1 wording is "ten equally spaced power averaged
+  // measurements spanning the full run"; emulate that sampling pattern.
+  plan.timing = spec.level == Level::kL2 ? TimingStrategy::kTenSpotAverages
+                                         : TimingStrategy::kContinuous;
+  return plan;
+}
+
+std::vector<ValidationIssue> validate_plan(const MeasurementPlan& plan,
+                                           const PlanInputs& in) {
+  std::vector<ValidationIssue> issues;
+  const MethodologySpec& spec = plan.spec;
+
+  // Aspect 2: machine fraction.
+  const std::size_t need =
+      spec.required_node_count(in.total_nodes, in.approx_node_power);
+  if (plan.node_count() < need) {
+    std::ostringstream os;
+    os << "plan meters " << plan.node_count() << " nodes but the spec needs "
+       << need << " of " << in.total_nodes;
+    issues.push_back({"fraction", os.str()});
+  }
+  const double measured_power =
+      in.approx_node_power.value() * static_cast<double>(plan.node_count());
+  if (!spec.fraction.whole_system &&
+      measured_power < spec.fraction.min_measured_power.value()) {
+    std::ostringstream os;
+    os << "measured power ~" << to_string(Watts{measured_power})
+       << " is below the " << to_string(spec.fraction.min_measured_power)
+       << " floor";
+    issues.push_back({"fraction", os.str()});
+  }
+  for (std::size_t i : plan.node_indices) {
+    if (i >= in.total_nodes) {
+      issues.push_back({"fraction", "plan references a nonexistent node"});
+      break;
+    }
+  }
+
+  // Aspect 1: timing.
+  const Seconds need_dur = spec.required_window_duration(in.run);
+  if (plan.window.duration().value() < need_dur.value() - 1e-6) {
+    std::ostringstream os;
+    os << "window of " << to_string(plan.window.duration())
+       << " is shorter than the required " << to_string(need_dur);
+    issues.push_back({"timing", os.str()});
+  }
+  if (spec.timing.full_core_phase) {
+    const TimeWindow core = in.run.core_window();
+    if (plan.window.begin.value() > core.begin.value() + 1e-6 ||
+        plan.window.end.value() < core.end.value() - 1e-6) {
+      issues.push_back(
+          {"timing", "window does not cover the entire core phase"});
+    }
+  } else {
+    const TimeWindow allowed = in.run.middle_80();
+    if (plan.window.begin.value() < allowed.begin.value() - 1e-6 ||
+        plan.window.end.value() > allowed.end.value() + 1e-6) {
+      issues.push_back(
+          {"timing",
+           "window leaves the middle 80% of the core phase (v1.2 L1 rule)"});
+    }
+  }
+  if (plan.meter_interval.value() >
+      spec.timing.max_reporting_interval.value() + 1e-9) {
+    issues.push_back({"timing", "meter reporting interval too coarse"});
+  }
+  if (spec.timing.integrated_energy_required &&
+      plan.meter_mode != MeterMode::kIntegrated) {
+    issues.push_back(
+        {"timing", "Level 3 requires continuously integrated energy"});
+  }
+
+  // Aspect 4: point of measurement.  Node-DC taps are only legal when a
+  // conversion-loss correction is applied — and Levels 2/3 do not accept
+  // the vendor-nominal shortcut.
+  if (plan.point == MeasurementPoint::kNodeDc) {
+    if (plan.conversion == ConversionCorrection::kNone) {
+      issues.push_back(
+          {"conversion",
+           "DC-side tap requires a conversion-loss correction per aspect 4"});
+    } else if (plan.conversion == ConversionCorrection::kVendorNominal &&
+               spec.conversion != ConversionRule::kUpstreamOrVendorData) {
+      issues.push_back(
+          {"conversion",
+           "vendor-nominal conversion data is only acceptable at Level 1"});
+    }
+  }
+
+  // Aspect 1: spot-average plans must fit their ten spots in the window.
+  if (plan.timing == TimingStrategy::kTenSpotAverages &&
+      plan.spot_duration.value() * 10.0 >
+          plan.window.duration().value() + 1e-9) {
+    issues.push_back(
+        {"timing", "ten spot averages do not fit in the plan window"});
+  }
+  return issues;
+}
+
+}  // namespace pv

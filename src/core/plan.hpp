@@ -1,0 +1,98 @@
+#pragma once
+// Measurement planning: turning a MethodologySpec into a concrete plan for
+// one system and one run — which nodes, which window, which meters — and
+// validating a plan against the rules.
+//
+// The subset strategies beyond kRandom exist to *study bias*, not to use:
+// kLowVid implements the §5 observation that screening for low-VID
+// processors yields a favorably biased result, and kFirstRack models the
+// lazy choice of metering whatever rack the PDU meter is already on.
+
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "meter/hierarchy.hpp"
+#include "meter/meter.hpp"
+#include "stats/rng.hpp"
+#include "trace/segment.hpp"
+
+namespace pv {
+
+/// How the measured node subset is chosen.
+enum class SubsetStrategy {
+  kRandom,     ///< uniform without replacement — what the statistics assume
+  kFirstRack,  ///< the first k nodes in rack order
+  kLowVid,     ///< the k nodes with the lowest GPU VIDs (biased, §5)
+  kLowPower,   ///< adversarial: the k lowest-power nodes
+};
+
+[[nodiscard]] const char* to_string(SubsetStrategy s);
+
+/// How the measurement covers its window in time (aspect 1).
+enum class TimingStrategy {
+  kContinuous,      ///< meter the whole window (L1 v1.2 partial, or full core)
+  kTenSpotAverages, ///< L2: ten equally spaced averaged spot measurements
+};
+
+[[nodiscard]] const char* to_string(TimingStrategy s);
+
+/// How a DC-side tap is corrected back to AC (aspect 4).
+enum class ConversionCorrection {
+  kNone,           ///< AC-side tap; nothing to correct
+  kVendorNominal,  ///< L1: a single manufacturer-nominal efficiency number
+  kMeasuredCurve,  ///< L2/L3: the PSU's (offline-)measured load curve
+};
+
+[[nodiscard]] const char* to_string(ConversionCorrection c);
+
+/// A concrete, executable measurement plan.
+struct MeasurementPlan {
+  MethodologySpec spec;
+  std::vector<std::size_t> node_indices;  ///< which nodes are metered
+  TimeWindow window;                      ///< power-measurement window
+  MeterMode meter_mode = MeterMode::kSampled;
+  Seconds meter_interval{1.0};
+  MeasurementPoint point = MeasurementPoint::kNodeAc;
+  TimingStrategy timing = TimingStrategy::kContinuous;
+  /// Duration of each L2 spot average (>= one meter interval).
+  Seconds spot_duration{60.0};
+  /// Correction applied when `point` is a DC-side tap.
+  ConversionCorrection conversion = ConversionCorrection::kNone;
+  /// Nominal efficiency used by kVendorNominal.
+  double vendor_nominal_efficiency = 0.94;
+
+  [[nodiscard]] std::size_t node_count() const { return node_indices.size(); }
+};
+
+/// Inputs the planner needs about the system and run.
+struct PlanInputs {
+  std::size_t total_nodes = 0;
+  Watts approx_node_power{0.0};  ///< for the absolute power floor
+  RunPhases run;
+  /// Node ordering keys for the biased strategies (optional): VID bin per
+  /// node for kLowVid, mean power per node for kLowPower.
+  std::vector<std::size_t> vid_bins;
+  std::vector<double> node_powers;
+};
+
+/// Builds a spec-compliant plan.  `window_position` in [0,1] places the
+/// Level 1 (v1.2) window inside the legal middle-80% region; it is ignored
+/// when the spec requires the full core phase.
+[[nodiscard]] MeasurementPlan plan_measurement(
+    const MethodologySpec& spec, const PlanInputs& in, Rng& rng,
+    SubsetStrategy strategy = SubsetStrategy::kRandom,
+    double window_position = 0.5);
+
+/// A single rule violation found by the validator.
+struct ValidationIssue {
+  std::string rule;  ///< which aspect ("timing", "fraction", ...)
+  std::string what;  ///< human-readable description
+};
+
+/// Checks a plan against its own spec for the given system/run.
+/// Empty result == compliant.
+[[nodiscard]] std::vector<ValidationIssue> validate_plan(
+    const MeasurementPlan& plan, const PlanInputs& in);
+
+}  // namespace pv

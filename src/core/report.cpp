@@ -1,0 +1,55 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+#include "util/table.hpp"
+
+namespace pv {
+
+std::string accuracy_report(const MeasurementPlan& plan,
+                            const CampaignResult& result) {
+  std::ostringstream os;
+  os << "=== Power measurement accuracy assessment";
+  if (!result.system_name.empty()) os << ": " << result.system_name;
+  os << " ===\n";
+  os << plan.spec.describe();
+  os << "plan: " << result.nodes_measured << " nodes metered at "
+     << to_string(plan.point) << ", window "
+     << to_string(result.window_duration) << " starting at t="
+     << to_string(plan.window.begin) << "\n\n";
+
+  os << "submitted power:   " << to_string(result.submitted_power) << '\n';
+  os << "window energy:     " << to_string(result.submitted_energy) << '\n';
+
+  if (!result.node_mean_powers_w.empty()) {
+    const Summary s = summarize(result.node_mean_powers_w);
+    os << "per-node mean:     " << to_string(Watts{s.mean}) << "  (sd "
+       << to_string(Watts{s.stddev}) << ", cv " << fmt_percent(s.cv, 2)
+       << ")\n";
+  }
+  if (result.relative_halfwidth > 0.0) {
+    os << "95% CI (Eq. 1):    [" << to_string(Watts{result.node_mean_ci.lo})
+       << ", " << to_string(Watts{result.node_mean_ci.hi})
+       << "] per node\n";
+    os << "achieved accuracy: +/-"
+       << fmt_percent(result.relative_halfwidth, 2) << " at 95% confidence\n";
+  } else {
+    os << "achieved accuracy: (not assessable: fewer than 2 nodes metered)\n";
+  }
+  os << "ground truth:      " << to_string(result.true_power)
+     << "  -> actual error " << fmt_percent(result.relative_error, 2)
+     << '\n';
+  return os.str();
+}
+
+std::string render_issues(const std::vector<ValidationIssue>& issues) {
+  if (issues.empty()) return "(compliant)\n";
+  std::ostringstream os;
+  for (const auto& issue : issues) {
+    os << "  [" << issue.rule << "] " << issue.what << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pv

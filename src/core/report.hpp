@@ -1,0 +1,24 @@
+#pragma once
+// Accuracy-assessment reports — the paper's §6 asks every submission to
+// state how accurate its measurement is.  This module renders a campaign
+// result into the assessment a reviewer (or the Green500 vetting process)
+// would read.
+
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/plan.hpp"
+
+namespace pv {
+
+/// Renders the full assessment: spec, plan shape, extrapolation, Equation 1
+/// confidence interval, achieved relative accuracy, and (simulation only)
+/// the true error.
+[[nodiscard]] std::string accuracy_report(const MeasurementPlan& plan,
+                                          const CampaignResult& result);
+
+/// Renders validator findings as a bulleted block ("(compliant)" if none).
+[[nodiscard]] std::string render_issues(
+    const std::vector<ValidationIssue>& issues);
+
+}  // namespace pv

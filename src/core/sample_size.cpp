@@ -1,0 +1,137 @@
+#include "core/sample_size.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+void check_alpha(double alpha) {
+  PV_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+}
+
+}  // namespace
+
+Interval t_confidence_interval(double mean, double sd, std::size_t n,
+                               double alpha) {
+  check_alpha(alpha);
+  PV_EXPECTS(n >= 2, "a t interval needs n >= 2");
+  PV_EXPECTS(sd >= 0.0, "sd must be non-negative");
+  const double half = t_critical(alpha, static_cast<double>(n - 1)) * sd /
+                      std::sqrt(static_cast<double>(n));
+  return {mean - half, mean + half};
+}
+
+Interval z_confidence_interval(double mean, double sd, std::size_t n,
+                               double alpha) {
+  check_alpha(alpha);
+  PV_EXPECTS(n >= 1, "a z interval needs n >= 1");
+  PV_EXPECTS(sd >= 0.0, "sd must be non-negative");
+  const double half =
+      z_critical(alpha) * sd / std::sqrt(static_cast<double>(n));
+  return {mean - half, mean + half};
+}
+
+Interval t_confidence_interval(std::span<const double> sample, double alpha) {
+  PV_EXPECTS(sample.size() >= 2, "a t interval needs n >= 2");
+  const Summary s = summarize(sample);
+  return t_confidence_interval(s.mean, s.stddev, s.count, alpha);
+}
+
+double required_sample_size_infinite(double alpha, double lambda, double cv) {
+  check_alpha(alpha);
+  PV_EXPECTS(lambda > 0.0, "accuracy lambda must be positive");
+  PV_EXPECTS(cv > 0.0, "cv must be positive");
+  const double q = z_critical(alpha) / lambda * cv;
+  return q * q;
+}
+
+std::size_t required_sample_size(double alpha, double lambda, double cv,
+                                 std::size_t total_nodes) {
+  PV_EXPECTS(total_nodes >= 2, "system must have at least two nodes");
+  const double n0 = required_sample_size_infinite(alpha, lambda, cv);
+  const double n_real =
+      n0 * static_cast<double>(total_nodes) /
+      (n0 + static_cast<double>(total_nodes) - 1.0);
+  const auto n = static_cast<std::size_t>(std::ceil(n_real - 1e-12));
+  return std::clamp<std::size_t>(n, 2, total_nodes);
+}
+
+double achievable_accuracy(double alpha, double cv, std::size_t n,
+                           std::size_t total_nodes, bool use_t, bool fpc) {
+  check_alpha(alpha);
+  PV_EXPECTS(cv > 0.0, "cv must be positive");
+  PV_EXPECTS(n >= 2 && n <= total_nodes,
+             "need 2 <= n <= N to state an accuracy");
+  const double quant = use_t
+                           ? t_critical(alpha, static_cast<double>(n - 1))
+                           : z_critical(alpha);
+  double lambda = quant * cv / std::sqrt(static_cast<double>(n));
+  if (fpc && total_nodes > 1) {
+    lambda *= std::sqrt(static_cast<double>(total_nodes - n) /
+                        static_cast<double>(total_nodes - 1));
+  }
+  return lambda;
+}
+
+std::size_t rule_1_64(std::size_t total_nodes) {
+  PV_EXPECTS(total_nodes >= 1, "system must have nodes");
+  return (total_nodes + 63) / 64;
+}
+
+std::size_t rule_2015(std::size_t total_nodes) {
+  PV_EXPECTS(total_nodes >= 1, "system must have nodes");
+  const std::size_t ten_percent = (total_nodes + 9) / 10;
+  return std::min(total_nodes, std::max<std::size_t>(16, ten_percent));
+}
+
+double z_vs_t_narrowing(std::size_t n, double alpha) {
+  check_alpha(alpha);
+  PV_EXPECTS(n >= 2, "need n >= 2");
+  const double t = t_critical(alpha, static_cast<double>(n - 1));
+  const double z = z_critical(alpha);
+  return 1.0 - z / t;
+}
+
+PilotRecommendation two_step_pilot(std::span<const double> pilot_sample,
+                                   double alpha, double lambda,
+                                   std::size_t total_nodes) {
+  PV_EXPECTS(pilot_sample.size() >= 2, "pilot needs n >= 2");
+  const Summary s = summarize(pilot_sample);
+  PV_EXPECTS(s.mean > 0.0, "pilot mean power must be positive");
+  PilotRecommendation rec;
+  rec.pilot_mean = s.mean;
+  rec.pilot_sd = s.stddev;
+  rec.pilot_cv = s.cv;
+  PV_EXPECTS(rec.pilot_cv > 0.0,
+             "pilot sample is constant; cannot recommend a size");
+  rec.recommended_n =
+      required_sample_size(alpha, lambda, rec.pilot_cv, total_nodes);
+  return rec;
+}
+
+std::vector<std::vector<std::size_t>> sample_size_table(
+    std::span<const double> lambdas, std::span<const double> cvs,
+    std::size_t total_nodes, double alpha) {
+  PV_EXPECTS(!lambdas.empty() && !cvs.empty(), "table axes must be non-empty");
+  std::vector<std::vector<std::size_t>> table;
+  table.reserve(lambdas.size());
+  for (double lambda : lambdas) {
+    std::vector<std::size_t> row;
+    row.reserve(cvs.size());
+    for (double cv : cvs) {
+      row.push_back(required_sample_size(alpha, lambda, cv, total_nodes));
+    }
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::vector<double> table5_lambdas() { return {0.005, 0.01, 0.015, 0.02}; }
+std::vector<double> table5_cvs() { return {0.02, 0.03, 0.05}; }
+
+}  // namespace pv

@@ -1,0 +1,87 @@
+#pragma once
+// The paper's statistical core (§4): confidence intervals for extrapolated
+// mean node power (Equations 1-2), and the required-sample-size formulas
+// with finite-population correction (Equations 3-5) that became the
+// Green500/Top500 node-count rules.
+//
+// Notation follows the paper: N total nodes, n sampled nodes, mu-hat and
+// sigma-hat the sample mean/sd, alpha the complement of the confidence
+// level, lambda the target relative accuracy.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/bootstrap.hpp"  // Interval
+
+namespace pv {
+
+/// Equation 1: two-sided t confidence interval for the mean,
+/// mu-hat ± t_{n-1,1-alpha/2} * sigma-hat / sqrt(n).  Requires n >= 2.
+[[nodiscard]] Interval t_confidence_interval(double mean, double sd,
+                                             std::size_t n, double alpha);
+
+/// Equation 2: the large-n normal approximation,
+/// mu-hat ± z_{1-alpha/2} * sigma-hat / sqrt(n).
+[[nodiscard]] Interval z_confidence_interval(double mean, double sd,
+                                             std::size_t n, double alpha);
+
+/// Convenience: Equation 1 evaluated on a raw sample.
+[[nodiscard]] Interval t_confidence_interval(std::span<const double> sample,
+                                             double alpha);
+
+/// Equation 4: n0 = (z_{1-alpha/2} / lambda * cv)^2 — the (real-valued)
+/// required sample size for an infinite population.
+[[nodiscard]] double required_sample_size_infinite(double alpha, double lambda,
+                                                   double cv);
+
+/// Equation 5: the two-step rule — n0 from Equation 4, then the finite
+/// population correction n = n0 N / (n0 + N - 1), rounded up.  The result
+/// is clamped to [2, N].
+[[nodiscard]] std::size_t required_sample_size(double alpha, double lambda,
+                                               double cv, std::size_t total_nodes);
+
+/// Inverse question (§4's intro example): with n of N nodes sampled and
+/// node-power cv, the achievable relative accuracy lambda at confidence
+/// 1-alpha.  `use_t` selects the exact t quantile (what the paper's 3.2% /
+/// 0.2% example uses) vs the z approximation; `fpc` applies the finite
+/// population correction factor sqrt((N-n)/(N-1)).
+[[nodiscard]] double achievable_accuracy(double alpha, double cv,
+                                         std::size_t n, std::size_t total_nodes,
+                                         bool use_t = true, bool fpc = false);
+
+/// The pre-2015 Green500 rule: ceil(N / 64) nodes.
+[[nodiscard]] std::size_t rule_1_64(std::size_t total_nodes);
+
+/// The paper's adopted recommendation: max(16, ceil(0.10 * N)), capped at N.
+[[nodiscard]] std::size_t rule_2015(std::size_t total_nodes);
+
+/// How much narrower (fractionally) a z-based CI is than the exact t-based
+/// one at sample size n: 1 - z/t.  The paper: ~9% for n = 15 at 95%.
+[[nodiscard]] double z_vs_t_narrowing(std::size_t n, double alpha);
+
+/// The two-step pilot procedure of §4.2: estimate (mu, sigma) from a small
+/// pilot sample, then recommend the final sample size via Equation 5.
+struct PilotRecommendation {
+  double pilot_mean = 0.0;
+  double pilot_sd = 0.0;
+  double pilot_cv = 0.0;
+  std::size_t recommended_n = 0;
+};
+[[nodiscard]] PilotRecommendation two_step_pilot(
+    std::span<const double> pilot_sample, double alpha, double lambda,
+    std::size_t total_nodes);
+
+/// Table 5: required sample sizes over a (lambda x cv) grid.
+/// Row i corresponds to lambdas[i], column j to cvs[j].
+[[nodiscard]] std::vector<std::vector<std::size_t>> sample_size_table(
+    std::span<const double> lambdas, std::span<const double> cvs,
+    std::size_t total_nodes, double alpha);
+
+/// The paper's published Table 5 axes: lambda in {0.5,1,1.5,2}%,
+/// sigma/mu in {2,3,5}%, N = 10000, alpha = 0.05.
+[[nodiscard]] std::vector<double> table5_lambdas();
+[[nodiscard]] std::vector<double> table5_cvs();
+inline constexpr std::size_t kTable5Nodes = 10000;
+
+}  // namespace pv

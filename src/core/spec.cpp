@@ -1,0 +1,154 @@
+#include "core/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kL1: return "Level 1";
+    case Level::kL2: return "Level 2";
+    case Level::kL3: return "Level 3";
+  }
+  return "unknown";
+}
+
+const char* to_string(Revision rev) {
+  switch (rev) {
+    case Revision::kV1_2: return "v1.2 (pre-2015)";
+    case Revision::kV2015: return "2015 revision (this paper)";
+  }
+  return "unknown";
+}
+
+MethodologySpec MethodologySpec::get(Level level, Revision revision) {
+  MethodologySpec s;
+  s.level = level;
+  s.revision = revision;
+  switch (level) {
+    case Level::kL1:
+      s.timing.full_core_phase = false;
+      s.timing.min_fraction_of_middle80 = 0.2;
+      s.timing.min_duration = minutes(1.0);
+      s.timing.max_reporting_interval = seconds(1.0);
+      s.fraction.min_node_fraction = 1.0 / 64.0;
+      s.fraction.min_measured_power = kilowatts(2.0);
+      s.fraction.min_node_count = 1;
+      s.subsystems = SubsystemRule::kComputeOnly;
+      s.conversion = ConversionRule::kUpstreamOrVendorData;
+      break;
+    case Level::kL2:
+      // Ten equally spaced averaged measurements spanning the full run:
+      // in effect the whole core phase contributes.
+      s.timing.full_core_phase = true;
+      s.timing.max_reporting_interval = seconds(1.0);
+      s.fraction.min_node_fraction = 1.0 / 8.0;
+      s.fraction.min_measured_power = kilowatts(10.0);
+      s.fraction.min_node_count = 1;
+      s.subsystems = SubsystemRule::kMeasuredOrEstimated;
+      s.conversion = ConversionRule::kUpstreamOrOfflineData;
+      break;
+    case Level::kL3:
+      s.timing.full_core_phase = true;
+      s.timing.integrated_energy_required = true;
+      s.timing.max_reporting_interval = seconds(1.0);
+      s.fraction.whole_system = true;
+      s.fraction.min_node_fraction = 1.0;
+      s.fraction.min_measured_power = Watts{0.0};
+      s.subsystems = SubsystemRule::kMeasured;
+      s.conversion = ConversionRule::kUpstreamOrSimultaneous;
+      break;
+  }
+  if (revision == Revision::kV2015 && level != Level::kL3) {
+    // The paper's two rule changes (§6):
+    //  1. the power measurement must cover the entire core phase;
+    //  2. at least max(16 nodes, 10% of the compute nodes) must be metered
+    //     (Level 1; Level 2 keeps its stricter 1/8 fraction).
+    s.timing.full_core_phase = true;
+    if (level == Level::kL1) {
+      s.fraction.min_node_fraction = 0.10;
+      s.fraction.min_node_count = 16;
+    }
+  }
+  return s;
+}
+
+std::size_t MethodologySpec::required_node_count(std::size_t total_nodes,
+                                                 Watts node_power) const {
+  PV_EXPECTS(total_nodes > 0, "system must have nodes");
+  PV_EXPECTS(node_power.value() > 0.0, "node power must be positive");
+  if (fraction.whole_system) return total_nodes;
+  const auto by_fraction = static_cast<std::size_t>(
+      std::ceil(fraction.min_node_fraction * static_cast<double>(total_nodes)));
+  const auto by_power = static_cast<std::size_t>(
+      std::ceil(fraction.min_measured_power.value() / node_power.value()));
+  const std::size_t need =
+      std::max({by_fraction, by_power, fraction.min_node_count});
+  return std::min(need, total_nodes);
+}
+
+Seconds MethodologySpec::required_window_duration(const RunPhases& run) const {
+  PV_EXPECTS(run.core.value() > 0.0, "run has no core phase");
+  if (timing.full_core_phase) return run.core;
+  const double middle = 0.8 * run.core.value();
+  return Seconds{std::max(timing.min_duration.value(),
+                          timing.min_fraction_of_middle80 * middle)};
+}
+
+std::string MethodologySpec::describe() const {
+  std::ostringstream os;
+  os << to_string(level) << " under " << to_string(revision) << ":\n";
+  os << "  1 timing: ";
+  if (timing.integrated_energy_required) {
+    os << "continuously integrated energy across the full run";
+  } else if (timing.full_core_phase) {
+    os << "whole core phase, <= " << to_string(timing.max_reporting_interval)
+       << " reporting interval";
+  } else {
+    os << "longer of " << to_string(timing.min_duration) << " or "
+       << timing.min_fraction_of_middle80 * 100.0
+       << "% of the middle 80% of the core phase";
+  }
+  os << "\n  2 fraction: ";
+  if (fraction.whole_system) {
+    os << "the whole of all included subsystems";
+  } else {
+    os << "greater of " << fraction.min_node_fraction * 100.0
+       << "% of compute nodes, " << to_string(fraction.min_measured_power);
+    if (fraction.min_node_count > 1) {
+      os << ", or " << fraction.min_node_count << " nodes";
+    }
+  }
+  os << "\n  3 subsystems: ";
+  switch (subsystems) {
+    case SubsystemRule::kComputeOnly:
+      os << "compute nodes only";
+      break;
+    case SubsystemRule::kMeasuredOrEstimated:
+      os << "all participating subsystems, measured or estimated";
+      break;
+    case SubsystemRule::kMeasured:
+      os << "all participating subsystems, measured";
+      break;
+  }
+  os << "\n  4 conversion: ";
+  switch (conversion) {
+    case ConversionRule::kUpstreamOrVendorData:
+      os << "upstream of conversion, or vendor-data model";
+      break;
+    case ConversionRule::kUpstreamOrOfflineData:
+      os << "upstream of conversion, or off-line measured model";
+      break;
+    case ConversionRule::kUpstreamOrSimultaneous:
+      os << "upstream of conversion, or loss measured simultaneously";
+      break;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace pv

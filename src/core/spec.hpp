@@ -1,0 +1,95 @@
+#pragma once
+// The EE HPC WG power-measurement methodology specification (Table 1),
+// plus the revision this paper introduced (adopted by the Green500 and
+// Top500 in late 2015).
+//
+// A MethodologySpec is the machine-checkable form of the rules: for each
+// aspect (granularity & timing, machine fraction, subsystems, point of
+// measurement) it carries the quantitative requirement, and it can compute
+// the concrete obligations for a given system (how many nodes, how long a
+// window, which power floor).
+
+#include <cstddef>
+#include <string>
+
+#include "trace/segment.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// The three quality levels of the methodology.
+enum class Level { kL1 = 1, kL2 = 2, kL3 = 3 };
+
+[[nodiscard]] const char* to_string(Level level);
+
+/// Which revision of the rules is in force.
+enum class Revision {
+  kV1_2,   ///< pre-paper rules: 20%-window, 1/64-of-nodes floors
+  kV2015,  ///< this paper's rules: full core phase, max(16, 10% of nodes)
+};
+
+[[nodiscard]] const char* to_string(Revision rev);
+
+/// Aspect 1: measurement timing & granularity requirements.
+struct TimingRequirement {
+  bool full_core_phase = false;  ///< must the window cover the whole core phase?
+  /// When a partial window is allowed (L1/v1.2): minimum fraction of the
+  /// middle-80% region and minimum absolute duration.
+  double min_fraction_of_middle80 = 0.2;
+  Seconds min_duration{60.0};
+  /// Maximum reporting interval of the meter (1 sample/second for L1/L2).
+  Seconds max_reporting_interval{1.0};
+  /// Level 3: continuously integrated energy required.
+  bool integrated_energy_required = false;
+};
+
+/// Aspect 2: machine-fraction requirements.
+struct FractionRequirement {
+  double min_node_fraction = 1.0 / 64.0;  ///< fraction of compute nodes
+  Watts min_measured_power{2000.0};       ///< absolute floor (2 kW for L1)
+  std::size_t min_node_count = 1;         ///< absolute node-count floor
+  bool whole_system = false;              ///< Level 3: everything
+};
+
+/// Aspect 3: subsystem-inclusion requirements.
+enum class SubsystemRule {
+  kComputeOnly,          ///< L1: compute nodes only
+  kMeasuredOrEstimated,  ///< L2: all participating subsystems, may estimate
+  kMeasured,             ///< L3: all participating subsystems, measured
+};
+
+/// Aspect 4: point-of-measurement requirements.
+enum class ConversionRule {
+  kUpstreamOrVendorData,   ///< L1: AC side, or DC corrected w/ vendor data
+  kUpstreamOrOfflineData,  ///< L2: AC side, or DC corrected w/ offline cal.
+  kUpstreamOrSimultaneous, ///< L3: AC side, or loss measured simultaneously
+};
+
+/// The full rule set for one level under one revision.
+struct MethodologySpec {
+  Level level = Level::kL1;
+  Revision revision = Revision::kV1_2;
+  TimingRequirement timing;
+  FractionRequirement fraction;
+  SubsystemRule subsystems = SubsystemRule::kComputeOnly;
+  ConversionRule conversion = ConversionRule::kUpstreamOrVendorData;
+
+  /// The rules as published (Table 1 for v1.2; §6 for the 2015 revision).
+  static MethodologySpec get(Level level, Revision revision);
+
+  /// Minimum number of nodes that must be metered on an N-node system
+  /// whose per-node power is roughly `node_power` (the absolute power
+  /// floor can dominate the fraction rule on low-power nodes).
+  [[nodiscard]] std::size_t required_node_count(std::size_t total_nodes,
+                                                Watts node_power) const;
+
+  /// Minimum measurement window for a run with the given phases.
+  /// For full-core-phase rules this is the core window itself; for v1.2
+  /// Level 1 it is a window of the minimum legal duration.
+  [[nodiscard]] Seconds required_window_duration(const RunPhases& run) const;
+
+  /// One-line human summary of each aspect (for reports and benches).
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace pv

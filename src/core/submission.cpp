@@ -1,0 +1,112 @@
+#include "core/submission.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/expects.hpp"
+#include "util/table.hpp"
+
+namespace pv {
+
+double Submission::mflops_per_watt() const {
+  PV_EXPECTS(power.value() > 0.0, "submission power must be positive");
+  return rmax.value() / 1e6 / power.value();
+}
+
+double Submission::gflops_per_watt() const {
+  return mflops_per_watt() / 1e3;
+}
+
+std::vector<ValidationIssue> validate_submission(const Submission& sub,
+                                                 Watts approx_node_power) {
+  std::vector<ValidationIssue> issues;
+  if (sub.provenance == PowerProvenance::kDerived) {
+    issues.push_back(
+        {"provenance",
+         "power is derived from vendor data, not measured; ranked lists "
+         "accept it but it carries no accuracy guarantee"});
+    return issues;
+  }
+  const MethodologySpec spec = MethodologySpec::get(sub.level, sub.revision);
+
+  const std::size_t need =
+      spec.required_node_count(sub.total_nodes, approx_node_power);
+  if (sub.nodes_measured < need) {
+    std::ostringstream os;
+    os << "measured " << sub.nodes_measured << " nodes; "
+       << to_string(sub.level) << "/" << to_string(sub.revision)
+       << " requires " << need << " of " << sub.total_nodes;
+    issues.push_back({"fraction", os.str()});
+  }
+
+  const RunPhases run{Seconds{0.0}, sub.core_phase_duration, Seconds{0.0}};
+  const Seconds need_dur = spec.required_window_duration(run);
+  if (sub.window_duration.value() < need_dur.value() - 1e-6) {
+    std::ostringstream os;
+    os << "measurement window " << to_string(sub.window_duration)
+       << " shorter than required " << to_string(need_dur);
+    issues.push_back({"timing", os.str()});
+  }
+
+  if (sub.revision == Revision::kV2015 && !sub.reported_accuracy) {
+    issues.push_back({"reporting",
+                      "2015 rules ask submissions to include an accuracy "
+                      "assessment; none was reported"});
+  }
+  return issues;
+}
+
+RankedList::RankedList(std::string name) : name_(std::move(name)) {}
+
+void RankedList::add(Submission sub) {
+  PV_EXPECTS(!sub.system_name.empty(), "submission needs a system name");
+  PV_EXPECTS(sub.power.value() > 0.0, "submission power must be positive");
+  PV_EXPECTS(sub.rmax.value() > 0.0, "submission Rmax must be positive");
+  entries_.push_back(std::move(sub));
+}
+
+std::vector<Submission> RankedList::ranked_by_efficiency() const {
+  std::vector<Submission> sorted = entries_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Submission& a, const Submission& b) {
+                     return a.mflops_per_watt() > b.mflops_per_watt();
+                   });
+  return sorted;
+}
+
+std::vector<Submission> RankedList::ranked_by_performance() const {
+  std::vector<Submission> sorted = entries_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Submission& a, const Submission& b) {
+                     return a.rmax.value() > b.rmax.value();
+                   });
+  return sorted;
+}
+
+std::size_t RankedList::efficiency_rank(const std::string& system) const {
+  const auto ranked = ranked_by_efficiency();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].system_name == system) return i + 1;
+  }
+  return 0;
+}
+
+std::string RankedList::render() const {
+  TextTable t({"#", "system", "site", "Rmax", "power", "MFLOPS/W", "quality"});
+  const auto ranked = ranked_by_efficiency();
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const Submission& s = ranked[i];
+    const std::string quality =
+        s.provenance == PowerProvenance::kDerived
+            ? "derived"
+            : std::string(to_string(s.level));
+    t.add_row({std::to_string(i + 1), s.system_name, s.site,
+               to_string(s.rmax), to_string(s.power),
+               fmt_fixed(s.mflops_per_watt(), 1), quality});
+  }
+  std::ostringstream os;
+  os << name_ << " — ranked by energy efficiency\n" << t.render();
+  return os.str();
+}
+
+}  // namespace pv

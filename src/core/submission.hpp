@@ -1,0 +1,83 @@
+#pragma once
+// Green500/Top500-style submissions and ranking.
+//
+// A Submission packages a performance figure with a power measurement and
+// its provenance (level, revision, window coverage, node count).  The
+// validator re-checks the provenance against the rules; the list ranks by
+// efficiency, which is where measurement variability turns into ranking
+// volatility (§1: the #1 vs #3 gap was smaller than the measurement
+// spread).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/spec.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Where a submission's power number came from.
+enum class PowerProvenance {
+  kDerived,   ///< vendor specs / extrapolation without measurement
+  kMeasured,  ///< an actual measurement under some methodology level
+};
+
+/// One list entry as submitted by a site.
+struct Submission {
+  std::string system_name;
+  std::string site;
+  Flops rmax{0.0};  ///< sustained HPL performance
+  Watts power{0.0};
+  PowerProvenance provenance = PowerProvenance::kMeasured;
+  Level level = Level::kL1;
+  Revision revision = Revision::kV1_2;
+
+  // Provenance details for validation.
+  std::size_t total_nodes = 0;
+  std::size_t nodes_measured = 0;
+  Seconds window_duration{0.0};
+  Seconds core_phase_duration{0.0};
+  /// §6 recommendation: the reported accuracy assessment (CI halfwidth /
+  /// mean), if the site supplied one.
+  std::optional<double> reported_accuracy;
+
+  /// The ranking metric, in MFLOPS per watt (Green500 convention).
+  [[nodiscard]] double mflops_per_watt() const;
+  /// Same in GFLOPS/W (as used in the paper's Figure 4).
+  [[nodiscard]] double gflops_per_watt() const;
+};
+
+/// Checks a submission's provenance against its claimed level/revision.
+/// `approx_node_power` feeds the absolute power floor.
+[[nodiscard]] std::vector<ValidationIssue> validate_submission(
+    const Submission& sub, Watts approx_node_power);
+
+/// An efficiency-ranked list.
+class RankedList {
+ public:
+  explicit RankedList(std::string name);
+
+  void add(Submission sub);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Entries sorted by descending efficiency (the Green500 order).
+  [[nodiscard]] std::vector<Submission> ranked_by_efficiency() const;
+  /// Entries sorted by descending Rmax (the Top500 order).
+  [[nodiscard]] std::vector<Submission> ranked_by_performance() const;
+
+  /// 1-based rank of a system in the efficiency order; 0 if absent.
+  [[nodiscard]] std::size_t efficiency_rank(const std::string& system) const;
+
+  /// Renders the efficiency ranking as a text table.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string name_;
+  std::vector<Submission> entries_;
+};
+
+}  // namespace pv

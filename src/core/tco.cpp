@@ -1,0 +1,34 @@
+#include "core/tco.hpp"
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+TcoEstimate project_energy_cost(Watts measured_power,
+                                double relative_accuracy,
+                                const TcoParams& params) {
+  PV_EXPECTS(measured_power.value() > 0.0, "measured power must be positive");
+  PV_EXPECTS(relative_accuracy >= 0.0 && relative_accuracy < 1.0,
+             "relative accuracy must be in [0,1)");
+  PV_EXPECTS(params.electricity_cost_per_kwh > 0.0, "cost must be positive");
+  PV_EXPECTS(params.pue >= 1.0, "PUE is at least 1");
+  PV_EXPECTS(params.duty_cycle > 0.0 && params.duty_cycle <= 1.0,
+             "duty cycle in (0,1]");
+  PV_EXPECTS(params.years > 0.0, "lifetime must be positive");
+
+  constexpr double kHoursPerYear = 8766.0;  // averaged over leap years
+  const double kw = measured_power.value() / 1000.0;
+  const double annual_kwh =
+      kw * params.pue * params.duty_cycle * kHoursPerYear;
+
+  TcoEstimate est;
+  est.annual_energy_cost = annual_kwh * params.electricity_cost_per_kwh;
+  est.lifetime_energy_cost = est.annual_energy_cost * params.years;
+  est.lifetime_cost_ci = {
+      est.lifetime_energy_cost * (1.0 - relative_accuracy),
+      est.lifetime_energy_cost * (1.0 + relative_accuracy)};
+  est.cost_per_accuracy_point = est.lifetime_energy_cost * 0.01;
+  return est;
+}
+
+}  // namespace pv

@@ -1,0 +1,41 @@
+#pragma once
+// Total-cost-of-ownership extrapolation (§1).
+//
+// The paper motivates measurement accuracy with procurement: "the observed
+// variations of 20% in power consumption lead directly to a possible 20%
+// increase in electricity costs".  This module turns a power measurement
+// (with its accuracy assessment) into an energy-cost projection with the
+// uncertainty propagated, so a procurement team can see what a percentage
+// point of measurement accuracy is worth in currency.
+
+#include "stats/bootstrap.hpp"  // Interval
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Facility/economics parameters of a TCO projection.
+struct TcoParams {
+  double electricity_cost_per_kwh = 0.15;  ///< currency units per kWh
+  double pue = 1.4;             ///< facility power usage effectiveness
+  double duty_cycle = 0.85;     ///< long-run average load relative to measured
+  double years = 5.0;           ///< operating lifetime
+};
+
+/// An energy-cost projection with propagated measurement uncertainty.
+struct TcoEstimate {
+  double annual_energy_cost = 0.0;
+  double lifetime_energy_cost = 0.0;
+  /// Lifetime cost interval induced by the measurement's relative accuracy
+  /// (a relative +/- lambda on power maps to +/- lambda on cost).
+  Interval lifetime_cost_ci;
+  /// Currency value of one percentage point of measurement accuracy.
+  double cost_per_accuracy_point = 0.0;
+};
+
+/// Projects energy cost from a measured system power and the measurement's
+/// achieved relative accuracy (CI halfwidth / mean; 0 = exact).
+[[nodiscard]] TcoEstimate project_energy_cost(Watts measured_power,
+                                              double relative_accuracy,
+                                              const TcoParams& params);
+
+}  // namespace pv

@@ -1,0 +1,88 @@
+#pragma once
+// Power-meter models.
+//
+// The methodology's levels differ in meter capability (Table 1, aspect 1):
+// Level 1/2 need one power sample per second; Level 3 needs continuously
+// integrated energy.  Physical meters also carry an accuracy class — the
+// paper cites "standard variance of power measurement equipment of 1-1.5%".
+// MeterModel turns a ground-truth power function into what a real meter
+// would report: sampled (or integrated), with gain error, offset error and
+// per-sample noise.
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/rng.hpp"
+#include "trace/time_series.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Ground truth power as a function of time (seconds -> watts).
+using PowerFunction = std::function<double(double)>;
+
+/// Accuracy class of a meter.  Gain and offset are drawn once per meter
+/// instance (a physical device's calibration is fixed); noise is per
+/// sample.
+struct MeterAccuracy {
+  double gain_error_sd = 0.0;    ///< relative, e.g. 0.01 for a 1% class meter
+  double offset_error_sd_w = 0.0;  ///< absolute watts
+  double noise_sd = 0.0;         ///< relative per-sample noise
+
+  /// A revenue-grade meter as required for SPEC-style measurements.
+  static MeterAccuracy reference_grade();
+  /// A typical 1% cluster PDU meter.
+  static MeterAccuracy pdu_grade();
+  /// The 1.5% equipment class the paper treats as the common case.
+  static MeterAccuracy commodity_grade();
+  /// An error-free meter (for isolating statistical effects in tests).
+  static MeterAccuracy perfect();
+};
+
+/// How a meter reduces the signal to readings.
+enum class MeterMode {
+  kSampled,     ///< instantaneous samples every reporting interval
+  kIntegrated,  ///< average power over each reporting interval (energy/dt)
+};
+
+/// A meter instance: fixed calibration errors plus a reporting interval.
+class MeterModel {
+ public:
+  /// `calibration_rng` is consumed to draw this device's gain/offset;
+  /// pass a stream keyed by the meter's identity for reproducibility.
+  MeterModel(MeterAccuracy accuracy, MeterMode mode, Seconds interval,
+             Rng& calibration_rng);
+
+  [[nodiscard]] MeterMode mode() const { return mode_; }
+  [[nodiscard]] Seconds interval() const { return interval_; }
+  /// The fixed multiplicative calibration error of this device instance.
+  [[nodiscard]] double gain() const { return gain_; }
+  /// The fixed additive calibration error of this device instance (watts).
+  [[nodiscard]] double offset_w() const { return offset_w_; }
+
+  /// Meters the ground-truth power over [t_begin, t_end), producing one
+  /// reading per reporting interval.  `noise_rng` drives per-sample noise.
+  /// In kIntegrated mode each reading is the true interval average (plus
+  /// calibration error); in kSampled mode it is the value at the interval
+  /// midpoint (plus calibration and noise), which aliases fast transients
+  /// exactly the way a 1 Hz sampling meter does.
+  [[nodiscard]] PowerTrace measure(const PowerFunction& truth_w,
+                                   Seconds t_begin, Seconds t_end,
+                                   Rng& noise_rng) const;
+
+  /// Total energy over a window as this meter would report it.
+  [[nodiscard]] Joules measure_energy(const PowerFunction& truth_w,
+                                      Seconds t_begin, Seconds t_end,
+                                      Rng& noise_rng) const;
+
+ private:
+  MeterAccuracy accuracy_;
+  MeterMode mode_;
+  Seconds interval_;
+  double gain_ = 1.0;
+  double offset_w_ = 0.0;
+
+  [[nodiscard]] double apply_errors(double truth, Rng& noise_rng) const;
+};
+
+}  // namespace pv

@@ -1,0 +1,104 @@
+#include "meter/psu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+#include "util/mathx.hpp"
+
+namespace pv {
+
+PsuEfficiencyCurve::PsuEfficiencyCurve(
+    std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  PV_EXPECTS(points_.size() >= 2, "efficiency curve needs >= 2 points");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    PV_EXPECTS(points_[i].first >= 0.0 && points_[i].first <= 1.0,
+               "load fractions must lie in [0,1]");
+    PV_EXPECTS(points_[i].second > 0.0 && points_[i].second <= 1.0,
+               "efficiencies must lie in (0,1]");
+    if (i > 0) {
+      PV_EXPECTS(points_[i].first > points_[i - 1].first,
+                 "load fractions must be strictly increasing");
+    }
+  }
+}
+
+PsuEfficiencyCurve PsuEfficiencyCurve::gold() {
+  return PsuEfficiencyCurve({{0.02, 0.60},
+                             {0.10, 0.82},
+                             {0.20, 0.87},
+                             {0.50, 0.90},
+                             {1.00, 0.87}});
+}
+
+PsuEfficiencyCurve PsuEfficiencyCurve::platinum() {
+  return PsuEfficiencyCurve({{0.02, 0.65},
+                             {0.10, 0.86},
+                             {0.20, 0.90},
+                             {0.50, 0.94},
+                             {1.00, 0.91}});
+}
+
+PsuEfficiencyCurve PsuEfficiencyCurve::titanium() {
+  return PsuEfficiencyCurve({{0.02, 0.70},
+                             {0.10, 0.90},
+                             {0.20, 0.94},
+                             {0.50, 0.96},
+                             {1.00, 0.94}});
+}
+
+double PsuEfficiencyCurve::efficiency_at(double load_fraction) const {
+  PV_EXPECTS(load_fraction >= 0.0, "load fraction must be non-negative");
+  if (load_fraction <= points_.front().first) return points_.front().second;
+  if (load_fraction >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (load_fraction <= points_[i].first) {
+      const auto& [x0, y0] = points_[i - 1];
+      const auto& [x1, y1] = points_[i];
+      const double t = (load_fraction - x0) / (x1 - x0);
+      return lerp01(y0, y1, t);
+    }
+  }
+  return points_.back().second;  // unreachable
+}
+
+PsuModel::PsuModel(Watts rated_dc_output, PsuEfficiencyCurve curve)
+    : rated_(rated_dc_output), curve_(std::move(curve)) {
+  PV_EXPECTS(rated_dc_output.value() > 0.0, "rated output must be positive");
+}
+
+Watts PsuModel::ac_input(Watts dc_load) const {
+  PV_EXPECTS(dc_load.value() >= 0.0, "DC load must be non-negative");
+  if (dc_load.value() == 0.0) return Watts{0.0};
+  const double load_frac = dc_load / rated_;
+  return Watts{dc_load.value() / curve_.efficiency_at(load_frac)};
+}
+
+Watts PsuModel::dc_output(Watts ac) const {
+  PV_EXPECTS(ac.value() >= 0.0, "AC input must be non-negative");
+  if (ac.value() == 0.0) return Watts{0.0};
+  // ac_input is strictly increasing in the DC load, so bisect.
+  double lo = 0.0;
+  double hi = rated_.value() * 1.5;
+  while (ac_input(Watts{hi}).value() < ac.value()) {
+    hi *= 2.0;
+    PV_EXPECTS(hi < 1e12, "AC input beyond any plausible PSU operating point");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ac_input(Watts{mid}).value() < ac.value()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-9 * (1.0 + hi)) break;
+  }
+  return Watts{0.5 * (lo + hi)};
+}
+
+Watts PsuModel::loss(Watts dc_load) const {
+  return ac_input(dc_load) - dc_load;
+}
+
+}  // namespace pv

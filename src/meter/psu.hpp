@@ -1,0 +1,77 @@
+#pragma once
+// Power conversion modeling (methodology aspect 4: "point of measurement").
+//
+// Measurements "upstream of power conversion" see AC input power; DC-side
+// instrumentation sees less, by the PSU's load-dependent efficiency.
+// Level 1 lets a site model the conversion with manufacturer-supplied
+// data; Level 3 requires the loss to be measured simultaneously.  This
+// module provides the efficiency-curve model and both correction paths so
+// campaigns can quantify what that choice costs in accuracy.
+
+#include <array>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Load-dependent PSU efficiency curve: efficiency as a function of the
+/// DC load expressed as a fraction of rated output.  Shaped like the
+/// 80 PLUS certification curves: poor at very light load, peaking near
+/// 50%, drooping slightly toward full load.
+class PsuEfficiencyCurve {
+ public:
+  /// Control points: (load fraction, efficiency) pairs, strictly increasing
+  /// load in [0, 1], efficiencies in (0, 1].  Linear interpolation between
+  /// points; clamped outside.
+  explicit PsuEfficiencyCurve(
+      std::vector<std::pair<double, double>> points);
+
+  /// 80 PLUS-like presets.
+  static PsuEfficiencyCurve gold();
+  static PsuEfficiencyCurve platinum();
+  static PsuEfficiencyCurve titanium();
+
+  [[nodiscard]] double efficiency_at(double load_fraction) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// A PSU instance with a rated DC output and an efficiency curve.
+class PsuModel {
+ public:
+  PsuModel(Watts rated_dc_output, PsuEfficiencyCurve curve);
+
+  [[nodiscard]] Watts rated_output() const { return rated_; }
+
+  /// AC input power drawn to deliver the given DC load.
+  [[nodiscard]] Watts ac_input(Watts dc_load) const;
+
+  /// Inverse: DC output implied by a measured AC input (solved by
+  /// bisection on the monotone ac_input mapping).
+  [[nodiscard]] Watts dc_output(Watts ac_input_w) const;
+
+  /// Conversion loss at the given DC load.
+  [[nodiscard]] Watts loss(Watts dc_load) const;
+
+ private:
+  Watts rated_;
+  PsuEfficiencyCurve curve_;
+};
+
+/// Manufacturer-supplied conversion data as Level 1 allows: a single
+/// nominal efficiency number applied regardless of load.  The gap between
+/// this and the true curve is one of the Level 1 error sources.
+struct NominalConversionModel {
+  double nominal_efficiency = 0.94;
+
+  [[nodiscard]] Watts ac_from_dc(Watts dc_load) const {
+    return Watts{dc_load.value() / nominal_efficiency};
+  }
+  [[nodiscard]] Watts dc_from_ac(Watts ac) const {
+    return Watts{ac.value() * nominal_efficiency};
+  }
+};
+
+}  // namespace pv

@@ -1,0 +1,104 @@
+#pragma once
+// Catalog of the systems studied in the paper.
+//
+// Two groups:
+//   * Table 2 / Figure 1 systems (power-over-time): Colosse, Sequoia-25,
+//     Piz Daint, L-CSC — plus TSUBAME-KFC, whose window-gaming episode §3
+//     recounts.  Each carries its published segment averages, which the
+//     calibration layer reproduces exactly.
+//   * Table 3 / Table 4 / Figure 2 systems (per-node fleets): Calcul
+//     Québec, CEA (Fat/Thin), LRZ, Titan (ORNL), TU Dresden — each with
+//     its published (N, mu-hat, sigma-hat) and workload.
+//
+// The numbers below are the paper's published summary statistics; the
+// generators are calibrated to them (DESIGN.md §4 explains why that is the
+// faithful substitution for the unavailable raw traces).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fleet.hpp"
+#include "workload/calibration.hpp"
+#include "workload/workload.hpp"
+
+namespace pv::catalog {
+
+/// A Table 2 / Figure 1 system: full-run power profile.
+struct ProfiledSystem {
+  std::string name;
+  Seconds hpl_runtime{0.0};     ///< core-phase duration
+  Watts core_avg{0.0};          ///< published core-phase average
+  Watts first20_avg{0.0};       ///< published first-20% average
+  Watts last20_avg{0.0};        ///< published last-20% average
+  bool gpu_shape = false;       ///< in-core GPU HPL regime?
+  double noise_sigma_frac = 0.004;  ///< AR(1) texture amplitude
+};
+
+/// A Table 3/4 / Figure 2 system: per-node fleet statistics.
+struct FleetSystem {
+  std::string name;
+  std::string cpus_per_node;
+  std::string ram_per_node;
+  std::string components_measured;
+  std::string workload_name;
+  std::size_t total_nodes = 0;     ///< N in Table 4 (nodes or blades)
+  std::size_t measured_nodes = 0;  ///< instrumented subset (Table 3)
+  double mean_w = 0.0;             ///< published mu-hat
+  double sd_w = 0.0;               ///< published sigma-hat
+  FleetVariability variability;    ///< channel decomposition used to generate
+
+  enum class Profile { kHplCpu, kHplGpu, kMprime, kFirestarter, kRodinia };
+  Profile profile = Profile::kHplCpu;
+  Seconds core_duration{hours(4.0).value()};
+
+  [[nodiscard]] double cv() const { return sd_w / mean_w; }
+};
+
+/// The four Table 2 systems, in the paper's order
+/// (Colosse, Sequoia, Piz Daint, L-CSC).
+[[nodiscard]] const std::vector<ProfiledSystem>& table2_systems();
+
+/// TSUBAME-KFC: the November 2013 window-gaming case (−10.9% via interval
+/// selection).  Segment targets are reconstructed from its Green500-era
+/// scale (~28 kW under HPL) with an in-core GPU tail strong enough to
+/// reproduce the reported gaming gain.
+[[nodiscard]] const ProfiledSystem& tsubame_kfc();
+
+/// The six Table 3/4 fleet systems, in the paper's row order.
+[[nodiscard]] const std::vector<FleetSystem>& table4_systems();
+
+/// Looks up a fleet system by name; throws if absent.
+[[nodiscard]] const FleetSystem& fleet_system(const std::string& name);
+
+/// Builds the calibrated full-run profile for a Table 2 system.
+[[nodiscard]] CalibratedSystemProfile make_profile(const ProfiledSystem& sys);
+
+/// Builds the workload model for a fleet system.
+[[nodiscard]] std::shared_ptr<const Workload> make_workload(
+    const FleetSystem& sys);
+
+/// Generates the per-node mean powers of a fleet system.  With
+/// `condition_exact`, the sample is affine-conditioned to the published
+/// (mu, sigma) to the digit (used by the Table 4 bench); otherwise the
+/// statistics match in expectation only.
+[[nodiscard]] std::vector<double> make_fleet_powers(const FleetSystem& sys,
+                                                    std::uint64_t seed,
+                                                    bool condition_exact);
+
+/// L-CSC node SKU for the §5 case study: 4x AMD FirePro S9150 per node.
+[[nodiscard]] NodeSpec lcsc_node_spec();
+
+/// Number of L-CSC compute nodes (160 in the Green500 configuration).
+[[nodiscard]] std::size_t lcsc_node_count();
+
+/// Titan XK7 node SKU (1x Opteron 6274 + 1x Tesla K20X).  The ORNL
+/// measurement in Table 3/4 covers the *GPUs* of 1000 such nodes under
+/// Rodinia CFD; NodeInstance::gpu_power gives that scope.
+[[nodiscard]] NodeSpec titan_node_spec();
+
+/// The Rodinia CFD GPU activity that reproduces Titan's published
+/// per-GPU mean of 90.74 W on this SKU.
+[[nodiscard]] double titan_rodinia_gpu_activity();
+
+}  // namespace pv::catalog

@@ -1,0 +1,133 @@
+#include "sim/components.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+constexpr double kLeakageRefTempC = 25.0;
+
+// Shared static/dynamic decomposition for CPU and GPU dies.
+double die_power_w(double static_ref, double dynamic_ref,
+                   const OperatingPoint& ref, const OperatingPoint& op,
+                   double activity, double leakage_mult,
+                   double leakage_voltage_slope) {
+  PV_EXPECTS(activity >= 0.0 && activity <= 1.2,
+             "activity outside the physical range");
+  PV_EXPECTS(op.frequency.value() > 0.0 && op.voltage.value() > 0.0,
+             "operating point must be positive");
+  const double v_rel = op.voltage / ref.voltage;
+  const double f_rel = op.frequency / ref.frequency;
+  const double leak = leakage_mult *
+                      std::exp(leakage_voltage_slope *
+                               (op.voltage.value() - ref.voltage.value()));
+  const double p_static = static_ref * v_rel * leak;
+  const double p_dynamic = dynamic_ref * activity * f_rel * v_rel * v_rel;
+  return p_static + p_dynamic;
+}
+
+}  // namespace
+
+CpuModel::CpuModel(CpuSpec spec, double leakage_mult)
+    : spec_(std::move(spec)), leakage_mult_(leakage_mult) {
+  PV_EXPECTS(leakage_mult > 0.0, "leakage multiplier must be positive");
+  PV_EXPECTS(spec_.static_w_ref >= 0.0 && spec_.dynamic_w_ref > 0.0,
+             "CPU power coefficients must be physical");
+}
+
+Watts CpuModel::power(OperatingPoint op, double activity) const {
+  return Watts{die_power_w(spec_.static_w_ref, spec_.dynamic_w_ref,
+                           spec_.reference, op, activity, leakage_mult_,
+                           spec_.leakage_voltage_slope)};
+}
+
+Watts CpuModel::power_at_temp(OperatingPoint op, double activity,
+                              Celsius temp) const {
+  const double temp_leak = std::max(
+      0.3, 1.0 + spec_.leakage_temp_coeff * (temp.value() - kLeakageRefTempC));
+  return Watts{die_power_w(spec_.static_w_ref, spec_.dynamic_w_ref,
+                           spec_.reference, op, activity,
+                           leakage_mult_ * temp_leak,
+                           spec_.leakage_voltage_slope)};
+}
+
+double CpuModel::throughput(OperatingPoint op) const {
+  return op.frequency / spec_.reference.frequency;
+}
+
+GpuModel::GpuModel(GpuSpec spec, GpuAsic asic)
+    : spec_(std::move(spec)), asic_(asic) {
+  PV_EXPECTS(asic.vid_bin < spec_.vid_bins, "VID bin outside the ladder");
+  PV_EXPECTS(asic.leakage_mult > 0.0, "leakage multiplier must be positive");
+}
+
+Volts GpuModel::default_voltage() const {
+  return volts(spec_.vid_base_v +
+               spec_.vid_step_v * static_cast<double>(asic_.vid_bin));
+}
+
+OperatingPoint GpuModel::default_operating_point() const {
+  return {spec_.reference.frequency, default_voltage()};
+}
+
+Watts GpuModel::power(OperatingPoint op, double activity) const {
+  return Watts{die_power_w(spec_.static_w_ref,
+                           spec_.dynamic_w_ref * asic_.dynamic_mult,
+                           spec_.reference, op, activity, asic_.leakage_mult,
+                           spec_.leakage_voltage_slope)};
+}
+
+Watts GpuModel::power_at_temp(OperatingPoint op, double activity,
+                              Celsius temp) const {
+  const double temp_leak = std::max(
+      0.3, 1.0 + spec_.leakage_temp_coeff * (temp.value() - kLeakageRefTempC));
+  return Watts{die_power_w(spec_.static_w_ref,
+                           spec_.dynamic_w_ref * asic_.dynamic_mult,
+                           spec_.reference, op, activity,
+                           asic_.leakage_mult * temp_leak,
+                           spec_.leakage_voltage_slope)};
+}
+
+double GpuModel::gflops(OperatingPoint op) const {
+  return spec_.peak_gflops_ref * (op.frequency / spec_.reference.frequency);
+}
+
+GpuAsic draw_gpu_asic(const GpuSpec& spec, Rng& rng, double leakage_cv,
+                      double vid_leakage_corr, double dynamic_cv) {
+  PV_EXPECTS(spec.vid_bins >= 1, "VID ladder must have at least one bin");
+  PV_EXPECTS(leakage_cv >= 0.0, "leakage cv must be non-negative");
+  PV_EXPECTS(vid_leakage_corr >= 0.0 && vid_leakage_corr <= 1.0,
+             "correlation must lie in [0,1]");
+  PV_EXPECTS(dynamic_cv >= 0.0, "dynamic cv must be non-negative");
+
+  // Centered binomial over the ladder: sum of (bins - 1) fair coin flips.
+  std::size_t bin = 0;
+  for (std::size_t i = 0; i + 1 < spec.vid_bins; ++i) {
+    if (rng.bernoulli(0.5)) ++bin;
+  }
+
+  // Leakage: a component aligned with the VID (normalized to [-1, 1] over
+  // the ladder) plus an independent residual, combined to the requested cv.
+  const double half = 0.5 * static_cast<double>(spec.vid_bins - 1);
+  const double vid_z =
+      half > 0.0 ? (static_cast<double>(bin) - half) / half : 0.0;
+  const double resid = rng.normal();
+  const double z = vid_leakage_corr * vid_z * 1.8 +  // binomial z has sd~0.55
+                   std::sqrt(std::max(0.0, 1.0 - vid_leakage_corr * vid_leakage_corr)) * resid;
+  GpuAsic asic;
+  asic.vid_bin = bin;
+  asic.leakage_mult = std::max(0.5, 1.0 + leakage_cv * z);
+  asic.dynamic_mult = std::max(0.5, rng.normal(1.0, dynamic_cv));
+  return asic;
+}
+
+Watts fan_power(const FanSpec& spec, double speed) {
+  PV_EXPECTS(speed >= 0.0 && speed <= 1.0, "fan speed is a duty in [0,1]");
+  PV_EXPECTS(spec.max_power_w >= 0.0, "fan power must be non-negative");
+  return Watts{spec.max_power_w * speed * speed * speed};
+}
+
+}  // namespace pv

@@ -1,0 +1,155 @@
+#pragma once
+// Component power models: CPU, GPU (with voltage IDs), and fans.
+//
+// §5 of the paper traces node variability to physical causes:
+//   * manufacturing leakage spread (every die leaks differently),
+//   * per-ASIC programmed Voltage IDs (VIDs): the vendor-fused minimum
+//     stable voltage for the default frequency,
+//   * automatic fan-speed regulation, which on L-CSC moves node power by
+//     >100 W — more than the silicon spread itself.
+// These models implement the standard first-order CMOS power decomposition
+//   P = P_static(V, leakage) + P_dynamic(f, V, activity)
+// with P_static ∝ V * exp(k (V - V_ref)) * leakage_mult and
+// P_dynamic ∝ activity * f * V^2, and a cubic fan law P_fan ∝ speed^3.
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// A discrete DVFS operating point.
+struct OperatingPoint {
+  Hertz frequency{0.0};
+  Volts voltage{0.0};
+};
+
+// --------------------------------------------------------------------------
+// CPU
+
+/// Catalog description of a CPU SKU.
+struct CpuSpec {
+  double static_w_ref = 25.0;   ///< static power at reference voltage
+  double dynamic_w_ref = 90.0;  ///< dynamic power at (f_ref, V_ref), activity 1
+  OperatingPoint reference{gigahertz(2.7), volts(1.0)};
+  std::vector<OperatingPoint> pstates;  ///< available DVFS points (sorted by f)
+  double leakage_voltage_slope = 3.0;   ///< k in exp(k (V - V_ref))
+  double peak_gflops_ref = 170.0;       ///< DP GFLOP/s per socket at f_ref
+  /// Fractional static-power increase per Kelvin above the 25 C reference
+  /// (sub-threshold leakage grows with junction temperature).
+  double leakage_temp_coeff = 0.006;
+};
+
+/// One physical CPU: the spec plus its manufacturing leakage multiplier.
+class CpuModel {
+ public:
+  CpuModel(CpuSpec spec, double leakage_mult);
+
+  /// Die power at the given operating point and activity in [0, 1]
+  /// (junction at the 25 C leakage reference).
+  [[nodiscard]] Watts power(OperatingPoint op, double activity) const;
+  /// Same, with the junction at `temp` (temperature-dependent leakage).
+  [[nodiscard]] Watts power_at_temp(OperatingPoint op, double activity,
+                                    Celsius temp) const;
+  /// Relative compute throughput at an operating point (∝ frequency).
+  [[nodiscard]] double throughput(OperatingPoint op) const;
+
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+  [[nodiscard]] double leakage_mult() const { return leakage_mult_; }
+
+ private:
+  CpuSpec spec_;
+  double leakage_mult_;
+};
+
+// --------------------------------------------------------------------------
+// GPU
+
+/// Catalog description of a GPU SKU (AMD FirePro S9150-like by default).
+struct GpuSpec {
+  double static_w_ref = 35.0;
+  double dynamic_w_ref = 190.0;  ///< at (f_ref, V_ref), activity 1
+  OperatingPoint reference{megahertz(900.0), volts(1.05)};
+  double peak_gflops_ref = 2530.0;  ///< DP GFLOP/s at the reference frequency
+  double leakage_voltage_slope = 4.0;
+  /// VID ladder: index b in [0, vid_bins) fuses default voltage
+  /// vid_base_v + b * vid_step_v for the reference frequency.
+  std::size_t vid_bins = 10;
+  double vid_base_v = 1.040;
+  double vid_step_v = 0.010;
+  /// Minimum operating voltage of the process: below this no frequency
+  /// reduction buys a lower voltage (why L-CSC's optimum sits at 774 MHz).
+  double min_voltage_v = 1.000;
+  /// Fractional static-power increase per Kelvin above the 25 C reference.
+  double leakage_temp_coeff = 0.008;
+};
+
+/// Per-ASIC identity: the fused VID bin and the silicon draws.
+/// `leakage_mult` scales static power; `dynamic_mult` scales dynamic power
+/// (switching-capacitance spread) and is what keeps "identical" boards
+/// from drawing identical power even at a fixed operating point.
+struct GpuAsic {
+  std::size_t vid_bin = 0;
+  double leakage_mult = 1.0;
+  double dynamic_mult = 1.0;
+};
+
+/// One physical GPU.
+class GpuModel {
+ public:
+  GpuModel(GpuSpec spec, GpuAsic asic);
+
+  /// The ASIC's fused default voltage at the reference frequency.
+  [[nodiscard]] Volts default_voltage() const;
+  /// The default operating point (reference frequency, VID voltage).
+  [[nodiscard]] OperatingPoint default_operating_point() const;
+
+  [[nodiscard]] Watts power(OperatingPoint op, double activity) const;
+  /// Same, with the junction at `temp` (temperature-dependent leakage).
+  [[nodiscard]] Watts power_at_temp(OperatingPoint op, double activity,
+                                    Celsius temp) const;
+  /// Sustained DP GFLOP/s at an operating point (∝ frequency).
+  [[nodiscard]] double gflops(OperatingPoint op) const;
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+  [[nodiscard]] const GpuAsic& asic() const { return asic_; }
+
+ private:
+  GpuSpec spec_;
+  GpuAsic asic_;
+};
+
+/// Draws an ASIC identity: a centered-binomial VID bin (process spread is
+/// roughly bell-shaped over the ladder) and a log-normal-ish leakage
+/// multiplier mildly correlated with the VID (leakier dies need more
+/// voltage, hence get fused with higher VIDs).
+[[nodiscard]] GpuAsic draw_gpu_asic(const GpuSpec& spec, Rng& rng,
+                                    double leakage_cv = 0.03,
+                                    double vid_leakage_corr = 0.5,
+                                    double dynamic_cv = 0.02);
+
+// --------------------------------------------------------------------------
+// Fans
+
+/// Node fan subsystem: cubic power law in speed.
+struct FanSpec {
+  double max_power_w = 120.0;  ///< all node fans at 100% duty
+  double min_speed = 0.25;     ///< controller floor
+};
+
+/// Fan control policy — the §5 mitigation is to pin all nodes' fans.
+struct FanPolicy {
+  enum class Mode { kAuto, kPinned };
+  Mode mode = Mode::kAuto;
+  double pinned_speed = 0.55;  ///< used when mode == kPinned
+
+  static FanPolicy automatic() { return {Mode::kAuto, 0.0}; }
+  static FanPolicy pinned(double speed) { return {Mode::kPinned, speed}; }
+};
+
+/// Fan power at a duty-cycle speed in [0, 1].
+[[nodiscard]] Watts fan_power(const FanSpec& spec, double speed);
+
+}  // namespace pv

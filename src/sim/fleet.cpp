@@ -1,0 +1,119 @@
+#include "sim/fleet.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+double FleetVariability::body_cv() const {
+  return std::sqrt(cv_silicon * cv_silicon + cv_fan * cv_fan +
+                   cv_room * cv_room + cv_other * cv_other);
+}
+
+FleetVariability FleetVariability::typical_cpu() { return {}; }
+
+FleetVariability FleetVariability::tuned_gpu() {
+  FleetVariability v;
+  v.cv_silicon = 0.010;  // fixed voltage removes the VID-driven spread
+  v.cv_fan = 0.002;      // pinned fans
+  v.cv_room = 0.004;
+  v.cv_other = 0.004;
+  v.outlier_prob = 0.004;
+  return v;
+}
+
+FleetVariability FleetVariability::scaled_to(double target_cv) const {
+  PV_EXPECTS(target_cv > 0.0, "target cv must be positive");
+  const double base = body_cv();
+  PV_EXPECTS(base > 0.0, "cannot scale an all-zero variability");
+  const double f = target_cv / base;
+  FleetVariability out = *this;
+  out.cv_silicon *= f;
+  out.cv_fan *= f;
+  out.cv_room *= f;
+  out.cv_other *= f;
+  return out;
+}
+
+std::vector<double> generate_node_powers(std::size_t n, double mean_w,
+                                         const FleetVariability& var,
+                                         std::uint64_t seed) {
+  PV_EXPECTS(n > 0, "fleet must be non-empty");
+  PV_EXPECTS(mean_w > 0.0, "mean power must be positive");
+  PV_EXPECTS(var.outlier_prob >= 0.0 && var.outlier_prob < 0.5,
+             "outlier probability must be small");
+  std::vector<double> out(n);
+  const double body_sd = var.body_cv() * mean_w;
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(seed, /*stream=*/i);
+    double p = mean_w;
+    p += rng.normal(0.0, var.cv_silicon * mean_w);
+    p += rng.normal(0.0, var.cv_fan * mean_w);
+    p += rng.normal(0.0, var.cv_room * mean_w);
+    p += rng.normal(0.0, var.cv_other * mean_w);
+    if (var.outlier_prob > 0.0 && rng.bernoulli(var.outlier_prob)) {
+      // One-sided: outliers are hot nodes (extra leakage, failing fans),
+      // matching the right-leaning tails visible in Figure 2.
+      p += std::fabs(rng.normal(0.0, var.outlier_sigma * body_sd));
+    }
+    out[i] = std::max(0.05 * mean_w, p);
+  }
+  return out;
+}
+
+void condition_to(std::span<double> xs, double mean, double sd) {
+  PV_EXPECTS(xs.size() >= 2, "conditioning needs n >= 2");
+  PV_EXPECTS(sd >= 0.0, "target sd must be non-negative");
+  const Summary s = summarize(xs);
+  PV_EXPECTS(s.stddev > 0.0, "cannot condition a constant sample");
+  const double scale = sd / s.stddev;
+  for (auto& x : xs) x = mean + (x - s.mean) * scale;
+}
+
+std::vector<NodeInstance> build_fleet(const NodeSpec& spec, std::size_t n,
+                                      std::uint64_t seed, ThreadPool* pool) {
+  PV_EXPECTS(n > 0, "fleet must be non-empty");
+  std::vector<NodeInstance> fleet;
+  fleet.reserve(n);
+  // NodeInstance is not default-constructible, so build serially when no
+  // pool is supplied; with a pool, construct into an indexed buffer.
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Rng rng(seed, /*stream=*/i);
+      fleet.emplace_back(spec, rng);
+    }
+    return fleet;
+  }
+  std::vector<std::optional<NodeInstance>> buf(n);
+  parallel_for(pool, n, [&](std::size_t i) {
+    Rng rng(seed, /*stream=*/i);
+    buf[i].emplace(spec, rng);
+  });
+  for (auto& slot : buf) fleet.push_back(std::move(*slot));
+  return fleet;
+}
+
+std::vector<double> fleet_dc_powers(std::span<const NodeInstance> fleet,
+                                    double activity,
+                                    const NodeSettings& settings,
+                                    ThreadPool* pool) {
+  std::vector<double> out(fleet.size());
+  parallel_for(pool, fleet.size(), [&](std::size_t i) {
+    out[i] = fleet[i].dc_power(activity, settings).value();
+  });
+  return out;
+}
+
+std::vector<double> fleet_efficiencies(std::span<const NodeInstance> fleet,
+                                       const NodeSettings& settings,
+                                       ThreadPool* pool) {
+  std::vector<double> out(fleet.size());
+  parallel_for(pool, fleet.size(), [&](std::size_t i) {
+    out[i] = fleet[i].hpl_gflops_per_watt(settings);
+  });
+  return out;
+}
+
+}  // namespace pv

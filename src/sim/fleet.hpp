@@ -1,0 +1,79 @@
+#pragma once
+// Fleet generation: per-node time-averaged power for a whole machine.
+//
+// Two complementary generators:
+//
+// 1. *Component-level*: build N NodeInstances from a NodeSpec and evaluate
+//    each node's power.  Ground truth with full causal structure (used for
+//    the L-CSC case study and for validating the statistical generator).
+//
+// 2. *Statistical*: draw node powers as mean * (1 + sum of labelled
+//    zero-mean deviation channels) plus a small one-sided outlier mixture.
+//    This is how the catalog reproduces Table 4's published (N, mu, sigma)
+//    for machines whose component inventories we do not know.  Channels
+//    compose in quadrature, so the body cv is sqrt(sum cv_i^2) — the same
+//    decomposition §5 argues for physically (silicon vs fans vs room).
+//
+// `condition_to` optionally rescales a generated fleet to the published
+// mean/sd *exactly* (affine map), for benches that reproduce Table 4 to
+// the digit.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/node.hpp"
+#include "util/parallel.hpp"
+
+namespace pv {
+
+/// Labelled deviation channels of the statistical fleet generator,
+/// expressed as coefficients of variation of per-node mean power.
+struct FleetVariability {
+  double cv_silicon = 0.014;  ///< leakage / VID spread
+  double cv_fan = 0.008;      ///< auto-fan operating-point spread
+  double cv_room = 0.005;     ///< inlet-temperature placement effects
+  double cv_other = 0.004;    ///< DIMM mix, board, firmware
+  double outlier_prob = 0.008;   ///< hot/throttling nodes
+  double outlier_sigma = 4.0;    ///< outlier offset sd, in units of body sd
+
+  /// Body coefficient of variation (outliers excluded): quadrature sum.
+  [[nodiscard]] double body_cv() const;
+
+  /// Typical homogeneous CPU cluster (~2% total, Table 4).
+  static FleetVariability typical_cpu();
+  /// Aggressively tuned GPU cluster with pinned fans and fixed voltage
+  /// (~1.2-1.5%; L-CSC after the §5 mitigations).
+  static FleetVariability tuned_gpu();
+  /// Scales all channels by a common factor so body_cv() == target_cv.
+  [[nodiscard]] FleetVariability scaled_to(double target_cv) const;
+};
+
+/// Statistical fleet: n per-node time-averaged powers around mean_w.
+[[nodiscard]] std::vector<double> generate_node_powers(
+    std::size_t n, double mean_w, const FleetVariability& var,
+    std::uint64_t seed);
+
+/// Affine-rescales xs in place to have exactly the given sample mean and
+/// sample (n-1) standard deviation.  Requires n >= 2 and non-constant xs.
+void condition_to(std::span<double> xs, double mean, double sd);
+
+/// Component-level fleet: N physical nodes drawn from a SKU.
+/// Node i draws from Rng(seed, stream=i), so the fleet is identical for
+/// any thread count.
+[[nodiscard]] std::vector<NodeInstance> build_fleet(const NodeSpec& spec,
+                                                    std::size_t n,
+                                                    std::uint64_t seed,
+                                                    ThreadPool* pool = nullptr);
+
+/// DC power of every node at a fixed activity under common settings.
+[[nodiscard]] std::vector<double> fleet_dc_powers(
+    std::span<const NodeInstance> fleet, double activity,
+    const NodeSettings& settings, ThreadPool* pool = nullptr);
+
+/// HPL efficiency (GFLOPS/W) of every node — the Figure 4 series.
+[[nodiscard]] std::vector<double> fleet_efficiencies(
+    std::span<const NodeInstance> fleet, const NodeSettings& settings,
+    ThreadPool* pool = nullptr);
+
+}  // namespace pv

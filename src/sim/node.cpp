@@ -1,0 +1,133 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+NodeSettings NodeSettings::tuned_lcsc() {
+  NodeSettings s;
+  s.gpu_mode = GpuMode::kFixed;
+  s.gpu_fixed_op = {megahertz(774.0), volts(1.018)};
+  s.fan_policy = FanPolicy::pinned(0.45);
+  return s;
+}
+
+NodeInstance::NodeInstance(const NodeSpec& spec, Rng& rng) : spec_(spec) {
+  PV_EXPECTS(spec.cpu_count >= 1 || spec.gpu_count >= 1,
+             "node needs at least one compute die");
+  PV_EXPECTS(spec.hpl_efficiency > 0.0 && spec.hpl_efficiency <= 1.0,
+             "HPL efficiency in (0,1]");
+  cpus_.reserve(spec.cpu_count);
+  for (std::size_t i = 0; i < spec.cpu_count; ++i) {
+    const double leak =
+        std::max(0.5, rng.normal(1.0, spec.cpu_leakage_cv));
+    cpus_.emplace_back(spec.cpu, leak);
+  }
+  gpus_.reserve(spec.gpu_count);
+  for (std::size_t i = 0; i < spec.gpu_count; ++i) {
+    gpus_.emplace_back(spec.gpu,
+                       draw_gpu_asic(spec.gpu, rng, spec.gpu_leakage_cv,
+                                     spec.gpu_vid_leakage_corr,
+                                     spec.gpu_dynamic_cv));
+  }
+  memory_mult_ = std::max(0.5, rng.normal(1.0, spec.memory_cv));
+  inlet_ = Celsius{rng.normal(spec.thermal.nominal_inlet.value(),
+                              spec.inlet_sd_c)};
+}
+
+Watts NodeInstance::heat_load(double activity,
+                              const NodeSettings& settings) const {
+  double heat = 0.0;
+  const OperatingPoint cpu_op =
+      settings.cpu_op.value_or(spec_.cpu.reference);
+  for (const auto& cpu : cpus_) heat += cpu.power(cpu_op, activity).value();
+  for (const auto& gpu : gpus_) {
+    const OperatingPoint op = settings.gpu_mode == NodeSettings::GpuMode::kFixed
+                                  ? settings.gpu_fixed_op
+                                  : gpu.default_operating_point();
+    heat += gpu.power(op, activity).value();
+  }
+  // Memory power tracks activity only partially (refresh + standby floor).
+  heat += spec_.memory_w * memory_mult_ * (0.4 + 0.6 * activity);
+  heat += spec_.misc_w;
+  return Watts{heat};
+}
+
+Watts NodeInstance::heat_load_at_temp(double activity,
+                                      const NodeSettings& settings,
+                                      Celsius temp) const {
+  double heat = 0.0;
+  const OperatingPoint cpu_op =
+      settings.cpu_op.value_or(spec_.cpu.reference);
+  for (const auto& cpu : cpus_) {
+    heat += cpu.power_at_temp(cpu_op, activity, temp).value();
+  }
+  for (const auto& gpu : gpus_) {
+    const OperatingPoint op = settings.gpu_mode == NodeSettings::GpuMode::kFixed
+                                  ? settings.gpu_fixed_op
+                                  : gpu.default_operating_point();
+    heat += gpu.power_at_temp(op, activity, temp).value();
+  }
+  heat += spec_.memory_w * memory_mult_ * (0.4 + 0.6 * activity);
+  heat += spec_.misc_w;
+  return Watts{heat};
+}
+
+ThermalState NodeInstance::thermal_state(double activity,
+                                         const NodeSettings& settings) const {
+  return solve_thermal(spec_.thermal, spec_.fan, settings.fan_policy,
+                       heat_load(activity, settings), inlet_);
+}
+
+Watts NodeInstance::dc_power(double activity,
+                             const NodeSettings& settings) const {
+  const Watts heat = heat_load(activity, settings);
+  const ThermalState st = solve_thermal(spec_.thermal, spec_.fan,
+                                        settings.fan_policy, heat, inlet_);
+  return heat + st.fan_power_w;
+}
+
+Watts NodeInstance::gpu_power(double activity,
+                              const NodeSettings& settings) const {
+  double p = 0.0;
+  for (const auto& gpu : gpus_) {
+    const OperatingPoint op = settings.gpu_mode == NodeSettings::GpuMode::kFixed
+                                  ? settings.gpu_fixed_op
+                                  : gpu.default_operating_point();
+    p += gpu.power(op, activity).value();
+  }
+  return Watts{p};
+}
+
+double NodeInstance::hpl_gflops(const NodeSettings& settings) const {
+  double gf = 0.0;
+  const OperatingPoint cpu_op =
+      settings.cpu_op.value_or(spec_.cpu.reference);
+  for (const auto& cpu : cpus_) {
+    gf += spec_.cpu.peak_gflops_ref * cpu.throughput(cpu_op);
+  }
+  for (const auto& gpu : gpus_) {
+    const OperatingPoint op = settings.gpu_mode == NodeSettings::GpuMode::kFixed
+                                  ? settings.gpu_fixed_op
+                                  : gpu.default_operating_point();
+    gf += gpu.gflops(op);
+  }
+  return gf * spec_.hpl_efficiency;
+}
+
+double NodeInstance::hpl_gflops_per_watt(const NodeSettings& settings) const {
+  const Watts p = dc_power(1.0, settings);
+  PV_ENSURES(p.value() > 0.0, "node power must be positive");
+  return hpl_gflops(settings) / p.value();
+}
+
+std::size_t NodeInstance::vid_bin() const {
+  std::size_t bin = 0;
+  for (const auto& gpu : gpus_) bin = std::max(bin, gpu.asic().vid_bin);
+  return bin;
+}
+
+}  // namespace pv

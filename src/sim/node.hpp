@@ -1,0 +1,121 @@
+#pragma once
+// The node model: a concrete machine built from component models, with its
+// manufacturing identity drawn once at "delivery".
+//
+// A NodeSpec describes the SKU (what was procured); a NodeInstance is one
+// physical node (which dies it got, where in the room it sits).  Power is
+// computed for a given workload activity under NodeSettings — the knobs an
+// operator controls: DVFS operating points, GPU voltage mode (fused VID vs
+// fixed), and the fan policy.  These settings are exactly the levers the
+// L-CSC case study (§5) manipulates.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/components.hpp"
+#include "sim/thermal.hpp"
+#include "stats/rng.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// SKU-level description of a node and its unit-to-unit variability.
+struct NodeSpec {
+  std::string label = "generic-node";
+  std::size_t cpu_count = 2;
+  CpuSpec cpu;
+  std::size_t gpu_count = 0;
+  GpuSpec gpu;
+  double memory_w = 40.0;  ///< DIMM power at full streaming activity
+  double misc_w = 25.0;    ///< board, NIC, drives, BMC
+  FanSpec fan;
+  ThermalSpec thermal;
+  double psu_rated_w = 1200.0;
+
+  // Unit-to-unit variability of the SKU.
+  double cpu_leakage_cv = 0.04;
+  double gpu_leakage_cv = 0.03;
+  double gpu_vid_leakage_corr = 0.5;
+  double gpu_dynamic_cv = 0.02;  ///< switching-capacitance spread per die
+  double inlet_sd_c = 1.5;   ///< machine-room inlet temperature spread
+  double memory_cv = 0.02;   ///< DIMM vendor mix
+
+  /// Fraction of HPL peak the node sustains (DGEMM efficiency ceiling).
+  double hpl_efficiency = 0.80;
+};
+
+/// Operator-controlled run settings.
+struct NodeSettings {
+  /// CPU operating point; defaults to the SKU reference point.
+  std::optional<OperatingPoint> cpu_op;
+  /// GPU voltage mode: fused VID at the reference frequency, or an
+  /// explicit fixed operating point (the L-CSC efficiency submission ran
+  /// 774 MHz at 1.018 V on every ASIC).
+  enum class GpuMode { kDefaultVid, kFixed };
+  GpuMode gpu_mode = GpuMode::kDefaultVid;
+  OperatingPoint gpu_fixed_op{megahertz(774.0), volts(1.018)};
+  FanPolicy fan_policy = FanPolicy::automatic();
+
+  static NodeSettings defaults() { return {}; }
+  static NodeSettings tuned_lcsc();  ///< fixed 774 MHz/1.018 V, pinned fans
+};
+
+/// One physical node.
+class NodeInstance {
+ public:
+  /// Draws the node's silicon and placement from `rng` (use a stream keyed
+  /// by the node index for a reproducible fleet).
+  NodeInstance(const NodeSpec& spec, Rng& rng);
+
+  /// DC power at the PSU output for a workload activity in [0, 1] under
+  /// the given settings (fan solve included).
+  [[nodiscard]] Watts dc_power(double activity,
+                               const NodeSettings& settings) const;
+
+  /// Power of the GPU dies alone — the component-subsystem scope ORNL
+  /// metered on Titan ("GPUs in 1000 nodes", Table 3).  Zero for CPU-only
+  /// nodes.
+  [[nodiscard]] Watts gpu_power(double activity,
+                                const NodeSettings& settings) const;
+
+  /// Steady-state thermal/fan state at the given activity.
+  [[nodiscard]] ThermalState thermal_state(double activity,
+                                           const NodeSettings& settings) const;
+
+  /// Silicon + memory heat with the junction at `temp` (temperature-
+  /// dependent leakage; used by the transient simulator).  Excludes fan
+  /// power.
+  [[nodiscard]] Watts heat_load_at_temp(double activity,
+                                        const NodeSettings& settings,
+                                        Celsius temp) const;
+
+  /// Sustained HPL performance of this node under the settings.
+  [[nodiscard]] double hpl_gflops(const NodeSettings& settings) const;
+
+  /// HPL energy efficiency in GFLOPS/W at full activity — the Figure 4
+  /// y-axis.
+  [[nodiscard]] double hpl_gflops_per_watt(const NodeSettings& settings) const;
+
+  [[nodiscard]] const NodeSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<CpuModel>& cpus() const { return cpus_; }
+  [[nodiscard]] const std::vector<GpuModel>& gpus() const { return gpus_; }
+  [[nodiscard]] Celsius inlet() const { return inlet_; }
+  /// The node's GPU VID bin (max across its GPUs; nodes are binned by the
+  /// worst ASIC, mirroring the L-CSC practice of grouping same-VID boards).
+  [[nodiscard]] std::size_t vid_bin() const;
+
+ private:
+  NodeSpec spec_;
+  std::vector<CpuModel> cpus_;
+  std::vector<GpuModel> gpus_;
+  double memory_mult_ = 1.0;
+  Celsius inlet_{22.0};
+
+  /// Silicon + memory heat (everything the fans must remove), before fan
+  /// power itself.
+  [[nodiscard]] Watts heat_load(double activity,
+                                const NodeSettings& settings) const;
+};
+
+}  // namespace pv

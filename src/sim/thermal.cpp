@@ -1,0 +1,32 @@
+#include "sim/thermal.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+double auto_fan_speed(const ThermalSpec& thermal, const FanSpec& fan,
+                      Watts heat, Celsius inlet) {
+  PV_EXPECTS(heat.value() >= 0.0, "heat load must be non-negative");
+  const double headroom = thermal.target_temp.value() - inlet.value();
+  PV_EXPECTS(headroom > 0.0, "inlet temperature at or above the setpoint");
+  // T = inlet + heat * r_ref / speed  <=  target
+  //   =>  speed >= heat * r_ref / (target - inlet)
+  const double needed = heat.value() * thermal.r_th_ref / headroom;
+  return std::clamp(needed, fan.min_speed, 1.0);
+}
+
+ThermalState solve_thermal(const ThermalSpec& thermal, const FanSpec& fan,
+                           FanPolicy policy, Watts heat, Celsius inlet) {
+  ThermalState st;
+  st.fan_speed = policy.mode == FanPolicy::Mode::kAuto
+                     ? auto_fan_speed(thermal, fan, heat, inlet)
+                     : std::clamp(policy.pinned_speed, fan.min_speed, 1.0);
+  st.component_temp =
+      Celsius{inlet.value() + heat.value() * thermal.r_th_ref / st.fan_speed};
+  st.fan_power_w = fan_power(fan, st.fan_speed);
+  return st;
+}
+
+}  // namespace pv

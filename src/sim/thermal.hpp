@@ -1,0 +1,46 @@
+#pragma once
+// Steady-state node thermal model and the automatic fan controller.
+//
+// Node inlet (ambient) temperature varies across a machine room by a few
+// degrees; the auto fan controller compensates by spinning faster on
+// hotter nodes, and fan power goes as speed cubed — which is how L-CSC's
+// fans came to dominate its node-to-node power spread (§5, Figure 4).
+//
+// The model: component temperature above inlet is heat * R_th(speed) with
+// R_th(speed) = r_ref / speed (doubling airflow halves the resistance).
+// The auto controller picks the slowest speed that holds the component at
+// or below its target temperature.
+
+#include "sim/components.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Thermal configuration of a node.
+struct ThermalSpec {
+  Celsius target_temp{75.0};    ///< controller setpoint for the hot spot
+  double r_th_ref = 0.08;       ///< K/W at fan speed 1.0
+  Celsius nominal_inlet{22.0};  ///< machine-room design inlet temperature
+};
+
+/// Result of the steady-state solve.
+struct ThermalState {
+  double fan_speed = 0.0;       ///< duty in [min_speed, 1]
+  Celsius component_temp{0.0};  ///< resulting hot-spot temperature
+  Watts fan_power_w{0.0};
+};
+
+/// Fan speed the auto controller settles at for the given heat load and
+/// inlet temperature: the slowest speed in [min_speed, 1] with
+/// inlet + heat * r_ref / speed <= target.  When even full speed cannot
+/// hold the target, returns 1.0 (the node runs hot).
+[[nodiscard]] double auto_fan_speed(const ThermalSpec& thermal,
+                                    const FanSpec& fan, Watts heat,
+                                    Celsius inlet);
+
+/// Full steady-state solve under a fan policy.
+[[nodiscard]] ThermalState solve_thermal(const ThermalSpec& thermal,
+                                         const FanSpec& fan, FanPolicy policy,
+                                         Watts heat, Celsius inlet);
+
+}  // namespace pv

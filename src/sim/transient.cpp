@@ -1,0 +1,93 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+TransientNodeSim::TransientNodeSim(const NodeInstance& node,
+                                   NodeSettings settings,
+                                   TransientConfig config)
+    : node_(node), settings_(settings), config_(config) {
+  PV_EXPECTS(config.dt.value() > 0.0, "integrator step must be positive");
+  PV_EXPECTS(config.thermal_capacity_j_per_k > 0.0,
+             "thermal capacity must be positive");
+  PV_EXPECTS(config.fan_lag.value() > 0.0, "fan lag must be positive");
+}
+
+Watts TransientNodeSim::heat_at(double activity, Celsius temp) const {
+  return node_.heat_load_at_temp(activity, settings_, temp);
+}
+
+Watts TransientNodeSim::step(TransientState& state, double activity) const {
+  const NodeSpec& spec = node_.spec();
+  const double dt = config_.dt.value();
+  const Watts heat = heat_at(activity, state.component_temp);
+
+  // Fan controller: first-order tracking of the auto target (or the pinned
+  // speed), lagged by tau_fan.
+  const double target =
+      settings_.fan_policy.mode == FanPolicy::Mode::kAuto
+          ? auto_fan_speed(spec.thermal, spec.fan, heat, node_.inlet())
+          : std::clamp(settings_.fan_policy.pinned_speed, spec.fan.min_speed,
+                       1.0);
+  const double alpha = 1.0 - std::exp(-dt / config_.fan_lag.value());
+  state.fan_speed += alpha * (target - state.fan_speed);
+  state.fan_speed = std::clamp(state.fan_speed, spec.fan.min_speed, 1.0);
+
+  // Thermal RC integration (exact step for the linearized plant: treat
+  // heat and fan as constant across dt).
+  const double r_th = spec.thermal.r_th_ref / state.fan_speed;
+  const double t_settle = node_.inlet().value() + heat.value() * r_th;
+  const double tau = config_.thermal_capacity_j_per_k * r_th;
+  const double beta = 1.0 - std::exp(-dt / tau);
+  state.component_temp = Celsius{state.component_temp.value() +
+                                 beta * (t_settle - state.component_temp.value())};
+
+  return heat + fan_power(spec.fan, state.fan_speed);
+}
+
+PowerTrace TransientNodeSim::simulate(const Workload& workload,
+                                      Seconds duration) {
+  const double total = duration.value() > 0.0
+                           ? duration.value()
+                           : workload.phases().total().value();
+  const auto steps = static_cast<std::size_t>(
+      std::floor(total / config_.dt.value() + 1e-9));
+  PV_EXPECTS(steps > 0, "duration shorter than one integrator step");
+
+  TransientState state;
+  state.component_temp =
+      config_.start_cold ? node_.inlet() : Celsius{60.0};
+  state.fan_speed = node_.spec().fan.min_speed;
+
+  std::vector<double> watts(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t_mid =
+        (static_cast<double>(i) + 0.5) * config_.dt.value();
+    const double activity = workload.intensity(std::min(t_mid, total));
+    watts[i] = step(state, activity).value();
+  }
+  return PowerTrace(Seconds{0.0}, config_.dt, std::move(watts));
+}
+
+TransientState TransientNodeSim::settle(double activity,
+                                        std::size_t max_steps) const {
+  TransientState state;
+  state.component_temp = node_.inlet();
+  state.fan_speed = node_.spec().fan.min_speed;
+  for (std::size_t i = 0; i < max_steps; ++i) {
+    TransientState prev = state;
+    (void)step(state, activity);
+    if (std::fabs(prev.component_temp.value() -
+                  state.component_temp.value()) < 1e-9 &&
+        std::fabs(prev.fan_speed - state.fan_speed) < 1e-12) {
+      break;
+    }
+  }
+  return state;
+}
+
+}  // namespace pv

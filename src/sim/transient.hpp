@@ -1,0 +1,69 @@
+#pragma once
+// Transient node simulation: the time-domain origin of the §3 warm-up
+// effects.
+//
+// The steady-state model (thermal.hpp) answers "where does the node
+// settle"; this module integrates the path there:
+//
+//   C dT/dt = P_heat(T) - (T - T_inlet) / R_th(fan)
+//   d(fan)/dt = (fan_target(T, heat) - fan) / tau_fan
+//
+// with temperature-dependent leakage closing the loop (a hot die leaks
+// more, which heats it further).  A cold node started under load ramps
+// its power over a few thermal time constants — the "variations at the
+// very beginning (warming up of hardware components)" that the paper's
+// Level 1 window rule must tolerate.
+
+#include "sim/node.hpp"
+#include "trace/time_series.hpp"
+#include "workload/workload.hpp"
+
+namespace pv {
+
+/// Integration and plant parameters of the transient model.
+struct TransientConfig {
+  Seconds dt{1.0};                     ///< integrator step
+  double thermal_capacity_j_per_k = 4000.0;  ///< node heat capacity C
+  Seconds fan_lag{20.0};               ///< controller first-order lag tau_fan
+  /// Initial component temperature (a cold start is the inlet itself).
+  bool start_cold = true;
+};
+
+/// One integrator step's state.
+struct TransientState {
+  Celsius component_temp{25.0};
+  double fan_speed = 0.3;
+};
+
+/// Simulates one node through a workload, producing its DC power trace
+/// with full thermal/fan dynamics.  The trace covers [0, duration) at the
+/// config's step; `duration` defaults (0) to the workload's total runtime.
+class TransientNodeSim {
+ public:
+  TransientNodeSim(const NodeInstance& node, NodeSettings settings,
+                   TransientConfig config);
+
+  /// Runs the integration.  Deterministic (no RNG: the stochastic inputs
+  /// all live in the node's identity and the workload).
+  [[nodiscard]] PowerTrace simulate(const Workload& workload,
+                                    Seconds duration = Seconds{0.0});
+
+  /// Single integrator step: advances state by dt under the given
+  /// activity; returns the node DC power over the step.
+  [[nodiscard]] Watts step(TransientState& state, double activity) const;
+
+  /// The steady-state the integrator converges to at a constant activity
+  /// (for tests: must agree with the algebraic thermal solve).
+  [[nodiscard]] TransientState settle(double activity,
+                                      std::size_t max_steps = 100000) const;
+
+ private:
+  const NodeInstance& node_;
+  NodeSettings settings_;
+  TransientConfig config_;
+
+  /// Heat generated at the current junction temperature (leakage loop).
+  [[nodiscard]] Watts heat_at(double activity, Celsius temp) const;
+};
+
+}  // namespace pv

@@ -1,0 +1,55 @@
+#include "stats/autocorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  PV_EXPECTS(xs.size() >= 2, "autocorrelation needs n >= 2");
+  PV_EXPECTS(lag < xs.size(), "lag must be smaller than the series");
+  const Summary s = summarize(xs);
+  PV_EXPECTS(s.stddev > 0.0, "constant series has no autocorrelation");
+  const double n = static_cast<double>(xs.size());
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    num += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+  }
+  double den = 0.0;
+  for (double x : xs) den += (x - s.mean) * (x - s.mean);
+  (void)n;
+  return num / den;
+}
+
+double integrated_autocorrelation_time(std::span<const double> xs) {
+  PV_EXPECTS(xs.size() >= 4, "need n >= 4");
+  double tau = 1.0;
+  const std::size_t max_lag = std::min<std::size_t>(xs.size() / 2, 2000);
+  // Geyer: accumulate paired sums Gamma_k = rho_{2k-1} + rho_{2k} while
+  // they stay positive.
+  for (std::size_t k = 1; 2 * k < max_lag; ++k) {
+    const double gamma = autocorrelation(xs, 2 * k - 1) +
+                         autocorrelation(xs, 2 * k);
+    if (gamma <= 0.0) break;
+    tau += 2.0 * gamma;
+  }
+  return std::max(1.0, tau);
+}
+
+double effective_sample_size(std::span<const double> xs) {
+  return std::max(1.0, static_cast<double>(xs.size()) /
+                           integrated_autocorrelation_time(xs));
+}
+
+double time_average_standard_error(std::span<const double> xs) {
+  const Summary s = summarize(xs);
+  PV_EXPECTS(s.count >= 4, "need n >= 4");
+  if (s.stddev == 0.0) return 0.0;
+  return s.stddev * std::sqrt(integrated_autocorrelation_time(xs) /
+                              static_cast<double>(xs.size()));
+}
+
+}  // namespace pv

@@ -1,0 +1,36 @@
+#pragma once
+// Autocorrelation and effective sample size for time series.
+//
+// Meter samples of a power trace are strongly autocorrelated (the AR(1)
+// texture of §3's wall-power charts), so the naive sd/sqrt(n) uncertainty
+// of a *time average* is too optimistic by the autocorrelation time.
+// These helpers quantify that: the effective sample size
+// n_eff = n / (1 + 2 sum_k rho_k), estimated with Geyer's initial
+// positive sequence truncation.
+
+#include <span>
+
+namespace pv {
+
+/// Sample autocorrelation at the given lag (biased normalization, the
+/// standard time-series convention).  lag < n required; lag 0 returns 1
+/// for any non-constant series.
+[[nodiscard]] double autocorrelation(std::span<const double> xs,
+                                     std::size_t lag);
+
+/// Integrated autocorrelation time tau = 1 + 2 sum_k rho_k, with the sum
+/// truncated at the first lag whose paired sum rho_{2k}+rho_{2k+1} turns
+/// negative (Geyer's initial positive sequence).  tau >= 1 for positively
+/// correlated series; ~1 for white noise.
+[[nodiscard]] double integrated_autocorrelation_time(
+    std::span<const double> xs);
+
+/// Effective number of independent samples in a correlated series:
+/// n / tau, at least 1.
+[[nodiscard]] double effective_sample_size(std::span<const double> xs);
+
+/// Standard error of the series' time average accounting for
+/// autocorrelation: sd * sqrt(tau / n).
+[[nodiscard]] double time_average_standard_error(std::span<const double> xs);
+
+}  // namespace pv

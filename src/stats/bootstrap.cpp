@@ -1,0 +1,39 @@
+#include "stats/bootstrap.hpp"
+
+#include "stats/descriptive.hpp"
+#include "stats/sampling.hpp"
+#include "util/expects.hpp"
+#include "util/mathx.hpp"
+
+namespace pv {
+
+BootstrapResult bootstrap_ci(
+    Rng& rng, std::span<const double> data,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double alpha) {
+  PV_EXPECTS(!data.empty(), "bootstrap over empty data");
+  PV_EXPECTS(replicates >= 2, "bootstrap needs at least two replicates");
+  PV_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  PV_EXPECTS(statistic != nullptr, "null statistic");
+
+  BootstrapResult out;
+  out.point_estimate = statistic(data);
+  out.replicates.reserve(replicates);
+  std::vector<double> buf(data.size());
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& v : buf) v = data[rng.uniform_index(data.size())];
+    out.replicates.push_back(statistic(buf));
+  }
+  out.ci.lo = quantile(out.replicates, alpha / 2.0);
+  out.ci.hi = quantile(out.replicates, 1.0 - alpha / 2.0);
+  return out;
+}
+
+BootstrapResult bootstrap_mean_ci(Rng& rng, std::span<const double> data,
+                                  std::size_t replicates, double alpha) {
+  return bootstrap_ci(
+      rng, data, [](std::span<const double> xs) { return mean_of(xs); },
+      replicates, alpha);
+}
+
+}  // namespace pv

@@ -1,0 +1,46 @@
+#pragma once
+// Bootstrap resampling: percentile confidence intervals for arbitrary
+// statistics, and the building blocks of the paper's Figure 3 coverage
+// study (which lives in core/coverage and composes these primitives).
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace pv {
+
+/// A two-sided interval estimate.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] bool contains(double x) const { return x >= lo && x <= hi; }
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] double center() const { return 0.5 * (lo + hi); }
+};
+
+/// Result of a bootstrap run.
+struct BootstrapResult {
+  double point_estimate = 0.0;   ///< statistic on the original sample
+  Interval ci;                   ///< percentile interval at the given level
+  std::vector<double> replicates;  ///< statistic value per resample
+};
+
+/// Percentile-bootstrap CI for `statistic` over `data`.
+///
+/// `replicates` resamples of size data.size() are drawn with replacement;
+/// the (alpha/2, 1-alpha/2) percentiles of the statistic's replicates form
+/// the interval.  Deterministic given `rng`'s state.
+[[nodiscard]] BootstrapResult bootstrap_ci(
+    Rng& rng, std::span<const double> data,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double alpha);
+
+/// Convenience: bootstrap CI for the sample mean.
+[[nodiscard]] BootstrapResult bootstrap_mean_ci(Rng& rng,
+                                                std::span<const double> data,
+                                                std::size_t replicates,
+                                                double alpha);
+
+}  // namespace pv

@@ -1,0 +1,99 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+NormalDist::NormalDist(double mean, double sd) : mean_(mean), sd_(sd) {
+  PV_EXPECTS(sd >= 0.0, "normal sd must be non-negative");
+}
+
+double NormalDist::sample(Rng& rng) const { return rng.normal(mean_, sd_); }
+
+LogNormalDist::LogNormalDist(double mean, double sd) : mean_(mean), sd_(sd) {
+  PV_EXPECTS(mean > 0.0, "log-normal target mean must be positive");
+  PV_EXPECTS(sd >= 0.0, "log-normal target sd must be non-negative");
+  // Invert the moment equations E[X] = exp(mu + sigma^2/2),
+  // Var[X] = (exp(sigma^2) - 1) exp(2 mu + sigma^2).
+  const double cv2 = (sd / mean) * (sd / mean);
+  sigma_ = std::sqrt(std::log1p(cv2));
+  mu_ = std::log(mean) - 0.5 * sigma_ * sigma_;
+}
+
+double LogNormalDist::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu_, sigma_));
+}
+
+TruncatedDist::TruncatedDist(std::shared_ptr<const Distribution> inner,
+                             double lo, double hi)
+    : inner_(std::move(inner)), lo_(lo), hi_(hi) {
+  PV_EXPECTS(inner_ != nullptr, "truncated distribution needs an inner one");
+  PV_EXPECTS(lo < hi, "truncation interval must be non-empty");
+}
+
+double TruncatedDist::sample(Rng& rng) const {
+  // Rejection sampling; the truncation intervals used in this library keep
+  // well over half the mass, so expected iterations are < 2.  Guard against
+  // misconfiguration with a bounded loop.
+  for (int i = 0; i < 10000; ++i) {
+    const double x = inner_->sample(rng);
+    if (x >= lo_ && x <= hi_) return x;
+  }
+  PV_ENSURES(false, "truncation interval has negligible mass");
+  return lo_;  // unreachable
+}
+
+MixtureDist::MixtureDist(std::vector<Component> components)
+    : components_(std::move(components)), total_weight_(0.0) {
+  PV_EXPECTS(!components_.empty(), "mixture needs at least one component");
+  for (const auto& c : components_) {
+    PV_EXPECTS(c.weight > 0.0, "mixture weights must be positive");
+    PV_EXPECTS(c.dist != nullptr, "mixture component distribution is null");
+    total_weight_ += c.weight;
+  }
+}
+
+double MixtureDist::sample(Rng& rng) const {
+  double u = rng.uniform() * total_weight_;
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.dist->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().dist->sample(rng);  // numeric edge
+}
+
+double MixtureDist::mean() const {
+  double m = 0.0;
+  for (const auto& c : components_) m += c.weight * c.dist->mean();
+  return m / total_weight_;
+}
+
+double MixtureDist::stddev() const {
+  // Var = sum w_i (sd_i^2 + mu_i^2) - mu^2 (law of total variance).
+  const double mu = mean();
+  double second = 0.0;
+  for (const auto& c : components_) {
+    const double mi = c.dist->mean();
+    const double si = c.dist->stddev();
+    second += c.weight * (si * si + mi * mi);
+  }
+  second /= total_weight_;
+  return std::sqrt(std::max(0.0, second - mu * mu));
+}
+
+EmpiricalDist::EmpiricalDist(std::vector<double> data)
+    : data_(std::move(data)) {
+  PV_EXPECTS(!data_.empty(), "empirical distribution needs data");
+  const Summary s = summarize(data_);
+  mean_ = s.mean;
+  sd_ = s.stddev;
+}
+
+double EmpiricalDist::sample(Rng& rng) const {
+  return data_[rng.uniform_index(data_.size())];
+}
+
+}  // namespace pv

@@ -1,0 +1,114 @@
+#pragma once
+// Samplable distributions used by the fleet generator.
+//
+// Per-node power in the paper is "roughly unimodal with few outliers"
+// (Figure 2).  The fleet generator composes these primitives: a Normal or
+// LogNormal body, optionally truncated to physical bounds, plus a small
+// outlier Mixture component that reproduces the heavy tails the paper
+// stress-tests with bootstrap calibration.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace pv {
+
+/// Abstract samplable distribution over doubles.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draws one deviate using the supplied generator.
+  [[nodiscard]] virtual double sample(Rng& rng) const = 0;
+  /// Distribution mean (exact where closed form exists).
+  [[nodiscard]] virtual double mean() const = 0;
+  /// Distribution standard deviation.
+  [[nodiscard]] virtual double stddev() const = 0;
+};
+
+/// Gaussian N(mean, sd^2).
+class NormalDist final : public Distribution {
+ public:
+  NormalDist(double mean, double sd);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double stddev() const override { return sd_; }
+
+ private:
+  double mean_;
+  double sd_;
+};
+
+/// Log-normal parameterized by the *target* mean and sd of the deviates
+/// themselves (not of the underlying normal), which is what fleet
+/// calibration specifies.
+class LogNormalDist final : public Distribution {
+ public:
+  LogNormalDist(double mean, double sd);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double stddev() const override { return sd_; }
+  [[nodiscard]] double mu_log() const { return mu_; }
+  [[nodiscard]] double sigma_log() const { return sigma_; }
+
+ private:
+  double mean_;
+  double sd_;
+  double mu_;
+  double sigma_;
+};
+
+/// Rejection-truncated wrapper: resamples the inner distribution until the
+/// deviate lies within [lo, hi].  Mean/stddev report the *inner* moments
+/// (truncation is assumed mild; used only to enforce physical bounds such
+/// as power > 0).
+class TruncatedDist final : public Distribution {
+ public:
+  TruncatedDist(std::shared_ptr<const Distribution> inner, double lo, double hi);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return inner_->mean(); }
+  [[nodiscard]] double stddev() const override { return inner_->stddev(); }
+
+ private:
+  std::shared_ptr<const Distribution> inner_;
+  double lo_;
+  double hi_;
+};
+
+/// Finite mixture with given component weights.
+class MixtureDist final : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    std::shared_ptr<const Distribution> dist;
+  };
+  explicit MixtureDist(std::vector<Component> components);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double stddev() const override;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_;
+};
+
+/// Empirical distribution: resamples observed data with replacement.
+/// This is the "simulate a complete supercomputer by resampling the pilot"
+/// primitive of the Figure 3 bootstrap procedure.
+class EmpiricalDist final : public Distribution {
+ public:
+  explicit EmpiricalDist(std::vector<double> data);
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double stddev() const override { return sd_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+ private:
+  std::vector<double> data_;
+  double mean_;
+  double sd_;
+};
+
+}  // namespace pv

@@ -1,0 +1,130 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  PV_EXPECTS(bins > 0, "histogram needs at least one bin");
+  PV_EXPECTS(hi > lo, "histogram range must be non-empty");
+}
+
+Histogram Histogram::auto_binned(std::span<const double> xs) {
+  PV_EXPECTS(xs.size() >= 2, "auto-binned histogram needs n >= 2");
+  const double q1 = quantile(xs, 0.25);
+  const double q3 = quantile(xs, 0.75);
+  const double iqr = q3 - q1;
+  const double n = static_cast<double>(xs.size());
+  const auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  double lo = *mn_it, hi = *mx_it;
+  if (hi == lo) {  // constant sample: widen artificially
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  std::size_t bins;
+  if (iqr > 0.0) {
+    const double width = 2.0 * iqr / std::cbrt(n);  // Freedman–Diaconis
+    bins = static_cast<std::size_t>(std::ceil((hi - lo) / width));
+  } else {
+    bins = static_cast<std::size_t>(std::ceil(std::log2(n) + 1.0));  // Sturges
+  }
+  bins = std::clamp<std::size_t>(bins, 1, 512);
+  // Nudge hi so the max value falls inside the last bin rather than on the
+  // open right edge.
+  const double pad = (hi - lo) * 1e-9 + 1e-12;
+  Histogram h(lo, hi + pad, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  double idx_f = (x - lo_) / bin_width_;
+  auto idx = static_cast<long long>(std::floor(idx_f));
+  idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  PV_EXPECTS(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  PV_EXPECTS(bin < counts_.size(), "bin index out of range");
+  return lo_ + bin_width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+std::size_t Histogram::modality() const {
+  // Smooth with a 3-tap moving average to suppress single-bin jitter, then
+  // count strict local maxima above 5% of the peak.
+  const std::size_t n = counts_.size();
+  if (n < 3) return n > 0 && total_ > 0 ? 1 : 0;
+  std::vector<double> smooth(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = static_cast<double>(counts_[i]);
+    double cnt = 1.0;
+    if (i > 0) {
+      acc += static_cast<double>(counts_[i - 1]);
+      cnt += 1.0;
+    }
+    if (i + 1 < n) {
+      acc += static_cast<double>(counts_[i + 1]);
+      cnt += 1.0;
+    }
+    smooth[i] = acc / cnt;
+  }
+  const double peak = *std::max_element(smooth.begin(), smooth.end());
+  if (peak <= 0.0) return 0;
+  const double floor_level = 0.05 * peak;
+  std::size_t modes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double left = i > 0 ? smooth[i - 1] : -1.0;
+    const double right = i + 1 < n ? smooth[i + 1] : -1.0;
+    if (smooth[i] > floor_level && smooth[i] > left && smooth[i] >= right) {
+      ++modes;
+      // Skip the plateau so a flat top counts once.
+      while (i + 1 < n && smooth[i + 1] == smooth[i]) ++i;
+    }
+  }
+  return modes;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  PV_EXPECTS(width >= 1, "render width must be positive");
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char label[64];
+    std::snprintf(label, sizeof label, "[%9.2f, %9.2f)", bin_lo(b), bin_hi(b));
+    std::size_t bar =
+        peak == 0 ? 0 : (counts_[b] * width + peak - 1) / peak;  // ceil
+    os << label << ' ' << std::string(bar, '#');
+    if (counts_[b] > 0) os << ' ' << counts_[b];
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pv

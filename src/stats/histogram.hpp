@@ -1,0 +1,52 @@
+#pragma once
+// Fixed-width histograms with automatic bin selection and an ASCII
+// renderer — used to reproduce Figure 2 (per-node power histograms).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pv {
+
+/// A fixed-width histogram over [lo, hi) with `bins` bins; values outside
+/// the range are clamped into the edge bins so no sample is dropped
+/// (outliers are exactly what Figure 2 is looking for).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram over the sample's own range using the
+  /// Freedman–Diaconis rule for bin width (falling back to Sturges when the
+  /// IQR is degenerate).
+  static Histogram auto_binned(std::span<const double> xs);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+  /// Index of the fullest bin (the mode's bin).
+  [[nodiscard]] std::size_t mode_bin() const;
+
+  /// Number of local maxima in the (lightly smoothed) bin counts — the
+  /// paper's "roughly unimodal" check.
+  [[nodiscard]] std::size_t modality() const;
+
+  /// Renders a horizontal bar chart, one bin per line, `width` columns max.
+  [[nodiscard]] std::string render(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pv

@@ -1,0 +1,43 @@
+#pragma once
+// Normality diagnostics.
+//
+// §4.2: "We should check for all the available data that any violations of
+// normality are small enough that the sample size determination procedure
+// is still valid."  The paper does that by bootstrap coverage simulation
+// (core/coverage); these classical tests give the quick analytic check a
+// site would run on its pilot sample first:
+//   * Jarque–Bera: moment-based (skewness + kurtosis), chi-square(2) null;
+//   * Anderson–Darling (case 3: mean and variance estimated), with the
+//     Stephens small-sample correction and the D'Agostino p-value fit.
+
+#include <span>
+
+namespace pv {
+
+/// Outcome of a normality test.
+struct NormalityResult {
+  double statistic = 0.0;
+  double p_value = 0.0;
+  /// Convenience verdict at the given significance (true = "no evidence
+  /// against normality").
+  [[nodiscard]] bool consistent_with_normal(double alpha = 0.05) const {
+    return p_value >= alpha;
+  }
+};
+
+/// Jarque–Bera test.  Requires n >= 8 and a non-constant sample.
+/// JB = n/6 (S^2 + K^2/4) with S the sample skewness and K the excess
+/// kurtosis; p-value from the asymptotic chi-square(2) distribution.
+[[nodiscard]] NormalityResult jarque_bera(std::span<const double> xs);
+
+/// Anderson–Darling test for normality with estimated parameters.
+/// Requires n >= 8 and a non-constant sample.  The statistic uses the
+/// Stephens (1986) correction A*^2 = A^2 (1 + 0.75/n + 2.25/n^2); the
+/// p-value follows D'Agostino & Stephens' piecewise exponential fit.
+[[nodiscard]] NormalityResult anderson_darling(std::span<const double> xs);
+
+/// Upper tail of the chi-square distribution with k degrees of freedom
+/// (via the regularized incomplete gamma function; exposed for reuse).
+[[nodiscard]] double chi_square_sf(double x, double k);
+
+}  // namespace pv

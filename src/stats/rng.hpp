@@ -1,0 +1,73 @@
+#pragma once
+// Deterministic, splittable pseudo-random generation.
+//
+// Every stochastic component in the library draws from an Rng seeded from a
+// (experiment seed, stream id) pair, so fleet simulations are reproducible
+// bit-for-bit regardless of thread count: node i always uses stream i.
+//
+// The generator is xoshiro256** (Blackman & Vigna, public domain algorithm),
+// seeded through SplitMix64 as its authors recommend.  It satisfies
+// std::uniform_random_bit_generator, so it composes with <random>
+// distributions, but the helpers below avoid libstdc++-specific
+// distribution quirks for the few distributions we rely on for calibration.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace pv {
+
+/// SplitMix64: a tiny 64-bit generator used for seeding xoshiro streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the library-wide PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state via SplitMix64 from (seed, stream).
+  /// Different streams of the same seed are statistically independent.
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1) with 53 bits of mantissa.
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n); n must be > 0.  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal deviate (Marsaglia polar method, cached pair).
+  double normal();
+  /// Normal deviate with the given mean and standard deviation (sd >= 0).
+  double normal(double mean, double sd);
+  /// True with probability p (p in [0, 1]).
+  bool bernoulli(double p);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace pv

@@ -1,0 +1,58 @@
+#include "stats/sampling.hpp"
+
+#include <numeric>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t k) {
+  PV_EXPECTS(k <= n, "cannot sample more items than the population holds");
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.uniform_index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<std::size_t> sample_with_replacement(Rng& rng, std::size_t n,
+                                                 std::size_t k) {
+  PV_EXPECTS(n > 0, "population must be non-empty");
+  std::vector<std::size_t> out(k);
+  for (auto& v : out) v = rng.uniform_index(n);
+  return out;
+}
+
+std::vector<double> gather(std::span<const double> xs,
+                           std::span<const std::size_t> idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) {
+    PV_EXPECTS(i < xs.size(), "gather index out of range");
+    out.push_back(xs[i]);
+  }
+  return out;
+}
+
+std::vector<double> resample(Rng& rng, std::span<const double> xs,
+                             std::size_t n) {
+  PV_EXPECTS(!xs.empty(), "resample of empty sample");
+  if (n == 0) n = xs.size();
+  std::vector<double> out(n);
+  for (auto& v : out) v = xs[rng.uniform_index(xs.size())];
+  return out;
+}
+
+void shuffle(Rng& rng, std::span<std::size_t> xs) {
+  if (xs.size() < 2) return;
+  for (std::size_t i = xs.size() - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    std::swap(xs[i], xs[j]);
+  }
+}
+
+}  // namespace pv

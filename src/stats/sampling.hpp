@@ -1,0 +1,36 @@
+#pragma once
+// Random sampling utilities: the subset-selection machinery behind the
+// methodology's "measure a random sample of nodes" step and the bootstrap
+// procedure of Figure 3.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace pv {
+
+/// k distinct indices drawn uniformly from [0, n) without replacement
+/// (partial Fisher–Yates over an index vector; O(n) memory, O(n) time).
+/// Requires k <= n.  Result order is the shuffle order (random).
+[[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+    Rng& rng, std::size_t n, std::size_t k);
+
+/// k indices drawn uniformly from [0, n) with replacement.
+[[nodiscard]] std::vector<std::size_t> sample_with_replacement(
+    Rng& rng, std::size_t n, std::size_t k);
+
+/// Values of xs at the given indices.
+[[nodiscard]] std::vector<double> gather(std::span<const double> xs,
+                                         std::span<const std::size_t> idx);
+
+/// Bootstrap resample: n draws with replacement from xs (n defaults to
+/// xs.size() when n == 0).
+[[nodiscard]] std::vector<double> resample(Rng& rng, std::span<const double> xs,
+                                           std::size_t n = 0);
+
+/// In-place Fisher–Yates shuffle.
+void shuffle(Rng& rng, std::span<std::size_t> xs);
+
+}  // namespace pv

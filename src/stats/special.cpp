@@ -1,0 +1,245 @@
+#include "stats/special.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+// Acklam's rational approximation to the inverse normal CDF.  Accurate to
+// ~1.15e-9 on its own; we refine with one Halley step below.
+double acklam_inverse(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+// Continued-fraction evaluation for the incomplete beta (modified Lentz).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 10.0 * kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double norm_pdf(double x) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double norm_cdf(double x) {
+  // erfc-based form is accurate in both tails.
+  constexpr double kInvSqrt2 = 0.7071067811865475244;
+  return 0.5 * std::erfc(-x * kInvSqrt2);
+}
+
+double norm_quantile(double p) {
+  PV_EXPECTS(p > 0.0 && p < 1.0, "normal quantile needs p in (0,1)");
+  double x = acklam_inverse(p);
+  // One Halley refinement step against the exact CDF pushes the result to
+  // full double precision.
+  const double e = norm_cdf(x) - p;
+  const double u = e / norm_pdf(x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double z_critical(double alpha) {
+  PV_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  return norm_quantile(1.0 - alpha / 2.0);
+}
+
+double log_gamma(double x) {
+  PV_EXPECTS(x > 0.0, "log_gamma defined here for x > 0");
+  return std::lgamma(x);
+}
+
+double incomplete_beta(double a, double b, double x) {
+  PV_EXPECTS(a > 0.0 && b > 0.0, "incomplete_beta needs a, b > 0");
+  PV_EXPECTS(x >= 0.0 && x <= 1.0, "incomplete_beta needs x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                           a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  // Use the continued fraction directly where it converges fast, and the
+  // symmetry I_x(a,b) = 1 - I_{1-x}(b,a) elsewhere.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+namespace {
+
+// Series expansion for P(a, x), convergent for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Continued fraction for Q(a, x), convergent for x >= a + 1 (Lentz).
+double gamma_q_cf(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-16) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+}  // namespace
+
+double incomplete_gamma_p(double a, double x) {
+  PV_EXPECTS(a > 0.0, "incomplete gamma needs a > 0");
+  PV_EXPECTS(x >= 0.0, "incomplete gamma needs x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double incomplete_gamma_q(double a, double x) {
+  PV_EXPECTS(a > 0.0, "incomplete gamma needs a > 0");
+  PV_EXPECTS(x >= 0.0, "incomplete gamma needs x >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double t_cdf(double x, double nu) {
+  PV_EXPECTS(nu > 0.0, "degrees of freedom must be positive");
+  if (x == 0.0) return 0.5;
+  const double x2 = x * x;
+  // P(T <= x) expressed through I_z(nu/2, 1/2) of z = nu / (nu + x^2).
+  const double z = nu / (nu + x2);
+  const double tail = 0.5 * incomplete_beta(0.5 * nu, 0.5, z);
+  return x > 0.0 ? 1.0 - tail : tail;
+}
+
+double t_pdf(double x, double nu) {
+  PV_EXPECTS(nu > 0.0, "degrees of freedom must be positive");
+  const double log_c = log_gamma(0.5 * (nu + 1.0)) - log_gamma(0.5 * nu) -
+                       0.5 * std::log(nu * M_PI);
+  return std::exp(log_c - 0.5 * (nu + 1.0) * std::log1p(x * x / nu));
+}
+
+double t_quantile(double p, double nu) {
+  PV_EXPECTS(p > 0.0 && p < 1.0, "t quantile needs p in (0,1)");
+  PV_EXPECTS(nu > 0.0, "degrees of freedom must be positive");
+  if (p == 0.5) return 0.0;
+
+  // Cornish–Fisher-style expansion about the normal quantile (Hill 1970
+  // flavor) gives an excellent starting point for Newton.
+  const double z = norm_quantile(p);
+  const double g1 = (z * z * z + z) / 4.0;
+  const double g2 = (5.0 * z * z * z * z * z + 16.0 * z * z * z + 3.0 * z) / 96.0;
+  const double g3 = (3.0 * std::pow(z, 7.0) + 19.0 * std::pow(z, 5.0) +
+                     17.0 * z * z * z - 15.0 * z) /
+                    384.0;
+  double x = z + g1 / nu + g2 / (nu * nu) + g3 / (nu * nu * nu);
+
+  // Newton iterations on the exact CDF; the t CDF is smooth and monotone so
+  // this converges in a handful of steps for any nu >= 1.  For tiny nu the
+  // expansion can overshoot; damp the step if it does not reduce the error.
+  for (int i = 0; i < 60; ++i) {
+    const double err = t_cdf(x, nu) - p;
+    if (std::fabs(err) < 1e-15) break;
+    const double deriv = t_pdf(x, nu);
+    if (deriv <= 0.0) break;
+    double step = err / deriv;
+    // Clamp pathological steps (possible deep in the tails for nu < 1).
+    const double max_step = 2.0 * (1.0 + std::fabs(x));
+    if (std::fabs(step) > max_step) step = std::copysign(max_step, step);
+    const double next = x - step;
+    if (std::fabs(next - x) < 1e-14 * (1.0 + std::fabs(x))) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+double t_critical(double alpha, double nu) {
+  PV_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  return t_quantile(1.0 - alpha / 2.0, nu);
+}
+
+}  // namespace pv

@@ -1,0 +1,58 @@
+#pragma once
+// Special functions backing the paper's statistics: the standard normal
+// CDF and quantile, the regularized incomplete beta function, and the
+// Student-t CDF and quantile.
+//
+// Equation 4 of the paper needs z_{1-alpha/2}; Equation 1 and the §4 intro
+// examples need t_{n-1,1-alpha/2}.  Both quantiles are implemented here
+// from scratch so results are identical across platforms:
+//   * Phi^{-1} uses Peter Acklam's rational approximation refined with one
+//     Halley step against the exact erfc-based CDF (|rel err| < 1e-15).
+//   * The t CDF is expressed through the regularized incomplete beta
+//     function I_x(a,b), computed with the Lentz continued fraction.
+//   * The t quantile inverts the CDF with Newton iterations started from
+//     the Cornish–Fisher expansion around the normal quantile.
+
+namespace pv {
+
+/// Standard normal probability density function.
+[[nodiscard]] double norm_pdf(double x);
+
+/// Standard normal cumulative distribution function Phi(x).
+[[nodiscard]] double norm_cdf(double x);
+
+/// Standard normal quantile Phi^{-1}(p), p in (0, 1).
+[[nodiscard]] double norm_quantile(double p);
+
+/// z_{1-alpha/2}: the two-sided normal critical value used in Equation 4.
+/// alpha in (0, 1); e.g. alpha = 0.05 -> 1.959964.
+[[nodiscard]] double z_critical(double alpha);
+
+/// Natural log of the Gamma function (thin wrapper over std::lgamma, kept
+/// here so callers depend on one numerics header).
+[[nodiscard]] double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), a > 0, b > 0,
+/// x in [0, 1].
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Regularized lower incomplete gamma function P(a, x), a > 0, x >= 0.
+[[nodiscard]] double incomplete_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double incomplete_gamma_q(double a, double x);
+
+/// Student-t cumulative distribution function with `nu` degrees of freedom
+/// (nu > 0, not necessarily integral).
+[[nodiscard]] double t_cdf(double x, double nu);
+
+/// Student-t probability density function.
+[[nodiscard]] double t_pdf(double x, double nu);
+
+/// Student-t quantile function, p in (0, 1), nu > 0.
+[[nodiscard]] double t_quantile(double p, double nu);
+
+/// t_{nu,1-alpha/2}: the two-sided t critical value used in Equation 1.
+[[nodiscard]] double t_critical(double alpha, double nu);
+
+}  // namespace pv

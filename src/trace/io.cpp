@@ -1,0 +1,84 @@
+#include "trace/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+void save_trace_csv(const PowerTrace& trace, const std::string& path) {
+  CsvWriter csv({"t_s", "power_w"});
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    csv.add_row(std::vector<double>{trace.time_at(i).value(),
+                                    trace.watt_at(i)});
+  }
+  csv.write_file(path);
+}
+
+PowerTrace parse_trace_csv(const std::string& csv_text) {
+  std::istringstream in(csv_text);
+  std::string line;
+  std::vector<double> times;
+  std::vector<double> watts;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.back() == '\r') {
+      if (!line.empty()) line.pop_back();
+      if (line.empty()) continue;
+    }
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    double t = 0.0, w = 0.0;
+    if (std::sscanf(line.c_str(), "%lf,%lf", &t, &w) != 2) {
+      throw std::runtime_error("trace csv: malformed row at line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    times.push_back(t);
+    watts.push_back(w);
+  }
+  if (watts.size() < 2) {
+    throw std::runtime_error("trace csv: need at least two samples");
+  }
+
+  // Infer and validate the sampling interval.
+  std::vector<double> deltas(times.size() - 1);
+  for (std::size_t i = 0; i + 1 < times.size(); ++i) {
+    deltas[i] = times[i + 1] - times[i];
+  }
+  std::vector<double> sorted = deltas;
+  std::sort(sorted.begin(), sorted.end());
+  const double dt = sorted[sorted.size() / 2];
+  if (dt <= 0.0) {
+    throw std::runtime_error("trace csv: timestamps are not increasing");
+  }
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    if (std::fabs(deltas[i] - dt) > 0.01 * dt) {
+      throw std::runtime_error(
+          "trace csv: non-uniform sampling at row " + std::to_string(i + 2) +
+          " (dt " + std::to_string(deltas[i]) + " vs " + std::to_string(dt) +
+          ")");
+    }
+  }
+  return PowerTrace(Seconds{times.front()}, Seconds{dt}, std::move(watts));
+}
+
+PowerTrace load_trace_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace csv: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_trace_csv(buf.str());
+}
+
+}  // namespace pv

@@ -1,0 +1,26 @@
+#pragma once
+// Trace persistence: CSV import/export so campaigns and audits can run on
+// external wall-power logs (the format most site PDU loggers emit).
+//
+// Format: a header line, then `t_s,power_w` rows at a uniform sampling
+// interval.  Loading validates uniformity; small jitter (< 1% of dt) is
+// tolerated and snapped to the median interval.
+
+#include <string>
+
+#include "trace/time_series.hpp"
+
+namespace pv {
+
+/// Writes `t_s,power_w` CSV (one row per sample, t = sample start).
+void save_trace_csv(const PowerTrace& trace, const std::string& path);
+
+/// Parses a trace from CSV written by save_trace_csv (or any uniform
+/// two-column `t,power` file; extra columns are ignored).  Throws
+/// std::runtime_error on malformed input or non-uniform timestamps.
+[[nodiscard]] PowerTrace load_trace_csv(const std::string& path);
+
+/// Parses from an in-memory CSV string (same rules).
+[[nodiscard]] PowerTrace parse_trace_csv(const std::string& csv_text);
+
+}  // namespace pv

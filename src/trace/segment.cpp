@@ -1,0 +1,72 @@
+#include "trace/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+TimeWindow RunPhases::core_fraction(double begin_frac, double end_frac) const {
+  PV_EXPECTS(core.value() > 0.0, "run has no core phase");
+  PV_EXPECTS(begin_frac >= 0.0 && end_frac <= 1.0 && begin_frac < end_frac,
+             "fractions must satisfy 0 <= begin < end <= 1");
+  const double b = core_begin().value() + begin_frac * core.value();
+  const double e = core_begin().value() + end_frac * core.value();
+  return {Seconds{b}, Seconds{e}};
+}
+
+Seconds RunPhases::level1_min_duration() const {
+  PV_EXPECTS(core.value() > 0.0, "run has no core phase");
+  const double middle = 0.8 * core.value();
+  return Seconds{std::max(60.0, 0.2 * middle)};
+}
+
+TimeWindow RunPhases::level1_window(double position) const {
+  PV_EXPECTS(position >= 0.0 && position <= 1.0,
+             "window position must lie in [0,1]");
+  const TimeWindow allowed = middle_80();
+  const double need = level1_min_duration().value();
+  const double slack = allowed.duration().value() - need;
+  PV_EXPECTS(slack >= 0.0,
+             "core phase too short for a Level 1 window inside its middle 80%");
+  const double begin = allowed.begin.value() + position * slack;
+  return {Seconds{begin}, Seconds{begin + need}};
+}
+
+std::vector<TimeWindow> RunPhases::level2_windows() const {
+  PV_EXPECTS(core.value() > 0.0, "run has no core phase");
+  std::vector<TimeWindow> out;
+  out.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    out.push_back(core_fraction(0.1 * i, 0.1 * (i + 1)));
+  }
+  return out;
+}
+
+TimeWindow detect_core_phase(const PowerTrace& trace, double threshold_frac) {
+  PV_EXPECTS(threshold_frac > 0.0 && threshold_frac < 1.0,
+             "threshold fraction must be in (0,1)");
+  const auto watts = trace.watts();
+  // Use robust percentiles so a few spikes don't move the threshold.
+  const double lo = quantile(watts, 0.05);
+  const double hi = quantile(watts, 0.95);
+  PV_EXPECTS(hi > lo, "trace has no dynamic range to detect phases in");
+  const double threshold = lo + threshold_frac * (hi - lo);
+
+  std::size_t first = watts.size(), last = 0;
+  for (std::size_t i = 0; i < watts.size(); ++i) {
+    if (watts[i] >= threshold) {
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  PV_EXPECTS(first < watts.size(), "no samples above the phase threshold");
+  const double t0 = trace.t0().value();
+  const double dt = trace.dt().value();
+  return {Seconds{t0 + dt * static_cast<double>(first)},
+          Seconds{t0 + dt * static_cast<double>(last + 1)}};
+}
+
+}  // namespace pv

@@ -1,0 +1,66 @@
+#pragma once
+// Benchmark-run phase structure and the fraction-based measurement windows
+// the EE HPC WG methodology is written in terms of.
+//
+// A run is setup | core phase | teardown.  Performance is always measured
+// over the core phase; the methodology levels differ in which *part* of the
+// core phase the power measurement must cover:
+//   * Level 1 (pre-2015): >= max(1 minute, 20% of the middle 80%) of the
+//     core phase, anywhere within that middle 80%.
+//   * Level 2: ten equally spaced averaged measurements spanning the run.
+//   * Level 3 and the paper's revised rules: the entire core phase.
+
+#include <vector>
+
+#include "trace/time_series.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Durations of the three phases of a benchmark run.  The run starts at
+/// t = 0; the core phase occupies [setup, setup + core).
+struct RunPhases {
+  Seconds setup{0.0};
+  Seconds core{0.0};
+  Seconds teardown{0.0};
+
+  [[nodiscard]] Seconds total() const { return setup + core + teardown; }
+  [[nodiscard]] Seconds core_begin() const { return setup; }
+  [[nodiscard]] Seconds core_end() const { return setup + core; }
+  [[nodiscard]] TimeWindow core_window() const {
+    return {core_begin(), core_end()};
+  }
+
+  /// Sub-window of the core phase by fractional offsets, e.g.
+  /// core_fraction(0.0, 0.2) is the first 20% of the core phase (Table 2's
+  /// "First 20%" column).
+  [[nodiscard]] TimeWindow core_fraction(double begin_frac,
+                                         double end_frac) const;
+
+  /// The middle 80% of the core phase — the region Level 1 allows the
+  /// measurement window to be placed in.
+  [[nodiscard]] TimeWindow middle_80() const { return core_fraction(0.1, 0.9); }
+
+  /// Duration a pre-2015 Level 1 measurement must cover: the longer of one
+  /// minute or 20% of the middle 80% of the core phase.
+  [[nodiscard]] Seconds level1_min_duration() const;
+
+  /// A Level 1 window of minimum duration placed at `position` in [0, 1]
+  /// within the allowed middle-80% region (0 = earliest allowed start,
+  /// 1 = latest).  This is the knob the window-gaming analysis sweeps.
+  [[nodiscard]] TimeWindow level1_window(double position) const;
+
+  /// The ten equally spaced sub-windows of the core phase that a Level 2
+  /// measurement averages.
+  [[nodiscard]] std::vector<TimeWindow> level2_windows() const;
+};
+
+/// Simple phase detector: given a full-run trace where the core phase runs
+/// at distinctly higher power than setup/teardown, recovers the core-phase
+/// window by thresholding at `threshold_frac` of the (5th..95th percentile)
+/// power range.  Used to check the simulator's phase bookkeeping the way an
+/// operator would from a wall-power chart.
+[[nodiscard]] TimeWindow detect_core_phase(const PowerTrace& trace,
+                                           double threshold_frac = 0.5);
+
+}  // namespace pv

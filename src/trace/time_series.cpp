@@ -1,0 +1,125 @@
+#include "trace/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+PowerTrace::PowerTrace(Seconds t0, Seconds dt, std::vector<double> watts)
+    : t0_(t0), dt_(dt), watts_(std::move(watts)) {
+  PV_EXPECTS(dt.value() > 0.0, "sample interval must be positive");
+  PV_EXPECTS(!watts_.empty(), "trace must contain samples");
+  rebuild_prefix();
+}
+
+PowerTrace PowerTrace::from_function(
+    Seconds t0, Seconds dt, std::size_t samples,
+    const std::function<double(double)>& power_w) {
+  PV_EXPECTS(samples > 0, "trace must contain samples");
+  PV_EXPECTS(power_w != nullptr, "null power function");
+  std::vector<double> w(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double mid = t0.value() + (static_cast<double>(i) + 0.5) * dt.value();
+    w[i] = power_w(mid);
+  }
+  return PowerTrace(t0, dt, std::move(w));
+}
+
+void PowerTrace::rebuild_prefix() {
+  prefix_.resize(watts_.size() + 1);
+  prefix_[0] = 0.0;
+  for (std::size_t i = 0; i < watts_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + watts_[i];
+  }
+}
+
+double PowerTrace::watt_at(std::size_t i) const {
+  PV_EXPECTS(i < watts_.size(), "sample index out of range");
+  return watts_[i];
+}
+
+Seconds PowerTrace::time_at(std::size_t i) const {
+  PV_EXPECTS(i < watts_.size(), "sample index out of range");
+  return Seconds{t0_.value() + dt_.value() * static_cast<double>(i)};
+}
+
+Watts PowerTrace::mean_power() const {
+  return Watts{prefix_.back() / static_cast<double>(watts_.size())};
+}
+
+double PowerTrace::sum_samples(double a, double b) const {
+  // Sum over fractional sample index range [a, b], weighting the partial
+  // samples at the edges.  Precondition: 0 <= a <= b <= size().
+  const auto ia = static_cast<std::size_t>(std::floor(a));
+  const auto ib = static_cast<std::size_t>(std::ceil(b));
+  double total = prefix_[ib] - prefix_[ia];
+  total -= (a - std::floor(a)) * watts_[ia];
+  if (ib > 0 && std::ceil(b) > b) total -= (std::ceil(b) - b) * watts_[ib - 1];
+  return total;
+}
+
+Watts PowerTrace::mean_power(TimeWindow w) const {
+  // Mean over the intersection of the window and the trace extent.
+  const double a_t = std::max(w.begin.value(), t0_.value());
+  const double b_t = std::min(w.end.value(), t_end().value());
+  return energy(w) / Seconds{b_t - a_t};
+}
+
+Joules PowerTrace::energy() const {
+  return Joules{prefix_.back() * dt_.value()};
+}
+
+Joules PowerTrace::energy(TimeWindow w) const {
+  PV_EXPECTS(w.valid(), "window must be non-empty");
+  // Clip to the trace extent and convert to fractional sample indices.
+  const double a_t = std::max(w.begin.value(), t0_.value());
+  const double b_t = std::min(w.end.value(), t_end().value());
+  PV_EXPECTS(b_t > a_t, "window does not intersect the trace");
+  const double a = (a_t - t0_.value()) / dt_.value();
+  const double b = (b_t - t0_.value()) / dt_.value();
+  return Joules{sum_samples(a, b) * dt_.value()};
+}
+
+Watts PowerTrace::min_power() const {
+  return Watts{*std::min_element(watts_.begin(), watts_.end())};
+}
+
+Watts PowerTrace::max_power() const {
+  return Watts{*std::max_element(watts_.begin(), watts_.end())};
+}
+
+PowerTrace PowerTrace::operator+(const PowerTrace& other) const {
+  PV_EXPECTS(watts_.size() == other.watts_.size(), "trace size mismatch");
+  PV_EXPECTS(t0_ == other.t0_ && dt_ == other.dt_, "trace alignment mismatch");
+  std::vector<double> sum(watts_.size());
+  for (std::size_t i = 0; i < watts_.size(); ++i) {
+    sum[i] = watts_[i] + other.watts_[i];
+  }
+  return PowerTrace(t0_, dt_, std::move(sum));
+}
+
+PowerTrace PowerTrace::scaled(double factor) const {
+  PV_EXPECTS(factor > 0.0, "scale factor must be positive");
+  std::vector<double> scaled_w(watts_.size());
+  for (std::size_t i = 0; i < watts_.size(); ++i) scaled_w[i] = watts_[i] * factor;
+  return PowerTrace(t0_, dt_, std::move(scaled_w));
+}
+
+PowerTrace PowerTrace::decimated(std::size_t factor) const {
+  PV_EXPECTS(factor >= 1, "decimation factor must be >= 1");
+  if (factor == 1) return *this;
+  const std::size_t out_n = watts_.size() / factor;
+  PV_EXPECTS(out_n > 0, "decimation factor exceeds trace length");
+  std::vector<double> out(out_n);
+  for (std::size_t i = 0; i < out_n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < factor; ++j) acc += watts_[i * factor + j];
+    out[i] = acc / static_cast<double>(factor);
+  }
+  return PowerTrace(t0_, Seconds{dt_.value() * static_cast<double>(factor)},
+                    std::move(out));
+}
+
+}  // namespace pv

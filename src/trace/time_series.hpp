@@ -1,0 +1,81 @@
+#pragma once
+// Regularly sampled power traces.
+//
+// A PowerTrace is the ground-truth or metered record of system/node power:
+// samples at a fixed interval dt starting at t0.  Window statistics are
+// computed from a prefix-sum cache so that the sliding-window searches of
+// §3 (finding the "optimal" 20% interval) are O(1) per window.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Half-open time interval [begin, end) in seconds from the trace origin.
+struct TimeWindow {
+  Seconds begin{0.0};
+  Seconds end{0.0};
+  [[nodiscard]] Seconds duration() const { return end - begin; }
+  [[nodiscard]] bool valid() const { return end.value() > begin.value(); }
+};
+
+/// A power-vs-time series sampled every `dt` seconds.
+/// Sample i covers [t0 + i*dt, t0 + (i+1)*dt); its value is the average
+/// power over that interval.
+class PowerTrace {
+ public:
+  PowerTrace(Seconds t0, Seconds dt, std::vector<double> watts);
+
+  /// Builds a trace by evaluating `power_w(t)` at each sample midpoint.
+  static PowerTrace from_function(Seconds t0, Seconds dt, std::size_t samples,
+                                  const std::function<double(double)>& power_w);
+
+  [[nodiscard]] std::size_t size() const { return watts_.size(); }
+  [[nodiscard]] Seconds t0() const { return t0_; }
+  [[nodiscard]] Seconds dt() const { return dt_; }
+  [[nodiscard]] Seconds duration() const {
+    return Seconds{dt_.value() * static_cast<double>(watts_.size())};
+  }
+  /// End time of the last sample.
+  [[nodiscard]] Seconds t_end() const { return t0_ + duration(); }
+  [[nodiscard]] std::span<const double> watts() const { return watts_; }
+  [[nodiscard]] double watt_at(std::size_t i) const;
+  /// Start time of sample i.
+  [[nodiscard]] Seconds time_at(std::size_t i) const;
+
+  /// Average power over the whole trace.
+  [[nodiscard]] Watts mean_power() const;
+  /// Average power over a window (clipped to the trace extent; fractional
+  /// sample overlap is weighted).  Window must intersect the trace.
+  [[nodiscard]] Watts mean_power(TimeWindow w) const;
+  /// Integrated energy over the whole trace.
+  [[nodiscard]] Joules energy() const;
+  /// Integrated energy over a window (clipped, fractionally weighted).
+  [[nodiscard]] Joules energy(TimeWindow w) const;
+  [[nodiscard]] Watts min_power() const;
+  [[nodiscard]] Watts max_power() const;
+
+  /// Element-wise sum of two aligned traces (same t0, dt, size).
+  [[nodiscard]] PowerTrace operator+(const PowerTrace& other) const;
+  /// Trace scaled by a constant (e.g. extrapolating a subset measurement).
+  [[nodiscard]] PowerTrace scaled(double factor) const;
+
+  /// Decimates by averaging consecutive groups of `factor` samples
+  /// (a meter with a coarser reporting interval).  factor >= 1.
+  [[nodiscard]] PowerTrace decimated(std::size_t factor) const;
+
+ private:
+  Seconds t0_;
+  Seconds dt_;
+  std::vector<double> watts_;
+  std::vector<double> prefix_;  // prefix_[i] = sum of watts_[0..i-1]
+
+  void rebuild_prefix();
+  /// Sum of watts over fractional sample index range [a, b].
+  [[nodiscard]] double sum_samples(double a, double b) const;
+};
+
+}  // namespace pv

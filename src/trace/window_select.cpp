@@ -1,0 +1,62 @@
+#include "trace/window_select.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+std::vector<WindowAverage> sweep_impl(const PowerTrace& trace,
+                                      TimeWindow bounds, Seconds width) {
+  PV_EXPECTS(bounds.valid(), "bounds must be non-empty");
+  PV_EXPECTS(width.value() > 0.0, "window width must be positive");
+  PV_EXPECTS(width.value() <= bounds.duration().value() + 1e-9,
+             "window wider than the allowed bounds");
+  PV_EXPECTS(bounds.begin.value() >= trace.t0().value() - 1e-9 &&
+                 bounds.end.value() <= trace.t_end().value() + 1e-9,
+             "trace does not cover the sweep bounds");
+
+  const double dt = trace.dt().value();
+  std::vector<WindowAverage> out;
+  // Advance the window start one sample at a time; include the final
+  // placement flush against the right bound even if it is not
+  // sample-aligned, so the sweep covers the full legal range.
+  double begin = bounds.begin.value();
+  const double last_begin = bounds.end.value() - width.value();
+  for (;;) {
+    TimeWindow w{Seconds{begin}, Seconds{begin + width.value()}};
+    out.push_back({w, trace.mean_power(w)});
+    if (begin >= last_begin - 1e-9) break;
+    begin = std::min(begin + dt, last_begin);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<WindowAverage> sweep_windows(const PowerTrace& trace,
+                                         TimeWindow bounds, Seconds width) {
+  return sweep_impl(trace, bounds, width);
+}
+
+WindowAverage min_average_window(const PowerTrace& trace, TimeWindow bounds,
+                                 Seconds width) {
+  const auto sweep = sweep_impl(trace, bounds, width);
+  return *std::min_element(sweep.begin(), sweep.end(),
+                           [](const WindowAverage& a, const WindowAverage& b) {
+                             return a.mean < b.mean;
+                           });
+}
+
+WindowAverage max_average_window(const PowerTrace& trace, TimeWindow bounds,
+                                 Seconds width) {
+  const auto sweep = sweep_impl(trace, bounds, width);
+  return *std::max_element(sweep.begin(), sweep.end(),
+                           [](const WindowAverage& a, const WindowAverage& b) {
+                             return a.mean < b.mean;
+                           });
+}
+
+}  // namespace pv

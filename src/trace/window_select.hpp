@@ -1,0 +1,40 @@
+#pragma once
+// Sliding-window search over power traces.
+//
+// §3 of the paper shows that submitters could "game" Level 1 by placing the
+// 20% measurement window over the lowest-power stretch of an HPL run
+// (TSUBAME-KFC: -10.9%; L-CSC: -23.9%).  These helpers find the extreme
+// windows so the gaming analysis (core/gaming) can quantify the exposure.
+
+#include <vector>
+
+#include "trace/segment.hpp"
+#include "trace/time_series.hpp"
+
+namespace pv {
+
+/// A window together with its average power.
+struct WindowAverage {
+  TimeWindow window;
+  Watts mean{0.0};
+};
+
+/// Sweeps every placement (sample-aligned) of a `width`-long window inside
+/// `bounds` and returns the one with the lowest average power.
+/// The trace must cover `bounds`; width must fit inside bounds.
+[[nodiscard]] WindowAverage min_average_window(const PowerTrace& trace,
+                                               TimeWindow bounds,
+                                               Seconds width);
+
+/// Same sweep, returning the window with the highest average power.
+[[nodiscard]] WindowAverage max_average_window(const PowerTrace& trace,
+                                               TimeWindow bounds,
+                                               Seconds width);
+
+/// Every sample-aligned placement and its average, in time order — the raw
+/// series behind the BoF-style "measured power vs window position" charts.
+[[nodiscard]] std::vector<WindowAverage> sweep_windows(const PowerTrace& trace,
+                                                       TimeWindow bounds,
+                                                       Seconds width);
+
+}  // namespace pv

@@ -1,0 +1,67 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PV_EXPECTS(!header_.empty(), "csv needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  PV_EXPECTS(cells.size() == header_.size(),
+             "csv row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(std::span<const double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream os;
+  const auto emit_row = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open csv output file: " + path);
+  f << str();
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace pv

@@ -1,0 +1,39 @@
+#pragma once
+// Minimal CSV emission for bench outputs that downstream plotting tools
+// (gnuplot, pandas) can consume directly.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pv {
+
+/// Accumulates rows and writes RFC-4180-ish CSV (quotes fields containing
+/// separators, quotes or newlines; doubles printed with %.17g).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats each double with %.17g (lossless round-trip).
+  void add_row(std::span<const double> values);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Serializes header + rows.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to a file; throws std::runtime_error when the file can't be
+  /// opened.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace pv

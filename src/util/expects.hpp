@@ -1,0 +1,49 @@
+#pragma once
+// Contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// PV_EXPECTS(cond, msg)  -- precondition; throws pv::contract_error.
+// PV_ENSURES(cond, msg)  -- postcondition; throws pv::contract_error.
+//
+// Contracts are *always on*: this library's correctness claims are
+// statistical, and silently accepting nonsense inputs (negative power,
+// sample size of zero, confidence outside (0,1)) would corrupt results in
+// ways no downstream assertion can catch.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pv {
+
+/// Thrown when a precondition or postcondition is violated.
+class contract_error : public std::logic_error {
+ public:
+  explicit contract_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pv
+
+#define PV_EXPECTS(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pv::detail::contract_fail("precondition", #cond, __FILE__,          \
+                                  __LINE__, (msg));                         \
+  } while (0)
+
+#define PV_ENSURES(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pv::detail::contract_fail("postcondition", #cond, __FILE__,         \
+                                  __LINE__, (msg));                         \
+  } while (0)

@@ -1,0 +1,61 @@
+#include "util/mathx.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace pv {
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= std::max(abs_tol, rel_tol * scale);
+}
+
+double relative_error(double a, double b) {
+  PV_EXPECTS(b != 0.0, "reference value must be nonzero");
+  return std::fabs(a - b) / std::fabs(b);
+}
+
+std::vector<double> prefix_sums(std::span<const double> xs) {
+  std::vector<double> out(xs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double mean_of(std::span<const double> xs) {
+  PV_EXPECTS(!xs.empty(), "mean of empty range");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+std::array<double, 3> solve3x3(const std::array<std::array<double, 3>, 3>& a,
+                               const std::array<double, 3>& b) {
+  // Augmented matrix with partial pivoting; 3x3 is small enough that a
+  // direct elimination is clearer than pulling in a linear-algebra library.
+  std::array<std::array<double, 4>, 3> m{};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = a[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    m[static_cast<std::size_t>(r)][3] = b[static_cast<std::size_t>(r)];
+  }
+  for (std::size_t col = 0; col < 3; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < 3; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[piv][col])) piv = r;
+    }
+    PV_EXPECTS(std::fabs(m[piv][col]) > 1e-14, "singular 3x3 system");
+    std::swap(m[piv], m[col]);
+    for (std::size_t r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (std::size_t c = col; c < 4; ++c) m[r][c] -= f * m[col][c];
+    }
+  }
+  return {m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]};
+}
+
+}  // namespace pv

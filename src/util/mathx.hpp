@@ -1,0 +1,71 @@
+#pragma once
+// Small numeric helpers shared across modules.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+/// Linear interpolation: lerp01(a, b, 0) == a, lerp01(a, b, 1) == b.
+[[nodiscard]] constexpr double lerp01(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+/// True when |a - b| <= max(abs_tol, rel_tol * max(|a|, |b|)).
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                                double abs_tol = 1e-12);
+
+/// Relative difference |a - b| / |b| (b is the reference). b must be nonzero.
+[[nodiscard]] double relative_error(double a, double b);
+
+/// Inclusive prefix sums: out[i] = sum of xs[0..i].  Empty input -> empty.
+[[nodiscard]] std::vector<double> prefix_sums(std::span<const double> xs);
+
+/// Mean of a range; range must be non-empty.
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+/// Solves the 3x3 linear system A x = b by Gaussian elimination with partial
+/// pivoting.  Used by the workload calibration layer (DESIGN.md §4).
+/// Throws pv::contract_error on a (numerically) singular system.
+[[nodiscard]] std::array<double, 3> solve3x3(
+    const std::array<std::array<double, 3>, 3>& a,
+    const std::array<double, 3>& b);
+
+/// Newton–Raphson root find of f on [lo, hi] with bisection fallback;
+/// f must be monotone on the bracket and change sign across it.
+template <class F, class DF>
+[[nodiscard]] double newton_bisect(F f, DF df, double lo, double hi,
+                                   double x0, int max_iter = 100,
+                                   double tol = 1e-12) {
+  PV_EXPECTS(lo < hi, "bracket must be non-empty");
+  double flo = f(lo);
+  double fhi = f(hi);
+  PV_EXPECTS(flo * fhi <= 0.0, "root must be bracketed");
+  double x = x0;
+  if (x < lo || x > hi) x = 0.5 * (lo + hi);
+  for (int i = 0; i < max_iter; ++i) {
+    const double fx = f(x);
+    if (std::fabs(fx) < tol) return x;
+    // Maintain the bracket.
+    if ((fx < 0.0) == (flo < 0.0)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+      fhi = fx;
+    }
+    const double d = df(x);
+    double next = (d != 0.0) ? x - fx / d : 0.5 * (lo + hi);
+    if (next <= lo || next >= hi) next = 0.5 * (lo + hi);  // bisection fallback
+    if (std::fabs(next - x) < tol * (1.0 + std::fabs(x))) return next;
+    x = next;
+  }
+  return x;
+}
+
+}  // namespace pv

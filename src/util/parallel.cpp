@@ -1,0 +1,109 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stopping_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  PV_EXPECTS(job != nullptr, "null job");
+  {
+    std::unique_lock lock(mu_);
+    PV_EXPECTS(!stopping_, "submit on stopping pool");
+    queue_.push(std::move(job));
+    ++in_flight_;
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_job_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::unique_lock lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1 || n < grain) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks =
+      std::min<std::size_t>(pool->size() * 4, (n + grain - 1) / grain);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  const std::size_t submitted = (n + chunk - 1) / chunk;
+
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    pool->submit([&, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::scoped_lock lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == submitted) {
+        std::scoped_lock lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock lock(done_mu);
+    done_cv.wait(lock, [&] { return done.load() == submitted; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pv

@@ -1,0 +1,60 @@
+#pragma once
+// A small blocking thread pool and a parallel_for built on it.
+//
+// Fleet simulations iterate over tens of thousands of independent nodes;
+// parallel_for splits the index range into contiguous chunks, one per
+// worker, so per-node RNG streams (which are seeded by node index) stay
+// deterministic regardless of thread count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pv {
+
+/// Fixed-size pool of worker threads executing submitted jobs FIFO.
+/// Destruction joins all workers after draining the queue.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a job; throws if the pool is shutting down.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool, in contiguous chunks.
+/// Exceptions from body are rethrown on the calling thread (first one wins).
+/// With a null pool or n below `grain`, runs inline on the caller.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 256);
+
+/// Process-wide default pool, created on first use.
+ThreadPool& default_pool();
+
+}  // namespace pv

@@ -1,0 +1,109 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  PV_EXPECTS(!headers_.empty(), "table needs at least one column");
+  if (aligns_.empty()) {
+    // Default: first column left (labels), the rest right (numbers).
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+  }
+  PV_EXPECTS(aligns_.size() == headers_.size(),
+             "alignment list must match header count");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PV_EXPECTS(cells.size() == headers_.size(),
+             "row width must match header count");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& s, std::size_t w, Align a) {
+    std::string out;
+    if (a == Align::Left) {
+      out = s + std::string(w - s.size(), ' ');
+    } else {
+      out = std::string(w - s.size(), ' ') + s;
+    }
+    return out;
+  };
+  const auto rule = [&] {
+    std::string s;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      s += std::string(widths[c] + 2, '-');
+      if (c + 1 < widths.size()) s += '+';
+    }
+    return s + '\n';
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << pad(headers_[c], widths[c], aligns_[c]) << ' ';
+    if (c + 1 < headers_.size()) os << '|';
+  }
+  os << '\n' << rule();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      os << rule();
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      os << ' ' << pad(row.cells[c], widths[c], aligns_[c]) << ' ';
+      if (c + 1 < row.cells.size()) os << '|';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", prec, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_group(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u =
+      neg ? 0ULL - static_cast<unsigned long long>(v) : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pv

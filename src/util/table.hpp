@@ -1,0 +1,57 @@
+#pragma once
+// ASCII table rendering for the bench harnesses and reports.
+//
+// The paper's evaluation is a set of tables; every bench binary renders its
+// reproduction through this formatter so the output is uniform and diffable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pv {
+
+/// Column alignment within a rendered table.
+enum class Align { Left, Right };
+
+/// A simple monospace table: set headers, append rows, render.
+///
+///   TextTable t({"system", "nodes", "power"});
+///   t.add_row({"Titan", "18688", "8.2 MW"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return headers_.size(); }
+
+  /// Renders the table with a header rule and column padding.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `prec` significant decimal digits after the point.
+[[nodiscard]] std::string fmt_fixed(double v, int prec);
+
+/// Formats a fraction as a percentage, e.g. fmt_percent(0.0351, 1) == "3.5%".
+[[nodiscard]] std::string fmt_percent(double fraction, int prec = 1);
+
+/// Formats an integer with thousands separators: 18688 -> "18,688".
+[[nodiscard]] std::string fmt_group(long long v);
+
+}  // namespace pv

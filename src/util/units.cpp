@@ -1,0 +1,69 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace pv {
+namespace {
+
+struct Prefix {
+  double factor;
+  const char* symbol;
+};
+
+// Chooses the largest prefix whose scaled magnitude is >= 1, so values print
+// in the 1..999 range where possible.
+std::string with_prefix(double v, const char* unit) {
+  static constexpr std::array<Prefix, 7> kPrefixes{{
+      {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"},
+  }};
+  const double mag = std::fabs(v);
+  char buf[64];
+  if (mag == 0.0 || !std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.4g %s", v, unit);
+    return buf;
+  }
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.factor) {
+      std::snprintf(buf, sizeof buf, "%.4g %s%s", v / p.factor, p.symbol, unit);
+      return buf;
+    }
+  }
+  std::snprintf(buf, sizeof buf, "%.4g %s", v, unit);
+  return buf;
+}
+
+// Durations read better as h/min/s than as kiloseconds.
+std::string duration_string(double sec) {
+  char buf[64];
+  const double mag = std::fabs(sec);
+  if (mag >= 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.4g h", sec / 3600.0);
+  } else if (mag >= 60.0) {
+    std::snprintf(buf, sizeof buf, "%.4g min", sec / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g s", sec);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Watts w) { return with_prefix(w.value(), "W"); }
+std::string to_string(Joules j) { return with_prefix(j.value(), "J"); }
+std::string to_string(Seconds s) { return duration_string(s.value()); }
+std::string to_string(Volts v) { return with_prefix(v.value(), "V"); }
+std::string to_string(Hertz h) { return with_prefix(h.value(), "Hz"); }
+std::string to_string(Flops f) { return with_prefix(f.value(), "FLOPS"); }
+
+std::ostream& operator<<(std::ostream& os, Watts w) { return os << to_string(w); }
+std::ostream& operator<<(std::ostream& os, Joules j) { return os << to_string(j); }
+std::ostream& operator<<(std::ostream& os, Seconds s) { return os << to_string(s); }
+std::ostream& operator<<(std::ostream& os, Volts v) { return os << to_string(v); }
+std::ostream& operator<<(std::ostream& os, Hertz h) { return os << to_string(h); }
+std::ostream& operator<<(std::ostream& os, Flops f) { return os << to_string(f); }
+
+}  // namespace pv

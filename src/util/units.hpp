@@ -1,0 +1,158 @@
+#pragma once
+// Strong quantity types for the physical dimensions the library handles.
+//
+// Power measurement code mixes watts, joules, seconds, volts and hertz in
+// nearly every expression; a silent watts/kilowatts or power/energy mixup is
+// exactly the kind of bug that produced real Green500 submission errors.
+// Quantity<Tag> is a zero-overhead double wrapper providing:
+//   * explicit construction from raw doubles,
+//   * same-dimension arithmetic (+, -, scalar *, /),
+//   * dimensionless ratios (q1 / q2 -> double),
+//   * comparisons,
+// plus the handful of physically meaningful cross-dimension products
+// (power * time = energy, energy / time = power, ...).
+//
+// SI-prefixed factories (watts, kilowatts, megawatts, ...) make call sites
+// self-documenting: `megawatts(11.5)` rather than `Watts{11.5e6}`.
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace pv {
+
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  /// Raw magnitude in the dimension's base SI unit.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two same-dimension quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+struct WattsTag {};
+struct JoulesTag {};
+struct SecondsTag {};
+struct VoltsTag {};
+struct HertzTag {};
+struct CelsiusTag {};
+struct FlopsTag {};  // floating-point operations per second
+
+using Watts = Quantity<WattsTag>;
+using Joules = Quantity<JoulesTag>;
+using Seconds = Quantity<SecondsTag>;
+using Volts = Quantity<VoltsTag>;
+using Hertz = Quantity<HertzTag>;
+using Celsius = Quantity<CelsiusTag>;
+using Flops = Quantity<FlopsTag>;
+
+// --- SI-prefixed factories ------------------------------------------------
+
+constexpr Watts watts(double v) { return Watts{v}; }
+constexpr Watts kilowatts(double v) { return Watts{v * 1e3}; }
+constexpr Watts megawatts(double v) { return Watts{v * 1e6}; }
+
+constexpr Joules joules(double v) { return Joules{v}; }
+constexpr Joules kilojoules(double v) { return Joules{v * 1e3}; }
+constexpr Joules megajoules(double v) { return Joules{v * 1e6}; }
+constexpr Joules kilowatt_hours(double v) { return Joules{v * 3.6e6}; }
+
+constexpr Seconds seconds(double v) { return Seconds{v}; }
+constexpr Seconds minutes(double v) { return Seconds{v * 60.0}; }
+constexpr Seconds hours(double v) { return Seconds{v * 3600.0}; }
+
+constexpr Volts volts(double v) { return Volts{v}; }
+constexpr Volts millivolts(double v) { return Volts{v * 1e-3}; }
+
+constexpr Hertz hertz(double v) { return Hertz{v}; }
+constexpr Hertz megahertz(double v) { return Hertz{v * 1e6}; }
+constexpr Hertz gigahertz(double v) { return Hertz{v * 1e9}; }
+
+constexpr Celsius celsius(double v) { return Celsius{v}; }
+
+constexpr Flops flops(double v) { return Flops{v}; }
+constexpr Flops gigaflops(double v) { return Flops{v * 1e9}; }
+constexpr Flops teraflops(double v) { return Flops{v * 1e12}; }
+constexpr Flops petaflops(double v) { return Flops{v * 1e15}; }
+
+// --- Physically meaningful cross-dimension operations ----------------------
+
+/// Energy accumulated at constant power over a duration.
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value() * t.value()}; }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+/// Average power of an energy spent over a duration.
+constexpr Watts operator/(Joules e, Seconds t) { return Watts{e.value() / t.value()}; }
+/// Duration to spend an energy at constant power.
+constexpr Seconds operator/(Joules e, Watts p) { return Seconds{e.value() / p.value()}; }
+
+/// Energy efficiency in FLOPS per watt — the Green500 ranking metric.
+[[nodiscard]] constexpr double flops_per_watt(Flops perf, Watts power) {
+  return perf.value() / power.value();
+}
+[[nodiscard]] constexpr double gflops_per_watt(Flops perf, Watts power) {
+  return perf.value() / 1e9 / power.value();
+}
+
+// --- Formatting -------------------------------------------------------------
+
+/// Human-readable rendering with an auto-selected SI prefix,
+/// e.g. `11.50 MW`, `398.7 kW`, `90.74 W`.
+[[nodiscard]] std::string to_string(Watts w);
+[[nodiscard]] std::string to_string(Joules j);
+[[nodiscard]] std::string to_string(Seconds s);
+[[nodiscard]] std::string to_string(Volts v);
+[[nodiscard]] std::string to_string(Hertz h);
+[[nodiscard]] std::string to_string(Flops f);
+
+std::ostream& operator<<(std::ostream& os, Watts w);
+std::ostream& operator<<(std::ostream& os, Joules j);
+std::ostream& operator<<(std::ostream& os, Seconds s);
+std::ostream& operator<<(std::ostream& os, Volts v);
+std::ostream& operator<<(std::ostream& os, Hertz h);
+std::ostream& operator<<(std::ostream& os, Flops f);
+
+}  // namespace pv

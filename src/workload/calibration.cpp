@@ -1,0 +1,152 @@
+#include "workload/calibration.hpp"
+
+#include <cmath>
+
+#include "util/expects.hpp"
+#include "util/mathx.hpp"
+#include "workload/noise.hpp"
+
+namespace pv {
+
+CalibratedSystemProfile::CalibratedSystemProfile(
+    std::string system_name, HplParams shape, RunPhases run_phases,
+    SegmentTargets targets, double setup_power_frac, double teardown_power_frac)
+    : system_name_(std::move(system_name)),
+      shape_(shape, run_phases.core, run_phases.setup, run_phases.teardown),
+      phases_(run_phases),
+      targets_(targets),
+      setup_power_frac_(setup_power_frac),
+      teardown_power_frac_(teardown_power_frac) {
+  // Saturated CPU shapes (tiny knee) concentrate their physical deficit in
+  // the final instants, so they need the smooth tail component to express
+  // sub-percent segment differences with physical (positive) power; GPU
+  // in-core shapes carry a broad physical slope and use it directly.
+  smooth_tail_weight_ = shape.knee < 0.05 ? 1.0 : 0.0;
+  PV_EXPECTS(targets.core_avg.value() > 0.0 &&
+                 targets.first20_avg.value() > 0.0 &&
+                 targets.last20_avg.value() > 0.0,
+             "segment targets must be positive");
+  PV_EXPECTS(setup_power_frac > 0.0 && teardown_power_frac > 0.0,
+             "idle power fractions must be positive");
+  calibrate();
+}
+
+double CalibratedSystemProfile::phi_warm(double tc) const {
+  const double tau =
+      shape_.params().warmup_tau_frac * phases_.core.value();
+  return std::exp(-tc / std::max(tau, 1e-9));
+}
+
+double CalibratedSystemProfile::phi_tail(double tc) const {
+  // Physically derived component: efficiency deficit of the LU-progress
+  // model, normalized to [0, 1].  For near-flat CPU shapes this deficit is
+  // concentrated in the last instants of the run, which would force huge
+  // coefficients (and non-physical negative power) when the published
+  // last-20% average sits below the core average; blend in a smooth
+  // quadratic time-domain tail so the basis has usable mass across the
+  // whole final segment for every shape.
+  const double m = shape_.trailing_fraction(tc);
+  const auto& p = shape_.params();
+  const double physical = (p.e_max - shape_.efficiency(m)) / (p.e_max - p.e_min);
+  if (smooth_tail_weight_ == 0.0) return physical;
+  const double T = phases_.core.value();
+  const double s = (tc / T - 0.75) / 0.25;
+  const double smooth = s > 0.0 ? s * s : 0.0;
+  return physical + smooth_tail_weight_ * smooth;
+}
+
+void CalibratedSystemProfile::calibrate() {
+  const double T = phases_.core.value();
+  // Segment averages of each basis function, integrated numerically.
+  const auto avg_basis = [&](double a_frac, double b_frac) {
+    const auto avg = [&](auto&& f) {
+      return average_over(f, a_frac * T, b_frac * T, 8192);
+    };
+    return std::array<double, 3>{
+        1.0, avg([&](double tc) { return phi_warm(tc); }),
+        avg([&](double tc) { return phi_tail(tc); })};
+  };
+
+  const std::array<std::array<double, 3>, 3> a{
+      avg_basis(0.0, 1.0),   // full core phase
+      avg_basis(0.0, 0.2),   // first 20%
+      avg_basis(0.8, 1.0)};  // last 20%
+  const std::array<double, 3> b{targets_.core_avg.value(),
+                                targets_.first20_avg.value(),
+                                targets_.last20_avg.value()};
+  coeff_ = solve3x3(a, b);
+
+  // Record the in-core peak for intensity normalization and sanity-check
+  // that the calibrated profile stays physical (positive power).
+  double peak = 0.0;
+  double low = b[0];
+  constexpr int kScan = 4096;
+  for (int i = 0; i <= kScan; ++i) {
+    const double tc = T * static_cast<double>(i) / kScan;
+    const double p = coeff_[0] + coeff_[1] * phi_warm(tc) +
+                     coeff_[2] * phi_tail(tc);
+    peak = std::max(peak, p);
+    low = std::min(low, p);
+  }
+  peak_core_power_ = peak;
+  PV_ENSURES(low > 0.0,
+             "calibrated profile went non-positive; targets are inconsistent "
+             "with the chosen HPL shape");
+}
+
+double CalibratedSystemProfile::system_power_w(double t) const {
+  PV_EXPECTS(t >= -1e-9 && t <= phases_.total().value() + 1e-9,
+             "time outside the run");
+  if (t < phases_.core_begin().value()) {
+    return targets_.core_avg.value() * setup_power_frac_;
+  }
+  if (t >= phases_.core_end().value()) {
+    return targets_.core_avg.value() * teardown_power_frac_;
+  }
+  const double tc = t - phases_.core_begin().value();
+  return coeff_[0] + coeff_[1] * phi_warm(tc) + coeff_[2] * phi_tail(tc);
+}
+
+double CalibratedSystemProfile::intensity(double t) const {
+  return system_power_w(t) / peak_core_power_;
+}
+
+PowerTrace CalibratedSystemProfile::make_trace(Seconds begin, Seconds end,
+                                               Seconds dt,
+                                               double noise_sigma_frac,
+                                               double noise_rho,
+                                               std::uint64_t seed) const {
+  PV_EXPECTS(dt.value() > 0.0, "sample interval must be positive");
+  PV_EXPECTS(noise_sigma_frac >= 0.0, "noise sd must be non-negative");
+  const auto n = static_cast<std::size_t>(
+      std::floor((end.value() - begin.value()) / dt.value() + 1e-9));
+  PV_EXPECTS(n > 0, "window shorter than one sample");
+  Ar1Noise noise(noise_sigma_frac, noise_rho, Rng(seed, /*stream=*/7));
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mid =
+        begin.value() + (static_cast<double>(i) + 0.5) * dt.value();
+    double p = system_power_w(mid);
+    if (noise_sigma_frac > 0.0) p *= 1.0 + noise.next();
+    w[i] = p;
+  }
+  return PowerTrace(begin, dt, std::move(w));
+}
+
+PowerTrace CalibratedSystemProfile::core_phase_trace(Seconds dt,
+                                                     double noise_sigma_frac,
+                                                     double noise_rho,
+                                                     std::uint64_t seed) const {
+  return make_trace(phases_.core_begin(), phases_.core_end(), dt,
+                    noise_sigma_frac, noise_rho, seed);
+}
+
+PowerTrace CalibratedSystemProfile::full_run_trace(Seconds dt,
+                                                   double noise_sigma_frac,
+                                                   double noise_rho,
+                                                   std::uint64_t seed) const {
+  return make_trace(Seconds{0.0}, phases_.total(), dt, noise_sigma_frac,
+                    noise_rho, seed);
+}
+
+}  // namespace pv

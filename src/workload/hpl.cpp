@@ -1,0 +1,122 @@
+#include "workload/hpl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+HplParams HplParams::cpu_traditional() {
+  HplParams p;
+  p.e_max = 0.96;
+  p.e_min = 0.30;
+  p.knee = 0.004;  // saturation knee deep in the tail: flat profile
+  p.hill_gamma = 2.0;
+  p.warmup_amp = 0.015;
+  p.warmup_tau_frac = 0.03;
+  p.osc_depth = 0.01;
+  p.osc_cycles = 600.0;
+  return p;
+}
+
+HplParams HplParams::gpu_incore() {
+  HplParams p;
+  p.e_max = 0.97;
+  p.e_min = 0.30;
+  p.knee = 0.60;  // GPUs need large trailing panels: pronounced sag + tail
+  p.hill_gamma = 2.0;
+  p.warmup_amp = 0.02;
+  p.warmup_tau_frac = 0.04;
+  p.osc_depth = 0.06;
+  p.osc_cycles = 150.0;
+  return p;
+}
+
+HplWorkload::HplWorkload(HplParams params, Seconds core_duration,
+                         Seconds setup, Seconds teardown)
+    : params_(params) {
+  PV_EXPECTS(core_duration.value() > 0.0, "core duration must be positive");
+  PV_EXPECTS(setup.value() >= 0.0 && teardown.value() >= 0.0,
+             "phase durations must be non-negative");
+  PV_EXPECTS(params.e_max > 0.0 && params.e_max <= 1.0, "e_max in (0,1]");
+  PV_EXPECTS(params.e_min > 0.0 && params.e_min <= params.e_max,
+             "e_min in (0, e_max]");
+  PV_EXPECTS(params.knee > 0.0 && params.knee < 1.0, "knee in (0,1)");
+  PV_EXPECTS(params.hill_gamma > 0.0, "hill_gamma must be positive");
+  phases_ = RunPhases{setup, core_duration, teardown};
+  build_progress_table();
+}
+
+double HplWorkload::efficiency(double m) const {
+  PV_EXPECTS(m >= 0.0 && m <= 1.0, "trailing fraction outside [0,1]");
+  const double mg = std::pow(m, params_.hill_gamma);
+  const double hg = std::pow(params_.knee, params_.hill_gamma);
+  return params_.e_min + (params_.e_max - params_.e_min) * mg / (mg + hg);
+}
+
+void HplWorkload::build_progress_table() {
+  // Accumulate t(c) = K * int_0^c 3 m^2 / e(m) dc' on a uniform column grid,
+  // then normalize to [0, 1].  4k panels keep the tail (where e collapses)
+  // well resolved.
+  constexpr std::size_t kPanels = 4096;
+  time_frac_.assign(kPanels + 1, 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < kPanels; ++i) {
+    const double c_mid =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(kPanels);
+    const double m = 1.0 - c_mid;
+    acc += 3.0 * m * m / efficiency(m);
+    time_frac_[i + 1] = acc;
+  }
+  for (auto& v : time_frac_) v /= acc;
+}
+
+double HplWorkload::trailing_fraction(double tc) const {
+  const double T = phases_.core.value();
+  PV_EXPECTS(tc >= -1e-9 && tc <= T * (1.0 + 1e-9),
+             "core time outside the core phase");
+  const double target = std::clamp(tc / T, 0.0, 1.0);
+  // time_frac_ is increasing in the column index; invert by binary search.
+  const auto it =
+      std::lower_bound(time_frac_.begin(), time_frac_.end(), target);
+  if (it == time_frac_.begin()) return 1.0;
+  if (it == time_frac_.end()) return 0.0;
+  const auto hi_idx = static_cast<std::size_t>(it - time_frac_.begin());
+  const double t_lo = time_frac_[hi_idx - 1];
+  const double t_hi = time_frac_[hi_idx];
+  const double frac =
+      t_hi > t_lo ? (target - t_lo) / (t_hi - t_lo) : 0.0;
+  const double c = (static_cast<double>(hi_idx - 1) + frac) /
+                   static_cast<double>(time_frac_.size() - 1);
+  return 1.0 - c;
+}
+
+double HplWorkload::intensity(double t) const {
+  const RunPhases& p = phases_;
+  PV_EXPECTS(t >= -1e-9 && t <= p.total().value() * (1.0 + 1e-9) + 1e-9,
+             "time outside the run");
+  if (t < p.core_begin().value()) return params_.setup_intensity;
+  if (t >= p.core_end().value()) return params_.teardown_intensity;
+
+  const double tc = t - p.core_begin().value();
+  const double T = p.core.value();
+  const double m = trailing_fraction(tc);
+  double e = efficiency(m);
+
+  // Warm-up: clocks/temperatures settling at the very beginning of the run.
+  if (params_.warmup_amp != 0.0) {
+    e += params_.warmup_amp * std::exp(-tc / (params_.warmup_tau_frac * T));
+  }
+  // Panel-factorization vs trailing-update oscillation.  Panels matter more
+  // (relative to DGEMM work) as the trailing matrix shrinks, so the
+  // modulation deepens toward the end of the run.
+  if (params_.osc_depth != 0.0) {
+    const double weight = 1.0 - m;  // grows toward the end
+    const double phase = 2.0 * M_PI * params_.osc_cycles * (tc / T);
+    e *= 1.0 - params_.osc_depth * weight * 0.5 * (1.0 + std::sin(phase));
+  }
+  return std::clamp(e, 0.0, 1.2);
+}
+
+}  // namespace pv

@@ -1,0 +1,81 @@
+#pragma once
+// High-Performance Linpack power-profile model.
+//
+// HPL factors an N x N matrix by blocked LU.  After a fraction c of the
+// columns is eliminated, the trailing submatrix has relative dimension
+// m = 1 - c; the remaining work density is dW/dc = 3 m^2 (of the total
+// 2/3 N^3 flops).  The machine's execution efficiency depends on the
+// trailing-matrix size: DGEMM saturates the pipelines only for large
+// panels.  We model the instantaneous efficiency with a Hill saturation
+//
+//     e(m) = e_min + (e_max - e_min) * m^g / (m^g + h^g)
+//
+// and obtain time as t(c) = K * integral_0^c [3 m^2 / e(m)] dc, scaled so
+// the core phase lasts the requested duration.  Compute intensity at time
+// t is e(m(t)) (plus an optional warm-up bump and a panel-vs-update
+// oscillation whose relative weight grows as panels shrink).
+//
+// Two regimes reproduce §3's dichotomy:
+//   * CPU systems fill main memory, so the matrix is huge relative to the
+//     saturation knee (small h): the profile is flat until the last few
+//     percent of the run (Colosse, Sequoia).
+//   * "In-core" GPU HPL stores the matrix in device memory, so N is small
+//     and the knee is comparatively large: efficiency sags over much of
+//     the run and collapses at the end (Piz Daint, L-CSC), producing the
+//     >20% first-vs-last-20% spread of Table 2.
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace pv {
+
+/// Tunable parameters of the HPL profile model.
+struct HplParams {
+  double e_max = 0.95;   ///< peak execution efficiency (fraction of peak power)
+  double e_min = 0.25;   ///< efficiency as the trailing matrix vanishes
+  double knee = 0.02;    ///< h: trailing fraction at half saturation
+  double hill_gamma = 1.6;  ///< g: knee sharpness
+  double warmup_amp = 0.0;  ///< extra intensity at t=0 decaying over warmup_tau
+  double warmup_tau_frac = 0.05;  ///< warm-up time constant / core duration
+  double osc_depth = 0.0;  ///< panel/update oscillation amplitude at run end
+  double osc_cycles = 300.0;  ///< oscillation cycles across the core phase
+  double setup_intensity = 0.15;
+  double teardown_intensity = 0.10;
+
+  /// Traditional CPU cluster preset (flat profile; Colosse/Sequoia-like).
+  static HplParams cpu_traditional();
+  /// In-core GPU preset (sloped, tailing profile; Piz Daint/L-CSC-like).
+  static HplParams gpu_incore();
+};
+
+/// HPL benchmark run: LU-progress power model.
+class HplWorkload final : public Workload {
+ public:
+  HplWorkload(HplParams params, Seconds core_duration,
+              Seconds setup = Seconds{0.0}, Seconds teardown = Seconds{0.0});
+
+  [[nodiscard]] std::string name() const override { return "HPL"; }
+  [[nodiscard]] RunPhases phases() const override { return phases_; }
+  [[nodiscard]] double intensity(double t) const override;
+
+  /// Efficiency as a function of trailing-matrix fraction m in [0, 1].
+  [[nodiscard]] double efficiency(double m) const;
+
+  /// Trailing-matrix fraction at core-phase progress time tc in
+  /// [0, core duration] (interpolated from the integrated progress table).
+  [[nodiscard]] double trailing_fraction(double tc) const;
+
+  [[nodiscard]] const HplParams& params() const { return params_; }
+
+ private:
+  HplParams params_;
+  RunPhases phases_;
+  // Progress table: time_frac_[k] is the fraction of the core phase elapsed
+  // when the factorization has completed column fraction k / (table size-1).
+  std::vector<double> time_frac_;
+
+  void build_progress_table();
+};
+
+}  // namespace pv

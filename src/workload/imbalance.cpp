@@ -1,0 +1,58 @@
+#include "workload/imbalance.hpp"
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+std::vector<double> imbalanced_load_shares(std::size_t n,
+                                           const ImbalanceParams& params,
+                                           std::uint64_t seed) {
+  PV_EXPECTS(n > 0, "need at least one node");
+  PV_EXPECTS(params.share_cv >= 0.0, "share cv must be non-negative");
+  PV_EXPECTS(params.hot_node_prob >= 0.0 && params.hot_node_prob < 1.0,
+             "hot-node probability must be in [0,1)");
+  PV_EXPECTS(params.hot_node_factor >= 1.0,
+             "hot nodes carry at least the mean load");
+
+  std::vector<double> shares(n, 1.0);
+  if (params.share_cv == 0.0 && params.hot_node_prob == 0.0) return shares;
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng rng(seed ^ 0x1357BD5CA1EULL, i);
+    double s = 1.0;
+    if (params.share_cv > 0.0) {
+      const LogNormalDist body(1.0, params.share_cv);
+      s = body.sample(rng);
+    }
+    if (params.hot_node_prob > 0.0 && rng.bernoulli(params.hot_node_prob)) {
+      s *= params.hot_node_factor;
+    }
+    shares[i] = s;
+    total += s;
+  }
+  // Renormalize to mean exactly 1 so total work is conserved.
+  const double scale = static_cast<double>(n) / total;
+  for (auto& s : shares) s *= scale;
+  return shares;
+}
+
+void apply_load_shares(std::span<double> node_powers,
+                       std::span<const double> shares,
+                       double static_fraction) {
+  PV_EXPECTS(node_powers.size() == shares.size(),
+             "one share per node required");
+  PV_EXPECTS(static_fraction >= 0.0 && static_fraction < 1.0,
+             "static fraction in [0,1)");
+  for (std::size_t i = 0; i < node_powers.size(); ++i) {
+    PV_EXPECTS(shares[i] >= 0.0, "load shares must be non-negative");
+    node_powers[i] *=
+        static_fraction + (1.0 - static_fraction) * shares[i];
+  }
+}
+
+}  // namespace pv

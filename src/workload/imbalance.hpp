@@ -1,0 +1,45 @@
+#pragma once
+// Load imbalance across nodes — the boundary of the paper's method.
+//
+// The §4 statistics assume a *balanced* workload: every node does the same
+// work, so per-node power differences reflect only hardware variability
+// and stay near-normal.  Davis et al. [3] observed that data-intensive
+// workloads violate this badly ("substantial differences in nodes' average
+// power"), and the paper's §6 scopes its recommendation to "regular"
+// applications.  These helpers generate per-node load shares for an
+// irregular workload so benches can show exactly how the machinery
+// degrades: cv inflates, the distribution skews, and the Equation 5 sample
+// sizes (computed from a hardware-only pilot) stop delivering their
+// nominal accuracy.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pv {
+
+/// Parameters of an imbalanced workload's load distribution.
+struct ImbalanceParams {
+  /// Coefficient of variation of per-node load shares (0 = balanced).
+  double share_cv = 0.0;
+  /// Fraction of "straggler-feeder" nodes carrying a multiple of the mean
+  /// load (hot partitions in data-intensive runs).
+  double hot_node_prob = 0.0;
+  /// Load multiple carried by hot nodes.
+  double hot_node_factor = 2.0;
+};
+
+/// Per-node load shares with mean exactly 1: a log-normal body with the
+/// given cv plus the hot-node mixture, renormalized.  share_cv == 0 and
+/// hot_node_prob == 0 returns all ones.
+[[nodiscard]] std::vector<double> imbalanced_load_shares(
+    std::size_t n, const ImbalanceParams& params, std::uint64_t seed);
+
+/// Applies load shares to a balanced fleet's per-node mean powers:
+/// p_i <- p_i * (static_fraction + (1 - static_fraction) * share_i).
+/// Only the dynamic component of node power follows the load.
+void apply_load_shares(std::span<double> node_powers,
+                       std::span<const double> shares,
+                       double static_fraction);
+
+}  // namespace pv

@@ -1,0 +1,33 @@
+#include "workload/noise.hpp"
+
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+Ar1Noise::Ar1Noise(double sigma, double rho, Rng rng)
+    : sigma_(sigma),
+      rho_(rho),
+      innovation_sd_(std::sqrt(1.0 - rho * rho) * sigma),
+      state_(0.0),
+      rng_(rng) {
+  PV_EXPECTS(sigma >= 0.0, "noise sd must be non-negative");
+  PV_EXPECTS(rho >= 0.0 && rho < 1.0, "AR(1) needs rho in [0,1)");
+  // Start in the stationary distribution so early samples are not biased
+  // toward zero.
+  state_ = rng_.normal(0.0, sigma_);
+}
+
+double Ar1Noise::next() {
+  state_ = rho_ * state_ + rng_.normal(0.0, innovation_sd_);
+  return state_;
+}
+
+std::vector<double> Ar1Noise::series(std::size_t n) {
+  std::vector<double> out(n);
+  for (auto& v : out) v = next();
+  return out;
+}
+
+}  // namespace pv

@@ -1,0 +1,40 @@
+#pragma once
+// AR(1) noise: the "jagged" texture of real wall-power charts.
+//
+// Measured system power wanders around the workload's deterministic shape
+// with short-range correlation (OS jitter, memory phases, cooling).  An
+// AR(1) process x_{k+1} = rho x_k + sqrt(1 - rho^2) sigma eps_k has
+// stationary sd sigma and correlation time dt / (1 - rho) — enough realism
+// for every analysis in the paper while keeping segment averages unbiased.
+
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace pv {
+
+/// Stationary zero-mean AR(1) noise generator.
+class Ar1Noise {
+ public:
+  /// `sigma`: stationary standard deviation; `rho` in [0, 1): lag-1
+  /// correlation between consecutive samples.
+  Ar1Noise(double sigma, double rho, Rng rng);
+
+  /// Next deviate.
+  double next();
+
+  /// A whole correlated series of length n.
+  [[nodiscard]] std::vector<double> series(std::size_t n);
+
+  [[nodiscard]] double sigma() const { return sigma_; }
+  [[nodiscard]] double rho() const { return rho_; }
+
+ private:
+  double sigma_;
+  double rho_;
+  double innovation_sd_;
+  double state_;
+  Rng rng_;
+};
+
+}  // namespace pv

@@ -1,0 +1,76 @@
+#include "workload/profiles.hpp"
+
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+constexpr double kSetupIntensity = 0.15;
+constexpr double kTeardownIntensity = 0.10;
+
+double phase_gate(const RunPhases& p, double t, double core_value) {
+  if (t < p.core_begin().value()) return kSetupIntensity;
+  if (t >= p.core_end().value()) return kTeardownIntensity;
+  return core_value;
+}
+
+}  // namespace
+
+FirestarterWorkload::FirestarterWorkload(Seconds core_duration, double level,
+                                         Seconds setup, Seconds teardown)
+    : phases_{setup, core_duration, teardown}, level_(level) {
+  PV_EXPECTS(core_duration.value() > 0.0, "core duration must be positive");
+  PV_EXPECTS(level > 0.0 && level <= 1.0, "intensity level in (0,1]");
+}
+
+double FirestarterWorkload::intensity(double t) const {
+  return phase_gate(phases_, t, level_);
+}
+
+MprimeWorkload::MprimeWorkload(Seconds core_duration, double level,
+                               double drift_amp, Seconds setup,
+                               Seconds teardown)
+    : phases_{setup, core_duration, teardown},
+      level_(level),
+      drift_amp_(drift_amp) {
+  PV_EXPECTS(core_duration.value() > 0.0, "core duration must be positive");
+  PV_EXPECTS(level > 0.0 && level <= 1.0, "intensity level in (0,1]");
+  PV_EXPECTS(drift_amp >= 0.0 && drift_amp < level,
+             "drift amplitude must be small and non-negative");
+}
+
+double MprimeWorkload::intensity(double t) const {
+  const double tc = t - phases_.core_begin().value();
+  const double T = phases_.core.value();
+  // Slow sweep through FFT working-set sizes: one full cycle per ~40 min,
+  // at least two cycles per run.
+  const double period = std::min(2400.0, T / 2.0);
+  const double core =
+      level_ + drift_amp_ * std::sin(2.0 * M_PI * tc / period);
+  return phase_gate(phases_, t, core);
+}
+
+RodiniaCfdWorkload::RodiniaCfdWorkload(Seconds core_duration, double level,
+                                       double ripple, Seconds iteration,
+                                       Seconds setup, Seconds teardown)
+    : phases_{setup, core_duration, teardown},
+      level_(level),
+      ripple_(ripple),
+      iteration_s_(iteration.value()) {
+  PV_EXPECTS(core_duration.value() > 0.0, "core duration must be positive");
+  PV_EXPECTS(level > 0.0 && level <= 1.0, "intensity level in (0,1]");
+  PV_EXPECTS(ripple >= 0.0 && ripple < level, "ripple must be small");
+  PV_EXPECTS(iteration.value() > 0.0, "iteration period must be positive");
+}
+
+double RodiniaCfdWorkload::intensity(double t) const {
+  const double tc = t - phases_.core_begin().value();
+  // Sawtooth: ramp through the compute burst, drop at the exchange.
+  const double frac = tc / iteration_s_ - std::floor(tc / iteration_s_);
+  const double core = level_ + ripple_ * (frac - 0.5);
+  return phase_gate(phases_, t, core);
+}
+
+}  // namespace pv

@@ -1,0 +1,70 @@
+#pragma once
+// Non-HPL workloads from Table 3: FIRESTARTER (a processor stress test
+// engineered for maximal, constant power draw), MPrime/Prime95 (sustained
+// FFT torture test, near-flat), and Rodinia CFD (an iterative GPU solver
+// whose per-iteration structure gives a periodic power ripple).
+
+#include "workload/workload.hpp"
+
+namespace pv {
+
+/// Constant-intensity stress test (FIRESTARTER): intensity `level`
+/// throughout the core phase.  The flattest possible profile — the
+/// reference against which HPL's time variability is judged.
+class FirestarterWorkload final : public Workload {
+ public:
+  explicit FirestarterWorkload(Seconds core_duration, double level = 1.0,
+                               Seconds setup = Seconds{30.0},
+                               Seconds teardown = Seconds{10.0});
+
+  [[nodiscard]] std::string name() const override { return "FIRESTARTER"; }
+  [[nodiscard]] RunPhases phases() const override { return phases_; }
+  [[nodiscard]] double intensity(double t) const override;
+  [[nodiscard]] double core_mean_intensity() const override { return level_; }
+
+ private:
+  RunPhases phases_;
+  double level_;
+};
+
+/// MPrime (Prime95) torture test: high sustained intensity with a slow
+/// drift as the working set cycles through FFT sizes.
+class MprimeWorkload final : public Workload {
+ public:
+  explicit MprimeWorkload(Seconds core_duration, double level = 0.93,
+                          double drift_amp = 0.02,
+                          Seconds setup = Seconds{60.0},
+                          Seconds teardown = Seconds{10.0});
+
+  [[nodiscard]] std::string name() const override { return "MPrime"; }
+  [[nodiscard]] RunPhases phases() const override { return phases_; }
+  [[nodiscard]] double intensity(double t) const override;
+
+ private:
+  RunPhases phases_;
+  double level_;
+  double drift_amp_;
+};
+
+/// Rodinia CFD: iterative unstructured-grid solver.  Each iteration is a
+/// compute burst followed by a reduction/exchange dip, giving a sawtooth
+/// ripple around a high mean.
+class RodiniaCfdWorkload final : public Workload {
+ public:
+  RodiniaCfdWorkload(Seconds core_duration, double level = 0.88,
+                     double ripple = 0.08, Seconds iteration = Seconds{2.0},
+                     Seconds setup = Seconds{45.0},
+                     Seconds teardown = Seconds{15.0});
+
+  [[nodiscard]] std::string name() const override { return "Rodinia CFD"; }
+  [[nodiscard]] RunPhases phases() const override { return phases_; }
+  [[nodiscard]] double intensity(double t) const override;
+
+ private:
+  RunPhases phases_;
+  double level_;
+  double ripple_;
+  double iteration_s_;
+};
+
+}  // namespace pv

@@ -1,0 +1,26 @@
+#include "workload/workload.hpp"
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+double average_over(const std::function<double(double)>& f, double a, double b,
+                    std::size_t steps) {
+  PV_EXPECTS(f != nullptr, "null integrand");
+  PV_EXPECTS(b > a, "empty integration interval");
+  PV_EXPECTS(steps > 0, "need at least one panel");
+  const double h = (b - a) / static_cast<double>(steps);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    acc += f(a + (static_cast<double>(i) + 0.5) * h);
+  }
+  return acc / static_cast<double>(steps);
+}
+
+double Workload::core_mean_intensity() const {
+  const RunPhases p = phases();
+  return average_over([this](double t) { return intensity(t); },
+                      p.core_begin().value(), p.core_end().value());
+}
+
+}  // namespace pv

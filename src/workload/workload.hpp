@@ -1,0 +1,44 @@
+#pragma once
+// The workload abstraction: what the machine is doing while being metered.
+//
+// A Workload describes a benchmark run as phases (setup | core | teardown)
+// plus a *compute intensity* signal over time.  Intensity is the fraction
+// of peak dynamic power the workload drives (1.0 = fully saturated
+// execution units); node/component models translate intensity into watts.
+// All workloads in the paper are "balanced": every node executes the same
+// intensity profile, which is the assumption behind extrapolating a node
+// subset (§4) — per-node deviations enter through the node models, not the
+// workload.
+
+#include <memory>
+#include <string>
+
+#include "trace/segment.hpp"
+#include "util/units.hpp"
+
+namespace pv {
+
+/// Abstract benchmark-run description.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual RunPhases phases() const = 0;
+
+  /// Compute intensity in [0, ~1] at absolute run time t (seconds since
+  /// run start, setup included).  Must be defined for all t in
+  /// [0, phases().total()].
+  [[nodiscard]] virtual double intensity(double t) const = 0;
+
+  /// Mean intensity over the core phase (numerically integrated; override
+  /// when a closed form exists).
+  [[nodiscard]] virtual double core_mean_intensity() const;
+};
+
+/// Integration helper shared by Workload implementations: the average of
+/// `f` over [a, b] by composite midpoint rule with `steps` panels.
+[[nodiscard]] double average_over(const std::function<double(double)>& f,
+                                  double a, double b, std::size_t steps = 4096);
+
+}  // namespace pv

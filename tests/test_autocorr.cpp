@@ -1,0 +1,99 @@
+// Tests for autocorrelation / effective sample size — the correction that
+// makes time-average uncertainties honest on AR(1)-textured power traces.
+
+#include "stats/autocorr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/expects.hpp"
+#include "workload/noise.hpp"
+
+namespace pv {
+namespace {
+
+std::vector<double> white_noise(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(100.0, 5.0);
+  return xs;
+}
+
+std::vector<double> ar1_series(std::size_t n, double rho,
+                               std::uint64_t seed) {
+  Ar1Noise noise(1.0, rho, Rng(seed));
+  auto xs = noise.series(n);
+  for (auto& x : xs) x += 100.0;
+  return xs;
+}
+
+TEST(Autocorr, LagZeroIsOneAndWhiteNoiseDecorrelates) {
+  const auto xs = white_noise(20000, 1);
+  EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 10), 0.0, 0.02);
+}
+
+TEST(Autocorr, Ar1LagStructure) {
+  const auto xs = ar1_series(100000, 0.8, 2);
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.8, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 2), 0.64, 0.03);
+  EXPECT_NEAR(autocorrelation(xs, 5), std::pow(0.8, 5), 0.04);
+}
+
+TEST(Autocorr, IntegratedTimeMatchesAr1ClosedForm) {
+  // For AR(1), tau = (1 + rho) / (1 - rho): rho=0.8 -> 9.
+  const auto xs = ar1_series(200000, 0.8, 3);
+  EXPECT_NEAR(integrated_autocorrelation_time(xs), 9.0, 1.2);
+  const auto white = white_noise(50000, 4);
+  EXPECT_NEAR(integrated_autocorrelation_time(white), 1.0, 0.3);
+}
+
+TEST(Autocorr, EffectiveSampleSizeShrinksWithCorrelation) {
+  const auto xs = ar1_series(50000, 0.9, 5);
+  const double n_eff = effective_sample_size(xs);
+  // tau = 19 for rho=0.9 -> n_eff ~ 2600.
+  EXPECT_LT(n_eff, 6000.0);
+  EXPECT_GT(n_eff, 1000.0);
+  const auto white = white_noise(50000, 6);
+  EXPECT_GT(effective_sample_size(white), 30000.0);
+}
+
+TEST(Autocorr, TimeAverageSeIsCalibrated) {
+  // The corrected SE should cover the true mean ~95% of the time with a
+  // 2-sigma band; the naive sd/sqrt(n) would badly under-cover.
+  int covered = 0, naive_covered = 0;
+  constexpr int kTrials = 200;
+  constexpr std::size_t kLen = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto xs = ar1_series(kLen, 0.9, 100 + static_cast<std::uint64_t>(t));
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(kLen);
+    const double se = time_average_standard_error(xs);
+    if (std::fabs(mean - 100.0) <= 2.0 * se) ++covered;
+    double sd = 0.0;
+    for (double x : xs) sd += (x - mean) * (x - mean);
+    sd = std::sqrt(sd / (kLen - 1.0));
+    if (std::fabs(mean - 100.0) <= 2.0 * sd / std::sqrt(double(kLen))) {
+      ++naive_covered;
+    }
+  }
+  EXPECT_GT(covered / static_cast<double>(kTrials), 0.85);
+  EXPECT_LT(naive_covered / static_cast<double>(kTrials), 0.75);
+}
+
+TEST(Autocorr, DomainChecks) {
+  const std::vector<double> tiny{1.0};
+  EXPECT_THROW(autocorrelation(tiny, 0), contract_error);
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_THROW(autocorrelation(xs, 3), contract_error);
+  const std::vector<double> constant(10, 5.0);
+  EXPECT_THROW(autocorrelation(constant, 1), contract_error);
+  EXPECT_THROW(integrated_autocorrelation_time(xs), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

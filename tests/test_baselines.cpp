@@ -1,0 +1,101 @@
+// Unit tests for the baseline sample-size rules (§2.1: Davis et al.'s
+// Chernoff-Hoeffding approach, plus a Chebyshev rule).
+
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sample_size.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+#include "util/expects.hpp"
+#include "util/mathx.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Hoeffding, MatchesClosedForm) {
+  // range 100 W around mean 500 W, lambda 1%, alpha 5%:
+  // n = 100^2 ln(40) / (2 * 25) = 200 ln 40 = 737.8 -> 738.
+  const std::size_t n =
+      hoeffding_required_sample_size(0.05, 0.01, 500.0, 100.0);
+  EXPECT_EQ(n, static_cast<std::size_t>(
+                   std::ceil(10000.0 * std::log(40.0) / 50.0 - 1e-12)));
+}
+
+TEST(Hoeffding, GrowsWithRangeSquared) {
+  const std::size_t narrow =
+      hoeffding_required_sample_size(0.05, 0.01, 500.0, 50.0);
+  const std::size_t wide =
+      hoeffding_required_sample_size(0.05, 0.01, 500.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(wide) / static_cast<double>(narrow), 4.0,
+              0.05);
+}
+
+TEST(Chebyshev, MatchesClosedForm) {
+  // cv 2%, lambda 1%, alpha 5%: n = 0.0004 / (0.05 * 0.0001) = 80.
+  EXPECT_EQ(chebyshev_required_sample_size(0.05, 0.01, 0.02), 80u);
+}
+
+TEST(Baselines, OrderingNormalLtChebyshevLtHoeffding) {
+  // The paper's point: for near-normal fleets the normal-theory rule is
+  // far less conservative.  With a +/-3 sigma range (6 sigma width):
+  const double cv = 0.02, mean = 500.0;
+  const std::size_t n_normal = required_sample_size(0.05, 0.01, cv, 100000);
+  const std::size_t n_cheb = chebyshev_required_sample_size(0.05, 0.01, cv);
+  const std::size_t n_hoef =
+      hoeffding_required_sample_size(0.05, 0.01, mean, 6.0 * cv * mean);
+  EXPECT_LT(n_normal, n_cheb);
+  EXPECT_LT(n_cheb, n_hoef);
+  // Conservatism factors in the ranges the paper implies (several-fold).
+  EXPECT_GT(conservatism_vs_normal(n_hoef, 0.05, 0.01, cv, 100000), 5.0);
+}
+
+TEST(Baselines, AllRulesActuallyCoverOnGaussianFleet) {
+  // Every rule must deliver >= 95% empirical coverage; the baselines just
+  // pay for it with much larger n.
+  constexpr double cv = 0.02, lambda = 0.015, mean = 400.0;
+  constexpr std::size_t kN = 20000;
+  Rng fleet_rng(5);
+  std::vector<double> fleet(kN);
+  for (auto& x : fleet) x = fleet_rng.normal(mean, cv * mean);
+  const double mu = mean_of(fleet);
+
+  const auto coverage = [&](std::size_t n) {
+    Rng rng(17);
+    int hit = 0;
+    constexpr int kTrials = 600;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto idx = sample_without_replacement(rng, kN, n);
+      const double est = mean_of(gather(fleet, idx));
+      if (std::fabs(est - mu) <= lambda * mu) ++hit;
+    }
+    return hit / static_cast<double>(kTrials);
+  };
+
+  const std::size_t n_normal = required_sample_size(0.05, lambda, cv, kN);
+  const std::size_t n_cheb = chebyshev_required_sample_size(0.05, lambda, cv);
+  const std::size_t n_hoef =
+      hoeffding_required_sample_size(0.05, lambda, mean, 6.0 * cv * mean);
+  EXPECT_GE(coverage(n_normal), 0.90);
+  EXPECT_GE(coverage(n_cheb), 0.97);   // conservative rules overshoot
+  EXPECT_GE(coverage(std::min(n_hoef, kN / 2)), 0.99);
+}
+
+TEST(Baselines, DomainChecks) {
+  EXPECT_THROW(hoeffding_required_sample_size(0.0, 0.01, 500.0, 100.0),
+               contract_error);
+  EXPECT_THROW(hoeffding_required_sample_size(0.05, 0.0, 500.0, 100.0),
+               contract_error);
+  EXPECT_THROW(hoeffding_required_sample_size(0.05, 0.01, 0.0, 100.0),
+               contract_error);
+  EXPECT_THROW(hoeffding_required_sample_size(0.05, 0.01, 500.0, 0.0),
+               contract_error);
+  EXPECT_THROW(chebyshev_required_sample_size(0.05, 0.01, 0.0),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,105 @@
+// Unit tests for percentile-bootstrap confidence intervals.
+
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Interval, ContainsAndWidth) {
+  const Interval iv{1.0, 3.0};
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_TRUE(iv.contains(3.0));
+  EXPECT_FALSE(iv.contains(0.999));
+  EXPECT_DOUBLE_EQ(iv.width(), 2.0);
+  EXPECT_DOUBLE_EQ(iv.center(), 2.0);
+}
+
+TEST(Bootstrap, PointEstimateIsStatisticOnOriginal) {
+  Rng rng(1);
+  const std::vector<double> xs{10.0, 12.0, 14.0, 16.0};
+  const auto result = bootstrap_mean_ci(rng, xs, 500, 0.05);
+  EXPECT_DOUBLE_EQ(result.point_estimate, 13.0);
+  EXPECT_EQ(result.replicates.size(), 500u);
+}
+
+TEST(Bootstrap, CiBracketsTheMeanForWellBehavedData) {
+  Rng data_rng(2);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = data_rng.normal(100.0, 10.0);
+  Rng rng(3);
+  const auto result = bootstrap_mean_ci(rng, xs, 2000, 0.05);
+  EXPECT_LT(result.ci.lo, result.point_estimate);
+  EXPECT_GT(result.ci.hi, result.point_estimate);
+  // Width should be roughly 2 * 1.96 * sd/sqrt(n) ~ 2.77.
+  EXPECT_NEAR(result.ci.width(), 2.0 * 1.96 * 10.0 / std::sqrt(200.0), 0.8);
+}
+
+TEST(Bootstrap, HigherConfidenceGivesWiderInterval) {
+  Rng data_rng(4);
+  std::vector<double> xs(100);
+  for (auto& x : xs) x = data_rng.normal(0.0, 1.0);
+  Rng rng_a(5), rng_b(5);
+  const auto ci95 = bootstrap_mean_ci(rng_a, xs, 3000, 0.05);
+  const auto ci99 = bootstrap_mean_ci(rng_b, xs, 3000, 0.01);
+  EXPECT_GT(ci99.ci.width(), ci95.ci.width());
+}
+
+TEST(Bootstrap, CustomStatistic) {
+  Rng rng(6);
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 100.0};
+  const auto result = bootstrap_ci(
+      rng, xs, [](std::span<const double> s) { return median(s); }, 1000,
+      0.05);
+  EXPECT_DOUBLE_EQ(result.point_estimate, 3.0);
+  // The median is robust: even with the outlier the CI stays small.
+  EXPECT_LE(result.ci.hi, 100.0);
+}
+
+TEST(Bootstrap, DeterministicGivenRngState) {
+  const std::vector<double> xs{5.0, 7.0, 9.0, 11.0};
+  Rng a(7), b(7);
+  const auto ra = bootstrap_mean_ci(a, xs, 200, 0.1);
+  const auto rb = bootstrap_mean_ci(b, xs, 200, 0.1);
+  EXPECT_EQ(ra.replicates, rb.replicates);
+  EXPECT_DOUBLE_EQ(ra.ci.lo, rb.ci.lo);
+  EXPECT_DOUBLE_EQ(ra.ci.hi, rb.ci.hi);
+}
+
+TEST(Bootstrap, DomainChecks) {
+  Rng rng(8);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci(rng, {}, 100, 0.05), contract_error);
+  EXPECT_THROW(bootstrap_mean_ci(rng, xs, 1, 0.05), contract_error);
+  EXPECT_THROW(bootstrap_mean_ci(rng, xs, 100, 0.0), contract_error);
+  EXPECT_THROW(
+      bootstrap_ci(rng, xs, nullptr, 100, 0.05), contract_error);
+}
+
+TEST(Bootstrap, CoverageIsApproximatelyNominal) {
+  // Repeatedly draw data with known mean 0 and check that the 90% interval
+  // covers it close to 90% of the time.
+  int covered = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    Rng data_rng(1000 + t);
+    std::vector<double> xs(60);
+    for (auto& x : xs) x = data_rng.normal(0.0, 1.0);
+    Rng rng(2000 + t);
+    const auto result = bootstrap_mean_ci(rng, xs, 400, 0.10);
+    if (result.ci.contains(0.0)) ++covered;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(kTrials), 0.90, 0.06);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,131 @@
+// Unit tests for the segment-average calibration layer — the Table 2
+// reproduction depends on these being exact.
+
+#include "workload/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/catalog.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+SegmentTargets lcsc_targets() {
+  return {kilowatts(59.1), kilowatts(63.9), kilowatts(46.8)};
+}
+
+RunPhases ninety_minutes() {
+  return {minutes(4.0), hours(1.5), minutes(3.0)};
+}
+
+TEST(Calibration, HitsSegmentTargetsExactly) {
+  const CalibratedSystemProfile prof("L-CSC", HplParams::gpu_incore(),
+                                     ninety_minutes(), lcsc_targets());
+  const RunPhases p = prof.phases();
+  const auto avg = [&](double a, double b) {
+    return average_over([&](double t) { return prof.system_power_w(t); },
+                        p.core_begin().value() + a * p.core.value(),
+                        p.core_begin().value() + b * p.core.value(), 8192);
+  };
+  EXPECT_NEAR(avg(0.0, 1.0), 59100.0, 59100.0 * 1e-4);
+  EXPECT_NEAR(avg(0.0, 0.2), 63900.0, 63900.0 * 1e-4);
+  EXPECT_NEAR(avg(0.8, 1.0), 46800.0, 46800.0 * 1e-4);
+}
+
+TEST(Calibration, FlatTargetsGiveFlatProfile) {
+  const SegmentTargets colosse{kilowatts(398.7), kilowatts(398.1),
+                               kilowatts(398.2)};
+  const CalibratedSystemProfile prof("Colosse", HplParams::cpu_traditional(),
+                                     {minutes(15.0), hours(7.0), minutes(10.0)},
+                                     colosse);
+  const RunPhases p = prof.phases();
+  double lo = 1e18, hi = -1e18;
+  for (double f = 0.01; f <= 0.99; f += 0.01) {
+    const double w = prof.system_power_w(p.core_begin().value() +
+                                         f * p.core.value());
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  // Whole profile within ~2% of the mean.
+  EXPECT_LT((hi - lo) / 398700.0, 0.02);
+}
+
+TEST(Calibration, PowerIsPositiveEverywhere) {
+  const CalibratedSystemProfile prof("L-CSC", HplParams::gpu_incore(),
+                                     ninety_minutes(), lcsc_targets());
+  const RunPhases p = prof.phases();
+  for (double t = 0.0; t <= p.total().value(); t += 30.0) {
+    ASSERT_GT(prof.system_power_w(t), 0.0) << "t=" << t;
+  }
+}
+
+TEST(Calibration, SetupTeardownScaleWithCoreAverage) {
+  const CalibratedSystemProfile prof("x", HplParams::gpu_incore(),
+                                     ninety_minutes(), lcsc_targets(),
+                                     /*setup=*/0.6, /*teardown=*/0.5);
+  EXPECT_DOUBLE_EQ(prof.system_power_w(1.0), 59100.0 * 0.6);
+  const RunPhases p = prof.phases();
+  EXPECT_DOUBLE_EQ(prof.system_power_w(p.core_end().value() + 1.0),
+                   59100.0 * 0.5);
+}
+
+TEST(Calibration, IntensityNormalizedToPeak) {
+  const CalibratedSystemProfile prof("x", HplParams::gpu_incore(),
+                                     ninety_minutes(), lcsc_targets());
+  const RunPhases p = prof.phases();
+  double peak = 0.0;
+  for (double t = p.core_begin().value(); t < p.core_end().value();
+       t += 10.0) {
+    peak = std::max(peak, prof.intensity(t));
+  }
+  EXPECT_NEAR(peak, 1.0, 1e-2);
+}
+
+TEST(Calibration, NoisyTraceAveragesStayOnTarget) {
+  const CalibratedSystemProfile prof("x", HplParams::gpu_incore(),
+                                     ninety_minutes(), lcsc_targets());
+  const PowerTrace trace = prof.core_phase_trace(Seconds{1.0},
+                                                 /*noise=*/0.01, 0.9,
+                                                 /*seed=*/5);
+  // AR(1) with sd 1% over 5400 samples: the mean moves well under 0.5%.
+  EXPECT_NEAR(trace.mean_power().value(), 59100.0, 59100.0 * 0.005);
+}
+
+TEST(Calibration, FullRunTraceCoversAllPhases) {
+  const CalibratedSystemProfile prof("x", HplParams::gpu_incore(),
+                                     ninety_minutes(), lcsc_targets());
+  const PowerTrace trace = prof.full_run_trace(Seconds{10.0});
+  EXPECT_NEAR(trace.duration().value(), prof.phases().total().value(), 10.0);
+  // Starts at setup power, not core power.
+  EXPECT_NEAR(trace.watt_at(0), 59100.0 * 0.6, 1.0);
+}
+
+TEST(Calibration, CoefficientsReflectTailDirection) {
+  const CalibratedSystemProfile prof("x", HplParams::gpu_incore(),
+                                     ninety_minutes(), lcsc_targets());
+  // Power falls toward the end => negative tail coefficient.
+  EXPECT_LT(prof.coefficients()[2], 0.0);
+}
+
+TEST(Calibration, RejectsNonPositiveTargets) {
+  EXPECT_THROW(CalibratedSystemProfile(
+                   "x", HplParams::gpu_incore(), ninety_minutes(),
+                   SegmentTargets{kilowatts(0.0), kilowatts(1.0), kilowatts(1.0)}),
+               contract_error);
+}
+
+TEST(Calibration, InconsistentTargetsRejectedByPhysicalityCheck) {
+  // A last-20% average of near zero cannot be met with positive power
+  // given the bounded tail basis: calibration must detect this.
+  EXPECT_THROW(
+      CalibratedSystemProfile(
+          "x", HplParams::gpu_incore(), ninety_minutes(),
+          SegmentTargets{kilowatts(59.1), kilowatts(90.0), kilowatts(0.5)}),
+      contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,82 @@
+// Tests for the power provisioning/capping analysis.
+
+#include "core/capping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+std::vector<double> fleet_2pct(std::size_t n, std::uint64_t seed) {
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.02);
+  var.outlier_prob = 0.0;
+  return generate_node_powers(n, 400.0, var, seed);
+}
+
+TEST(Provisioning, StatisticalBoundBetweenObservedAndNameplate) {
+  const auto fleet = fleet_2pct(4096, 1);
+  const auto a = analyze_provisioning(fleet, /*nameplate=*/600.0);
+  EXPECT_GT(a.statistical_bound_w, a.observed_peak_w * 0.999);
+  EXPECT_LT(a.statistical_bound_w, a.nameplate_w);
+  // ~400/600 usage: roughly a third of the budget is headroom.
+  EXPECT_GT(a.headroom_frac, 0.25);
+  EXPECT_LT(a.headroom_frac, 0.40);
+}
+
+TEST(Provisioning, BoundConcentratesWithFleetSize) {
+  // Relative slack of the bound over the observed sum shrinks ~1/sqrt(N).
+  const auto small = fleet_2pct(64, 2);
+  const auto large = fleet_2pct(16384, 2);
+  const auto sa = analyze_provisioning(small, 600.0);
+  const auto la = analyze_provisioning(large, 600.0);
+  const double slack_small =
+      sa.statistical_bound_w / sa.observed_peak_w - 1.0;
+  const double slack_large =
+      la.statistical_bound_w / la.observed_peak_w - 1.0;
+  EXPECT_GT(slack_small, 5.0 * slack_large);
+}
+
+TEST(Provisioning, RejectsOverNameplateMeasurements) {
+  const std::vector<double> fleet{500.0, 700.0};
+  EXPECT_THROW(analyze_provisioning(fleet, 600.0), contract_error);
+  EXPECT_THROW(analyze_provisioning(fleet, 800.0, 0.6), contract_error);
+  const std::vector<double> one{500.0};
+  EXPECT_THROW(analyze_provisioning(one, 600.0), contract_error);
+}
+
+TEST(Capping, CapQuantileMatchesNormalModel) {
+  // 1% throttle fraction: cap = mu + 2.326 sigma.
+  const double cap = node_cap_for_throttle_fraction(400.0, 8.0, 0.01);
+  EXPECT_NEAR(cap, 400.0 + 2.326347874 * 8.0, 1e-6);
+  // Median cap throttles half the fleet.
+  EXPECT_NEAR(node_cap_for_throttle_fraction(400.0, 8.0, 0.5), 400.0, 1e-9);
+}
+
+TEST(Capping, EmpiricalThrottleFractionMatches) {
+  const auto fleet = fleet_2pct(20000, 3);
+  const Summary s = summarize(fleet);
+  const double cap = node_cap_for_throttle_fraction(s.mean, s.stddev, 0.05);
+  std::size_t over = 0;
+  for (double p : fleet) {
+    if (p > cap) ++over;
+  }
+  EXPECT_NEAR(static_cast<double>(over) / static_cast<double>(fleet.size()),
+              0.05, 0.01);
+}
+
+TEST(Capping, ExpectedThrottledNodes) {
+  // Cap at mu: half the fleet throttles in expectation.
+  EXPECT_NEAR(expected_throttled_nodes(400.0, 8.0, 400.0, 1000), 500.0, 1e-6);
+  // Cap far above: nobody.
+  EXPECT_NEAR(expected_throttled_nodes(400.0, 8.0, 480.0, 1000), 0.0, 1e-6);
+  EXPECT_THROW(expected_throttled_nodes(400.0, 0.0, 410.0, 10),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,162 @@
+// Unit tests for the system catalog — the paper's published numbers must
+// be encoded faithfully.
+
+#include "sim/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace pv::catalog {
+namespace {
+
+TEST(Catalog, Table2SystemsInPaperOrder) {
+  const auto& systems = table2_systems();
+  ASSERT_EQ(systems.size(), 4u);
+  EXPECT_EQ(systems[0].name, "Colosse");
+  EXPECT_EQ(systems[1].name, "Sequoia");
+  EXPECT_EQ(systems[2].name, "Piz Daint");
+  EXPECT_EQ(systems[3].name, "L-CSC");
+}
+
+TEST(Catalog, Table2PublishedNumbers) {
+  const auto& s = table2_systems();
+  EXPECT_DOUBLE_EQ(s[0].hpl_runtime.value(), 7.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(s[0].core_avg.value(), 398700.0);
+  EXPECT_DOUBLE_EQ(s[1].hpl_runtime.value(), 28.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(s[1].first20_avg.value(), 11628700.0);
+  EXPECT_DOUBLE_EQ(s[2].last20_avg.value(), 698400.0);
+  EXPECT_DOUBLE_EQ(s[3].core_avg.value(), 59100.0);
+  EXPECT_DOUBLE_EQ(s[3].first20_avg.value(), 63900.0);
+  EXPECT_DOUBLE_EQ(s[3].last20_avg.value(), 46800.0);
+  EXPECT_FALSE(s[0].gpu_shape);
+  EXPECT_FALSE(s[1].gpu_shape);
+  EXPECT_TRUE(s[2].gpu_shape);
+  EXPECT_TRUE(s[3].gpu_shape);
+}
+
+TEST(Catalog, Table4SystemsInPaperOrder) {
+  const auto& systems = table4_systems();
+  ASSERT_EQ(systems.size(), 6u);
+  EXPECT_EQ(systems[0].name, "Calcul Quebec");
+  EXPECT_EQ(systems[1].name, "CEA (Fat)");
+  EXPECT_EQ(systems[2].name, "CEA (Thin)");
+  EXPECT_EQ(systems[3].name, "LRZ");
+  EXPECT_EQ(systems[4].name, "Titan");
+  EXPECT_EQ(systems[5].name, "TU-Dresden");
+}
+
+TEST(Catalog, Table4PublishedStatistics) {
+  struct Row {
+    const char* name;
+    std::size_t n;
+    double mean;
+    double sd;
+  };
+  const Row rows[] = {
+      {"Calcul Quebec", 480, 581.93, 11.66}, {"CEA (Fat)", 360, 971.74, 19.81},
+      {"CEA (Thin)", 5040, 366.84, 10.41},   {"LRZ", 9216, 209.88, 5.31},
+      {"Titan", 18688, 90.74, 1.81},         {"TU-Dresden", 210, 386.86, 5.85},
+  };
+  for (const Row& row : rows) {
+    const FleetSystem& s = fleet_system(row.name);
+    EXPECT_EQ(s.total_nodes, row.n) << row.name;
+    EXPECT_DOUBLE_EQ(s.mean_w, row.mean) << row.name;
+    EXPECT_DOUBLE_EQ(s.sd_w, row.sd) << row.name;
+  }
+  EXPECT_THROW(fleet_system("Colossus"), std::invalid_argument);
+}
+
+TEST(Catalog, Table4CvsAreInThePapersRange) {
+  for (const auto& s : table4_systems()) {
+    EXPECT_GE(s.cv(), 0.015) << s.name;
+    EXPECT_LE(s.cv(), 0.0285) << s.name;
+    // The variability decomposition reproduces the published cv.
+    EXPECT_NEAR(s.variability.body_cv(), s.cv(), 1e-9) << s.name;
+  }
+}
+
+TEST(Catalog, Table3WorkloadsMatch) {
+  EXPECT_EQ(fleet_system("LRZ").workload_name, "MPrime");
+  EXPECT_EQ(fleet_system("Titan").workload_name, "Rodinia CFD");
+  EXPECT_EQ(fleet_system("TU-Dresden").workload_name, "FIRESTARTER");
+  EXPECT_EQ(fleet_system("Calcul Quebec").workload_name, "HPL");
+  EXPECT_EQ(fleet_system("LRZ").measured_nodes, 512u);
+  EXPECT_EQ(fleet_system("Titan").measured_nodes, 1000u);
+}
+
+TEST(Catalog, MakeWorkloadDispatchesByProfile) {
+  EXPECT_EQ(make_workload(fleet_system("LRZ"))->name(), "MPrime");
+  EXPECT_EQ(make_workload(fleet_system("Titan"))->name(), "Rodinia CFD");
+  EXPECT_EQ(make_workload(fleet_system("TU-Dresden"))->name(), "FIRESTARTER");
+  EXPECT_EQ(make_workload(fleet_system("CEA (Fat)"))->name(), "HPL");
+}
+
+TEST(Catalog, MakeFleetPowersUnconditionedIsClose) {
+  const FleetSystem& lrz = fleet_system("LRZ");
+  const auto powers = make_fleet_powers(lrz, 1, /*condition_exact=*/false);
+  ASSERT_EQ(powers.size(), lrz.total_nodes);
+  const Summary s = summarize(powers);
+  EXPECT_NEAR(s.mean, lrz.mean_w, lrz.mean_w * 0.01);
+  EXPECT_NEAR(s.cv, lrz.cv(), 0.006);
+}
+
+TEST(Catalog, MakeFleetPowersConditionedIsExact) {
+  const FleetSystem& titan = fleet_system("Titan");
+  const auto powers = make_fleet_powers(titan, 2, /*condition_exact=*/true);
+  const Summary s = summarize(powers);
+  EXPECT_NEAR(s.mean, 90.74, 1e-9);
+  EXPECT_NEAR(s.stddev, 1.81, 1e-9);
+}
+
+TEST(Catalog, ProfiledSystemCalibrates) {
+  for (const auto& sys : table2_systems()) {
+    const CalibratedSystemProfile prof = make_profile(sys);
+    EXPECT_EQ(prof.name(), sys.name);
+    EXPECT_DOUBLE_EQ(prof.phases().core.value(), sys.hpl_runtime.value());
+  }
+}
+
+TEST(Catalog, TsubameKfcHasAGamableTail) {
+  const ProfiledSystem& kfc = tsubame_kfc();
+  EXPECT_TRUE(kfc.gpu_shape);
+  EXPECT_GT(kfc.first20_avg.value(), kfc.core_avg.value());
+  EXPECT_LT(kfc.last20_avg.value(), kfc.core_avg.value());
+}
+
+TEST(Catalog, TitanGpuOnlyScopeReproducesTable4Row) {
+  // Bottom-up check of the ORNL row: 1000 metered K20X GPUs under Rodinia
+  // land at the published 90.74 W per-GPU mean with a cv in the paper's
+  // 1.5-3% band.
+  const auto fleet = build_fleet(titan_node_spec(), 1000, 42);
+  pv::RunningStats gpu;
+  for (const auto& node : fleet) {
+    gpu.add(node.gpu_power(titan_rodinia_gpu_activity(),
+                           pv::NodeSettings::defaults())
+                .value());
+  }
+  EXPECT_NEAR(gpu.mean(), 90.74, 2.0);
+  EXPECT_GT(gpu.cv(), 0.01);
+  EXPECT_LT(gpu.cv(), 0.035);
+}
+
+TEST(Catalog, TitanSpecShape) {
+  const pv::NodeSpec spec = titan_node_spec();
+  EXPECT_EQ(spec.cpu_count, 1u);
+  EXPECT_EQ(spec.gpu_count, 1u);
+  EXPECT_DOUBLE_EQ(spec.gpu.peak_gflops_ref, 1310.0);  // K20X DP
+  EXPECT_DOUBLE_EQ(spec.fan.max_power_w, 0.0);  // chassis-cooled blades
+}
+
+TEST(Catalog, LcscSpecIsFourGpuNode) {
+  const NodeSpec spec = lcsc_node_spec();
+  EXPECT_EQ(spec.gpu_count, 4u);
+  EXPECT_EQ(spec.cpu_count, 2u);
+  EXPECT_DOUBLE_EQ(spec.gpu.reference.frequency.value(), 900e6);
+  EXPECT_EQ(lcsc_node_count(), 160u);
+}
+
+}  // namespace
+}  // namespace pv::catalog

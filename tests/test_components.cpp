@@ -1,0 +1,146 @@
+// Unit tests for the CPU/GPU/fan component models.
+
+#include "sim/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(CpuModel, PowerDecomposition) {
+  CpuSpec spec;
+  spec.static_w_ref = 20.0;
+  spec.dynamic_w_ref = 80.0;
+  const CpuModel cpu(spec, /*leakage=*/1.0);
+  // At the reference point: idle = static, full = static + dynamic.
+  EXPECT_NEAR(cpu.power(spec.reference, 0.0).value(), 20.0, 1e-9);
+  EXPECT_NEAR(cpu.power(spec.reference, 1.0).value(), 100.0, 1e-9);
+}
+
+TEST(CpuModel, DynamicPowerScalesWithFV2) {
+  CpuSpec spec;
+  spec.static_w_ref = 0.0;  // isolate dynamic
+  spec.dynamic_w_ref = 100.0;
+  spec.leakage_voltage_slope = 0.0;
+  const CpuModel cpu(spec, 1.0);
+  const OperatingPoint half_f{Hertz{spec.reference.frequency.value() * 0.5},
+                              spec.reference.voltage};
+  EXPECT_NEAR(cpu.power(half_f, 1.0).value(), 50.0, 1e-9);
+  const OperatingPoint low_v{spec.reference.frequency,
+                             Volts{spec.reference.voltage.value() * 0.9}};
+  EXPECT_NEAR(cpu.power(low_v, 1.0).value(), 81.0, 1e-9);
+}
+
+TEST(CpuModel, LeakageMultiplierScalesStaticOnly) {
+  CpuSpec spec;
+  spec.static_w_ref = 30.0;
+  spec.dynamic_w_ref = 70.0;
+  const CpuModel hot(spec, 1.2);
+  const CpuModel cool(spec, 0.8);
+  const double diff = hot.power(spec.reference, 1.0).value() -
+                      cool.power(spec.reference, 1.0).value();
+  EXPECT_NEAR(diff, 30.0 * 0.4, 1e-9);
+  EXPECT_THROW(CpuModel(spec, 0.0), contract_error);
+}
+
+TEST(CpuModel, ThroughputProportionalToFrequency) {
+  const CpuSpec spec;
+  const CpuModel cpu(spec, 1.0);
+  EXPECT_DOUBLE_EQ(cpu.throughput(spec.reference), 1.0);
+  const OperatingPoint slower{Hertz{spec.reference.frequency.value() / 2.0},
+                              spec.reference.voltage};
+  EXPECT_DOUBLE_EQ(cpu.throughput(slower), 0.5);
+}
+
+TEST(GpuModel, DefaultVoltageFollowsVid) {
+  GpuSpec spec;
+  spec.vid_base_v = 1.040;
+  spec.vid_step_v = 0.010;
+  const GpuModel low(spec, GpuAsic{0, 1.0});
+  const GpuModel high(spec, GpuAsic{9, 1.0});
+  EXPECT_NEAR(low.default_voltage().value(), 1.040, 1e-12);
+  EXPECT_NEAR(high.default_voltage().value(), 1.130, 1e-12);
+  EXPECT_THROW(GpuModel(spec, GpuAsic{10, 1.0}), contract_error);
+}
+
+TEST(GpuModel, HigherVidDrawsMorePowerAtDefaults) {
+  const GpuSpec spec;
+  const GpuModel low(spec, GpuAsic{1, 1.0});
+  const GpuModel high(spec, GpuAsic{8, 1.0});
+  EXPECT_GT(high.power(high.default_operating_point(), 1.0).value(),
+            low.power(low.default_operating_point(), 1.0).value());
+  // At a *fixed* operating point, equal leakage => equal power.
+  const OperatingPoint fixed{megahertz(774.0), volts(1.018)};
+  EXPECT_DOUBLE_EQ(high.power(fixed, 1.0).value(),
+                   low.power(fixed, 1.0).value());
+}
+
+TEST(GpuModel, GflopsScalesWithFrequency) {
+  const GpuSpec spec;  // 2530 GF at 900 MHz
+  const GpuModel gpu(spec, GpuAsic{5, 1.0});
+  EXPECT_NEAR(gpu.gflops({megahertz(900.0), volts(1.05)}), 2530.0, 1e-9);
+  EXPECT_NEAR(gpu.gflops({megahertz(450.0), volts(1.0)}), 1265.0, 1e-9);
+}
+
+TEST(DrawGpuAsic, VidDistributionIsCenteredAndBellShaped) {
+  const GpuSpec spec;  // 10 bins
+  Rng rng(42);
+  std::vector<double> bins;
+  RunningStats leak;
+  std::vector<int> counts(spec.vid_bins, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const GpuAsic a = draw_gpu_asic(spec, rng);
+    ++counts[a.vid_bin];
+    bins.push_back(static_cast<double>(a.vid_bin));
+    leak.add(a.leakage_mult);
+  }
+  const Summary s = summarize(bins);
+  EXPECT_NEAR(s.mean, 4.5, 0.1);           // centered binomial over 0..9
+  EXPECT_NEAR(s.stddev, 1.5, 0.1);         // sqrt(9 * 0.25)
+  EXPECT_GT(counts[4] + counts[5], counts[0] + counts[9]);  // bell shape
+  EXPECT_NEAR(leak.mean(), 1.0, 0.01);
+}
+
+TEST(DrawGpuAsic, LeakageCorrelatesWithVid) {
+  const GpuSpec spec;
+  Rng rng(43);
+  RunningStats low_leak, high_leak;
+  for (int i = 0; i < 20000; ++i) {
+    const GpuAsic a = draw_gpu_asic(spec, rng, 0.05, 0.7);
+    if (a.vid_bin <= 2) low_leak.add(a.leakage_mult);
+    if (a.vid_bin >= 7) high_leak.add(a.leakage_mult);
+  }
+  EXPECT_GT(high_leak.mean(), low_leak.mean() + 0.02);
+}
+
+TEST(FanPower, CubicLaw) {
+  const FanSpec fan{120.0, 0.25};
+  EXPECT_DOUBLE_EQ(fan_power(fan, 1.0).value(), 120.0);
+  EXPECT_DOUBLE_EQ(fan_power(fan, 0.5).value(), 15.0);
+  EXPECT_DOUBLE_EQ(fan_power(fan, 0.0).value(), 0.0);
+  EXPECT_THROW(fan_power(fan, 1.5), contract_error);
+}
+
+TEST(FanPolicy, Factories) {
+  const FanPolicy a = FanPolicy::automatic();
+  EXPECT_EQ(a.mode, FanPolicy::Mode::kAuto);
+  const FanPolicy p = FanPolicy::pinned(0.6);
+  EXPECT_EQ(p.mode, FanPolicy::Mode::kPinned);
+  EXPECT_DOUBLE_EQ(p.pinned_speed, 0.6);
+}
+
+TEST(DiePower, ActivityRangeGuard) {
+  const CpuSpec spec;
+  const CpuModel cpu(spec, 1.0);
+  EXPECT_THROW(cpu.power(spec.reference, -0.1), contract_error);
+  EXPECT_THROW(cpu.power(spec.reference, 2.0), contract_error);
+  EXPECT_THROW(cpu.power({Hertz{0.0}, volts(1.0)}, 0.5), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

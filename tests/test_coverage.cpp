@@ -1,0 +1,102 @@
+// Unit tests for the Figure 3 coverage study (reduced simulation counts).
+
+#include "core/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+std::vector<double> gaussian_pilot(std::size_t n, double mean, double sd,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.normal(mean, sd);
+  return xs;
+}
+
+CoverageConfig small_config() {
+  CoverageConfig cfg;
+  cfg.full_system_nodes = 1000;
+  cfg.sample_sizes = {3, 5, 15};
+  cfg.confidence_levels = {0.80, 0.95};
+  cfg.simulations = 4000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Coverage, WellCalibratedOnGaussianPilot) {
+  const auto pilot = gaussian_pilot(516, 209.88, 5.31, 1);
+  const auto points = coverage_study(pilot, small_config());
+  ASSERT_EQ(points.size(), 6u);
+  for (const auto& p : points) {
+    // Monte-Carlo tolerance: ~4 sigma of a binomial proportion at 4000
+    // sims is ~2.5 points at 80%, tighter at 95%.
+    EXPECT_NEAR(p.coverage, p.confidence_level, 0.03)
+        << "n=" << p.sample_size << " level=" << p.confidence_level;
+  }
+}
+
+TEST(Coverage, OutputOrderIsSizeMajorLevelMinor) {
+  const auto pilot = gaussian_pilot(100, 100.0, 3.0, 2);
+  const auto points = coverage_study(pilot, small_config());
+  EXPECT_EQ(points[0].sample_size, 3u);
+  EXPECT_DOUBLE_EQ(points[0].confidence_level, 0.80);
+  EXPECT_EQ(points[1].sample_size, 3u);
+  EXPECT_DOUBLE_EQ(points[1].confidence_level, 0.95);
+  EXPECT_EQ(points[2].sample_size, 5u);
+}
+
+TEST(Coverage, DeterministicAcrossThreadCounts) {
+  const auto pilot = gaussian_pilot(64, 50.0, 2.0, 3);
+  CoverageConfig cfg = small_config();
+  cfg.simulations = 1000;
+  ThreadPool pool(4);
+  const auto serial = coverage_study(pilot, cfg, nullptr);
+  const auto threaded = coverage_study(pilot, cfg, &pool);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].coverage, threaded[i].coverage);
+  }
+}
+
+TEST(Coverage, SkewedPilotStillRoughlyCalibratedAtModerateN) {
+  // Log-normal-ish pilot with a heavy right tail: coverage at n >= 15
+  // should remain within a few points of nominal — the paper's robustness
+  // finding.
+  Rng rng(4);
+  std::vector<double> pilot(516);
+  for (auto& x : pilot) x = 200.0 * std::exp(rng.normal(0.0, 0.05));
+  CoverageConfig cfg = small_config();
+  cfg.sample_sizes = {15};
+  const auto points = coverage_study(pilot, cfg);
+  for (const auto& p : points) {
+    EXPECT_NEAR(p.coverage, p.confidence_level, 0.04);
+  }
+}
+
+TEST(Coverage, ConfigValidation) {
+  const auto pilot = gaussian_pilot(50, 10.0, 1.0, 5);
+  CoverageConfig cfg = small_config();
+  cfg.simulations = 10;
+  EXPECT_THROW(coverage_study(pilot, cfg), contract_error);
+  cfg = small_config();
+  cfg.sample_sizes = {1};
+  EXPECT_THROW(coverage_study(pilot, cfg), contract_error);
+  cfg = small_config();
+  cfg.full_system_nodes = 1;
+  EXPECT_THROW(coverage_study(pilot, cfg), contract_error);
+  cfg = small_config();
+  cfg.confidence_levels = {1.5};
+  EXPECT_THROW(coverage_study(pilot, cfg), contract_error);
+  EXPECT_THROW(coverage_study(std::vector<double>{1.0}, small_config()),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace pv

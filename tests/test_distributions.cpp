@@ -1,0 +1,122 @@
+// Unit tests for the samplable distributions of the fleet generator.
+
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+Summary sample_summary(const Distribution& d, std::size_t n,
+                       std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = d.sample(rng);
+  return summarize(xs);
+}
+
+TEST(NormalDist, MomentsMatch) {
+  NormalDist d(100.0, 5.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(d.stddev(), 5.0);
+  const Summary s = sample_summary(d, 100000);
+  EXPECT_NEAR(s.mean, 100.0, 0.1);
+  EXPECT_NEAR(s.stddev, 5.0, 0.1);
+  EXPECT_THROW(NormalDist(0.0, -1.0), contract_error);
+}
+
+TEST(LogNormalDist, TargetsArithmeticMoments) {
+  LogNormalDist d(386.86, 5.85);
+  EXPECT_DOUBLE_EQ(d.mean(), 386.86);
+  EXPECT_DOUBLE_EQ(d.stddev(), 5.85);
+  const Summary s = sample_summary(d, 200000);
+  EXPECT_NEAR(s.mean, 386.86, 0.2);
+  EXPECT_NEAR(s.stddev, 5.85, 0.2);
+  // All deviates positive by construction.
+  EXPECT_GT(s.min, 0.0);
+  EXPECT_THROW(LogNormalDist(-5.0, 1.0), contract_error);
+}
+
+TEST(LogNormalDist, LogParametersSatisfyMomentEquations) {
+  LogNormalDist d(100.0, 30.0);
+  const double mu = d.mu_log();
+  const double sg = d.sigma_log();
+  EXPECT_NEAR(std::exp(mu + 0.5 * sg * sg), 100.0, 1e-9);
+  const double var = (std::exp(sg * sg) - 1.0) * std::exp(2.0 * mu + sg * sg);
+  EXPECT_NEAR(std::sqrt(var), 30.0, 1e-9);
+}
+
+TEST(TruncatedDist, RespectsBounds) {
+  auto inner = std::make_shared<NormalDist>(0.0, 1.0);
+  TruncatedDist d(inner, -1.0, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, -1.0);
+    ASSERT_LE(x, 1.0);
+  }
+  EXPECT_THROW(TruncatedDist(inner, 2.0, 1.0), contract_error);
+  EXPECT_THROW(TruncatedDist(nullptr, 0.0, 1.0), contract_error);
+}
+
+TEST(TruncatedDist, NegligibleMassThrowsInsteadOfHanging) {
+  auto inner = std::make_shared<NormalDist>(0.0, 1.0);
+  TruncatedDist d(inner, 50.0, 51.0);  // ~0 mass
+  Rng rng(4);
+  EXPECT_THROW(d.sample(rng), contract_error);
+}
+
+TEST(MixtureDist, MomentsFollowLawOfTotalVariance) {
+  MixtureDist d({{0.9, std::make_shared<NormalDist>(100.0, 2.0)},
+                 {0.1, std::make_shared<NormalDist>(120.0, 2.0)}});
+  // Mean: 0.9*100 + 0.1*120 = 102.
+  EXPECT_NEAR(d.mean(), 102.0, 1e-12);
+  // Var: E[s^2 + m^2] - mu^2 = 0.9(4+10000)+0.1(4+14400) - 102^2 = 40.
+  EXPECT_NEAR(d.stddev(), std::sqrt(40.0), 1e-9);
+  const Summary s = sample_summary(d, 200000);
+  EXPECT_NEAR(s.mean, d.mean(), 0.1);
+  EXPECT_NEAR(s.stddev, d.stddev(), 0.1);
+}
+
+TEST(MixtureDist, WeightsNeedNotBeNormalized) {
+  MixtureDist d({{2.0, std::make_shared<NormalDist>(0.0, 1.0)},
+                 {6.0, std::make_shared<NormalDist>(10.0, 1.0)}});
+  EXPECT_NEAR(d.mean(), 7.5, 1e-12);  // weights 0.25 / 0.75
+}
+
+TEST(MixtureDist, InvalidComponentsRejected) {
+  EXPECT_THROW(MixtureDist({}), contract_error);
+  EXPECT_THROW(
+      MixtureDist({{0.0, std::make_shared<NormalDist>(0.0, 1.0)}}),
+      contract_error);
+  EXPECT_THROW(MixtureDist({{1.0, nullptr}}), contract_error);
+}
+
+TEST(EmpiricalDist, ResamplesObservedValuesOnly) {
+  EmpiricalDist d({1.0, 2.0, 3.0});
+  Rng rng(5);
+  std::set<double> seen;
+  for (int i = 0; i < 3000; ++i) seen.insert(d.sample(rng));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(1.0) && seen.count(2.0) && seen.count(3.0));
+  EXPECT_THROW(EmpiricalDist({}), contract_error);
+}
+
+TEST(EmpiricalDist, MomentsAreSampleMoments) {
+  const std::vector<double> data{2.0, 4.0, 6.0, 8.0};
+  EmpiricalDist d(data);
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(d.mean(), s.mean);
+  EXPECT_DOUBLE_EQ(d.stddev(), s.stddev);
+  EXPECT_EQ(d.data().size(), 4u);
+}
+
+}  // namespace
+}  // namespace pv

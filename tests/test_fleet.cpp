@@ -1,0 +1,152 @@
+// Unit tests for fleet generation (statistical and component-level).
+
+#include "sim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/catalog.hpp"
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(FleetVariability, BodyCvIsQuadratureSum) {
+  FleetVariability v;
+  v.cv_silicon = 0.03;
+  v.cv_fan = 0.04;
+  v.cv_room = 0.0;
+  v.cv_other = 0.0;
+  EXPECT_NEAR(v.body_cv(), 0.05, 1e-12);
+}
+
+TEST(FleetVariability, ScaledToHitsTarget) {
+  const auto v = FleetVariability::typical_cpu().scaled_to(0.02);
+  EXPECT_NEAR(v.body_cv(), 0.02, 1e-12);
+  // Channel proportions are preserved.
+  const auto base = FleetVariability::typical_cpu();
+  EXPECT_NEAR(v.cv_silicon / v.cv_fan, base.cv_silicon / base.cv_fan, 1e-9);
+  EXPECT_THROW(base.scaled_to(0.0), contract_error);
+}
+
+TEST(FleetVariability, TunedGpuHasLowerCvThanTypicalCpu) {
+  EXPECT_LT(FleetVariability::tuned_gpu().body_cv(),
+            FleetVariability::typical_cpu().body_cv());
+}
+
+TEST(GenerateNodePowers, MomentsMatchInExpectation) {
+  const auto v = FleetVariability::typical_cpu().scaled_to(0.02);
+  FleetVariability no_outliers = v;
+  no_outliers.outlier_prob = 0.0;
+  const auto powers = generate_node_powers(20000, 500.0, no_outliers, 1);
+  const Summary s = summarize(powers);
+  EXPECT_NEAR(s.mean, 500.0, 0.5);
+  EXPECT_NEAR(s.cv, 0.02, 0.002);
+}
+
+TEST(GenerateNodePowers, OutliersAreOneSidedHot) {
+  FleetVariability v = FleetVariability::typical_cpu();
+  v.outlier_prob = 0.05;
+  v.outlier_sigma = 6.0;
+  const auto with = generate_node_powers(30000, 500.0, v, 2);
+  // Right tail noticeably heavier than left: positive skew.
+  EXPECT_GT(skewness(with), 0.3);
+}
+
+TEST(GenerateNodePowers, DeterministicPerSeedIndependentOfOrder) {
+  const auto v = FleetVariability::typical_cpu();
+  const auto a = generate_node_powers(100, 500.0, v, 7);
+  const auto b = generate_node_powers(100, 500.0, v, 7);
+  EXPECT_EQ(a, b);
+  // Node i's draw does not depend on fleet size (per-node streams).
+  const auto longer = generate_node_powers(200, 500.0, v, 7);
+  for (std::size_t i = 0; i < 100; ++i) ASSERT_DOUBLE_EQ(a[i], longer[i]);
+}
+
+TEST(GenerateNodePowers, PowersArePositive) {
+  FleetVariability v = FleetVariability::typical_cpu().scaled_to(0.3);
+  const auto powers = generate_node_powers(10000, 100.0, v, 3);
+  for (double p : powers) ASSERT_GT(p, 0.0);
+}
+
+TEST(ConditionTo, ExactMomentsAfterConditioning) {
+  auto powers = generate_node_powers(480, 581.93,
+                                     FleetVariability::typical_cpu(), 5);
+  condition_to(powers, 581.93, 11.66);
+  const Summary s = summarize(powers);
+  EXPECT_NEAR(s.mean, 581.93, 1e-9);
+  EXPECT_NEAR(s.stddev, 11.66, 1e-9);
+}
+
+TEST(ConditionTo, Guards) {
+  std::vector<double> xs{1.0, 1.0};
+  EXPECT_THROW(condition_to(xs, 0.0, 1.0), contract_error);
+  std::vector<double> one{1.0};
+  EXPECT_THROW(condition_to(one, 0.0, 1.0), contract_error);
+}
+
+TEST(BuildFleet, SizeAndDeterminism) {
+  const NodeSpec spec = catalog::lcsc_node_spec();
+  const auto fleet = build_fleet(spec, 32, 11);
+  EXPECT_EQ(fleet.size(), 32u);
+  const auto fleet2 = build_fleet(spec, 32, 11);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_DOUBLE_EQ(
+        fleet[i].dc_power(1.0, NodeSettings::defaults()).value(),
+        fleet2[i].dc_power(1.0, NodeSettings::defaults()).value());
+  }
+}
+
+TEST(BuildFleet, ThreadedBuildMatchesSerial) {
+  const NodeSpec spec = catalog::lcsc_node_spec();
+  ThreadPool pool(4);
+  const auto serial = build_fleet(spec, 64, 13);
+  const auto threaded = build_fleet(spec, 64, 13, &pool);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_DOUBLE_EQ(
+        serial[i].dc_power(1.0, NodeSettings::defaults()).value(),
+        threaded[i].dc_power(1.0, NodeSettings::defaults()).value());
+  }
+}
+
+TEST(FleetDcPowers, MatchesPerNodeCalls) {
+  const NodeSpec spec = catalog::lcsc_node_spec();
+  const auto fleet = build_fleet(spec, 16, 17);
+  const auto powers =
+      fleet_dc_powers(fleet, 0.8, NodeSettings::defaults());
+  ASSERT_EQ(powers.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    ASSERT_DOUBLE_EQ(powers[i],
+                     fleet[i].dc_power(0.8, NodeSettings::defaults()).value());
+  }
+}
+
+TEST(FleetEfficiencies, TunedFleetHasLowerSpread) {
+  // The §5 claim: fixing voltage and pinning fans shrinks node-to-node
+  // efficiency variability.
+  const NodeSpec spec = catalog::lcsc_node_spec();
+  const auto fleet = build_fleet(spec, 120, 19);
+  const auto eff_default =
+      fleet_efficiencies(fleet, NodeSettings::defaults());
+  const auto eff_tuned =
+      fleet_efficiencies(fleet, NodeSettings::tuned_lcsc());
+  EXPECT_LT(summarize(eff_tuned).cv, summarize(eff_default).cv);
+}
+
+TEST(BottomUpFleet, CvIsInTable4Range) {
+  // Component-level L-CSC fleet with default (auto-fan, VID-voltage)
+  // settings: cv should land in the broad 1-4% band the paper reports
+  // across systems.
+  const NodeSpec spec = catalog::lcsc_node_spec();
+  const auto fleet = build_fleet(spec, 160, 23);
+  const auto powers = fleet_dc_powers(fleet, 1.0, NodeSettings::defaults());
+  const double cv = summarize(powers).cv;
+  EXPECT_GT(cv, 0.005);
+  EXPECT_LT(cv, 0.05);
+}
+
+}  // namespace
+}  // namespace pv

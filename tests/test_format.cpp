@@ -1,0 +1,108 @@
+// Unit tests for the table and CSV formatters.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/expects.hpp"
+#include "util/table.hpp"
+
+namespace pv {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"system", "nodes"});
+  t.add_row({"Titan", "18688"});
+  t.add_row({"LRZ", "9216"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("Titan"), std::string::npos);
+  EXPECT_NE(out.find("18688"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+}
+
+TEST(TextTable, DefaultAlignmentLeftThenRight) {
+  TextTable t({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string out = t.render();
+  // Left-aligned label: "a" followed by padding; right-aligned number:
+  // padding before "1".
+  EXPECT_NE(out.find(" a         |"), std::string::npos);
+  EXPECT_NE(out.find("  1 "), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_error);
+}
+
+TEST(TextTable, SeparatorRowsRender) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Header rule plus the explicit separator: at least two rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("---"); pos != std::string::npos;
+       pos = out.find("---", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 2u);
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-1.0, 0), "-1");
+  EXPECT_EQ(fmt_percent(0.035, 1), "3.5%");
+  EXPECT_EQ(fmt_percent(0.2039, 2), "20.39%");
+}
+
+TEST(Format, GroupedIntegers) {
+  EXPECT_EQ(fmt_group(18688), "18,688");
+  EXPECT_EQ(fmt_group(999), "999");
+  EXPECT_EQ(fmt_group(1000000), "1,000,000");
+  EXPECT_EQ(fmt_group(-1234), "-1,234");
+  EXPECT_EQ(fmt_group(0), "0");
+}
+
+TEST(Csv, EscapesSpecialFields) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, SerializesHeaderAndRows) {
+  CsvWriter w({"t", "power_w"});
+  w.add_row({"0", "100.5"});
+  w.add_row(std::vector<double>{1.0, 101.25});
+  EXPECT_EQ(w.row_count(), 2u);
+  const std::string s = w.str();
+  EXPECT_EQ(s, "t,power_w\n0,100.5\n1,101.25\n");
+}
+
+TEST(Csv, RowWidthEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"1"}), contract_error);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter w({"x"});
+  w.add_row({"42"});
+  const std::string path = ::testing::TempDir() + "/powervar_csv_test.csv";
+  w.write_file(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::getline(f, line);
+  EXPECT_EQ(line, "42");
+}
+
+}  // namespace
+}  // namespace pv

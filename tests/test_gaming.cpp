@@ -1,0 +1,124 @@
+// Unit tests for the gaming analyses (§3 windows, §5 DVFS/VID/fans).
+
+#include "core/gaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/catalog.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(WindowGaming, LcscProfileYieldsLargeReduction) {
+  const auto prof = catalog::make_profile(catalog::table2_systems()[3]);
+  const PowerTrace trace = prof.full_run_trace(Seconds{10.0});
+  const auto result = analyze_window_gaming(trace, prof.phases());
+  EXPECT_NEAR(result.full_core_avg.value(), 59100.0, 59100.0 * 0.002);
+  // The paper reports ~23.9% efficiency improvement for L-CSC via interval
+  // tweaking; inside the *legal* middle-80% region our calibrated profile
+  // yields ~11% power reduction, and the full legal-window spread exceeds
+  // 20% — the headline §1 number.
+  EXPECT_GT(result.best_reduction, 0.08);
+  EXPECT_LT(result.best_reduction, 0.35);
+  EXPECT_GT(result.spread, 0.18);
+  // The best window sits late in the run (the tail).
+  const RunPhases p = prof.phases();
+  EXPECT_GT(result.best_window.window.begin.value(),
+            p.core_begin().value() + 0.5 * p.core.value());
+}
+
+TEST(WindowGaming, FlatProfileCannotBeGamed) {
+  const auto prof = catalog::make_profile(catalog::table2_systems()[0]);
+  const PowerTrace trace = prof.full_run_trace(Seconds{30.0});
+  const auto result = analyze_window_gaming(trace, prof.phases());
+  EXPECT_LT(result.best_reduction, 0.01);  // Colosse: nothing to exploit
+  EXPECT_LT(result.spread, 0.02);
+}
+
+TEST(WindowGaming, SpreadIsBestPlusWorst) {
+  const auto prof = catalog::make_profile(catalog::table2_systems()[2]);
+  const PowerTrace trace = prof.full_run_trace(Seconds{10.0});
+  const auto r = analyze_window_gaming(trace, prof.phases());
+  EXPECT_GE(r.worst_window.mean.value(), r.best_window.mean.value());
+  EXPECT_NEAR(r.spread,
+              (r.worst_window.mean.value() - r.best_window.mean.value()) /
+                  r.full_core_avg.value(),
+              1e-12);
+}
+
+TEST(MinStableVoltage, MatchesLcscDataPoint) {
+  // A mid-ladder ASIC (VID ~ 1.09 V at 900 MHz) should need ~1.02 V at
+  // 774 MHz — the voltage the L-CSC submission used.
+  const GpuSpec spec = catalog::lcsc_node_spec().gpu;
+  const GpuModel gpu(spec, GpuAsic{5, 1.0});  // 1.09 V default
+  const Volts v = min_stable_voltage(gpu, megahertz(774.0));
+  EXPECT_NEAR(v.value(), 1.018, 0.01);
+  // Monotone in frequency.
+  EXPECT_LT(min_stable_voltage(gpu, megahertz(600.0)).value(), v.value());
+  EXPECT_THROW(min_stable_voltage(gpu, Hertz{0.0}), contract_error);
+}
+
+TEST(DvfsSearch, FindsEfficiencyGainOverDefault) {
+  Rng rng(1);
+  const NodeInstance node(catalog::lcsc_node_spec(), rng);
+  const auto result = dvfs_search(node, megahertz(500.0), megahertz(950.0),
+                                  megahertz(25.0));
+  // The paper: ~22% efficiency gain through DVFS on L-CSC.
+  EXPECT_GT(result.gain, 0.05);
+  EXPECT_LT(result.gain, 0.60);
+  // The optimum is below the 900 MHz default.
+  EXPECT_LT(result.best_op.frequency.value(), 900e6);
+  EXPECT_GT(result.best_gflops_per_watt, result.default_gflops_per_watt);
+}
+
+TEST(DvfsSearch, Guards) {
+  NodeSpec cpu_only;
+  cpu_only.gpu_count = 0;
+  Rng rng(2);
+  const NodeInstance node(cpu_only, rng);
+  EXPECT_THROW(dvfs_search(node, megahertz(500.0), megahertz(900.0),
+                           megahertz(50.0)),
+               contract_error);
+}
+
+TEST(VidScreening, LowVidNodesLookBetter) {
+  const auto fleet = build_fleet(catalog::lcsc_node_spec(), 160, 3);
+  const auto power_bias = vid_screening_power_bias(
+      fleet, NodeSettings::defaults(), 16);
+  // Screened (low-VID) nodes draw less power than the fleet mean.
+  EXPECT_LT(power_bias.bias, 0.0);
+  const auto eff_bias = vid_screening_efficiency_bias(
+      fleet, NodeSettings::defaults(), 16);
+  // And look more efficient.
+  EXPECT_GT(eff_bias.bias, 0.0);
+}
+
+TEST(VidScreening, NoBiasUnderFixedVoltage) {
+  // §5: at a fixed operating point the VID no longer predicts power, so
+  // screening buys (almost) nothing.
+  const auto fleet = build_fleet(catalog::lcsc_node_spec(), 160, 4);
+  const auto gamed = vid_screening_power_bias(
+      fleet, NodeSettings::tuned_lcsc(), 16);
+  const auto gamed_default = vid_screening_power_bias(
+      fleet, NodeSettings::defaults(), 16);
+  EXPECT_LT(std::fabs(gamed.bias), std::fabs(gamed_default.bias));
+}
+
+TEST(FanPolicy, PinningShrinksFleetCv) {
+  const auto fleet = build_fleet(catalog::lcsc_node_spec(), 160, 5);
+  const auto impact = fan_policy_impact(fleet, NodeSettings::defaults(),
+                                        /*pinned_speed=*/0.5);
+  EXPECT_LT(impact.cv_pinned, impact.cv_auto);
+  // Pinned at a single speed the fan contribution to the spread is gone;
+  // the fan *mean* power is still nonzero.
+  EXPECT_GT(impact.mean_fan_power_pinned_w, 0.0);
+}
+
+TEST(FanPolicy, EmptyFleetRejected) {
+  EXPECT_THROW(fan_policy_impact({}, NodeSettings::defaults(), 0.5),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace pv

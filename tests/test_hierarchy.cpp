@@ -1,0 +1,105 @@
+// Unit tests for the system power hierarchy.
+
+#include "meter/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+SystemPowerModel two_rack_system() {
+  SystemPowerModel m("testsys", /*nodes_per_rack=*/2);
+  for (int i = 0; i < 4; ++i) {
+    const double base = 100.0 + 10.0 * i;
+    m.add_node([base](double) { return base; },
+               PsuModel(Watts{400.0}, PsuEfficiencyCurve::platinum()));
+  }
+  m.set_pdu_loss_fraction(0.02);
+  return m;
+}
+
+TEST(SystemPowerModel, CountsAndStructure) {
+  const SystemPowerModel m = two_rack_system();
+  EXPECT_EQ(m.node_count(), 4u);
+  EXPECT_EQ(m.rack_count(), 2u);
+  EXPECT_EQ(m.nodes_per_rack(), 2u);
+  EXPECT_EQ(m.name(), "testsys");
+}
+
+TEST(SystemPowerModel, DcAndAcNodePower) {
+  const SystemPowerModel m = two_rack_system();
+  EXPECT_DOUBLE_EQ(m.node_dc_w(0, 0.0), 100.0);
+  // AC exceeds DC by the PSU loss.
+  EXPECT_GT(m.node_ac_w(0, 0.0), 100.0);
+  EXPECT_LT(m.node_ac_w(0, 0.0), 100.0 / 0.80);
+  EXPECT_THROW(m.node_dc_w(4, 0.0), contract_error);
+}
+
+TEST(SystemPowerModel, RackPduIncludesDistributionLoss) {
+  const SystemPowerModel m = two_rack_system();
+  const double nodes_ac = m.node_ac_w(0, 0.0) + m.node_ac_w(1, 0.0);
+  EXPECT_NEAR(m.rack_pdu_w(0, 0.0), nodes_ac / 0.98, 1e-9);
+  EXPECT_THROW(m.rack_pdu_w(2, 0.0), contract_error);
+}
+
+TEST(SystemPowerModel, ComputeSumsRacks) {
+  const SystemPowerModel m = two_rack_system();
+  EXPECT_NEAR(m.compute_ac_w(0.0), m.rack_pdu_w(0, 0.0) + m.rack_pdu_w(1, 0.0),
+              1e-9);
+}
+
+TEST(SystemPowerModel, AuxiliariesByKind) {
+  SystemPowerModel m = two_rack_system();
+  m.add_subsystem(Subsystem::kNetwork, "switches", [](double) { return 50.0; });
+  m.add_subsystem(Subsystem::kStorage, "lustre", [](double) { return 30.0; });
+  m.add_subsystem(Subsystem::kNetwork, "directors", [](double) { return 20.0; });
+  EXPECT_DOUBLE_EQ(m.auxiliary_ac_w(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(m.auxiliary_ac_w(Subsystem::kNetwork, 0.0), 70.0);
+  EXPECT_DOUBLE_EQ(m.auxiliary_ac_w(Subsystem::kCooling, 0.0), 0.0);
+  EXPECT_NEAR(m.facility_w(0.0), m.compute_ac_w(0.0) + 100.0, 1e-9);
+}
+
+TEST(SystemPowerModel, ComputeNodesNotAddableAsSubsystem) {
+  SystemPowerModel m("x", 1);
+  EXPECT_THROW(
+      m.add_subsystem(Subsystem::kComputeNode, "nodes", [](double) { return 1.0; }),
+      contract_error);
+}
+
+TEST(SystemPowerModel, PduLossValidation) {
+  SystemPowerModel m("x", 1);
+  EXPECT_THROW(m.set_pdu_loss_fraction(0.5), contract_error);
+  EXPECT_THROW(m.set_pdu_loss_fraction(-0.1), contract_error);
+}
+
+TEST(SystemPowerModel, FunctionViewsMatchDirectCalls) {
+  SystemPowerModel m = two_rack_system();
+  m.add_subsystem(Subsystem::kNetwork, "sw", [](double) { return 10.0; });
+  const auto nf = m.node_ac_function(2);
+  EXPECT_DOUBLE_EQ(nf(1.0), m.node_ac_w(2, 1.0));
+  const auto ff = m.facility_function();
+  EXPECT_DOUBLE_EQ(ff(1.0), m.facility_w(1.0));
+}
+
+TEST(SystemPowerModel, PartialLastRack) {
+  SystemPowerModel m("odd", /*nodes_per_rack=*/2);
+  for (int i = 0; i < 3; ++i) {
+    m.add_node([](double) { return 100.0; },
+               PsuModel(Watts{400.0}, PsuEfficiencyCurve::gold()));
+  }
+  EXPECT_EQ(m.rack_count(), 2u);
+  // Last rack holds a single node.
+  EXPECT_LT(m.rack_pdu_w(1, 0.0), m.rack_pdu_w(0, 0.0));
+}
+
+TEST(EnumsToString, HumanReadable) {
+  EXPECT_STREQ(to_string(Subsystem::kComputeNode), "compute-node");
+  EXPECT_STREQ(to_string(Subsystem::kCooling), "cooling");
+  EXPECT_STREQ(to_string(MeasurementPoint::kFacilityFeed), "facility-feed");
+  EXPECT_STREQ(to_string(MeasurementPoint::kNodeDc), "node-DC");
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,111 @@
+// Unit tests for the histogram used by the Figure 2 reproduction.
+
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_THROW(h.count(5), contract_error);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), contract_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), contract_error);
+}
+
+TEST(Histogram, AutoBinnedCoversSampleRange) {
+  Rng rng(7);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal(580.0, 12.0);
+  const Histogram h = Histogram::auto_binned(xs);
+  EXPECT_EQ(h.total(), xs.size());
+  EXPECT_GE(h.bin_count(), 10u);
+  // Every sample landed in some bin; mode near the mean.
+  const double mode_center =
+      0.5 * (h.bin_lo(h.mode_bin()) + h.bin_hi(h.mode_bin()));
+  EXPECT_NEAR(mode_center, 580.0, 12.0);
+}
+
+TEST(Histogram, AutoBinnedHandlesConstantSample) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  const Histogram h = Histogram::auto_binned(xs);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_GE(h.bin_count(), 1u);
+}
+
+TEST(Histogram, UnimodalGaussianDetectedAsOneMode) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.normal(0.0, 1.0);
+  Histogram h(-4.0, 4.0, 40);
+  h.add_all(xs);
+  EXPECT_EQ(h.modality(), 1u);
+}
+
+TEST(Histogram, BimodalMixtureDetected) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    x = rng.bernoulli(0.5) ? rng.normal(-4.0, 0.6) : rng.normal(4.0, 0.6);
+  }
+  Histogram h(-7.0, 7.0, 40);
+  h.add_all(xs);
+  EXPECT_EQ(h.modality(), 2u);
+}
+
+TEST(Histogram, RenderShowsBarsAndCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(20);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+  // Two lines, one per bin.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Histogram, RenderEmptyHistogramIsAllBlank) {
+  Histogram h(0.0, 1.0, 3);
+  const std::string out = h.render();
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,121 @@
+// Tests for imbalanced-workload load shares and their effect on the
+// sampling machinery (the paper's "regular workload" caveat).
+
+#include "workload/imbalance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sample_size.hpp"
+#include "sim/fleet.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/sampling.hpp"
+#include "util/expects.hpp"
+#include "util/mathx.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Imbalance, BalancedParamsGiveUnitShares) {
+  const auto shares = imbalanced_load_shares(100, ImbalanceParams{}, 1);
+  for (double s : shares) ASSERT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Imbalance, SharesHaveMeanOneAndRequestedSpread) {
+  ImbalanceParams p;
+  p.share_cv = 0.3;
+  const auto shares = imbalanced_load_shares(20000, p, 2);
+  const Summary s = summarize(shares);
+  EXPECT_NEAR(s.mean, 1.0, 1e-12);  // exact by renormalization
+  EXPECT_NEAR(s.cv, 0.3, 0.01);
+  EXPECT_GT(s.min, 0.0);
+}
+
+TEST(Imbalance, HotNodesSkewTheDistribution) {
+  ImbalanceParams p;
+  p.share_cv = 0.1;
+  p.hot_node_prob = 0.05;
+  p.hot_node_factor = 3.0;
+  const auto shares = imbalanced_load_shares(20000, p, 3);
+  EXPECT_GT(skewness(shares), 1.0);
+  EXPECT_NEAR(mean_of(shares), 1.0, 1e-12);
+}
+
+TEST(Imbalance, DeterministicPerSeedAndPrefixStable) {
+  ImbalanceParams p;
+  p.share_cv = 0.2;
+  const auto a = imbalanced_load_shares(100, p, 7);
+  const auto b = imbalanced_load_shares(100, p, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Imbalance, ApplySharesScalesDynamicComponentOnly) {
+  std::vector<double> powers{100.0, 100.0};
+  const std::vector<double> shares{0.0, 2.0};
+  apply_load_shares(powers, shares, /*static_fraction=*/0.4);
+  EXPECT_DOUBLE_EQ(powers[0], 40.0);   // static floor survives zero load
+  EXPECT_DOUBLE_EQ(powers[1], 160.0);  // 0.4 + 0.6*2
+}
+
+TEST(Imbalance, InflatesFleetCvBeyondHardwareAlone) {
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.02);
+  var.outlier_prob = 0.0;
+  auto powers = generate_node_powers(5000, 400.0, var, 4);
+  const double cv_hw = summarize(powers).cv;
+  ImbalanceParams p;
+  p.share_cv = 0.25;
+  const auto shares = imbalanced_load_shares(powers.size(), p, 5);
+  apply_load_shares(powers, shares, 0.35);
+  const double cv_total = summarize(powers).cv;
+  EXPECT_GT(cv_total, 3.0 * cv_hw);
+}
+
+TEST(Imbalance, HardwarePilotUnderestimatesRequiredSampleSize) {
+  // The failure mode the paper warns about: a pilot taken under a balanced
+  // benchmark (hardware-only cv ~2%) recommends n; under an imbalanced
+  // production workload that n misses the accuracy target far more often
+  // than alpha.
+  constexpr std::size_t kN = 5000;
+  constexpr double lambda = 0.01;
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.02);
+  var.outlier_prob = 0.0;
+  auto powers = generate_node_powers(kN, 400.0, var, 6);
+  const std::size_t n_pilot =
+      required_sample_size(0.05, lambda, summarize(powers).cv, kN);
+
+  ImbalanceParams p;
+  p.share_cv = 0.3;
+  p.hot_node_prob = 0.03;
+  p.hot_node_factor = 2.5;
+  apply_load_shares(powers, imbalanced_load_shares(kN, p, 7), 0.35);
+  const double mu = mean_of(powers);
+
+  Rng rng(8);
+  int missed = 0;
+  constexpr int kTrials = 800;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto idx = sample_without_replacement(rng, kN, n_pilot);
+    const double est = mean_of(gather(powers, idx));
+    if (std::fabs(est - mu) > lambda * mu) ++missed;
+  }
+  // Nominal miss rate would be ~5%; under imbalance it blows up.
+  EXPECT_GT(missed / static_cast<double>(kTrials), 0.30);
+}
+
+TEST(Imbalance, DomainChecks) {
+  EXPECT_THROW(imbalanced_load_shares(0, ImbalanceParams{}, 1),
+               contract_error);
+  ImbalanceParams bad;
+  bad.share_cv = -0.1;
+  EXPECT_THROW(imbalanced_load_shares(10, bad, 1), contract_error);
+  bad = ImbalanceParams{};
+  bad.hot_node_factor = 0.5;
+  EXPECT_THROW(imbalanced_load_shares(10, bad, 1), contract_error);
+  std::vector<double> powers{1.0};
+  const std::vector<double> shares{1.0, 1.0};
+  EXPECT_THROW(apply_load_shares(powers, shares, 0.3), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,205 @@
+// Integration tests: full pipelines across modules — catalog system ->
+// cluster -> electrical model -> plan -> campaign -> submission -> list,
+// and the headline §3 + §4 findings end to end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/campaign.hpp"
+#include "core/gaming.hpp"
+#include "core/report.hpp"
+#include "core/sample_size.hpp"
+#include "core/submission.hpp"
+#include "sim/catalog.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/sampling.hpp"
+#include "trace/io.hpp"
+#include "trace/window_select.hpp"
+#include "util/mathx.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Integration, FullGreen500PipelineOnCatalogSystem) {
+  // Build TU-Dresden from the catalog, run a compliant 2015-rules Level 1
+  // campaign, package it as a submission, validate, and rank it.
+  const catalog::FleetSystem& tud = catalog::fleet_system("TU-Dresden");
+  auto workload = catalog::make_workload(tud);
+  auto powers = catalog::make_fleet_powers(tud, 1, /*condition_exact=*/true);
+  const ClusterPowerModel cluster(tud.name, std::move(powers), workload);
+  const SystemPowerModel electrical = make_system_power_model(
+      cluster, 18, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+
+  PlanInputs in;
+  in.total_nodes = tud.total_nodes;
+  in.approx_node_power = Watts{tud.mean_w};
+  in.run = cluster.phases();
+  Rng rng(2);
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  const auto plan = plan_measurement(spec, in, rng);
+  EXPECT_TRUE(validate_plan(plan, in).empty());
+  EXPECT_EQ(plan.node_count(), 21u);  // max(16, 10% of 210)
+
+  CampaignConfig cfg;
+  cfg.meter_interval_override = Seconds{10.0};
+  const auto result = run_campaign(cluster, electrical, plan, cfg);
+  // Extrapolation + metering error on a compliant campaign: a few percent.
+  EXPECT_LT(result.relative_error, 0.05);
+  // The accuracy assessment is reportable and small.
+  EXPECT_GT(result.relative_halfwidth, 0.0);
+  EXPECT_LT(result.relative_halfwidth, 0.02);
+
+  Submission sub;
+  sub.system_name = tud.name;
+  sub.site = "TU Dresden";
+  sub.rmax = teraflops(50.0);
+  sub.power = result.submitted_power;
+  sub.level = Level::kL1;
+  sub.revision = Revision::kV2015;
+  sub.total_nodes = tud.total_nodes;
+  sub.nodes_measured = result.nodes_measured;
+  sub.core_phase_duration = in.run.core;
+  sub.window_duration = result.window_duration;
+  sub.reported_accuracy = result.relative_halfwidth;
+  EXPECT_TRUE(validate_submission(sub, in.approx_node_power).empty());
+
+  RankedList list("IntegrationList");
+  list.add(sub);
+  EXPECT_EQ(list.efficiency_rank(tud.name), 1u);
+  const std::string report = accuracy_report(plan, result);
+  EXPECT_NE(report.find(tud.name), std::string::npos);
+}
+
+TEST(Integration, HeadlineWindowSpreadOnGpuSystems) {
+  // §1/§3 headline: window placement alone moves a Level 1 measurement by
+  // up to ~20% on in-core GPU systems.
+  for (std::size_t idx : {2u, 3u}) {  // Piz Daint, L-CSC
+    const auto prof = catalog::make_profile(catalog::table2_systems()[idx]);
+    const PowerTrace trace = prof.full_run_trace(Seconds{10.0});
+    const auto gaming = analyze_window_gaming(trace, prof.phases());
+    EXPECT_GT(gaming.spread, 0.10)
+        << catalog::table2_systems()[idx].name;
+  }
+}
+
+TEST(Integration, CpuSystemsAreRobustToWindowPlacement) {
+  for (std::size_t idx : {0u, 1u}) {  // Colosse, Sequoia
+    const auto prof = catalog::make_profile(catalog::table2_systems()[idx]);
+    const PowerTrace trace = prof.full_run_trace(Seconds{60.0});
+    const auto gaming = analyze_window_gaming(trace, prof.phases());
+    EXPECT_LT(gaming.spread, 0.06) << catalog::table2_systems()[idx].name;
+  }
+}
+
+TEST(Integration, NewRulesEliminateWindowGamingByConstruction) {
+  // Under the 2015 rules the window *is* the core phase, so the submitted
+  // number equals the honest average regardless of intent.
+  const auto prof = catalog::make_profile(catalog::table2_systems()[3]);
+  const PowerTrace trace = prof.full_run_trace(Seconds{10.0});
+  const RunPhases p = prof.phases();
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  const Seconds required = spec.required_window_duration(p);
+  EXPECT_DOUBLE_EQ(required.value(), p.core.value());
+  const Watts honest = trace.mean_power(p.core_window());
+  EXPECT_NEAR(honest.value(), 59100.0, 59100.0 * 0.005);
+}
+
+TEST(Integration, SmallSampleUnderestimatesLikeThePaperSays) {
+  // §4: with cv ~2-3%, tiny subsets give CI halfwidths of several percent;
+  // the paper quotes a further 10-15% spread from insufficient samples at
+  // the extreme.  Check the monotone chain n=2 -> n=16 -> n=64.
+  const catalog::FleetSystem& cq = catalog::fleet_system("Calcul Quebec");
+  const auto powers = catalog::make_fleet_powers(cq, 3, true);
+  Rng rng(4);
+  const auto halfwidth = [&](std::size_t n) {
+    std::vector<double> sums;
+    // Average CI halfwidth over several random subsets.
+    double acc = 0.0;
+    for (int t = 0; t < 20; ++t) {
+      const auto idx = sample_without_replacement(rng, powers.size(), n);
+      const auto sub = gather(powers, idx);
+      const Interval ci = t_confidence_interval(sub, 0.05);
+      acc += 0.5 * ci.width() / mean_of(sub);
+    }
+    return acc / 20.0;
+  };
+  const double h2 = halfwidth(2);
+  const double h16 = halfwidth(16);
+  const double h64 = halfwidth(64);
+  EXPECT_GT(h2, h16);
+  EXPECT_GT(h16, h64);
+  EXPECT_GT(h2, 0.03);   // tiny samples are percent-level unreliable
+  EXPECT_LT(h64, 0.012);  // the 2015 rule brings it to ~1% or better
+}
+
+TEST(Integration, PilotThenFinalSampleWorkflow) {
+  // §4.2 two-step: pilot 10 nodes of LRZ, recommend n, then verify the
+  // achieved accuracy with the final sample.
+  const catalog::FleetSystem& lrz = catalog::fleet_system("LRZ");
+  const auto powers = catalog::make_fleet_powers(lrz, 5, true);
+  Rng rng(6);
+  const auto pilot_idx = sample_without_replacement(rng, powers.size(), 10);
+  const auto pilot = gather(powers, pilot_idx);
+  const auto rec = two_step_pilot(pilot, 0.05, 0.01, lrz.total_nodes);
+  EXPECT_GE(rec.recommended_n, 4u);
+  EXPECT_LE(rec.recommended_n, 60u);
+
+  const auto final_idx =
+      sample_without_replacement(rng, powers.size(), rec.recommended_n);
+  const auto final_sample = gather(powers, final_idx);
+  const Summary s = summarize(final_sample);
+  // The extrapolated total is within ~3 lambda of the truth.
+  const double extrapolated = s.mean * static_cast<double>(lrz.total_nodes);
+  const double truth = mean_of(powers) * static_cast<double>(lrz.total_nodes);
+  EXPECT_NEAR(extrapolated / truth, 1.0, 0.03);
+}
+
+TEST(Integration, TraceExportDetectAuditRoundTrip) {
+  // The external-audit workflow: a site exports its wall-power log, the
+  // vetting team reloads it, auto-detects the core phase, and runs the
+  // gaming analysis — results must match the in-memory analysis.
+  const auto prof = catalog::make_profile(catalog::table2_systems()[3]);
+  const PowerTrace original = prof.full_run_trace(Seconds{10.0}, 0.0);
+  const std::string path = ::testing::TempDir() + "/pv_lcsc_run.csv";
+  save_trace_csv(original, path);
+  const PowerTrace reloaded = load_trace_csv(path);
+
+  // L-CSC's tail sinks well below half the dynamic range before the core
+  // phase actually ends, so the audit uses a lower detection threshold —
+  // the operator knob detect_core_phase exposes for tailing GPU profiles.
+  const TimeWindow detected = detect_core_phase(reloaded, 0.2);
+  const RunPhases truth = prof.phases();
+  // Threshold detection clips a little of the deepest tail; boundaries
+  // land within a few percent of the true phase edges.
+  EXPECT_NEAR(detected.begin.value(), truth.core_begin().value(),
+              0.05 * truth.core.value());
+  EXPECT_NEAR(detected.end.value(), truth.core_end().value(),
+              0.05 * truth.core.value());
+
+  RunPhases detected_run;
+  detected_run.setup = Seconds{detected.begin.value()};
+  detected_run.core = detected.duration();
+  const auto from_file = analyze_window_gaming(reloaded, detected_run);
+  const auto in_memory = analyze_window_gaming(original, truth);
+  EXPECT_NEAR(from_file.best_reduction, in_memory.best_reduction, 0.05);
+  EXPECT_NEAR(from_file.full_core_avg.value(),
+              in_memory.full_core_avg.value(),
+              in_memory.full_core_avg.value() * 0.02);
+  // Either way the audit verdict is unambiguous: this run was gameable.
+  EXPECT_GT(from_file.best_reduction, 0.05);
+}
+
+TEST(Integration, Table4StatisticsSurviveTheFullStack) {
+  // Generate each catalog fleet and verify the (mu, sigma/mu) pair matches
+  // the paper's published Table 4 row after conditioning.
+  for (const auto& sys : catalog::table4_systems()) {
+    const auto powers = catalog::make_fleet_powers(sys, 7, true);
+    const Summary s = summarize(powers);
+    EXPECT_NEAR(s.mean, sys.mean_w, 1e-6) << sys.name;
+    EXPECT_NEAR(s.stddev, sys.sd_w, 1e-6) << sys.name;
+  }
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,71 @@
+// Tests for the list measurement-quality composition analysis.
+
+#include "core/list_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+Submission entry(PowerProvenance prov, Level level) {
+  Submission s;
+  s.system_name = "x";
+  s.rmax = teraflops(1.0);
+  s.power = kilowatts(100.0);
+  s.provenance = prov;
+  s.level = level;
+  return s;
+}
+
+TEST(ListQuality, November2014MatchesThePaper) {
+  const ListQualityBreakdown b = november_2014_green500();
+  EXPECT_EQ(b.total, 267u);
+  EXPECT_EQ(b.derived, 233u);
+  EXPECT_EQ(b.level1, 28u);
+  EXPECT_EQ(b.level2 + b.level3, 6u);
+  // "With the vast majority of actual measurements using Level 1":
+  EXPECT_GT(b.level1_share_of_measured(), 0.8);
+  EXPECT_NEAR(b.measured_fraction(), 34.0 / 267.0, 1e-12);
+}
+
+TEST(ListQuality, SummarizeCountsClasses) {
+  std::vector<Submission> entries;
+  entries.push_back(entry(PowerProvenance::kDerived, Level::kL1));
+  entries.push_back(entry(PowerProvenance::kMeasured, Level::kL1));
+  entries.push_back(entry(PowerProvenance::kMeasured, Level::kL2));
+  entries.push_back(entry(PowerProvenance::kMeasured, Level::kL3));
+  entries.push_back(entry(PowerProvenance::kMeasured, Level::kL1));
+  const ListQualityBreakdown b = summarize_quality(entries);
+  EXPECT_EQ(b.total, 5u);
+  EXPECT_EQ(b.derived, 1u);
+  EXPECT_EQ(b.level1, 2u);
+  EXPECT_EQ(b.level2, 1u);
+  EXPECT_EQ(b.level3, 1u);
+  EXPECT_DOUBLE_EQ(b.measured_fraction(), 0.8);
+  EXPECT_DOUBLE_EQ(b.level1_share_of_measured(), 0.5);
+}
+
+TEST(ListQuality, RulesRevisionImprovesExpectedUncertainty) {
+  const ListQualityBreakdown mix = november_2014_green500();
+  const double old_rules = expected_list_uncertainty(mix, Revision::kV1_2);
+  const double new_rules = expected_list_uncertainty(mix, Revision::kV2015);
+  EXPECT_LT(new_rules, old_rules);
+  // The derived majority dominates either way — the paper's deeper point.
+  EXPECT_GT(new_rules, 0.10);
+}
+
+TEST(ListQuality, Guards) {
+  EXPECT_THROW(summarize_quality({}).measured_fraction(), contract_error);
+  ListQualityBreakdown empty;
+  EXPECT_THROW(expected_list_uncertainty(empty, Revision::kV1_2),
+               contract_error);
+  ListQualityBreakdown all_derived;
+  all_derived.total = 3;
+  all_derived.derived = 3;
+  EXPECT_THROW(all_derived.level1_share_of_measured(), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

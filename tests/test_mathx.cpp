@@ -1,0 +1,125 @@
+// Unit tests for util/mathx.hpp and the contract macros.
+
+#include "util/mathx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Expects, ThrowsContractErrorWithContext) {
+  try {
+    PV_EXPECTS(1 == 2, "impossible arithmetic");
+    FAIL() << "should have thrown";
+  } catch (const contract_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("impossible arithmetic"), std::string::npos);
+    EXPECT_NE(what.find("test_mathx.cpp"), std::string::npos);
+  }
+}
+
+TEST(Expects, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(PV_EXPECTS(2 + 2 == 4, ""));
+  EXPECT_NO_THROW(PV_ENSURES(true, ""));
+}
+
+TEST(Mathx, Lerp01Endpoints) {
+  EXPECT_DOUBLE_EQ(lerp01(3.0, 7.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(lerp01(3.0, 7.0, 1.0), 7.0);
+  EXPECT_DOUBLE_EQ(lerp01(3.0, 7.0, 0.5), 5.0);
+}
+
+TEST(Mathx, ApproxEqualRelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 * (1.0 + 1e-10)));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_TRUE(approx_equal(5.0, 5.4, /*rel=*/0.1));
+}
+
+TEST(Mathx, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_THROW(relative_error(1.0, 0.0), contract_error);
+}
+
+TEST(Mathx, PrefixSums) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const auto ps = prefix_sums(xs);
+  ASSERT_EQ(ps.size(), 4u);
+  EXPECT_DOUBLE_EQ(ps[0], 1.0);
+  EXPECT_DOUBLE_EQ(ps[3], 10.0);
+  EXPECT_TRUE(prefix_sums({}).empty());
+}
+
+TEST(Mathx, MeanOf) {
+  const std::vector<double> xs{2.0, 4.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+  EXPECT_THROW(mean_of({}), contract_error);
+}
+
+TEST(Mathx, Solve3x3Identity) {
+  const std::array<std::array<double, 3>, 3> eye{
+      {{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}}};
+  const auto x = solve3x3(eye, {3.0, -2.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], -2.0);
+  EXPECT_DOUBLE_EQ(x[2], 7.0);
+}
+
+TEST(Mathx, Solve3x3GeneralSystem) {
+  // A * (1, 2, 3) with A below.
+  const std::array<std::array<double, 3>, 3> a{
+      {{2.0, 1.0, -1.0}, {-3.0, -1.0, 2.0}, {-2.0, 1.0, 2.0}}};
+  const std::array<double, 3> b{1.0, 1.0, 6.0};
+  const auto x = solve3x3(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Mathx, Solve3x3NeedsPivoting) {
+  // Leading zero forces a row swap.
+  const std::array<std::array<double, 3>, 3> a{
+      {{0.0, 1.0, 1.0}, {1.0, 0.0, 1.0}, {1.0, 1.0, 0.0}}};
+  const std::array<double, 3> b{5.0, 4.0, 3.0};
+  const auto x = solve3x3(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Mathx, Solve3x3RejectsSingular) {
+  const std::array<std::array<double, 3>, 3> a{
+      {{1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}, {1.0, 0.0, 1.0}}};
+  EXPECT_THROW(solve3x3(a, {1.0, 2.0, 3.0}), contract_error);
+}
+
+TEST(Mathx, NewtonBisectFindsSqrt2) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto df = [](double x) { return 2.0 * x; };
+  const double root = newton_bisect(f, df, 0.0, 2.0, 1.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Mathx, NewtonBisectSurvivesZeroDerivativeStart) {
+  // f'(0) = 0 at the initial guess: must fall back to bisection.
+  const auto f = [](double x) { return x * x * x - 1.0; };
+  const auto df = [](double x) { return 3.0 * x * x; };
+  const double root = newton_bisect(f, df, -0.5, 2.0, 0.0);
+  EXPECT_NEAR(root, 1.0, 1e-9);
+}
+
+TEST(Mathx, NewtonBisectRequiresBracket) {
+  const auto f = [](double x) { return x + 10.0; };
+  const auto df = [](double) { return 1.0; };
+  EXPECT_THROW(newton_bisect(f, df, 0.0, 1.0, 0.5), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

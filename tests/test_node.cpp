@@ -1,0 +1,130 @@
+// Unit tests for the node model.
+
+#include "sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/catalog.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+NodeInstance make_node(std::uint64_t stream = 0) {
+  Rng rng(100, stream);
+  return NodeInstance(catalog::lcsc_node_spec(), rng);
+}
+
+TEST(NodeInstance, DrawsComponentsPerSpec) {
+  const NodeInstance node = make_node();
+  EXPECT_EQ(node.cpus().size(), 2u);
+  EXPECT_EQ(node.gpus().size(), 4u);
+  EXPECT_GT(node.inlet().value(), 15.0);
+  EXPECT_LT(node.inlet().value(), 35.0);
+  EXPECT_LT(node.vid_bin(), node.spec().gpu.vid_bins);
+}
+
+TEST(NodeInstance, DeterministicPerStream) {
+  const NodeInstance a = make_node(7);
+  const NodeInstance b = make_node(7);
+  EXPECT_DOUBLE_EQ(a.dc_power(1.0, NodeSettings::defaults()).value(),
+                   b.dc_power(1.0, NodeSettings::defaults()).value());
+  const NodeInstance c = make_node(8);
+  EXPECT_NE(a.dc_power(1.0, NodeSettings::defaults()).value(),
+            c.dc_power(1.0, NodeSettings::defaults()).value());
+}
+
+TEST(NodeInstance, PowerIncreasesWithActivity) {
+  const NodeInstance node = make_node();
+  const NodeSettings s = NodeSettings::defaults();
+  const double idle = node.dc_power(0.0, s).value();
+  const double half = node.dc_power(0.5, s).value();
+  const double full = node.dc_power(1.0, s).value();
+  EXPECT_LT(idle, half);
+  EXPECT_LT(half, full);
+  // A 4-GPU node under load draws on the order of a kilowatt.
+  EXPECT_GT(full, 500.0);
+  EXPECT_LT(full, 2500.0);
+}
+
+TEST(NodeInstance, TunedSettingsCutPowerAtSameWorkload) {
+  const NodeInstance node = make_node();
+  const double untuned =
+      node.dc_power(1.0, NodeSettings::defaults()).value();
+  const double tuned = node.dc_power(1.0, NodeSettings::tuned_lcsc()).value();
+  EXPECT_LT(tuned, untuned);
+}
+
+TEST(NodeInstance, TunedSettingsImproveEfficiency) {
+  const NodeInstance node = make_node();
+  EXPECT_GT(node.hpl_gflops_per_watt(NodeSettings::tuned_lcsc()),
+            node.hpl_gflops_per_watt(NodeSettings::defaults()));
+}
+
+TEST(NodeInstance, GflopsTrackFrequency) {
+  const NodeInstance node = make_node();
+  NodeSettings fast;
+  fast.gpu_mode = NodeSettings::GpuMode::kFixed;
+  fast.gpu_fixed_op = {megahertz(900.0), volts(1.05)};
+  NodeSettings slow = fast;
+  slow.gpu_fixed_op = {megahertz(450.0), volts(1.0)};
+  EXPECT_GT(node.hpl_gflops(fast), node.hpl_gflops(slow) * 1.5);
+}
+
+TEST(NodeInstance, EfficiencyIsPlausibleForLcsc) {
+  // The L-CSC Green500 submission was ~5.27 GFLOPS/W; tuned nodes should
+  // land in that neighborhood (3-8).
+  const NodeInstance node = make_node();
+  const double eff = node.hpl_gflops_per_watt(NodeSettings::tuned_lcsc());
+  EXPECT_GT(eff, 3.0);
+  EXPECT_LT(eff, 8.0);
+}
+
+TEST(NodeInstance, ThermalStateRespondsToFanPolicy) {
+  const NodeInstance node = make_node();
+  NodeSettings auto_fans = NodeSettings::defaults();
+  NodeSettings pinned = NodeSettings::defaults();
+  pinned.fan_policy = FanPolicy::pinned(1.0);
+  const ThermalState a = node.thermal_state(1.0, auto_fans);
+  const ThermalState p = node.thermal_state(1.0, pinned);
+  // Full-speed pinned fans run colder but burn more fan power than the
+  // auto setting (unless auto already pegged at 1.0).
+  EXPECT_LE(p.component_temp.value(), a.component_temp.value() + 1e-9);
+  EXPECT_GE(p.fan_power_w.value(), a.fan_power_w.value());
+}
+
+TEST(NodeInstance, GpuPowerIsAComponentOfNodePower) {
+  const NodeInstance node = make_node();
+  const NodeSettings s = NodeSettings::defaults();
+  const double gpu = node.gpu_power(1.0, s).value();
+  const double total = node.dc_power(1.0, s).value();
+  EXPECT_GT(gpu, 0.0);
+  EXPECT_LT(gpu, total);
+  // On a 4-GPU node the GPUs dominate.
+  EXPECT_GT(gpu / total, 0.5);
+}
+
+TEST(NodeInstance, CpuOnlyNodeWorks) {
+  NodeSpec spec;
+  spec.label = "cpu-only";
+  spec.cpu_count = 2;
+  spec.gpu_count = 0;
+  Rng rng(5);
+  const NodeInstance node(spec, rng);
+  EXPECT_TRUE(node.gpus().empty());
+  EXPECT_EQ(node.vid_bin(), 0u);
+  EXPECT_DOUBLE_EQ(node.gpu_power(1.0, NodeSettings::defaults()).value(), 0.0);
+  EXPECT_GT(node.dc_power(1.0, NodeSettings::defaults()).value(), 100.0);
+  EXPECT_GT(node.hpl_gflops(NodeSettings::defaults()), 100.0);
+}
+
+TEST(NodeInstance, RejectsEmptySpec) {
+  NodeSpec spec;
+  spec.cpu_count = 0;
+  spec.gpu_count = 0;
+  Rng rng(6);
+  EXPECT_THROW(NodeInstance(spec, rng), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,106 @@
+// Unit tests for the thread pool and parallel_for.
+
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsNullJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), contract_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  parallel_for(&pool, kN, [&](std::size_t i) { touched[i].fetch_add(1); },
+               /*grain=*/16);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, InlineWhenNoPool) {
+  std::vector<int> touched(100, 0);
+  parallel_for(nullptr, touched.size(),
+               [&](std::size_t i) { touched[i] += 1; });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 100);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  parallel_for(&pool, 0, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  // n < grain must execute on the calling thread (deterministic order).
+  std::vector<std::size_t> order;
+  parallel_for(&pool, 5, [&](std::size_t i) { order.push_back(i); },
+               /*grain=*/256);
+  const std::vector<std::size_t> expect{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(
+          &pool, 5000,
+          [](std::size_t i) {
+            if (i == 4321) throw std::runtime_error("boom");
+          },
+          /*grain=*/16),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsMatchSerialReduction) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 4096;
+  std::vector<double> out(kN);
+  parallel_for(&pool, kN,
+               [&](std::size_t i) { out[i] = static_cast<double>(i) * 0.5; },
+               /*grain=*/32);
+  double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * (kN - 1.0) * kN / 2.0);
+}
+
+TEST(DefaultPool, IsSingletonAndUsable) {
+  ThreadPool& a = default_pool();
+  ThreadPool& b = default_pool();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> n{0};
+  parallel_for(&a, 1000, [&](std::size_t) { n.fetch_add(1); }, 1);
+  EXPECT_EQ(n.load(), 1000);
+}
+
+}  // namespace
+}  // namespace pv

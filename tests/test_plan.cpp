@@ -1,0 +1,191 @@
+// Unit tests for measurement planning and validation.
+
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+PlanInputs typical_inputs() {
+  PlanInputs in;
+  in.total_nodes = 1024;
+  in.approx_node_power = Watts{400.0};
+  in.run = RunPhases{minutes(10.0), hours(2.0), minutes(5.0)};
+  return in;
+}
+
+TEST(Plan, Level1OldRulesShape) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(1);
+  const auto plan = plan_measurement(spec, typical_inputs(), rng);
+  EXPECT_EQ(plan.node_count(), 16u);  // 1024/64
+  EXPECT_DOUBLE_EQ(plan.window.duration().value(), 1152.0);  // 20% of mid-80
+  EXPECT_EQ(plan.meter_mode, MeterMode::kSampled);
+  EXPECT_DOUBLE_EQ(plan.meter_interval.value(), 1.0);
+  EXPECT_TRUE(validate_plan(plan, typical_inputs()).empty());
+}
+
+TEST(Plan, Level1NewRulesCoverFullCore) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  Rng rng(2);
+  const PlanInputs in = typical_inputs();
+  const auto plan = plan_measurement(spec, in, rng);
+  EXPECT_EQ(plan.node_count(), 103u);  // 10% of 1024, ceil
+  EXPECT_DOUBLE_EQ(plan.window.begin.value(), in.run.core_begin().value());
+  EXPECT_DOUBLE_EQ(plan.window.end.value(), in.run.core_end().value());
+  EXPECT_TRUE(validate_plan(plan, in).empty());
+}
+
+TEST(Plan, Level3PlansEverythingIntegrated) {
+  const auto spec = MethodologySpec::get(Level::kL3, Revision::kV1_2);
+  Rng rng(3);
+  const auto plan = plan_measurement(spec, typical_inputs(), rng);
+  EXPECT_EQ(plan.node_count(), 1024u);
+  EXPECT_EQ(plan.meter_mode, MeterMode::kIntegrated);
+  EXPECT_TRUE(validate_plan(plan, typical_inputs()).empty());
+}
+
+TEST(Plan, WindowPositionMovesLevel1Window) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(4);
+  const PlanInputs in = typical_inputs();
+  const auto early = plan_measurement(spec, in, rng, SubsetStrategy::kRandom, 0.0);
+  const auto late = plan_measurement(spec, in, rng, SubsetStrategy::kRandom, 1.0);
+  EXPECT_LT(early.window.begin.value(), late.window.begin.value());
+  EXPECT_TRUE(validate_plan(early, in).empty());
+  EXPECT_TRUE(validate_plan(late, in).empty());
+}
+
+TEST(Plan, RandomSubsetIsDistinctAndInRange) {
+  const auto spec = MethodologySpec::get(Level::kL2, Revision::kV1_2);
+  Rng rng(5);
+  const auto plan = plan_measurement(spec, typical_inputs(), rng);
+  EXPECT_EQ(plan.node_count(), 128u);  // 1/8
+  std::set<std::size_t> uniq(plan.node_indices.begin(),
+                             plan.node_indices.end());
+  EXPECT_EQ(uniq.size(), plan.node_count());
+  for (std::size_t i : plan.node_indices) EXPECT_LT(i, 1024u);
+}
+
+TEST(Plan, FirstRackStrategyTakesPrefix) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(6);
+  const auto plan = plan_measurement(spec, typical_inputs(), rng,
+                                     SubsetStrategy::kFirstRack);
+  for (std::size_t i = 0; i < plan.node_count(); ++i) {
+    EXPECT_EQ(plan.node_indices[i], i);
+  }
+}
+
+TEST(Plan, LowVidStrategyPicksLowestBins) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  PlanInputs in = typical_inputs();
+  in.total_nodes = 64;
+  in.vid_bins.resize(64);
+  for (std::size_t i = 0; i < 64; ++i) in.vid_bins[i] = 63 - i;  // reversed
+  Rng rng(7);
+  const auto plan =
+      plan_measurement(spec, in, rng, SubsetStrategy::kLowVid);
+  // Requirement: max(1/64 of 64, 2kW/400W) = max(1, 5) = 5 nodes; the
+  // lowest VIDs sit at the array tail.
+  EXPECT_EQ(plan.node_count(), 5u);
+  for (std::size_t i : plan.node_indices) EXPECT_GE(i, 59u);
+}
+
+TEST(Plan, LowPowerStrategyNeedsPowers) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(8);
+  EXPECT_THROW(plan_measurement(spec, typical_inputs(), rng,
+                                SubsetStrategy::kLowPower),
+               contract_error);
+}
+
+TEST(Validate, FlagsTooFewNodes) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(9);
+  const PlanInputs in = typical_inputs();
+  auto plan = plan_measurement(spec, in, rng);
+  plan.node_indices.resize(3);
+  const auto issues = validate_plan(plan, in);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].rule, "fraction");
+}
+
+TEST(Validate, FlagsWindowOutsideMiddle80) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(10);
+  const PlanInputs in = typical_inputs();
+  auto plan = plan_measurement(spec, in, rng);
+  // Slide the window to the very start of the core phase (inside the
+  // excluded first 10%).
+  plan.window = {in.run.core_begin(),
+                 Seconds{in.run.core_begin().value() + 1152.0}};
+  bool timing_issue = false;
+  for (const auto& issue : validate_plan(plan, in)) {
+    if (issue.rule == "timing") timing_issue = true;
+  }
+  EXPECT_TRUE(timing_issue);
+}
+
+TEST(Validate, FlagsPartialCoreUnder2015Rules) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  Rng rng(11);
+  const PlanInputs in = typical_inputs();
+  auto plan = plan_measurement(spec, in, rng);
+  plan.window.end = Seconds{plan.window.end.value() - 600.0};
+  const auto issues = validate_plan(plan, in);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(Validate, FlagsCoarseMeter) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(12);
+  const PlanInputs in = typical_inputs();
+  auto plan = plan_measurement(spec, in, rng);
+  plan.meter_interval = Seconds{30.0};
+  bool timing_issue = false;
+  for (const auto& issue : validate_plan(plan, in)) {
+    if (issue.rule == "timing") timing_issue = true;
+  }
+  EXPECT_TRUE(timing_issue);
+}
+
+TEST(Validate, FlagsDcTapWithoutCorrection) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  Rng rng(13);
+  const PlanInputs in = typical_inputs();
+  auto plan = plan_measurement(spec, in, rng);
+  plan.point = MeasurementPoint::kNodeDc;
+  bool conversion_issue = false;
+  for (const auto& issue : validate_plan(plan, in)) {
+    if (issue.rule == "conversion") conversion_issue = true;
+  }
+  EXPECT_TRUE(conversion_issue);
+}
+
+TEST(Validate, FlagsPowerFloorViolation) {
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  PlanInputs in = typical_inputs();
+  in.approx_node_power = Watts{50.0};  // 16 nodes * 50 W = 800 W < 2 kW
+  Rng rng(14);
+  auto plan = plan_measurement(spec, in, rng);
+  plan.node_indices.resize(16);  // force too-small subset
+  bool fraction_issue = false;
+  for (const auto& issue : validate_plan(plan, in)) {
+    if (issue.rule == "fraction") fraction_issue = true;
+  }
+  EXPECT_TRUE(fraction_issue);
+}
+
+TEST(Plan, StrategyNames) {
+  EXPECT_STREQ(to_string(SubsetStrategy::kRandom), "random");
+  EXPECT_STREQ(to_string(SubsetStrategy::kLowVid), "low-VID screened");
+}
+
+}  // namespace
+}  // namespace pv

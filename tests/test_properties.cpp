@@ -1,0 +1,331 @@
+// Property-based tests: parameterized sweeps over the statistical core and
+// the simulation substrates (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "core/campaign.hpp"
+#include "core/sample_size.hpp"
+#include "sim/catalog.hpp"
+#include "sim/transient.hpp"
+#include "meter/psu.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "stats/sampling.hpp"
+#include "stats/special.hpp"
+#include "trace/time_series.hpp"
+#include "util/mathx.hpp"
+#include "workload/hpl.hpp"
+#include "workload/imbalance.hpp"
+
+namespace pv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: Equation 5 recommendations actually deliver the promised
+// accuracy at roughly the promised confidence, across the (lambda, cv) grid.
+
+class SampleSizeCoverage
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SampleSizeCoverage, RecommendedNDeliversAccuracy) {
+  const auto [lambda, cv] = GetParam();
+  constexpr std::size_t kN = 4000;
+  constexpr int kTrials = 400;
+  const std::size_t n = required_sample_size(0.05, lambda, cv, kN);
+
+  // Fleet with the assumed cv.
+  Rng fleet_rng(1234);
+  std::vector<double> fleet(kN);
+  for (auto& x : fleet) x = fleet_rng.normal(100.0, 100.0 * cv);
+  const double mu = mean_of(fleet);
+
+  Rng rng(77);
+  int within = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto idx = sample_without_replacement(rng, kN, n);
+    const double est = mean_of(gather(fleet, idx));
+    if (std::fabs(est - mu) <= lambda * mu) ++within;
+  }
+  // Nominal coverage is 95%; allow generous Monte-Carlo + z-vs-t slack.
+  EXPECT_GE(within / static_cast<double>(kTrials), 0.88)
+      << "lambda=" << lambda << " cv=" << cv << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SampleSizeCoverage,
+    ::testing::Combine(::testing::Values(0.01, 0.015, 0.02),
+                       ::testing::Values(0.02, 0.03, 0.05)));
+
+// ---------------------------------------------------------------------------
+// Property: t quantile/CDF round-trip across degrees of freedom and levels.
+
+class TQuantileRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TQuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const auto [nu, p] = GetParam();
+  EXPECT_NEAR(t_cdf(t_quantile(p, nu), nu), p, 1e-9);
+  // Symmetry: q(1-p) = -q(p).
+  EXPECT_NEAR(t_quantile(1.0 - p, nu), -t_quantile(p, nu), 1e-8);
+  // t critical value never below the z critical value.
+  EXPECT_GE(t_critical(0.05, nu), z_critical(0.05) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TQuantileRoundTrip,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 5.0, 14.0, 30.0, 291.0),
+                       ::testing::Values(0.01, 0.05, 0.25, 0.4)));
+
+// ---------------------------------------------------------------------------
+// Property: trace energy decomposes additively over adjacent windows.
+
+class TraceAdditivity : public ::testing::TestWithParam<double> {};
+
+TEST_P(TraceAdditivity, EnergySplitsAtAnyCut) {
+  const double cut = GetParam();
+  Rng rng(5);
+  std::vector<double> w(200);
+  for (auto& v : w) v = 100.0 + rng.uniform(0.0, 50.0);
+  const PowerTrace t(Seconds{0.0}, Seconds{1.0}, std::move(w));
+  const TimeWindow whole{Seconds{10.0}, Seconds{190.0}};
+  const TimeWindow left{Seconds{10.0}, Seconds{cut}};
+  const TimeWindow right{Seconds{cut}, Seconds{190.0}};
+  EXPECT_NEAR(t.energy(left).value() + t.energy(right).value(),
+              t.energy(whole).value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TraceAdditivity,
+                         ::testing::Values(10.5, 42.0, 77.25, 100.0, 189.5));
+
+// ---------------------------------------------------------------------------
+// Property: PSU AC/DC mapping is monotone and invertible across loads and
+// certification curves.
+
+class PsuRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PsuRoundTrip, DcAcDcIsIdentity) {
+  const auto [curve_id, load] = GetParam();
+  const PsuEfficiencyCurve curve = curve_id == 0
+                                       ? PsuEfficiencyCurve::gold()
+                                       : curve_id == 1
+                                             ? PsuEfficiencyCurve::platinum()
+                                             : PsuEfficiencyCurve::titanium();
+  const PsuModel psu(Watts{1500.0}, curve);
+  const Watts dc{load * 1500.0};
+  const Watts ac = psu.ac_input(dc);
+  EXPECT_GT(ac.value(), dc.value());
+  EXPECT_NEAR(psu.dc_output(ac).value(), dc.value(), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PsuRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0.05, 0.2, 0.5, 0.8, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Property: the HPL profile's first-20% average always dominates its
+// last-20% average, and the gap grows with the saturation knee.
+
+class HplTailMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(HplTailMonotone, FirstSegmentBeatsLast) {
+  HplParams p = HplParams::gpu_incore();
+  p.knee = GetParam();
+  p.osc_depth = 0.0;
+  p.warmup_amp = 0.0;
+  const HplWorkload hpl(p, hours(1.0));
+  const RunPhases run = hpl.phases();
+  const double first = average_over(
+      [&](double t) { return hpl.intensity(t); }, run.core_begin().value(),
+      run.core_begin().value() + 0.2 * run.core.value());
+  const double last = average_over(
+      [&](double t) { return hpl.intensity(t); },
+      run.core_begin().value() + 0.8 * run.core.value(),
+      run.core_end().value());
+  EXPECT_GT(first, last);
+}
+
+INSTANTIATE_TEST_SUITE_P(Knees, HplTailMonotone,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.4));
+
+TEST(HplTailMonotoneExtra, GapGrowsWithKnee) {
+  const auto gap = [](double knee) {
+    HplParams p = HplParams::gpu_incore();
+    p.knee = knee;
+    p.osc_depth = 0.0;
+    p.warmup_amp = 0.0;
+    const HplWorkload hpl(p, hours(1.0));
+    const RunPhases run = hpl.phases();
+    const double first = average_over(
+        [&](double t) { return hpl.intensity(t); }, run.core_begin().value(),
+        run.core_begin().value() + 0.2 * run.core.value());
+    const double last = average_over(
+        [&](double t) { return hpl.intensity(t); },
+        run.core_begin().value() + 0.8 * run.core.value(),
+        run.core_end().value());
+    return (first - last) / first;
+  };
+  EXPECT_LT(gap(0.01), gap(0.1));
+  EXPECT_LT(gap(0.1), gap(0.4));
+}
+
+// ---------------------------------------------------------------------------
+// Property: Equation 5's FPC never exceeds the infinite-population size and
+// never exceeds N.
+
+class FpcBounds
+    : public ::testing::TestWithParam<std::tuple<double, double, std::size_t>> {
+};
+
+TEST_P(FpcBounds, BoundedByN0AndN) {
+  const auto [lambda, cv, total] = GetParam();
+  const double n0 = required_sample_size_infinite(0.05, lambda, cv);
+  const std::size_t n = required_sample_size(0.05, lambda, cv, total);
+  EXPECT_LE(static_cast<double>(n), std::ceil(n0) + 1e-9);
+  EXPECT_LE(n, total);
+  EXPECT_GE(n, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FpcBounds,
+    ::testing::Combine(::testing::Values(0.005, 0.01, 0.02),
+                       ::testing::Values(0.015, 0.028, 0.05),
+                       ::testing::Values<std::size_t>(210, 5040, 18688)));
+
+// ---------------------------------------------------------------------------
+// Property: sample mean of without-replacement subsets is unbiased across
+// subset sizes.
+
+class SubsetUnbiasedness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SubsetUnbiasedness, MeanOfMeansMatchesPopulation) {
+  const std::size_t n = GetParam();
+  Rng fleet_rng(9);
+  std::vector<double> fleet(1000);
+  for (auto& x : fleet) x = fleet_rng.normal(500.0, 20.0);
+  const double mu = mean_of(fleet);
+  Rng rng(10);
+  double acc = 0.0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    acc += mean_of(gather(fleet, sample_without_replacement(rng, 1000, n)));
+  }
+  const double se = 20.0 / std::sqrt(static_cast<double>(n) * kTrials);
+  EXPECT_NEAR(acc / kTrials, mu, 5.0 * se);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubsetUnbiasedness,
+                         ::testing::Values<std::size_t>(2, 4, 16, 64, 256));
+
+
+// ---------------------------------------------------------------------------
+// Property: every catalog profile hits its published segment averages.
+
+class CatalogCalibration : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CatalogCalibration, SegmentAveragesExact) {
+  const auto& sys = catalog::table2_systems()[GetParam()];
+  const CalibratedSystemProfile prof = catalog::make_profile(sys);
+  const RunPhases p = prof.phases();
+  const auto avg = [&](double a, double b) {
+    return average_over([&](double t) { return prof.system_power_w(t); },
+                        p.core_begin().value() + a * p.core.value(),
+                        p.core_begin().value() + b * p.core.value(), 8192);
+  };
+  EXPECT_NEAR(avg(0.0, 1.0) / sys.core_avg.value(), 1.0, 2e-4) << sys.name;
+  EXPECT_NEAR(avg(0.0, 0.2) / sys.first20_avg.value(), 1.0, 2e-4) << sys.name;
+  EXPECT_NEAR(avg(0.8, 1.0) / sys.last20_avg.value(), 1.0, 2e-4) << sys.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, CatalogCalibration,
+                         ::testing::Values<std::size_t>(0, 1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Property: the transient integrator settles to the steady-state thermal
+// solve across activity levels (within the temperature-leakage feedback).
+
+class TransientSettle : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransientSettle, TemperatureNearAlgebraicSolve) {
+  const double activity = GetParam();
+  Rng rng(900);
+  const NodeInstance node(catalog::lcsc_node_spec(), rng);
+  const TransientNodeSim sim(node, NodeSettings::defaults(),
+                             TransientConfig{});
+  const TransientState settled = sim.settle(activity);
+  const ThermalState algebraic =
+      node.thermal_state(activity, NodeSettings::defaults());
+  // The leakage feedback raises the settle point somewhat; within 12 C.
+  EXPECT_NEAR(settled.component_temp.value(),
+              algebraic.component_temp.value(), 12.0)
+      << "activity=" << activity;
+  EXPECT_GE(settled.component_temp.value(),
+            algebraic.component_temp.value() - 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Activities, TransientSettle,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+// ---------------------------------------------------------------------------
+// Property: imbalanced load shares always average to exactly 1.
+
+class ShareConservation
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ShareConservation, MeanShareIsOne) {
+  const auto [cv, hot] = GetParam();
+  ImbalanceParams p;
+  p.share_cv = cv;
+  p.hot_node_prob = hot;
+  const auto shares = imbalanced_load_shares(3000, p, 77);
+  EXPECT_NEAR(mean_of(shares), 1.0, 1e-12);
+  for (double s2 : shares) ASSERT_GT(s2, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShareConservation,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.3, 0.6),
+                       ::testing::Values(0.0, 0.05)));
+
+// ---------------------------------------------------------------------------
+// Property: campaigns are bit-deterministic for a fixed seed.
+
+class CampaignDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CampaignDeterminism, SameSeedSameSubmission) {
+  const std::uint64_t seed = GetParam();
+  auto workload = std::make_shared<HplWorkload>(HplParams::cpu_traditional(),
+                                                hours(1.0));
+  auto powers = generate_node_powers(
+      64, 400.0, FleetVariability::typical_cpu(), 5);
+  const ClusterPowerModel cluster("det", std::move(powers), workload);
+  const SystemPowerModel electrical = make_system_power_model(
+      cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+  PlanInputs in;
+  in.total_nodes = 64;
+  in.approx_node_power = Watts{400.0};
+  in.run = cluster.phases();
+  Rng rng_a(seed), rng_b(seed);
+  const auto spec = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  const auto plan_a = plan_measurement(spec, in, rng_a);
+  const auto plan_b = plan_measurement(spec, in, rng_b);
+  EXPECT_EQ(plan_a.node_indices, plan_b.node_indices);
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.meter_interval_override = Seconds{30.0};
+  const auto ra = run_campaign(cluster, electrical, plan_a, cfg);
+  const auto rb = run_campaign(cluster, electrical, plan_b, cfg);
+  EXPECT_DOUBLE_EQ(ra.submitted_power.value(), rb.submitted_power.value());
+  EXPECT_EQ(ra.node_mean_powers_w, rb.node_mean_powers_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignDeterminism,
+                         ::testing::Values<std::uint64_t>(1, 42, 31337));
+
+}  // namespace
+}  // namespace pv

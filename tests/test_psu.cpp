@@ -1,0 +1,93 @@
+// Unit tests for PSU efficiency curves and conversion-loss modeling.
+
+#include "meter/psu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(PsuEfficiencyCurve, InterpolatesBetweenPoints) {
+  const PsuEfficiencyCurve c({{0.0, 0.80}, {0.5, 0.90}, {1.0, 0.86}});
+  EXPECT_DOUBLE_EQ(c.efficiency_at(0.0), 0.80);
+  EXPECT_DOUBLE_EQ(c.efficiency_at(0.25), 0.85);
+  EXPECT_DOUBLE_EQ(c.efficiency_at(0.5), 0.90);
+  EXPECT_DOUBLE_EQ(c.efficiency_at(0.75), 0.88);
+  EXPECT_DOUBLE_EQ(c.efficiency_at(1.0), 0.86);
+}
+
+TEST(PsuEfficiencyCurve, ClampsOutsideControlPoints) {
+  const PsuEfficiencyCurve c({{0.2, 0.85}, {0.8, 0.92}});
+  EXPECT_DOUBLE_EQ(c.efficiency_at(0.05), 0.85);
+  EXPECT_DOUBLE_EQ(c.efficiency_at(2.0), 0.92);  // overload: last point
+}
+
+TEST(PsuEfficiencyCurve, ValidatesInput) {
+  EXPECT_THROW(PsuEfficiencyCurve({{0.5, 0.9}}), contract_error);
+  EXPECT_THROW(PsuEfficiencyCurve({{0.5, 0.9}, {0.4, 0.8}}), contract_error);
+  EXPECT_THROW(PsuEfficiencyCurve({{0.1, 0.0}, {0.5, 0.9}}), contract_error);
+  EXPECT_THROW(PsuEfficiencyCurve({{0.1, 0.9}, {1.5, 0.9}}), contract_error);
+}
+
+TEST(PsuEfficiencyCurve, PresetsOrderedByCertification) {
+  EXPECT_LT(PsuEfficiencyCurve::gold().efficiency_at(0.5),
+            PsuEfficiencyCurve::platinum().efficiency_at(0.5));
+  EXPECT_LT(PsuEfficiencyCurve::platinum().efficiency_at(0.5),
+            PsuEfficiencyCurve::titanium().efficiency_at(0.5));
+}
+
+TEST(PsuModel, AcInputExceedsDcLoad) {
+  const PsuModel psu(Watts{1000.0}, PsuEfficiencyCurve::platinum());
+  const Watts ac = psu.ac_input(Watts{500.0});
+  // 50% load on platinum: 0.94 efficiency.
+  EXPECT_NEAR(ac.value(), 500.0 / 0.94, 1e-9);
+  EXPECT_NEAR(psu.loss(Watts{500.0}).value(), 500.0 / 0.94 - 500.0, 1e-9);
+  EXPECT_DOUBLE_EQ(psu.ac_input(Watts{0.0}).value(), 0.0);
+}
+
+TEST(PsuModel, LightLoadIsLessEfficient) {
+  const PsuModel psu(Watts{1000.0}, PsuEfficiencyCurve::gold());
+  const double eff_light =
+      20.0 / psu.ac_input(Watts{20.0}).value();
+  const double eff_mid = 500.0 / psu.ac_input(Watts{500.0}).value();
+  EXPECT_LT(eff_light, eff_mid);
+}
+
+TEST(PsuModel, DcOutputInvertsAcInput) {
+  const PsuModel psu(Watts{1200.0}, PsuEfficiencyCurve::titanium());
+  for (double dc : {5.0, 100.0, 600.0, 1100.0}) {
+    const Watts ac = psu.ac_input(Watts{dc});
+    EXPECT_NEAR(psu.dc_output(ac).value(), dc, 1e-5) << "dc=" << dc;
+  }
+  EXPECT_DOUBLE_EQ(psu.dc_output(Watts{0.0}).value(), 0.0);
+}
+
+TEST(PsuModel, DomainChecks) {
+  EXPECT_THROW(PsuModel(Watts{0.0}, PsuEfficiencyCurve::gold()),
+               contract_error);
+  const PsuModel psu(Watts{100.0}, PsuEfficiencyCurve::gold());
+  EXPECT_THROW(psu.ac_input(Watts{-1.0}), contract_error);
+}
+
+TEST(NominalConversionModel, RoundTrips) {
+  const NominalConversionModel m{0.94};
+  const Watts dc{940.0};
+  const Watts ac = m.ac_from_dc(dc);
+  EXPECT_NEAR(ac.value(), 1000.0, 1e-9);
+  EXPECT_NEAR(m.dc_from_ac(ac).value(), dc.value(), 1e-9);
+}
+
+TEST(NominalConversionModel, DisagreesWithTrueCurveOffPeak) {
+  // The Level 1 vendor-nominal model applies one efficiency everywhere;
+  // at light load the true curve is worse, so the nominal model
+  // *underestimates* AC power — one of the Level 1 error channels.
+  const PsuModel psu(Watts{1000.0}, PsuEfficiencyCurve::gold());
+  const NominalConversionModel nominal{0.90};  // matches the 50% point
+  const Watts dc{50.0};
+  EXPECT_LT(nominal.ac_from_dc(dc).value(), psu.ac_input(dc).value());
+}
+
+}  // namespace
+}  // namespace pv

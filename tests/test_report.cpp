@@ -1,0 +1,60 @@
+// Unit tests for the accuracy-assessment report rendering.
+
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/fleet.hpp"
+#include "workload/profiles.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Report, ContainsAllSections) {
+  auto workload = std::make_shared<FirestarterWorkload>(
+      minutes(20.0), 1.0, minutes(1.0), minutes(1.0));
+  auto powers = generate_node_powers(
+      64, 400.0, FleetVariability::typical_cpu(), 1);
+  const ClusterPowerModel cluster("rpt", std::move(powers), workload);
+  const SystemPowerModel electrical = make_system_power_model(
+      cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+
+  PlanInputs in;
+  in.total_nodes = 64;
+  in.approx_node_power = Watts{400.0};
+  in.run = cluster.phases();
+  Rng rng(1);
+  const auto plan = plan_measurement(
+      MethodologySpec::get(Level::kL1, Revision::kV2015), in, rng);
+  CampaignConfig cfg;
+  cfg.meter_interval_override = Seconds{10.0};
+  const auto result = run_campaign(cluster, electrical, plan, cfg);
+
+  const std::string report = accuracy_report(plan, result);
+  EXPECT_NE(report.find("accuracy assessment"), std::string::npos);
+  EXPECT_NE(report.find("submitted power"), std::string::npos);
+  EXPECT_NE(report.find("95% CI"), std::string::npos);
+  EXPECT_NE(report.find("achieved accuracy"), std::string::npos);
+  EXPECT_NE(report.find("ground truth"), std::string::npos);
+  EXPECT_NE(report.find("Level 1"), std::string::npos);
+  EXPECT_NE(report.find("2015"), std::string::npos);
+}
+
+TEST(Report, RenderIssuesEmptyIsCompliant) {
+  EXPECT_EQ(render_issues({}), "(compliant)\n");
+}
+
+TEST(Report, RenderIssuesListsRules) {
+  const std::vector<ValidationIssue> issues{
+      {"timing", "window too short"},
+      {"fraction", "too few nodes"},
+  };
+  const std::string out = render_issues(issues);
+  EXPECT_NE(out.find("[timing] window too short"), std::string::npos);
+  EXPECT_NE(out.find("[fraction] too few nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pv

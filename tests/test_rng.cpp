@@ -1,0 +1,129 @@
+// Unit tests for the xoshiro256** RNG wrapper.
+
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(SplitMix, KnownSequenceIsDeterministic) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(7, 3);
+  Rng b(7, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(7, 0);
+  Rng b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1, 0);
+  Rng b(2, 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double acc = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    ASSERT_GE(u, -5.0);
+    ASSERT_LT(u, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 1.0), contract_error);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(13);
+  constexpr std::uint64_t kRange = 7;
+  std::vector<int> counts(kRange, 0);
+  constexpr int kN = 70000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(kRange)];
+  for (std::uint64_t v = 0; v < kRange; ++v) {
+    // Expected 10000 each; 5 sigma ~ 470.
+    EXPECT_NEAR(counts[v], kN / static_cast<int>(kRange), 500) << "value " << v;
+  }
+  EXPECT_THROW(rng.uniform_index(0), contract_error);
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(23);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(100.0, 5.0);
+  EXPECT_NEAR(sum / kN, 100.0, 0.2);
+  EXPECT_THROW(rng.normal(0.0, -1.0), contract_error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), contract_error);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,176 @@
+// Unit tests for the paper's statistical core (Equations 1-5, Table 5, the
+// §4 worked examples, and the t-vs-z narrowing claim).
+
+#include "core/sample_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Equation1, TIntervalMatchesHandComputation) {
+  // n=4, mean=100, sd=2: half = t_{3,0.975} * 2 / 2 = 3.18245.
+  const Interval ci = t_confidence_interval(100.0, 2.0, 4, 0.05);
+  EXPECT_NEAR(ci.lo, 100.0 - 3.18244631, 1e-6);
+  EXPECT_NEAR(ci.hi, 100.0 + 3.18244631, 1e-6);
+}
+
+TEST(Equation2, ZIntervalMatchesHandComputation) {
+  const Interval ci = z_confidence_interval(100.0, 2.0, 4, 0.05);
+  EXPECT_NEAR(ci.hi - 100.0, 1.959963985, 1e-6);
+}
+
+TEST(Equation1, SampleOverloadAgreesWithSummaryStats) {
+  const std::vector<double> xs{98.0, 101.0, 99.5, 102.5, 97.0};
+  const Interval a = t_confidence_interval(xs, 0.05);
+  // Hand-compute: mean 99.6, sd = sqrt(19.3/4).
+  const double sd = std::sqrt((std::pow(98.0 - 99.6, 2) + std::pow(101.0 - 99.6, 2) +
+                               std::pow(99.5 - 99.6, 2) + std::pow(102.5 - 99.6, 2) +
+                               std::pow(97.0 - 99.6, 2)) /
+                              4.0);
+  const Interval b = t_confidence_interval(99.6, sd, 5, 0.05);
+  EXPECT_NEAR(a.lo, b.lo, 1e-9);
+  EXPECT_NEAR(a.hi, b.hi, 1e-9);
+}
+
+TEST(Equation4, InfinitePopulationFormula) {
+  // (1.959964 / 0.01 * 0.02)^2 = 15.366.
+  EXPECT_NEAR(required_sample_size_infinite(0.05, 0.01, 0.02), 15.3658, 1e-3);
+  // Quadruples when lambda halves.
+  EXPECT_NEAR(required_sample_size_infinite(0.05, 0.005, 0.02) /
+                  required_sample_size_infinite(0.05, 0.01, 0.02),
+              4.0, 1e-9);
+}
+
+TEST(Equation5, FinitePopulationCorrectionShrinksN) {
+  const double n0 = required_sample_size_infinite(0.05, 0.005, 0.05);
+  const std::size_t n = required_sample_size(0.05, 0.005, 0.05, 10000);
+  EXPECT_LT(static_cast<double>(n), n0 + 1.0);
+  // For tiny systems the requirement saturates near N.
+  EXPECT_EQ(required_sample_size(0.05, 0.005, 0.05, 100), 80u);
+}
+
+TEST(Table5, ExactReproduction) {
+  // The paper's Table 5 (N = 10000, alpha = 0.05):
+  //             cv=0.02  cv=0.03  cv=0.05
+  //   0.5%        62       137      370
+  //   1.0%        16        35       96
+  //   1.5%         7        16       43
+  //   2.0%         4         9       24
+  const auto table = sample_size_table(table5_lambdas(), table5_cvs(),
+                                       kTable5Nodes, 0.05);
+  const std::size_t expect[4][3] = {
+      {62, 137, 370}, {16, 35, 96}, {7, 16, 43}, {4, 9, 24}};
+  ASSERT_EQ(table.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(table[i].size(), 3u);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(table[i][j], expect[i][j]) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(Section4Intro, SmallSystemAccuracyExample) {
+  // 210-node system, cv = 2%, old 1/64 rule -> 4 nodes -> ~3.2% at 95%.
+  EXPECT_EQ(rule_1_64(210), 4u);
+  const double lambda = achievable_accuracy(0.05, 0.02, 4, 210);
+  EXPECT_NEAR(lambda, 0.032, 0.0005);
+}
+
+TEST(Section4Intro, LargeSystemAccuracyExample) {
+  // 18688-node system, cv = 2% -> 292 nodes -> ~0.2%.
+  EXPECT_EQ(rule_1_64(18688), 292u);
+  const double lambda = achievable_accuracy(0.05, 0.02, 292, 18688);
+  EXPECT_NEAR(lambda, 0.002, 0.0005);
+}
+
+TEST(AchievableAccuracy, OrderOfMagnitudeGapBetweenSystems) {
+  // The same methodology is an order of magnitude less accurate on the
+  // small system — the paper's §4 punchline.
+  const double small = achievable_accuracy(0.05, 0.02, rule_1_64(210), 210);
+  const double large =
+      achievable_accuracy(0.05, 0.02, rule_1_64(18688), 18688);
+  EXPECT_GT(small / large, 10.0);
+}
+
+TEST(AchievableAccuracy, FpcTightensTheBound) {
+  const double no_fpc =
+      achievable_accuracy(0.05, 0.02, 50, 100, /*use_t=*/true, /*fpc=*/false);
+  const double fpc =
+      achievable_accuracy(0.05, 0.02, 50, 100, /*use_t=*/true, /*fpc=*/true);
+  EXPECT_LT(fpc, no_fpc);
+  EXPECT_NEAR(fpc / no_fpc, std::sqrt(50.0 / 99.0), 1e-9);
+}
+
+TEST(Rules, Rule2015Floors) {
+  EXPECT_EQ(rule_2015(100), 16u);     // 10% = 10 < 16
+  EXPECT_EQ(rule_2015(160), 16u);
+  EXPECT_EQ(rule_2015(210), 21u);     // 10% wins
+  EXPECT_EQ(rule_2015(18688), 1869u);
+  EXPECT_EQ(rule_2015(10), 10u);      // capped at N
+}
+
+TEST(Conclusion, ElevenNodesSufficeAtCv25AndLambda15) {
+  // §6: cv ~ 0.025 and lambda = 1.5% -> at least 11 nodes "even for very
+  // large systems".
+  EXPECT_EQ(required_sample_size(0.05, 0.015, 0.025, 1000000), 11u);
+}
+
+TEST(TvsZ, NinePercentNarrowingAtN15) {
+  // §4.2: for n = 15, approximating t by z gives 95% CIs ~9% too narrow.
+  EXPECT_NEAR(z_vs_t_narrowing(15, 0.05), 0.0862, 0.002);
+  // The narrowing vanishes as n grows (t_{n-1} -> z).
+  EXPECT_LT(z_vs_t_narrowing(1000, 0.05), 0.002);
+  EXPECT_LT(z_vs_t_narrowing(1000, 0.05), z_vs_t_narrowing(100, 0.05));
+}
+
+TEST(TwoStepPilot, RecommendsFromPilotStatistics) {
+  // Pilot with cv exactly 2%: recommendation must match the direct formula.
+  Rng rng(5);
+  std::vector<double> pilot(200);
+  for (auto& x : pilot) x = rng.normal(500.0, 10.0);
+  const auto rec = two_step_pilot(pilot, 0.05, 0.01, 10000);
+  EXPECT_NEAR(rec.pilot_mean, 500.0, 3.0);
+  EXPECT_NEAR(rec.pilot_cv, 0.02, 0.004);
+  EXPECT_EQ(rec.recommended_n,
+            required_sample_size(0.05, 0.01, rec.pilot_cv, 10000));
+}
+
+TEST(TwoStepPilot, Guards) {
+  EXPECT_THROW(two_step_pilot(std::vector<double>{1.0}, 0.05, 0.01, 100),
+               contract_error);
+  const std::vector<double> constant{5.0, 5.0, 5.0};
+  EXPECT_THROW(two_step_pilot(constant, 0.05, 0.01, 100), contract_error);
+}
+
+TEST(SampleSize, MonotonicityProperties) {
+  // Required n grows with cv, shrinks with lambda, grows with confidence.
+  EXPECT_LE(required_sample_size(0.05, 0.01, 0.02, 10000),
+            required_sample_size(0.05, 0.01, 0.03, 10000));
+  EXPECT_GE(required_sample_size(0.05, 0.005, 0.02, 10000),
+            required_sample_size(0.05, 0.01, 0.02, 10000));
+  EXPECT_GE(required_sample_size(0.01, 0.01, 0.02, 10000),
+            required_sample_size(0.05, 0.01, 0.02, 10000));
+}
+
+TEST(SampleSize, DomainChecks) {
+  EXPECT_THROW(required_sample_size_infinite(0.0, 0.01, 0.02),
+               contract_error);
+  EXPECT_THROW(required_sample_size_infinite(0.05, 0.0, 0.02),
+               contract_error);
+  EXPECT_THROW(required_sample_size_infinite(0.05, 0.01, 0.0),
+               contract_error);
+  EXPECT_THROW(required_sample_size(0.05, 0.01, 0.02, 1), contract_error);
+  EXPECT_THROW(achievable_accuracy(0.05, 0.02, 1, 100), contract_error);
+  EXPECT_THROW(achievable_accuracy(0.05, 0.02, 101, 100), contract_error);
+  EXPECT_THROW(t_confidence_interval(0.0, 1.0, 1, 0.05), contract_error);
+  EXPECT_THROW(rule_1_64(0), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,105 @@
+// Unit tests for subset sampling — the machinery behind "measure a random
+// sample of nodes".
+
+#include "stats/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(SampleWithoutReplacement, ProducesDistinctInRangeIndices) {
+  Rng rng(1);
+  const auto idx = sample_without_replacement(rng, 100, 30);
+  EXPECT_EQ(idx.size(), 30u);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (std::size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(SampleWithoutReplacement, FullPopulationIsAPermutation) {
+  Rng rng(2);
+  auto idx = sample_without_replacement(rng, 50, 50);
+  std::sort(idx.begin(), idx.end());
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(idx[i], i);
+}
+
+TEST(SampleWithoutReplacement, KGreaterThanNThrows) {
+  Rng rng(3);
+  EXPECT_THROW(sample_without_replacement(rng, 5, 6), contract_error);
+}
+
+TEST(SampleWithoutReplacement, UniformInclusionProbability) {
+  // Each of 10 items should appear in a 3-of-10 sample with p = 0.3.
+  Rng rng(4);
+  std::vector<int> hits(10, 0);
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (std::size_t i : sample_without_replacement(rng, 10, 3)) ++hits[i];
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(hits[i] / static_cast<double>(kTrials), 0.3, 0.015)
+        << "item " << i;
+  }
+}
+
+TEST(SampleWithReplacement, InRangeAndCanRepeat) {
+  Rng rng(5);
+  const auto idx = sample_with_replacement(rng, 3, 1000);
+  EXPECT_EQ(idx.size(), 1000u);
+  for (std::size_t i : idx) EXPECT_LT(i, 3u);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 3u);  // with 1000 draws from 3, all appear
+  EXPECT_THROW(sample_with_replacement(rng, 0, 5), contract_error);
+}
+
+TEST(Gather, PicksValuesByIndex) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  const std::vector<std::size_t> idx{2, 0, 2};
+  const auto got = gather(xs, idx);
+  const std::vector<double> expect{30.0, 10.0, 30.0};
+  EXPECT_EQ(got, expect);
+  const std::vector<std::size_t> bad{3};
+  EXPECT_THROW(gather(xs, bad), contract_error);
+}
+
+TEST(Resample, DefaultsToInputSizeAndDrawsFromInput) {
+  Rng rng(6);
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto r = resample(rng, xs);
+  EXPECT_EQ(r.size(), xs.size());
+  for (double v : r) {
+    EXPECT_TRUE(v == 1.0 || v == 2.0 || v == 3.0);
+  }
+  const auto r10 = resample(rng, xs, 10);
+  EXPECT_EQ(r10.size(), 10u);
+  EXPECT_THROW(resample(rng, std::vector<double>{}), contract_error);
+}
+
+TEST(Shuffle, PreservesMultiset) {
+  Rng rng(7);
+  std::vector<std::size_t> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = xs;
+  shuffle(rng, copy);
+  auto sorted = copy;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, xs);
+}
+
+TEST(Shuffle, TinySpansAreNoops) {
+  Rng rng(8);
+  std::vector<std::size_t> one{42};
+  shuffle(rng, one);
+  EXPECT_EQ(one[0], 42u);
+  std::vector<std::size_t> empty;
+  shuffle(rng, empty);  // must not crash
+}
+
+}  // namespace
+}  // namespace pv

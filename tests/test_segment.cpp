@@ -1,0 +1,102 @@
+// Unit tests for run phases and methodology measurement windows.
+
+#include "trace/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+RunPhases typical_run() {
+  return RunPhases{minutes(10.0), hours(2.0), minutes(5.0)};
+}
+
+TEST(RunPhases, PhaseBoundaries) {
+  const RunPhases p = typical_run();
+  EXPECT_DOUBLE_EQ(p.total().value(), 600.0 + 7200.0 + 300.0);
+  EXPECT_DOUBLE_EQ(p.core_begin().value(), 600.0);
+  EXPECT_DOUBLE_EQ(p.core_end().value(), 7800.0);
+  EXPECT_DOUBLE_EQ(p.core_window().duration().value(), 7200.0);
+}
+
+TEST(RunPhases, CoreFractions) {
+  const RunPhases p = typical_run();
+  const TimeWindow first20 = p.core_fraction(0.0, 0.2);
+  EXPECT_DOUBLE_EQ(first20.begin.value(), 600.0);
+  EXPECT_DOUBLE_EQ(first20.end.value(), 600.0 + 1440.0);
+  const TimeWindow last20 = p.core_fraction(0.8, 1.0);
+  EXPECT_DOUBLE_EQ(last20.begin.value(), 600.0 + 5760.0);
+  EXPECT_DOUBLE_EQ(last20.end.value(), 7800.0);
+  EXPECT_THROW(p.core_fraction(0.5, 0.5), contract_error);
+  EXPECT_THROW(p.core_fraction(-0.1, 0.5), contract_error);
+}
+
+TEST(RunPhases, Middle80) {
+  const RunPhases p = typical_run();
+  const TimeWindow m = p.middle_80();
+  EXPECT_DOUBLE_EQ(m.begin.value(), 600.0 + 720.0);
+  EXPECT_DOUBLE_EQ(m.end.value(), 600.0 + 6480.0);
+}
+
+TEST(RunPhases, Level1MinimumDuration) {
+  // 20% of the middle 80% of 2 h = 0.2 * 5760 s = 1152 s.
+  EXPECT_DOUBLE_EQ(typical_run().level1_min_duration().value(), 1152.0);
+  // For a 4-minute core phase, the one-minute floor dominates:
+  // 0.2 * 0.8 * 240 = 38.4 s < 60 s.
+  const RunPhases shortrun{Seconds{0.0}, minutes(4.0), Seconds{0.0}};
+  EXPECT_DOUBLE_EQ(shortrun.level1_min_duration().value(), 60.0);
+}
+
+TEST(RunPhases, Level1WindowPlacement) {
+  const RunPhases p = typical_run();
+  const TimeWindow early = p.level1_window(0.0);
+  const TimeWindow late = p.level1_window(1.0);
+  const TimeWindow mid = p.level1_window(0.5);
+  const TimeWindow allowed = p.middle_80();
+  EXPECT_DOUBLE_EQ(early.begin.value(), allowed.begin.value());
+  EXPECT_DOUBLE_EQ(late.end.value(), allowed.end.value());
+  EXPECT_DOUBLE_EQ(early.duration().value(), 1152.0);
+  EXPECT_DOUBLE_EQ(late.duration().value(), 1152.0);
+  EXPECT_GT(mid.begin.value(), early.begin.value());
+  EXPECT_LT(mid.end.value(), late.end.value());
+  EXPECT_THROW(p.level1_window(1.5), contract_error);
+}
+
+TEST(RunPhases, Level1WindowTooShortCore) {
+  // Core phase of 60 s: middle 80% is 48 s < the 60 s minimum window.
+  const RunPhases p{Seconds{0.0}, Seconds{60.0}, Seconds{0.0}};
+  EXPECT_THROW(p.level1_window(0.5), contract_error);
+}
+
+TEST(RunPhases, Level2TenWindowsSpanCore) {
+  const RunPhases p = typical_run();
+  const auto windows = p.level2_windows();
+  ASSERT_EQ(windows.size(), 10u);
+  EXPECT_DOUBLE_EQ(windows.front().begin.value(), p.core_begin().value());
+  EXPECT_DOUBLE_EQ(windows.back().end.value(), p.core_end().value());
+  for (std::size_t i = 0; i + 1 < windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(windows[i].end.value(), windows[i + 1].begin.value());
+    EXPECT_NEAR(windows[i].duration().value(), 720.0, 1e-9);
+  }
+}
+
+TEST(DetectCorePhase, RecoversHighPowerRegion) {
+  // 100 samples: idle 100 W, core [20, 80) at 1000 W.
+  std::vector<double> w(100, 100.0);
+  for (std::size_t i = 20; i < 80; ++i) w[i] = 1000.0;
+  const PowerTrace trace(Seconds{0.0}, Seconds{1.0}, std::move(w));
+  const TimeWindow core = detect_core_phase(trace);
+  EXPECT_DOUBLE_EQ(core.begin.value(), 20.0);
+  EXPECT_DOUBLE_EQ(core.end.value(), 80.0);
+}
+
+TEST(DetectCorePhase, FlatTraceThrows) {
+  const PowerTrace trace(Seconds{0.0}, Seconds{1.0},
+                         std::vector<double>(50, 500.0));
+  EXPECT_THROW(detect_core_phase(trace), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,121 @@
+// Unit tests for the methodology specification (Table 1 + 2015 revision).
+
+#include "core/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Spec, Level1V12MatchesTable1) {
+  const auto s = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  EXPECT_FALSE(s.timing.full_core_phase);
+  EXPECT_DOUBLE_EQ(s.timing.min_fraction_of_middle80, 0.2);
+  EXPECT_DOUBLE_EQ(s.timing.min_duration.value(), 60.0);
+  EXPECT_DOUBLE_EQ(s.fraction.min_node_fraction, 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(s.fraction.min_measured_power.value(), 2000.0);
+  EXPECT_EQ(s.subsystems, SubsystemRule::kComputeOnly);
+  EXPECT_EQ(s.conversion, ConversionRule::kUpstreamOrVendorData);
+  EXPECT_FALSE(s.timing.integrated_energy_required);
+}
+
+TEST(Spec, Level2MatchesTable1) {
+  const auto s = MethodologySpec::get(Level::kL2, Revision::kV1_2);
+  EXPECT_TRUE(s.timing.full_core_phase);
+  EXPECT_DOUBLE_EQ(s.fraction.min_node_fraction, 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s.fraction.min_measured_power.value(), 10000.0);
+  EXPECT_EQ(s.subsystems, SubsystemRule::kMeasuredOrEstimated);
+  EXPECT_EQ(s.conversion, ConversionRule::kUpstreamOrOfflineData);
+}
+
+TEST(Spec, Level3MatchesTable1) {
+  const auto s = MethodologySpec::get(Level::kL3, Revision::kV1_2);
+  EXPECT_TRUE(s.timing.full_core_phase);
+  EXPECT_TRUE(s.timing.integrated_energy_required);
+  EXPECT_TRUE(s.fraction.whole_system);
+  EXPECT_EQ(s.subsystems, SubsystemRule::kMeasured);
+  EXPECT_EQ(s.conversion, ConversionRule::kUpstreamOrSimultaneous);
+}
+
+TEST(Spec, V2015RequiresFullCorePhaseAtAllLevels) {
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+    const auto s = MethodologySpec::get(level, Revision::kV2015);
+    EXPECT_TRUE(s.timing.full_core_phase) << to_string(level);
+  }
+}
+
+TEST(Spec, V2015Level1NodeRuleIsMax16Or10Percent) {
+  const auto s = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  EXPECT_DOUBLE_EQ(s.fraction.min_node_fraction, 0.10);
+  EXPECT_EQ(s.fraction.min_node_count, 16u);
+}
+
+TEST(Spec, RequiredNodeCountOldRule) {
+  const auto s = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  // §4 intro: 210 nodes -> 4; 18688 nodes -> 292.
+  EXPECT_EQ(s.required_node_count(210, Watts{600.0}), 4u);
+  EXPECT_EQ(s.required_node_count(18688, Watts{700.0}), 292u);
+}
+
+TEST(Spec, RequiredNodeCountPowerFloorDominatesForLowPowerNodes) {
+  const auto s = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  // 90 W nodes: 2 kW floor needs ceil(2000/90) = 23 nodes even when 1/64
+  // would allow fewer.
+  EXPECT_EQ(s.required_node_count(1000, Watts{90.0}), 23u);
+}
+
+TEST(Spec, RequiredNodeCountNewRule) {
+  const auto s = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  EXPECT_EQ(s.required_node_count(100, Watts{1000.0}), 16u);   // floor of 16
+  EXPECT_EQ(s.required_node_count(210, Watts{1000.0}), 21u);   // 10%
+  EXPECT_EQ(s.required_node_count(18688, Watts{1000.0}), 1869u);  // 10%
+  // Tiny system: clamped to N.
+  EXPECT_EQ(s.required_node_count(10, Watts{1000.0}), 10u);
+}
+
+TEST(Spec, Level3RequiresWholeSystem) {
+  const auto s = MethodologySpec::get(Level::kL3, Revision::kV1_2);
+  EXPECT_EQ(s.required_node_count(777, Watts{100.0}), 777u);
+}
+
+TEST(Spec, RequiredWindowDuration) {
+  const RunPhases run{Seconds{0.0}, hours(2.0), Seconds{0.0}};
+  const auto l1_old = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  EXPECT_DOUBLE_EQ(l1_old.required_window_duration(run).value(),
+                   0.2 * 0.8 * 7200.0);
+  const auto l1_new = MethodologySpec::get(Level::kL1, Revision::kV2015);
+  EXPECT_DOUBLE_EQ(l1_new.required_window_duration(run).value(), 7200.0);
+  // One-minute floor for very short runs under the old rules.
+  const RunPhases shortrun{Seconds{0.0}, minutes(5.0), Seconds{0.0}};
+  EXPECT_DOUBLE_EQ(l1_old.required_window_duration(shortrun).value(), 60.0);
+}
+
+TEST(Spec, DescribeMentionsEveryAspect) {
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+    const std::string d =
+        MethodologySpec::get(level, Revision::kV1_2).describe();
+    EXPECT_NE(d.find("timing"), std::string::npos);
+    EXPECT_NE(d.find("fraction"), std::string::npos);
+    EXPECT_NE(d.find("subsystems"), std::string::npos);
+    EXPECT_NE(d.find("conversion"), std::string::npos);
+  }
+}
+
+TEST(Spec, ToStringLabels) {
+  EXPECT_STREQ(to_string(Level::kL1), "Level 1");
+  EXPECT_STREQ(to_string(Level::kL3), "Level 3");
+  EXPECT_STREQ(to_string(Revision::kV1_2), "v1.2 (pre-2015)");
+}
+
+TEST(Spec, GuardsOnDegenerateInputs) {
+  const auto s = MethodologySpec::get(Level::kL1, Revision::kV1_2);
+  EXPECT_THROW(s.required_node_count(0, Watts{100.0}), contract_error);
+  EXPECT_THROW(s.required_node_count(10, Watts{0.0}), contract_error);
+  const RunPhases empty{};
+  EXPECT_THROW(s.required_window_duration(empty), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,152 @@
+// Unit tests for the special functions: normal CDF/quantile, incomplete
+// beta, and Student-t CDF/quantile.  Reference values from standard
+// statistical tables (checked against R's qnorm/qt/pbeta).
+
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Normal, PdfPeakAndSymmetry) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804, 1e-10);
+  EXPECT_DOUBLE_EQ(norm_pdf(1.5), norm_pdf(-1.5));
+}
+
+TEST(Normal, CdfReferenceValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(norm_cdf(1.0), 0.8413447461, 1e-9);
+  EXPECT_NEAR(norm_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(norm_cdf(-2.326347874), 0.01, 1e-9);
+  EXPECT_NEAR(norm_cdf(5.0), 0.9999997133, 1e-9);
+}
+
+TEST(Normal, QuantileReferenceValues) {
+  EXPECT_NEAR(norm_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(norm_quantile(0.975), 1.959963985, 1e-9);
+  EXPECT_NEAR(norm_quantile(0.995), 2.575829304, 1e-9);
+  EXPECT_NEAR(norm_quantile(0.9), 1.281551566, 1e-9);
+  EXPECT_NEAR(norm_quantile(0.025), -1.959963985, 1e-9);
+  EXPECT_NEAR(norm_quantile(1e-6), -4.753424309, 1e-7);
+}
+
+TEST(Normal, QuantileCdfRoundTrip) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(norm_cdf(norm_quantile(p)), p, 1e-13) << "p=" << p;
+  }
+}
+
+TEST(Normal, QuantileDomainChecks) {
+  EXPECT_THROW(norm_quantile(0.0), contract_error);
+  EXPECT_THROW(norm_quantile(1.0), contract_error);
+  EXPECT_THROW(norm_quantile(-0.5), contract_error);
+}
+
+TEST(Normal, ZCritical) {
+  EXPECT_NEAR(z_critical(0.05), 1.959963985, 1e-9);
+  EXPECT_NEAR(z_critical(0.01), 2.575829304, 1e-9);
+  EXPECT_NEAR(z_critical(0.20), 1.281551566, 1e-9);
+  EXPECT_THROW(z_critical(0.0), contract_error);
+}
+
+TEST(IncompleteBeta, ClosedFormCases) {
+  // I_x(1,1) = x.
+  for (double x : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12) << "x=" << x;
+  }
+  // I_x(2,2) = x^2 (3 - 2x).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), x * x * (3.0 - 2.0 * x), 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.05, 0.3, 0.7, 0.95}) {
+    EXPECT_NEAR(incomplete_beta(2.5, 4.0, x),
+                1.0 - incomplete_beta(4.0, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, ReferenceValue) {
+  // pbeta(0.4, 2, 5) in R = 0.76672.
+  EXPECT_NEAR(incomplete_beta(2.0, 5.0, 0.4), 0.76672, 1e-5);
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), contract_error);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), contract_error);
+}
+
+TEST(StudentT, CdfBasics) {
+  EXPECT_DOUBLE_EQ(t_cdf(0.0, 5.0), 0.5);
+  // Symmetry.
+  EXPECT_NEAR(t_cdf(1.3, 7.0) + t_cdf(-1.3, 7.0), 1.0, 1e-12);
+  // With nu=1 (Cauchy): F(1) = 0.75.
+  EXPECT_NEAR(t_cdf(1.0, 1.0), 0.75, 1e-9);
+}
+
+TEST(StudentT, CdfApproachesNormalForLargeNu) {
+  for (double x : {-2.0, -0.5, 0.7, 1.96}) {
+    EXPECT_NEAR(t_cdf(x, 1e6), norm_cdf(x), 1e-5) << "x=" << x;
+  }
+}
+
+TEST(StudentT, QuantileReferenceValues) {
+  // qt(0.975, df): 12.7062, 4.302653, 3.182446, 2.570582, 2.228139,
+  // 2.144787, 2.085963, 1.983972.
+  EXPECT_NEAR(t_quantile(0.975, 1.0), 12.7062047, 1e-5);
+  EXPECT_NEAR(t_quantile(0.975, 2.0), 4.30265273, 1e-7);
+  EXPECT_NEAR(t_quantile(0.975, 3.0), 3.18244631, 1e-7);
+  EXPECT_NEAR(t_quantile(0.975, 5.0), 2.57058184, 1e-7);
+  EXPECT_NEAR(t_quantile(0.975, 10.0), 2.22813885, 1e-7);
+  EXPECT_NEAR(t_quantile(0.975, 14.0), 2.14478669, 1e-7);
+  EXPECT_NEAR(t_quantile(0.975, 20.0), 2.08596345, 1e-7);
+  EXPECT_NEAR(t_quantile(0.975, 100.0), 1.98397152, 1e-7);
+}
+
+TEST(StudentT, QuantileOtherLevels) {
+  EXPECT_NEAR(t_quantile(0.9, 4.0), 1.53320627, 1e-7);    // qt(0.9, 4)
+  EXPECT_NEAR(t_quantile(0.995, 9.0), 3.24983554, 1e-7);  // qt(0.995, 9)
+  EXPECT_NEAR(t_quantile(0.5, 3.0), 0.0, 1e-12);
+  EXPECT_NEAR(t_quantile(0.025, 7.0), -t_quantile(0.975, 7.0), 1e-9);
+}
+
+TEST(StudentT, QuantileCdfRoundTrip) {
+  for (double nu : {1.0, 2.0, 4.0, 14.0, 291.0}) {
+    for (double p : {0.01, 0.1, 0.4, 0.6, 0.9, 0.99}) {
+      EXPECT_NEAR(t_cdf(t_quantile(p, nu), nu), p, 1e-10)
+          << "nu=" << nu << " p=" << p;
+    }
+  }
+}
+
+TEST(StudentT, CriticalValueForPaperExamples) {
+  // §4 intro: 4 of 210 nodes -> t_{3,0.975} = 3.1824; 292 of 18688 nodes
+  // -> t_{291,0.975} ~ 1.9681.
+  EXPECT_NEAR(t_critical(0.05, 3.0), 3.18244631, 1e-7);
+  EXPECT_NEAR(t_critical(0.05, 291.0), 1.96807, 1e-4);
+}
+
+TEST(StudentT, PdfIntegratesToCdf) {
+  // Midpoint integration of the pdf on [-4, 1.2] vs cdf difference.
+  const double nu = 6.0;
+  double acc = 0.0;
+  const double a = -4.0, b = 1.2;
+  const int n = 20000;
+  const double h = (b - a) / n;
+  for (int i = 0; i < n; ++i) acc += t_pdf(a + (i + 0.5) * h, nu) * h;
+  EXPECT_NEAR(acc, t_cdf(b, nu) - t_cdf(a, nu), 1e-6);
+}
+
+TEST(StudentT, DomainChecks) {
+  EXPECT_THROW(t_cdf(1.0, 0.0), contract_error);
+  EXPECT_THROW(t_quantile(0.0, 5.0), contract_error);
+  EXPECT_THROW(t_quantile(0.5, -1.0), contract_error);
+  EXPECT_THROW(t_critical(1.0, 5.0), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

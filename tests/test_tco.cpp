@@ -1,0 +1,77 @@
+// Tests for the TCO energy-cost projection.
+
+#include "core/tco.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Tco, HandComputedProjection) {
+  // 1 MW, PUE 1.0, 100% duty, 1 year, 0.10/kWh:
+  // 1000 kW * 8766 h * 0.10 = 876,600.
+  TcoParams p;
+  p.electricity_cost_per_kwh = 0.10;
+  p.pue = 1.0;
+  p.duty_cycle = 1.0;
+  p.years = 1.0;
+  const TcoEstimate est = project_energy_cost(megawatts(1.0), 0.0, p);
+  EXPECT_NEAR(est.annual_energy_cost, 876600.0, 1e-6);
+  EXPECT_NEAR(est.lifetime_energy_cost, 876600.0, 1e-6);
+  EXPECT_DOUBLE_EQ(est.lifetime_cost_ci.lo, est.lifetime_cost_ci.hi);
+}
+
+TEST(Tco, PueAndDutyCycleScaleLinearly) {
+  TcoParams base;
+  base.pue = 1.0;
+  base.duty_cycle = 1.0;
+  TcoParams facility = base;
+  facility.pue = 1.5;
+  facility.duty_cycle = 0.8;
+  const double a =
+      project_energy_cost(kilowatts(100.0), 0.0, base).annual_energy_cost;
+  const double b =
+      project_energy_cost(kilowatts(100.0), 0.0, facility).annual_energy_cost;
+  EXPECT_NEAR(b / a, 1.5 * 0.8, 1e-12);
+}
+
+TEST(Tco, MeasurementAccuracyPropagatesToCost) {
+  // §1: a 20% power variation is a 20% electricity-cost variation.
+  const TcoEstimate est =
+      project_energy_cost(megawatts(2.0), 0.20, TcoParams{});
+  EXPECT_NEAR(est.lifetime_cost_ci.hi / est.lifetime_energy_cost, 1.20, 1e-12);
+  EXPECT_NEAR(est.lifetime_cost_ci.lo / est.lifetime_energy_cost, 0.80, 1e-12);
+  EXPECT_NEAR(est.lifetime_cost_ci.width(), 0.4 * est.lifetime_energy_cost,
+              1e-6);
+}
+
+TEST(Tco, CostPerAccuracyPoint) {
+  const TcoEstimate est =
+      project_energy_cost(megawatts(1.0), 0.05, TcoParams{});
+  EXPECT_NEAR(est.cost_per_accuracy_point, est.lifetime_energy_cost * 0.01,
+              1e-9);
+  // 5 points of accuracy are worth 5x one point.
+  EXPECT_NEAR(0.5 * est.lifetime_cost_ci.width(),
+              5.0 * est.cost_per_accuracy_point, 1e-6);
+}
+
+TEST(Tco, DomainChecks) {
+  EXPECT_THROW(project_energy_cost(Watts{0.0}, 0.0, TcoParams{}),
+               contract_error);
+  EXPECT_THROW(project_energy_cost(Watts{100.0}, 1.0, TcoParams{}),
+               contract_error);
+  TcoParams bad;
+  bad.pue = 0.9;
+  EXPECT_THROW(project_energy_cost(Watts{100.0}, 0.0, bad), contract_error);
+  bad = TcoParams{};
+  bad.duty_cycle = 0.0;
+  EXPECT_THROW(project_energy_cost(Watts{100.0}, 0.0, bad), contract_error);
+  bad = TcoParams{};
+  bad.years = -1.0;
+  EXPECT_THROW(project_energy_cost(Watts{100.0}, 0.0, bad), contract_error);
+}
+
+}  // namespace
+}  // namespace pv

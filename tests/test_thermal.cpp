@@ -1,0 +1,95 @@
+// Unit tests for the thermal model and fan controller.
+
+#include "sim/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+ThermalSpec spec_75c() {
+  ThermalSpec t;
+  t.target_temp = celsius(75.0);
+  t.r_th_ref = 0.05;
+  t.nominal_inlet = celsius(22.0);
+  return t;
+}
+
+TEST(AutoFan, SolvesForSetpoint) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{120.0, 0.2};
+  // heat * r / speed = headroom => speed = 500 * 0.05 / 50 = 0.5.
+  const double speed = auto_fan_speed(thermal, fan, Watts{500.0},
+                                      celsius(25.0));
+  EXPECT_NEAR(speed, 0.5, 1e-12);
+}
+
+TEST(AutoFan, ClampsToFloorAndCeiling) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{120.0, 0.3};
+  // Tiny heat: controller floor.
+  EXPECT_DOUBLE_EQ(auto_fan_speed(thermal, fan, Watts{10.0}, celsius(22.0)),
+                   0.3);
+  // Huge heat: pegged at full speed.
+  EXPECT_DOUBLE_EQ(auto_fan_speed(thermal, fan, Watts{5000.0}, celsius(22.0)),
+                   1.0);
+}
+
+TEST(AutoFan, HotterInletNeedsFasterFans) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{120.0, 0.2};
+  const double cool = auto_fan_speed(thermal, fan, Watts{600.0}, celsius(20.0));
+  const double warm = auto_fan_speed(thermal, fan, Watts{600.0}, celsius(28.0));
+  EXPECT_GT(warm, cool);
+}
+
+TEST(AutoFan, InletAboveSetpointIsRejected) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{120.0, 0.2};
+  EXPECT_THROW(auto_fan_speed(thermal, fan, Watts{100.0}, celsius(80.0)),
+               contract_error);
+  EXPECT_THROW(auto_fan_speed(thermal, fan, Watts{-1.0}, celsius(22.0)),
+               contract_error);
+}
+
+TEST(SolveThermal, AutoHoldsTemperatureAtOrBelowTarget) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{120.0, 0.2};
+  const ThermalState st = solve_thermal(thermal, fan, FanPolicy::automatic(),
+                                        Watts{700.0}, celsius(24.0));
+  EXPECT_LE(st.component_temp.value(), 75.0 + 1e-9);
+  EXPECT_GT(st.fan_power_w.value(), 0.0);
+}
+
+TEST(SolveThermal, PinnedModeUsesRequestedSpeed) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{120.0, 0.2};
+  const ThermalState st = solve_thermal(thermal, fan, FanPolicy::pinned(0.4),
+                                        Watts{300.0}, celsius(22.0));
+  EXPECT_DOUBLE_EQ(st.fan_speed, 0.4);
+  EXPECT_NEAR(st.component_temp.value(), 22.0 + 300.0 * 0.05 / 0.4, 1e-9);
+  EXPECT_NEAR(st.fan_power_w.value(), 120.0 * 0.064, 1e-9);
+}
+
+TEST(SolveThermal, PinnedBelowFloorIsRaisedToFloor) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{120.0, 0.35};
+  const ThermalState st = solve_thermal(thermal, fan, FanPolicy::pinned(0.1),
+                                        Watts{300.0}, celsius(22.0));
+  EXPECT_DOUBLE_EQ(st.fan_speed, 0.35);
+}
+
+TEST(SolveThermal, MoreHeatMoreFanPowerUnderAuto) {
+  const ThermalSpec thermal = spec_75c();
+  const FanSpec fan{200.0, 0.2};
+  const auto low = solve_thermal(thermal, fan, FanPolicy::automatic(),
+                                 Watts{400.0}, celsius(24.0));
+  const auto high = solve_thermal(thermal, fan, FanPolicy::automatic(),
+                                  Watts{900.0}, celsius(24.0));
+  EXPECT_GT(high.fan_power_w.value(), low.fan_power_w.value());
+}
+
+}  // namespace
+}  // namespace pv

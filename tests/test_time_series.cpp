@@ -1,0 +1,125 @@
+// Unit tests for PowerTrace: window statistics, energy integration,
+// alignment arithmetic.
+
+#include "trace/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+PowerTrace ramp_trace() {
+  // 10 samples of 1 s: 0, 10, ..., 90 W.
+  std::vector<double> w(10);
+  for (std::size_t i = 0; i < 10; ++i) w[i] = 10.0 * static_cast<double>(i);
+  return PowerTrace(Seconds{0.0}, Seconds{1.0}, std::move(w));
+}
+
+TEST(PowerTrace, BasicAccessors) {
+  const PowerTrace t = ramp_trace();
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_DOUBLE_EQ(t.duration().value(), 10.0);
+  EXPECT_DOUBLE_EQ(t.t_end().value(), 10.0);
+  EXPECT_DOUBLE_EQ(t.watt_at(3), 30.0);
+  EXPECT_DOUBLE_EQ(t.time_at(3).value(), 3.0);
+  EXPECT_THROW(t.watt_at(10), contract_error);
+}
+
+TEST(PowerTrace, WholeTraceStatistics) {
+  const PowerTrace t = ramp_trace();
+  EXPECT_DOUBLE_EQ(t.mean_power().value(), 45.0);
+  EXPECT_DOUBLE_EQ(t.energy().value(), 450.0);
+  EXPECT_DOUBLE_EQ(t.min_power().value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.max_power().value(), 90.0);
+}
+
+TEST(PowerTrace, WindowMeanOnSampleBoundaries) {
+  const PowerTrace t = ramp_trace();
+  // [2, 5): samples 20, 30, 40 -> mean 30.
+  EXPECT_DOUBLE_EQ(t.mean_power({Seconds{2.0}, Seconds{5.0}}).value(), 30.0);
+  EXPECT_DOUBLE_EQ(t.energy({Seconds{2.0}, Seconds{5.0}}).value(), 90.0);
+}
+
+TEST(PowerTrace, FractionalWindowWeighting) {
+  const PowerTrace t = ramp_trace();
+  // [2.5, 3.5): half of sample 2 (20 W) + half of sample 3 (30 W) = 25 W.
+  EXPECT_NEAR(t.mean_power({Seconds{2.5}, Seconds{3.5}}).value(), 25.0, 1e-12);
+  // Window inside one sample.
+  EXPECT_NEAR(t.mean_power({Seconds{4.25}, Seconds{4.75}}).value(), 40.0, 1e-12);
+}
+
+TEST(PowerTrace, WindowClippedToTraceExtent) {
+  const PowerTrace t = ramp_trace();
+  // [-5, 2) clips to [0, 2): mean of 0 and 10.
+  EXPECT_NEAR(t.mean_power({Seconds{-5.0}, Seconds{2.0}}).value(), 5.0, 1e-12);
+  // Entirely outside throws.
+  EXPECT_THROW(t.mean_power({Seconds{20.0}, Seconds{30.0}}), contract_error);
+  EXPECT_THROW(t.mean_power({Seconds{3.0}, Seconds{3.0}}), contract_error);
+}
+
+TEST(PowerTrace, FromFunctionSamplesMidpoints) {
+  const PowerTrace t = PowerTrace::from_function(
+      Seconds{0.0}, Seconds{2.0}, 3, [](double tt) { return tt; });
+  EXPECT_DOUBLE_EQ(t.watt_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.watt_at(1), 3.0);
+  EXPECT_DOUBLE_EQ(t.watt_at(2), 5.0);
+}
+
+TEST(PowerTrace, AdditionRequiresAlignment) {
+  const PowerTrace a = ramp_trace();
+  const PowerTrace b = ramp_trace();
+  const PowerTrace sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.mean_power().value(), 90.0);
+  const PowerTrace offset(Seconds{1.0}, Seconds{1.0},
+                          std::vector<double>(10, 1.0));
+  EXPECT_THROW(a + offset, contract_error);
+  const PowerTrace shorter(Seconds{0.0}, Seconds{1.0},
+                           std::vector<double>(5, 1.0));
+  EXPECT_THROW(a + shorter, contract_error);
+}
+
+TEST(PowerTrace, ScalingForExtrapolation) {
+  const PowerTrace t = ramp_trace();
+  const PowerTrace scaled = t.scaled(64.0);
+  EXPECT_DOUBLE_EQ(scaled.mean_power().value(), 45.0 * 64.0);
+  EXPECT_THROW(t.scaled(0.0), contract_error);
+}
+
+TEST(PowerTrace, DecimationAveragesGroups) {
+  const PowerTrace t = ramp_trace();
+  const PowerTrace d = t.decimated(2);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d.dt().value(), 2.0);
+  EXPECT_DOUBLE_EQ(d.watt_at(0), 5.0);   // (0+10)/2
+  EXPECT_DOUBLE_EQ(d.watt_at(4), 85.0);  // (80+90)/2
+  // Mean power is preserved by decimation.
+  EXPECT_DOUBLE_EQ(d.mean_power().value(), t.mean_power().value());
+  EXPECT_THROW(t.decimated(11), contract_error);
+}
+
+TEST(PowerTrace, DecimationByOneIsIdentity) {
+  const PowerTrace t = ramp_trace();
+  const PowerTrace d = t.decimated(1);
+  EXPECT_EQ(d.size(), t.size());
+  EXPECT_DOUBLE_EQ(d.watt_at(7), t.watt_at(7));
+}
+
+TEST(PowerTrace, ConstructionGuards) {
+  EXPECT_THROW(PowerTrace(Seconds{0.0}, Seconds{0.0}, {1.0}), contract_error);
+  EXPECT_THROW(PowerTrace(Seconds{0.0}, Seconds{1.0}, {}), contract_error);
+}
+
+TEST(TimeWindow, Basics) {
+  const TimeWindow w{Seconds{2.0}, Seconds{5.0}};
+  EXPECT_TRUE(w.valid());
+  EXPECT_DOUBLE_EQ(w.duration().value(), 3.0);
+  const TimeWindow bad{Seconds{5.0}, Seconds{5.0}};
+  EXPECT_FALSE(bad.valid());
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,76 @@
+// Tests for trace CSV import/export.
+
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace pv {
+namespace {
+
+PowerTrace sample_trace() {
+  Rng rng(1);
+  std::vector<double> w(50);
+  for (auto& v : w) v = 400.0 + rng.uniform(0.0, 100.0);
+  return PowerTrace(Seconds{120.0}, Seconds{2.0}, std::move(w));
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const PowerTrace original = sample_trace();
+  const std::string path = ::testing::TempDir() + "/pv_trace_roundtrip.csv";
+  save_trace_csv(original, path);
+  const PowerTrace loaded = load_trace_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.t0().value(), 120.0);
+  EXPECT_DOUBLE_EQ(loaded.dt().value(), 2.0);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_DOUBLE_EQ(loaded.watt_at(i), original.watt_at(i)) << "i=" << i;
+  }
+  EXPECT_DOUBLE_EQ(loaded.mean_power().value(),
+                   original.mean_power().value());
+}
+
+TEST(TraceIo, ParsesMinimalText) {
+  const PowerTrace t = parse_trace_csv(
+      "t_s,power_w\n0,100\n1,110\n2,120\n");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.dt().value(), 1.0);
+  EXPECT_DOUBLE_EQ(t.watt_at(2), 120.0);
+}
+
+TEST(TraceIo, ToleratesWindowsLineEndingsAndBlankLines) {
+  const PowerTrace t = parse_trace_csv(
+      "t_s,power_w\r\n0,100\r\n\r\n1,110\r\n");
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  EXPECT_THROW(parse_trace_csv("h\n0,100\nnot-a-number,5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace_csv("h\n0,100\n"), std::runtime_error);  // 1 sample
+  EXPECT_THROW(parse_trace_csv("h\n"), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonUniformSampling) {
+  EXPECT_THROW(parse_trace_csv("h\n0,1\n1,1\n5,1\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace_csv("h\n0,1\n0,1\n0,1\n"), std::runtime_error);
+}
+
+TEST(TraceIo, ToleratesSmallTimestampJitter) {
+  // 0.5% jitter snaps to the median interval.
+  const PowerTrace t = parse_trace_csv(
+      "h\n0,1\n1.002,2\n2.000,3\n2.999,4\n");
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_NEAR(t.dt().value(), 1.0, 0.01);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv("/nonexistent/definitely/missing.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,142 @@
+// Tests for the transient thermal/fan node simulation.
+
+#include "sim/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/catalog.hpp"
+#include "util/expects.hpp"
+#include "workload/profiles.hpp"
+
+namespace pv {
+namespace {
+
+NodeInstance lcsc_node(std::uint64_t stream = 0) {
+  Rng rng(400, stream);
+  return NodeInstance(catalog::lcsc_node_spec(), rng);
+}
+
+TEST(Transient, SettlesNearTheSetpointUnderAutoFans) {
+  const NodeInstance node = lcsc_node();
+  const TransientNodeSim sim(node, NodeSettings::defaults(),
+                             TransientConfig{});
+  const TransientState settled = sim.settle(1.0);
+  // The controller holds the component at (or as close as full fans allow
+  // to) the 72 C target.
+  EXPECT_LE(settled.component_temp.value(),
+            node.spec().thermal.target_temp.value() + 2.0);
+  EXPECT_GT(settled.component_temp.value(), node.inlet().value());
+  EXPECT_GT(settled.fan_speed, node.spec().fan.min_speed);
+}
+
+TEST(Transient, SteadyPowerTracksTheAlgebraicSolveWithinLeakageLoop) {
+  // The transient model adds the temperature-leakage feedback the
+  // steady-state solve linearizes away; at settle they agree within a few
+  // percent.
+  const NodeInstance node = lcsc_node();
+  TransientNodeSim sim(node, NodeSettings::defaults(), TransientConfig{});
+  TransientState st = sim.settle(1.0);
+  const double transient_power = sim.step(st, 1.0).value();
+  const double algebraic_power =
+      node.dc_power(1.0, NodeSettings::defaults()).value();
+  EXPECT_NEAR(transient_power / algebraic_power, 1.0, 0.25);
+  EXPECT_GT(transient_power, algebraic_power);  // hot die leaks more
+}
+
+TEST(Transient, ColdStartRampsPowerUpward) {
+  // §3: warm-up — a cold node under constant load draws less at t=0 than
+  // at steady state (leakage grows with temperature).
+  const NodeInstance node = lcsc_node();
+  TransientNodeSim sim(node, NodeSettings::defaults(), TransientConfig{});
+  const FirestarterWorkload flat(minutes(30.0), 1.0, Seconds{0.0},
+                                 Seconds{0.0});
+  const PowerTrace trace = sim.simulate(flat);
+  const double first_min =
+      trace.mean_power({Seconds{0.0}, Seconds{60.0}}).value();
+  const double last_min = trace
+                              .mean_power({trace.t_end() - Seconds{60.0},
+                                           trace.t_end()})
+                              .value();
+  EXPECT_LT(first_min, last_min);
+  // The ramp is a few percent, not a factor.
+  EXPECT_GT(first_min, 0.8 * last_min);
+}
+
+TEST(Transient, WarmupTimeScalesWithThermalCapacity) {
+  const NodeInstance node = lcsc_node();
+  const auto time_to_90pct = [&](double capacity) {
+    TransientConfig cfg;
+    cfg.thermal_capacity_j_per_k = capacity;
+    TransientNodeSim sim(node, NodeSettings::defaults(), cfg);
+    const FirestarterWorkload flat(minutes(60.0), 1.0, Seconds{0.0},
+                                   Seconds{0.0});
+    const PowerTrace trace = sim.simulate(flat);
+    const double target = node.inlet().value() +
+                          0.9 * (sim.settle(1.0).component_temp.value() -
+                                 node.inlet().value());
+    TransientState st;
+    st.component_temp = node.inlet();
+    st.fan_speed = node.spec().fan.min_speed;
+    std::size_t steps = 0;
+    while (st.component_temp.value() < target && steps < 100000) {
+      (void)sim.step(st, 1.0);
+      ++steps;
+    }
+    return steps;
+  };
+  EXPECT_GT(time_to_90pct(8000.0), 1.5 * time_to_90pct(2000.0));
+}
+
+TEST(Transient, PinnedFansSkipControllerDynamics) {
+  const NodeInstance node = lcsc_node();
+  NodeSettings pinned = NodeSettings::defaults();
+  pinned.fan_policy = FanPolicy::pinned(0.6);
+  TransientNodeSim sim(node, pinned, TransientConfig{});
+  TransientState st = sim.settle(0.8);
+  EXPECT_NEAR(st.fan_speed, 0.6, 1e-6);
+}
+
+TEST(Transient, TraceCoversWorkloadRuntime) {
+  const NodeInstance node = lcsc_node();
+  TransientConfig cfg;
+  cfg.dt = Seconds{2.0};
+  TransientNodeSim sim(node, NodeSettings::defaults(), cfg);
+  const FirestarterWorkload w(minutes(10.0), 1.0, minutes(1.0),
+                              Seconds{30.0});
+  const PowerTrace trace = sim.simulate(w);
+  EXPECT_NEAR(trace.duration().value(), w.phases().total().value(), 2.0);
+  // Setup phase draws visibly less than the core phase.
+  EXPECT_LT(trace.watt_at(3),
+            trace.mean_power({minutes(5.0), minutes(6.0)}).value());
+}
+
+TEST(Transient, ConfigValidation) {
+  const NodeInstance node = lcsc_node();
+  TransientConfig bad;
+  bad.dt = Seconds{0.0};
+  EXPECT_THROW(TransientNodeSim(node, NodeSettings::defaults(), bad),
+               contract_error);
+  bad = TransientConfig{};
+  bad.thermal_capacity_j_per_k = -1.0;
+  EXPECT_THROW(TransientNodeSim(node, NodeSettings::defaults(), bad),
+               contract_error);
+  bad = TransientConfig{};
+  bad.fan_lag = Seconds{0.0};
+  EXPECT_THROW(TransientNodeSim(node, NodeSettings::defaults(), bad),
+               contract_error);
+}
+
+TEST(TemperatureLeakage, HotterDieDrawsMoreStaticPower) {
+  const NodeInstance node = lcsc_node();
+  const NodeSettings s = NodeSettings::defaults();
+  const double cool =
+      node.heat_load_at_temp(1.0, s, celsius(25.0)).value();
+  const double hot = node.heat_load_at_temp(1.0, s, celsius(75.0)).value();
+  EXPECT_GT(hot, cool * 1.05);
+  EXPECT_LT(hot, cool * 1.6);
+}
+
+}  // namespace
+}  // namespace pv

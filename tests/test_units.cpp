@@ -1,0 +1,92 @@
+// Unit tests for util/units.hpp: strong quantity types.
+
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pv {
+namespace {
+
+TEST(Units, FactoriesScaleToBaseSi) {
+  EXPECT_DOUBLE_EQ(kilowatts(398.7).value(), 398700.0);
+  EXPECT_DOUBLE_EQ(megawatts(11.5).value(), 11.5e6);
+  EXPECT_DOUBLE_EQ(hours(1.5).value(), 5400.0);
+  EXPECT_DOUBLE_EQ(minutes(1.0).value(), 60.0);
+  EXPECT_DOUBLE_EQ(kilowatt_hours(1.0).value(), 3.6e6);
+  EXPECT_DOUBLE_EQ(megahertz(774.0).value(), 774e6);
+  EXPECT_DOUBLE_EQ(millivolts(1018.0).value(), 1.018);
+  EXPECT_DOUBLE_EQ(teraflops(2.53).value(), 2.53e12);
+}
+
+TEST(Units, SameDimensionArithmetic) {
+  const Watts a = watts(100.0);
+  const Watts b = watts(40.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 140.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 60.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((3.0 * b).value(), 120.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);  // dimensionless ratio
+  EXPECT_DOUBLE_EQ((-a).value(), -100.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Watts w = watts(10.0);
+  w += watts(5.0);
+  EXPECT_DOUBLE_EQ(w.value(), 15.0);
+  w -= watts(3.0);
+  EXPECT_DOUBLE_EQ(w.value(), 12.0);
+  w *= 2.0;
+  EXPECT_DOUBLE_EQ(w.value(), 24.0);
+  w /= 4.0;
+  EXPECT_DOUBLE_EQ(w.value(), 6.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(watts(1.0), watts(2.0));
+  EXPECT_GE(kilowatts(1.0), watts(1000.0));
+  EXPECT_EQ(hours(1.0), minutes(60.0));
+}
+
+TEST(Units, PowerTimeEnergyRelations) {
+  const Joules e = kilowatts(2.0) * hours(3.0);
+  EXPECT_DOUBLE_EQ(e.value(), kilowatt_hours(6.0).value());
+  EXPECT_DOUBLE_EQ((e / hours(3.0)).value(), 2000.0);   // back to watts
+  EXPECT_DOUBLE_EQ((e / kilowatts(2.0)).value(), 3.0 * 3600.0);  // seconds
+  EXPECT_DOUBLE_EQ((hours(3.0) * kilowatts(2.0)).value(), e.value());
+}
+
+TEST(Units, EfficiencyMetrics) {
+  EXPECT_DOUBLE_EQ(flops_per_watt(gigaflops(5000.0), kilowatts(1.0)), 5e12 / 1000.0);
+  EXPECT_DOUBLE_EQ(gflops_per_watt(gigaflops(5270.0), kilowatts(1.0)), 5.27);
+}
+
+TEST(Units, ToStringPicksSiPrefix) {
+  EXPECT_EQ(to_string(megawatts(11.5)), "11.5 MW");
+  EXPECT_EQ(to_string(kilowatts(398.7)), "398.7 kW");
+  EXPECT_EQ(to_string(watts(90.74)), "90.74 W");
+  EXPECT_EQ(to_string(watts(0.5)), "500 mW");
+  EXPECT_EQ(to_string(watts(0.0)), "0 W");
+}
+
+TEST(Units, DurationFormatting) {
+  EXPECT_EQ(to_string(hours(28.0)), "28 h");
+  EXPECT_EQ(to_string(minutes(5.0)), "5 min");
+  EXPECT_EQ(to_string(seconds(42.0)), "42 s");
+}
+
+TEST(Units, StreamInsertion) {
+  std::ostringstream os;
+  os << kilowatts(59.1) << " / " << hours(1.5);
+  EXPECT_EQ(os.str(), "59.1 kW / 1.5 h");
+}
+
+TEST(Units, FlopsFormatting) {
+  EXPECT_EQ(to_string(petaflops(17.59)), "17.59 PFLOPS");
+  EXPECT_EQ(to_string(gigaflops(2530.0)), "2.53 TFLOPS");
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,91 @@
+// Unit tests for the sliding-window search behind the gaming analysis.
+
+#include "trace/window_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+PowerTrace vee_trace() {
+  // 100 samples: power dips to a minimum at t=60.
+  std::vector<double> w(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    w[i] = 100.0 + std::fabs(static_cast<double>(i) - 60.0);
+  }
+  return PowerTrace(Seconds{0.0}, Seconds{1.0}, std::move(w));
+}
+
+TEST(WindowSelect, FindsMinimumAroundTheDip) {
+  const PowerTrace t = vee_trace();
+  const TimeWindow bounds{Seconds{0.0}, Seconds{100.0}};
+  const WindowAverage best = min_average_window(t, bounds, Seconds{10.0});
+  // The cheapest 10 s window is centered on the dip at t=60.
+  EXPECT_NEAR(best.window.begin.value(), 55.0, 1.01);
+  EXPECT_LT(best.mean.value(), 103.0);
+}
+
+TEST(WindowSelect, FindsMaximumAtTheEdge) {
+  const PowerTrace t = vee_trace();
+  const TimeWindow bounds{Seconds{0.0}, Seconds{100.0}};
+  const WindowAverage worst = max_average_window(t, bounds, Seconds{10.0});
+  // The most expensive window hugs the left edge (power 160 down to 150).
+  EXPECT_DOUBLE_EQ(worst.window.begin.value(), 0.0);
+}
+
+TEST(WindowSelect, SweepCoversAllPlacements) {
+  const PowerTrace t = vee_trace();
+  const TimeWindow bounds{Seconds{10.0}, Seconds{90.0}};
+  const auto sweep = sweep_windows(t, bounds, Seconds{20.0});
+  // Placements 10..70 step 1 -> 61 windows.
+  EXPECT_EQ(sweep.size(), 61u);
+  EXPECT_DOUBLE_EQ(sweep.front().window.begin.value(), 10.0);
+  EXPECT_NEAR(sweep.back().window.end.value(), 90.0, 1e-9);
+  for (const auto& wa : sweep) {
+    EXPECT_NEAR(wa.window.duration().value(), 20.0, 1e-9);
+  }
+}
+
+TEST(WindowSelect, WindowEqualToBoundsIsSinglePlacement) {
+  const PowerTrace t = vee_trace();
+  const TimeWindow bounds{Seconds{20.0}, Seconds{50.0}};
+  const auto sweep = sweep_windows(t, bounds, Seconds{30.0});
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_DOUBLE_EQ(sweep[0].mean.value(),
+                   t.mean_power({Seconds{20.0}, Seconds{50.0}}).value());
+}
+
+TEST(WindowSelect, MisalignedFinalPlacementIncluded) {
+  const PowerTrace t = vee_trace();
+  // Bounds of width 15.5 with window 10: final placement at 5.5 exactly.
+  const TimeWindow bounds{Seconds{0.0}, Seconds{15.5}};
+  const auto sweep = sweep_windows(t, bounds, Seconds{10.0});
+  EXPECT_NEAR(sweep.back().window.begin.value(), 5.5, 1e-9);
+}
+
+TEST(WindowSelect, DomainChecks) {
+  const PowerTrace t = vee_trace();
+  const TimeWindow bounds{Seconds{0.0}, Seconds{100.0}};
+  EXPECT_THROW(min_average_window(t, bounds, Seconds{0.0}), contract_error);
+  EXPECT_THROW(min_average_window(t, bounds, Seconds{200.0}), contract_error);
+  const TimeWindow outside{Seconds{50.0}, Seconds{150.0}};
+  EXPECT_THROW(min_average_window(t, outside, Seconds{10.0}), contract_error);
+}
+
+TEST(WindowSelect, MinNeverExceedsAnySweepEntry) {
+  const PowerTrace t = vee_trace();
+  const TimeWindow bounds{Seconds{5.0}, Seconds{95.0}};
+  const auto sweep = sweep_windows(t, bounds, Seconds{17.0});
+  const auto best = min_average_window(t, bounds, Seconds{17.0});
+  for (const auto& wa : sweep) {
+    EXPECT_LE(best.mean.value(), wa.mean.value() + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pv

@@ -1,0 +1,168 @@
+// Unit tests for the workload models: HPL LU-progress profile, stress
+// profiles, AR(1) noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/expects.hpp"
+#include "workload/hpl.hpp"
+#include "workload/noise.hpp"
+#include "workload/profiles.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Hpl, EfficiencyMonotoneInTrailingFraction) {
+  const HplWorkload hpl(HplParams::gpu_incore(), hours(1.5));
+  double prev = -1.0;
+  for (double m = 0.0; m <= 1.0; m += 0.05) {
+    const double e = hpl.efficiency(m);
+    EXPECT_GE(e, hpl.params().e_min - 1e-12);
+    EXPECT_LE(e, hpl.params().e_max + 1e-12);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Hpl, TrailingFractionDecreasesOverTime) {
+  const HplWorkload hpl(HplParams::cpu_traditional(), hours(7.0));
+  EXPECT_NEAR(hpl.trailing_fraction(0.0), 1.0, 1e-3);
+  EXPECT_NEAR(hpl.trailing_fraction(hours(7.0).value()), 0.0, 1e-3);
+  double prev = 2.0;
+  for (double f = 0.0; f <= 1.0; f += 0.1) {
+    const double m = hpl.trailing_fraction(f * hours(7.0).value());
+    EXPECT_LE(m, prev + 1e-12);
+    prev = m;
+  }
+}
+
+TEST(Hpl, CpuProfileIsFlatGpuProfileSags) {
+  const HplWorkload cpu(HplParams::cpu_traditional(), hours(7.0));
+  const HplWorkload gpu(HplParams::gpu_incore(), hours(1.5));
+  const auto spread = [](const HplWorkload& w) {
+    const RunPhases p = w.phases();
+    const double first = average_over(
+        [&](double t) { return w.intensity(t); }, p.core_begin().value(),
+        p.core_begin().value() + 0.2 * p.core.value());
+    const double last = average_over(
+        [&](double t) { return w.intensity(t); },
+        p.core_begin().value() + 0.8 * p.core.value(), p.core_end().value());
+    return (first - last) / first;
+  };
+  EXPECT_LT(spread(cpu), 0.05);   // Colosse/Sequoia-like: < 5%
+  EXPECT_GT(spread(gpu), 0.15);   // Piz Daint/L-CSC-like: > 15%
+}
+
+TEST(Hpl, SetupAndTeardownIntensities) {
+  const HplWorkload hpl(HplParams::cpu_traditional(), hours(2.0),
+                        minutes(10.0), minutes(5.0));
+  const RunPhases p = hpl.phases();
+  EXPECT_DOUBLE_EQ(hpl.intensity(10.0), hpl.params().setup_intensity);
+  EXPECT_DOUBLE_EQ(hpl.intensity(p.core_end().value() + 1.0),
+                   hpl.params().teardown_intensity);
+  EXPECT_GT(hpl.intensity(p.core_begin().value() + 60.0), 0.5);
+}
+
+TEST(Hpl, ParameterValidation) {
+  HplParams bad = HplParams::cpu_traditional();
+  bad.e_min = 0.0;
+  EXPECT_THROW(HplWorkload(bad, hours(1.0)), contract_error);
+  bad = HplParams::cpu_traditional();
+  bad.knee = 1.5;
+  EXPECT_THROW(HplWorkload(bad, hours(1.0)), contract_error);
+  EXPECT_THROW(HplWorkload(HplParams::cpu_traditional(), Seconds{0.0}),
+               contract_error);
+}
+
+TEST(Hpl, OscillationDeepensTowardTheEnd) {
+  HplParams p = HplParams::gpu_incore();
+  p.osc_depth = 0.10;
+  p.warmup_amp = 0.0;
+  const HplWorkload hpl(p, hours(1.0));
+  // Local ripple amplitude near the start vs near the end.
+  const auto ripple = [&](double frac) {
+    double lo = 1e9, hi = -1e9;
+    const double t0 = frac * hours(1.0).value();
+    for (double dt = 0.0; dt < 60.0; dt += 1.0) {
+      const double v = hpl.intensity(t0 + dt);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(ripple(0.9), ripple(0.05) + 0.01);
+}
+
+TEST(Firestarter, ConstantCoreIntensity) {
+  const FirestarterWorkload w(hours(1.0), 0.98);
+  const RunPhases p = w.phases();
+  EXPECT_DOUBLE_EQ(w.intensity(p.core_begin().value() + 1.0), 0.98);
+  EXPECT_DOUBLE_EQ(w.intensity(p.core_begin().value() + 1800.0), 0.98);
+  EXPECT_DOUBLE_EQ(w.core_mean_intensity(), 0.98);
+  EXPECT_THROW(FirestarterWorkload(hours(1.0), 0.0), contract_error);
+}
+
+TEST(Mprime, DriftsAroundLevelWithinBounds) {
+  const MprimeWorkload w(hours(2.0), 0.93, 0.02);
+  const RunPhases p = w.phases();
+  double lo = 1e9, hi = -1e9;
+  for (double t = p.core_begin().value(); t < p.core_end().value();
+       t += 30.0) {
+    const double v = w.intensity(t);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(lo, 0.91 - 1e-9);
+  EXPECT_LE(hi, 0.95 + 1e-9);
+  EXPECT_GT(hi - lo, 0.02);  // it does actually drift
+  EXPECT_NEAR(w.core_mean_intensity(), 0.93, 0.01);
+}
+
+TEST(Rodinia, SawtoothRipplePeriod) {
+  const RodiniaCfdWorkload w(minutes(30.0), 0.88, 0.08, Seconds{2.0});
+  const RunPhases p = w.phases();
+  const double t0 = p.core_begin().value();
+  // One iteration later the intensity repeats.
+  EXPECT_NEAR(w.intensity(t0 + 10.3), w.intensity(t0 + 12.3), 1e-12);
+  // Within an iteration it ramps.
+  EXPECT_LT(w.intensity(t0 + 10.1), w.intensity(t0 + 11.9));
+  EXPECT_NEAR(w.core_mean_intensity(), 0.88, 0.01);
+}
+
+TEST(Ar1Noise, StationaryMomentsAndCorrelation) {
+  Ar1Noise noise(0.05, 0.9, Rng(1));
+  const auto xs = noise.series(200000);
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.0, 0.005);
+  EXPECT_NEAR(s.stddev, 0.05, 0.005);
+  // Lag-1 autocorrelation ~ rho.
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) acc += xs[i] * xs[i - 1];
+  const double rho_hat = acc / static_cast<double>(xs.size() - 1) /
+                         (s.stddev * s.stddev);
+  EXPECT_NEAR(rho_hat, 0.9, 0.02);
+}
+
+TEST(Ar1Noise, ZeroSigmaIsSilent) {
+  Ar1Noise noise(0.0, 0.5, Rng(2));
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(noise.next(), 0.0);
+}
+
+TEST(Ar1Noise, Validation) {
+  EXPECT_THROW(Ar1Noise(-0.1, 0.5, Rng(3)), contract_error);
+  EXPECT_THROW(Ar1Noise(0.1, 1.0, Rng(3)), contract_error);
+}
+
+TEST(AverageOver, MatchesClosedForm) {
+  // Mean of t^2 over [0, 3] = 3.
+  EXPECT_NEAR(average_over([](double t) { return t * t; }, 0.0, 3.0), 3.0,
+              1e-6);
+  EXPECT_THROW(average_over(nullptr, 0.0, 1.0), contract_error);
+  EXPECT_THROW(average_over([](double) { return 1.0; }, 1.0, 1.0),
+               contract_error);
+}
+
+}  // namespace
+}  // namespace pv

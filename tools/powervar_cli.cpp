@@ -1,0 +1,226 @@
+// powervar — command-line front end for the measurement methodology.
+//
+//   powervar sample-size --nodes N --cv F --lambda F [--alpha F]
+//       Required metered-node counts under every rule (Eq. 5, 1/64, 2015,
+//       Chebyshev, Hoeffding).
+//
+//   powervar accuracy --nodes N --cv F --n K [--alpha F]
+//       Achievable relative accuracy with K metered nodes (Eq. 1, t-based).
+//
+//   powervar audit --trace FILE --core-begin S --core-end S
+//       Window-gaming audit of a wall-power CSV trace (t_s,power_w rows):
+//       honest core-phase average vs best/worst legal v1.2 L1 windows.
+//
+//   powervar normality --values FILE [--alpha F]
+//       Jarque-Bera + Anderson-Darling normality check of a per-node power
+//       sample (one value per line) — the §4.2 pilot-sample sanity check.
+//
+//   powervar tco --power-kw F --accuracy F [--cost-per-kwh F] [--pue F]
+//                [--duty F] [--years F]
+//       Energy-cost projection with measurement uncertainty propagated.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/gaming.hpp"
+#include "core/sample_size.hpp"
+#include "core/tco.hpp"
+#include "stats/normality.hpp"
+#include "trace/io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pv;
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::runtime_error("expected --option, got '" + key + "'");
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      throw std::runtime_error("dangling option without a value");
+    }
+  }
+
+  [[nodiscard]] double number(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::runtime_error("missing required option --" + key);
+    }
+    return std::atof(it->second.c_str());
+  }
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] std::string text(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::runtime_error("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int cmd_sample_size(const Args& args) {
+  const auto nodes = static_cast<std::size_t>(args.number("nodes"));
+  const double cv = args.number("cv");
+  const double lambda = args.number("lambda");
+  const double alpha = args.number_or("alpha", 0.05);
+
+  TextTable t({"rule", "metered nodes"});
+  t.add_row({"Equation 5 (paper)",
+             std::to_string(required_sample_size(alpha, lambda, cv, nodes))});
+  t.add_row({"old 1/64 rule", std::to_string(rule_1_64(nodes))});
+  t.add_row({"2015 rule max(16, 10%)", std::to_string(rule_2015(nodes))});
+  t.add_row({"Chebyshev (distribution-free)",
+             std::to_string(chebyshev_required_sample_size(alpha, lambda, cv))});
+  t.add_row({"Hoeffding (6-sigma range)",
+             std::to_string(hoeffding_required_sample_size(
+                 alpha, lambda, 1.0, 6.0 * cv))});
+  std::cout << "N = " << nodes << ", sigma/mu = " << fmt_percent(cv, 2)
+            << ", target lambda = " << fmt_percent(lambda, 2)
+            << " at confidence " << fmt_percent(1.0 - alpha, 0) << "\n\n"
+            << t.render();
+  return 0;
+}
+
+int cmd_accuracy(const Args& args) {
+  const auto nodes = static_cast<std::size_t>(args.number("nodes"));
+  const double cv = args.number("cv");
+  const auto n = static_cast<std::size_t>(args.number("n"));
+  const double alpha = args.number_or("alpha", 0.05);
+  const double lambda = achievable_accuracy(alpha, cv, n, nodes);
+  std::cout << "metering " << n << " of " << nodes << " nodes (sigma/mu "
+            << fmt_percent(cv, 2) << "): +/-" << fmt_percent(lambda, 2)
+            << " at " << fmt_percent(1.0 - alpha, 0) << " confidence\n";
+  return 0;
+}
+
+int cmd_audit(const Args& args) {
+  const PowerTrace trace = load_trace_csv(args.text("trace"));
+  RunPhases run;
+  if (args.number_or("auto-phases", 0.0) > 0.0) {
+    const TimeWindow core =
+        detect_core_phase(trace, args.number_or("phase-threshold", 0.5));
+    run.setup = Seconds{core.begin.value() - trace.t0().value()};
+    run.core = core.duration();
+    std::cout << "detected core phase: [" << to_string(core.begin) << ", "
+              << to_string(core.end) << ")\n";
+  } else {
+    const double begin = args.number("core-begin");
+    const double end = args.number("core-end");
+    run.setup = Seconds{begin - trace.t0().value()};
+    run.core = Seconds{end - begin};
+  }
+  const auto g = analyze_window_gaming(trace, run);
+  TextTable t({"quantity", "value"});
+  t.add_row({"core phase average", to_string(g.full_core_avg)});
+  t.add_row({"best legal window", to_string(g.best_window.mean)});
+  t.add_row({"  at t =", to_string(g.best_window.window.begin)});
+  t.add_row({"worst legal window", to_string(g.worst_window.mean)});
+  t.add_row({"best-window reduction", fmt_percent(g.best_reduction, 1)});
+  t.add_row({"legal-window spread", fmt_percent(g.spread, 1)});
+  std::cout << t.render();
+  std::cout << (g.best_reduction > 0.02
+                    ? "verdict: window choice materially affects this run; "
+                      "require the full core phase.\n"
+                    : "verdict: profile is flat; window choice immaterial.\n");
+  return 0;
+}
+
+int cmd_normality(const Args& args) {
+  std::ifstream f(args.text("values"));
+  if (!f) throw std::runtime_error("cannot open values file");
+  std::vector<double> xs;
+  double v;
+  while (f >> v) xs.push_back(v);
+  if (xs.size() < 8) throw std::runtime_error("need at least 8 values");
+  const double alpha = args.number_or("alpha", 0.05);
+  const NormalityResult jb = jarque_bera(xs);
+  const NormalityResult ad = anderson_darling(xs);
+  TextTable t({"test", "statistic", "p-value", "verdict"});
+  const auto verdict = [&](const NormalityResult& r) {
+    return r.consistent_with_normal(alpha)
+               ? std::string("consistent with normal")
+               : std::string("REJECTS normality");
+  };
+  t.add_row({"Jarque-Bera", fmt_fixed(jb.statistic, 3),
+             fmt_fixed(jb.p_value, 4), verdict(jb)});
+  t.add_row({"Anderson-Darling", fmt_fixed(ad.statistic, 3),
+             fmt_fixed(ad.p_value, 4), verdict(ad)});
+  std::cout << "n = " << xs.size() << "\n" << t.render();
+  std::cout << "(If normality is rejected, validate the sample-size rule by\n"
+               "bootstrap coverage before trusting Equation 5 — see §4.2.)\n";
+  return 0;
+}
+
+int cmd_tco(const Args& args) {
+  TcoParams p;
+  p.electricity_cost_per_kwh = args.number_or("cost-per-kwh", 0.15);
+  p.pue = args.number_or("pue", 1.4);
+  p.duty_cycle = args.number_or("duty", 0.85);
+  p.years = args.number_or("years", 5.0);
+  const TcoEstimate est = project_energy_cost(
+      kilowatts(args.number("power-kw")), args.number("accuracy"), p);
+  TextTable t({"quantity", "value"});
+  t.add_row({"annual energy cost", fmt_fixed(est.annual_energy_cost, 0)});
+  t.add_row({"lifetime energy cost", fmt_fixed(est.lifetime_energy_cost, 0)});
+  t.add_row({"uncertainty band",
+             "[" + fmt_fixed(est.lifetime_cost_ci.lo, 0) + ", " +
+                 fmt_fixed(est.lifetime_cost_ci.hi, 0) + "]"});
+  t.add_row({"value of 1 accuracy point",
+             fmt_fixed(est.cost_per_accuracy_point, 0)});
+  std::cout << t.render();
+  return 0;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: powervar <command> [--option value ...]\n"
+      "commands:\n"
+      "  sample-size --nodes N --cv F --lambda F [--alpha F]\n"
+      "  accuracy    --nodes N --cv F --n K [--alpha F]\n"
+      "  audit       --trace FILE (--core-begin S --core-end S |\n"
+      "               --auto-phases 1 [--phase-threshold F])\n"
+      "  normality   --values FILE [--alpha F]\n"
+      "  tco         --power-kw F --accuracy F [--cost-per-kwh F] [--pue F]"
+      " [--duty F] [--years F]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "sample-size") return cmd_sample_size(args);
+    if (cmd == "accuracy") return cmd_accuracy(args);
+    if (cmd == "audit") return cmd_audit(args);
+    if (cmd == "normality") return cmd_normality(args);
+    if (cmd == "tco") return cmd_tco(args);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
+    return 1;
+  }
+}
