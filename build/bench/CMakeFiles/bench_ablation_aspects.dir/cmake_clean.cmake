@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_aspects.dir/bench_ablation_aspects.cpp.o"
+  "CMakeFiles/bench_ablation_aspects.dir/bench_ablation_aspects.cpp.o.d"
+  "bench_ablation_aspects"
+  "bench_ablation_aspects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aspects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

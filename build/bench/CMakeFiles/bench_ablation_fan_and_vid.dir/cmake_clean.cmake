@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fan_and_vid.dir/bench_ablation_fan_and_vid.cpp.o"
+  "CMakeFiles/bench_ablation_fan_and_vid.dir/bench_ablation_fan_and_vid.cpp.o.d"
+  "bench_ablation_fan_and_vid"
+  "bench_ablation_fan_and_vid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fan_and_vid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rank_volatility.dir/bench_ablation_rank_volatility.cpp.o"
+  "CMakeFiles/bench_ablation_rank_volatility.dir/bench_ablation_rank_volatility.cpp.o.d"
+  "bench_ablation_rank_volatility"
+  "bench_ablation_rank_volatility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rank_volatility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

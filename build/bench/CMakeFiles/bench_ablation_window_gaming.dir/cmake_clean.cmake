@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_window_gaming.dir/bench_ablation_window_gaming.cpp.o"
+  "CMakeFiles/bench_ablation_window_gaming.dir/bench_ablation_window_gaming.cpp.o.d"
+  "bench_ablation_window_gaming"
+  "bench_ablation_window_gaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_window_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

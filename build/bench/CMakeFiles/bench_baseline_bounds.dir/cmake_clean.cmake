@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_bounds.dir/bench_baseline_bounds.cpp.o"
+  "CMakeFiles/bench_baseline_bounds.dir/bench_baseline_bounds.cpp.o.d"
+  "bench_baseline_bounds"
+  "bench_baseline_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

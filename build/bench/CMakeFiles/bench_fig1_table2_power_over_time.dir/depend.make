@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_table2_power_over_time.
+# This may be replaced when dependencies are built.

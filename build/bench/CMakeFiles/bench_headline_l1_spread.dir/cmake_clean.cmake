@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_l1_spread.dir/bench_headline_l1_spread.cpp.o"
+  "CMakeFiles/bench_headline_l1_spread.dir/bench_headline_l1_spread.cpp.o.d"
+  "bench_headline_l1_spread"
+  "bench_headline_l1_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_l1_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

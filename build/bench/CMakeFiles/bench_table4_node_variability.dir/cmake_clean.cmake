@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_node_variability.dir/bench_table4_node_variability.cpp.o"
+  "CMakeFiles/bench_table4_node_variability.dir/bench_table4_node_variability.cpp.o.d"
+  "bench_table4_node_variability"
+  "bench_table4_node_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_node_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

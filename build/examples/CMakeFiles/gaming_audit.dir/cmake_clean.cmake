@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_audit.dir/gaming_audit.cpp.o"
+  "CMakeFiles/gaming_audit.dir/gaming_audit.cpp.o.d"
+  "gaming_audit"
+  "gaming_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/green500_submission.dir/green500_submission.cpp.o"
+  "CMakeFiles/green500_submission.dir/green500_submission.cpp.o.d"
+  "green500_submission"
+  "green500_submission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/green500_submission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for green500_submission.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/plan_measurement.cpp" "examples/CMakeFiles/plan_measurement.dir/plan_measurement.cpp.o" "gcc" "examples/CMakeFiles/plan_measurement.dir/plan_measurement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/powervar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powervar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/powervar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/powervar_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/powervar_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/powervar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_measurement.dir/plan_measurement.cpp.o"
+  "CMakeFiles/plan_measurement.dir/plan_measurement.cpp.o.d"
+  "plan_measurement"
+  "plan_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

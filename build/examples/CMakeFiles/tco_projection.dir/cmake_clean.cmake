@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_projection.dir/tco_projection.cpp.o"
+  "CMakeFiles/tco_projection.dir/tco_projection.cpp.o.d"
+  "tco_projection"
+  "tco_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

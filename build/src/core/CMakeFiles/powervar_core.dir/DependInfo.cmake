@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/powervar_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/powervar_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/capping.cpp" "src/core/CMakeFiles/powervar_core.dir/capping.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/capping.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/powervar_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/gaming.cpp" "src/core/CMakeFiles/powervar_core.dir/gaming.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/gaming.cpp.o.d"
+  "/root/repo/src/core/list_quality.cpp" "src/core/CMakeFiles/powervar_core.dir/list_quality.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/list_quality.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/powervar_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/powervar_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sample_size.cpp" "src/core/CMakeFiles/powervar_core.dir/sample_size.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/sample_size.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/powervar_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/spec.cpp.o.d"
+  "/root/repo/src/core/submission.cpp" "src/core/CMakeFiles/powervar_core.dir/submission.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/submission.cpp.o.d"
+  "/root/repo/src/core/tco.cpp" "src/core/CMakeFiles/powervar_core.dir/tco.cpp.o" "gcc" "src/core/CMakeFiles/powervar_core.dir/tco.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/powervar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/powervar_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/powervar_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/powervar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powervar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_core.dir/baselines.cpp.o"
+  "CMakeFiles/powervar_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/campaign.cpp.o"
+  "CMakeFiles/powervar_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/capping.cpp.o"
+  "CMakeFiles/powervar_core.dir/capping.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/coverage.cpp.o"
+  "CMakeFiles/powervar_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/gaming.cpp.o"
+  "CMakeFiles/powervar_core.dir/gaming.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/list_quality.cpp.o"
+  "CMakeFiles/powervar_core.dir/list_quality.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/plan.cpp.o"
+  "CMakeFiles/powervar_core.dir/plan.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/report.cpp.o"
+  "CMakeFiles/powervar_core.dir/report.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/sample_size.cpp.o"
+  "CMakeFiles/powervar_core.dir/sample_size.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/spec.cpp.o"
+  "CMakeFiles/powervar_core.dir/spec.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/submission.cpp.o"
+  "CMakeFiles/powervar_core.dir/submission.cpp.o.d"
+  "CMakeFiles/powervar_core.dir/tco.cpp.o"
+  "CMakeFiles/powervar_core.dir/tco.cpp.o.d"
+  "libpowervar_core.a"
+  "libpowervar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meter/hierarchy.cpp" "src/meter/CMakeFiles/powervar_meter.dir/hierarchy.cpp.o" "gcc" "src/meter/CMakeFiles/powervar_meter.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/meter/meter.cpp" "src/meter/CMakeFiles/powervar_meter.dir/meter.cpp.o" "gcc" "src/meter/CMakeFiles/powervar_meter.dir/meter.cpp.o.d"
+  "/root/repo/src/meter/psu.cpp" "src/meter/CMakeFiles/powervar_meter.dir/psu.cpp.o" "gcc" "src/meter/CMakeFiles/powervar_meter.dir/psu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/powervar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/powervar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

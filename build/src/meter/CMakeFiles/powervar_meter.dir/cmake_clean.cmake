@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_meter.dir/hierarchy.cpp.o"
+  "CMakeFiles/powervar_meter.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/powervar_meter.dir/meter.cpp.o"
+  "CMakeFiles/powervar_meter.dir/meter.cpp.o.d"
+  "CMakeFiles/powervar_meter.dir/psu.cpp.o"
+  "CMakeFiles/powervar_meter.dir/psu.cpp.o.d"
+  "libpowervar_meter.a"
+  "libpowervar_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

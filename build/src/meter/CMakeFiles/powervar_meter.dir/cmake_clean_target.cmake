@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpowervar_meter.a"
+)

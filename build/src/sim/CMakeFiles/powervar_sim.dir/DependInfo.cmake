@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/catalog.cpp" "src/sim/CMakeFiles/powervar_sim.dir/catalog.cpp.o" "gcc" "src/sim/CMakeFiles/powervar_sim.dir/catalog.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/powervar_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/powervar_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/components.cpp" "src/sim/CMakeFiles/powervar_sim.dir/components.cpp.o" "gcc" "src/sim/CMakeFiles/powervar_sim.dir/components.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/powervar_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/powervar_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/powervar_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/powervar_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/thermal.cpp" "src/sim/CMakeFiles/powervar_sim.dir/thermal.cpp.o" "gcc" "src/sim/CMakeFiles/powervar_sim.dir/thermal.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/powervar_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/powervar_sim.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/powervar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/powervar_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/powervar_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/powervar_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_sim.dir/catalog.cpp.o"
+  "CMakeFiles/powervar_sim.dir/catalog.cpp.o.d"
+  "CMakeFiles/powervar_sim.dir/cluster.cpp.o"
+  "CMakeFiles/powervar_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/powervar_sim.dir/components.cpp.o"
+  "CMakeFiles/powervar_sim.dir/components.cpp.o.d"
+  "CMakeFiles/powervar_sim.dir/fleet.cpp.o"
+  "CMakeFiles/powervar_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/powervar_sim.dir/node.cpp.o"
+  "CMakeFiles/powervar_sim.dir/node.cpp.o.d"
+  "CMakeFiles/powervar_sim.dir/thermal.cpp.o"
+  "CMakeFiles/powervar_sim.dir/thermal.cpp.o.d"
+  "CMakeFiles/powervar_sim.dir/transient.cpp.o"
+  "CMakeFiles/powervar_sim.dir/transient.cpp.o.d"
+  "libpowervar_sim.a"
+  "libpowervar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cpp" "src/stats/CMakeFiles/powervar_stats.dir/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/autocorr.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/powervar_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/powervar_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/powervar_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/powervar_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/normality.cpp" "src/stats/CMakeFiles/powervar_stats.dir/normality.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/normality.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/powervar_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/sampling.cpp" "src/stats/CMakeFiles/powervar_stats.dir/sampling.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/sampling.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/powervar_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/powervar_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_stats.dir/autocorr.cpp.o"
+  "CMakeFiles/powervar_stats.dir/autocorr.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/powervar_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/powervar_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/distributions.cpp.o"
+  "CMakeFiles/powervar_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/histogram.cpp.o"
+  "CMakeFiles/powervar_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/normality.cpp.o"
+  "CMakeFiles/powervar_stats.dir/normality.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/rng.cpp.o"
+  "CMakeFiles/powervar_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/sampling.cpp.o"
+  "CMakeFiles/powervar_stats.dir/sampling.cpp.o.d"
+  "CMakeFiles/powervar_stats.dir/special.cpp.o"
+  "CMakeFiles/powervar_stats.dir/special.cpp.o.d"
+  "libpowervar_stats.a"
+  "libpowervar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

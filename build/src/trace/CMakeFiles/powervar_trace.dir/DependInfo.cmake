@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/powervar_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/powervar_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/segment.cpp" "src/trace/CMakeFiles/powervar_trace.dir/segment.cpp.o" "gcc" "src/trace/CMakeFiles/powervar_trace.dir/segment.cpp.o.d"
+  "/root/repo/src/trace/time_series.cpp" "src/trace/CMakeFiles/powervar_trace.dir/time_series.cpp.o" "gcc" "src/trace/CMakeFiles/powervar_trace.dir/time_series.cpp.o.d"
+  "/root/repo/src/trace/window_select.cpp" "src/trace/CMakeFiles/powervar_trace.dir/window_select.cpp.o" "gcc" "src/trace/CMakeFiles/powervar_trace.dir/window_select.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/powervar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

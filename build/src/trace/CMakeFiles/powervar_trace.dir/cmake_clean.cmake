@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_trace.dir/io.cpp.o"
+  "CMakeFiles/powervar_trace.dir/io.cpp.o.d"
+  "CMakeFiles/powervar_trace.dir/segment.cpp.o"
+  "CMakeFiles/powervar_trace.dir/segment.cpp.o.d"
+  "CMakeFiles/powervar_trace.dir/time_series.cpp.o"
+  "CMakeFiles/powervar_trace.dir/time_series.cpp.o.d"
+  "CMakeFiles/powervar_trace.dir/window_select.cpp.o"
+  "CMakeFiles/powervar_trace.dir/window_select.cpp.o.d"
+  "libpowervar_trace.a"
+  "libpowervar_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

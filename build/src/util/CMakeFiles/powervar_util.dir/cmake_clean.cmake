@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_util.dir/csv.cpp.o"
+  "CMakeFiles/powervar_util.dir/csv.cpp.o.d"
+  "CMakeFiles/powervar_util.dir/mathx.cpp.o"
+  "CMakeFiles/powervar_util.dir/mathx.cpp.o.d"
+  "CMakeFiles/powervar_util.dir/parallel.cpp.o"
+  "CMakeFiles/powervar_util.dir/parallel.cpp.o.d"
+  "CMakeFiles/powervar_util.dir/table.cpp.o"
+  "CMakeFiles/powervar_util.dir/table.cpp.o.d"
+  "CMakeFiles/powervar_util.dir/units.cpp.o"
+  "CMakeFiles/powervar_util.dir/units.cpp.o.d"
+  "libpowervar_util.a"
+  "libpowervar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

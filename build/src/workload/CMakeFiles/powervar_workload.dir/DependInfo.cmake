@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/calibration.cpp" "src/workload/CMakeFiles/powervar_workload.dir/calibration.cpp.o" "gcc" "src/workload/CMakeFiles/powervar_workload.dir/calibration.cpp.o.d"
+  "/root/repo/src/workload/hpl.cpp" "src/workload/CMakeFiles/powervar_workload.dir/hpl.cpp.o" "gcc" "src/workload/CMakeFiles/powervar_workload.dir/hpl.cpp.o.d"
+  "/root/repo/src/workload/imbalance.cpp" "src/workload/CMakeFiles/powervar_workload.dir/imbalance.cpp.o" "gcc" "src/workload/CMakeFiles/powervar_workload.dir/imbalance.cpp.o.d"
+  "/root/repo/src/workload/noise.cpp" "src/workload/CMakeFiles/powervar_workload.dir/noise.cpp.o" "gcc" "src/workload/CMakeFiles/powervar_workload.dir/noise.cpp.o.d"
+  "/root/repo/src/workload/profiles.cpp" "src/workload/CMakeFiles/powervar_workload.dir/profiles.cpp.o" "gcc" "src/workload/CMakeFiles/powervar_workload.dir/profiles.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/powervar_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/powervar_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/powervar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/powervar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_workload.dir/calibration.cpp.o"
+  "CMakeFiles/powervar_workload.dir/calibration.cpp.o.d"
+  "CMakeFiles/powervar_workload.dir/hpl.cpp.o"
+  "CMakeFiles/powervar_workload.dir/hpl.cpp.o.d"
+  "CMakeFiles/powervar_workload.dir/imbalance.cpp.o"
+  "CMakeFiles/powervar_workload.dir/imbalance.cpp.o.d"
+  "CMakeFiles/powervar_workload.dir/noise.cpp.o"
+  "CMakeFiles/powervar_workload.dir/noise.cpp.o.d"
+  "CMakeFiles/powervar_workload.dir/profiles.cpp.o"
+  "CMakeFiles/powervar_workload.dir/profiles.cpp.o.d"
+  "CMakeFiles/powervar_workload.dir/workload.cpp.o"
+  "CMakeFiles/powervar_workload.dir/workload.cpp.o.d"
+  "libpowervar_workload.a"
+  "libpowervar_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autocorr.cpp" "tests/CMakeFiles/powervar_tests.dir/test_autocorr.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_autocorr.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/powervar_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/powervar_tests.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_calibration.cpp" "tests/CMakeFiles/powervar_tests.dir/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_calibration.cpp.o.d"
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/powervar_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_campaign_aspects.cpp" "tests/CMakeFiles/powervar_tests.dir/test_campaign_aspects.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_campaign_aspects.cpp.o.d"
+  "/root/repo/tests/test_capping.cpp" "tests/CMakeFiles/powervar_tests.dir/test_capping.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_capping.cpp.o.d"
+  "/root/repo/tests/test_catalog.cpp" "tests/CMakeFiles/powervar_tests.dir/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_catalog.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/powervar_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/powervar_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_coverage.cpp" "tests/CMakeFiles/powervar_tests.dir/test_coverage.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_coverage.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/powervar_tests.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/powervar_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_fleet.cpp" "tests/CMakeFiles/powervar_tests.dir/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_fleet.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/powervar_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_gaming.cpp" "tests/CMakeFiles/powervar_tests.dir/test_gaming.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_gaming.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/powervar_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/powervar_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_imbalance.cpp" "tests/CMakeFiles/powervar_tests.dir/test_imbalance.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_imbalance.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/powervar_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_list_quality.cpp" "tests/CMakeFiles/powervar_tests.dir/test_list_quality.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_list_quality.cpp.o.d"
+  "/root/repo/tests/test_mathx.cpp" "tests/CMakeFiles/powervar_tests.dir/test_mathx.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_mathx.cpp.o.d"
+  "/root/repo/tests/test_meter.cpp" "tests/CMakeFiles/powervar_tests.dir/test_meter.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_meter.cpp.o.d"
+  "/root/repo/tests/test_misc_edges.cpp" "tests/CMakeFiles/powervar_tests.dir/test_misc_edges.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_misc_edges.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/powervar_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_normality.cpp" "tests/CMakeFiles/powervar_tests.dir/test_normality.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_normality.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/powervar_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/powervar_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/powervar_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_psu.cpp" "tests/CMakeFiles/powervar_tests.dir/test_psu.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_psu.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/powervar_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/powervar_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sample_size.cpp" "tests/CMakeFiles/powervar_tests.dir/test_sample_size.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_sample_size.cpp.o.d"
+  "/root/repo/tests/test_sampling.cpp" "tests/CMakeFiles/powervar_tests.dir/test_sampling.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_sampling.cpp.o.d"
+  "/root/repo/tests/test_segment.cpp" "tests/CMakeFiles/powervar_tests.dir/test_segment.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_segment.cpp.o.d"
+  "/root/repo/tests/test_spec.cpp" "tests/CMakeFiles/powervar_tests.dir/test_spec.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_spec.cpp.o.d"
+  "/root/repo/tests/test_special.cpp" "tests/CMakeFiles/powervar_tests.dir/test_special.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_special.cpp.o.d"
+  "/root/repo/tests/test_submission.cpp" "tests/CMakeFiles/powervar_tests.dir/test_submission.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_submission.cpp.o.d"
+  "/root/repo/tests/test_tco.cpp" "tests/CMakeFiles/powervar_tests.dir/test_tco.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_tco.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/powervar_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_time_series.cpp" "tests/CMakeFiles/powervar_tests.dir/test_time_series.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_time_series.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/powervar_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/powervar_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_transient.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/powervar_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_window_select.cpp" "tests/CMakeFiles/powervar_tests.dir/test_window_select.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_window_select.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/powervar_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/powervar_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/powervar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powervar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/powervar_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/meter/CMakeFiles/powervar_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/powervar_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/powervar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powervar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

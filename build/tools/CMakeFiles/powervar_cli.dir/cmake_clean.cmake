@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powervar_cli.dir/powervar_cli.cpp.o"
+  "CMakeFiles/powervar_cli.dir/powervar_cli.cpp.o.d"
+  "powervar"
+  "powervar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powervar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
