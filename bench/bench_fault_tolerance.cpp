@@ -1,0 +1,131 @@
+// Fault-tolerance sweep: how much does the submitted power move when the
+// metering substrate degrades?
+//
+// For each methodology level (L1/L2/L3) and each fault scenario (sample
+// dropout rates, dead meters, the mild/harsh presets) the bench runs the
+// same campaign with and without faults and reports the shift of the
+// submitted number, the true error, and the data-quality block the
+// degraded campaign disclosed.  The headline contract: 10% dropout plus
+// two dead meters out of sixteen must stay within 2% of the fault-free
+// submission — graceful degradation, not garbage absorption.
+//
+// Env overrides: PV_FAULT_NODES (default 256).
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fleet.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace pv;
+
+struct Scenario {
+  std::string name;
+  FaultSpec spec;
+  std::size_t dead = 0;  // meters forced dead, taken from the plan's front
+};
+
+struct Rig {
+  std::unique_ptr<ClusterPowerModel> cluster;
+  std::unique_ptr<SystemPowerModel> electrical;
+  PlanInputs inputs;
+};
+
+Rig make_rig(std::size_t n_nodes) {
+  auto workload = std::make_shared<FirestarterWorkload>(
+      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.03);
+  var.outlier_prob = 0.0;
+  Rig rig;
+  rig.cluster = std::make_unique<ClusterPowerModel>(
+      "fault-rig", generate_node_powers(n_nodes, 400.0, var, 7), workload);
+  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
+      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
+  rig.inputs.total_nodes = n_nodes;
+  rig.inputs.approx_node_power = watts(400.0);
+  rig.inputs.run = rig.cluster->phases();
+  return rig;
+}
+
+FaultSpec dropout_only(double p) {
+  FaultSpec s;
+  s.dropout_prob = p;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("fault-tolerance",
+                "submitted-power error vs meter fault rate, L1/L2/L3");
+
+  const std::size_t n_nodes = bench::env_size("PV_FAULT_NODES", 256);
+  const Rig rig = make_rig(n_nodes);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"fault-free", FaultSpec::none(), 0});
+  for (double p : {0.01, 0.05, 0.10, 0.20}) {
+    scenarios.push_back(
+        {"dropout " + fmt_percent(p, 0), dropout_only(p), 0});
+  }
+  {
+    Scenario s{"10% dropout + 2 dead", dropout_only(0.10), 2};
+    scenarios.push_back(s);
+  }
+  scenarios.push_back({"mild preset", FaultSpec::mild(), 0});
+  scenarios.push_back({"harsh preset", FaultSpec::harsh(), 0});
+
+  for (Level level : {Level::kL1, Level::kL2, Level::kL3}) {
+    const auto spec = MethodologySpec::get(level, Revision::kV2015);
+    Rng rng(11);
+    const auto plan = plan_measurement(spec, rig.inputs, rng);
+
+    CampaignConfig clean_cfg;
+    clean_cfg.seed = 5;
+    clean_cfg.meter_interval_override = Seconds{5.0};
+    const auto clean =
+        run_campaign(*rig.cluster, *rig.electrical, plan, clean_cfg);
+
+    std::cout << "\nLevel " << (level == Level::kL1   ? 1
+                                : level == Level::kL2 ? 2
+                                                      : 3)
+              << " — " << plan.node_count() << " meters planned, fault-free "
+              << to_string(clean.submitted_power) << " (true error "
+              << fmt_percent(clean.relative_error, 2) << ")\n";
+
+    TextTable t({"scenario", "submitted", "shift vs clean", "true err",
+                 "meters lost", "sample cov"});
+    for (const Scenario& sc : scenarios) {
+      CampaignConfig cfg = clean_cfg;
+      cfg.faults.spec = sc.spec;
+      for (std::size_t i = 0; i < sc.dead && i < plan.node_indices.size();
+           ++i) {
+        cfg.faults.dead_meters.push_back(plan.node_indices[i]);
+      }
+      const auto r = run_campaign(*rig.cluster, *rig.electrical, plan, cfg);
+      const double shift =
+          std::fabs(r.submitted_power.value() - clean.submitted_power.value()) /
+          clean.submitted_power.value();
+      t.add_row({sc.name, to_string(r.submitted_power),
+                 fmt_percent(shift, 3), fmt_percent(r.relative_error, 2),
+                 std::to_string(r.data_quality.meters_lost) + "/" +
+                     std::to_string(r.data_quality.meters_planned),
+                 fmt_percent(r.data_quality.sample_coverage, 1)});
+    }
+    std::cout << t.render();
+  }
+
+  std::cout << "\nContract: every dropout scenario's shift should stay well "
+               "inside the level's\naccuracy target — losses are repaired "
+               "and extrapolation re-based, not absorbed.\n";
+  return 0;
+}

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "stats/descriptive.hpp"
+#include "stats/robust.hpp"
 #include "util/expects.hpp"
+#include "util/mathx.hpp"
 #include "workload/workload.hpp"
 
 namespace pv {
@@ -15,6 +18,128 @@ namespace {
 double mean_over_window(const std::function<double(double)>& f, double a,
                         double b) {
   return average_over(f, a, b, 2048);
+}
+
+// RNG stream salts for the fault processes (the calibration/noise salts
+// are 0x5CA1AB1E / 0xBADCAB1E in run_campaign below).
+constexpr std::uint64_t kFateSalt = 0xFA7E0FA7ULL;
+constexpr std::uint64_t kFaultSalt = 0x1FAC7ED0ULL;
+
+// One device's metered series after optional fault injection and repair.
+struct DeviceReading {
+  bool lost = false;      // dead or below the coverage floor
+  double mean_w = 0.0;    // per-window-averaged mean power
+  double energy_j = 0.0;  // summed over metered windows
+  // Per-device quality tallies (zero on the fault-free path).
+  std::size_t samples_expected = 0;
+  std::size_t samples_lost = 0;
+  std::size_t samples_repaired = 0;
+  std::size_t spikes_filtered = 0;
+  std::size_t stuck_flagged = 0;
+};
+
+// Samples the meter would produce over the windows (mirrors the floor in
+// MeterModel::measure) — used to account for meters that never report.
+std::size_t expected_samples(const std::vector<TimeWindow>& windows,
+                             Seconds interval) {
+  std::size_t n = 0;
+  for (const TimeWindow& w : windows) {
+    n += static_cast<std::size_t>(
+        std::floor(w.duration().value() / interval.value() + 1e-9));
+  }
+  return n;
+}
+
+// Meters `truth` over every window.  With faults disabled this is the
+// exact historical metering loop (identical RNG consumption, identical
+// arithmetic); with faults enabled the clean trace is corrupted, quality-
+// checked, repaired and despiked, and the device may come back lost.
+DeviceReading meter_device(const MeterModel& meter,
+                           const PowerFunction& truth,
+                           const std::vector<TimeWindow>& windows,
+                           TimeWindow campaign_window, Rng& noise,
+                           const CampaignConfig& config,
+                           std::uint64_t stream, std::size_t meter_id) {
+  const FaultPlan& fp = config.faults;
+  DeviceReading r;
+
+  if (!fp.enabled()) {
+    double mean_acc = 0.0;
+    for (const TimeWindow& w : windows) {
+      const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
+      mean_acc += trace.mean_power().value();
+      r.energy_j += trace.energy().value();
+    }
+    r.mean_w = mean_acc / static_cast<double>(windows.size());
+    return r;
+  }
+
+  r.samples_expected = expected_samples(windows, meter.interval());
+  if (fp.forced_dead(meter_id)) {
+    r.lost = true;
+    r.samples_lost = r.samples_expected;
+    return r;
+  }
+
+  Rng fate_rng(config.seed ^ kFateSalt, stream);
+  Rng fault_rng(config.seed ^ kFaultSalt, stream);
+  const MeterFate fate =
+      draw_meter_fate(fp.spec, campaign_window, fate_rng);
+
+  double mean_acc = 0.0;
+  std::size_t windows_used = 0;
+  std::size_t valid_total = 0;
+  for (const TimeWindow& w : windows) {
+    const PowerTrace clean = meter.measure(truth, w.begin, w.end, noise);
+    GappyTrace gappy = inject_faults(clean, fp.spec, fate, fault_rng);
+    r.stuck_flagged += flag_stuck_runs(gappy, fp.stuck_run_min);
+    const GapStats gs = gappy.gap_stats();
+    valid_total += gs.total - gs.missing;
+    r.samples_lost += gs.missing;
+    if (gs.missing == gs.total) continue;  // window fully lost
+
+    const PowerTrace dense = gappy.repaired(fp.repair);
+    const HampelResult despiked = hampel_filter(
+        dense.watts(), fp.hampel_half_window, fp.hampel_n_sigmas);
+    r.spikes_filtered += despiked.outlier_count;
+    r.samples_repaired += gs.missing;
+    const double window_mean = mean_of(despiked.filtered);
+    mean_acc += window_mean;
+    r.energy_j += window_mean * w.duration().value();
+    ++windows_used;
+  }
+
+  const double coverage =
+      r.samples_expected == 0
+          ? 0.0
+          : static_cast<double>(valid_total) /
+                static_cast<double>(r.samples_expected);
+  if (windows_used == 0 || coverage < fp.min_coverage) {
+    r.lost = true;
+    // A discarded series repairs nothing; its whole record is lost.
+    r.samples_lost = r.samples_expected;
+    r.samples_repaired = 0;
+    r.energy_j = 0.0;
+    return r;
+  }
+  r.mean_w = mean_acc / static_cast<double>(windows_used);
+  return r;
+}
+
+void absorb_tallies(DataQuality& dq, const DeviceReading& r) {
+  dq.samples_expected += r.samples_expected;
+  dq.samples_lost += r.samples_lost;
+  dq.samples_repaired += r.samples_repaired;
+  dq.spikes_filtered += r.spikes_filtered;
+  dq.stuck_flagged += r.stuck_flagged;
+}
+
+void finalize_quality(DataQuality& dq) {
+  dq.sample_coverage =
+      dq.samples_expected == 0
+          ? 1.0
+          : static_cast<double>(dq.samples_expected - dq.samples_lost) /
+                static_cast<double>(dq.samples_expected);
 }
 
 }  // namespace
@@ -45,11 +170,14 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   const Seconds interval = config.meter_interval_override.value() > 0.0
                                ? config.meter_interval_override
                                : plan.meter_interval;
+  const bool faulty = config.faults.enabled();
 
   CampaignResult result;
   result.system_name = cluster.name();
   result.nodes_measured = plan.node_count();
   result.window_duration = plan.window.duration();
+  result.data_quality.faults_enabled = faulty;
+  DataQuality& dq = result.data_quality;
 
   // The time windows this plan actually meters (aspect 1): either the
   // whole window, or Level 2's ten equally spaced spot averages.
@@ -72,22 +200,34 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
 
   // Facility-feed tap: one meter on the whole feed — the realistic Level 3
   // instrumentation.  No extrapolation happens at all; the only error
-  // sources are the meter itself and any scope mismatch.
+  // sources are the meter itself and any scope mismatch.  There is no
+  // surviving-node fallback here: losing the only meter ends the campaign.
   if (plan.point == MeasurementPoint::kFacilityFeed) {
-    Rng calibration(config.seed ^ 0x5CA1AB1EULL, 9'999'999);
-    Rng noise(config.seed ^ 0xBADCAB1EULL, 9'999'999);
+    constexpr std::uint64_t kFacilityStream = 9'999'999;
+    if (faulty && config.faults.forced_dead(kFacilityStream)) {
+      throw std::runtime_error(
+          "campaign: the facility-feed meter is dead and no fallback "
+          "instrumentation exists");
+    }
+    Rng calibration(config.seed ^ 0x5CA1AB1EULL, kFacilityStream);
+    Rng noise(config.seed ^ 0xBADCAB1EULL, kFacilityStream);
     const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
                            calibration);
-    double mean_acc = 0.0;
-    double energy_acc = 0.0;
-    for (const TimeWindow& w : metered_windows) {
-      const PowerTrace trace =
-          meter.measure(electrical.facility_function(), w.begin, w.end, noise);
-      mean_acc += trace.mean_power().value();
-      energy_acc += trace.energy().value();
+    const DeviceReading reading = meter_device(
+        meter, electrical.facility_function(), metered_windows, plan.window,
+        noise, config, kFacilityStream, kFacilityStream);
+    dq.meters_planned = 1;
+    absorb_tallies(dq, reading);
+    if (reading.lost) {
+      throw std::runtime_error(
+          "campaign: the facility-feed meter produced " +
+          std::to_string(dq.samples_expected - dq.samples_lost) + " of " +
+          std::to_string(dq.samples_expected) +
+          " expected samples (below the coverage floor); no fallback "
+          "instrumentation exists");
     }
-    const double mean =
-        mean_acc / static_cast<double>(metered_windows.size());
+    const double mean = reading.mean_w;
+    double energy_acc = reading.energy_j;
     if (plan.timing != TimingStrategy::kContinuous) {
       energy_acc = mean * plan.window.duration().value();
     }
@@ -102,6 +242,9 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
       submitted -= electrical.auxiliary_ac_w(t_mid);
     }
     result.submitted_power = Watts{submitted};
+    dq.planned_node_fraction = 1.0;
+    dq.achieved_node_fraction = 1.0;
+    finalize_quality(dq);
     result.true_power = true_scope_power(cluster, electrical, plan.spec);
     result.relative_error =
         std::fabs(result.submitted_power.value() - result.true_power.value()) /
@@ -112,7 +255,8 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   // Rack-PDU tap: one meter per rack containing a selected node.  The
   // rack reading (which *includes* PDU distribution loss, unlike node
   // taps) is attributed evenly to the rack's nodes — the standard site
-  // practice when only PDU instrumentation exists.
+  // practice when only PDU instrumentation exists.  A dead/degraded rack
+  // meter loses the whole rack; extrapolation proceeds from the rest.
   if (plan.point == MeasurementPoint::kRackPdu) {
     std::vector<std::size_t> racks;
     for (std::size_t node : plan.node_indices) {
@@ -121,8 +265,11 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
     }
     std::sort(racks.begin(), racks.end());
     racks.erase(std::unique(racks.begin(), racks.end()), racks.end());
+    dq.meters_planned = racks.size();
 
+    const std::size_t planned_nodes = plan.node_count();
     double energy_acc = 0.0;
+    std::size_t surviving_nodes = 0;
     for (std::size_t rack : racks) {
       Rng calibration(config.seed ^ 0x5CA1AB1EULL, 1'000'000 + rack);
       Rng noise(config.seed ^ 0xBADCAB1EULL, 1'000'000 + rack);
@@ -132,19 +279,21 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
       const std::size_t nodes_in_rack =
           std::min(electrical.nodes_per_rack(),
                    electrical.node_count() - first);
-      double mean_acc = 0.0;
-      double rack_energy = 0.0;
-      for (const TimeWindow& w : metered_windows) {
-        const PowerTrace trace = meter.measure(
-            [&electrical, rack](double t) {
-              return electrical.rack_pdu_w(rack, t);
-            },
-            w.begin, w.end, noise);
-        mean_acc += trace.mean_power().value();
-        rack_energy += trace.energy().value();
+      const DeviceReading reading = meter_device(
+          meter,
+          [&electrical, rack](double t) {
+            return electrical.rack_pdu_w(rack, t);
+          },
+          metered_windows, plan.window, noise, config, 1'000'000 + rack,
+          rack);
+      if (faulty) absorb_tallies(dq, reading);
+      if (reading.lost) {
+        ++dq.meters_lost;
+        dq.lost_meter_ids.push_back(rack);
+        continue;
       }
-      const double rack_mean =
-          mean_acc / static_cast<double>(metered_windows.size());
+      const double rack_mean = reading.mean_w;
+      double rack_energy = reading.energy_j;
       if (plan.timing != TimingStrategy::kContinuous) {
         rack_energy = rack_mean * plan.window.duration().value();
       }
@@ -153,9 +302,23 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
       for (std::size_t i = 0; i < nodes_in_rack; ++i) {
         result.node_mean_powers_w.push_back(per_node);
       }
+      surviving_nodes += nodes_in_rack;
       energy_acc += rack_energy;
     }
+    if (result.node_mean_powers_w.empty()) {
+      throw std::runtime_error(
+          "campaign: every rack meter was lost (" +
+          std::to_string(dq.meters_lost) + " of " +
+          std::to_string(dq.meters_planned) +
+          "); nothing to extrapolate from");
+    }
     result.nodes_measured = result.node_mean_powers_w.size();
+    // Scale energy to the planned metering scope so submissions stay
+    // comparable between degraded and clean campaigns.
+    if (faulty && surviving_nodes > 0 && surviving_nodes < planned_nodes) {
+      energy_acc *= static_cast<double>(planned_nodes) /
+                    static_cast<double>(surviving_nodes);
+    }
     result.submitted_energy = Joules{energy_acc};
 
     const Summary rack_nodes = summarize(result.node_mean_powers_w);
@@ -172,7 +335,15 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
           t_confidence_interval(result.node_mean_powers_w, 0.05);
       result.relative_halfwidth =
           0.5 * result.node_mean_ci.width() / rack_nodes.mean;
+      dq.ci_widened = dq.meters_lost > 0;
     }
+    dq.planned_node_fraction =
+        static_cast<double>(planned_nodes) /
+        static_cast<double>(cluster.node_count());
+    dq.achieved_node_fraction =
+        static_cast<double>(result.nodes_measured) /
+        static_cast<double>(cluster.node_count());
+    finalize_quality(dq);
     result.true_power = true_scope_power(cluster, electrical, plan.spec);
     result.relative_error =
         std::fabs(result.submitted_power.value() - result.true_power.value()) /
@@ -182,7 +353,9 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
 
   // Meter every selected node.  Each node gets its own meter device whose
   // calibration errors are drawn from a stream keyed by the node id, and a
-  // separate per-sample noise stream.
+  // separate per-sample noise stream.  Dead or degraded node meters are
+  // excluded and the extrapolation re-based on the survivors.
+  dq.meters_planned = plan.node_count();
   double energy_j = 0.0;
   result.node_mean_powers_w.reserve(plan.node_count());
   for (std::size_t node : plan.node_indices) {
@@ -198,14 +371,17 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
               })
             : electrical.node_ac_function(node);
 
-    double mean_acc = 0.0;
-    double node_energy = 0.0;
-    for (const TimeWindow& w : metered_windows) {
-      const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
-      mean_acc += trace.mean_power().value();
-      node_energy += trace.energy().value();
+    const DeviceReading reading =
+        meter_device(meter, truth, metered_windows, plan.window, noise,
+                     config, node, node);
+    if (faulty) absorb_tallies(dq, reading);
+    if (reading.lost) {
+      ++dq.meters_lost;
+      dq.lost_meter_ids.push_back(node);
+      continue;
     }
-    double node_mean = mean_acc / static_cast<double>(metered_windows.size());
+    double node_mean = reading.mean_w;
+    double node_energy = reading.energy_j;
     if (plan.timing != TimingStrategy::kContinuous) {
       // Spot sampling: report energy as mean power over the whole window.
       node_energy = node_mean * plan.window.duration().value();
@@ -233,6 +409,20 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
     result.node_mean_powers_w.push_back(node_mean);
     energy_j += node_energy;
   }
+  if (result.node_mean_powers_w.empty()) {
+    throw std::runtime_error(
+        "campaign: every node meter was lost (" +
+        std::to_string(dq.meters_lost) + " of " +
+        std::to_string(dq.meters_planned) +
+        "); nothing to extrapolate from");
+  }
+  result.nodes_measured = result.node_mean_powers_w.size();
+  // Scale energy to the planned metering scope so submissions stay
+  // comparable between degraded and clean campaigns.
+  if (faulty && result.nodes_measured < dq.meters_planned) {
+    energy_j *= static_cast<double>(dq.meters_planned) /
+                static_cast<double>(result.nodes_measured);
+  }
   result.submitted_energy = Joules{energy_j};
 
   const Summary nodes = summarize(result.node_mean_powers_w);
@@ -251,12 +441,20 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   result.submitted_power = Watts{submitted};
 
   // Accuracy assessment: Equation 1 on the metered per-node averages.
-  if (plan.node_count() >= 2 && nodes.stddev > 0.0) {
+  if (result.nodes_measured >= 2 && nodes.stddev > 0.0) {
     result.node_mean_ci =
         t_confidence_interval(result.node_mean_powers_w, /*alpha=*/0.05);
     result.relative_halfwidth =
         0.5 * result.node_mean_ci.width() / nodes.mean;
+    dq.ci_widened = dq.meters_lost > 0;
   }
+  dq.planned_node_fraction =
+      static_cast<double>(dq.meters_planned) /
+      static_cast<double>(cluster.node_count());
+  dq.achieved_node_fraction =
+      static_cast<double>(result.nodes_measured) /
+      static_cast<double>(cluster.node_count());
+  finalize_quality(dq);
 
   // Ground truth and error.
   result.true_power = true_scope_power(cluster, electrical, plan.spec);

@@ -8,6 +8,7 @@
 
 #include "core/plan.hpp"
 #include "core/sample_size.hpp"
+#include "meter/faults.hpp"
 #include "meter/hierarchy.hpp"
 #include "sim/cluster.hpp"
 
@@ -21,6 +22,38 @@ struct CampaignConfig {
   /// simulations may coarsen this for speed (statistically immaterial for
   /// mean power over minutes-to-hours windows).  0 = use the plan's value.
   Seconds meter_interval_override{0.0};
+  /// Fault injection + graceful-degradation policy.  The default plan is
+  /// disabled, and a disabled plan leaves the campaign bit-identical to
+  /// the fault-free path (no extra RNG draws).
+  FaultPlan faults;
+};
+
+/// What fault injection and degradation did to a campaign's data — the
+/// quality disclosure the paper's §6 accuracy-assessment recommendation
+/// implies once meters are allowed to fail.
+struct DataQuality {
+  bool faults_enabled = false;
+  // --- meters ------------------------------------------------------------
+  std::size_t meters_planned = 0;  ///< node/rack/facility meters deployed
+  std::size_t meters_lost = 0;     ///< dead or below the coverage floor
+  std::vector<std::size_t> lost_meter_ids;
+  // --- samples (across surviving + lost meters) --------------------------
+  std::size_t samples_expected = 0;
+  std::size_t samples_lost = 0;      ///< missing or flagged invalid
+  std::size_t samples_repaired = 0;  ///< gap-filled on surviving meters
+  std::size_t spikes_filtered = 0;   ///< Hampel-replaced readings
+  std::size_t stuck_flagged = 0;     ///< stuck-run samples invalidated
+  // --- coverage ----------------------------------------------------------
+  double planned_node_fraction = 0.0;   ///< metered nodes / machine, planned
+  double achieved_node_fraction = 0.0;  ///< after exclusions
+  double sample_coverage = 1.0;         ///< valid / expected samples
+  /// True when meters were lost and the Eq. 1 CI was recomputed over the
+  /// smaller surviving sample (and is therefore wider than planned).
+  bool ci_widened = false;
+
+  [[nodiscard]] bool degraded() const {
+    return meters_lost > 0 || samples_lost > 0;
+  }
 };
 
 /// Everything a campaign produces.
@@ -40,6 +73,9 @@ struct CampaignResult {
   // --- ground truth (simulation only) ------------------------------------
   Watts true_power{0.0};  ///< true average of the quantity being estimated
   double relative_error = 0.0;  ///< |submitted - true| / true
+
+  // --- data quality (populated when fault injection is enabled) ----------
+  DataQuality data_quality;
 };
 
 /// Executes `plan` on the cluster lowered into `electrical`.

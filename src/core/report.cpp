@@ -40,6 +40,37 @@ std::string accuracy_report(const MeasurementPlan& plan,
   os << "ground truth:      " << to_string(result.true_power)
      << "  -> actual error " << fmt_percent(result.relative_error, 2)
      << '\n';
+  os << data_quality_report(result.data_quality);
+  return os.str();
+}
+
+std::string data_quality_report(const DataQuality& q) {
+  if (!q.faults_enabled) return "";
+  std::ostringstream os;
+  os << "\n--- data quality ---\n";
+  os << "meters lost:       " << q.meters_lost << " of " << q.meters_planned;
+  if (!q.lost_meter_ids.empty()) {
+    os << " (ids:";
+    for (std::size_t id : q.lost_meter_ids) os << ' ' << id;
+    os << ')';
+  }
+  os << '\n';
+  os << "sample coverage:   " << fmt_percent(q.sample_coverage, 2) << " ("
+     << q.samples_lost << " of " << q.samples_expected << " samples lost, "
+     << q.samples_repaired << " repaired)\n";
+  if (q.stuck_flagged > 0) {
+    os << "stuck readings:    " << q.stuck_flagged << " flagged invalid\n";
+  }
+  if (q.spikes_filtered > 0) {
+    os << "spikes filtered:   " << q.spikes_filtered << '\n';
+  }
+  os << "machine coverage:  planned " << fmt_percent(q.planned_node_fraction, 2)
+     << " -> achieved " << fmt_percent(q.achieved_node_fraction, 2) << '\n';
+  os << "Eq. 1 CI:          "
+     << (q.ci_widened
+             ? "widened (re-extrapolated from surviving meters)"
+             : "as planned")
+     << '\n';
   return os.str();
 }
 

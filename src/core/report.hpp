@@ -21,4 +21,9 @@ namespace pv {
 [[nodiscard]] std::string render_issues(
     const std::vector<ValidationIssue>& issues);
 
+/// Renders the data-quality block of a degraded campaign: meters lost,
+/// sample coverage, repairs, and whether the Eq. 1 CI was widened.
+/// Empty string when fault injection was not enabled.
+[[nodiscard]] std::string data_quality_report(const DataQuality& quality);
+
 }  // namespace pv

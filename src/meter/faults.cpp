@@ -1,0 +1,179 @@
+#include "meter/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+bool FaultSpec::any() const {
+  return dropout_prob > 0.0 || burst_rate_per_hour > 0.0 ||
+         stuck_prob > 0.0 || spike_prob > 0.0 ||
+         std::isfinite(clip_max_w) || death_prob > 0.0;
+}
+
+FaultSpec FaultSpec::none() { return FaultSpec{}; }
+
+FaultSpec FaultSpec::mild() {
+  FaultSpec s;
+  s.dropout_prob = 0.005;
+  s.burst_rate_per_hour = 0.2;
+  s.burst_mean_s = 15.0;
+  s.spike_prob = 0.0005;
+  return s;
+}
+
+FaultSpec FaultSpec::harsh() {
+  FaultSpec s;
+  s.dropout_prob = 0.05;
+  s.burst_rate_per_hour = 2.0;
+  s.burst_mean_s = 60.0;
+  s.stuck_prob = 0.15;
+  s.stuck_mean_s = 180.0;
+  s.spike_prob = 0.005;
+  s.spike_max_gain = 6.0;
+  s.death_prob = 0.05;
+  return s;
+}
+
+MeterFate draw_meter_fate(const FaultSpec& spec, TimeWindow campaign_window,
+                          Rng& fate_rng) {
+  PV_EXPECTS(campaign_window.valid(), "empty campaign window");
+  MeterFate fate;
+  if (spec.death_prob > 0.0 && fate_rng.bernoulli(spec.death_prob)) {
+    fate.dies = true;
+    fate.death_time_s = fate_rng.uniform(campaign_window.begin.value(),
+                                         campaign_window.end.value());
+  }
+  if (spec.stuck_prob > 0.0 && fate_rng.bernoulli(spec.stuck_prob)) {
+    fate.sticks = true;
+    fate.stuck_begin_s = fate_rng.uniform(campaign_window.begin.value(),
+                                          campaign_window.end.value());
+    // Exponential episode length via inverse CDF.
+    const double u = fate_rng.uniform();
+    fate.stuck_end_s =
+        fate.stuck_begin_s - spec.stuck_mean_s * std::log(1.0 - u);
+  }
+  return fate;
+}
+
+void FaultEvents::accumulate(const FaultEvents& other) {
+  samples_total += other.samples_total;
+  samples_dropped += other.samples_dropped;
+  samples_dead += other.samples_dead;
+  samples_stuck += other.samples_stuck;
+  samples_spiked += other.samples_spiked;
+  samples_clipped += other.samples_clipped;
+}
+
+GappyTrace inject_faults(const PowerTrace& clean, const FaultSpec& spec,
+                         const MeterFate& fate, Rng& rng,
+                         FaultEvents* events) {
+  const std::size_t n = clean.size();
+  const double dt = clean.dt().value();
+  std::vector<double> w(clean.watts().begin(), clean.watts().end());
+  std::vector<std::uint8_t> valid(n, 1);
+
+  FaultEvents ev;
+  ev.samples_total = n;
+
+  // Burst start probability per sample from the Poisson arrival rate.
+  const double burst_p = spec.burst_rate_per_hour * dt / 3600.0;
+  std::size_t burst_left = 0;
+
+  double last_good = n > 0 ? w[0] : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = clean.time_at(i).value() + 0.5 * dt;
+
+    // Hard death dominates everything after it.
+    if (fate.dies && t >= fate.death_time_s) {
+      valid[i] = 0;
+      ++ev.samples_dead;
+      continue;
+    }
+
+    // Burst outages and i.i.d. dropout produce missing samples.
+    if (burst_left > 0) {
+      --burst_left;
+      valid[i] = 0;
+      ++ev.samples_dropped;
+      continue;
+    }
+    if (burst_p > 0.0 && rng.bernoulli(std::min(burst_p, 1.0))) {
+      const double len_s = -spec.burst_mean_s * std::log(1.0 - rng.uniform());
+      burst_left = static_cast<std::size_t>(std::ceil(len_s / dt));
+      valid[i] = 0;
+      ++ev.samples_dropped;
+      continue;
+    }
+    if (spec.dropout_prob > 0.0 && rng.bernoulli(spec.dropout_prob)) {
+      valid[i] = 0;
+      ++ev.samples_dropped;
+      continue;
+    }
+
+    // The reading arrives; it may still be wrong.
+    if (fate.sticks && t >= fate.stuck_begin_s && t < fate.stuck_end_s) {
+      w[i] = last_good;
+      ++ev.samples_stuck;
+      continue;  // a frozen sensor neither spikes nor clips
+    }
+    if (spec.spike_prob > 0.0 && rng.bernoulli(spec.spike_prob)) {
+      w[i] *= rng.uniform(1.5, std::max(1.5, spec.spike_max_gain));
+      ++ev.samples_spiked;
+    }
+    if (w[i] > spec.clip_max_w) {
+      w[i] = spec.clip_max_w;
+      ++ev.samples_clipped;
+    }
+    last_good = w[i];
+  }
+
+  if (events != nullptr) events->accumulate(ev);
+  return GappyTrace(PowerTrace(clean.t0(), clean.dt(), std::move(w)),
+                    std::move(valid));
+}
+
+std::size_t flag_stuck_runs(GappyTrace& trace, std::size_t min_run) {
+  PV_EXPECTS(min_run >= 2, "stuck-run length must be >= 2");
+  const PowerTrace& t = trace.trace();
+  std::size_t flagged = 0;
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  const auto flush = [&](std::size_t end) {
+    if (run_len >= min_run) {
+      // The first sample of a run is the sensor's honest last reading;
+      // everything after it is the frozen repeat.
+      for (std::size_t i = run_start + 1; i < end; ++i) {
+        if (trace.valid_at(i)) {
+          trace.invalidate(i);
+          ++flagged;
+        }
+      }
+    }
+  };
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.valid_at(i) && run_len > 0 &&
+        t.watt_at(i) == t.watt_at(run_start)) {
+      ++run_len;
+      continue;
+    }
+    flush(i);
+    if (trace.valid_at(i)) {
+      run_start = i;
+      run_len = 1;
+    } else {
+      run_len = 0;
+    }
+  }
+  flush(trace.size());
+  return flagged;
+}
+
+bool FaultPlan::forced_dead(std::size_t meter_id) const {
+  return std::find(dead_meters.begin(), dead_meters.end(), meter_id) !=
+         dead_meters.end();
+}
+
+}  // namespace pv

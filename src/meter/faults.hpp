@@ -1,0 +1,128 @@
+#pragma once
+// Meter fault models: what happens between a working sensor and the trace
+// a campaign actually receives.
+//
+// Submitted power numbers assume every meter worked for the whole run;
+// real site logs (the Cray PMDB validation work, "Part-time Power
+// Measurements") are full of dropouts, stuck sensors, spikes and dead PDU
+// channels.  This module corrupts a clean MeterModel trace with
+// composable, seeded fault processes so campaigns can be tested — and
+// hardened — against realistic data-quality failures.
+//
+// Fault taxonomy:
+//   * dropout        — per-sample i.i.d. loss (lossy collection path);
+//   * burst outages  — Poisson-arriving outages of exponential length
+//                      (network partitions, logger restarts);
+//   * stuck-at       — the sensor freezes at its last reading for a
+//                      while; readings keep arriving but carry no signal;
+//   * spikes         — transient glitches multiplying a reading;
+//   * clipping       — saturation at the converter's full-scale value;
+//   * death          — the meter dies at a random time and never returns.
+//
+// All randomness flows through Rng streams keyed by the meter identity,
+// so faulted campaigns are bit-reproducible at any thread count.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "trace/gaps.hpp"
+#include "trace/time_series.hpp"
+
+namespace pv {
+
+/// Per-meter fault process parameters.  Default-constructed == fault-free.
+struct FaultSpec {
+  double dropout_prob = 0.0;        ///< per-sample i.i.d. loss probability
+  double burst_rate_per_hour = 0.0; ///< expected burst outages per hour
+  double burst_mean_s = 30.0;       ///< mean outage length (exponential)
+  double stuck_prob = 0.0;          ///< P(meter freezes once during run)
+  double stuck_mean_s = 120.0;      ///< mean stuck-episode length
+  double spike_prob = 0.0;          ///< per-sample transient probability
+  double spike_max_gain = 4.0;      ///< spikes multiply by U(1.5, this)
+  double clip_max_w =
+      std::numeric_limits<double>::infinity();  ///< saturation ceiling
+  double death_prob = 0.0;          ///< P(meter dies at a U(0,1) run point)
+
+  /// True when any fault process is active.
+  [[nodiscard]] bool any() const;
+
+  static FaultSpec none();
+  /// Occasional dropouts and rare glitches — a healthy production site.
+  static FaultSpec mild();
+  /// Heavy dropout, bursts, stuck sensors and meter deaths — a site log
+  /// nobody has looked at in months.
+  static FaultSpec harsh();
+};
+
+/// Fate drawn once per meter for the whole campaign window: whether and
+/// when this device dies or sticks.  Drawing it once (rather than per
+/// metered sub-window) keeps L2 spot measurements consistent — a meter
+/// dead in spot 3 stays dead in spot 7.
+struct MeterFate {
+  bool dies = false;
+  double death_time_s = std::numeric_limits<double>::infinity();
+  bool sticks = false;
+  double stuck_begin_s = 0.0;
+  double stuck_end_s = 0.0;
+};
+
+/// Draws a meter's fate over `campaign_window` from `fate_rng`.
+[[nodiscard]] MeterFate draw_meter_fate(const FaultSpec& spec,
+                                        TimeWindow campaign_window,
+                                        Rng& fate_rng);
+
+/// Tally of what fault injection did to one or more traces.
+struct FaultEvents {
+  std::size_t samples_total = 0;
+  std::size_t samples_dropped = 0;  ///< dropout + burst outages
+  std::size_t samples_dead = 0;     ///< after meter death
+  std::size_t samples_stuck = 0;    ///< frozen-at-last-value readings
+  std::size_t samples_spiked = 0;
+  std::size_t samples_clipped = 0;
+
+  void accumulate(const FaultEvents& other);
+};
+
+/// Applies `spec` (and the meter's drawn `fate`) to a clean trace.
+/// Dropped/burst/dead samples come back invalid in the result's mask;
+/// stuck, spiked and clipped readings come back *valid but corrupted* —
+/// detecting them is the consumer's job (see flag_stuck_runs and
+/// stats/robust.hpp), exactly as with a real log.
+[[nodiscard]] GappyTrace inject_faults(const PowerTrace& clean,
+                                       const FaultSpec& spec,
+                                       const MeterFate& fate, Rng& rng,
+                                       FaultEvents* events = nullptr);
+
+/// Stuck-sensor detection: marks every run of >= `min_run` consecutive
+/// identical valid readings invalid (a real power signal with meter noise
+/// never repeats exactly).  Returns the number of samples invalidated.
+std::size_t flag_stuck_runs(GappyTrace& trace, std::size_t min_run = 5);
+
+/// Campaign-level fault policy: the fault process applied to every meter
+/// plus the degradation knobs the campaign uses to survive it.
+struct FaultPlan {
+  FaultSpec spec;
+  /// How surviving meters' gaps are filled before window statistics.
+  RepairPolicy repair = RepairPolicy::kInterpolate;
+  /// A meter whose trace coverage falls below this is declared degraded
+  /// and its node excluded from extrapolation.
+  double min_coverage = 0.5;
+  /// Consecutive identical readings flagged as a stuck sensor.
+  std::size_t stuck_run_min = 5;
+  /// Hampel despiking parameters applied to repaired traces.
+  std::size_t hampel_half_window = 5;
+  double hampel_n_sigmas = 4.0;
+  /// Meters (node ids / rack ids as used by the plan) forced dead from
+  /// t=0 — deterministic dead-channel scenarios for tests and benches.
+  std::vector<std::size_t> dead_meters;
+
+  [[nodiscard]] bool enabled() const {
+    return spec.any() || !dead_meters.empty();
+  }
+  [[nodiscard]] bool forced_dead(std::size_t meter_id) const;
+};
+
+}  // namespace pv

@@ -44,6 +44,14 @@ PowerTrace parse_trace_csv(const std::string& csv_text) {
       throw std::runtime_error("trace csv: malformed row at line " +
                                std::to_string(line_no) + ": '" + line + "'");
     }
+    if (!std::isfinite(t) || !std::isfinite(w)) {
+      throw std::runtime_error("trace csv: non-finite value at line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    if (t < 0.0) {
+      throw std::runtime_error("trace csv: negative timestamp at line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
     times.push_back(t);
     watts.push_back(w);
   }

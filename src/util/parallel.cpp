@@ -51,7 +51,14 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job();
+    try {
+      job();
+    } catch (...) {
+      // A job's exception must not kill the worker thread (std::terminate)
+      // or leave in_flight_ stuck above zero (wait_idle deadlock).  Jobs
+      // that need their exceptions propagated marshal them explicitly, as
+      // parallel_for does.
+    }
     {
       std::unique_lock lock(mu_);
       --in_flight_;

@@ -29,7 +29,10 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a job; throws if the pool is shutting down.
+  /// Enqueues a job; throws if the pool is shutting down.  Exceptions
+  /// escaping the job are swallowed by the worker (it keeps serving and
+  /// wait_idle still returns); jobs that must propagate errors capture
+  /// them into an std::exception_ptr themselves, as parallel_for does.
   void submit(std::function<void()> job);
 
   /// Blocks until every submitted job has finished executing.

@@ -1,0 +1,213 @@
+// Unit tests for the meter fault models: dropout, bursts, stuck sensors,
+// spikes, clipping, meter death, and the stuck-run detector.
+
+#include "meter/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace pv {
+namespace {
+
+PowerTrace noisy_trace(std::size_t n, std::uint64_t seed = 1,
+                       double mean = 400.0) {
+  Rng rng(seed);
+  std::vector<double> w(n);
+  for (auto& v : w) v = mean + rng.normal(0.0, 3.0);
+  return PowerTrace(Seconds{0.0}, Seconds{1.0}, std::move(w));
+}
+
+const TimeWindow kWindow{Seconds{0.0}, Seconds{1000.0}};
+
+TEST(FaultSpec, DefaultIsFaultFree) {
+  EXPECT_FALSE(FaultSpec{}.any());
+  EXPECT_FALSE(FaultSpec::none().any());
+  EXPECT_TRUE(FaultSpec::mild().any());
+  EXPECT_TRUE(FaultSpec::harsh().any());
+}
+
+TEST(Faults, NoFaultsPassThroughUntouched) {
+  const PowerTrace clean = noisy_trace(200);
+  Rng rng(5);
+  FaultEvents ev;
+  const GappyTrace g =
+      inject_faults(clean, FaultSpec::none(), MeterFate{}, rng, &ev);
+  EXPECT_EQ(g.valid_count(), 200u);
+  EXPECT_EQ(ev.samples_dropped + ev.samples_dead + ev.samples_stuck +
+                ev.samples_spiked + ev.samples_clipped,
+            0u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i), clean.watt_at(i));
+  }
+}
+
+TEST(Faults, DropoutLosesRoughlyTheConfiguredFraction) {
+  const PowerTrace clean = noisy_trace(5000);
+  FaultSpec spec;
+  spec.dropout_prob = 0.10;
+  Rng rng(6);
+  FaultEvents ev;
+  const GappyTrace g = inject_faults(clean, spec, MeterFate{}, rng, &ev);
+  const double lost = static_cast<double>(ev.samples_dropped) / 5000.0;
+  EXPECT_NEAR(lost, 0.10, 0.02);
+  EXPECT_EQ(g.valid_count(), 5000u - ev.samples_dropped);
+}
+
+TEST(Faults, BurstOutagesProduceContiguousGaps) {
+  const PowerTrace clean = noisy_trace(3600);
+  FaultSpec spec;
+  spec.burst_rate_per_hour = 4.0;
+  spec.burst_mean_s = 60.0;
+  Rng rng(7);
+  const GappyTrace g = inject_faults(clean, spec, MeterFate{}, rng);
+  const GapStats s = g.gap_stats();
+  EXPECT_GT(s.missing, 0u);
+  // Bursts are long: the longest gap dwarfs a single sample.
+  EXPECT_GE(s.longest_gap, 10u);
+}
+
+TEST(Faults, MeterDeathKillsEverythingAfterDeathTime) {
+  const PowerTrace clean = noisy_trace(100);
+  MeterFate fate;
+  fate.dies = true;
+  fate.death_time_s = 40.0;
+  Rng rng(8);
+  FaultEvents ev;
+  const GappyTrace g =
+      inject_faults(clean, FaultSpec::none(), fate, rng, &ev);
+  EXPECT_EQ(ev.samples_dead, 60u);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_TRUE(g.valid_at(i));
+  for (std::size_t i = 40; i < 100; ++i) EXPECT_FALSE(g.valid_at(i));
+}
+
+TEST(Faults, StuckSensorFreezesAtLastValue) {
+  const PowerTrace clean = noisy_trace(100);
+  MeterFate fate;
+  fate.sticks = true;
+  fate.stuck_begin_s = 20.0;
+  fate.stuck_end_s = 60.0;
+  Rng rng(9);
+  FaultEvents ev;
+  const GappyTrace g =
+      inject_faults(clean, FaultSpec::none(), fate, rng, &ev);
+  EXPECT_EQ(ev.samples_stuck, 40u);
+  const double frozen = g.trace().watt_at(19);
+  for (std::size_t i = 20; i < 60; ++i) {
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i), frozen) << "i=" << i;
+    EXPECT_TRUE(g.valid_at(i));  // stuck readings arrive "valid"
+  }
+  EXPECT_NE(g.trace().watt_at(60), frozen);
+}
+
+TEST(Faults, SpikesMultiplyReadings) {
+  const PowerTrace clean = noisy_trace(2000);
+  FaultSpec spec;
+  spec.spike_prob = 0.01;
+  spec.spike_max_gain = 5.0;
+  Rng rng(10);
+  FaultEvents ev;
+  const GappyTrace g = inject_faults(clean, spec, MeterFate{}, rng, &ev);
+  EXPECT_GT(ev.samples_spiked, 0u);
+  // Spiked readings are at least 1.5x the clean value.
+  std::size_t big = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.trace().watt_at(i) > 1.4 * clean.watt_at(i)) ++big;
+  }
+  EXPECT_EQ(big, ev.samples_spiked);
+}
+
+TEST(Faults, ClippingSaturatesAtFullScale) {
+  const PowerTrace clean = noisy_trace(500, 2, 400.0);
+  FaultSpec spec;
+  spec.clip_max_w = 398.0;
+  Rng rng(11);
+  FaultEvents ev;
+  const GappyTrace g = inject_faults(clean, spec, MeterFate{}, rng, &ev);
+  EXPECT_GT(ev.samples_clipped, 0u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_LE(g.trace().watt_at(i), 398.0);
+  }
+}
+
+TEST(Faults, InjectionIsDeterministicPerSeed) {
+  const PowerTrace clean = noisy_trace(1000);
+  const FaultSpec spec = FaultSpec::harsh();
+  Rng fate_a(33), fate_b(33);
+  const MeterFate fa = draw_meter_fate(spec, kWindow, fate_a);
+  const MeterFate fb = draw_meter_fate(spec, kWindow, fate_b);
+  EXPECT_EQ(fa.dies, fb.dies);
+  EXPECT_DOUBLE_EQ(fa.death_time_s, fb.death_time_s);
+  Rng ra(44), rb(44);
+  const GappyTrace ga = inject_faults(clean, spec, fa, ra);
+  const GappyTrace gb = inject_faults(clean, spec, fb, rb);
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_EQ(ga.valid_at(i), gb.valid_at(i));
+    EXPECT_DOUBLE_EQ(ga.trace().watt_at(i), gb.trace().watt_at(i));
+  }
+}
+
+TEST(Faults, FlagStuckRunsInvalidatesFrozenStretch) {
+  // Real signal, then 30 frozen samples, then real again.
+  std::vector<double> w;
+  Rng rng(12);
+  for (int i = 0; i < 20; ++i) w.push_back(400.0 + rng.normal(0.0, 2.0));
+  for (int i = 0; i < 30; ++i) w.push_back(w.back());
+  for (int i = 0; i < 20; ++i) w.push_back(400.0 + rng.normal(0.0, 2.0));
+  GappyTrace g = GappyTrace::fully_valid(
+      PowerTrace(Seconds{0.0}, Seconds{1.0}, std::move(w)));
+  const std::size_t flagged = flag_stuck_runs(g, 5);
+  // The run is 31 identical values (the honest last reading + 30 repeats);
+  // everything but the first is flagged.
+  EXPECT_EQ(flagged, 30u);
+  EXPECT_TRUE(g.valid_at(19));
+  for (std::size_t i = 20; i < 50; ++i) EXPECT_FALSE(g.valid_at(i));
+  EXPECT_TRUE(g.valid_at(50));
+}
+
+TEST(Faults, FlagStuckRunsSparesShortRepeats) {
+  // 3 identical readings < min_run of 5: an honest flat stretch survives.
+  std::vector<double> w{1, 2, 3, 3, 3, 4, 5};
+  GappyTrace g = GappyTrace::fully_valid(
+      PowerTrace(Seconds{0.0}, Seconds{1.0}, std::move(w)));
+  EXPECT_EQ(flag_stuck_runs(g, 5), 0u);
+  EXPECT_EQ(g.valid_count(), 7u);
+}
+
+TEST(FaultPlan, EnabledAndForcedDead) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.dead_meters = {3, 9};
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_TRUE(plan.forced_dead(3));
+  EXPECT_FALSE(plan.forced_dead(4));
+  FaultPlan spiky;
+  spiky.spec.spike_prob = 0.01;
+  EXPECT_TRUE(spiky.enabled());
+}
+
+TEST(Faults, FateRespectsProbabilities) {
+  FaultSpec never;
+  Rng rng(13);
+  const MeterFate f = draw_meter_fate(never, kWindow, rng);
+  EXPECT_FALSE(f.dies);
+  EXPECT_FALSE(f.sticks);
+
+  FaultSpec always;
+  always.death_prob = 1.0;
+  always.stuck_prob = 1.0;
+  Rng rng2(14);
+  const MeterFate g = draw_meter_fate(always, kWindow, rng2);
+  EXPECT_TRUE(g.dies);
+  EXPECT_GE(g.death_time_s, 0.0);
+  EXPECT_LE(g.death_time_s, 1000.0);
+  EXPECT_TRUE(g.sticks);
+  EXPECT_GT(g.stuck_end_s, g.stuck_begin_s);
+}
+
+}  // namespace
+}  // namespace pv

@@ -36,6 +36,37 @@ TEST(ThreadPool, RejectsNullJob) {
   EXPECT_THROW(pool.submit(nullptr), contract_error);
 }
 
+TEST(ThreadPool, SubmittedJobThrowingDoesNotKillWorkerOrDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran] {
+      ran.fetch_add(1);
+      throw std::runtime_error("job failure");
+    });
+  }
+  pool.wait_idle();  // must not deadlock on the failed jobs
+  EXPECT_EQ(ran.load(), 50);
+  // The workers survived: the pool still executes new jobs.
+  std::atomic<int> after{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&after] { after.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 20);
+}
+
+TEST(ThreadPool, SingleThreadSurvivesThrowingJob) {
+  // With one worker, a single escaped exception would kill the whole pool.
+  ThreadPool pool(1);
+  pool.submit([] { throw 42; });  // non-std::exception payloads too
+  pool.wait_idle();
+  std::atomic<bool> ok{false};
+  pool.submit([&ok] { ok.store(true); });
+  pool.wait_idle();
+  EXPECT_TRUE(ok.load());
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   constexpr std::size_t kN = 10000;

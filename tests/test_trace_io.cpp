@@ -67,6 +67,42 @@ TEST(TraceIo, ToleratesSmallTimestampJitter) {
   EXPECT_NEAR(t.dt().value(), 1.0, 0.01);
 }
 
+TEST(TraceIo, RejectsNonFinitePower) {
+  EXPECT_THROW(parse_trace_csv("h\n0,100\n1,nan\n2,120\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace_csv("h\n0,100\n1,inf\n2,120\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace_csv("h\n0,100\n1,-inf\n2,120\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonFiniteTimestamp) {
+  EXPECT_THROW(parse_trace_csv("h\n0,100\nnan,110\n2,120\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace_csv("h\ninf,100\n1,110\n2,120\n"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNegativeTimestamps) {
+  EXPECT_THROW(parse_trace_csv("h\n-1,100\n0,110\n1,120\n"),
+               std::runtime_error);
+  try {
+    parse_trace_csv("h\n-1,100\n0,110\n1,120\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("negative timestamp"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, NegativePowerIsStillAccepted) {
+  // Negative *power* readings are real (miscalibrated offset at idle);
+  // only non-finite values and negative time are data corruption.
+  const PowerTrace t = parse_trace_csv("h\n0,-5\n1,10\n2,12\n");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.watt_at(0), -5.0);
+}
+
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(load_trace_csv("/nonexistent/definitely/missing.csv"),
                std::runtime_error);

@@ -18,22 +18,33 @@
 //   powervar tco --power-kw F --accuracy F [--cost-per-kwh F] [--pue F]
 //                [--duty F] [--years F]
 //       Energy-cost projection with measurement uncertainty propagated.
+//
+//   powervar campaign --nodes N --cv F --level 1|2|3 [--seed S]
+//                     [--faults none|mild|harsh] [--dropout F] [--dead N]
+//       Simulates a full measurement campaign on a synthetic cluster and
+//       prints the accuracy assessment; with faults, also the data-quality
+//       block (meters lost, coverage, repairs).
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/baselines.hpp"
+#include "core/campaign.hpp"
 #include "core/gaming.hpp"
+#include "core/report.hpp"
 #include "core/sample_size.hpp"
 #include "core/tco.hpp"
+#include "sim/fleet.hpp"
 #include "stats/normality.hpp"
 #include "trace/io.hpp"
 #include "util/table.hpp"
+#include "workload/profiles.hpp"
 
 namespace {
 
@@ -72,6 +83,11 @@ class Args {
       throw std::runtime_error("missing required option --" + key);
     }
     return it->second;
+  }
+  [[nodiscard]] std::string text_or(const std::string& key,
+                                    const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
   }
 
  private:
@@ -191,6 +207,63 @@ int cmd_tco(const Args& args) {
   return 0;
 }
 
+int cmd_campaign(const Args& args) {
+  const auto nodes = static_cast<std::size_t>(args.number("nodes"));
+  if (nodes < 2) throw std::runtime_error("--nodes must be >= 2");
+  const double cv = args.number_or("cv", 0.02);
+  const int level = static_cast<int>(args.number_or("level", 1.0));
+  if (level < 1 || level > 3) {
+    throw std::runtime_error("--level must be 1, 2 or 3");
+  }
+  const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 1.0));
+
+  // Synthetic rig: a FIRESTARTER-style constant-load run, typical CPU
+  // fleet spread scaled to the requested cv.
+  auto workload = std::make_shared<FirestarterWorkload>(
+      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(cv);
+  var.outlier_prob = 0.0;
+  auto powers = generate_node_powers(nodes, 400.0, var, seed ^ 0x99);
+  const ClusterPowerModel cluster("synthetic", std::move(powers), workload);
+  const SystemPowerModel electrical = make_system_power_model(
+      cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+
+  const Level lvl = level == 3   ? Level::kL3
+                    : level == 2 ? Level::kL2
+                                 : Level::kL1;
+  const auto spec = MethodologySpec::get(lvl, Revision::kV2015);
+  PlanInputs in;
+  in.total_nodes = nodes;
+  in.approx_node_power = watts(400.0);
+  in.run = cluster.phases();
+  Rng rng(seed);
+  const auto plan = plan_measurement(spec, in, rng);
+
+  CampaignConfig config;
+  config.seed = seed;
+  config.meter_interval_override = Seconds{args.number_or("interval", 0.0)};
+
+  // Fault knobs: a named preset, optionally overridden field by field.
+  const std::string preset = args.text_or("faults", "none");
+  if (preset == "mild") {
+    config.faults.spec = FaultSpec::mild();
+  } else if (preset == "harsh") {
+    config.faults.spec = FaultSpec::harsh();
+  } else if (preset != "none") {
+    throw std::runtime_error("--faults must be none, mild or harsh");
+  }
+  config.faults.spec.dropout_prob =
+      args.number_or("dropout", config.faults.spec.dropout_prob);
+  const auto dead = static_cast<std::size_t>(args.number_or("dead", 0.0));
+  for (std::size_t i = 0; i < dead && i < plan.node_indices.size(); ++i) {
+    config.faults.dead_meters.push_back(plan.node_indices[i]);
+  }
+
+  const auto result = run_campaign(cluster, electrical, plan, config);
+  std::cout << accuracy_report(plan, result);
+  return 0;
+}
+
 int usage() {
   std::cerr <<
       "usage: powervar <command> [--option value ...]\n"
@@ -201,7 +274,10 @@ int usage() {
       "               --auto-phases 1 [--phase-threshold F])\n"
       "  normality   --values FILE [--alpha F]\n"
       "  tco         --power-kw F --accuracy F [--cost-per-kwh F] [--pue F]"
-      " [--duty F] [--years F]\n";
+      " [--duty F] [--years F]\n"
+      "  campaign    --nodes N [--cv F] [--level 1|2|3] [--seed S]\n"
+      "              [--faults none|mild|harsh] [--dropout F] [--dead N]"
+      " [--interval S]\n";
   return 2;
 }
 
@@ -217,6 +293,7 @@ int main(int argc, char** argv) {
     if (cmd == "audit") return cmd_audit(args);
     if (cmd == "normality") return cmd_normality(args);
     if (cmd == "tco") return cmd_tco(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     std::cerr << "unknown command: " << cmd << "\n";
     return usage();
   } catch (const std::exception& e) {
