@@ -1,0 +1,54 @@
+#include "collect/journal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pv {
+
+std::string encode_meter_record(const MeterRecord& r) {
+  // %.17g (max_digits10 for double) round-trips every finite double
+  // bit-exactly through text — required for resume determinism.
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "%zu %d %d %.17g %.17g %zu %zu %zu %zu %zu %zu %zu %.17g",
+      r.reading.node, r.reading.lost ? 1 : 0, r.abandoned ? 1 : 0,
+      r.reading.mean_w, r.reading.energy_j, r.samples_expected,
+      r.samples_lost, r.polls, r.timeouts, r.retries, r.duplicates,
+      r.breaker_trips, r.busy_s);
+  return buf;
+}
+
+MeterRecord decode_meter_record(const std::string& payload) {
+  MeterRecord r;
+  int lost = 0;
+  int abandoned = 0;
+  int consumed = 0;
+  const int n = std::sscanf(
+      payload.c_str(),
+      "%zu %d %d %lg %lg %zu %zu %zu %zu %zu %zu %zu %lg%n",
+      &r.reading.node, &lost, &abandoned, &r.reading.mean_w,
+      &r.reading.energy_j, &r.samples_expected, &r.samples_lost, &r.polls,
+      &r.timeouts, &r.retries, &r.duplicates, &r.breaker_trips, &r.busy_s,
+      &consumed);
+  if (n != 13 ||
+      payload.find_first_not_of(" \t", static_cast<std::size_t>(consumed)) !=
+          std::string::npos) {
+    throw std::runtime_error("collect journal: malformed meter record: '" +
+                             payload + "'");
+  }
+  if (lost != 0 && lost != 1) {
+    throw std::runtime_error("collect journal: bad lost flag: '" + payload +
+                             "'");
+  }
+  if (abandoned != 0 && abandoned != 1) {
+    throw std::runtime_error("collect journal: bad abandoned flag: '" +
+                             payload + "'");
+  }
+  r.reading.lost = lost == 1;
+  r.abandoned = abandoned == 1;
+  return r;
+}
+
+}  // namespace pv

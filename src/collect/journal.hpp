@@ -1,0 +1,42 @@
+#pragma once
+// Journal records of the collection pipeline: one line per fully polled
+// meter, encoded for the trace/wal write-ahead log.
+//
+// A record carries everything the campaign aggregation needs about one
+// meter — its reading *and* its poll statistics — so a resumed collection
+// can rebuild the exact totals (polls, retries, breaker trips, busy time)
+// of the uninterrupted run without re-polling finished meters.  Doubles
+// are printed with max_digits10 and re-parsed bit-exactly; that is what
+// makes a kill-and-resume report byte-identical to a clean run.
+
+#include <cstddef>
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace pv {
+
+/// Everything one meter's poll loop produced.
+struct MeterRecord {
+  NodeReading reading;          ///< mean/energy (or lost) for aggregation
+  bool abandoned = false;       ///< breaker still open when polling ended
+  std::size_t samples_expected = 0;
+  std::size_t samples_lost = 0;
+  // --- poll statistics ---------------------------------------------------
+  std::size_t polls = 0;        ///< exchanges issued
+  std::size_t timeouts = 0;     ///< exchanges that timed out
+  std::size_t retries = 0;      ///< attempts beyond a chunk's first
+  std::size_t duplicates = 0;   ///< duplicate replies discarded
+  std::size_t breaker_trips = 0;
+  double busy_s = 0.0;          ///< virtual seconds spent polling this meter
+};
+
+/// Serializes a record into a single-line WAL payload.
+[[nodiscard]] std::string encode_meter_record(const MeterRecord& record);
+
+/// Parses a payload produced by encode_meter_record.  Throws
+/// std::runtime_error on malformed input (a journal from a different
+/// build or a corrupted-but-CRC-colliding line).
+[[nodiscard]] MeterRecord decode_meter_record(const std::string& payload);
+
+}  // namespace pv

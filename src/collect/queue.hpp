@@ -1,0 +1,79 @@
+#pragma once
+// A bounded MPMC queue with blocking backpressure.
+//
+// Pollers produce finished meter readings faster than the journal thread
+// can fsync them; an unbounded buffer would hide that and grow without
+// limit on a slow disk.  A bounded queue makes the pressure visible: push
+// blocks once `capacity` readings are waiting, throttling the pollers to
+// the journal's sustainable rate — the same discipline a real collector
+// needs so a dying disk degrades collection speed instead of memory.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    PV_EXPECTS(capacity >= 1, "queue capacity must be at least 1");
+  }
+
+  /// Blocks while the queue is full.  Returns false (dropping the item)
+  /// when the queue was closed — producers treat that as "stop working".
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    cv_space_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push(std::move(item));
+    cv_item_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_item_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop();
+    cv_space_.notify_one();
+    return item;
+  }
+
+  /// Wakes every blocked producer (push fails) and consumer (pop drains
+  /// whatever is queued, then returns nullopt).  Idempotent.
+  void close() {
+    {
+      std::unique_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_item_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::size_t size() {
+    std::unique_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::queue<T> items_;
+  std::mutex mu_;
+  std::condition_variable cv_item_;
+  std::condition_variable cv_space_;
+  bool closed_ = false;
+};
+
+}  // namespace pv

@@ -38,15 +38,12 @@ struct DeviceReading {
   std::size_t stuck_flagged = 0;
 };
 
-// Samples the meter would produce over the windows (mirrors the floor in
-// MeterModel::measure) — used to account for meters that never report.
+// Samples the meter would produce over the windows — used to account for
+// meters that never report.
 std::size_t expected_samples(const std::vector<TimeWindow>& windows,
-                             Seconds interval) {
+                             const MeterModel& meter) {
   std::size_t n = 0;
-  for (const TimeWindow& w : windows) {
-    n += static_cast<std::size_t>(
-        std::floor(w.duration().value() / interval.value() + 1e-9));
-  }
+  for (const TimeWindow& w : windows) n += meter.samples_in(w);
   return n;
 }
 
@@ -74,7 +71,7 @@ DeviceReading meter_device(const MeterModel& meter,
     return r;
   }
 
-  r.samples_expected = expected_samples(windows, meter.interval());
+  r.samples_expected = expected_samples(windows, meter);
   if (fp.forced_dead(meter_id)) {
     r.lost = true;
     r.samples_lost = r.samples_expected;
@@ -179,24 +176,8 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   result.data_quality.faults_enabled = faulty;
   DataQuality& dq = result.data_quality;
 
-  // The time windows this plan actually meters (aspect 1): either the
-  // whole window, or Level 2's ten equally spaced spot averages.
-  std::vector<TimeWindow> metered_windows;
-  if (plan.timing == TimingStrategy::kContinuous) {
-    metered_windows.push_back(plan.window);
-  } else {
-    const double span = plan.window.duration().value();
-    const double spot =
-        std::max(plan.spot_duration.value(), interval.value());
-    PV_EXPECTS(spot * 10.0 <= span + 1e-9,
-               "ten spot averages do not fit in the plan window");
-    for (int k = 0; k < 10; ++k) {
-      const double center =
-          plan.window.begin.value() + (k + 0.5) * span / 10.0;
-      metered_windows.push_back(
-          {Seconds{center - 0.5 * spot}, Seconds{center + 0.5 * spot}});
-    }
-  }
+  // The time windows this plan actually meters (aspect 1).
+  const std::vector<TimeWindow> windows = metered_windows(plan, interval);
 
   // Facility-feed tap: one meter on the whole feed — the realistic Level 3
   // instrumentation.  No extrapolation happens at all; the only error
@@ -214,7 +195,7 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
     const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
                            calibration);
     const DeviceReading reading = meter_device(
-        meter, electrical.facility_function(), metered_windows, plan.window,
+        meter, electrical.facility_function(), windows, plan.window,
         noise, config, kFacilityStream, kFacilityStream);
     dq.meters_planned = 1;
     absorb_tallies(dq, reading);
@@ -284,7 +265,7 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
           [&electrical, rack](double t) {
             return electrical.rack_pdu_w(rack, t);
           },
-          metered_windows, plan.window, noise, config, 1'000'000 + rack,
+          windows, plan.window, noise, config, 1'000'000 + rack,
           rack);
       if (faulty) absorb_tallies(dq, reading);
       if (reading.lost) {
@@ -356,8 +337,8 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   // separate per-sample noise stream.  Dead or degraded node meters are
   // excluded and the extrapolation re-based on the survivors.
   dq.meters_planned = plan.node_count();
-  double energy_j = 0.0;
-  result.node_mean_powers_w.reserve(plan.node_count());
+  std::vector<NodeReading> readings;
+  readings.reserve(plan.node_count());
   for (std::size_t node : plan.node_indices) {
     PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
     Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
@@ -372,42 +353,67 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
             : electrical.node_ac_function(node);
 
     const DeviceReading reading =
-        meter_device(meter, truth, metered_windows, plan.window, noise,
+        meter_device(meter, truth, windows, plan.window, noise,
                      config, node, node);
     if (faulty) absorb_tallies(dq, reading);
-    if (reading.lost) {
+    NodeReading nr;
+    nr.node = node;
+    nr.lost = reading.lost;
+    if (!reading.lost) {
+      nr.mean_w = reading.mean_w;
+      nr.energy_j = reading.energy_j;
+      if (plan.timing != TimingStrategy::kContinuous) {
+        // Spot sampling: report energy as mean power over the whole window.
+        nr.energy_j = nr.mean_w * plan.window.duration().value();
+      }
+      apply_dc_conversion(plan, electrical, node, nr.mean_w, nr.energy_j);
+    }
+    readings.push_back(nr);
+  }
+  return finalize_node_campaign(cluster, electrical, plan, readings, dq);
+}
+
+void apply_dc_conversion(const MeasurementPlan& plan,
+                         const SystemPowerModel& electrical, std::size_t node,
+                         double& mean_w, double& energy_j) {
+  if (plan.point != MeasurementPoint::kNodeDc) return;
+  switch (plan.conversion) {
+    case ConversionCorrection::kNone:
+      break;  // uncorrected — the validator flags this
+    case ConversionCorrection::kVendorNominal: {
+      const NominalConversionModel vendor{plan.vendor_nominal_efficiency};
+      energy_j *= vendor.ac_from_dc(Watts{mean_w}).value() / mean_w;
+      mean_w = vendor.ac_from_dc(Watts{mean_w}).value();
+      break;
+    }
+    case ConversionCorrection::kMeasuredCurve: {
+      const Watts ac = electrical.node_psu(node).ac_input(Watts{mean_w});
+      energy_j *= ac.value() / mean_w;
+      mean_w = ac.value();
+      break;
+    }
+  }
+}
+
+CampaignResult finalize_node_campaign(const ClusterPowerModel& cluster,
+                                      const SystemPowerModel& electrical,
+                                      const MeasurementPlan& plan,
+                                      const std::vector<NodeReading>& readings,
+                                      DataQuality dq) {
+  CampaignResult result;
+  result.system_name = cluster.name();
+  result.window_duration = plan.window.duration();
+
+  double energy_j = 0.0;
+  result.node_mean_powers_w.reserve(readings.size());
+  for (const NodeReading& r : readings) {
+    if (r.lost) {
       ++dq.meters_lost;
-      dq.lost_meter_ids.push_back(node);
+      dq.lost_meter_ids.push_back(r.node);
       continue;
     }
-    double node_mean = reading.mean_w;
-    double node_energy = reading.energy_j;
-    if (plan.timing != TimingStrategy::kContinuous) {
-      // Spot sampling: report energy as mean power over the whole window.
-      node_energy = node_mean * plan.window.duration().value();
-    }
-
-    // Aspect 4: correct a DC-side reading back to AC.
-    if (plan.point == MeasurementPoint::kNodeDc) {
-      switch (plan.conversion) {
-        case ConversionCorrection::kNone:
-          break;  // uncorrected — the validator flags this
-        case ConversionCorrection::kVendorNominal: {
-          const NominalConversionModel vendor{plan.vendor_nominal_efficiency};
-          node_energy *= vendor.ac_from_dc(Watts{node_mean}).value() / node_mean;
-          node_mean = vendor.ac_from_dc(Watts{node_mean}).value();
-          break;
-        }
-        case ConversionCorrection::kMeasuredCurve: {
-          const Watts ac = electrical.node_psu(node).ac_input(Watts{node_mean});
-          node_energy *= ac.value() / node_mean;
-          node_mean = ac.value();
-          break;
-        }
-      }
-    }
-    result.node_mean_powers_w.push_back(node_mean);
-    energy_j += node_energy;
+    result.node_mean_powers_w.push_back(r.mean_w);
+    energy_j += r.energy_j;
   }
   if (result.node_mean_powers_w.empty()) {
     throw std::runtime_error(
@@ -419,7 +425,7 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   result.nodes_measured = result.node_mean_powers_w.size();
   // Scale energy to the planned metering scope so submissions stay
   // comparable between degraded and clean campaigns.
-  if (faulty && result.nodes_measured < dq.meters_planned) {
+  if (result.nodes_measured < dq.meters_planned) {
     energy_j *= static_cast<double>(dq.meters_planned) /
                 static_cast<double>(result.nodes_measured);
   }
@@ -455,6 +461,7 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
       static_cast<double>(result.nodes_measured) /
       static_cast<double>(cluster.node_count());
   finalize_quality(dq);
+  result.data_quality = std::move(dq);
 
   // Ground truth and error.
   result.true_power = true_scope_power(cluster, electrical, plan.spec);

@@ -28,6 +28,22 @@ struct CampaignConfig {
   FaultPlan faults;
 };
 
+/// What the *collection path* (src/collect's asynchronous transport +
+/// retry + circuit-breaker pipeline) did to get the data home.  All-zero
+/// with `used == false` for the synchronous in-memory path.
+struct CollectionQuality {
+  bool used = false;
+  std::size_t polls_attempted = 0;   ///< transport exchanges issued
+  std::size_t polls_timed_out = 0;   ///< exchanges lost to timeout/drop
+  std::size_t polls_retried = 0;     ///< attempts beyond a chunk's first
+  std::size_t duplicates_discarded = 0;  ///< extra replies deduplicated
+  std::size_t breaker_trips = 0;     ///< transitions into the open state
+  std::size_t meters_abandoned = 0;  ///< written off by an open breaker
+  double busy_total_s = 0.0;         ///< summed per-meter active poll time
+  double busy_max_meter_s = 0.0;     ///< slowest single meter
+  double makespan_s = 0.0;           ///< modeled wall clock on the pool
+};
+
 /// What fault injection and degradation did to a campaign's data — the
 /// quality disclosure the paper's §6 accuracy-assessment recommendation
 /// implies once meters are allowed to fail.
@@ -50,6 +66,8 @@ struct DataQuality {
   /// True when meters were lost and the Eq. 1 CI was recomputed over the
   /// smaller surviving sample (and is therefore wider than planned).
   bool ci_widened = false;
+  // --- collection path (async collector only) ----------------------------
+  CollectionQuality collection;
 
   [[nodiscard]] bool degraded() const {
     return meters_lost > 0 || samples_lost > 0;
@@ -100,5 +118,34 @@ struct CampaignResult {
 [[nodiscard]] Watts true_scope_power(const ClusterPowerModel& cluster,
                                      const SystemPowerModel& electrical,
                                      const MethodologySpec& spec);
+
+/// One metered node's contribution as a collection layer delivered it:
+/// the per-window-averaged mean power (already corrected to AC where the
+/// plan requires it) and summed energy — or `lost` when the meter was
+/// dead, below the coverage floor, or written off by a circuit breaker.
+struct NodeReading {
+  std::size_t node = 0;
+  bool lost = false;
+  double mean_w = 0.0;
+  double energy_j = 0.0;
+};
+
+/// Shared tail of every node-tap campaign, used by both run_campaign and
+/// the asynchronous collector (src/collect): excludes lost meters,
+/// extrapolates the surviving per-node means to the machine, re-bases
+/// energy to the planned metering scope, computes the Eq. 1 CI, and
+/// finalizes `dq` (whose meters_planned / faults_enabled / collection
+/// fields the caller has already filled).  Readings must be in plan
+/// order.  Throws when every meter was lost.
+[[nodiscard]] CampaignResult finalize_node_campaign(
+    const ClusterPowerModel& cluster, const SystemPowerModel& electrical,
+    const MeasurementPlan& plan, const std::vector<NodeReading>& readings,
+    DataQuality dq);
+
+/// Aspect 4: corrects a DC-side node reading back to AC per the plan's
+/// conversion policy.  No-op for AC-side taps.
+void apply_dc_conversion(const MeasurementPlan& plan,
+                         const SystemPowerModel& electrical, std::size_t node,
+                         double& mean_w, double& energy_j);
 
 }  // namespace pv

@@ -204,4 +204,24 @@ std::vector<ValidationIssue> validate_plan(const MeasurementPlan& plan,
   return issues;
 }
 
+std::vector<TimeWindow> metered_windows(const MeasurementPlan& plan,
+                                        Seconds meter_interval) {
+  std::vector<TimeWindow> windows;
+  if (plan.timing == TimingStrategy::kContinuous) {
+    windows.push_back(plan.window);
+    return windows;
+  }
+  const double span = plan.window.duration().value();
+  const double spot =
+      std::max(plan.spot_duration.value(), meter_interval.value());
+  PV_EXPECTS(spot * 10.0 <= span + 1e-9,
+             "ten spot averages do not fit in the plan window");
+  for (int k = 0; k < 10; ++k) {
+    const double center = plan.window.begin.value() + (k + 0.5) * span / 10.0;
+    windows.push_back(
+        {Seconds{center - 0.5 * spot}, Seconds{center + 0.5 * spot}});
+  }
+  return windows;
+}
+
 }  // namespace pv

@@ -84,6 +84,12 @@ struct PlanInputs {
     SubsetStrategy strategy = SubsetStrategy::kRandom,
     double window_position = 0.5);
 
+/// The time windows a plan actually meters (aspect 1): the whole window
+/// for continuous timing, or Level 2's ten equally spaced spot averages.
+/// `meter_interval` floors each spot at one reporting interval.
+[[nodiscard]] std::vector<TimeWindow> metered_windows(
+    const MeasurementPlan& plan, Seconds meter_interval);
+
 /// A single rule violation found by the validator.
 struct ValidationIssue {
   std::string rule;  ///< which aspect ("timing", "fraction", ...)

@@ -45,7 +45,9 @@ std::string accuracy_report(const MeasurementPlan& plan,
 }
 
 std::string data_quality_report(const DataQuality& q) {
-  if (!q.faults_enabled) return "";
+  // Rendered when data faults were injected or the async collection path
+  // ran (whose transport losses degrade coverage the same way).
+  if (!q.faults_enabled && !q.collection.used) return "";
   std::ostringstream os;
   os << "\n--- data quality ---\n";
   os << "meters lost:       " << q.meters_lost << " of " << q.meters_planned;
@@ -71,6 +73,22 @@ std::string data_quality_report(const DataQuality& q) {
              ? "widened (re-extrapolated from surviving meters)"
              : "as planned")
      << '\n';
+  os << collection_quality_report(q.collection);
+  return os.str();
+}
+
+std::string collection_quality_report(const CollectionQuality& c) {
+  if (!c.used) return "";
+  std::ostringstream os;
+  os << "\n--- collection path ---\n";
+  os << "polls:             " << c.polls_attempted << " attempted, "
+     << c.polls_timed_out << " timed out, " << c.polls_retried
+     << " retries, " << c.duplicates_discarded << " duplicates discarded\n";
+  os << "circuit breakers:  " << c.breaker_trips << " trips, "
+     << c.meters_abandoned << " meters abandoned\n";
+  os << "poll time:         " << fmt_fixed(c.busy_total_s, 2)
+     << " s total, slowest meter " << fmt_fixed(c.busy_max_meter_s, 2)
+     << " s, modeled wall clock " << fmt_fixed(c.makespan_s, 2) << " s\n";
   return os.str();
 }
 

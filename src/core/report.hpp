@@ -23,7 +23,14 @@ namespace pv {
 
 /// Renders the data-quality block of a degraded campaign: meters lost,
 /// sample coverage, repairs, and whether the Eq. 1 CI was widened.
-/// Empty string when fault injection was not enabled.
+/// Empty string when neither fault injection nor the async collection
+/// path was used.
 [[nodiscard]] std::string data_quality_report(const DataQuality& quality);
+
+/// Renders the collection-path block: polls, retries, timeouts, breaker
+/// trips, and modeled poll wall clock.  Empty string for the synchronous
+/// in-memory path.
+[[nodiscard]] std::string collection_quality_report(
+    const CollectionQuality& collection);
 
 }  // namespace pv

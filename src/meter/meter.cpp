@@ -69,6 +69,12 @@ PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
   return PowerTrace(t_begin, interval_, std::move(readings));
 }
 
+std::size_t MeterModel::samples_in(TimeWindow w) const {
+  if (!w.valid()) return 0;
+  return static_cast<std::size_t>(
+      std::floor(w.duration().value() / interval_.value() + 1e-9));
+}
+
 Joules MeterModel::measure_energy(const PowerFunction& truth_w,
                                   Seconds t_begin, Seconds t_end,
                                   Rng& noise_rng) const {

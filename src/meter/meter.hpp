@@ -75,6 +75,11 @@ class MeterModel {
                                       Seconds t_begin, Seconds t_end,
                                       Rng& noise_rng) const;
 
+  /// How many readings measure() produces over `w` — the same floor
+  /// arithmetic, so sample accounting (expected vs delivered) and poll
+  /// chunking agree with the meter exactly.
+  [[nodiscard]] std::size_t samples_in(TimeWindow w) const;
+
  private:
   MeterAccuracy accuracy_;
   MeterMode mode_;

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -24,8 +25,11 @@ void CsvWriter::add_row(std::span<const double> values) {
   std::vector<std::string> cells;
   cells.reserve(values.size());
   for (double v : values) {
+    // max_digits10 significant digits round-trip every finite double
+    // bit-exactly through text, so import(export(trace)) == trace.
     char buf[48];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
+    std::snprintf(buf, sizeof buf, "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
     cells.emplace_back(buf);
   }
   add_row(std::move(cells));

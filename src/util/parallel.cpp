@@ -16,13 +16,17 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::unique_lock lock(mu_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
   cv_job_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
@@ -104,6 +108,47 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   {
     std::unique_lock lock(done_mu);
     done_cv.wait(lock, [&] { return done.load() == submitted; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for_dynamic(ThreadPool* pool, std::size_t n,
+                          const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  const std::size_t workers = std::min<std::size_t>(pool->size(), n);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool->submit([&] {
+      try {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= n) break;
+          body(i);
+        }
+      } catch (...) {
+        std::scoped_lock lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == workers) {
+        std::scoped_lock lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock lock(done_mu);
+    done_cv.wait(lock, [&] { return done.load() == workers; });
   }
   if (first_error) std::rethrow_exception(first_error);
 }

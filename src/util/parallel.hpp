@@ -29,14 +29,19 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a job; throws if the pool is shutting down.  Exceptions
-  /// escaping the job are swallowed by the worker (it keeps serving and
-  /// wait_idle still returns); jobs that must propagate errors capture
-  /// them into an std::exception_ptr themselves, as parallel_for does.
+  /// Enqueues a job; throws if the pool is shut down (or shutting down).
+  /// Exceptions escaping the job are swallowed by the worker (it keeps
+  /// serving and wait_idle still returns); jobs that must propagate errors
+  /// capture them into an std::exception_ptr themselves, as parallel_for
+  /// does.
   void submit(std::function<void()> job);
 
   /// Blocks until every submitted job has finished executing.
   void wait_idle();
+
+  /// Drains the queue and joins all workers.  Idempotent; called by the
+  /// destructor.  submit after shutdown throws contract_error.
+  void shutdown();
 
  private:
   void worker_loop();
@@ -56,6 +61,16 @@ class ThreadPool {
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 256);
+
+/// Runs body(i) for i in [0, n) with dynamic (work-stealing-ish) index
+/// assignment: workers grab the next index from a shared counter, so wildly
+/// uneven per-index cost (e.g. meters behind a flaky transport retrying to
+/// their deadline next to healthy ones) still load-balances.  Use
+/// parallel_for when per-index cost is uniform — its contiguous chunks are
+/// cheaper.  Exceptions from body are rethrown on the caller (first wins).
+/// With a null pool or single worker, runs inline on the caller in order.
+void parallel_for_dynamic(ThreadPool* pool, std::size_t n,
+                          const std::function<void(std::size_t)>& body);
 
 /// Process-wide default pool, created on first use.
 ThreadPool& default_pool();

@@ -1,0 +1,338 @@
+// Tests for the asynchronous collection pipeline: transport faults,
+// retry/backoff, circuit breakers, the bounded queue, and crash-safe
+// checkpoint/resume.  The load-bearing property throughout: the collected
+// result is a pure function of (plan, config) — thread count, scheduling
+// and crashes cannot change a bit of it.
+
+#include "collect/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "collect/queue.hpp"
+#include "core/report.hpp"
+#include "sim/fleet.hpp"
+#include "util/expects.hpp"
+#include "workload/profiles.hpp"
+
+namespace pv {
+namespace {
+
+struct Rig {
+  std::unique_ptr<ClusterPowerModel> cluster;
+  std::unique_ptr<SystemPowerModel> electrical;
+  MeasurementPlan plan;
+};
+
+Rig make_rig(std::size_t n_nodes, std::uint64_t seed = 3) {
+  auto workload = std::make_shared<FirestarterWorkload>(
+      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.02);
+  var.outlier_prob = 0.0;
+  Rig rig;
+  rig.cluster = std::make_unique<ClusterPowerModel>(
+      "collect-rig", generate_node_powers(n_nodes, 400.0, var, 99), workload);
+  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
+      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
+  PlanInputs in;
+  in.total_nodes = n_nodes;
+  in.approx_node_power = watts(400.0);
+  in.run = rig.cluster->phases();
+  Rng rng(seed);
+  rig.plan = plan_measurement(MethodologySpec::get(Level::kL1,
+                                                   Revision::kV2015),
+                              in, rng);
+  return rig;
+}
+
+CollectorConfig fast_config() {
+  CollectorConfig c;
+  c.campaign.meter_interval_override = Seconds{10.0};
+  c.threads = 4;
+  // Generous deadline: with the default latency model, a healthy meter
+  // essentially never times out, so fault-free runs have clean tallies.
+  c.poller.timeout_s = 5.0;
+  return c;
+}
+
+std::string temp_journal(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// A stable serialization of everything the user would see, for
+// byte-identity comparisons between runs.
+std::string result_signature(const MeasurementPlan& plan,
+                             const CampaignResult& r) {
+  return accuracy_report(plan, r);
+}
+
+TEST(Collector, FaultFreeCollectionTracksGroundTruth) {
+  const Rig rig = make_rig(160);
+  const CollectionOutcome out = collect_campaign(
+      *rig.cluster, *rig.electrical, rig.plan, fast_config());
+  EXPECT_EQ(out.meters_polled, rig.plan.node_count());
+  EXPECT_EQ(out.meters_resumed, 0u);
+  const CampaignResult& r = out.result;
+  EXPECT_EQ(r.nodes_measured, rig.plan.node_count());
+  EXPECT_LT(r.relative_error, 0.05);  // same structural L1 bias as sync path
+  const DataQuality& dq = r.data_quality;
+  EXPECT_TRUE(dq.collection.used);
+  EXPECT_EQ(dq.meters_lost, 0u);
+  EXPECT_EQ(dq.samples_lost, 0u);
+  EXPECT_EQ(dq.collection.polls_timed_out, 0u);
+  EXPECT_EQ(dq.collection.breaker_trips, 0u);
+  EXPECT_GT(dq.collection.polls_attempted, 0u);
+  EXPECT_GT(dq.collection.busy_total_s, 0.0);
+  EXPECT_GE(dq.collection.busy_total_s, dq.collection.busy_max_meter_s);
+  EXPECT_GE(dq.collection.makespan_s, dq.collection.busy_max_meter_s);
+  EXPECT_LE(dq.collection.makespan_s, dq.collection.busy_total_s);
+}
+
+TEST(Collector, ResultIsIndependentOfThreadCount) {
+  const Rig rig = make_rig(160);
+  CollectorConfig one = fast_config();
+  one.threads = 1;
+  CollectorConfig eight = fast_config();
+  eight.threads = 8;
+  const auto a =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, one);
+  const auto b =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, eight);
+  EXPECT_EQ(a.result.submitted_power.value(),
+            b.result.submitted_power.value());
+  EXPECT_EQ(a.result.submitted_energy.value(),
+            b.result.submitted_energy.value());
+  ASSERT_EQ(a.result.node_mean_powers_w.size(),
+            b.result.node_mean_powers_w.size());
+  for (std::size_t i = 0; i < a.result.node_mean_powers_w.size(); ++i) {
+    EXPECT_EQ(a.result.node_mean_powers_w[i],
+              b.result.node_mean_powers_w[i]);
+  }
+}
+
+TEST(Collector, FlakyTransportIsDeterministicAndRecovers) {
+  const Rig rig = make_rig(160);
+  CollectorConfig config = fast_config();
+  config.transport.drop_prob = 0.2;
+  config.transport.duplicate_prob = 0.05;
+  config.poller.max_attempts = 4;
+  const auto a =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  const auto b =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  EXPECT_EQ(result_signature(rig.plan, a.result),
+            result_signature(rig.plan, b.result));
+  // 20% drop with 4 attempts: effectively everything arrives eventually.
+  const DataQuality& dq = a.result.data_quality;
+  EXPECT_GT(dq.collection.polls_retried, 0u);
+  EXPECT_GT(dq.collection.polls_timed_out, 0u);
+  EXPECT_EQ(dq.meters_lost, 0u);
+  EXPECT_LT(a.result.relative_error, 0.05);
+}
+
+TEST(Collector, BlackholeMetersAreAbandonedAndDisclosed) {
+  const Rig rig = make_rig(160);
+  CollectorConfig config = fast_config();
+  config.campaign.faults.dead_meters = {rig.plan.node_indices[0],
+                                        rig.plan.node_indices[3]};
+  const auto out =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  const DataQuality& dq = out.result.data_quality;
+  EXPECT_EQ(dq.meters_lost, 2u);
+  EXPECT_EQ(dq.collection.meters_abandoned, 2u);
+  EXPECT_GT(dq.collection.breaker_trips, 0u);
+  ASSERT_EQ(dq.lost_meter_ids.size(), 2u);
+  EXPECT_EQ(dq.lost_meter_ids[0], rig.plan.node_indices[0]);
+  EXPECT_EQ(dq.lost_meter_ids[1], rig.plan.node_indices[3]);
+  EXPECT_EQ(out.result.nodes_measured, rig.plan.node_count() - 2);
+  // The degradation path re-based the extrapolation: still near truth.
+  EXPECT_LT(out.result.relative_error, 0.06);
+  // And the report discloses the collection path.
+  const std::string report = data_quality_report(dq);
+  EXPECT_NE(report.find("collection path"), std::string::npos);
+  EXPECT_NE(report.find("abandoned"), std::string::npos);
+}
+
+TEST(Collector, BreakerBoundsTheBusyTimeOfDeadMeters) {
+  const Rig rig = make_rig(160);
+  CollectorConfig with_breaker = fast_config();
+  with_breaker.transport.blackhole_meters = {rig.plan.node_indices[1],
+                                             rig.plan.node_indices[5],
+                                             rig.plan.node_indices[9]};
+  CollectorConfig without = with_breaker;
+  without.poller.breaker.enabled = false;
+  const auto guarded = collect_campaign(*rig.cluster, *rig.electrical,
+                                        rig.plan, with_breaker);
+  const auto unguarded =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, without);
+  // Same meters lost either way, but the breaker pays far fewer timeouts.
+  EXPECT_EQ(guarded.result.data_quality.meters_lost,
+            unguarded.result.data_quality.meters_lost);
+  EXPECT_LT(guarded.result.data_quality.collection.polls_timed_out,
+            unguarded.result.data_quality.collection.polls_timed_out);
+  EXPECT_LT(guarded.result.data_quality.collection.busy_max_meter_s,
+            unguarded.result.data_quality.collection.busy_max_meter_s);
+}
+
+TEST(Collector, KillAndResumeIsByteIdenticalToUninterrupted) {
+  const Rig rig = make_rig(160);
+  CollectorConfig config = fast_config();
+  config.transport.drop_prob = 0.1;
+  config.transport.blackhole_fraction = 0.1;
+
+  CollectorConfig clean = config;
+  clean.journal_path = temp_journal("collector_clean.wal");
+  const auto uninterrupted =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, clean);
+
+  CollectorConfig crashing = config;
+  crashing.journal_path = temp_journal("collector_crash.wal");
+  crashing.crash_after_meters = 5;
+  EXPECT_THROW(
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, crashing),
+      CollectionAborted);
+
+  CollectorConfig resuming = config;
+  resuming.journal_path = crashing.journal_path;
+  resuming.resume = true;
+  const auto resumed =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, resuming);
+  EXPECT_EQ(resumed.meters_resumed, 5u);
+  EXPECT_EQ(resumed.meters_polled, rig.plan.node_count() - 5);
+  EXPECT_EQ(resumed.journal_torn_lines, 0u);
+
+  // The headline contract: not close — byte-identical.
+  EXPECT_EQ(result_signature(rig.plan, uninterrupted.result),
+            result_signature(rig.plan, resumed.result));
+  EXPECT_EQ(uninterrupted.result.submitted_power.value(),
+            resumed.result.submitted_power.value());
+  EXPECT_EQ(uninterrupted.result.submitted_energy.value(),
+            resumed.result.submitted_energy.value());
+  EXPECT_EQ(uninterrupted.result.data_quality.collection.busy_total_s,
+            resumed.result.data_quality.collection.busy_total_s);
+}
+
+TEST(Collector, ResumingACompleteJournalRepollsNothing) {
+  const Rig rig = make_rig(160);
+  CollectorConfig config = fast_config();
+  config.journal_path = temp_journal("collector_complete.wal");
+  const auto first =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  config.resume = true;
+  const auto second =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  EXPECT_EQ(second.meters_polled, 0u);
+  EXPECT_EQ(second.meters_resumed, rig.plan.node_count());
+  EXPECT_EQ(result_signature(rig.plan, first.result),
+            result_signature(rig.plan, second.result));
+}
+
+TEST(Collector, ResumeRejectsAForeignJournal) {
+  const Rig rig = make_rig(160);
+  CollectorConfig config = fast_config();
+  config.journal_path = temp_journal("collector_foreign.wal");
+  (void)collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  config.resume = true;
+  config.campaign.seed += 1;  // a different campaign identity
+  EXPECT_THROW(
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config),
+      std::runtime_error);
+}
+
+TEST(Collector, FingerprintSeparatesCampaigns) {
+  const Rig rig = make_rig(160);
+  const CollectorConfig base = fast_config();
+  CollectorConfig other = base;
+  other.campaign.seed = 999;
+  EXPECT_NE(collection_fingerprint(rig.plan, base),
+            collection_fingerprint(rig.plan, other));
+  other = base;
+  other.transport.drop_prob = 0.5;
+  EXPECT_NE(collection_fingerprint(rig.plan, base),
+            collection_fingerprint(rig.plan, other));
+  other = base;
+  other.poller.timeout_s = 9.0;
+  EXPECT_NE(collection_fingerprint(rig.plan, base),
+            collection_fingerprint(rig.plan, other));
+  // Journal bookkeeping knobs do NOT change the campaign identity.
+  other = base;
+  other.crash_after_meters = 3;
+  other.journal_path = "somewhere.wal";
+  EXPECT_EQ(collection_fingerprint(rig.plan, base),
+            collection_fingerprint(rig.plan, other));
+}
+
+TEST(Collector, EveryMeterDeadThrows) {
+  const Rig rig = make_rig(160);
+  CollectorConfig config = fast_config();
+  config.transport.blackhole_fraction = 1.0;
+  EXPECT_THROW(
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config),
+      std::runtime_error);
+}
+
+TEST(Collector, RejectsDataFaultInjectionAndNonNodePlans) {
+  const Rig rig = make_rig(160);
+  CollectorConfig config = fast_config();
+  config.campaign.faults.spec = FaultSpec::mild();
+  EXPECT_THROW(
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config),
+      contract_error);
+  MeasurementPlan facility = rig.plan;
+  facility.point = MeasurementPoint::kFacilityFeed;
+  EXPECT_THROW(collect_campaign(*rig.cluster, *rig.electrical, facility,
+                                fast_config()),
+               contract_error);
+  config = fast_config();
+  config.resume = true;  // resume without a journal path
+  EXPECT_THROW(
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config),
+      contract_error);
+}
+
+TEST(BoundedQueue, BackpressureBlocksUntilConsumed) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    q.push(3);  // must block: capacity 2
+    third_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());  // still stuck behind the full queue
+  EXPECT_EQ(q.pop().value(), 1);      // frees a slot
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop().value(), 3);
+}
+
+TEST(BoundedQueue, CloseUnblocksProducersAndDrainsConsumers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(7));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push(8));  // blocked on full, woken by close -> false
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_EQ(q.pop().value(), 7);          // close still drains queued items
+  EXPECT_FALSE(q.pop().has_value());      // then reports end-of-stream
+  EXPECT_FALSE(q.push(9));                // closed for good
+  q.close();                              // idempotent
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>{0}, contract_error);
+}
+
+}  // namespace
+}  // namespace pv

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/expects.hpp"
@@ -122,6 +123,98 @@ TEST(ParallelFor, ResultsMatchSerialReduction) {
                /*grain=*/32);
   double sum = std::accumulate(out.begin(), out.end(), 0.0);
   EXPECT_DOUBLE_EQ(sum, 0.5 * (kN - 1.0) * kN / 2.0);
+}
+
+TEST(ThreadPool, ConcurrentSubmitFromManyThreads) {
+  // submit() is part of the pool's public contract from any thread — the
+  // collector's pollers enqueue follow-up work concurrently.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 8; ++p) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < 250; ++i) {
+        pool.submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2000);
+}
+
+TEST(ThreadPool, WaitIdleRacingNewSubmissions) {
+  // wait_idle from one thread while another keeps submitting must neither
+  // deadlock nor miss work: after both finish, every job has run.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::thread submitter([&pool, &count] {
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+      if (i % 100 == 0) std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 20; ++i) pool.wait_idle();  // must not hang mid-storm
+  submitter.join();
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&count] { count.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 10);  // shutdown drains before joining
+  EXPECT_THROW(pool.submit([] {}), contract_error);
+  pool.shutdown();  // idempotent
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ParallelForDynamic, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> touched(kN);
+  parallel_for_dynamic(&pool, kN,
+                       [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForDynamic, InlineWhenNoPool) {
+  std::vector<std::size_t> order;
+  parallel_for_dynamic(nullptr, 5,
+                       [&](std::size_t i) { order.push_back(i); });
+  const std::vector<std::size_t> expect{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelForDynamic, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for_dynamic(&pool, 1000,
+                                    [](std::size_t i) {
+                                      if (i == 777) {
+                                        throw std::runtime_error("boom");
+                                      }
+                                    }),
+               std::runtime_error);
+}
+
+TEST(ParallelForDynamic, BalancesWildlyUnevenWork) {
+  // One expensive index among thousands of cheap ones — dynamic
+  // assignment must still cover everything (the flaky-meter shape).
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for_dynamic(&pool, 2000, [&](std::size_t i) {
+    if (i == 0) {
+      std::atomic<int> spin{0};
+      while (spin.fetch_add(1) < 2000000) {
+      }
+    }
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 2000);
 }
 
 TEST(DefaultPool, IsSingletonAndUsable) {

@@ -1,0 +1,158 @@
+// Tests for capped exponential backoff and the per-meter circuit breaker.
+
+#include "collect/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+TEST(BackoffPolicy, GrowsExponentiallyUpToTheCap) {
+  BackoffPolicy p;
+  p.initial_s = 0.5;
+  p.multiplier = 2.0;
+  p.max_s = 3.0;
+  p.jitter_frac = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(p.delay_s(0, rng), 0.5);
+  EXPECT_DOUBLE_EQ(p.delay_s(1, rng), 1.0);
+  EXPECT_DOUBLE_EQ(p.delay_s(2, rng), 2.0);
+  EXPECT_DOUBLE_EQ(p.delay_s(3, rng), 3.0);  // capped
+  EXPECT_DOUBLE_EQ(p.delay_s(9, rng), 3.0);  // stays capped
+}
+
+TEST(BackoffPolicy, JitterStaysWithinItsFraction) {
+  BackoffPolicy p;
+  p.initial_s = 1.0;
+  p.multiplier = 1.0;
+  p.max_s = 1.0;
+  p.jitter_frac = 0.25;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = p.delay_s(0, rng);
+    ASSERT_GE(d, 0.75);
+    ASSERT_LE(d, 1.25);
+  }
+}
+
+TEST(BackoffPolicy, JitterIsDeterministicPerSeed) {
+  BackoffPolicy p;
+  Rng a(7), b(7);
+  for (std::size_t r = 0; r < 20; ++r) {
+    ASSERT_EQ(p.delay_s(r, a), p.delay_s(r, b));
+  }
+}
+
+TEST(BackoffPolicy, RejectsNonsenseParameters) {
+  Rng rng(1);
+  BackoffPolicy p;
+  p.multiplier = 0.5;  // shrinking backoff is a config bug
+  EXPECT_THROW(p.delay_s(0, rng), contract_error);
+  p = BackoffPolicy{};
+  p.max_s = 0.01;  // cap below the initial delay
+  EXPECT_THROW(p.delay_s(0, rng), contract_error);
+}
+
+BreakerConfig quick_breaker() {
+  BreakerConfig c;
+  c.open_after = 3;
+  c.cooldown_s = 10.0;
+  c.cooldown_multiplier = 2.0;
+  c.cooldown_max_s = 35.0;
+  return c;
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreaker b(quick_breaker());
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  b.on_failure(1.0);
+  b.on_failure(2.0);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow(2.5));
+  b.on_failure(3.0);  // third consecutive failure
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.trips(), 1u);
+  EXPECT_DOUBLE_EQ(b.open_until_s(), 13.0);
+  EXPECT_FALSE(b.allow(5.0));  // rejected instantly while open
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureCount) {
+  CircuitBreaker b(quick_breaker());
+  b.on_failure(1.0);
+  b.on_failure(2.0);
+  b.on_success();  // interleaved success: not "consecutive" any more
+  b.on_failure(3.0);
+  b.on_failure(4.0);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.trips(), 0u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessCloses) {
+  CircuitBreaker b(quick_breaker());
+  b.on_failure(0.0);
+  b.on_failure(0.0);
+  b.on_failure(0.0);
+  ASSERT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_FALSE(b.allow(9.9));
+  EXPECT_TRUE(b.allow(10.0));  // cooldown elapsed -> probe admitted
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.on_success();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  // The cooldown escalation was reset: a fresh trip opens for 10 s again.
+  b.on_failure(20.0);
+  b.on_failure(20.0);
+  b.on_failure(20.0);
+  EXPECT_DOUBLE_EQ(b.open_until_s(), 30.0);
+}
+
+TEST(CircuitBreaker, FailedProbeEscalatesTheCooldownCapped) {
+  CircuitBreaker b(quick_breaker());
+  b.on_failure(0.0);
+  b.on_failure(0.0);
+  b.on_failure(0.0);  // trip 1: open until 10, next cooldown 20
+  ASSERT_TRUE(b.allow(10.0));
+  b.on_failure(10.0);  // failed probe, trip 2: open until 30, next 35 (cap)
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_DOUBLE_EQ(b.open_until_s(), 30.0);
+  ASSERT_TRUE(b.allow(30.0));
+  b.on_failure(30.0);  // trip 3: open until 65, cooldown pinned at the cap
+  EXPECT_DOUBLE_EQ(b.open_until_s(), 65.0);
+  ASSERT_TRUE(b.allow(65.0));
+  b.on_failure(65.0);  // trip 4: still the cap
+  EXPECT_DOUBLE_EQ(b.open_until_s(), 100.0);
+  EXPECT_EQ(b.trips(), 4u);
+}
+
+TEST(CircuitBreaker, DisabledBreakerNeverBlocks) {
+  BreakerConfig c = quick_breaker();
+  c.enabled = false;
+  CircuitBreaker b(c);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(b.allow(0.0));
+    b.on_failure(0.0);
+  }
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.trips(), 0u);
+}
+
+TEST(CircuitBreaker, RejectsNonsenseConfig) {
+  BreakerConfig c = quick_breaker();
+  c.open_after = 0;
+  EXPECT_THROW(CircuitBreaker{c}, contract_error);
+  c = quick_breaker();
+  c.cooldown_max_s = 1.0;  // ceiling below the first cooldown
+  EXPECT_THROW(CircuitBreaker{c}, contract_error);
+}
+
+TEST(BreakerState, NamesAreStable) {
+  EXPECT_EQ(std::string(to_string(BreakerState::kClosed)), "closed");
+  EXPECT_EQ(std::string(to_string(BreakerState::kOpen)), "open");
+  EXPECT_EQ(std::string(to_string(BreakerState::kHalfOpen)), "half-open");
+}
+
+}  // namespace
+}  // namespace pv

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
+#include <string>
 
 #include "stats/rng.hpp"
 
@@ -31,6 +34,35 @@ TEST(TraceIo, RoundTripPreservesEverything) {
   }
   EXPECT_DOUBLE_EQ(loaded.mean_power().value(),
                    original.mean_power().value());
+}
+
+TEST(TraceIo, RoundTripIsBitExact) {
+  // The exporter prints max_digits10 significant digits, so every finite
+  // double survives the text round trip bit-for-bit — not just to within
+  // a tolerance.  dt must be binary-representable (the importer re-infers
+  // it from the printed timestamps).
+  Rng rng(42);
+  std::vector<double> w(200);
+  for (auto& v : w) v = rng.normal(431.7, 12.9);
+  const PowerTrace original(Seconds{0.25}, Seconds{0.25}, std::move(w));
+  const std::string path = ::testing::TempDir() + "/pv_trace_bitexact.csv";
+  save_trace_csv(original, path);
+  const PowerTrace loaded = load_trace_csv(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.t0().value(), original.t0().value());
+  EXPECT_EQ(loaded.dt().value(), original.dt().value());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(loaded.watt_at(i), original.watt_at(i)) << "i=" << i;
+  }
+  // And a second export of the re-imported trace is byte-identical.
+  const std::string path2 = ::testing::TempDir() + "/pv_trace_bitexact2.csv";
+  save_trace_csv(loaded, path2);
+  std::ifstream a(path), b(path2);
+  const std::string text_a((std::istreambuf_iterator<char>(a)),
+                           std::istreambuf_iterator<char>());
+  const std::string text_b((std::istreambuf_iterator<char>(b)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_EQ(text_a, text_b);
 }
 
 TEST(TraceIo, ParsesMinimalText) {

@@ -1,0 +1,205 @@
+// Tests for the crash-safe write-ahead journal and the meter-record codec.
+
+#include "trace/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "collect/journal.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+std::string temp_wal(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void append_raw(const std::string& path, const std::string& line) {
+  std::ofstream f(path, std::ios::app);
+  f << line;
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);  // the classic check value
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+TEST(Wal, WriteThenReplayRoundTrips) {
+  const std::string path = temp_wal("wal_roundtrip.wal");
+  {
+    WalWriter w(path, 0xDEADBEEFCAFEF00DULL);
+    w.append("first record");
+    w.append("second 3.14159 record");
+    EXPECT_EQ(w.records_written(), 2u);
+  }
+  const WalReplay r = replay_wal(path);
+  ASSERT_TRUE(r.exists);
+  EXPECT_EQ(r.fingerprint, 0xDEADBEEFCAFEF00DULL);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0], "first record");
+  EXPECT_EQ(r.records[1], "second 3.14159 record");
+  EXPECT_EQ(r.torn_lines, 0u);
+}
+
+TEST(Wal, MissingFileIsAFreshCampaign) {
+  const WalReplay r = replay_wal(temp_wal("wal_never_created.wal"));
+  EXPECT_FALSE(r.exists);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST(Wal, EmptyFileIsAFreshCampaign) {
+  const std::string path = temp_wal("wal_empty.wal");
+  { std::ofstream f(path); }
+  EXPECT_FALSE(replay_wal(path).exists);
+}
+
+TEST(Wal, TornTrailingLineIsDroppedAndCounted) {
+  const std::string path = temp_wal("wal_torn.wal");
+  {
+    WalWriter w(path, 42);
+    w.append("complete record");
+  }
+  append_raw(path, "R half-written-before-the-crash");  // no CRC, no newline
+  const WalReplay r = replay_wal(path);
+  ASSERT_TRUE(r.exists);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "complete record");
+  EXPECT_EQ(r.torn_lines, 1u);
+}
+
+TEST(Wal, CorruptedRecordEndsTheTrustworthyPrefix) {
+  const std::string path = temp_wal("wal_corrupt.wal");
+  {
+    WalWriter w(path, 42);
+    w.append("good one");
+    w.append("about to corrupt");
+    w.append("after the corruption");
+  }
+  // Flip a payload byte of the middle record: its CRC no longer matches,
+  // and the final (intact) record must NOT be resurrected past the tear.
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t at = text.find("about");
+  ASSERT_NE(at, std::string::npos);
+  text[at] = 'X';
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.close();
+
+  const WalReplay r = replay_wal(path);
+  ASSERT_TRUE(r.exists);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0], "good one");
+  EXPECT_EQ(r.torn_lines, 2u);  // the corrupted line and everything after
+}
+
+TEST(Wal, GarbageFileIsNotAJournal) {
+  const std::string path = temp_wal("wal_garbage.wal");
+  { std::ofstream f(path); f << "t_s,power_w\n0,100\n"; }
+  EXPECT_THROW(replay_wal(path), std::runtime_error);
+}
+
+TEST(Wal, AppendToContinuesAnExistingJournal) {
+  const std::string path = temp_wal("wal_append.wal");
+  {
+    WalWriter w(path, 7);
+    w.append("from the first run");
+  }
+  {
+    WalWriter w = WalWriter::append_to(path, 7);
+    w.append("from the resumed run");
+  }
+  const WalReplay r = replay_wal(path);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0], "from the first run");
+  EXPECT_EQ(r.records[1], "from the resumed run");
+}
+
+TEST(Wal, AppendToRejectsFingerprintMismatch) {
+  const std::string path = temp_wal("wal_mismatch.wal");
+  { WalWriter w(path, 7); }
+  EXPECT_THROW(WalWriter::append_to(path, 8), std::runtime_error);
+  EXPECT_THROW(WalWriter::append_to(temp_wal("wal_absent.wal"), 7),
+               std::runtime_error);
+}
+
+TEST(Wal, RejectsMultilinePayloads) {
+  WalWriter w(temp_wal("wal_multiline.wal"), 1);
+  EXPECT_THROW(w.append("two\nlines"), contract_error);
+}
+
+TEST(MeterRecordCodec, RoundTripsBitExactly) {
+  MeterRecord rec;
+  rec.reading.node = 137;
+  rec.reading.lost = false;
+  rec.reading.mean_w = 431.72839456120031;  // full-precision doubles
+  rec.reading.energy_j = 777013.00000000012;
+  rec.abandoned = true;
+  rec.samples_expected = 1800;
+  rec.samples_lost = 63;
+  rec.polls = 40;
+  rec.timeouts = 9;
+  rec.retries = 7;
+  rec.duplicates = 2;
+  rec.breaker_trips = 1;
+  rec.busy_s = 12.000000000000302;
+
+  const MeterRecord back = decode_meter_record(encode_meter_record(rec));
+  EXPECT_EQ(back.reading.node, rec.reading.node);
+  EXPECT_EQ(back.reading.lost, rec.reading.lost);
+  EXPECT_EQ(back.reading.mean_w, rec.reading.mean_w);    // bit-exact
+  EXPECT_EQ(back.reading.energy_j, rec.reading.energy_j);
+  EXPECT_EQ(back.abandoned, rec.abandoned);
+  EXPECT_EQ(back.samples_expected, rec.samples_expected);
+  EXPECT_EQ(back.samples_lost, rec.samples_lost);
+  EXPECT_EQ(back.polls, rec.polls);
+  EXPECT_EQ(back.timeouts, rec.timeouts);
+  EXPECT_EQ(back.retries, rec.retries);
+  EXPECT_EQ(back.duplicates, rec.duplicates);
+  EXPECT_EQ(back.breaker_trips, rec.breaker_trips);
+  EXPECT_EQ(back.busy_s, rec.busy_s);
+}
+
+TEST(MeterRecordCodec, RejectsMalformedPayloads) {
+  EXPECT_THROW(decode_meter_record(""), std::runtime_error);
+  EXPECT_THROW(decode_meter_record("1 2 3"), std::runtime_error);
+  EXPECT_THROW(decode_meter_record("not a record at all"),
+               std::runtime_error);
+  // A well-formed record with trailing garbage is a different format.
+  MeterRecord rec;
+  EXPECT_THROW(decode_meter_record(encode_meter_record(rec) + " extra"),
+               std::runtime_error);
+  // Flags must be exactly 0 or 1.
+  EXPECT_THROW(decode_meter_record("5 2 0 1 1 0 0 0 0 0 0 0 0"),
+               std::runtime_error);
+}
+
+TEST(MeterRecordCodec, SurvivesTheWalRoundTrip) {
+  const std::string path = temp_wal("wal_meter_record.wal");
+  MeterRecord rec;
+  rec.reading.node = 9;
+  rec.reading.mean_w = 1.0 / 3.0;
+  rec.reading.energy_j = std::sqrt(2.0) * 1e6;
+  rec.busy_s = 0.1 + 0.2;  // famously unrepresentable
+  {
+    WalWriter w(path, 5);
+    w.append(encode_meter_record(rec));
+  }
+  const WalReplay r = replay_wal(path);
+  ASSERT_EQ(r.records.size(), 1u);
+  const MeterRecord back = decode_meter_record(r.records[0]);
+  EXPECT_EQ(back.reading.mean_w, rec.reading.mean_w);
+  EXPECT_EQ(back.reading.energy_j, rec.reading.energy_j);
+  EXPECT_EQ(back.busy_s, rec.busy_s);
+}
+
+}  // namespace
+}  // namespace pv

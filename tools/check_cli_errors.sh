@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Guards the CLI's error contract: unknown subcommands and malformed or
+# out-of-range flags must print a diagnostic on stderr and exit non-zero,
+# never limp on with silently-defaulted values (the old atof behavior
+# turned '--dropout abc' into '--dropout 0').
+#
+# Usage: check_cli_errors.sh /path/to/powervar
+set -uo pipefail
+
+powervar="${1:?usage: check_cli_errors.sh /path/to/powervar}"
+failures=0
+
+# expect_error <description> <expected-stderr-pattern> -- <args...>
+expect_error() {
+  local what="$1" pattern="$2"
+  shift 3
+  local out err rc
+  out="$("$powervar" "$@" 2>/tmp/pv_cli_err.$$)"
+  rc=$?
+  err="$(cat /tmp/pv_cli_err.$$)"
+  rm -f /tmp/pv_cli_err.$$
+  if [[ "$rc" -eq 0 ]]; then
+    echo "FAIL: $what: exited 0" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if ! grep -q "$pattern" <<<"$err"; then
+    echo "FAIL: $what: stderr lacks '$pattern':" >&2
+    printf '%s\n' "$err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if [[ -n "$out" ]]; then
+    echo "FAIL: $what: produced stdout output despite failing" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $what (exit $rc)"
+}
+
+expect_error "no arguments prints usage" "usage:" --
+expect_error "unknown subcommand" "unknown command" -- frobnicate --x 1
+expect_error "malformed number (space form)" "expects a number" \
+  -- campaign --nodes 64 --dropout abc
+expect_error "malformed number (equals form)" "expects a number" \
+  -- campaign --nodes 64 --dropout=abc
+expect_error "trailing garbage in number" "expects a number" \
+  -- campaign --nodes 64 --dropout 0.1x
+expect_error "rate above 1" "must be in \[0, 1\]" \
+  -- campaign --nodes 64 --dropout 1.5
+expect_error "negative rate" "must be in \[0, 1\]" \
+  -- collect --nodes 64 --blackhole -0.2
+expect_error "dangling option without value" "missing a value" \
+  -- campaign --nodes 64 --dropout
+expect_error "non-option argument" "expected --option" \
+  -- campaign nodes 64
+expect_error "missing required option" "missing required option" \
+  -- sample-size --cv 0.02 --lambda 0.01
+expect_error "bad fault preset" "must be none, mild or harsh" \
+  -- campaign --nodes 64 --faults wild
+expect_error "resume without checkpoint" "journal path" \
+  -- collect --nodes 64 --resume 1
+expect_error "typo'd option name" "unknown option" \
+  -- collect --nodes 64 --balckhole 0.2
+expect_error "option of a different subcommand" "unknown option" \
+  -- collect --nodes 64 --dropout 0.1
+
+# And the happy path must still work, including the --key=value spelling.
+if ! "$powervar" accuracy --nodes=210 --cv=0.02 --n=4 >/dev/null; then
+  echo "FAIL: valid --key=value invocation failed" >&2
+  failures=$((failures + 1))
+fi
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "FAIL: $failures CLI error-contract case(s) broken" >&2
+  exit 1
+fi
+echo "OK: CLI rejects malformed input loudly"

@@ -26,3 +26,48 @@ if ! grep -q "data quality" <<<"$out_a"; then
 fi
 
 echo "OK: faulted campaign is deterministic under a fixed seed"
+
+# ---------------------------------------------------------------------------
+# Kill-and-resume contract: an asynchronous collection killed mid-campaign
+# and resumed from its journal must produce a report byte-identical to an
+# uninterrupted run of the same campaign.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+collect_args=(collect --nodes 64 --cv 0.03 --level 1 --seed 42
+              --blackhole 0.2 --drop 0.05 --interval 10 --threads 4)
+
+clean_out="$("$powervar" "${collect_args[@]}" \
+             --checkpoint "$tmpdir/clean.wal" 2>/dev/null)"
+
+# The crashing run must exit with the dedicated simulated-crash status (3).
+set +e
+"$powervar" "${collect_args[@]}" --checkpoint "$tmpdir/crash.wal" \
+    --crash-after 3 >"$tmpdir/crash.out" 2>/dev/null
+crash_rc=$?
+set -e
+if [[ "$crash_rc" -ne 3 ]]; then
+  echo "FAIL: --crash-after exited with $crash_rc, expected 3" >&2
+  exit 1
+fi
+if [[ -s "$tmpdir/crash.out" ]]; then
+  echo "FAIL: crashed collection printed a (partial) report" >&2
+  exit 1
+fi
+
+resumed_out="$("$powervar" "${collect_args[@]}" \
+               --checkpoint "$tmpdir/crash.wal" --resume 1 2>/dev/null)"
+
+if [[ "$clean_out" != "$resumed_out" ]]; then
+  echo "FAIL: kill-and-resume collection diverged from uninterrupted run" >&2
+  diff <(printf '%s\n' "$clean_out") <(printf '%s\n' "$resumed_out") >&2 || true
+  exit 1
+fi
+
+# The collection must actually have fought the flaky channel.
+if ! grep -q "collection path" <<<"$clean_out"; then
+  echo "FAIL: collect printed no collection-path quality block" >&2
+  exit 1
+fi
+
+echo "OK: kill-and-resume collection is byte-identical to uninterrupted run"

@@ -24,16 +24,31 @@
 //       Simulates a full measurement campaign on a synthetic cluster and
 //       prints the accuracy assessment; with faults, also the data-quality
 //       block (meters lost, coverage, repairs).
+//
+//   powervar collect --nodes N [--cv F] [--level 1|2|3] [--seed S]
+//                    [--drop F] [--dup F] [--blackhole F] [--dead N]
+//                    [--latency MS] [--jitter MS] [--timeout S]
+//                    [--retries K] [--chunk S] [--breaker-after K]
+//                    [--cooldown S] [--threads N] [--interval S]
+//                    [--checkpoint FILE] [--resume 1] [--crash-after K]
+//       Same synthetic campaign, collected through the asynchronous
+//       pipeline: flaky transport, retry/backoff, circuit breakers, and a
+//       crash-safe journal.  The accuracy report goes to stdout (it is
+//       byte-identical between a clean run and a kill-and-resume pair);
+//       collection progress goes to stderr.
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "collect/collector.hpp"
 #include "core/baselines.hpp"
 #include "core/campaign.hpp"
 #include "core/gaming.hpp"
@@ -50,19 +65,27 @@ namespace {
 
 using namespace pv;
 
-/// Minimal --key value argument map.
+/// Strict --key value / --key=value argument map.  Numbers must parse in
+/// full (no silent atof-to-zero), rates must land in [0, 1], and every
+/// option needs a value — violations throw and the CLI exits non-zero.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        throw std::runtime_error("expected --option, got '" + key + "'");
+    for (int i = first; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+        throw std::runtime_error("expected --option, got '" + token + "'");
       }
-      values_[key.substr(2)] = argv[i + 1];
-    }
-    if ((argc - first) % 2 != 0) {
-      throw std::runtime_error("dangling option without a value");
+      const std::string body = token.substr(2);
+      const std::size_t eq = body.find('=');
+      if (eq != std::string::npos) {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else {
+        if (i + 1 >= argc) {
+          throw std::runtime_error("option " + token + " is missing a value");
+        }
+        values_[body] = argv[++i];
+      }
     }
   }
 
@@ -71,27 +94,64 @@ class Args {
     if (it == values_.end()) {
       throw std::runtime_error("missing required option --" + key);
     }
-    return std::atof(it->second.c_str());
+    used_.insert(key);
+    return parse_number(key, it->second);
   }
   [[nodiscard]] double number_or(const std::string& key, double fallback) const {
+    used_.insert(key);
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+    return it == values_.end() ? fallback : parse_number(key, it->second);
+  }
+  /// A probability/fraction knob: a number constrained to [0, 1].
+  [[nodiscard]] double rate_or(const std::string& key, double fallback) const {
+    const double v = number_or(key, fallback);
+    if (v < 0.0 || v > 1.0) {
+      throw std::runtime_error("option --" + key + " must be in [0, 1], got " +
+                               std::to_string(v));
+    }
+    return v;
   }
   [[nodiscard]] std::string text(const std::string& key) const {
     const auto it = values_.find(key);
     if (it == values_.end()) {
       throw std::runtime_error("missing required option --" + key);
     }
+    used_.insert(key);
     return it->second;
   }
   [[nodiscard]] std::string text_or(const std::string& key,
                                     const std::string& fallback) const {
+    used_.insert(key);
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
 
+  /// Call once every option has been read: a leftover key means a typo'd
+  /// or misplaced flag, which must fail loudly rather than silently run
+  /// with defaults.
+  void reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+      if (!used_.contains(key)) {
+        throw std::runtime_error("unknown option --" + key);
+      }
+    }
+  }
+
  private:
+  static double parse_number(const std::string& key, const std::string& raw) {
+    const char* begin = raw.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(begin, &end);
+    if (end == begin || *end != '\0' || errno == ERANGE) {
+      throw std::runtime_error("option --" + key + " expects a number, got '" +
+                               raw + "'");
+    }
+    return v;
+  }
+
   std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
 };
 
 int cmd_sample_size(const Args& args) {
@@ -99,6 +159,7 @@ int cmd_sample_size(const Args& args) {
   const double cv = args.number("cv");
   const double lambda = args.number("lambda");
   const double alpha = args.number_or("alpha", 0.05);
+  args.reject_unknown();
 
   TextTable t({"rule", "metered nodes"});
   t.add_row({"Equation 5 (paper)",
@@ -122,6 +183,7 @@ int cmd_accuracy(const Args& args) {
   const double cv = args.number("cv");
   const auto n = static_cast<std::size_t>(args.number("n"));
   const double alpha = args.number_or("alpha", 0.05);
+  args.reject_unknown();
   const double lambda = achievable_accuracy(alpha, cv, n, nodes);
   std::cout << "metering " << n << " of " << nodes << " nodes (sigma/mu "
             << fmt_percent(cv, 2) << "): +/-" << fmt_percent(lambda, 2)
@@ -145,6 +207,7 @@ int cmd_audit(const Args& args) {
     run.setup = Seconds{begin - trace.t0().value()};
     run.core = Seconds{end - begin};
   }
+  args.reject_unknown();
   const auto g = analyze_window_gaming(trace, run);
   TextTable t({"quantity", "value"});
   t.add_row({"core phase average", to_string(g.full_core_avg)});
@@ -169,6 +232,7 @@ int cmd_normality(const Args& args) {
   while (f >> v) xs.push_back(v);
   if (xs.size() < 8) throw std::runtime_error("need at least 8 values");
   const double alpha = args.number_or("alpha", 0.05);
+  args.reject_unknown();
   const NormalityResult jb = jarque_bera(xs);
   const NormalityResult ad = anderson_darling(xs);
   TextTable t({"test", "statistic", "p-value", "verdict"});
@@ -195,6 +259,7 @@ int cmd_tco(const Args& args) {
   p.years = args.number_or("years", 5.0);
   const TcoEstimate est = project_energy_cost(
       kilowatts(args.number("power-kw")), args.number("accuracy"), p);
+  args.reject_unknown();
   TextTable t({"quantity", "value"});
   t.add_row({"annual energy cost", fmt_fixed(est.annual_energy_cost, 0)});
   t.add_row({"lifetime energy cost", fmt_fixed(est.lifetime_energy_cost, 0)});
@@ -207,7 +272,17 @@ int cmd_tco(const Args& args) {
   return 0;
 }
 
-int cmd_campaign(const Args& args) {
+/// The synthetic campaign rig shared by `campaign` and `collect`: a
+/// FIRESTARTER-style constant-load run, typical CPU fleet spread scaled to
+/// the requested cv, planned per the requested methodology level.
+struct SyntheticRig {
+  std::unique_ptr<ClusterPowerModel> cluster;
+  std::unique_ptr<SystemPowerModel> electrical;
+  MeasurementPlan plan;
+  std::uint64_t seed = 1;
+};
+
+SyntheticRig make_synthetic_rig(const Args& args) {
   const auto nodes = static_cast<std::size_t>(args.number("nodes"));
   if (nodes < 2) throw std::runtime_error("--nodes must be >= 2");
   const double cv = args.number_or("cv", 0.02);
@@ -215,18 +290,18 @@ int cmd_campaign(const Args& args) {
   if (level < 1 || level > 3) {
     throw std::runtime_error("--level must be 1, 2 or 3");
   }
-  const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 1.0));
+  SyntheticRig rig;
+  rig.seed = static_cast<std::uint64_t>(args.number_or("seed", 1.0));
 
-  // Synthetic rig: a FIRESTARTER-style constant-load run, typical CPU
-  // fleet spread scaled to the requested cv.
   auto workload = std::make_shared<FirestarterWorkload>(
       minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
   FleetVariability var = FleetVariability::typical_cpu().scaled_to(cv);
   var.outlier_prob = 0.0;
-  auto powers = generate_node_powers(nodes, 400.0, var, seed ^ 0x99);
-  const ClusterPowerModel cluster("synthetic", std::move(powers), workload);
-  const SystemPowerModel electrical = make_system_power_model(
-      cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{});
+  auto powers = generate_node_powers(nodes, 400.0, var, rig.seed ^ 0x99);
+  rig.cluster = std::make_unique<ClusterPowerModel>(
+      "synthetic", std::move(powers), workload);
+  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
+      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
 
   const Level lvl = level == 3   ? Level::kL3
                     : level == 2 ? Level::kL2
@@ -235,12 +310,17 @@ int cmd_campaign(const Args& args) {
   PlanInputs in;
   in.total_nodes = nodes;
   in.approx_node_power = watts(400.0);
-  in.run = cluster.phases();
-  Rng rng(seed);
-  const auto plan = plan_measurement(spec, in, rng);
+  in.run = rig.cluster->phases();
+  Rng rng(rig.seed);
+  rig.plan = plan_measurement(spec, in, rng);
+  return rig;
+}
+
+int cmd_campaign(const Args& args) {
+  const SyntheticRig rig = make_synthetic_rig(args);
 
   CampaignConfig config;
-  config.seed = seed;
+  config.seed = rig.seed;
   config.meter_interval_override = Seconds{args.number_or("interval", 0.0)};
 
   // Fault knobs: a named preset, optionally overridden field by field.
@@ -253,14 +333,63 @@ int cmd_campaign(const Args& args) {
     throw std::runtime_error("--faults must be none, mild or harsh");
   }
   config.faults.spec.dropout_prob =
-      args.number_or("dropout", config.faults.spec.dropout_prob);
+      args.rate_or("dropout", config.faults.spec.dropout_prob);
   const auto dead = static_cast<std::size_t>(args.number_or("dead", 0.0));
-  for (std::size_t i = 0; i < dead && i < plan.node_indices.size(); ++i) {
-    config.faults.dead_meters.push_back(plan.node_indices[i]);
+  for (std::size_t i = 0; i < dead && i < rig.plan.node_indices.size(); ++i) {
+    config.faults.dead_meters.push_back(rig.plan.node_indices[i]);
+  }
+  args.reject_unknown();
+
+  const auto result =
+      run_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  std::cout << accuracy_report(rig.plan, result);
+  return 0;
+}
+
+int cmd_collect(const Args& args) {
+  const SyntheticRig rig = make_synthetic_rig(args);
+
+  CollectorConfig config;
+  config.campaign.seed = rig.seed;
+  config.campaign.meter_interval_override =
+      Seconds{args.number_or("interval", 0.0)};
+
+  config.transport.latency.base_s = args.number_or("latency", 20.0) / 1000.0;
+  config.transport.latency.jitter_s = args.number_or("jitter", 30.0) / 1000.0;
+  config.transport.drop_prob = args.rate_or("drop", 0.0);
+  config.transport.duplicate_prob = args.rate_or("dup", 0.0);
+  config.transport.blackhole_fraction = args.rate_or("blackhole", 0.0);
+  const auto dead = static_cast<std::size_t>(args.number_or("dead", 0.0));
+  for (std::size_t i = 0; i < dead && i < rig.plan.node_indices.size(); ++i) {
+    config.campaign.faults.dead_meters.push_back(rig.plan.node_indices[i]);
   }
 
-  const auto result = run_campaign(cluster, electrical, plan, config);
-  std::cout << accuracy_report(plan, result);
+  config.poller.timeout_s = args.number_or("timeout", 1.0);
+  config.poller.max_attempts =
+      static_cast<std::size_t>(args.number_or("retries", 2.0)) + 1;
+  config.poller.chunk_duration = Seconds{args.number_or("chunk", 60.0)};
+  config.poller.breaker.open_after =
+      static_cast<std::size_t>(args.number_or("breaker-after", 3.0));
+  config.poller.breaker.cooldown_s = args.number_or("cooldown", 60.0);
+
+  config.journal_path = args.text_or("checkpoint", "");
+  config.resume = args.number_or("resume", 0.0) > 0.0;
+  config.crash_after_meters =
+      static_cast<std::size_t>(args.number_or("crash-after", 0.0));
+  config.threads = static_cast<unsigned>(args.number_or("threads", 4.0));
+  args.reject_unknown();
+
+  const CollectionOutcome outcome =
+      collect_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
+  // Progress to stderr; the report alone on stdout so a clean run and a
+  // kill-and-resume pair diff byte-identical.
+  std::cerr << "collect: " << outcome.meters_polled << " meters polled, "
+            << outcome.meters_resumed << " resumed from journal";
+  if (outcome.journal_torn_lines > 0) {
+    std::cerr << ", " << outcome.journal_torn_lines << " torn journal lines";
+  }
+  std::cerr << "\n";
+  std::cout << accuracy_report(rig.plan, outcome.result);
   return 0;
 }
 
@@ -277,7 +406,15 @@ int usage() {
       " [--duty F] [--years F]\n"
       "  campaign    --nodes N [--cv F] [--level 1|2|3] [--seed S]\n"
       "              [--faults none|mild|harsh] [--dropout F] [--dead N]"
-      " [--interval S]\n";
+      " [--interval S]\n"
+      "  collect     --nodes N [--cv F] [--level 1|2|3] [--seed S]\n"
+      "              [--drop F] [--dup F] [--blackhole F] [--dead N]\n"
+      "              [--latency MS] [--jitter MS] [--timeout S]"
+      " [--retries K]\n"
+      "              [--chunk S] [--breaker-after K] [--cooldown S]\n"
+      "              [--threads N] [--interval S] [--checkpoint FILE]\n"
+      "              [--resume 1] [--crash-after K]\n"
+      "options accept '--key value' or '--key=value'.\n";
   return 2;
 }
 
@@ -294,10 +431,17 @@ int main(int argc, char** argv) {
     if (cmd == "normality") return cmd_normality(args);
     if (cmd == "tco") return cmd_tco(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "collect") return cmd_collect(args);
     std::cerr << "unknown command: " << cmd << "\n";
     return usage();
-  } catch (const std::exception& e) {
+  } catch (const pv::CollectionAborted& e) {
+    // The simulated crash (--crash-after): the journal on disk is valid
+    // and a --resume run will finish the campaign.
     std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "powervar " << cmd << ": " << e.what() << '\n'
+              << "(run 'powervar' without arguments for usage)\n";
     return 1;
   }
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate in one command: configure, build and run the full ctest
+# suite — first the plain build, then (unless PV_SKIP_SANITIZE=1) a
+# second build tree with PV_SANITIZE=ON so data races and UB in the
+# concurrent collection path fail loudly before review does.
+#
+# Usage: tools/run_tier1.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== tier 1: plain build + ctest ($build_dir) ==="
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+if [[ "${PV_SKIP_SANITIZE:-0}" == "1" ]]; then
+  echo "=== tier 1: sanitizer pass skipped (PV_SKIP_SANITIZE=1) ==="
+  exit 0
+fi
+
+echo "=== tier 1: sanitized build + ctest (${build_dir}-asan) ==="
+cmake -B "${build_dir}-asan" -S . -DPV_SANITIZE=ON >/dev/null
+cmake --build "${build_dir}-asan" -j "$jobs"
+ctest --test-dir "${build_dir}-asan" --output-on-failure -j "$jobs"
+
+echo "=== tier 1: all green ==="
