@@ -9,6 +9,7 @@
 #include "stats/robust.hpp"
 #include "util/expects.hpp"
 #include "util/mathx.hpp"
+#include "util/parallel.hpp"
 #include "workload/workload.hpp"
 
 namespace pv {
@@ -36,7 +37,33 @@ struct DeviceReading {
   std::size_t samples_repaired = 0;
   std::size_t spikes_filtered = 0;
   std::size_t stuck_flagged = 0;
+  // Per-analysis-window means for cross-validation (empty unless the
+  // campaign reconciles); windows with no valid sample are NaN.
+  std::vector<double> analysis_means_w;
 };
+
+// The common time grid cross-validation compares meters on.  Plans that
+// already meter several windows (L2 spot sampling) use those directly;
+// single-window plans (L1/L3 continuous) are subdivided.
+std::vector<TimeWindow> make_analysis_windows(
+    const std::vector<TimeWindow>& metered, std::size_t target) {
+  if (metered.size() >= 4 || metered.empty()) return metered;
+  const std::size_t per =
+      std::max<std::size_t>(1, (std::max<std::size_t>(target, 4) +
+                                metered.size() - 1) /
+                                   metered.size());
+  std::vector<TimeWindow> out;
+  out.reserve(metered.size() * per);
+  for (const TimeWindow& w : metered) {
+    const double step = w.duration().value() / static_cast<double>(per);
+    for (std::size_t i = 0; i < per; ++i) {
+      out.push_back(TimeWindow{
+          Seconds{w.begin.value() + static_cast<double>(i) * step},
+          Seconds{w.begin.value() + static_cast<double>(i + 1) * step}});
+    }
+  }
+  return out;
+}
 
 // Samples the meter would produce over the windows — used to account for
 // meters that never report.
@@ -56,9 +83,47 @@ DeviceReading meter_device(const MeterModel& meter,
                            const std::vector<TimeWindow>& windows,
                            TimeWindow campaign_window, Rng& noise,
                            const CampaignConfig& config,
-                           std::uint64_t stream, std::size_t meter_id) {
+                           std::uint64_t stream, std::size_t meter_id,
+                           const std::vector<TimeWindow>* analysis = nullptr) {
   const FaultPlan& fp = config.faults;
   DeviceReading r;
+
+  // Accumulates per-analysis-window sums for cross-validation.  Reading
+  // the already-produced trace draws no RNG, so enabling reconciliation
+  // cannot perturb the metered numbers.
+  std::vector<double> bucket_sum;
+  std::vector<std::size_t> bucket_n;
+  if (analysis != nullptr) {
+    bucket_sum.assign(analysis->size(), 0.0);
+    bucket_n.assign(analysis->size(), 0);
+  }
+  const auto bucket = [&](Seconds t0, Seconds dt,
+                          std::span<const double> values) {
+    if (analysis == nullptr) return;
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const double t =
+          t0.value() + (static_cast<double>(j) + 0.5) * dt.value();
+      for (std::size_t a = 0; a < analysis->size(); ++a) {
+        const TimeWindow& aw = (*analysis)[a];
+        if (t >= aw.begin.value() && t < aw.end.value()) {
+          bucket_sum[a] += values[j];
+          ++bucket_n[a];
+          break;
+        }
+      }
+    }
+  };
+  const auto finish_buckets = [&] {
+    if (analysis == nullptr) return;
+    r.analysis_means_w.assign(analysis->size(),
+                              std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t a = 0; a < analysis->size(); ++a) {
+      if (bucket_n[a] > 0) {
+        r.analysis_means_w[a] =
+            bucket_sum[a] / static_cast<double>(bucket_n[a]);
+      }
+    }
+  };
 
   if (!fp.enabled()) {
     double mean_acc = 0.0;
@@ -66,8 +131,10 @@ DeviceReading meter_device(const MeterModel& meter,
       const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
       mean_acc += trace.mean_power().value();
       r.energy_j += trace.energy().value();
+      bucket(trace.t0(), trace.dt(), trace.watts());
     }
     r.mean_w = mean_acc / static_cast<double>(windows.size());
+    finish_buckets();
     return r;
   }
 
@@ -80,8 +147,11 @@ DeviceReading meter_device(const MeterModel& meter,
 
   Rng fate_rng(config.seed ^ kFateSalt, stream);
   Rng fault_rng(config.seed ^ kFaultSalt, stream);
-  const MeterFate fate =
-      draw_meter_fate(fp.spec, campaign_window, fate_rng);
+  MeterFate fate = draw_meter_fate(fp.spec, campaign_window, fate_rng);
+  const std::size_t byz_pos = fp.forced_byzantine(meter_id);
+  if (byz_pos != FaultPlan::npos) {
+    fp.apply_forced_byzantine(byz_pos, campaign_window, fate);
+  }
 
   double mean_acc = 0.0;
   std::size_t windows_used = 0;
@@ -104,6 +174,7 @@ DeviceReading meter_device(const MeterModel& meter,
     mean_acc += window_mean;
     r.energy_j += window_mean * w.duration().value();
     ++windows_used;
+    bucket(dense.t0(), dense.dt(), despiked.filtered);
   }
 
   const double coverage =
@@ -120,6 +191,7 @@ DeviceReading meter_device(const MeterModel& meter,
     return r;
   }
   r.mean_w = mean_acc / static_cast<double>(windows_used);
+  finish_buckets();
   return r;
 }
 
@@ -137,6 +209,103 @@ void finalize_quality(DataQuality& dq) {
           ? 1.0
           : static_cast<double>(dq.samples_expected - dq.samples_lost) /
                 static_cast<double>(dq.samples_expected);
+}
+
+// RNG streams for the trusted check meters reconciliation reads the
+// hierarchy through.  Disjoint from node streams (node ids), rack-tap
+// streams (1'000'000 + rack) and the facility-feed stream (9'999'999).
+constexpr std::uint64_t kRackCheckStreamBase = 3'000'000;
+constexpr std::uint64_t kFacilityCheckStream = 9'999'998;
+
+// A fault-free reference meter read over each analysis window: the
+// facility-grade instrumentation (Cray PMDB style) the hierarchy check
+// trusts.  Its calibration error still applies — the check tolerates it
+// because verdicts come from the cohort statistics, and the hierarchy
+// residual only confirms them.
+std::vector<double> measure_check_meter(const PowerFunction& truth,
+                                        const std::vector<TimeWindow>& analysis,
+                                        const MeasurementPlan& plan,
+                                        const CampaignConfig& config,
+                                        Seconds interval,
+                                        std::uint64_t stream) {
+  Rng calibration(config.seed ^ 0x5CA1AB1EULL, stream);
+  Rng noise(config.seed ^ 0xBADCAB1EULL, stream);
+  const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
+                         calibration);
+  std::vector<double> means;
+  means.reserve(analysis.size());
+  for (const TimeWindow& w : analysis) {
+    const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
+    means.push_back(trace.mean_power().value());
+  }
+  return means;
+}
+
+// Hierarchy checks for a node-AC campaign: one rack-PDU check meter per
+// rack whose node meters all produced a series, and — when every rack is
+// checkable and no auxiliary subsystems muddy the sum — a facility check
+// over the rack check meters.  DC taps are skipped: the per-node PSU
+// correction is nonlinear, so the rack sum is not a clean function of the
+// DC series (the cohort check still covers those campaigns).
+std::vector<HierarchyCheck> build_hierarchy_checks(
+    const SystemPowerModel& electrical, const MeasurementPlan& plan,
+    const CampaignConfig& config, Seconds interval,
+    const std::vector<TimeWindow>& analysis,
+    const std::vector<MeterSeries>& node_series) {
+  std::vector<HierarchyCheck> checks;
+  if (plan.point != MeasurementPoint::kNodeAc) return checks;
+
+  std::vector<const MeterSeries*> by_node(electrical.node_count(), nullptr);
+  for (const MeterSeries& s : node_series) by_node[s.meter_id] = &s;
+
+  const double loss_scale = 1.0 / (1.0 - electrical.pdu_loss_fraction());
+  bool all_racks_checkable = electrical.rack_count() > 0;
+  for (std::size_t rack = 0; rack < electrical.rack_count(); ++rack) {
+    const std::size_t first = rack * electrical.nodes_per_rack();
+    const std::size_t last =
+        std::min(first + electrical.nodes_per_rack(), electrical.node_count());
+    bool checkable = true;
+    for (std::size_t node = first; node < last; ++node) {
+      if (by_node[node] == nullptr) {
+        checkable = false;
+        break;
+      }
+    }
+    if (!checkable) {
+      all_racks_checkable = false;
+      continue;
+    }
+    HierarchyCheck check;
+    check.label = "rack " + std::to_string(rack);
+    check.parent_id = kRackCheckStreamBase + rack;
+    check.parent_means_w = measure_check_meter(
+        [&electrical, rack](double t) { return electrical.rack_pdu_w(rack, t); },
+        analysis, plan, config, interval, kRackCheckStreamBase + rack);
+    for (std::size_t node = first; node < last; ++node) {
+      check.child_ids.push_back(node);
+      check.child_means_w.push_back(by_node[node]->means_w);
+    }
+    check.child_scale = loss_scale;
+    checks.push_back(std::move(check));
+  }
+
+  const double t_mid =
+      plan.window.begin.value() + 0.5 * plan.window.duration().value();
+  if (all_racks_checkable && electrical.auxiliary_ac_w(t_mid) == 0.0) {
+    HierarchyCheck facility;
+    facility.label = "facility";
+    facility.parent_id = kFacilityCheckStream;
+    facility.parent_means_w = measure_check_meter(
+        electrical.facility_function(), analysis, plan, config, interval,
+        kFacilityCheckStream);
+    for (const HierarchyCheck& rack : checks) {
+      facility.child_ids.push_back(rack.parent_id);
+      facility.child_means_w.push_back(rack.parent_means_w);
+    }
+    facility.child_scale = 1.0;
+    checks.push_back(std::move(facility));
+  }
+  return checks;
 }
 
 }  // namespace
@@ -337,9 +506,16 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   // separate per-sample noise stream.  Dead or degraded node meters are
   // excluded and the extrapolation re-based on the survivors.
   dq.meters_planned = plan.node_count();
-  std::vector<NodeReading> readings;
-  readings.reserve(plan.node_count());
-  for (std::size_t node : plan.node_indices) {
+  const bool reconciling = config.reconcile.enabled;
+  const std::vector<TimeWindow> analysis =
+      reconciling
+          ? make_analysis_windows(windows, config.reconcile.analysis_windows)
+          : std::vector<TimeWindow>{};
+
+  std::vector<DeviceReading> devices(plan.node_count());
+  std::vector<NodeReading> readings(plan.node_count());
+  const auto meter_one = [&](std::size_t i) {
+    const std::size_t node = plan.node_indices[i];
     PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
     Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
     Rng noise(config.seed ^ 0xBADCAB1EULL, node);
@@ -352,10 +528,10 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
               })
             : electrical.node_ac_function(node);
 
-    const DeviceReading reading =
-        meter_device(meter, truth, windows, plan.window, noise,
-                     config, node, node);
-    if (faulty) absorb_tallies(dq, reading);
+    devices[i] =
+        meter_device(meter, truth, windows, plan.window, noise, config,
+                     node, node, reconciling ? &analysis : nullptr);
+    const DeviceReading& reading = devices[i];
     NodeReading nr;
     nr.node = node;
     nr.lost = reading.lost;
@@ -368,7 +544,51 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
       }
       apply_dc_conversion(plan, electrical, node, nr.mean_w, nr.energy_j);
     }
-    readings.push_back(nr);
+    readings[i] = nr;
+  };
+  // Every stream above is keyed by the node id and every result lands in
+  // its own slot, so the fan-out is bit-identical at any thread count.
+  // The pool is only spun up for reconciling campaigns; the historical
+  // path stays a plain serial loop.
+  if (reconciling && config.reconcile.threads > 1) {
+    ThreadPool pool(config.reconcile.threads);
+    parallel_for(&pool, plan.node_count(), meter_one, /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < plan.node_count(); ++i) meter_one(i);
+  }
+  if (faulty) {
+    for (const DeviceReading& reading : devices) absorb_tallies(dq, reading);
+  }
+
+  if (reconciling) {
+    dq.reconcile_ran = true;
+    std::vector<MeterSeries> series;
+    series.reserve(readings.size());
+    for (std::size_t i = 0; i < readings.size(); ++i) {
+      if (readings[i].lost || devices[i].analysis_means_w.empty()) continue;
+      series.push_back(
+          MeterSeries{readings[i].node, devices[i].analysis_means_w});
+    }
+    const std::vector<HierarchyCheck> checks = build_hierarchy_checks(
+        electrical, plan, config, interval, analysis, series);
+    ReconcileReport verdicts =
+        reconcile_meters(series, checks, config.reconcile);
+
+    // Quarantine convicted meters through the existing dead-meter
+    // degradation path; undo exactly invertible unit errors in place.
+    for (const MeterDiagnosis& d : verdicts.diagnoses) {
+      const auto it = std::find_if(
+          readings.begin(), readings.end(),
+          [&](const NodeReading& nr) { return nr.node == d.meter_id; });
+      if (it == readings.end()) continue;
+      if (d.quarantined) {
+        it->lost = true;
+      } else if (d.corrected) {
+        it->mean_w /= d.correction_scale;
+        it->energy_j /= d.correction_scale;
+      }
+    }
+    dq.integrity = std::move(verdicts);
   }
   return finalize_node_campaign(cluster, electrical, plan, readings, dq);
 }
@@ -453,6 +673,20 @@ CampaignResult finalize_node_campaign(const ClusterPowerModel& cluster,
     result.relative_halfwidth =
         0.5 * result.node_mean_ci.width() / nodes.mean;
     dq.ci_widened = dq.meters_lost > 0;
+  }
+  // Readings reconciliation un-scaled carry residual calibration
+  // uncertainty the Eq. 1 spread cannot see (the correction is exact only
+  // up to the meter's remaining gain error); widen the CI in quadrature.
+  if (dq.reconcile_ran && dq.integrity.meters_corrected > 0 &&
+      result.relative_halfwidth > 0.0) {
+    const double extra =
+        1.96 * dq.integrity.corrected_sigma *
+        std::sqrt(static_cast<double>(dq.integrity.meters_corrected)) /
+        static_cast<double>(result.nodes_measured);
+    result.relative_halfwidth = std::hypot(result.relative_halfwidth, extra);
+    const double half = result.relative_halfwidth * nodes.mean;
+    result.node_mean_ci = Interval{nodes.mean - half, nodes.mean + half};
+    dq.ci_widened = true;
   }
   dq.planned_node_fraction =
       static_cast<double>(dq.meters_planned) /

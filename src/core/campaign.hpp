@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "core/reconcile.hpp"
 #include "core/sample_size.hpp"
 #include "meter/faults.hpp"
 #include "meter/hierarchy.hpp"
@@ -26,6 +27,12 @@ struct CampaignConfig {
   /// disabled, and a disabled plan leaves the campaign bit-identical to
   /// the fault-free path (no extra RNG draws).
   FaultPlan faults;
+  /// Byzantine defense: hierarchical cross-validation + quarantine of
+  /// lying meters (core/reconcile).  Disabled by default; a disabled
+  /// policy draws no extra RNG and leaves output bit-identical.  Only
+  /// node-tap campaigns reconcile — rack/facility taps have no sibling
+  /// cohort to cross-validate against.
+  ReconcilePolicy reconcile;
 };
 
 /// What the *collection path* (src/collect's asynchronous transport +
@@ -68,6 +75,9 @@ struct DataQuality {
   bool ci_widened = false;
   // --- collection path (async collector only) ----------------------------
   CollectionQuality collection;
+  // --- integrity (byzantine defense; populated when reconcile ran) --------
+  bool reconcile_ran = false;
+  ReconcileReport integrity;
 
   [[nodiscard]] bool degraded() const {
     return meters_lost > 0 || samples_lost > 0;

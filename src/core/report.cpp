@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "stats/descriptive.hpp"
@@ -52,8 +53,12 @@ std::string data_quality_report(const DataQuality& q) {
   os << "\n--- data quality ---\n";
   os << "meters lost:       " << q.meters_lost << " of " << q.meters_planned;
   if (!q.lost_meter_ids.empty()) {
+    // Sorted so the rendering never depends on container iteration or
+    // completion order (check_determinism.sh diffs this output).
+    std::vector<std::size_t> ids = q.lost_meter_ids;
+    std::sort(ids.begin(), ids.end());
     os << " (ids:";
-    for (std::size_t id : q.lost_meter_ids) os << ' ' << id;
+    for (std::size_t id : ids) os << ' ' << id;
     os << ')';
   }
   os << '\n';
@@ -74,6 +79,59 @@ std::string data_quality_report(const DataQuality& q) {
              : "as planned")
      << '\n';
   os << collection_quality_report(q.collection);
+  os << integrity_quality_report(q);
+  return os.str();
+}
+
+std::string integrity_quality_report(const DataQuality& q) {
+  if (!q.reconcile_ran) return "";
+  const ReconcileReport& r = q.integrity;
+  std::ostringstream os;
+  os << "\n--- integrity (byzantine defense) ---\n";
+  os << "meters checked:    " << r.meters_checked << " ("
+     << r.meters_quarantined << " quarantined, " << r.meters_corrected
+     << " corrected)\n";
+  // Diagnoses arrive sorted by meter id; render only the convicted.
+  for (const MeterDiagnosis& d : r.diagnoses) {
+    if (d.verdict == MeterVerdict::kTrusted) continue;
+    os << "  meter " << d.meter_id << ": " << to_string(d.verdict);
+    if (d.verdict == MeterVerdict::kUnitError) {
+      if (d.correction_scale >= 1.0) {
+        os << " (x" << fmt_fixed(d.correction_scale, 0) << ')';
+      } else {
+        os << " (x1/" << fmt_fixed(1.0 / d.correction_scale, 0) << ')';
+      }
+    } else if (d.verdict == MeterVerdict::kClockSkewed) {
+      os << " (lag " << d.clock_lag << " windows)";
+    } else {
+      os << " (gain " << fmt_fixed(d.gain_estimate, 3) << ')';
+    }
+    os << " -> " << (d.corrected ? "corrected" : "quarantined")
+       << ", detected at window " << d.detection_window << '\n';
+  }
+  if (!r.residuals.empty()) {
+    os << "hierarchy checks:  " << r.residuals.size()
+       << ", worst residual " << fmt_percent(r.worst_residual_before, 2)
+       << " -> " << fmt_percent(r.worst_residual_after, 2)
+       << " after reconciliation\n";
+    for (const HierarchyResidual& hr : r.residuals) {
+      if (hr.parent_distrusted) {
+        os << "  " << hr.label
+           << ": children agree but the parent does not -> parent meter "
+              "distrusted\n";
+      }
+    }
+  }
+  if (r.any_convicted()) {
+    os << "detection latency: "
+       << fmt_fixed(r.mean_detection_latency_windows, 1)
+       << " windows (mean over convicted meters)\n";
+  }
+  if (r.meters_corrected > 0) {
+    os << "corrections:       residual sigma "
+       << fmt_percent(r.corrected_sigma, 2)
+       << " per corrected reading folded into the Eq. 1 CI\n";
+  }
   return os.str();
 }
 

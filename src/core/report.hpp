@@ -33,4 +33,10 @@ namespace pv {
 [[nodiscard]] std::string collection_quality_report(
     const CollectionQuality& collection);
 
+/// Renders the integrity block of a reconciled campaign: meters checked /
+/// quarantined / corrected, per-meter verdicts (sorted by meter id),
+/// hierarchy residuals before and after reconciliation, and detection
+/// latency.  Empty string when reconciliation never ran.
+[[nodiscard]] std::string integrity_quality_report(const DataQuality& quality);
+
 }  // namespace pv

@@ -19,6 +19,20 @@
 //   * clipping       — saturation at the converter's full-scale value;
 //   * death          — the meter dies at a random time and never returns.
 //
+// Byzantine taxonomy — readings that *lie* instead of going missing
+// (the error class the Cray PMDB facility-vs-in-band validation and
+// "Part-time Power Measurements" document in real site logs):
+//   * gain drift     — slow multiplicative calibration creep over the run;
+//   * step recal     — a one-shot recalibration offset at a random time;
+//   * unit error     — a W-vs-kW mixup scaling every reading x1000/÷1000;
+//   * clock skew     — readings timestamped with a constant clock offset,
+//                      plus optional per-sample timestamp jitter;
+//   * reorder/dup    — adjacent samples swapped, or a reading delivered
+//                      under the previous sample's timestamp.
+// None of these invalidate samples: the trace arrives fully "valid" and
+// plausible-looking.  Catching them is the job of core/reconcile's
+// hierarchical cross-validation, not of any per-trace filter.
+//
 // All randomness flows through Rng streams keyed by the meter identity,
 // so faulted campaigns are bit-reproducible at any thread count.
 
@@ -46,8 +60,23 @@ struct FaultSpec {
       std::numeric_limits<double>::infinity();  ///< saturation ceiling
   double death_prob = 0.0;          ///< P(meter dies at a U(0,1) run point)
 
+  // --- byzantine fault processes: readings that lie ----------------------
+  double drift_prob = 0.0;          ///< P(slow multiplicative gain creep)
+  double drift_max_per_hour = 0.05; ///< |creep rate| bound; sign is random
+  double recal_prob = 0.0;          ///< P(step recalibration mid-run)
+  double recal_max_frac = 0.05;     ///< step gain drawn 1 + U(-max, max)
+  double unit_error_prob = 0.0;     ///< P(unit-scale mixup)
+  double unit_scale = 1000.0;       ///< W-vs-kW; x scale or ÷ scale, coin flip
+  double clock_skew_prob = 0.0;     ///< P(constant timestamp offset)
+  double clock_skew_max_s = 60.0;   ///< |offset| bound; sign is random
+  double time_jitter_sd_s = 0.0;    ///< per-sample timestamp jitter (all meters)
+  double reorder_prob = 0.0;        ///< per-sample P(swap with next sample)
+  double dup_ts_prob = 0.0;         ///< per-sample P(repeat previous timestamp)
+
   /// True when any fault process is active.
   [[nodiscard]] bool any() const;
+  /// True when any byzantine (semantic) fault process is active.
+  [[nodiscard]] bool any_byzantine() const;
 
   static FaultSpec none();
   /// Occasional dropouts and rare glitches — a healthy production site.
@@ -55,6 +84,9 @@ struct FaultSpec {
   /// Heavy dropout, bursts, stuck sensors and meter deaths — a site log
   /// nobody has looked at in months.
   static FaultSpec harsh();
+  /// Lying meters only: drift, recalibration steps, unit mixups and clock
+  /// trouble at rates a large unaudited fleet plausibly accumulates.
+  static FaultSpec byzantine();
 };
 
 /// Fate drawn once per meter for the whole campaign window: whether and
@@ -67,6 +99,22 @@ struct MeterFate {
   bool sticks = false;
   double stuck_begin_s = 0.0;
   double stuck_end_s = 0.0;
+
+  // --- byzantine fate (also one draw per meter per campaign) -------------
+  double drift_rate_per_hour = 0.0;  ///< 0 = no drift
+  bool recalibrates = false;
+  double recal_time_s = std::numeric_limits<double>::infinity();
+  double recal_gain = 1.0;
+  double unit_scale = 1.0;           ///< 1 = units are right
+  double clock_skew_s = 0.0;
+  /// Campaign start: the reference time drift and recalibration are
+  /// measured from, so L2 spot windows see one continuous story.
+  double byz_origin_s = 0.0;
+
+  [[nodiscard]] bool byzantine() const;
+  /// The multiplicative calibration distortion this fate applies at time t
+  /// (unit scale x accumulated drift x post-recalibration step).
+  [[nodiscard]] double byzantine_gain(double t) const;
 };
 
 /// Draws a meter's fate over `campaign_window` from `fate_rng`.
@@ -82,6 +130,11 @@ struct FaultEvents {
   std::size_t samples_stuck = 0;    ///< frozen-at-last-value readings
   std::size_t samples_spiked = 0;
   std::size_t samples_clipped = 0;
+  // --- byzantine ----------------------------------------------------------
+  std::size_t samples_miscalibrated = 0;  ///< drift/step/unit gain != 1
+  std::size_t samples_time_shifted = 0;   ///< skew/jitter moved the source
+  std::size_t samples_reordered = 0;      ///< swapped with a neighbour
+  std::size_t samples_duplicated_ts = 0;  ///< repeated the previous timestamp
 
   void accumulate(const FaultEvents& other);
 };
@@ -118,11 +171,28 @@ struct FaultPlan {
   /// Meters (node ids / rack ids as used by the plan) forced dead from
   /// t=0 — deterministic dead-channel scenarios for tests and benches.
   std::vector<std::size_t> dead_meters;
+  /// Meters forced byzantine from t=0, cycling gain drift -> unit-scale
+  /// error -> clock skew -> recalibration step by list position —
+  /// deterministic lying-meter scenarios for tests and benches.
+  std::vector<std::size_t> byzantine_meters;
+  double byz_drift_per_hour = 0.05;  ///< forced drift rate (sign alternates)
+  double byz_unit_scale = 1000.0;    ///< forced W-vs-kW factor
+  double byz_clock_skew_s = 45.0;    ///< forced clock offset (sign alternates)
+  double byz_step_frac = 0.04;       ///< forced recalibration step size
 
   [[nodiscard]] bool enabled() const {
-    return spec.any() || !dead_meters.empty();
+    return spec.any() || !dead_meters.empty() || !byzantine_meters.empty();
   }
   [[nodiscard]] bool forced_dead(std::size_t meter_id) const;
+  /// Position of `meter_id` in `byzantine_meters`, or npos.
+  [[nodiscard]] std::size_t forced_byzantine(std::size_t meter_id) const;
+  /// Overwrites `fate`'s byzantine fields with the forced fault for list
+  /// position `pos` (cycling drift/unit/clock/step; signs alternate every
+  /// full cycle so errors do not all push the same way).
+  void apply_forced_byzantine(std::size_t pos, TimeWindow campaign_window,
+                              MeterFate& fate) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 
 }  // namespace pv

@@ -61,6 +61,9 @@ class SystemPowerModel {
   /// Fractional PDU distribution loss applied to each rack's AC total
   /// (default 2%).
   void set_pdu_loss_fraction(double f);
+  /// The loss fraction in effect — the factor hierarchical cross-validation
+  /// needs to compare a rack reading against the sum of its node taps.
+  [[nodiscard]] double pdu_loss_fraction() const { return pdu_loss_fraction_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }

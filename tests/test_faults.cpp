@@ -209,5 +209,153 @@ TEST(Faults, FateRespectsProbabilities) {
   EXPECT_GT(g.stuck_end_s, g.stuck_begin_s);
 }
 
+// --- byzantine faults: readings that lie instead of going missing ---------
+
+TEST(ByzantineFaults, PresetEnablesOnlySemanticFaults) {
+  const FaultSpec b = FaultSpec::byzantine();
+  EXPECT_TRUE(b.any());
+  EXPECT_TRUE(b.any_byzantine());
+  EXPECT_FALSE(FaultSpec::none().any_byzantine());
+  EXPECT_FALSE(FaultSpec::harsh().any_byzantine());
+  EXPECT_DOUBLE_EQ(b.dropout_prob, 0.0);
+  EXPECT_DOUBLE_EQ(b.death_prob, 0.0);
+}
+
+TEST(ByzantineFaults, GainDriftMultipliesExactly) {
+  const PowerTrace clean = noisy_trace(300);
+  MeterFate fate;
+  fate.drift_rate_per_hour = 0.1;
+  Rng rng(21);
+  FaultEvents ev;
+  const GappyTrace g =
+      inject_faults(clean, FaultSpec::none(), fate, rng, &ev);
+  EXPECT_EQ(ev.samples_miscalibrated, 300u);
+  EXPECT_EQ(g.valid_count(), 300u);  // lies never invalidate samples
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double t = clean.time_at(i).value() + 0.5;
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i),
+                     clean.watt_at(i) * fate.byzantine_gain(t));
+  }
+  // The gain actually creeps: last reading distorted more than the first.
+  EXPECT_GT(fate.byzantine_gain(299.5), fate.byzantine_gain(0.5));
+}
+
+TEST(ByzantineFaults, UnitErrorScalesEveryReading) {
+  const PowerTrace clean = noisy_trace(100);
+  MeterFate fate;
+  fate.unit_scale = 1000.0;
+  Rng rng(22);
+  FaultEvents ev;
+  const GappyTrace g =
+      inject_faults(clean, FaultSpec::none(), fate, rng, &ev);
+  EXPECT_EQ(ev.samples_miscalibrated, 100u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i), clean.watt_at(i) * 1000.0);
+  }
+}
+
+TEST(ByzantineFaults, RecalibrationStepsOnlyAfterTheEvent) {
+  const PowerTrace clean = noisy_trace(200);
+  MeterFate fate;
+  fate.recalibrates = true;
+  fate.recal_time_s = 100.0;
+  fate.recal_gain = 1.05;
+  Rng rng(23);
+  const GappyTrace g = inject_faults(clean, FaultSpec::none(), fate, rng);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double t = clean.time_at(i).value() + 0.5;
+    const double expected = t >= 100.0 ? 1.05 : 1.0;
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i), clean.watt_at(i) * expected);
+  }
+}
+
+TEST(ByzantineFaults, ClockSkewSourcesShiftedSamples) {
+  const PowerTrace clean = noisy_trace(100);
+  MeterFate fate;
+  fate.clock_skew_s = 10.0;  // dt = 1 s: reads 10 samples ahead
+  Rng rng(24);
+  FaultEvents ev;
+  const GappyTrace g =
+      inject_faults(clean, FaultSpec::none(), fate, rng, &ev);
+  EXPECT_GT(ev.samples_time_shifted, 0u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const std::size_t src = std::min<std::size_t>(i + 10, 99);
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i), clean.watt_at(src));
+  }
+}
+
+TEST(ByzantineFaults, ReorderSwapsAdjacentPairs) {
+  const PowerTrace clean = noisy_trace(100);
+  FaultSpec spec;
+  spec.reorder_prob = 1.0;
+  Rng rng(25);
+  FaultEvents ev;
+  const GappyTrace g = inject_faults(clean, spec, MeterFate{}, rng, &ev);
+  EXPECT_EQ(ev.samples_reordered, 100u);  // 50 swapped pairs
+  for (std::size_t i = 0; i + 1 < g.size(); i += 2) {
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i), clean.watt_at(i + 1));
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i + 1), clean.watt_at(i));
+  }
+}
+
+TEST(ByzantineFaults, DuplicateTimestampsRepeatThePreviousReading) {
+  const PowerTrace clean = noisy_trace(50);
+  FaultSpec spec;
+  spec.dup_ts_prob = 1.0;
+  Rng rng(26);
+  FaultEvents ev;
+  const GappyTrace g = inject_faults(clean, spec, MeterFate{}, rng, &ev);
+  EXPECT_EQ(ev.samples_duplicated_ts, 49u);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.trace().watt_at(i), clean.watt_at(0));
+  }
+}
+
+TEST(ByzantineFaults, FateDrawIsDeterministicAndBounded) {
+  FaultSpec always;
+  always.drift_prob = 1.0;
+  always.recal_prob = 1.0;
+  always.unit_error_prob = 1.0;
+  always.clock_skew_prob = 1.0;
+  Rng rng_a(31);
+  Rng rng_b(31);
+  const MeterFate a = draw_meter_fate(always, kWindow, rng_a);
+  const MeterFate b = draw_meter_fate(always, kWindow, rng_b);
+  EXPECT_TRUE(a.byzantine());
+  EXPECT_DOUBLE_EQ(a.drift_rate_per_hour, b.drift_rate_per_hour);
+  EXPECT_DOUBLE_EQ(a.recal_time_s, b.recal_time_s);
+  EXPECT_DOUBLE_EQ(a.unit_scale, b.unit_scale);
+  EXPECT_DOUBLE_EQ(a.clock_skew_s, b.clock_skew_s);
+  EXPECT_LE(std::abs(a.drift_rate_per_hour), always.drift_max_per_hour);
+  EXPECT_GE(a.recal_time_s, 0.0);
+  EXPECT_LE(a.recal_time_s, 1000.0);
+  EXPECT_TRUE(a.unit_scale == always.unit_scale ||
+              a.unit_scale == 1.0 / always.unit_scale);
+  EXPECT_LE(std::abs(a.clock_skew_s), always.clock_skew_max_s);
+}
+
+TEST(ByzantineFaults, ForcedCycleCoversAllFourModesAndAlternatesSign) {
+  FaultPlan plan;
+  plan.byzantine_meters = {10, 20, 30, 40, 50};
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.forced_byzantine(20), 1u);
+  EXPECT_EQ(plan.forced_byzantine(7), FaultPlan::npos);
+
+  const TimeWindow win{Seconds{0.0}, Seconds{1800.0}};
+  std::vector<MeterFate> fates(5);
+  for (std::size_t pos = 0; pos < 5; ++pos) {
+    plan.apply_forced_byzantine(pos, win, fates[pos]);
+    EXPECT_TRUE(fates[pos].byzantine());
+  }
+  EXPECT_DOUBLE_EQ(fates[0].drift_rate_per_hour, plan.byz_drift_per_hour);
+  EXPECT_DOUBLE_EQ(fates[1].unit_scale, plan.byz_unit_scale);
+  EXPECT_DOUBLE_EQ(fates[2].clock_skew_s, plan.byz_clock_skew_s);
+  EXPECT_TRUE(fates[3].recalibrates);
+  EXPECT_DOUBLE_EQ(fates[3].recal_time_s, 0.4 * 1800.0);
+  EXPECT_DOUBLE_EQ(fates[3].recal_gain, 1.0 + plan.byz_step_frac);
+  // The second cycle pushes the other way.
+  EXPECT_DOUBLE_EQ(fates[4].drift_rate_per_hour, -plan.byz_drift_per_hour);
+}
+
 }  // namespace
 }  // namespace pv

@@ -94,6 +94,70 @@ TEST(SystemPowerModel, PartialLastRack) {
   EXPECT_LT(m.rack_pdu_w(1, 0.0), m.rack_pdu_w(0, 0.0));
 }
 
+TEST(SystemPowerModel, EmptySystemHasNoRacksAndZeroComputePower) {
+  SystemPowerModel m("empty", /*nodes_per_rack=*/4);
+  EXPECT_EQ(m.node_count(), 0u);
+  EXPECT_EQ(m.rack_count(), 0u);
+  EXPECT_DOUBLE_EQ(m.compute_ac_w(0.0), 0.0);
+  // The facility feed of a nodeless machine room is its auxiliaries alone.
+  m.add_subsystem(Subsystem::kCooling, "crac", [](double) { return 80.0; });
+  EXPECT_DOUBLE_EQ(m.facility_w(0.0), 80.0);
+  EXPECT_THROW(m.node_ac_w(0, 0.0), contract_error);
+  EXPECT_THROW(m.rack_pdu_w(0, 0.0), contract_error);
+}
+
+TEST(SystemPowerModel, SingleNodeSystemIsItsOwnRack) {
+  SystemPowerModel m("lonely", /*nodes_per_rack=*/8);
+  m.add_node([](double) { return 250.0; },
+             PsuModel(Watts{400.0}, PsuEfficiencyCurve::titanium()));
+  m.set_pdu_loss_fraction(0.03);
+  EXPECT_EQ(m.rack_count(), 1u);
+  EXPECT_NEAR(m.rack_pdu_w(0, 0.0), m.node_ac_w(0, 0.0) / 0.97, 1e-9);
+  EXPECT_NEAR(m.compute_ac_w(0.0), m.rack_pdu_w(0, 0.0), 1e-9);
+  EXPECT_NEAR(m.facility_w(0.0), m.compute_ac_w(0.0), 1e-9);
+}
+
+TEST(SystemPowerModel, PowerIsMonotoneInThePduLoss) {
+  const auto facility_at_loss = [](double loss) {
+    SystemPowerModel m = two_rack_system();
+    m.set_pdu_loss_fraction(loss);
+    return m.facility_w(0.0);
+  };
+  double prev = facility_at_loss(0.0);
+  for (double loss : {0.01, 0.02, 0.05, 0.10}) {
+    const double cur = facility_at_loss(loss);
+    EXPECT_GT(cur, prev) << "loss " << loss;
+    prev = cur;
+  }
+  // Zero loss means the rack tap reads exactly the node sum — the
+  // child_scale reconciliation uses degenerates to 1.
+  SystemPowerModel m = two_rack_system();
+  m.set_pdu_loss_fraction(0.0);
+  EXPECT_DOUBLE_EQ(m.pdu_loss_fraction(), 0.0);
+  EXPECT_NEAR(m.rack_pdu_w(0, 0.0), m.node_ac_w(0, 0.0) + m.node_ac_w(1, 0.0),
+              1e-9);
+}
+
+TEST(SystemPowerModel, HierarchyRoundTripsFromNodesToFacility) {
+  // The invariant hierarchical cross-validation rests on: at every level,
+  // the parent tap equals the scaled sum of its children, exactly.
+  SystemPowerModel m = two_rack_system();
+  m.add_subsystem(Subsystem::kNetwork, "sw", [](double) { return 40.0; });
+  const double scale = 1.0 / (1.0 - m.pdu_loss_fraction());
+  for (double t : {0.0, 10.0, 3600.0}) {
+    double facility_rebuilt = m.auxiliary_ac_w(t);
+    for (std::size_t rack = 0; rack < m.rack_count(); ++rack) {
+      double rack_rebuilt = 0.0;
+      for (std::size_t i = 0; i < m.nodes_per_rack(); ++i) {
+        rack_rebuilt += m.node_ac_w(rack * m.nodes_per_rack() + i, t);
+      }
+      EXPECT_NEAR(m.rack_pdu_w(rack, t), rack_rebuilt * scale, 1e-9);
+      facility_rebuilt += m.rack_pdu_w(rack, t);
+    }
+    EXPECT_NEAR(m.facility_w(t), facility_rebuilt, 1e-9);
+  }
+}
+
 TEST(EnumsToString, HumanReadable) {
   EXPECT_STREQ(to_string(Subsystem::kComputeNode), "compute-node");
   EXPECT_STREQ(to_string(Subsystem::kCooling), "cooling");

@@ -71,6 +71,32 @@ TEST(PsuModel, DomainChecks) {
   EXPECT_THROW(psu.ac_input(Watts{-1.0}), contract_error);
 }
 
+TEST(PsuModel, AcInputIsMonotoneInTheDcLoad) {
+  // Losses never make more load cost less at the wall: the AC draw is
+  // strictly increasing in DC load for every certification tier.
+  for (const auto& curve :
+       {PsuEfficiencyCurve::gold(), PsuEfficiencyCurve::platinum(),
+        PsuEfficiencyCurve::titanium()}) {
+    const PsuModel psu(Watts{1000.0}, curve);
+    double prev = psu.ac_input(Watts{1.0}).value();
+    for (double dc = 26.0; dc <= 1101.0; dc += 25.0) {
+      const double cur = psu.ac_input(Watts{dc}).value();
+      EXPECT_GT(cur, prev) << "dc=" << dc;
+      prev = cur;
+    }
+  }
+}
+
+TEST(PsuModel, RoundTripIsExactAcrossTheWholeLoadRange) {
+  const PsuModel psu(Watts{800.0}, PsuEfficiencyCurve::gold());
+  // Including far below the lightest control point and above rated.
+  for (double dc = 0.5; dc <= 900.0; dc *= 1.7) {
+    const Watts ac = psu.ac_input(Watts{dc});
+    EXPECT_GT(ac.value(), dc);
+    EXPECT_NEAR(psu.dc_output(ac).value(), dc, 1e-5 * dc) << "dc=" << dc;
+  }
+}
+
 TEST(NominalConversionModel, RoundTrips) {
   const NominalConversionModel m{0.94};
   const Watts dc{940.0};

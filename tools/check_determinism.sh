@@ -71,3 +71,30 @@ if ! grep -q "collection path" <<<"$clean_out"; then
 fi
 
 echo "OK: kill-and-resume collection is byte-identical to uninterrupted run"
+
+# ---------------------------------------------------------------------------
+# Byzantine-reconciliation contract: detection verdicts are a pure function
+# of (seed, plan) — the metering fan-out runs on per-node RNG streams, so
+# the worker thread count must not change a single output byte.
+reconcile_args=(reconcile --nodes 96 --seed 5 --byzantine 0.05 --interval 10)
+
+serial_out="$("$powervar" "${reconcile_args[@]}" --threads 1)"
+fanned_out="$("$powervar" "${reconcile_args[@]}" --threads 4)"
+
+if [[ "$serial_out" != "$fanned_out" ]]; then
+  echo "FAIL: reconciled campaign diverged between 1 and 4 threads" >&2
+  diff <(printf '%s\n' "$serial_out") <(printf '%s\n' "$fanned_out") >&2 || true
+  exit 1
+fi
+
+# The run must actually have convicted liars (otherwise this guards nothing).
+if ! grep -q "integrity (byzantine defense)" <<<"$serial_out"; then
+  echo "FAIL: reconciled campaign printed no integrity block" >&2
+  exit 1
+fi
+if ! grep -Eq "quarantined|corrected" <<<"$serial_out"; then
+  echo "FAIL: byzantine campaign convicted nothing" >&2
+  exit 1
+fi
+
+echo "OK: byzantine reconciliation is thread-count invariant"

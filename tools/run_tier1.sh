@@ -26,4 +26,12 @@ cmake -B "${build_dir}-asan" -S . -DPV_SANITIZE=ON >/dev/null
 cmake --build "${build_dir}-asan" -j "$jobs"
 ctest --test-dir "${build_dir}-asan" --output-on-failure -j "$jobs"
 
+# Standalone UBSan, non-recoverable: ASan shifts layout and recoverable
+# UBSan prints-and-continues, so this third tree is the one that turns
+# any UB into a hard test failure.
+echo "=== tier 1: UBSan build + ctest (${build_dir}-ubsan) ==="
+cmake -B "${build_dir}-ubsan" -S . -DPV_UBSAN=ON >/dev/null
+cmake --build "${build_dir}-ubsan" -j "$jobs"
+ctest --test-dir "${build_dir}-ubsan" --output-on-failure -j "$jobs"
+
 echo "=== tier 1: all green ==="
