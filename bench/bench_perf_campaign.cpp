@@ -1,0 +1,254 @@
+// End-to-end perf-regression bench for the streaming campaign engine.
+//
+// Times whole campaigns — plan in, CampaignResult out — on a 240-node rig
+// in three scenarios:
+//
+//   l1_pdu       L1 (smallest cohort) with the default pdu-grade meters;
+//   l3_pdu       L3 (every node) with pdu-grade meters — the headline
+//                configuration of the PR contract;
+//   l3_perfect   L3 with perfect meters, isolating the simulation kernels
+//                from the (shared, irreducible) noise-draw floor.
+//
+// Each scenario runs the historical eager engine single-threaded (the
+// pre-streaming hot path, kept as the reference implementation), the
+// streaming engine single-threaded, and the streaming engine on 8 worker
+// threads, best-of-PV_PERF_REPS wall time per variant.  Two contracts are
+// enforced (ctest `perf_campaign_identity` runs this binary):
+//
+//   1. all three variants produce byte-identical campaign reports
+//      (submitted power/energy, every per-node mean, CI, error);
+//   2. the streaming engine is not slower than eager (ratio >= 1.0 after
+//      the generous machine-noise allowance baked into check_perf.sh;
+//      this binary only *reports* ratios, the gate compares them to the
+//      committed baseline).
+//
+// Results land in BENCH_perf.json (override with PV_PERF_JSON) for
+// tools/check_perf.sh, which diffs them against the committed
+// bench/BENCH_perf_baseline.json.  docs/performance.md describes the
+// format and the baseline-update procedure.
+//
+// Env overrides: PV_PERF_NODES (240), PV_PERF_REPS (5), PV_PERF_JSON.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/campaign.hpp"
+#include "core/plan.hpp"
+#include "sim/fleet.hpp"
+#include "util/table.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace pv;
+
+struct Rig {
+  std::unique_ptr<ClusterPowerModel> cluster;
+  std::unique_ptr<SystemPowerModel> electrical;
+  MeasurementPlan plan;
+};
+
+Rig make_rig(std::size_t nodes, Level level) {
+  Rig rig;
+  auto workload = std::make_shared<FirestarterWorkload>(
+      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.03);
+  var.outlier_prob = 0.0;
+  rig.cluster = std::make_unique<ClusterPowerModel>(
+      "perf-rig", generate_node_powers(nodes, 400.0, var, 7), workload);
+  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
+      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
+  PlanInputs in;
+  in.total_nodes = nodes;
+  in.approx_node_power = watts(400.0);
+  in.run = rig.cluster->phases();
+  Rng rng(11);
+  rig.plan = plan_measurement(MethodologySpec::get(level, Revision::kV2015),
+                              in, rng);
+  return rig;
+}
+
+// Byte comparison of everything a campaign reports (NaN-safe, unlike ==).
+bool identical_reports(const CampaignResult& a, const CampaignResult& b) {
+  const auto bits = [](const double& x, const double& y) {
+    return std::memcmp(&x, &y, sizeof x) == 0;
+  };
+  if (!bits(a.submitted_power.value(), b.submitted_power.value())) return false;
+  if (!bits(a.submitted_energy.value(), b.submitted_energy.value()))
+    return false;
+  if (a.nodes_measured != b.nodes_measured) return false;
+  if (a.node_mean_powers_w.size() != b.node_mean_powers_w.size()) return false;
+  for (std::size_t i = 0; i < a.node_mean_powers_w.size(); ++i) {
+    if (!bits(a.node_mean_powers_w[i], b.node_mean_powers_w[i])) return false;
+  }
+  if (!bits(a.node_mean_ci.lo, b.node_mean_ci.lo)) return false;
+  if (!bits(a.node_mean_ci.hi, b.node_mean_ci.hi)) return false;
+  if (!bits(a.relative_halfwidth, b.relative_halfwidth)) return false;
+  if (!bits(a.true_power.value(), b.true_power.value())) return false;
+  if (!bits(a.relative_error, b.relative_error)) return false;
+  return true;
+}
+
+struct Timed {
+  CampaignResult result;
+  double best_ms = 0.0;
+};
+
+Timed run_best_of(const Rig& rig, const CampaignConfig& cfg,
+                  std::size_t reps) {
+  Timed out;
+  out.best_ms = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    CampaignResult res =
+        run_campaign(*rig.cluster, *rig.electrical, rig.plan, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.best_ms = std::min(
+        out.best_ms,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    out.result = std::move(res);
+  }
+  return out;
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t samples = 0;  // metered samples across the cohort
+  double eager1_ms = 0.0;
+  double stream1_ms = 0.0;
+  double stream8_ms = 0.0;
+  double speedup_1t = 0.0;   // eager@1 / streaming@1
+  double speedup_8t = 0.0;   // eager@1 / streaming@8 (PR contract ratio)
+  double samples_per_sec = 0.0;  // streaming@1 throughput
+  bool identical = false;
+};
+
+ScenarioResult run_scenario(const std::string& name, Level level,
+                            const MeterAccuracy& acc, std::size_t nodes,
+                            std::size_t reps) {
+  const Rig rig = make_rig(nodes, level);
+
+  CampaignConfig base;
+  base.seed = 5;
+  base.meter_accuracy = acc;
+  base.meter_interval_override = Seconds{5.0};
+
+  CampaignConfig eager1 = base;
+  eager1.engine = CampaignEngine::kEager;
+  CampaignConfig stream1 = base;
+  stream1.engine = CampaignEngine::kStreaming;
+  CampaignConfig stream8 = stream1;
+  stream8.threads = 8;
+
+  const Timed te = run_best_of(rig, eager1, reps);
+  const Timed t1 = run_best_of(rig, stream1, reps);
+  const Timed t8 = run_best_of(rig, stream8, reps);
+
+  ScenarioResult s;
+  s.name = name;
+  Rng probe_rng(0);
+  const MeterModel probe(base.meter_accuracy, rig.plan.meter_mode,
+                         Seconds{5.0}, probe_rng);
+  std::size_t per_node = 0;
+  for (const TimeWindow& w : metered_windows(rig.plan, Seconds{5.0})) {
+    per_node += probe.samples_in(w);
+  }
+  s.samples = per_node * rig.plan.node_count();
+  s.eager1_ms = te.best_ms;
+  s.stream1_ms = t1.best_ms;
+  s.stream8_ms = t8.best_ms;
+  s.speedup_1t = te.best_ms / t1.best_ms;
+  s.speedup_8t = te.best_ms / t8.best_ms;
+  s.samples_per_sec = static_cast<double>(s.samples) / (t1.best_ms / 1e3);
+  s.identical = identical_reports(te.result, t1.result) &&
+                identical_reports(te.result, t8.result);
+  return s;
+}
+
+void write_json(const std::string& path,
+                const std::vector<ScenarioResult>& scenarios,
+                std::size_t nodes, std::size_t reps) {
+  std::ofstream out(path);
+  out.precision(6);
+  out << "{\n  \"schema\": \"powervar-bench-perf-v1\",\n"
+      << "  \"nodes\": " << nodes << ",\n  \"reps\": " << reps << ",\n"
+      << "  \"scenarios\": {\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioResult& s = scenarios[i];
+    out << "    \"" << s.name << "\": {\n"
+        << "      \"samples\": " << s.samples << ",\n"
+        << "      \"eager1_ms\": " << s.eager1_ms << ",\n"
+        << "      \"stream1_ms\": " << s.stream1_ms << ",\n"
+        << "      \"stream8_ms\": " << s.stream8_ms << ",\n"
+        << "      \"speedup_1t\": " << s.speedup_1t << ",\n"
+        << "      \"speedup_8t\": " << s.speedup_8t << ",\n"
+        << "      \"samples_per_sec\": " << s.samples_per_sec << ",\n"
+        << "      \"identical\": " << (s.identical ? "true" : "false")
+        << "\n    }" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("perf-campaign",
+                "streaming vs eager engine, end-to-end campaigns");
+
+  const std::size_t nodes = bench::env_size("PV_PERF_NODES", 240);
+  const std::size_t reps = bench::env_size("PV_PERF_REPS", 5);
+  const char* json_env = std::getenv("PV_PERF_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env
+                                                 : "BENCH_perf.json";
+
+  std::vector<ScenarioResult> scenarios;
+  scenarios.push_back(run_scenario("l1_pdu", Level::kL1,
+                                   MeterAccuracy::pdu_grade(), nodes, reps));
+  scenarios.push_back(run_scenario("l3_pdu", Level::kL3,
+                                   MeterAccuracy::pdu_grade(), nodes, reps));
+  scenarios.push_back(run_scenario("l3_perfect", Level::kL3,
+                                   MeterAccuracy::perfect(), nodes, reps));
+
+  TextTable t({"scenario", "samples", "eager@1", "stream@1", "stream@8",
+               "speedup@1", "speedup@8", "identical"});
+  const auto ms = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f ms", v);
+    return std::string(buf);
+  };
+  const auto x = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fx", v);
+    return std::string(buf);
+  };
+  for (const ScenarioResult& s : scenarios) {
+    t.add_row({s.name, std::to_string(s.samples), ms(s.eager1_ms),
+               ms(s.stream1_ms), ms(s.stream8_ms), x(s.speedup_1t),
+               x(s.speedup_8t), s.identical ? "yes" : "NO"});
+  }
+  std::cout << t.render();
+
+  write_json(json_path, scenarios, nodes, reps);
+  std::cout << "\nwrote " << json_path << " (best of " << reps
+            << " reps per variant)\n";
+
+  bool ok = true;
+  for (const ScenarioResult& s : scenarios) {
+    if (!s.identical) {
+      std::cout << "CONTRACT VIOLATED: " << s.name
+                << " reports differ across engines/threads\n";
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "\nall engine-identity contracts hold\n"
+                   : "\nsome contracts VIOLATED\n");
+  return ok ? 0 : 1;
+}

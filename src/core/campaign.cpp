@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
+#include "sim/streaming.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/fused.hpp"
 #include "stats/robust.hpp"
 #include "util/expects.hpp"
 #include "util/mathx.hpp"
@@ -74,17 +78,31 @@ std::size_t expected_samples(const std::vector<TimeWindow>& windows,
   return n;
 }
 
+// Streaming context of one node device: the shared per-window shape
+// tables plus this node's mean, PSU curve (null for DC taps) and a
+// reusable scratch buffer owned by the worker's chunk.
+struct StreamScope {
+  const std::vector<ShapeTable>* tables = nullptr;  // parallel to windows
+  double mean_w = 0.0;
+  const CompiledPsuCurve* curve = nullptr;
+  StreamScratch* scratch = nullptr;
+};
+
 // Meters `truth` over every window.  With faults disabled this is the
 // exact historical metering loop (identical RNG consumption, identical
 // arithmetic); with faults enabled the clean trace is corrupted, quality-
 // checked, repaired and despiked, and the device may come back lost.
+// With `stream_scope` set the clean readings come from the streaming
+// kernels instead of the truth function — bit-identical by construction
+// (sim/streaming.hpp), so everything downstream is shared verbatim.
 DeviceReading meter_device(const MeterModel& meter,
                            const PowerFunction& truth,
                            const std::vector<TimeWindow>& windows,
                            TimeWindow campaign_window, Rng& noise,
                            const CampaignConfig& config,
                            std::uint64_t stream, std::size_t meter_id,
-                           const std::vector<TimeWindow>* analysis = nullptr) {
+                           const std::vector<TimeWindow>* analysis = nullptr,
+                           const StreamScope* stream_scope = nullptr) {
   const FaultPlan& fp = config.faults;
   DeviceReading r;
 
@@ -127,11 +145,28 @@ DeviceReading meter_device(const MeterModel& meter,
 
   if (!fp.enabled()) {
     double mean_acc = 0.0;
-    for (const TimeWindow& w : windows) {
-      const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
-      mean_acc += trace.mean_power().value();
-      r.energy_j += trace.energy().value();
-      bucket(trace.t0(), trace.dt(), trace.watts());
+    if (stream_scope != nullptr) {
+      // Streaming clean path: no PowerTrace, no per-window allocation.
+      // The fused accumulator's in-order sum reproduces the prefix-sum
+      // bits mean_power()/energy() would compute from the same readings.
+      StreamScratch& scratch = *stream_scope->scratch;
+      for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+        const ShapeTable& table = (*stream_scope->tables)[wi];
+        stream_node_window(table, stream_scope->mean_w, stream_scope->curve,
+                           meter, noise, scratch);
+        FusedAccumulator acc;
+        acc.push(std::span<const double>(scratch.readings));
+        mean_acc += acc.sum() / static_cast<double>(acc.count());
+        r.energy_j += acc.sum() * table.dt;
+        bucket(Seconds{table.t_begin}, Seconds{table.dt}, scratch.readings);
+      }
+    } else {
+      for (const TimeWindow& w : windows) {
+        const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
+        mean_acc += trace.mean_power().value();
+        r.energy_j += trace.energy().value();
+        bucket(trace.t0(), trace.dt(), trace.watts());
+      }
     }
     r.mean_w = mean_acc / static_cast<double>(windows.size());
     finish_buckets();
@@ -156,8 +191,20 @@ DeviceReading meter_device(const MeterModel& meter,
   double mean_acc = 0.0;
   std::size_t windows_used = 0;
   std::size_t valid_total = 0;
-  for (const TimeWindow& w : windows) {
-    const PowerTrace clean = meter.measure(truth, w.begin, w.end, noise);
+  for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+    const TimeWindow& w = windows[wi];
+    // The fault pipeline consumes a materialized trace either way; the
+    // streaming engine only swaps how the clean readings are produced.
+    const PowerTrace clean = [&] {
+      if (stream_scope == nullptr) {
+        return meter.measure(truth, w.begin, w.end, noise);
+      }
+      stream_node_window((*stream_scope->tables)[wi], stream_scope->mean_w,
+                         stream_scope->curve, meter, noise,
+                         *stream_scope->scratch);
+      return PowerTrace(w.begin, meter.interval(),
+                        stream_scope->scratch->readings);
+    }();
     GappyTrace gappy = inject_faults(clean, fp.spec, fate, fault_rng);
     r.stuck_flagged += flag_stuck_runs(gappy, fp.stuck_run_min);
     const GapStats gs = gappy.gap_stats();
@@ -323,6 +370,45 @@ Watts true_scope_power(const ClusterPowerModel& cluster,
       core.begin.value(), core.end.value());
   return Watts{compute + aux};
 }
+
+namespace {
+
+// Ground truth for a streaming-verified campaign.  When the electrical
+// model is the cluster lowered through make_system_power_model (which the
+// streaming probe has checked), compute_ac_w depends on t only through
+// the shared shape factor — so panel evaluations over a steady phase are
+// the same double over and over.  Memoizing them on the shape's bit
+// pattern leaves the integration grid, the summation order and every
+// per-panel value untouched: average_over sees a function returning the
+// exact doubles compute_ac_w would return, just without recomputing the
+// 240-node PSU sum per panel.
+Watts streaming_true_scope_power(const ClusterPowerModel& cluster,
+                                 const SystemPowerModel& electrical,
+                                 const MethodologySpec& spec) {
+  const TimeWindow core = cluster.phases().core_window();
+  std::unordered_map<std::uint64_t, double> memo;
+  const auto compute_memo = [&](double t) {
+    const double s = cluster.shape_factor(t);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &s, sizeof bits);
+    const auto it = memo.find(bits);
+    if (it != memo.end()) return it->second;
+    const double v = electrical.compute_ac_w(t);
+    memo.emplace(bits, v);
+    return v;
+  };
+  const double compute =
+      mean_over_window(compute_memo, core.begin.value(), core.end.value());
+  if (spec.subsystems == SubsystemRule::kComputeOnly) return Watts{compute};
+  // Auxiliaries are arbitrary functions of t (no shape identity to key
+  // on); their panel evaluations stay direct.
+  const double aux = mean_over_window(
+      [&](double t) { return electrical.auxiliary_ac_w(t); },
+      core.begin.value(), core.end.value());
+  return Watts{compute + aux};
+}
+
+}  // namespace
 
 CampaignResult run_campaign(const ClusterPowerModel& cluster,
                             const SystemPowerModel& electrical,
@@ -512,25 +598,66 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
           ? make_analysis_windows(windows, config.reconcile.analysis_windows)
           : std::vector<TimeWindow>{};
 
+  // Streaming engine: valid when the electrical model really is the
+  // cluster lowered through make_system_power_model, i.e. each node's DC
+  // truth is its mean times the shared shape.  Probed exactly — any
+  // mismatch (a hand-built SystemPowerModel) falls back to the eager
+  // path, whose arithmetic the kernels reproduce bit-for-bit anyway.
+  bool streaming = config.engine == CampaignEngine::kStreaming;
+  if (streaming) {
+    const std::size_t probe = plan.node_indices.front();
+    PV_EXPECTS(probe < cluster.node_count(), "plan references missing node");
+    // Probe the metered window (the kernels) and the core window (the
+    // memoized ground truth) alike.
+    const TimeWindow core = cluster.phases().core_window();
+    for (const TimeWindow& w : {plan.window, core}) {
+      for (double frac : {0.25, 0.5, 0.75}) {
+        const double t = w.begin.value() + frac * w.duration().value();
+        const double lowered =
+            cluster.node_means()[probe] * cluster.shape_factor(t);
+        if (electrical.node_dc_w(probe, t) != lowered) {
+          streaming = false;
+          break;
+        }
+      }
+      if (!streaming) break;
+    }
+  }
+  const std::vector<ShapeTable> tables =
+      streaming
+          ? build_shape_tables(cluster, windows, interval, plan.meter_mode)
+          : std::vector<ShapeTable>{};
+
   std::vector<DeviceReading> devices(plan.node_count());
   std::vector<NodeReading> readings(plan.node_count());
-  const auto meter_one = [&](std::size_t i) {
+  const auto meter_one = [&](std::size_t i, StreamScratch& scratch) {
     const std::size_t node = plan.node_indices[i];
     PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
     Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
     Rng noise(config.seed ^ 0xBADCAB1EULL, node);
     const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
                            calibration);
-    const PowerFunction truth =
-        plan.point == MeasurementPoint::kNodeDc
-            ? PowerFunction([&electrical, node](double t) {
-                return electrical.node_dc_w(node, t);
-              })
-            : electrical.node_ac_function(node);
+    PowerFunction truth;  // only the eager path walks the function chain
+    StreamScope scope;
+    if (streaming) {
+      scope.tables = &tables;
+      scope.mean_w = cluster.node_means()[node];
+      scope.curve = plan.point == MeasurementPoint::kNodeDc
+                        ? nullptr
+                        : &electrical.node_psu(node).compiled();
+      scope.scratch = &scratch;
+    } else {
+      truth = plan.point == MeasurementPoint::kNodeDc
+                  ? PowerFunction([&electrical, node](double t) {
+                      return electrical.node_dc_w(node, t);
+                    })
+                  : electrical.node_ac_function(node);
+    }
 
     devices[i] =
         meter_device(meter, truth, windows, plan.window, noise, config,
-                     node, node, reconciling ? &analysis : nullptr);
+                     node, node, reconciling ? &analysis : nullptr,
+                     streaming ? &scope : nullptr);
     const DeviceReading& reading = devices[i];
     NodeReading nr;
     nr.node = node;
@@ -548,13 +675,25 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
   };
   // Every stream above is keyed by the node id and every result lands in
   // its own slot, so the fan-out is bit-identical at any thread count.
-  // The pool is only spun up for reconciling campaigns; the historical
-  // path stays a plain serial loop.
-  if (reconciling && config.reconcile.threads > 1) {
-    ThreadPool pool(config.reconcile.threads);
-    parallel_for(&pool, plan.node_count(), meter_one, /*grain=*/1);
+  // Chunked sharding gives each worker one contiguous range and one
+  // scratch buffer reused across all of its nodes.
+  const std::size_t fanout = std::max<std::size_t>(
+      {config.threads,
+       reconciling ? static_cast<std::size_t>(config.reconcile.threads)
+                   : std::size_t{1},
+       std::size_t{1}});
+  if (fanout > 1) {
+    ThreadPool pool(static_cast<unsigned>(fanout));
+    parallel_chunks(&pool, plan.node_count(),
+                    [&](std::size_t begin, std::size_t end) {
+                      StreamScratch scratch;
+                      for (std::size_t i = begin; i < end; ++i) {
+                        meter_one(i, scratch);
+                      }
+                    });
   } else {
-    for (std::size_t i = 0; i < plan.node_count(); ++i) meter_one(i);
+    StreamScratch scratch;
+    for (std::size_t i = 0; i < plan.node_count(); ++i) meter_one(i, scratch);
   }
   if (faulty) {
     for (const DeviceReading& reading : devices) absorb_tallies(dq, reading);
@@ -590,7 +729,8 @@ CampaignResult run_campaign(const ClusterPowerModel& cluster,
     }
     dq.integrity = std::move(verdicts);
   }
-  return finalize_node_campaign(cluster, electrical, plan, readings, dq);
+  return finalize_node_campaign(cluster, electrical, plan, readings, dq,
+                                streaming);
 }
 
 void apply_dc_conversion(const MeasurementPlan& plan,
@@ -619,7 +759,7 @@ CampaignResult finalize_node_campaign(const ClusterPowerModel& cluster,
                                       const SystemPowerModel& electrical,
                                       const MeasurementPlan& plan,
                                       const std::vector<NodeReading>& readings,
-                                      DataQuality dq) {
+                                      DataQuality dq, bool streaming) {
   CampaignResult result;
   result.system_name = cluster.name();
   result.window_duration = plan.window.duration();
@@ -697,8 +837,12 @@ CampaignResult finalize_node_campaign(const ClusterPowerModel& cluster,
   finalize_quality(dq);
   result.data_quality = std::move(dq);
 
-  // Ground truth and error.
-  result.true_power = true_scope_power(cluster, electrical, plan.spec);
+  // Ground truth and error.  The memoized form returns the exact doubles
+  // the direct form would (streaming probe holding), just faster.
+  result.true_power = streaming
+                          ? streaming_true_scope_power(cluster, electrical,
+                                                       plan.spec)
+                          : true_scope_power(cluster, electrical, plan.spec);
   result.relative_error =
       std::fabs(result.submitted_power.value() - result.true_power.value()) /
       result.true_power.value();

@@ -15,6 +15,22 @@
 
 namespace pv {
 
+/// How the campaign evaluates the node-metering hot path.
+enum class CampaignEngine {
+  /// Historical per-device loop: one std::function truth chain per node,
+  /// evaluated per quadrature point.  Kept as the reference
+  /// implementation the streaming engine is checked against.
+  kEager,
+  /// Streaming kernels (sim/streaming): the balanced-workload shape is
+  /// evaluated once per time-grid point and shared across the cohort;
+  /// per-node readings are produced chunk-by-chunk into reused scratch
+  /// with no per-sample dispatch.  Bit-identical to kEager (enforced by
+  /// tests), and the default.  Campaigns whose electrical model was not
+  /// lowered from the cluster (detected by an exact probe) fall back to
+  /// kEager automatically, as do rack-PDU and facility-feed taps.
+  kStreaming,
+};
+
 /// Execution knobs of a campaign.
 struct CampaignConfig {
   MeterAccuracy meter_accuracy = MeterAccuracy::pdu_grade();
@@ -33,6 +49,14 @@ struct CampaignConfig {
   /// node-tap campaigns reconcile — rack/facility taps have no sibling
   /// cohort to cross-validate against.
   ReconcilePolicy reconcile;
+  /// Hot-path implementation; results are bit-identical either way.
+  CampaignEngine engine = CampaignEngine::kStreaming;
+  /// Worker threads for the node-metering fan-out (any engine).  Every
+  /// RNG stream is keyed by node id and every result lands in its own
+  /// slot, so output is bit-identical at any thread count.  1 = serial;
+  /// reconciling campaigns also honor reconcile.threads (the larger of
+  /// the two wins, preserving the PR3 knob).
+  std::size_t threads = 1;
 };
 
 /// What the *collection path* (src/collect's asynchronous transport +
@@ -146,11 +170,14 @@ struct NodeReading {
 /// energy to the planned metering scope, computes the Eq. 1 CI, and
 /// finalizes `dq` (whose meters_planned / faults_enabled / collection
 /// fields the caller has already filled).  Readings must be in plan
-/// order.  Throws when every meter was lost.
+/// order.  Throws when every meter was lost.  `streaming` marks callers
+/// that already verified the lowered-model identity (run_campaign's
+/// streaming probe); the ground-truth integral is then memoized on the
+/// shape factor — bit-identical panel values, far fewer model walks.
 [[nodiscard]] CampaignResult finalize_node_campaign(
     const ClusterPowerModel& cluster, const SystemPowerModel& electrical,
     const MeasurementPlan& plan, const std::vector<NodeReading>& readings,
-    DataQuality dq);
+    DataQuality dq, bool streaming = false);
 
 /// Aspect 4: corrects a DC-side node reading back to AC per the plan's
 /// conversion policy.  No-op for AC-side taps.

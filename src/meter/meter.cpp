@@ -31,14 +31,6 @@ MeterModel::MeterModel(MeterAccuracy accuracy, MeterMode mode,
   offset_w_ = calibration_rng.normal(0.0, accuracy.offset_error_sd_w);
 }
 
-double MeterModel::apply_errors(double truth, Rng& noise_rng) const {
-  double v = truth * gain_ + offset_w_;
-  if (accuracy_.noise_sd > 0.0) {
-    v *= 1.0 + noise_rng.normal(0.0, accuracy_.noise_sd);
-  }
-  return v;
-}
-
 PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
                                Seconds t_end, Rng& noise_rng) const {
   PV_EXPECTS(truth_w != nullptr, "null ground-truth function");
@@ -48,6 +40,9 @@ PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
       std::floor((t_end.value() - t_begin.value()) / dt + 1e-9));
   PV_EXPECTS(n > 0, "window shorter than one reporting interval");
 
+  // The streaming kernels evaluate the exact sample times and quadrature
+  // below in a different translation unit; -ffp-contract=off project-wide
+  // keeps every multiply-add here and there rounding identically.
   std::vector<double> readings(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double a = t_begin.value() + dt * static_cast<double>(i);
@@ -55,12 +50,10 @@ PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
     if (mode_ == MeterMode::kIntegrated) {
       // Average of the signal over the interval via 4-point Gauss-Legendre
       // quadrature — accurate for the smooth-plus-noise profiles we meter.
-      static constexpr double xs[4] = {0.06943184420297371, 0.33000947820757187,
-                                       0.66999052179242813, 0.93056815579702629};
-      static constexpr double ws[4] = {0.17392742256872693, 0.32607257743127307,
-                                       0.32607257743127307, 0.17392742256872693};
       truth = 0.0;
-      for (int q = 0; q < 4; ++q) truth += ws[q] * truth_w(a + xs[q] * dt);
+      for (int q = 0; q < 4; ++q) {
+        truth += gl4::kWs[q] * truth_w(a + gl4::kXs[q] * dt);
+      }
     } else {
       truth = truth_w(a + 0.5 * dt);
     }

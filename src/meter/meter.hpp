@@ -9,6 +9,7 @@
 // would report: sampled (or integrated), with gain error, offset error and
 // per-sample noise.
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 
@@ -17,6 +18,17 @@
 #include "util/units.hpp"
 
 namespace pv {
+
+/// 4-point Gauss-Legendre abscissae/weights on [0, 1] — the quadrature
+/// kIntegrated meters average each reporting interval with.  Shared
+/// between the eager per-device loop and the streaming kernels so both
+/// integrate with the exact same constants.
+namespace gl4 {
+inline constexpr double kXs[4] = {0.06943184420297371, 0.33000947820757187,
+                                  0.66999052179242813, 0.93056815579702629};
+inline constexpr double kWs[4] = {0.17392742256872693, 0.32607257743127307,
+                                  0.32607257743127307, 0.17392742256872693};
+}  // namespace gl4
 
 /// Ground truth power as a function of time (seconds -> watts).
 using PowerFunction = std::function<double(double)>;
@@ -80,14 +92,26 @@ class MeterModel {
   /// chunking agree with the meter exactly.
   [[nodiscard]] std::size_t samples_in(TimeWindow w) const;
 
+  /// One reading from one truth value: calibration error then per-sample
+  /// noise (consumes one normal draw iff noise_sd > 0).  Inline so the
+  /// streaming kernels, compiled in another translation unit, report
+  /// bit-identical values to measure() (the project builds with
+  /// -ffp-contract=off, so the multiply-add rounds the same way in every
+  /// TU).
+  [[nodiscard]] double apply_errors(double truth, Rng& noise_rng) const {
+    double v = truth * gain_ + offset_w_;
+    if (accuracy_.noise_sd > 0.0) {
+      v *= 1.0 + noise_rng.normal(0.0, accuracy_.noise_sd);
+    }
+    return v;
+  }
+
  private:
   MeterAccuracy accuracy_;
   MeterMode mode_;
   Seconds interval_;
   double gain_ = 1.0;
   double offset_w_ = 0.0;
-
-  [[nodiscard]] double apply_errors(double truth, Rng& noise_rng) const;
 };
 
 }  // namespace pv

@@ -63,16 +63,89 @@ double PsuEfficiencyCurve::efficiency_at(double load_fraction) const {
   return points_.back().second;  // unreachable
 }
 
+CompiledPsuCurve::CompiledPsuCurve(const PsuEfficiencyCurve& curve,
+                                   Watts rated_dc_output) {
+  PV_EXPECTS(rated_dc_output.value() > 0.0, "rated output must be positive");
+  const auto& pts = curve.points();
+  xs_.reserve(pts.size());
+  ys_.reserve(pts.size());
+  slopes_.reserve(pts.size() - 1);
+  for (const auto& [x, y] : pts) {
+    xs_.push_back(x);
+    ys_.push_back(y);
+  }
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    slopes_.push_back((ys_[i + 1] - ys_[i]) / (xs_[i + 1] - xs_[i]));
+  }
+  inv_rated_ = 1.0 / rated_dc_output.value();
+}
+
+void CompiledPsuCurve::ac_from_dc_batch(std::span<const double> dc,
+                                        std::span<double> ac,
+                                        std::vector<double>& lf_tmp,
+                                        std::vector<double>& eff_tmp) const {
+  const std::size_t n = dc.size();
+  PV_EXPECTS(ac.size() == n, "dc/ac spans must have equal length");
+  PV_EXPECTS(!xs_.empty(), "batch evaluation on an empty curve");
+  lf_tmp.resize(n);
+  eff_tmp.resize(n);
+  double* const lf = lf_tmp.data();
+  double* const eff = eff_tmp.data();
+  const double* const d = dc.data();
+  double* const out = ac.data();
+  const double inv = inv_rated_;
+  for (std::size_t k = 0; k < n; ++k) lf[k] = d[k] * inv;
+  // Loop inversion: one elementwise blend pass per curve segment instead
+  // of a per-value segment scan.  Last writer wins, so after all passes
+  // eff[k] = ys_[s] + (lf - xs_[s]) * slopes_[s] for
+  // s = max{i < last : lf > xs_[i]} — the same segment (and the same
+  // expression, operand for operand) the scalar scan selects — or ys_[0]
+  // when lf <= xs_[0].  Every select is an unconditional store of a
+  // value-select (never a guarded store), so the loops if-convert and
+  // vectorize.  Segment 0 is fused with the ys_[0] initialisation and the
+  // high clamp with the final divide, saving two full passes.
+  const std::size_t last = xs_.size() - 1;
+  {
+    const double x0 = xs_[0];
+    const double y0 = ys_[0];
+    const double s0 = slopes_[0];
+    for (std::size_t k = 0; k < n; ++k) {
+      const double cand = y0 + (lf[k] - x0) * s0;
+      eff[k] = lf[k] > x0 ? cand : y0;
+    }
+  }
+  for (std::size_t i = 1; i < last; ++i) {
+    const double xi = xs_[i];
+    const double yi = ys_[i];
+    const double si = slopes_[i];
+    for (std::size_t k = 0; k < n; ++k) {
+      const double prev = eff[k];
+      const double cand = yi + (lf[k] - xi) * si;
+      eff[k] = lf[k] > xi ? cand : prev;
+    }
+  }
+  // A zero load lands in the clamp-low lane (lf = 0 <= xs_[0]) and
+  // divides to 0/ys_[0] == +0.0, matching the scalar early return for the
+  // non-negative loads campaigns produce.
+  const double xl = xs_[last];
+  const double yl = ys_[last];
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ei = eff[k];  // unconditional load so the loop if-converts
+    const double e = lf[k] >= xl ? yl : ei;
+    out[k] = d[k] / e;
+  }
+}
+
 PsuModel::PsuModel(Watts rated_dc_output, PsuEfficiencyCurve curve)
-    : rated_(rated_dc_output), curve_(std::move(curve)) {
+    : rated_(rated_dc_output),
+      curve_(std::move(curve)),
+      compiled_(curve_, rated_dc_output) {
   PV_EXPECTS(rated_dc_output.value() > 0.0, "rated output must be positive");
 }
 
 Watts PsuModel::ac_input(Watts dc_load) const {
   PV_EXPECTS(dc_load.value() >= 0.0, "DC load must be non-negative");
-  if (dc_load.value() == 0.0) return Watts{0.0};
-  const double load_frac = dc_load / rated_;
-  return Watts{dc_load.value() / curve_.efficiency_at(load_frac)};
+  return Watts{compiled_.ac_from_dc(dc_load.value())};
 }
 
 Watts PsuModel::dc_output(Watts ac) const {

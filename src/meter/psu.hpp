@@ -9,11 +9,71 @@
 // campaigns can quantify what that choice costs in accuracy.
 
 #include <array>
+#include <cmath>
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/units.hpp"
 
 namespace pv {
+
+class PsuEfficiencyCurve;
+
+/// Flattened, division-minimal form of a PSU efficiency curve bound to a
+/// rated output.  The campaign hot path evaluates AC input for every node
+/// at every sample; the curve form matters there.  `efficiency_at` on the
+/// source curve costs two divisions per call (load fraction + lerp
+/// parameter) plus the pair-vector walk; this form precomputes 1/rated
+/// and per-segment slopes so one evaluation is one multiply, a short
+/// segment scan, one fma and one divide.
+///
+/// The eager per-device path and the streaming kernels — compiled in
+/// different translation units — must produce bit-identical AC samples;
+/// both call this same inline evaluation, and the project builds with
+/// -ffp-contract=off so its multiply-add rounds identically everywhere.
+class CompiledPsuCurve {
+ public:
+  CompiledPsuCurve() = default;
+  CompiledPsuCurve(const PsuEfficiencyCurve& curve, Watts rated_dc_output);
+
+  /// Clean (error-free) AC input for a DC load, in watts.  Preserves the
+  /// clamp-outside / lerp-between semantics of the source curve.
+  [[nodiscard]] double ac_from_dc(double dc_w) const {
+    if (dc_w == 0.0) return 0.0;
+    const double lf = dc_w * inv_rated_;
+    const std::size_t last = xs_.size() - 1;
+    double eff;
+    if (lf <= xs_[0]) {
+      eff = ys_[0];
+    } else if (lf >= xs_[last]) {
+      eff = ys_[last];
+    } else {
+      std::size_t s = 0;
+      while (s + 1 < last && lf > xs_[s + 1]) ++s;
+      eff = ys_[s] + (lf - xs_[s]) * slopes_[s];
+    }
+    return dc_w / eff;
+  }
+
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+
+  /// Batch form of ac_from_dc over a whole window of loads: the segment
+  /// scan becomes one blend pass per curve segment (loop inversion), so
+  /// every inner loop is elementwise and vectorizes.  Each lane performs
+  /// exactly the operations of the scalar call with the same operands, so
+  /// ac[k] is bit-identical to ac_from_dc(dc[k]).  `lf_tmp`/`eff_tmp` are
+  /// caller-owned scratch reused across calls.
+  void ac_from_dc_batch(std::span<const double> dc, std::span<double> ac,
+                        std::vector<double>& lf_tmp,
+                        std::vector<double>& eff_tmp) const;
+
+ private:
+  std::vector<double> xs_;      // load fractions, strictly increasing
+  std::vector<double> ys_;      // efficiencies at xs_
+  std::vector<double> slopes_;  // (ys_[i+1]-ys_[i]) / (xs_[i+1]-xs_[i])
+  double inv_rated_ = 0.0;
+};
 
 /// Load-dependent PSU efficiency curve: efficiency as a function of the
 /// DC load expressed as a fraction of rated output.  Shaped like the
@@ -33,6 +93,10 @@ class PsuEfficiencyCurve {
   static PsuEfficiencyCurve titanium();
 
   [[nodiscard]] double efficiency_at(double load_fraction) const;
+
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
 
  private:
   std::vector<std::pair<double, double>> points_;
@@ -55,9 +119,14 @@ class PsuModel {
   /// Conversion loss at the given DC load.
   [[nodiscard]] Watts loss(Watts dc_load) const;
 
+  /// The flattened curve `ac_input` evaluates; streaming kernels call it
+  /// directly on raw doubles to share the exact arithmetic.
+  [[nodiscard]] const CompiledPsuCurve& compiled() const { return compiled_; }
+
  private:
   Watts rated_;
   PsuEfficiencyCurve curve_;
+  CompiledPsuCurve compiled_;
 };
 
 /// Manufacturer-supplied conversion data as Level 1 allows: a single

@@ -44,6 +44,13 @@ class ClusterPowerModel {
   [[nodiscard]] double node_power_w(std::size_t i, double t) const;
   [[nodiscard]] PowerFunction node_function(std::size_t i) const;
 
+  /// Per-watt-of-mean shape factor at time t — identical for every node
+  /// of a balanced run, so node i's power is `node_means()[i] *
+  /// shape_factor(t)`.  Streaming kernels evaluate the shape once per
+  /// time-grid point and reuse it across the whole cohort instead of
+  /// re-walking the workload model per node.
+  [[nodiscard]] double shape_factor(double t) const { return shape(t); }
+
   /// Ground-truth whole-system DC power (sum over nodes) at time t —
   /// O(1) via cached coefficient sums.
   [[nodiscard]] double system_power_w(double t) const;

@@ -1,0 +1,112 @@
+#include "stats/fused.hpp"
+
+#include <cmath>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+FusedAccumulator::FusedAccumulator(double hist_lo, double hist_hi,
+                                   std::size_t bins)
+    : lo_(hist_lo), hi_(hist_hi), counts_(bins, 0) {
+  PV_EXPECTS(bins > 0, "histogram needs at least one bin");
+  PV_EXPECTS(hist_hi > hist_lo, "histogram range must be non-empty");
+}
+
+void FusedAccumulator::bin(double x) {
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::ptrdiff_t>(
+      std::floor(f * static_cast<double>(counts_.size())));
+  if (i < 0) i = 0;
+  const auto last = static_cast<std::ptrdiff_t>(counts_.size()) - 1;
+  if (i > last) i = last;
+  ++counts_[static_cast<std::size_t>(i)];
+}
+
+void FusedAccumulator::push(std::span<const double> xs) {
+  if (xs.empty()) return;
+  double s = 0.0;  // in-order: the bit contract
+  double mn = xs[0];
+  double mx = xs[0];
+  for (const double x : xs) {
+    s += x;
+    if (x < mn) mn = x;
+    if (x > mx) mx = x;
+  }
+  const double batch_mean = s / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (const double x : xs) {
+    const double d = x - batch_mean;
+    m2 += d * d;
+  }
+  FusedAccumulator batch;
+  batch.n_ = xs.size();
+  batch.sum_ = s;
+  batch.mean_ = batch_mean;
+  batch.m2_ = m2;
+  batch.min_ = mn;
+  batch.max_ = mx;
+  const bool histogram = !counts_.empty();
+  merge(batch);
+  if (histogram) {
+    for (const double x : xs) bin(x);
+  }
+}
+
+void FusedAccumulator::merge(const FusedAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  if (!other.counts_.empty()) {
+    if (counts_.empty()) {
+      lo_ = other.lo_;
+      hi_ = other.hi_;
+      counts_ = other.counts_;
+    } else {
+      PV_EXPECTS(counts_.size() == other.counts_.size() && lo_ == other.lo_ &&
+                     hi_ == other.hi_,
+                 "histogram layouts must match to merge");
+      for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+      }
+    }
+  }
+  // Chan et al. pairwise combine.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double FusedAccumulator::mean() const {
+  PV_EXPECTS(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double FusedAccumulator::variance() const {
+  PV_EXPECTS(n_ >= 2, "sample variance needs >= 2 values");
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double FusedAccumulator::stddev() const { return std::sqrt(variance()); }
+
+double FusedAccumulator::min() const {
+  PV_EXPECTS(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double FusedAccumulator::max() const {
+  PV_EXPECTS(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+}  // namespace pv

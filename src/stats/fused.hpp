@@ -1,0 +1,84 @@
+#pragma once
+// Single-pass fused accumulator for the streaming campaign engine.
+//
+// The streaming kernels produce each node's readings once, in a reused
+// scratch buffer that the next chunk overwrites — so every statistic a
+// window needs must come out of one pass over the samples.  A
+// FusedAccumulator folds that pass together: exact in-order sum (the bit
+// pattern the PowerTrace prefix sums produce), Welford mean/variance,
+// min/max, and an optional fixed-range histogram, all updated per push.
+// Shards merge with the Chan et al. pairwise update, like RunningStats.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pv {
+
+class FusedAccumulator {
+ public:
+  FusedAccumulator() = default;
+  /// Also bins pushed values into `bins` equal-width cells over
+  /// [hist_lo, hist_hi); out-of-range values clamp to the edge cells.
+  FusedAccumulator(double hist_lo, double hist_hi, std::size_t bins);
+
+  void push(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+    ++n_;
+    // Plain left-to-right sum: bit-identical to a sequential prefix-sum
+    // build over the same values, which the byte-identity contract
+    // between the eager and streaming engines relies on.
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (!counts_.empty()) bin(x);
+  }
+  /// Bulk push: one pass for the in-order sum and min/max, one centered
+  /// pass for the spread, then a Chan merge into the running state —
+  /// cheaper per value than repeated push() (no per-value division) and
+  /// with the identical in-order sum() bits.
+  void push(std::span<const double> xs);
+
+  /// Merges another shard's accumulator into this one.  Histogram layouts
+  /// must match (or either side must have none).
+  void merge(const FusedAccumulator& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  /// Exact in-order sum of everything pushed (not recovered from the mean).
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); requires count() >= 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  [[nodiscard]] bool has_histogram() const { return !counts_.empty(); }
+  [[nodiscard]] std::span<const std::size_t> histogram() const {
+    return counts_;
+  }
+  [[nodiscard]] double histogram_lo() const { return lo_; }
+  [[nodiscard]] double histogram_hi() const { return hi_; }
+
+ private:
+  void bin(double x);
+
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace pv

@@ -112,6 +112,52 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void parallel_chunks(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_chunks) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->size() <= 1) {
+    body(0, n);
+    return;
+  }
+  std::size_t chunks = max_chunks == 0 ? pool->size() : max_chunks;
+  chunks = std::min(chunks, n);
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  const std::size_t submitted = (n + chunk - 1) / chunk;
+
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    pool->submit([&, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::scoped_lock lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == submitted) {
+        std::scoped_lock lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  {
+    std::unique_lock lock(done_mu);
+    done_cv.wait(lock, [&] { return done.load() == submitted; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void parallel_for_dynamic(ThreadPool* pool, std::size_t n,
                           const std::function<void(std::size_t)>& body) {
   if (n == 0) return;

@@ -62,6 +62,18 @@ void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 256);
 
+/// Runs body(begin, end) over a partition of [0, n) into contiguous
+/// ranges — at most one per pool worker (or `max_chunks` if nonzero).
+/// Unlike parallel_for, the body sees its whole range at once, so scratch
+/// buffers allocated per chunk are reused across every index in it — the
+/// shape the streaming campaign kernels need.  Exceptions from body are
+/// rethrown on the caller (first wins).  With a null or single-worker
+/// pool, runs body(0, n) inline.
+void parallel_chunks(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t max_chunks = 0);
+
 /// Runs body(i) for i in [0, n) with dynamic (work-stealing-ish) index
 /// assignment: workers grab the next index from a shared counter, so wildly
 /// uneven per-index cost (e.g. meters behind a flaky transport retrying to

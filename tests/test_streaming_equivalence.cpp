@@ -1,0 +1,172 @@
+// Streaming-vs-eager engine equivalence: the streaming kernels must be a
+// pure optimization.  For every (seed, level, thread count) — with fault
+// injection and the byzantine defense both exercised — the streaming
+// engine's campaign report must be byte-identical to the historical eager
+// path: submitted power/energy, every per-node mean, the Eq. 1 CI, the
+// ground truth, and the reconcile verdicts.  memcmp on the doubles, not
+// EXPECT_DOUBLE_EQ: "close" is a regression here.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/plan.hpp"
+#include "sim/fleet.hpp"
+#include "workload/profiles.hpp"
+
+namespace pv {
+namespace {
+
+struct Rig {
+  std::unique_ptr<ClusterPowerModel> cluster;
+  std::unique_ptr<SystemPowerModel> electrical;
+  MeasurementPlan plan;
+};
+
+Rig make_rig(std::size_t nodes, Level level, std::uint64_t seed) {
+  Rig rig;
+  auto workload = std::make_shared<FirestarterWorkload>(
+      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.03);
+  var.outlier_prob = 0.0;
+  rig.cluster = std::make_unique<ClusterPowerModel>(
+      "equiv-rig", generate_node_powers(nodes, 400.0, var, seed ^ 0x99),
+      workload);
+  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
+      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
+  PlanInputs in;
+  in.total_nodes = nodes;
+  in.approx_node_power = watts(400.0);
+  in.run = rig.cluster->phases();
+  Rng rng(seed);
+  rig.plan = plan_measurement(MethodologySpec::get(level, Revision::kV2015),
+                              in, rng);
+  return rig;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+// Byte-compares everything a campaign reports, including the reconcile
+// verdicts and data-quality tallies the byzantine defense produces.
+void expect_identical(const CampaignResult& a, const CampaignResult& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_TRUE(bits_equal(a.submitted_power.value(), b.submitted_power.value()));
+  EXPECT_TRUE(
+      bits_equal(a.submitted_energy.value(), b.submitted_energy.value()));
+  EXPECT_EQ(a.nodes_measured, b.nodes_measured);
+  ASSERT_EQ(a.node_mean_powers_w.size(), b.node_mean_powers_w.size());
+  for (std::size_t i = 0; i < a.node_mean_powers_w.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a.node_mean_powers_w[i], b.node_mean_powers_w[i]))
+        << "node mean " << i;
+  }
+  EXPECT_TRUE(bits_equal(a.node_mean_ci.lo, b.node_mean_ci.lo));
+  EXPECT_TRUE(bits_equal(a.node_mean_ci.hi, b.node_mean_ci.hi));
+  EXPECT_TRUE(bits_equal(a.relative_halfwidth, b.relative_halfwidth));
+  EXPECT_TRUE(bits_equal(a.true_power.value(), b.true_power.value()));
+  EXPECT_TRUE(bits_equal(a.relative_error, b.relative_error));
+  // Data quality + reconcile verdicts.
+  const DataQuality& qa = a.data_quality;
+  const DataQuality& qb = b.data_quality;
+  EXPECT_EQ(qa.meters_lost, qb.meters_lost);
+  EXPECT_EQ(qa.lost_meter_ids, qb.lost_meter_ids);
+  EXPECT_EQ(qa.samples_lost, qb.samples_lost);
+  EXPECT_EQ(qa.samples_repaired, qb.samples_repaired);
+  EXPECT_EQ(qa.spikes_filtered, qb.spikes_filtered);
+  EXPECT_EQ(qa.stuck_flagged, qb.stuck_flagged);
+  EXPECT_TRUE(bits_equal(qa.sample_coverage, qb.sample_coverage));
+  EXPECT_EQ(qa.reconcile_ran, qb.reconcile_ran);
+  EXPECT_EQ(qa.integrity.meters_checked, qb.integrity.meters_checked);
+  EXPECT_EQ(qa.integrity.meters_quarantined, qb.integrity.meters_quarantined);
+  EXPECT_EQ(qa.integrity.meters_corrected, qb.integrity.meters_corrected);
+  ASSERT_EQ(qa.integrity.diagnoses.size(), qb.integrity.diagnoses.size());
+  for (std::size_t i = 0; i < qa.integrity.diagnoses.size(); ++i) {
+    EXPECT_EQ(qa.integrity.diagnoses[i].meter_id,
+              qb.integrity.diagnoses[i].meter_id);
+    EXPECT_EQ(static_cast<int>(qa.integrity.diagnoses[i].verdict),
+              static_cast<int>(qb.integrity.diagnoses[i].verdict));
+  }
+}
+
+CampaignConfig engine_config(CampaignEngine engine, std::uint64_t seed,
+                             std::size_t threads = 1) {
+  CampaignConfig cfg;
+  cfg.engine = engine;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.meter_interval_override = Seconds{5.0};
+  return cfg;
+}
+
+class StreamingEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Level>> {};
+
+TEST_P(StreamingEquivalence, CleanCampaignBitIdentical) {
+  const auto [seed, level] = GetParam();
+  const Rig rig = make_rig(96, level, seed);
+  const auto eager = run_campaign(
+      *rig.cluster, *rig.electrical, rig.plan,
+      engine_config(CampaignEngine::kEager, seed));
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const auto streaming = run_campaign(
+        *rig.cluster, *rig.electrical, rig.plan,
+        engine_config(CampaignEngine::kStreaming, seed, threads));
+    expect_identical(eager, streaming,
+                     "clean, threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(StreamingEquivalence, FaultedReconciledCampaignBitIdentical) {
+  const auto [seed, level] = GetParam();
+  const Rig rig = make_rig(96, level, seed);
+  const auto with_faults = [&](CampaignConfig cfg) {
+    cfg.faults.spec = FaultSpec::harsh();
+    cfg.faults.dead_meters = {rig.plan.node_indices[1]};
+    cfg.faults.byzantine_meters = {rig.plan.node_indices[0],
+                                   rig.plan.node_indices[3]};
+    cfg.reconcile.enabled = true;
+    return cfg;
+  };
+  const auto eager = run_campaign(
+      *rig.cluster, *rig.electrical, rig.plan,
+      with_faults(engine_config(CampaignEngine::kEager, seed)));
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const auto streaming = run_campaign(
+        *rig.cluster, *rig.electrical, rig.plan,
+        with_faults(engine_config(CampaignEngine::kStreaming, seed, threads)));
+    expect_identical(eager, streaming,
+                     "faulted, threads=" + std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLevels, StreamingEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(Level::kL1, Level::kL2, Level::kL3)),
+    [](const ::testing::TestParamInfo<StreamingEquivalence::ParamType>& p) {
+      return "seed" + std::to_string(std::get<0>(p.param)) + "_L" +
+             std::to_string(static_cast<int>(std::get<1>(p.param)));
+    });
+
+// The eager engine must still be reachable when asked for, and the
+// automatic fallback must not silently engage streaming on models the
+// probe rejects (a facility-feed tap has no per-node cohort to stream).
+TEST(StreamingEquivalence, ThreadedEagerMatchesSerialEager) {
+  const Rig rig = make_rig(64, Level::kL3, 11);
+  const auto serial = run_campaign(
+      *rig.cluster, *rig.electrical, rig.plan,
+      engine_config(CampaignEngine::kEager, 11));
+  const auto threaded = run_campaign(
+      *rig.cluster, *rig.electrical, rig.plan,
+      engine_config(CampaignEngine::kEager, 11, 8));
+  expect_identical(serial, threaded, "eager threads=8");
+}
+
+}  // namespace
+}  // namespace pv

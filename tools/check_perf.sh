@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Perf-regression gate: runs bench_perf_campaign, then compares the
+# BENCH_perf.json it emits against the committed baseline.
+#
+# Usage: tools/check_perf.sh <bench-binary> <baseline-json> [out-json]
+#
+# Two classes of checks:
+#   hard   engine/thread byte-identity (the bench binary exits nonzero on
+#          its own if any report differs) and the streaming engine being
+#          at least as fast as eager after the noise allowance;
+#   soft   per-scenario speedups may not fall below ALLOWANCE times the
+#          committed baseline.  The allowance is deliberately generous
+#          (0.5x by default, PV_PERF_ALLOWANCE to override): shared CI
+#          boxes show +/-30% wall-time noise between runs, and this gate
+#          exists to catch the engine regressing to the eager path
+#          (a ~4x ratio collapsing to ~1x), not 10% drifts.
+#
+# Updating the baseline after an intentional perf change:
+#   build/bench/bench_perf_campaign            # writes BENCH_perf.json
+#   cp BENCH_perf.json bench/BENCH_perf_baseline.json
+# then commit the new baseline alongside the change that moved it
+# (details in docs/performance.md).
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <bench-binary> <baseline-json> [out-json]" >&2
+  exit 2
+fi
+
+bench_bin="$1"
+baseline="$2"
+out_json="${3:-BENCH_perf.json}"
+allowance="${PV_PERF_ALLOWANCE:-0.5}"
+
+if [[ ! -f "$baseline" ]]; then
+  echo "check_perf: baseline $baseline missing" >&2
+  exit 2
+fi
+
+# Fewer reps than the default keeps the gate fast; the bench takes the
+# best-of so extra reps only tighten, never loosen, the numbers.
+PV_PERF_JSON="$out_json" PV_PERF_REPS="${PV_PERF_REPS:-3}" "$bench_bin"
+
+python3 - "$out_json" "$baseline" "$allowance" <<'EOF'
+import json
+import sys
+
+out_path, base_path, allowance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(out_path) as f:
+    got = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+failures = []
+for name, b in base["scenarios"].items():
+    g = got["scenarios"].get(name)
+    if g is None:
+        failures.append(f"{name}: scenario missing from fresh run")
+        continue
+    if not g["identical"]:
+        failures.append(f"{name}: engine/thread reports not byte-identical")
+    # Hard floor: streaming must never lose to eager outright.
+    for key in ("speedup_1t", "speedup_8t"):
+        if g[key] < 1.0:
+            failures.append(
+                f"{name}: {key} = {g[key]:.2f}x — streaming slower than eager")
+    # Soft floor: generous fraction of the committed baseline ratio.
+    for key in ("speedup_1t", "speedup_8t"):
+        floor = allowance * b[key]
+        if g[key] < floor:
+            failures.append(
+                f"{name}: {key} = {g[key]:.2f}x, below {floor:.2f}x "
+                f"(= {allowance} x baseline {b[key]:.2f}x)")
+
+for name, g in got["scenarios"].items():
+    print(f"  {name}: speedup@1 {g['speedup_1t']:.2f}x "
+          f"(baseline {base['scenarios'].get(name, {}).get('speedup_1t', 0):.2f}x), "
+          f"speedup@8 {g['speedup_8t']:.2f}x, "
+          f"identical={g['identical']}")
+
+if failures:
+    print("check_perf: REGRESSION", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("check_perf: within allowance of committed baseline")
+EOF

@@ -22,6 +22,7 @@
 //   powervar campaign --nodes N --cv F --level 1|2|3 [--seed S]
 //                     [--faults none|mild|harsh] [--dropout F] [--dead N]
 //                     [--byzantine F] [--reconcile 1] [--threads N]
+//                     [--engine eager|streaming]
 //       Simulates a full measurement campaign on a synthetic cluster and
 //       prints the accuracy assessment; with faults, also the data-quality
 //       block (meters lost, coverage, repairs).
@@ -368,8 +369,18 @@ int cmd_campaign(const Args& args) {
   }
   force_byzantine_meters(config, rig.plan, args.rate_or("byzantine", 0.0));
   config.reconcile.enabled = args.number_or("reconcile", 0.0) > 0.0;
-  config.reconcile.threads =
+  // --threads drives both the node-metering fan-out and (when
+  // reconciling) the cross-validation pool.
+  const auto threads =
       static_cast<unsigned>(args.number_or("threads", 0.0));
+  config.reconcile.threads = threads;
+  config.threads = std::max<std::size_t>(1, threads);
+  const std::string engine = args.text_or("engine", "streaming");
+  if (engine == "eager") {
+    config.engine = CampaignEngine::kEager;
+  } else if (engine != "streaming") {
+    throw std::runtime_error("--engine must be eager or streaming");
+  }
   args.reject_unknown();
 
   const auto result =
@@ -459,6 +470,7 @@ int usage() {
       "  tco         --power-kw F --accuracy F [--cost-per-kwh F] [--pue F]"
       " [--duty F] [--years F]\n"
       "  campaign    --nodes N [--cv F] [--level 1|2|3] [--seed S]\n"
+      "              [--engine eager|streaming]\n"
       "              [--faults none|mild|harsh] [--dropout F] [--dead N]"
       " [--interval S]\n"
       "              [--byzantine F] [--reconcile 1] [--threads N]\n"

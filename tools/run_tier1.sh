@@ -14,6 +14,9 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 echo "=== tier 1: plain build + ctest ($build_dir) ==="
 cmake -B "$build_dir" -S . >/dev/null
 cmake --build "$build_dir" -j "$jobs"
+# Includes the perf-smoke gate (label `perf`): bench_perf_campaign's
+# engine/thread byte-identity contract plus tools/check_perf.sh's diff of
+# BENCH_perf.json against the committed baseline.
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
 if [[ "${PV_SKIP_SANITIZE:-0}" == "1" ]]; then
@@ -24,7 +27,10 @@ fi
 echo "=== tier 1: sanitized build + ctest (${build_dir}-asan) ==="
 cmake -B "${build_dir}-asan" -S . -DPV_SANITIZE=ON >/dev/null
 cmake --build "${build_dir}-asan" -j "$jobs"
-ctest --test-dir "${build_dir}-asan" --output-on-failure -j "$jobs"
+# Sanitized wall-time ratios are meaningless, so the perf gate is
+# excluded here; its identity half is still covered by the plain pass
+# and by test_streaming_equivalence (which does run sanitized).
+ctest --test-dir "${build_dir}-asan" --output-on-failure -j "$jobs" -LE perf
 
 # Standalone UBSan, non-recoverable: ASan shifts layout and recoverable
 # UBSan prints-and-continues, so this third tree is the one that turns
@@ -32,6 +38,6 @@ ctest --test-dir "${build_dir}-asan" --output-on-failure -j "$jobs"
 echo "=== tier 1: UBSan build + ctest (${build_dir}-ubsan) ==="
 cmake -B "${build_dir}-ubsan" -S . -DPV_UBSAN=ON >/dev/null
 cmake --build "${build_dir}-ubsan" -j "$jobs"
-ctest --test-dir "${build_dir}-ubsan" --output-on-failure -j "$jobs"
+ctest --test-dir "${build_dir}-ubsan" --output-on-failure -j "$jobs" -LE perf
 
 echo "=== tier 1: all green ==="
