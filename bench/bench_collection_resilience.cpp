@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 #include "collect/collector.hpp"
 #include "core/report.hpp"
+#include "core/scenario.hpp"
 #include "sim/cluster.hpp"
 #include "sim/fleet.hpp"
 #include "util/table.hpp"
@@ -40,23 +41,16 @@ struct Rig {
 };
 
 Rig make_rig(std::size_t n_nodes) {
-  auto workload = std::make_shared<FirestarterWorkload>(
-      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.03);
-  var.outlier_prob = 0.0;
+  ScenarioSpec spec;
+  spec.name = "collect-rig";
+  spec.nodes = n_nodes;
+  spec.cv = 0.03;
+  spec.fleet_seed = 7;
+  Scenario built = build_scenario(spec);
   Rig rig;
-  rig.cluster = std::make_unique<ClusterPowerModel>(
-      "collect-rig", generate_node_powers(n_nodes, 400.0, var, 7), workload);
-  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
-      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
-  PlanInputs in;
-  in.total_nodes = n_nodes;
-  in.approx_node_power = watts(400.0);
-  in.run = rig.cluster->phases();
-  Rng rng(11);
-  rig.plan = plan_measurement(MethodologySpec::get(Level::kL1,
-                                                   Revision::kV2015),
-                              in, rng);
+  rig.cluster = std::move(built.cluster);
+  rig.electrical = std::move(built.electrical);
+  rig.plan = built.plan(MethodologySpec::get(Level::kL1, Revision::kV2015), 11);
   return rig;
 }
 

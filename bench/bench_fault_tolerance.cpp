@@ -19,6 +19,7 @@
 
 #include "bench_common.hpp"
 #include "core/campaign.hpp"
+#include "core/scenario.hpp"
 #include "sim/cluster.hpp"
 #include "sim/fleet.hpp"
 #include "util/table.hpp"
@@ -28,7 +29,7 @@ namespace {
 
 using namespace pv;
 
-struct Scenario {
+struct FaultScenario {
   std::string name;
   FaultSpec spec;
   std::size_t dead = 0;  // meters forced dead, taken from the plan's front
@@ -41,18 +42,16 @@ struct Rig {
 };
 
 Rig make_rig(std::size_t n_nodes) {
-  auto workload = std::make_shared<FirestarterWorkload>(
-      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.03);
-  var.outlier_prob = 0.0;
+  ScenarioSpec spec;
+  spec.name = "fault-rig";
+  spec.nodes = n_nodes;
+  spec.cv = 0.03;
+  spec.fleet_seed = 7;
+  pv::Scenario built = build_scenario(spec);
   Rig rig;
-  rig.cluster = std::make_unique<ClusterPowerModel>(
-      "fault-rig", generate_node_powers(n_nodes, 400.0, var, 7), workload);
-  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
-      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
-  rig.inputs.total_nodes = n_nodes;
-  rig.inputs.approx_node_power = watts(400.0);
-  rig.inputs.run = rig.cluster->phases();
+  rig.cluster = std::move(built.cluster);
+  rig.electrical = std::move(built.electrical);
+  rig.inputs = built.inputs;
   return rig;
 }
 
@@ -71,14 +70,14 @@ int main() {
   const std::size_t n_nodes = bench::env_size("PV_FAULT_NODES", 256);
   const Rig rig = make_rig(n_nodes);
 
-  std::vector<Scenario> scenarios;
+  std::vector<FaultScenario> scenarios;
   scenarios.push_back({"fault-free", FaultSpec::none(), 0});
   for (double p : {0.01, 0.05, 0.10, 0.20}) {
     scenarios.push_back(
         {"dropout " + fmt_percent(p, 0), dropout_only(p), 0});
   }
   {
-    Scenario s{"10% dropout + 2 dead", dropout_only(0.10), 2};
+    FaultScenario s{"10% dropout + 2 dead", dropout_only(0.10), 2};
     scenarios.push_back(s);
   }
   scenarios.push_back({"mild preset", FaultSpec::mild(), 0});
@@ -104,7 +103,7 @@ int main() {
 
     TextTable t({"scenario", "submitted", "shift vs clean", "true err",
                  "meters lost", "sample cov"});
-    for (const Scenario& sc : scenarios) {
+    for (const FaultScenario& sc : scenarios) {
       CampaignConfig cfg = clean_cfg;
       cfg.faults.spec = sc.spec;
       for (std::size_t i = 0; i < sc.dead && i < plan.node_indices.size();

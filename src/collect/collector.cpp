@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "collect/queue.hpp"
+#include "core/pipeline.hpp"
 #include "trace/wal.hpp"
 #include "util/expects.hpp"
 #include "util/parallel.hpp"
@@ -94,29 +95,44 @@ std::uint64_t collection_fingerprint(const MeasurementPlan& plan,
   return fingerprint_config(h, config);
 }
 
-CollectionOutcome collect_campaign(const ClusterPowerModel& cluster,
-                                   const SystemPowerModel& electrical,
-                                   const MeasurementPlan& plan,
-                                   const CollectorConfig& config) {
-  PV_EXPECTS(!plan.node_indices.empty(), "plan selects no nodes");
-  PV_EXPECTS(electrical.node_count() == cluster.node_count(),
-             "electrical model does not match the cluster");
-  PV_EXPECTS(plan.window.valid(), "plan window is empty");
-  PV_EXPECTS(plan.point == MeasurementPoint::kNodeAc ||
-                 plan.point == MeasurementPoint::kNodeDc,
-             "the collector only serves node-tap plans");
-  PV_EXPECTS(!config.campaign.faults.spec.any(),
-             "data-fault injection is run_campaign's job; the collector "
-             "models channel faults (see TransportSpec)");
-  PV_EXPECTS(!config.journal_path.empty() ||
-                 (!config.resume && config.crash_after_meters == 0),
-             "resume and crash injection need a journal path");
+namespace {
+
+// The asynchronous collection path as a pipeline Meter stage: transport
+// polling with retries, circuit breakers and crash-safe journaling fills
+// the same `readings` + DataQuality artifacts the synchronous meter
+// stages produce, so collect_campaign shares the campaign pipeline's
+// Aggregate and Assess tail verbatim.  This stage plays Provision, Meter
+// and Repair in one: the poller owns its windows/interval derivation, and
+// repair accounting arrives pre-tallied in each MeterRecord.
+class AsyncMeterStage final : public CampaignStage {
+ public:
+  AsyncMeterStage(const CollectorConfig& config, CollectionOutcome& outcome)
+      : config_(config), outcome_(outcome) {}
+
+  [[nodiscard]] const char* name() const override { return "meter"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override;
+
+ private:
+  const CollectorConfig& config_;
+  CollectionOutcome& outcome_;
+};
+
+void AsyncMeterStage::run(CampaignContext& ctx, StageTrace& trace) {
+  const ClusterPowerModel& cluster = *ctx.cluster;
+  const SystemPowerModel& electrical = *ctx.electrical;
+  const MeasurementPlan& plan = *ctx.plan;
+  const CollectorConfig& config = config_;
+  CollectionOutcome& outcome = outcome_;
 
   const CampaignConfig& campaign = config.campaign;
   const Seconds interval = campaign.meter_interval_override.value() > 0.0
                                ? campaign.meter_interval_override
                                : plan.meter_interval;
+  ctx.interval = interval;
+  ctx.faulty = campaign.faults.enabled();
   const std::vector<TimeWindow> windows = metered_windows(plan, interval);
+  ctx.windows = windows;
 
   // Deterministically dead channels (PR 1's dead_meters) are blackholes of
   // the transport: they answer nothing, the breaker writes them off, and
@@ -128,8 +144,6 @@ CollectionOutcome collect_campaign(const ClusterPowerModel& cluster,
   const SimTransport transport(transport_spec, campaign.seed);
 
   const std::uint64_t fingerprint = collection_fingerprint(plan, config);
-
-  CollectionOutcome outcome;
 
   // --- journal replay (resume) -------------------------------------------
   std::unordered_map<std::size_t, MeterRecord> replayed;
@@ -259,14 +273,14 @@ CollectionOutcome collect_campaign(const ClusterPowerModel& cluster,
   }
   outcome.meters_polled = journaled;
 
-  // --- aggregate through the shared campaign tail ------------------------
-  DataQuality dq;
+  // --- hand the shared campaign tail its artifacts ------------------------
+  DataQuality& dq = ctx.dq();
   dq.faults_enabled = campaign.faults.enabled();
   dq.meters_planned = n;
   CollectionQuality& cq = dq.collection;
   cq.used = true;
-  std::vector<NodeReading> readings;
-  readings.reserve(n);
+  ctx.readings.reserve(n);
+  std::size_t lost = 0;
   for (const MeterRecord& rec : records) {
     dq.samples_expected += rec.samples_expected;
     dq.samples_lost += rec.samples_lost;
@@ -278,14 +292,68 @@ CollectionOutcome collect_campaign(const ClusterPowerModel& cluster,
     if (rec.abandoned) ++cq.meters_abandoned;
     cq.busy_total_s += rec.busy_s;
     cq.busy_max_meter_s = std::max(cq.busy_max_meter_s, rec.busy_s);
-    readings.push_back(rec.reading);
+    lost += rec.reading.lost ? 1 : 0;
+    ctx.readings.push_back(rec.reading);
   }
   const unsigned workers = std::max(1u, effective_workers(config));
   cq.makespan_s = std::max(cq.busy_max_meter_s,
                            cq.busy_total_s / static_cast<double>(workers));
 
-  outcome.result =
-      finalize_node_campaign(cluster, electrical, plan, readings, dq);
+  trace.items = n;
+  trace.samples = dq.samples_expected;
+  // Virtual time: the transport model's wall clock, not host time —
+  // deterministic, unlike the trace's own wall_ms.
+  trace.virtual_s = cq.makespan_s;
+  trace.counters = {
+      {"polls", static_cast<double>(cq.polls_attempted)},
+      {"timeouts", static_cast<double>(cq.polls_timed_out)},
+      {"retries", static_cast<double>(cq.polls_retried)},
+      {"breaker_trips", static_cast<double>(cq.breaker_trips)},
+      {"abandoned", static_cast<double>(cq.meters_abandoned)},
+      {"resumed", static_cast<double>(outcome.meters_resumed)},
+      {"lost", static_cast<double>(lost)},
+  };
+}
+
+}  // namespace
+
+CollectionOutcome collect_campaign(const ClusterPowerModel& cluster,
+                                   const SystemPowerModel& electrical,
+                                   const MeasurementPlan& plan,
+                                   const CollectorConfig& config) {
+  PV_EXPECTS(!plan.node_indices.empty(), "plan selects no nodes");
+  PV_EXPECTS(electrical.node_count() == cluster.node_count(),
+             "electrical model does not match the cluster");
+  PV_EXPECTS(plan.window.valid(), "plan window is empty");
+  PV_EXPECTS(plan.point == MeasurementPoint::kNodeAc ||
+                 plan.point == MeasurementPoint::kNodeDc,
+             "the collector only serves node-tap plans");
+  PV_EXPECTS(!config.campaign.faults.spec.any(),
+             "data-fault injection is run_campaign's job; the collector "
+             "models channel faults (see TransportSpec)");
+  PV_EXPECTS(!config.journal_path.empty() ||
+                 (!config.resume && config.crash_after_meters == 0),
+             "resume and crash injection need a journal path");
+
+  CollectionOutcome outcome;
+
+  // The async transport is just another Meter-stage implementation: swap
+  // it into the campaign pipeline and reuse the Aggregate/Assess tail the
+  // synchronous engines run (core/pipeline).  The eager truth-function
+  // path is used per meter, so streaming stays off.
+  CampaignContext ctx;
+  ctx.cluster = &cluster;
+  ctx.electrical = &electrical;
+  ctx.plan = &plan;
+  ctx.config = &config.campaign;
+
+  std::vector<StagePtr> stages;
+  stages.push_back(std::make_unique<AsyncMeterStage>(config, outcome));
+  stages.push_back(make_aggregate_stage());
+  stages.push_back(make_assess_stage());
+  run_pipeline(stages, ctx);
+
+  outcome.result = std::move(ctx.result);
   return outcome;
 }
 

@@ -4,6 +4,9 @@
 // the accuracy assessment the paper says should accompany every
 // submission, and the ground truth the simulation uniquely provides.
 
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/plan.hpp"
@@ -14,6 +17,32 @@
 #include "sim/cluster.hpp"
 
 namespace pv {
+
+/// Thrown when a campaign ends with no usable data at all — every meter
+/// dead, degraded below the coverage floor, or written off by the
+/// collection layer — so there is nothing to extrapolate from.  The CLI
+/// maps this to its own exit code (4) so scripted campaigns can tell
+/// "the data died" apart from "the invocation was wrong".
+class NoUsableDataError : public std::runtime_error {
+ public:
+  explicit NoUsableDataError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// What one pipeline stage did: the first observability layer over the
+/// campaign hot path.  Counters and virtual (modeled) time are pure
+/// functions of (plan, config) and appear in the JSON rendering;
+/// `wall_ms` is host wall clock — useful for profiling, inherently
+/// non-deterministic, and therefore surfaced in the text rendering only.
+struct StageTrace {
+  std::string stage;      ///< "provision", "meter", "repair", ...
+  std::size_t items = 0;  ///< units processed (meters, readings, series)
+  std::size_t samples = 0;  ///< meter samples the stage touched
+  double virtual_s = 0.0;   ///< modeled/simulated seconds covered
+  double wall_ms = 0.0;     ///< host wall clock (text renderer only)
+  /// Stage-specific counters, in a fixed order (rendered as-is).
+  std::vector<std::pair<std::string, double>> counters;
+};
 
 /// How the campaign evaluates the node-metering hot path.
 enum class CampaignEngine {
@@ -128,6 +157,10 @@ struct CampaignResult {
 
   // --- data quality (populated when fault injection is enabled) ----------
   DataQuality data_quality;
+
+  // --- observability ------------------------------------------------------
+  /// One trace per pipeline stage, in execution order (see core/pipeline).
+  std::vector<StageTrace> stage_traces;
 };
 
 /// Executes `plan` on the cluster lowered into `electrical`.

@@ -1,0 +1,169 @@
+#include "core/doc.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+void Json::push_back(Json v) {
+  PV_EXPECTS(kind_ == Kind::kArray, "Json::push_back on a non-array");
+  items_.push_back(std::move(v));
+}
+
+Json& Json::operator[](const std::string& key) {
+  PV_EXPECTS(kind_ == Kind::kObject, "Json::operator[] on a non-object");
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, Json{});
+  return members_.back().second;
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return items_.size();
+    case Kind::kObject:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string Json::number_repr(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string Json::quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kUint:
+      out += std::to_string(uint_);
+      break;
+    case Kind::kNumber:
+      out += number_repr(num_);
+      break;
+    case Kind::kString:
+      out += quote(str_);
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        items_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += quote(members_[i].first);
+        out += ':';
+        members_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void DocBlock::text(std::string raw) {
+  entries.push_back(DocEntry{std::move(raw), {}, Json{}});
+}
+
+void DocBlock::field(std::string field_key, Json value, std::string rendered) {
+  entries.push_back(
+      DocEntry{std::move(rendered), std::move(field_key), std::move(value)});
+}
+
+Json DocBlock::to_json() const {
+  Json obj = Json::object();
+  for (const DocEntry& e : entries) {
+    if (e.key.empty()) continue;
+    obj[e.key] = e.value;
+  }
+  return obj;
+}
+
+DocBlock& Document::block(std::string key, std::string heading) {
+  blocks.push_back(DocBlock{std::move(key), std::move(heading), {}});
+  return blocks.back();
+}
+
+std::string render_text(const Document& doc) {
+  std::string out;
+  for (const DocBlock& b : doc.blocks) {
+    out += b.heading;
+    for (const DocEntry& e : b.entries) out += e.text;
+  }
+  return out;
+}
+
+std::string render_json(const Document& doc) {
+  Json root = Json::object();
+  root["schema"] = doc.schema;
+  for (const DocBlock& b : doc.blocks) {
+    Json obj = b.to_json();
+    if (obj.size() == 0) continue;
+    root[b.key] = std::move(obj);
+  }
+  return root.dump() + "\n";
+}
+
+}  // namespace pv

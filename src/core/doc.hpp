@@ -1,0 +1,130 @@
+#pragma once
+// Structured assessment documents — the machine-readable counterpart of
+// the paper's §6 accuracy assessment.  A report is built once as a
+// Document (blocks of key/value fields and tables) and rendered twice:
+// render_text reproduces the historical free-text report byte-for-byte
+// (golden-test enforced), render_json emits the same facts as
+// deterministic JSON for downstream consumers (vetting tools, bench
+// harnesses, dashboards) in the spirit of the Cray PMDB's structured,
+// queryable measurement record.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pv {
+
+/// A small, deterministic JSON value: object keys keep insertion order,
+/// doubles print with max_digits10 precision (lossless round-trip, same
+/// convention as CsvWriter), and non-finite doubles render as null (JSON
+/// has no NaN/Inf).  Just enough JSON for the assessment documents — not
+/// a general-purpose parser.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}           // NOLINT(google-explicit-constructor)
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}        // NOLINT
+  Json(int v) : kind_(Kind::kInt), int_(v) {}              // NOLINT
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}        // NOLINT
+  Json(unsigned long long v) : kind_(Kind::kUint), uint_(v) {}  // NOLINT
+  Json(unsigned long v) : kind_(Kind::kUint), uint_(v) {}  // NOLINT
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}   // NOLINT
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Appends to an array (the value must be an array).
+  void push_back(Json v);
+
+  /// Object access: returns the value for `key`, inserting a null member
+  /// at the end if absent (the value must be an object).
+  Json& operator[](const std::string& key);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Compact, deterministic serialization.
+  [[nodiscard]] std::string dump() const;
+
+  /// Serializes a double exactly as dump() would (shared with tests and
+  /// the determinism scripts): max_digits10 %g, null spelling for
+  /// non-finite values.
+  [[nodiscard]] static std::string number_repr(double v);
+
+  /// Escapes and quotes a string per RFC 8259.
+  [[nodiscard]] static std::string quote(const std::string& s);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  unsigned long long uint_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;                          // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+/// One entry of a document block: the exact text it contributes to the
+/// rendered report (may be empty for JSON-only fields) plus an optional
+/// machine-readable field (`key` empty for text-only entries).  A "table"
+/// is simply a field whose value is a JSON array of row objects and whose
+/// text is the concatenation of its rendered rows.
+struct DocEntry {
+  std::string text;
+  std::string key;
+  Json value;
+};
+
+/// A titled group of entries — "assessment", "data quality", "integrity".
+struct DocBlock {
+  std::string key;      ///< JSON member name of the block
+  std::string heading;  ///< exact text emitted before the entries ("" = none)
+  std::vector<DocEntry> entries;
+
+  /// Appends a text-only entry (emitted verbatim by render_text).
+  void text(std::string raw);
+  /// Appends a machine field; `rendered` is the exact text the entry
+  /// contributes to the report (often a full "label: value\n" line, may
+  /// be "" for JSON-only fields).
+  void field(std::string key, Json value, std::string rendered = "");
+
+  /// The block as a JSON object (entries with a key, in order).
+  [[nodiscard]] Json to_json() const;
+};
+
+/// A whole assessment document: ordered blocks under a schema tag.
+struct Document {
+  std::string schema = "powervar-assessment-v1";
+  std::vector<DocBlock> blocks;
+
+  /// Appends a new block and returns it.
+  DocBlock& block(std::string key, std::string heading = "");
+};
+
+/// Concatenates every block's heading and entry texts — by construction
+/// byte-identical to the historical string-built reports.
+[[nodiscard]] std::string render_text(const Document& doc);
+
+/// Renders `{"schema": ..., "<block>": {...}, ...}` with a trailing
+/// newline.  Deterministic: same document -> same bytes.  Blocks with no
+/// keyed entries are omitted.
+[[nodiscard]] std::string render_json(const Document& doc);
+
+}  // namespace pv

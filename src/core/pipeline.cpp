@@ -1,0 +1,1032 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/fused.hpp"
+#include "stats/robust.hpp"
+#include "util/expects.hpp"
+#include "util/mathx.hpp"
+#include "util/parallel.hpp"
+#include "workload/workload.hpp"
+
+namespace pv {
+namespace {
+
+// Average of f over [a, b] via midpoint panels — used for ground truth.
+double mean_over_window(const std::function<double(double)>& f, double a,
+                        double b) {
+  return average_over(f, a, b, 2048);
+}
+
+// RNG stream salts for the fault processes (the calibration/noise salts
+// are 0x5CA1AB1E / 0xBADCAB1E in the meter stages below).
+constexpr std::uint64_t kFateSalt = 0xFA7E0FA7ULL;
+constexpr std::uint64_t kFaultSalt = 0x1FAC7ED0ULL;
+
+// The common time grid cross-validation compares meters on.  Plans that
+// already meter several windows (L2 spot sampling) use those directly;
+// single-window plans (L1/L3 continuous) are subdivided.
+std::vector<TimeWindow> make_analysis_windows(
+    const std::vector<TimeWindow>& metered, std::size_t target) {
+  if (metered.size() >= 4 || metered.empty()) return metered;
+  const std::size_t per =
+      std::max<std::size_t>(1, (std::max<std::size_t>(target, 4) +
+                                metered.size() - 1) /
+                                   metered.size());
+  std::vector<TimeWindow> out;
+  out.reserve(metered.size() * per);
+  for (const TimeWindow& w : metered) {
+    const double step = w.duration().value() / static_cast<double>(per);
+    for (std::size_t i = 0; i < per; ++i) {
+      out.push_back(TimeWindow{
+          Seconds{w.begin.value() + static_cast<double>(i) * step},
+          Seconds{w.begin.value() + static_cast<double>(i + 1) * step}});
+    }
+  }
+  return out;
+}
+
+// Samples the meter would produce over the windows — used to account for
+// meters that never report.
+std::size_t expected_samples(const std::vector<TimeWindow>& windows,
+                             const MeterModel& meter) {
+  std::size_t n = 0;
+  for (const TimeWindow& w : windows) n += meter.samples_in(w);
+  return n;
+}
+
+// Streaming context of one node device: the shared per-window shape
+// tables plus this node's mean, PSU curve (null for DC taps) and a
+// reusable scratch buffer owned by the worker's chunk.
+struct StreamScope {
+  const std::vector<ShapeTable>* tables = nullptr;  // parallel to windows
+  double mean_w = 0.0;
+  const CompiledPsuCurve* curve = nullptr;
+  StreamScratch* scratch = nullptr;
+};
+
+// Meters `truth` over every window.  With faults disabled this is the
+// exact historical metering loop (identical RNG consumption, identical
+// arithmetic); with faults enabled the clean trace is corrupted, quality-
+// checked, repaired and despiked, and the device may come back lost.
+// With `stream_scope` set the clean readings come from the streaming
+// kernels instead of the truth function — bit-identical by construction
+// (sim/streaming.hpp), so everything downstream is shared verbatim.
+DeviceReading meter_device(const MeterModel& meter,
+                           const PowerFunction& truth,
+                           const std::vector<TimeWindow>& windows,
+                           TimeWindow campaign_window, Rng& noise,
+                           const CampaignConfig& config,
+                           std::uint64_t stream, std::size_t meter_id,
+                           const std::vector<TimeWindow>* analysis = nullptr,
+                           const StreamScope* stream_scope = nullptr) {
+  const FaultPlan& fp = config.faults;
+  DeviceReading r;
+
+  // Accumulates per-analysis-window sums for cross-validation.  Reading
+  // the already-produced trace draws no RNG, so enabling reconciliation
+  // cannot perturb the metered numbers.
+  std::vector<double> bucket_sum;
+  std::vector<std::size_t> bucket_n;
+  if (analysis != nullptr) {
+    bucket_sum.assign(analysis->size(), 0.0);
+    bucket_n.assign(analysis->size(), 0);
+  }
+  const auto bucket = [&](Seconds t0, Seconds dt,
+                          std::span<const double> values) {
+    if (analysis == nullptr) return;
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const double t =
+          t0.value() + (static_cast<double>(j) + 0.5) * dt.value();
+      for (std::size_t a = 0; a < analysis->size(); ++a) {
+        const TimeWindow& aw = (*analysis)[a];
+        if (t >= aw.begin.value() && t < aw.end.value()) {
+          bucket_sum[a] += values[j];
+          ++bucket_n[a];
+          break;
+        }
+      }
+    }
+  };
+  const auto finish_buckets = [&] {
+    if (analysis == nullptr) return;
+    r.analysis_means_w.assign(analysis->size(),
+                              std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t a = 0; a < analysis->size(); ++a) {
+      if (bucket_n[a] > 0) {
+        r.analysis_means_w[a] =
+            bucket_sum[a] / static_cast<double>(bucket_n[a]);
+      }
+    }
+  };
+
+  if (!fp.enabled()) {
+    double mean_acc = 0.0;
+    if (stream_scope != nullptr) {
+      // Streaming clean path: no PowerTrace, no per-window allocation.
+      // The fused accumulator's in-order sum reproduces the prefix-sum
+      // bits mean_power()/energy() would compute from the same readings.
+      StreamScratch& scratch = *stream_scope->scratch;
+      for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+        const ShapeTable& table = (*stream_scope->tables)[wi];
+        stream_node_window(table, stream_scope->mean_w, stream_scope->curve,
+                           meter, noise, scratch);
+        FusedAccumulator acc;
+        acc.push(std::span<const double>(scratch.readings));
+        mean_acc += acc.sum() / static_cast<double>(acc.count());
+        r.energy_j += acc.sum() * table.dt;
+        bucket(Seconds{table.t_begin}, Seconds{table.dt}, scratch.readings);
+      }
+    } else {
+      for (const TimeWindow& w : windows) {
+        const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
+        mean_acc += trace.mean_power().value();
+        r.energy_j += trace.energy().value();
+        bucket(trace.t0(), trace.dt(), trace.watts());
+      }
+    }
+    r.mean_w = mean_acc / static_cast<double>(windows.size());
+    finish_buckets();
+    return r;
+  }
+
+  r.samples_expected = expected_samples(windows, meter);
+  if (fp.forced_dead(meter_id)) {
+    r.lost = true;
+    r.samples_lost = r.samples_expected;
+    return r;
+  }
+
+  Rng fate_rng(config.seed ^ kFateSalt, stream);
+  Rng fault_rng(config.seed ^ kFaultSalt, stream);
+  MeterFate fate = draw_meter_fate(fp.spec, campaign_window, fate_rng);
+  const std::size_t byz_pos = fp.forced_byzantine(meter_id);
+  if (byz_pos != FaultPlan::npos) {
+    fp.apply_forced_byzantine(byz_pos, campaign_window, fate);
+  }
+
+  double mean_acc = 0.0;
+  std::size_t windows_used = 0;
+  std::size_t valid_total = 0;
+  for (std::size_t wi = 0; wi < windows.size(); ++wi) {
+    const TimeWindow& w = windows[wi];
+    // The fault pipeline consumes a materialized trace either way; the
+    // streaming engine only swaps how the clean readings are produced.
+    const PowerTrace clean = [&] {
+      if (stream_scope == nullptr) {
+        return meter.measure(truth, w.begin, w.end, noise);
+      }
+      stream_node_window((*stream_scope->tables)[wi], stream_scope->mean_w,
+                         stream_scope->curve, meter, noise,
+                         *stream_scope->scratch);
+      return PowerTrace(w.begin, meter.interval(),
+                        stream_scope->scratch->readings);
+    }();
+    GappyTrace gappy = inject_faults(clean, fp.spec, fate, fault_rng);
+    r.stuck_flagged += flag_stuck_runs(gappy, fp.stuck_run_min);
+    const GapStats gs = gappy.gap_stats();
+    valid_total += gs.total - gs.missing;
+    r.samples_lost += gs.missing;
+    if (gs.missing == gs.total) continue;  // window fully lost
+
+    const PowerTrace dense = gappy.repaired(fp.repair);
+    const HampelResult despiked = hampel_filter(
+        dense.watts(), fp.hampel_half_window, fp.hampel_n_sigmas);
+    r.spikes_filtered += despiked.outlier_count;
+    r.samples_repaired += gs.missing;
+    const double window_mean = mean_of(despiked.filtered);
+    mean_acc += window_mean;
+    r.energy_j += window_mean * w.duration().value();
+    ++windows_used;
+    bucket(dense.t0(), dense.dt(), despiked.filtered);
+  }
+
+  const double coverage =
+      r.samples_expected == 0
+          ? 0.0
+          : static_cast<double>(valid_total) /
+                static_cast<double>(r.samples_expected);
+  if (windows_used == 0 || coverage < fp.min_coverage) {
+    r.lost = true;
+    // A discarded series repairs nothing; its whole record is lost.
+    r.samples_lost = r.samples_expected;
+    r.samples_repaired = 0;
+    r.energy_j = 0.0;
+    return r;
+  }
+  r.mean_w = mean_acc / static_cast<double>(windows_used);
+  finish_buckets();
+  return r;
+}
+
+void absorb_tallies(DataQuality& dq, const DeviceReading& r) {
+  dq.samples_expected += r.samples_expected;
+  dq.samples_lost += r.samples_lost;
+  dq.samples_repaired += r.samples_repaired;
+  dq.spikes_filtered += r.spikes_filtered;
+  dq.stuck_flagged += r.stuck_flagged;
+}
+
+void finalize_quality(DataQuality& dq) {
+  dq.sample_coverage =
+      dq.samples_expected == 0
+          ? 1.0
+          : static_cast<double>(dq.samples_expected - dq.samples_lost) /
+                static_cast<double>(dq.samples_expected);
+}
+
+// RNG streams: nodes use their node id, rack taps 1'000'000 + rack, the
+// facility feed 9'999'999; the trusted check meters reconciliation reads
+// the hierarchy through sit on disjoint streams below.
+constexpr std::uint64_t kRackStreamBase = 1'000'000;
+constexpr std::uint64_t kFacilityStream = 9'999'999;
+constexpr std::uint64_t kRackCheckStreamBase = 3'000'000;
+constexpr std::uint64_t kFacilityCheckStream = 9'999'998;
+
+// A fault-free reference meter read over each analysis window: the
+// facility-grade instrumentation (Cray PMDB style) the hierarchy check
+// trusts.  Its calibration error still applies — the check tolerates it
+// because verdicts come from the cohort statistics, and the hierarchy
+// residual only confirms them.
+std::vector<double> measure_check_meter(const PowerFunction& truth,
+                                        const std::vector<TimeWindow>& analysis,
+                                        const MeasurementPlan& plan,
+                                        const CampaignConfig& config,
+                                        Seconds interval,
+                                        std::uint64_t stream) {
+  Rng calibration(config.seed ^ 0x5CA1AB1EULL, stream);
+  Rng noise(config.seed ^ 0xBADCAB1EULL, stream);
+  const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
+                         calibration);
+  std::vector<double> means;
+  means.reserve(analysis.size());
+  for (const TimeWindow& w : analysis) {
+    const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
+    means.push_back(trace.mean_power().value());
+  }
+  return means;
+}
+
+// Hierarchy checks for a node-AC campaign: one rack-PDU check meter per
+// rack whose node meters all produced a series, and — when every rack is
+// checkable and no auxiliary subsystems muddy the sum — a facility check
+// over the rack check meters.  DC taps are skipped: the per-node PSU
+// correction is nonlinear, so the rack sum is not a clean function of the
+// DC series (the cohort check still covers those campaigns).
+std::vector<HierarchyCheck> build_hierarchy_checks(
+    const SystemPowerModel& electrical, const MeasurementPlan& plan,
+    const CampaignConfig& config, Seconds interval,
+    const std::vector<TimeWindow>& analysis,
+    const std::vector<MeterSeries>& node_series) {
+  std::vector<HierarchyCheck> checks;
+  if (plan.point != MeasurementPoint::kNodeAc) return checks;
+
+  std::vector<const MeterSeries*> by_node(electrical.node_count(), nullptr);
+  for (const MeterSeries& s : node_series) by_node[s.meter_id] = &s;
+
+  const double loss_scale = 1.0 / (1.0 - electrical.pdu_loss_fraction());
+  bool all_racks_checkable = electrical.rack_count() > 0;
+  for (std::size_t rack = 0; rack < electrical.rack_count(); ++rack) {
+    const std::size_t first = rack * electrical.nodes_per_rack();
+    const std::size_t last =
+        std::min(first + electrical.nodes_per_rack(), electrical.node_count());
+    bool checkable = true;
+    for (std::size_t node = first; node < last; ++node) {
+      if (by_node[node] == nullptr) {
+        checkable = false;
+        break;
+      }
+    }
+    if (!checkable) {
+      all_racks_checkable = false;
+      continue;
+    }
+    HierarchyCheck check;
+    check.label = "rack " + std::to_string(rack);
+    check.parent_id = kRackCheckStreamBase + rack;
+    check.parent_means_w = measure_check_meter(
+        [&electrical, rack](double t) { return electrical.rack_pdu_w(rack, t); },
+        analysis, plan, config, interval, kRackCheckStreamBase + rack);
+    for (std::size_t node = first; node < last; ++node) {
+      check.child_ids.push_back(node);
+      check.child_means_w.push_back(by_node[node]->means_w);
+    }
+    check.child_scale = loss_scale;
+    checks.push_back(std::move(check));
+  }
+
+  const double t_mid =
+      plan.window.begin.value() + 0.5 * plan.window.duration().value();
+  if (all_racks_checkable && electrical.auxiliary_ac_w(t_mid) == 0.0) {
+    HierarchyCheck facility;
+    facility.label = "facility";
+    facility.parent_id = kFacilityCheckStream;
+    facility.parent_means_w = measure_check_meter(
+        electrical.facility_function(), analysis, plan, config, interval,
+        kFacilityCheckStream);
+    for (const HierarchyCheck& rack : checks) {
+      facility.child_ids.push_back(rack.parent_id);
+      facility.child_means_w.push_back(rack.parent_means_w);
+    }
+    facility.child_scale = 1.0;
+    checks.push_back(std::move(facility));
+  }
+  return checks;
+}
+
+// Ground truth for a streaming-verified campaign.  When the electrical
+// model is the cluster lowered through make_system_power_model (which the
+// streaming probe has checked), compute_ac_w depends on t only through
+// the shared shape factor — so panel evaluations over a steady phase are
+// the same double over and over.  Memoizing them on the shape's bit
+// pattern leaves the integration grid, the summation order and every
+// per-panel value untouched: average_over sees a function returning the
+// exact doubles compute_ac_w would return, just without recomputing the
+// 240-node PSU sum per panel.
+Watts streaming_true_scope_power(const ClusterPowerModel& cluster,
+                                 const SystemPowerModel& electrical,
+                                 const MethodologySpec& spec) {
+  const TimeWindow core = cluster.phases().core_window();
+  std::unordered_map<std::uint64_t, double> memo;
+  const auto compute_memo = [&](double t) {
+    const double s = cluster.shape_factor(t);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &s, sizeof bits);
+    const auto it = memo.find(bits);
+    if (it != memo.end()) return it->second;
+    const double v = electrical.compute_ac_w(t);
+    memo.emplace(bits, v);
+    return v;
+  };
+  const double compute =
+      mean_over_window(compute_memo, core.begin.value(), core.end.value());
+  if (spec.subsystems == SubsystemRule::kComputeOnly) return Watts{compute};
+  // Auxiliaries are arbitrary functions of t (no shape identity to key
+  // on); their panel evaluations stay direct.
+  const double aux = mean_over_window(
+      [&](double t) { return electrical.auxiliary_ac_w(t); },
+      core.begin.value(), core.end.value());
+  return Watts{compute + aux};
+}
+
+// --- stages ---------------------------------------------------------------
+
+class ProvisionStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "provision"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    const ClusterPowerModel& cluster = *ctx.cluster;
+    const SystemPowerModel& electrical = *ctx.electrical;
+    const MeasurementPlan& plan = *ctx.plan;
+    const CampaignConfig& config = *ctx.config;
+
+    ctx.interval = config.meter_interval_override.value() > 0.0
+                       ? config.meter_interval_override
+                       : plan.meter_interval;
+    ctx.faulty = config.faults.enabled();
+    ctx.result.system_name = cluster.name();
+    ctx.result.nodes_measured = plan.node_count();
+    ctx.result.window_duration = plan.window.duration();
+    ctx.dq().faults_enabled = ctx.faulty;
+
+    // The time windows this plan actually meters (aspect 1).
+    ctx.windows = metered_windows(plan, ctx.interval);
+
+    switch (plan.point) {
+      case MeasurementPoint::kFacilityFeed:
+        ctx.dq().meters_planned = 1;
+        break;
+      case MeasurementPoint::kRackPdu: {
+        for (std::size_t node : plan.node_indices) {
+          PV_EXPECTS(node < cluster.node_count(),
+                     "plan references missing node");
+          ctx.racks.push_back(node / electrical.nodes_per_rack());
+        }
+        std::sort(ctx.racks.begin(), ctx.racks.end());
+        ctx.racks.erase(std::unique(ctx.racks.begin(), ctx.racks.end()),
+                        ctx.racks.end());
+        ctx.dq().meters_planned = ctx.racks.size();
+        break;
+      }
+      default: {
+        ctx.dq().meters_planned = plan.node_count();
+        ctx.reconciling = config.reconcile.enabled;
+        if (ctx.reconciling) {
+          ctx.analysis = make_analysis_windows(
+              ctx.windows, config.reconcile.analysis_windows);
+        }
+        // Streaming engine: valid when the electrical model really is the
+        // cluster lowered through make_system_power_model, i.e. each
+        // node's DC truth is its mean times the shared shape.  Probed
+        // exactly — any mismatch (a hand-built SystemPowerModel) falls
+        // back to the eager path, whose arithmetic the kernels reproduce
+        // bit-for-bit anyway.
+        bool streaming = config.engine == CampaignEngine::kStreaming;
+        if (streaming) {
+          const std::size_t probe = plan.node_indices.front();
+          PV_EXPECTS(probe < cluster.node_count(),
+                     "plan references missing node");
+          // Probe the metered window (the kernels) and the core window
+          // (the memoized ground truth) alike.
+          const TimeWindow core = cluster.phases().core_window();
+          for (const TimeWindow& w : {plan.window, core}) {
+            for (double frac : {0.25, 0.5, 0.75}) {
+              const double t = w.begin.value() + frac * w.duration().value();
+              const double lowered =
+                  cluster.node_means()[probe] * cluster.shape_factor(t);
+              if (electrical.node_dc_w(probe, t) != lowered) {
+                streaming = false;
+                break;
+              }
+            }
+            if (!streaming) break;
+          }
+        }
+        ctx.streaming = streaming;
+        if (streaming) {
+          ctx.tables = build_shape_tables(cluster, ctx.windows, ctx.interval,
+                                          plan.meter_mode);
+        }
+        break;
+      }
+    }
+
+    // Expected sample count of any one meter: a probe model on a
+    // throwaway RNG stream — campaign streams are untouched.
+    {
+      Rng probe_rng(0, 0);
+      const MeterModel probe(config.meter_accuracy, plan.meter_mode,
+                             ctx.interval, probe_rng);
+      ctx.samples_per_meter = expected_samples(ctx.windows, probe);
+    }
+
+    trace.items = ctx.dq().meters_planned;
+    trace.samples = ctx.samples_per_meter * ctx.dq().meters_planned;
+    trace.virtual_s = plan.window.duration().value();
+    trace.counters = {
+        {"windows", static_cast<double>(ctx.windows.size())},
+        {"analysis_windows", static_cast<double>(ctx.analysis.size())},
+        {"streaming", ctx.streaming ? 1.0 : 0.0},
+        {"interval_s", ctx.interval.value()},
+    };
+  }
+};
+
+// Virtual seconds a meter stage covered: every meter reads every window.
+double metered_virtual_s(const CampaignContext& ctx, std::size_t meters) {
+  double s = 0.0;
+  for (const TimeWindow& w : ctx.windows) s += w.duration().value();
+  return s * static_cast<double>(meters);
+}
+
+class NodeMeterStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "meter"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    const ClusterPowerModel& cluster = *ctx.cluster;
+    const SystemPowerModel& electrical = *ctx.electrical;
+    const MeasurementPlan& plan = *ctx.plan;
+    const CampaignConfig& config = *ctx.config;
+    const bool streaming = ctx.streaming;
+    const bool reconciling = ctx.reconciling;
+
+    // Meter every selected node.  Each node gets its own meter device
+    // whose calibration errors are drawn from a stream keyed by the node
+    // id, and a separate per-sample noise stream.
+    ctx.devices.resize(plan.node_count());
+    ctx.readings.resize(plan.node_count());
+    const auto meter_one = [&](std::size_t i, StreamScratch& scratch) {
+      const std::size_t node = plan.node_indices[i];
+      PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
+      Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
+      Rng noise(config.seed ^ 0xBADCAB1EULL, node);
+      const MeterModel meter(config.meter_accuracy, plan.meter_mode,
+                             ctx.interval, calibration);
+      PowerFunction truth;  // only the eager path walks the function chain
+      StreamScope scope;
+      if (streaming) {
+        scope.tables = &ctx.tables;
+        scope.mean_w = cluster.node_means()[node];
+        scope.curve = plan.point == MeasurementPoint::kNodeDc
+                          ? nullptr
+                          : &electrical.node_psu(node).compiled();
+        scope.scratch = &scratch;
+      } else {
+        truth = plan.point == MeasurementPoint::kNodeDc
+                    ? PowerFunction([&electrical, node](double t) {
+                        return electrical.node_dc_w(node, t);
+                      })
+                    : electrical.node_ac_function(node);
+      }
+
+      ctx.devices[i] =
+          meter_device(meter, truth, ctx.windows, plan.window, noise, config,
+                       node, node, reconciling ? &ctx.analysis : nullptr,
+                       streaming ? &scope : nullptr);
+      const DeviceReading& reading = ctx.devices[i];
+      NodeReading nr;
+      nr.node = node;
+      nr.lost = reading.lost;
+      if (!reading.lost) {
+        nr.mean_w = reading.mean_w;
+        nr.energy_j = reading.energy_j;
+        if (plan.timing != TimingStrategy::kContinuous) {
+          // Spot sampling: report energy as mean power over the window.
+          nr.energy_j = nr.mean_w * plan.window.duration().value();
+        }
+        apply_dc_conversion(plan, electrical, node, nr.mean_w, nr.energy_j);
+      }
+      ctx.readings[i] = nr;
+    };
+    // Every stream above is keyed by the node id and every result lands
+    // in its own slot, so the fan-out is bit-identical at any thread
+    // count.  Chunked sharding gives each worker one contiguous range and
+    // one scratch buffer reused across all of its nodes.
+    const std::size_t fanout = std::max<std::size_t>(
+        {config.threads,
+         reconciling ? static_cast<std::size_t>(config.reconcile.threads)
+                     : std::size_t{1},
+         std::size_t{1}});
+    if (fanout > 1) {
+      ThreadPool pool(static_cast<unsigned>(fanout));
+      parallel_chunks(&pool, plan.node_count(),
+                      [&](std::size_t begin, std::size_t end) {
+                        StreamScratch scratch;
+                        for (std::size_t i = begin; i < end; ++i) {
+                          meter_one(i, scratch);
+                        }
+                      });
+    } else {
+      StreamScratch scratch;
+      for (std::size_t i = 0; i < plan.node_count(); ++i) {
+        meter_one(i, scratch);
+      }
+    }
+
+    std::size_t lost = 0;
+    for (const NodeReading& nr : ctx.readings) lost += nr.lost ? 1 : 0;
+    trace.items = ctx.readings.size();
+    trace.samples = ctx.samples_per_meter * ctx.readings.size();
+    trace.virtual_s = metered_virtual_s(ctx, ctx.readings.size());
+    trace.counters = {
+        {"engine_streaming", streaming ? 1.0 : 0.0},
+        {"fanout", static_cast<double>(fanout)},
+        {"lost", static_cast<double>(lost)},
+    };
+  }
+};
+
+class RackMeterStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "meter"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    const SystemPowerModel& electrical = *ctx.electrical;
+    const MeasurementPlan& plan = *ctx.plan;
+    const CampaignConfig& config = *ctx.config;
+
+    // One meter per rack containing a selected node.  The rack reading
+    // (which *includes* PDU distribution loss, unlike node taps) is
+    // later attributed evenly to the rack's nodes — the standard site
+    // practice when only PDU instrumentation exists.
+    std::size_t lost = 0;
+    for (std::size_t rack : ctx.racks) {
+      Rng calibration(config.seed ^ 0x5CA1AB1EULL, kRackStreamBase + rack);
+      Rng noise(config.seed ^ 0xBADCAB1EULL, kRackStreamBase + rack);
+      const MeterModel meter(config.meter_accuracy, plan.meter_mode,
+                             ctx.interval, calibration);
+      const std::size_t first = rack * electrical.nodes_per_rack();
+      const std::size_t nodes_in_rack =
+          std::min(electrical.nodes_per_rack(),
+                   electrical.node_count() - first);
+      DeviceReading reading = meter_device(
+          meter,
+          [&electrical, rack](double t) {
+            return electrical.rack_pdu_w(rack, t);
+          },
+          ctx.windows, plan.window, noise, config, kRackStreamBase + rack,
+          rack);
+      NodeReading nr;
+      nr.node = rack;
+      nr.lost = reading.lost;
+      nr.mean_w = reading.mean_w;
+      nr.energy_j = reading.energy_j;
+      lost += nr.lost ? 1 : 0;
+      ctx.devices.push_back(std::move(reading));
+      ctx.readings.push_back(nr);
+      ctx.rack_nodes_in.push_back(nodes_in_rack);
+    }
+
+    trace.items = ctx.readings.size();
+    trace.samples = ctx.samples_per_meter * ctx.readings.size();
+    trace.virtual_s = metered_virtual_s(ctx, ctx.readings.size());
+    trace.counters = {{"lost", static_cast<double>(lost)}};
+  }
+};
+
+class FacilityMeterStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "meter"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    const SystemPowerModel& electrical = *ctx.electrical;
+    const MeasurementPlan& plan = *ctx.plan;
+    const CampaignConfig& config = *ctx.config;
+
+    // One meter on the whole feed — the realistic Level 3
+    // instrumentation.  There is no surviving-node fallback here: losing
+    // the only meter ends the campaign.
+    if (ctx.faulty && config.faults.forced_dead(kFacilityStream)) {
+      throw NoUsableDataError(
+          "campaign: the facility-feed meter is dead and no fallback "
+          "instrumentation exists");
+    }
+    Rng calibration(config.seed ^ 0x5CA1AB1EULL, kFacilityStream);
+    Rng noise(config.seed ^ 0xBADCAB1EULL, kFacilityStream);
+    const MeterModel meter(config.meter_accuracy, plan.meter_mode,
+                           ctx.interval, calibration);
+    ctx.devices.push_back(meter_device(
+        meter, electrical.facility_function(), ctx.windows, plan.window,
+        noise, config, kFacilityStream, kFacilityStream));
+
+    trace.items = 1;
+    trace.samples = ctx.samples_per_meter;
+    trace.virtual_s = metered_virtual_s(ctx, 1);
+    trace.counters = {
+        {"lost", ctx.devices.back().lost ? 1.0 : 0.0},
+    };
+  }
+};
+
+class RepairStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "repair"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    // Consolidate the per-device repair accounting.  On the fault-free
+    // path every tally is zero, so this is a no-op there — exactly the
+    // historical `if (faulty)` guard, without the branch.
+    DataQuality& dq = ctx.dq();
+    for (const DeviceReading& r : ctx.devices) absorb_tallies(dq, r);
+
+    trace.items = ctx.devices.size();
+    trace.samples = dq.samples_repaired;
+    trace.counters = {
+        {"samples_lost", static_cast<double>(dq.samples_lost)},
+        {"samples_repaired", static_cast<double>(dq.samples_repaired)},
+        {"spikes_filtered", static_cast<double>(dq.spikes_filtered)},
+        {"stuck_flagged", static_cast<double>(dq.stuck_flagged)},
+    };
+  }
+};
+
+class ReconcileStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "reconcile"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    DataQuality& dq = ctx.dq();
+    dq.reconcile_ran = true;
+    std::vector<MeterSeries> series;
+    series.reserve(ctx.readings.size());
+    for (std::size_t i = 0; i < ctx.readings.size(); ++i) {
+      if (ctx.readings[i].lost || ctx.devices[i].analysis_means_w.empty()) {
+        continue;
+      }
+      series.push_back(
+          MeterSeries{ctx.readings[i].node, ctx.devices[i].analysis_means_w});
+    }
+    const std::vector<HierarchyCheck> checks = build_hierarchy_checks(
+        *ctx.electrical, *ctx.plan, *ctx.config, ctx.interval, ctx.analysis,
+        series);
+    ReconcileReport verdicts =
+        reconcile_meters(series, checks, ctx.config->reconcile);
+
+    // Quarantine convicted meters through the existing dead-meter
+    // degradation path; undo exactly invertible unit errors in place.
+    for (const MeterDiagnosis& d : verdicts.diagnoses) {
+      const auto it = std::find_if(
+          ctx.readings.begin(), ctx.readings.end(),
+          [&](const NodeReading& nr) { return nr.node == d.meter_id; });
+      if (it == ctx.readings.end()) continue;
+      if (d.quarantined) {
+        it->lost = true;
+      } else if (d.corrected) {
+        it->mean_w /= d.correction_scale;
+        it->energy_j /= d.correction_scale;
+      }
+    }
+
+    trace.items = series.size();
+    trace.samples = series.size() * ctx.analysis.size();
+    trace.counters = {
+        {"hierarchy_checks", static_cast<double>(checks.size())},
+        {"quarantined", static_cast<double>(verdicts.meters_quarantined)},
+        {"corrected", static_cast<double>(verdicts.meters_corrected)},
+    };
+    dq.integrity = std::move(verdicts);
+  }
+};
+
+// Aggregate for the facility-feed tap: no extrapolation at all; the only
+// error sources are the meter itself and any scope mismatch.
+void aggregate_facility(CampaignContext& ctx) {
+  const ClusterPowerModel& cluster = *ctx.cluster;
+  const SystemPowerModel& electrical = *ctx.electrical;
+  const MeasurementPlan& plan = *ctx.plan;
+  CampaignResult& result = ctx.result;
+  DataQuality& dq = ctx.dq();
+
+  const DeviceReading& reading = ctx.devices.front();
+  if (reading.lost) {
+    throw NoUsableDataError(
+        "campaign: the facility-feed meter produced " +
+        std::to_string(dq.samples_expected - dq.samples_lost) + " of " +
+        std::to_string(dq.samples_expected) +
+        " expected samples (below the coverage floor); no fallback "
+        "instrumentation exists");
+  }
+  const double mean = reading.mean_w;
+  double energy_acc = reading.energy_j;
+  if (plan.timing != TimingStrategy::kContinuous) {
+    energy_acc = mean * plan.window.duration().value();
+  }
+  result.nodes_measured = cluster.node_count();
+  result.submitted_energy = Joules{energy_acc};
+  // The facility feed includes every auxiliary; for compute-only scopes
+  // the measured aux must be deducted (it is measured, not estimated).
+  double submitted = mean;
+  if (plan.spec.subsystems == SubsystemRule::kComputeOnly) {
+    const double t_mid =
+        plan.window.begin.value() + 0.5 * plan.window.duration().value();
+    submitted -= electrical.auxiliary_ac_w(t_mid);
+  }
+  result.submitted_power = Watts{submitted};
+  dq.planned_node_fraction = 1.0;
+  dq.achieved_node_fraction = 1.0;
+  finalize_quality(dq);
+}
+
+// Aggregate for the rack-PDU tap: attribute each surviving rack reading
+// evenly to its nodes, then extrapolate.  A dead/degraded rack meter
+// loses the whole rack; extrapolation proceeds from the rest.
+void aggregate_rack(CampaignContext& ctx) {
+  const ClusterPowerModel& cluster = *ctx.cluster;
+  const SystemPowerModel& electrical = *ctx.electrical;
+  const MeasurementPlan& plan = *ctx.plan;
+  CampaignResult& result = ctx.result;
+  DataQuality& dq = ctx.dq();
+
+  const std::size_t planned_nodes = plan.node_count();
+  double energy_acc = 0.0;
+  std::size_t surviving_nodes = 0;
+  for (std::size_t i = 0; i < ctx.readings.size(); ++i) {
+    const NodeReading& reading = ctx.readings[i];
+    if (reading.lost) {
+      ++dq.meters_lost;
+      dq.lost_meter_ids.push_back(reading.node);
+      continue;
+    }
+    const double rack_mean = reading.mean_w;
+    double rack_energy = reading.energy_j;
+    if (plan.timing != TimingStrategy::kContinuous) {
+      rack_energy = rack_mean * plan.window.duration().value();
+    }
+    const std::size_t nodes_in_rack = ctx.rack_nodes_in[i];
+    const double per_node = rack_mean / static_cast<double>(nodes_in_rack);
+    for (std::size_t n = 0; n < nodes_in_rack; ++n) {
+      result.node_mean_powers_w.push_back(per_node);
+    }
+    surviving_nodes += nodes_in_rack;
+    energy_acc += rack_energy;
+  }
+  if (result.node_mean_powers_w.empty()) {
+    throw NoUsableDataError(
+        "campaign: every rack meter was lost (" +
+        std::to_string(dq.meters_lost) + " of " +
+        std::to_string(dq.meters_planned) +
+        "); nothing to extrapolate from");
+  }
+  result.nodes_measured = result.node_mean_powers_w.size();
+  // Scale energy to the planned metering scope so submissions stay
+  // comparable between degraded and clean campaigns.
+  if (ctx.faulty && surviving_nodes > 0 && surviving_nodes < planned_nodes) {
+    energy_acc *= static_cast<double>(planned_nodes) /
+                  static_cast<double>(surviving_nodes);
+  }
+  result.submitted_energy = Joules{energy_acc};
+
+  const Summary rack_nodes = summarize(result.node_mean_powers_w);
+  double rack_submitted =
+      rack_nodes.mean * static_cast<double>(cluster.node_count());
+  if (plan.spec.subsystems != SubsystemRule::kComputeOnly) {
+    const double t_mid =
+        plan.window.begin.value() + 0.5 * plan.window.duration().value();
+    rack_submitted += electrical.auxiliary_ac_w(t_mid);
+  }
+  result.submitted_power = Watts{rack_submitted};
+  if (result.node_mean_powers_w.size() >= 2 && rack_nodes.stddev > 0.0) {
+    result.node_mean_ci =
+        t_confidence_interval(result.node_mean_powers_w, 0.05);
+    result.relative_halfwidth =
+        0.5 * result.node_mean_ci.width() / rack_nodes.mean;
+    dq.ci_widened = dq.meters_lost > 0;
+  }
+  dq.planned_node_fraction =
+      static_cast<double>(planned_nodes) /
+      static_cast<double>(cluster.node_count());
+  dq.achieved_node_fraction =
+      static_cast<double>(result.nodes_measured) /
+      static_cast<double>(cluster.node_count());
+  finalize_quality(dq);
+}
+
+// Aggregate for node taps — the shared tail every node campaign (sync or
+// async collection) runs: exclusion, extrapolation, energy re-basing,
+// the Eq. 1 CI and its corrected-sigma widening, coverage fractions.
+void aggregate_nodes(CampaignContext& ctx) {
+  const ClusterPowerModel& cluster = *ctx.cluster;
+  const SystemPowerModel& electrical = *ctx.electrical;
+  const MeasurementPlan& plan = *ctx.plan;
+  CampaignResult& result = ctx.result;
+  DataQuality& dq = ctx.dq();
+
+  result.system_name = cluster.name();
+  result.window_duration = plan.window.duration();
+
+  double energy_j = 0.0;
+  result.node_mean_powers_w.reserve(ctx.readings.size());
+  for (const NodeReading& r : ctx.readings) {
+    if (r.lost) {
+      ++dq.meters_lost;
+      dq.lost_meter_ids.push_back(r.node);
+      continue;
+    }
+    result.node_mean_powers_w.push_back(r.mean_w);
+    energy_j += r.energy_j;
+  }
+  if (result.node_mean_powers_w.empty()) {
+    throw NoUsableDataError(
+        "campaign: every node meter was lost (" +
+        std::to_string(dq.meters_lost) + " of " +
+        std::to_string(dq.meters_planned) +
+        "); nothing to extrapolate from");
+  }
+  result.nodes_measured = result.node_mean_powers_w.size();
+  // Scale energy to the planned metering scope so submissions stay
+  // comparable between degraded and clean campaigns.
+  if (result.nodes_measured < dq.meters_planned) {
+    energy_j *= static_cast<double>(dq.meters_planned) /
+                static_cast<double>(result.nodes_measured);
+  }
+  result.submitted_energy = Joules{energy_j};
+
+  const Summary nodes = summarize(result.node_mean_powers_w);
+  // Linear extrapolation to the full compute subsystem (§2.2).  Note the
+  // per-node AC taps do not see PDU distribution losses, which the true
+  // compute power includes — a structural Level 1 bias the benches expose.
+  double submitted =
+      nodes.mean * static_cast<double>(cluster.node_count());
+
+  // Auxiliary subsystems per the spec's aspect 3.
+  if (plan.spec.subsystems != SubsystemRule::kComputeOnly) {
+    const double t_mid =
+        plan.window.begin.value() + 0.5 * plan.window.duration().value();
+    submitted += electrical.auxiliary_ac_w(t_mid);
+  }
+  result.submitted_power = Watts{submitted};
+
+  // Accuracy assessment: Equation 1 on the metered per-node averages.
+  if (result.nodes_measured >= 2 && nodes.stddev > 0.0) {
+    result.node_mean_ci =
+        t_confidence_interval(result.node_mean_powers_w, /*alpha=*/0.05);
+    result.relative_halfwidth =
+        0.5 * result.node_mean_ci.width() / nodes.mean;
+    dq.ci_widened = dq.meters_lost > 0;
+  }
+  // Readings reconciliation un-scaled carry residual calibration
+  // uncertainty the Eq. 1 spread cannot see (the correction is exact only
+  // up to the meter's remaining gain error); widen the CI in quadrature.
+  if (dq.reconcile_ran && dq.integrity.meters_corrected > 0 &&
+      result.relative_halfwidth > 0.0) {
+    const double extra =
+        1.96 * dq.integrity.corrected_sigma *
+        std::sqrt(static_cast<double>(dq.integrity.meters_corrected)) /
+        static_cast<double>(result.nodes_measured);
+    result.relative_halfwidth = std::hypot(result.relative_halfwidth, extra);
+    const double half = result.relative_halfwidth * nodes.mean;
+    result.node_mean_ci = Interval{nodes.mean - half, nodes.mean + half};
+    dq.ci_widened = true;
+  }
+  dq.planned_node_fraction =
+      static_cast<double>(dq.meters_planned) /
+      static_cast<double>(cluster.node_count());
+  dq.achieved_node_fraction =
+      static_cast<double>(result.nodes_measured) /
+      static_cast<double>(cluster.node_count());
+  finalize_quality(dq);
+}
+
+class AggregateStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "aggregate"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    switch (ctx.plan->point) {
+      case MeasurementPoint::kFacilityFeed:
+        aggregate_facility(ctx);
+        break;
+      case MeasurementPoint::kRackPdu:
+        aggregate_rack(ctx);
+        break;
+      default:
+        aggregate_nodes(ctx);
+        break;
+    }
+    const DataQuality& dq = ctx.result.data_quality;
+    trace.items = ctx.result.node_mean_powers_w.size();
+    trace.counters = {
+        {"meters_lost", static_cast<double>(dq.meters_lost)},
+        {"ci_widened", dq.ci_widened ? 1.0 : 0.0},
+        {"sample_coverage", dq.sample_coverage},
+    };
+  }
+};
+
+class AssessStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "assess"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    CampaignResult& result = ctx.result;
+    // Ground truth and error.  The memoized form returns the exact
+    // doubles the direct form would (streaming probe holding), faster.
+    result.true_power =
+        ctx.streaming
+            ? streaming_true_scope_power(*ctx.cluster, *ctx.electrical,
+                                         ctx.plan->spec)
+            : true_scope_power(*ctx.cluster, *ctx.electrical, ctx.plan->spec);
+    result.relative_error =
+        std::fabs(result.submitted_power.value() - result.true_power.value()) /
+        result.true_power.value();
+
+    const TimeWindow core = ctx.cluster->phases().core_window();
+    trace.items = 1;
+    trace.virtual_s = core.duration().value();
+    trace.counters = {
+        {"memoized", ctx.streaming ? 1.0 : 0.0},
+        {"relative_error", result.relative_error},
+    };
+  }
+};
+
+}  // namespace
+
+Watts true_scope_power(const ClusterPowerModel& cluster,
+                       const SystemPowerModel& electrical,
+                       const MethodologySpec& spec) {
+  const TimeWindow core = cluster.phases().core_window();
+  const double compute = mean_over_window(
+      [&](double t) { return electrical.compute_ac_w(t); },
+      core.begin.value(), core.end.value());
+  if (spec.subsystems == SubsystemRule::kComputeOnly) return Watts{compute};
+  const double aux = mean_over_window(
+      [&](double t) { return electrical.auxiliary_ac_w(t); },
+      core.begin.value(), core.end.value());
+  return Watts{compute + aux};
+}
+
+StagePtr make_provision_stage() { return std::make_unique<ProvisionStage>(); }
+StagePtr make_node_meter_stage() { return std::make_unique<NodeMeterStage>(); }
+StagePtr make_rack_meter_stage() { return std::make_unique<RackMeterStage>(); }
+StagePtr make_facility_meter_stage() {
+  return std::make_unique<FacilityMeterStage>();
+}
+StagePtr make_repair_stage() { return std::make_unique<RepairStage>(); }
+StagePtr make_reconcile_stage() { return std::make_unique<ReconcileStage>(); }
+StagePtr make_aggregate_stage() { return std::make_unique<AggregateStage>(); }
+StagePtr make_assess_stage() { return std::make_unique<AssessStage>(); }
+
+void run_pipeline(const std::vector<StagePtr>& stages, CampaignContext& ctx) {
+  for (const StagePtr& stage : stages) {
+    StageTrace trace;
+    trace.stage = stage->name();
+    const auto t0 = std::chrono::steady_clock::now();
+    stage->run(ctx, trace);
+    const auto t1 = std::chrono::steady_clock::now();
+    trace.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ctx.result.stage_traces.push_back(std::move(trace));
+  }
+}
+
+}  // namespace pv

@@ -1,0 +1,154 @@
+#pragma once
+// The staged campaign pipeline.  run_campaign historically was one long
+// function; this module breaks it into explicit stages —
+//
+//   Provision -> Meter -> Repair -> [Reconcile] -> Aggregate -> Assess
+//
+// — connected by a typed CampaignContext that carries each stage's
+// artifacts to the next.  The decomposition is behavior-preserving by
+// construction: stage boundaries fall on points where the historical code
+// already handed one representation to the next (windows -> traces ->
+// readings -> extrapolation), so RNG consumption order and every
+// arithmetic expression are unchanged and results stay bit-identical at
+// any thread count.
+//
+// Why stages?  The Meter slot is the only part that differs between
+// execution modes: the eager per-device loop, the streaming kernels, the
+// rack-PDU and facility-feed taps, and src/collect's asynchronous
+// transport are all just different ways to fill `devices`/`readings`.
+// Making that slot explicit lets the async collector reuse the exact
+// Repair/Aggregate/Assess tail (finalize_node_campaign is now a thin
+// wrapper over those stages), and gives every mode the same per-stage
+// observability: each stage records a StageTrace (items, samples,
+// virtual time, deterministic counters, wall clock) surfaced through
+// `powervar campaign --trace-stages` and the JSON assessment document.
+//
+// One deliberate asymmetry: sample-level repair (gap fill, despiking,
+// stuck-run flagging) runs *inside* the Meter stage, per device, because
+// hoisting it out would require materializing every raw trace at once —
+// the Repair stage consolidates the per-device tallies into the
+// campaign's DataQuality and owns the repair accounting.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/plan.hpp"
+#include "sim/streaming.hpp"
+
+namespace pv {
+
+/// One device's metered series after optional fault injection and repair —
+/// the Meter stage's per-meter artifact, consolidated by Repair and (for
+/// reconciling campaigns) cross-validated by Reconcile.
+struct DeviceReading {
+  bool lost = false;      ///< dead or below the coverage floor
+  double mean_w = 0.0;    ///< per-window-averaged mean power
+  double energy_j = 0.0;  ///< summed over metered windows
+  // Per-device quality tallies (zero on the fault-free path).
+  std::size_t samples_expected = 0;
+  std::size_t samples_lost = 0;
+  std::size_t samples_repaired = 0;
+  std::size_t spikes_filtered = 0;
+  std::size_t stuck_flagged = 0;
+  /// Per-analysis-window means for cross-validation (empty unless the
+  /// campaign reconciles); windows with no valid sample are NaN.
+  std::vector<double> analysis_means_w;
+};
+
+/// Everything the stages share.  Inputs are non-owning (the caller keeps
+/// them alive across run_pipeline); artifacts are owned and filled as the
+/// pipeline advances.
+struct CampaignContext {
+  // --- inputs (set by the caller, never mutated by stages) --------------
+  const ClusterPowerModel* cluster = nullptr;
+  const SystemPowerModel* electrical = nullptr;
+  const MeasurementPlan* plan = nullptr;
+  /// Null for the tail-only path (finalize_node_campaign): Aggregate and
+  /// Assess are pure functions of readings + dq and never look at it.
+  const CampaignConfig* config = nullptr;
+
+  // --- Provision artifacts ----------------------------------------------
+  Seconds interval{0.0};              ///< effective meter reporting interval
+  std::vector<TimeWindow> windows;    ///< the windows the plan meters
+  std::vector<TimeWindow> analysis;   ///< cross-validation grid (reconcile)
+  bool faulty = false;                ///< fault injection enabled
+  bool reconciling = false;           ///< byzantine defense enabled
+  bool streaming = false;             ///< streaming probe accepted the model
+  std::vector<ShapeTable> tables;     ///< shared shapes (streaming only)
+  std::size_t samples_per_meter = 0;  ///< expected samples, any one meter
+  std::vector<std::size_t> racks;     ///< racks metered (rack-PDU tap only)
+
+  // --- Meter artifacts ---------------------------------------------------
+  /// One per meter, in plan order (nodes), rack order, or the single
+  /// facility meter.  Tallies feed Repair; series feed Reconcile.
+  std::vector<DeviceReading> devices;
+  /// Collection-layer view of the same meters (node id, or rack id for
+  /// the rack tap), already DC->AC corrected where the plan requires it.
+  std::vector<NodeReading> readings;
+  /// Nodes attributed to each rack reading (rack-PDU tap only).
+  std::vector<std::size_t> rack_nodes_in;
+
+  // --- output ------------------------------------------------------------
+  CampaignResult result;
+
+  [[nodiscard]] DataQuality& dq() { return result.data_quality; }
+};
+
+/// One pipeline stage.  run() reads/writes the context and fills its
+/// trace's deterministic fields (items, samples, virtual_s, counters);
+/// run_pipeline stamps the wall clock around it.
+class CampaignStage {
+ public:
+  virtual ~CampaignStage() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void run(CampaignContext& ctx, StageTrace& trace) = 0;
+};
+
+using StagePtr = std::unique_ptr<CampaignStage>;
+
+/// Derives the campaign's execution parameters: effective interval,
+/// metered windows, the analysis grid, the streaming probe + shape
+/// tables (node taps), the rack list (rack tap) and meters_planned.
+[[nodiscard]] StagePtr make_provision_stage();
+
+/// Node-tap Meter stage: one meter device per selected node, eager or
+/// streaming per the provision probe, fanned out over config.threads
+/// (bit-identical at any thread count).
+[[nodiscard]] StagePtr make_node_meter_stage();
+
+/// Rack-PDU Meter stage: one meter per rack containing a selected node;
+/// the reading is later attributed evenly to the rack's nodes.
+[[nodiscard]] StagePtr make_rack_meter_stage();
+
+/// Facility-feed Meter stage: the single whole-feed meter.  Throws
+/// NoUsableDataError when the meter is forced dead — there is no fallback
+/// instrumentation at Level 3.
+[[nodiscard]] StagePtr make_facility_meter_stage();
+
+/// Consolidates the per-device repair/quality tallies into DataQuality.
+/// (Sample-level gap fill runs inside Meter, per device — see the header
+/// comment; this stage owns the accounting.)
+[[nodiscard]] StagePtr make_repair_stage();
+
+/// Byzantine defense: builds per-meter analysis series, cross-validates
+/// them against the cohort and the meter hierarchy, quarantines convicted
+/// meters and undoes exactly invertible unit errors.
+[[nodiscard]] StagePtr make_reconcile_stage();
+
+/// Excludes lost meters, extrapolates the survivors to the machine,
+/// re-bases energy to the planned scope and computes the Eq. 1 CI
+/// (dispatching on the plan's tap point).  Throws NoUsableDataError when
+/// every meter was lost.
+[[nodiscard]] StagePtr make_aggregate_stage();
+
+/// Ground truth and relative error — the simulation-only assessment.
+/// Uses the memoized integrand when the streaming probe held.
+[[nodiscard]] StagePtr make_assess_stage();
+
+/// Runs the stages in order, appending one StageTrace per stage (with
+/// wall clock) to ctx.result.stage_traces.  Exceptions propagate.
+void run_pipeline(const std::vector<StagePtr>& stages, CampaignContext& ctx);
+
+}  // namespace pv

@@ -1,19 +1,36 @@
 #pragma once
 // Accuracy-assessment reports — the paper's §6 asks every submission to
-// state how accurate its measurement is.  This module renders a campaign
-// result into the assessment a reviewer (or the Green500 vetting process)
-// would read.
+// state how accurate its measurement is.  This module builds a campaign
+// result into a structured assessment Document (core/doc) and renders it
+// for two audiences: render_text for the reviewer (byte-identical to the
+// historical free-text report; golden-test enforced) and render_json for
+// machine consumers (vetting tools, bench harnesses, dashboards).
 
 #include <string>
 
 #include "core/campaign.hpp"
+#include "core/doc.hpp"
 #include "core/plan.hpp"
 
 namespace pv {
 
-/// Renders the full assessment: spec, plan shape, extrapolation, Equation 1
-/// confidence interval, achieved relative accuracy, and (simulation only)
-/// the true error.
+/// Rendering knobs for the assessment document.
+struct ReportOptions {
+  /// Append the per-stage StageTrace block (campaign --trace-stages).
+  /// Counters and virtual time are deterministic and appear in the JSON;
+  /// wall-clock milliseconds appear in the text rendering only.
+  bool trace_stages = false;
+};
+
+/// Builds the full assessment document: spec, plan shape, extrapolation,
+/// Equation 1 confidence interval, achieved relative accuracy, the true
+/// error (simulation only), and — when present — the data-quality,
+/// collection-path, integrity and stage-trace blocks.
+[[nodiscard]] Document assessment_document(const MeasurementPlan& plan,
+                                           const CampaignResult& result,
+                                           const ReportOptions& opts = {});
+
+/// Renders the full assessment as text: render_text(assessment_document).
 [[nodiscard]] std::string accuracy_report(const MeasurementPlan& plan,
                                           const CampaignResult& result);
 

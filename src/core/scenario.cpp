@@ -1,0 +1,37 @@
+#include "core/scenario.hpp"
+
+#include <utility>
+
+#include "workload/profiles.hpp"
+
+namespace pv {
+
+MeasurementPlan Scenario::plan(const MethodologySpec& spec,
+                               std::uint64_t plan_seed) const {
+  Rng rng(plan_seed);
+  return plan_measurement(spec, inputs, rng);
+}
+
+Scenario build_scenario(const ScenarioSpec& spec) {
+  auto workload = std::make_shared<FirestarterWorkload>(
+      minutes(spec.run_minutes), spec.load, minutes(spec.ramp_minutes),
+      minutes(spec.tail_minutes));
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(spec.cv);
+  var.outlier_prob = 0.0;
+  auto powers = generate_node_powers(spec.nodes, spec.mean_node_w, var,
+                                     spec.fleet_seed);
+
+  Scenario s;
+  s.cluster = std::make_unique<ClusterPowerModel>(spec.name, std::move(powers),
+                                                  std::move(workload));
+  s.electrical = std::make_unique<SystemPowerModel>(
+      make_system_power_model(*s.cluster, spec.nodes_per_rack,
+                              PsuEfficiencyCurve::platinum(),
+                              AuxiliaryConfig{}));
+  s.inputs.total_nodes = spec.nodes;
+  s.inputs.approx_node_power = watts(spec.mean_node_w);
+  s.inputs.run = s.cluster->phases();
+  return s;
+}
+
+}  // namespace pv

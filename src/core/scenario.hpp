@@ -1,0 +1,69 @@
+#pragma once
+// Shared scenario builder.  The CLI, the bench harnesses and the campaign
+// tests all exercised the same synthetic machine — a Firestarter-driven
+// fleet with typical-CPU variability, 16-node racks, platinum PSUs and no
+// auxiliaries — but each hand-rolled its own copy of the construction.
+// ScenarioSpec/build_scenario is the single source of that rig: one place
+// to read what the canonical 240-node scenario *is*, and one place to
+// change it.
+//
+// This lives in core (not sim) deliberately: the builder also derives
+// PlanInputs and can plan a measurement, and plan_measurement is a core
+// symbol — a sim-side builder would invert the util -> ... -> sim -> core
+// static-library link order.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/plan.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fleet.hpp"
+
+namespace pv {
+
+/// Declarative description of a synthetic measurement scenario.  Defaults
+/// match the canonical rig every harness used; callers override the few
+/// fields they care about (name, node count, cv, seed).
+struct ScenarioSpec {
+  std::string name = "synthetic";
+  std::size_t nodes = 64;
+  /// Fleet node-to-node coefficient of variation; the generated fleet
+  /// uses FleetVariability::typical_cpu() rescaled to this, with the
+  /// outlier process disabled for reproducible spreads.
+  double cv = 0.02;
+  double mean_node_w = 400.0;
+  /// Seed for the fleet draw (generate_node_powers).  Callers deriving it
+  /// from a campaign seed keep their historical mixing (e.g. the CLI's
+  /// `seed ^ 0x99`) so existing outputs are unchanged.
+  std::uint64_t fleet_seed = 1;
+  std::size_t nodes_per_rack = 16;
+  /// Firestarter workload phases (minutes): steady core burn, ramp, tail.
+  double run_minutes = 30.0;
+  double load = 1.0;
+  double ramp_minutes = 2.0;
+  double tail_minutes = 1.0;
+};
+
+/// A built scenario: the cluster, its lowered electrical model, and the
+/// PlanInputs every planner call derives from.  The electrical model is
+/// lowered through make_system_power_model, so node-tap campaigns pass
+/// the streaming probe.
+struct Scenario {
+  std::unique_ptr<ClusterPowerModel> cluster;
+  std::unique_ptr<SystemPowerModel> electrical;
+  PlanInputs inputs;
+
+  /// Plans a measurement under `spec` with a fresh Rng(plan_seed) — the
+  /// common single-plan case.  Callers that thread one Rng across several
+  /// plans call plan_measurement(spec, inputs, rng) themselves.
+  [[nodiscard]] MeasurementPlan plan(const MethodologySpec& spec,
+                                     std::uint64_t plan_seed) const;
+};
+
+/// Builds the scenario: generates the fleet, constructs the cluster and
+/// its electrical model (platinum PSUs, no auxiliaries), and fills
+/// PlanInputs from the cluster's phases.
+[[nodiscard]] Scenario build_scenario(const ScenarioSpec& spec);
+
+}  // namespace pv

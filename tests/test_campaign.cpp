@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "core/scenario.hpp"
 #include "sim/fleet.hpp"
 #include "stats/descriptive.hpp"
 #include "util/expects.hpp"
@@ -23,19 +24,17 @@ struct Rig {
 
 Rig make_rig(std::size_t n_nodes, double cv = 0.02,
              double mean_w = 400.0) {
-  auto workload = std::make_shared<FirestarterWorkload>(
-      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(cv);
-  var.outlier_prob = 0.0;
-  auto powers = generate_node_powers(n_nodes, mean_w, var, 99);
+  ScenarioSpec spec;
+  spec.name = "rig";
+  spec.nodes = n_nodes;
+  spec.cv = cv;
+  spec.mean_node_w = mean_w;
+  spec.fleet_seed = 99;
+  Scenario built = build_scenario(spec);
   Rig rig;
-  rig.cluster = std::make_unique<ClusterPowerModel>("rig", std::move(powers),
-                                                    workload);
-  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
-      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
-  rig.inputs.total_nodes = n_nodes;
-  rig.inputs.approx_node_power = Watts{mean_w};
-  rig.inputs.run = rig.cluster->phases();
+  rig.cluster = std::move(built.cluster);
+  rig.electrical = std::move(built.electrical);
+  rig.inputs = built.inputs;
   return rig;
 }
 

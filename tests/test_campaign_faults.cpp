@@ -10,6 +10,7 @@
 
 #include "core/campaign.hpp"
 #include "core/report.hpp"
+#include "core/scenario.hpp"
 #include "sim/fleet.hpp"
 #include "workload/profiles.hpp"
 
@@ -23,18 +24,16 @@ struct Rig {
 };
 
 Rig make_rig(std::size_t n_nodes, double cv = 0.02) {
-  auto workload = std::make_shared<FirestarterWorkload>(
-      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(cv);
-  var.outlier_prob = 0.0;
+  ScenarioSpec spec;
+  spec.name = "fault-rig";
+  spec.nodes = n_nodes;
+  spec.cv = cv;
+  spec.fleet_seed = 99;
+  Scenario built = build_scenario(spec);
   Rig rig;
-  rig.cluster = std::make_unique<ClusterPowerModel>(
-      "fault-rig", generate_node_powers(n_nodes, 400.0, var, 99), workload);
-  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
-      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
-  rig.inputs.total_nodes = n_nodes;
-  rig.inputs.approx_node_power = watts(400.0);
-  rig.inputs.run = rig.cluster->phases();
+  rig.cluster = std::move(built.cluster);
+  rig.electrical = std::move(built.electrical);
+  rig.inputs = built.inputs;
   return rig;
 }
 

@@ -1,0 +1,133 @@
+// Unit tests for the structured assessment documents: the deterministic
+// Json value, Document assembly, and the JSON rendering of a full
+// campaign assessment (required keys, rerun determinism).
+
+#include "core/doc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+namespace pv {
+namespace {
+
+TEST(Json, ScalarsDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7LL).dump(), "-7");
+  EXPECT_EQ(Json(18446744073709551615ULL).dump(), "18446744073709551615");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json obj = Json::object();
+  obj["zebra"] = 1;
+  obj["alpha"] = 2;
+  obj["mid"] = 3;
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, ObjectBracketUpdatesInPlace) {
+  Json obj = Json::object();
+  obj["a"] = 1;
+  obj["a"] = 2;  // overwrite, not duplicate
+  EXPECT_EQ(obj.dump(), "{\"a\":2}");
+  EXPECT_EQ(obj.size(), 1u);
+}
+
+TEST(Json, ArrayPushBack) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(Json());
+  EXPECT_EQ(arr.dump(), "[1,\"two\",null]");
+  EXPECT_EQ(arr.size(), 3u);
+}
+
+TEST(Json, DoublesRoundTripLosslessly) {
+  const double v = 430.94133024955102;
+  const std::string repr = Json(v).dump();
+  EXPECT_EQ(std::stod(repr), v);  // max_digits10 precision
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+}
+
+TEST(Json, NonFiniteDoublesAreNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Json::quote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Json::quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Document, TextConcatenatesHeadingsAndEntries) {
+  Document doc;
+  DocBlock& b = doc.block("demo", "== demo ==\n");
+  b.text("plain line\n");
+  b.field("x", 1, "x: 1\n");
+  b.field("hidden", 2);  // JSON-only, contributes no text
+  EXPECT_EQ(render_text(doc), "== demo ==\nplain line\nx: 1\n");
+}
+
+TEST(Document, JsonOmitsTextOnlyEntriesAndEmptyBlocks) {
+  Document doc;
+  DocBlock& b = doc.block("demo");
+  b.text("text only\n");
+  b.field("x", 1);
+  doc.block("empty", "no keyed entries\n").text("invisible to JSON\n");
+  EXPECT_EQ(render_json(doc),
+            "{\"schema\":\"powervar-assessment-v1\",\"demo\":{\"x\":1}}\n");
+}
+
+// A full campaign assessment rendered as JSON: the machine-consumer
+// contract is (a) the required keys are present and (b) reruns of the
+// same campaign produce the same bytes.
+TEST(Document, CampaignJsonSmokeAndDeterminism) {
+  ScenarioSpec spec;
+  spec.name = "doc-rig";
+  spec.nodes = 64;
+  spec.fleet_seed = 99;
+  const Scenario rig = build_scenario(spec);
+  const MeasurementPlan plan =
+      rig.plan(MethodologySpec::get(Level::kL2, Revision::kV2015), 1);
+  CampaignConfig cfg;
+  cfg.meter_interval_override = Seconds{10.0};
+
+  ReportOptions opts;
+  opts.trace_stages = true;
+  const auto render = [&] {
+    const auto result = run_campaign(*rig.cluster, *rig.electrical, plan, cfg);
+    return render_json(assessment_document(plan, result, opts));
+  };
+  const std::string first = render();
+  const std::string second = render();
+  EXPECT_EQ(first, second);
+
+  for (const char* key :
+       {"\"schema\":\"powervar-assessment-v1\"", "\"assessment\":",
+        "\"system\":\"doc-rig\"", "\"submitted_power_w\":",
+        "\"window_energy_j\":", "\"node_mean\":", "\"node_mean_ci\":",
+        "\"relative_halfwidth\":", "\"true_power_w\":", "\"relative_error\":",
+        "\"trace\":", "\"stages\":", "\"stage\":\"provision\"",
+        "\"stage\":\"meter\"", "\"stage\":\"aggregate\"",
+        "\"stage\":\"assess\""}) {
+    EXPECT_NE(first.find(key), std::string::npos) << "missing " << key;
+  }
+  // Host wall clock must not leak into the JSON rendering.
+  EXPECT_EQ(first.find("wall_ms"), std::string::npos);
+  EXPECT_EQ(first.back(), '\n');
+}
+
+}  // namespace
+}  // namespace pv

@@ -65,6 +65,68 @@ expect_error "typo'd option name" "unknown option" \
 expect_error "option of a different subcommand" "unknown option" \
   -- collect --nodes 64 --dropout 0.1
 
+# expect_exit <description> <expected-exit-code> <expected-stderr-pattern>
+# -- <args...>: exact exit codes are part of the contract (2 usage,
+# 3 aborted collection, 4 no usable data).
+expect_exit() {
+  local what="$1" want_rc="$2" pattern="$3"
+  shift 4
+  local err rc
+  "$powervar" "$@" >/dev/null 2>/tmp/pv_cli_err.$$
+  rc=$?
+  err="$(cat /tmp/pv_cli_err.$$)"
+  rm -f /tmp/pv_cli_err.$$
+  if [[ "$rc" -ne "$want_rc" ]]; then
+    echo "FAIL: $what: exited $rc, want $want_rc" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if ! grep -q "$pattern" <<<"$err"; then
+    echo "FAIL: $what: stderr lacks '$pattern':" >&2
+    printf '%s\n' "$err" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $what (exit $rc)"
+}
+
+# A campaign that loses every meter has no number to submit: that is a
+# campaign outcome with its own exit code (4), not the generic catch-all.
+expect_exit "all node meters dead exits 4" 4 "every node meter was lost" \
+  -- campaign --nodes 64 --level 1 --seed 7 --dead 64 --interval 10
+expect_exit "all node meters dead, one-line diagnostic" 4 \
+  "nothing to extrapolate from" \
+  -- campaign --nodes 64 --level 3 --seed 7 --dead 64 --interval 10
+
+# Every subcommand must reject a typo'd flag, not silently default it.
+# audit and normality parse their input files before flag validation, so
+# they get small valid inputs.
+trace_csv=$(mktemp /tmp/pv_cli_trace.XXXXXX.csv)
+values_txt=$(mktemp /tmp/pv_cli_values.XXXXXX.txt)
+{
+  echo "t_s,power_w"
+  for t in $(seq 0 120); do echo "$t,100.0"; done
+} >"$trace_csv"
+printf '1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n' >"$values_txt"
+
+expect_error "sample-size rejects unknown flag" "unknown option" \
+  -- sample-size --nodes 1024 --cv 0.02 --lambda 0.01 --bogus 1
+expect_error "accuracy rejects unknown flag" "unknown option" \
+  -- accuracy --nodes 210 --cv 0.02 --n 4 --bogus 1
+expect_error "audit rejects unknown flag" "unknown option" \
+  -- audit --trace "$trace_csv" --core-begin 10 --core-end 110 --bogus 1
+expect_error "normality rejects unknown flag" "unknown option" \
+  -- normality --values "$values_txt" --bogus 1
+expect_error "tco rejects unknown flag" "unknown option" \
+  -- tco --power-kw 1000 --accuracy 0.01 --bogus 1
+expect_error "campaign rejects unknown flag" "unknown option" \
+  -- campaign --nodes 64 --bogus 1
+expect_error "reconcile rejects unknown flag" "unknown option" \
+  -- reconcile --nodes 64 --bogus 1
+expect_error "collect rejects unknown flag" "unknown option" \
+  -- collect --nodes 64 --bogus 1
+rm -f "$trace_csv" "$values_txt"
+
 # And the happy path must still work, including the --key=value spelling.
 if ! "$powervar" accuracy --nodes=210 --cv=0.02 --n=4 >/dev/null; then
   echo "FAIL: valid --key=value invocation failed" >&2

@@ -98,3 +98,52 @@ if ! grep -Eq "quarantined|corrected" <<<"$serial_out"; then
 fi
 
 echo "OK: byzantine reconciliation is thread-count invariant"
+
+# ---------------------------------------------------------------------------
+# JSON-mode contract: the machine-readable rendering is as deterministic
+# as the text one (stage traces included — wall clock stays out of the
+# JSON), and both renderings describe the same campaign.
+json_args=(campaign --nodes 64 --cv 0.03 --level 1 --seed 42
+           --faults harsh --dropout 0.1 --dead 2 --interval 10
+           --json --trace-stages)
+
+json_a="$("$powervar" "${json_args[@]}")"
+json_b="$("$powervar" "${json_args[@]}")"
+
+if [[ "$json_a" != "$json_b" ]]; then
+  echo "FAIL: two identically seeded --json campaigns diverged" >&2
+  diff <(printf '%s\n' "$json_a") <(printf '%s\n' "$json_b") >&2 || true
+  exit 1
+fi
+for key in '"schema":"powervar-assessment-v1"' '"submitted_power_w":' \
+           '"data_quality":' '"stages":'; do
+  if ! grep -qF "$key" <<<"$json_a"; then
+    echo "FAIL: --json output lacks $key" >&2
+    exit 1
+  fi
+done
+
+# Text and JSON must agree on the submitted number: parse the human line
+# ("submitted power:   27.43 kW") back to watts and compare with the JSON
+# field to ~1% (the text is rounded to 4 significant digits).
+text_out="$("$powervar" campaign --nodes 64 --cv 0.03 --level 1 --seed 42 \
+            --faults harsh --dropout 0.1 --dead 2 --interval 10)"
+text_w="$(awk '/^submitted power:/ {
+  v = $3
+  if ($4 == "kW") v *= 1e3
+  else if ($4 == "MW") v *= 1e6
+  print v
+}' <<<"$text_out")"
+json_w="$(grep -o '"submitted_power_w":[0-9.eE+-]*' <<<"$json_a" |
+          head -1 | cut -d: -f2)"
+if [[ -z "$text_w" || -z "$json_w" ]]; then
+  echo "FAIL: could not extract submitted power from both renderings" >&2
+  exit 1
+fi
+if ! awk -v t="$text_w" -v j="$json_w" \
+     'BEGIN { d = (t - j) / j; if (d < 0) d = -d; exit !(d < 0.01) }'; then
+  echo "FAIL: text ($text_w W) and JSON ($json_w W) renderings disagree" >&2
+  exit 1
+fi
+
+echo "OK: JSON rendering is deterministic and agrees with the text report"

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Golden-file gate for the assessment reports: the text rendering of every
+# report block (assessment, data quality, collection, integrity) is pinned
+# byte-for-byte by four committed CLI transcripts.  Any change to report
+# wording, spacing or number formatting must update tests/golden/ in the
+# same commit — render_text promises byte-identity with the historical
+# string-built reports.
+#
+# Usage: check_goldens.sh /path/to/powervar /path/to/tests/golden
+set -uo pipefail
+
+powervar="${1:?usage: check_goldens.sh /path/to/powervar golden_dir}"
+golden_dir="${2:?usage: check_goldens.sh /path/to/powervar golden_dir}"
+failures=0
+tmp=$(mktemp -d /tmp/pv_goldens.XXXXXX)
+trap 'rm -rf "$tmp"' EXIT
+
+# check <golden-file> -- <args...>
+check() {
+  local golden="$1"
+  shift 2
+  if ! "$powervar" "$@" >"$tmp/out.txt" 2>/dev/null; then
+    echo "FAIL: $golden: command exited non-zero" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  if ! diff -u "$golden_dir/$golden" "$tmp/out.txt" >"$tmp/diff.txt"; then
+    echo "FAIL: $golden: output drifted from the committed golden:" >&2
+    head -40 "$tmp/diff.txt" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $golden"
+}
+
+# Clean L2 campaign: assessment block only.
+check campaign_clean_l2.txt \
+  -- campaign --nodes 64 --cv 0.02 --level 2 --seed 7 --interval 10
+# Faulted L1 campaign: assessment + data-quality block.
+check campaign_faulted_l1.txt \
+  -- campaign --nodes 64 --cv 0.03 --level 1 --seed 42 --faults harsh \
+     --dropout 0.1 --dead 2 --interval 10
+# Byzantine reconcile: assessment + integrity block.
+check reconcile_byzantine.txt \
+  -- reconcile --nodes 96 --seed 5 --byzantine 0.05 --interval 10
+# Resilient async collect: assessment + collection + data-quality blocks.
+check collect_resilient.txt \
+  -- collect --nodes 64 --cv 0.03 --level 1 --seed 42 --blackhole 0.2 \
+     --drop 0.05 --interval 10 --threads 4
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "FAIL: $failures golden transcript(s) drifted" >&2
+  echo "(if the change is intentional, regenerate tests/golden/ with the" >&2
+  echo "commands in this script and commit the new transcripts)" >&2
+  exit 1
+fi
+echo "OK: all report renderings match the committed goldens"

@@ -65,6 +65,7 @@
 #include "core/gaming.hpp"
 #include "core/report.hpp"
 #include "core/sample_size.hpp"
+#include "core/scenario.hpp"
 #include "core/tco.hpp"
 #include "sim/fleet.hpp"
 #include "stats/normality.hpp"
@@ -82,6 +83,9 @@ using namespace pv;
 class Args {
  public:
   Args(int argc, char** argv, int first) {
+    // Boolean switches that may appear bare (no value); anything else
+    // keeps the strict --key value contract.
+    static const std::set<std::string> kBareFlags = {"json", "trace-stages"};
     for (int i = first; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) != 0 || token.size() <= 2) {
@@ -91,6 +95,10 @@ class Args {
       const std::size_t eq = body.find('=');
       if (eq != std::string::npos) {
         values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (kBareFlags.contains(body) &&
+                 (i + 1 >= argc ||
+                  std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        values_[body] = "1";
       } else {
         if (i + 1 >= argc) {
           throw std::runtime_error("option " + token + " is missing a value");
@@ -112,6 +120,11 @@ class Args {
     used_.insert(key);
     const auto it = values_.find(key);
     return it == values_.end() ? fallback : parse_number(key, it->second);
+  }
+  /// A boolean switch: bare `--key`, `--key 1` and `--key=1` all enable.
+  [[nodiscard]] bool flag_or(const std::string& key,
+                             bool fallback = false) const {
+    return number_or(key, fallback ? 1.0 : 0.0) > 0.0;
   }
   /// A probability/fraction knob: a number constrained to [0, 1].
   [[nodiscard]] double rate_or(const std::string& key, double fallback) const {
@@ -296,7 +309,6 @@ struct SyntheticRig {
 SyntheticRig make_synthetic_rig(const Args& args, int default_level = 1) {
   const auto nodes = static_cast<std::size_t>(args.number("nodes"));
   if (nodes < 2) throw std::runtime_error("--nodes must be >= 2");
-  const double cv = args.number_or("cv", 0.02);
   const int level =
       static_cast<int>(args.number_or("level", default_level));
   if (level < 1 || level > 3) {
@@ -305,26 +317,19 @@ SyntheticRig make_synthetic_rig(const Args& args, int default_level = 1) {
   SyntheticRig rig;
   rig.seed = static_cast<std::uint64_t>(args.number_or("seed", 1.0));
 
-  auto workload = std::make_shared<FirestarterWorkload>(
-      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(cv);
-  var.outlier_prob = 0.0;
-  auto powers = generate_node_powers(nodes, 400.0, var, rig.seed ^ 0x99);
-  rig.cluster = std::make_unique<ClusterPowerModel>(
-      "synthetic", std::move(powers), workload);
-  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
-      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
+  ScenarioSpec scenario;
+  scenario.nodes = nodes;
+  scenario.cv = args.number_or("cv", 0.02);
+  scenario.fleet_seed = rig.seed ^ 0x99;  // historical mixing, kept as-is
+  Scenario built = build_scenario(scenario);
+  rig.cluster = std::move(built.cluster);
+  rig.electrical = std::move(built.electrical);
 
   const Level lvl = level == 3   ? Level::kL3
                     : level == 2 ? Level::kL2
                                  : Level::kL1;
   const auto spec = MethodologySpec::get(lvl, Revision::kV2015);
-  PlanInputs in;
-  in.total_nodes = nodes;
-  in.approx_node_power = watts(400.0);
-  in.run = rig.cluster->phases();
-  Rng rng(rig.seed);
-  rig.plan = plan_measurement(spec, in, rng);
+  rig.plan = built.plan(spec, rig.seed);
   return rig;
 }
 
@@ -381,11 +386,15 @@ int cmd_campaign(const Args& args) {
   } else if (engine != "streaming") {
     throw std::runtime_error("--engine must be eager or streaming");
   }
+  const bool json = args.flag_or("json");
+  ReportOptions ropts;
+  ropts.trace_stages = args.flag_or("trace-stages");
   args.reject_unknown();
 
   const auto result =
       run_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
-  std::cout << accuracy_report(rig.plan, result);
+  const Document doc = assessment_document(rig.plan, result, ropts);
+  std::cout << (json ? render_json(doc) : render_text(doc));
   return 0;
 }
 
@@ -403,11 +412,15 @@ int cmd_reconcile(const Args& args) {
       static_cast<std::size_t>(args.number_or("windows", 16.0));
   config.reconcile.threads =
       static_cast<unsigned>(args.number_or("threads", 0.0));
+  const bool json = args.flag_or("json");
+  ReportOptions ropts;
+  ropts.trace_stages = args.flag_or("trace-stages");
   args.reject_unknown();
 
   const auto result =
       run_campaign(*rig.cluster, *rig.electrical, rig.plan, config);
-  std::cout << accuracy_report(rig.plan, result);
+  const Document doc = assessment_document(rig.plan, result, ropts);
+  std::cout << (json ? render_json(doc) : render_text(doc));
   return 0;
 }
 
@@ -442,6 +455,9 @@ int cmd_collect(const Args& args) {
   config.crash_after_meters =
       static_cast<std::size_t>(args.number_or("crash-after", 0.0));
   config.threads = static_cast<unsigned>(args.number_or("threads", 4.0));
+  const bool json = args.flag_or("json");
+  ReportOptions ropts;
+  ropts.trace_stages = args.flag_or("trace-stages");
   args.reject_unknown();
 
   const CollectionOutcome outcome =
@@ -454,7 +470,8 @@ int cmd_collect(const Args& args) {
     std::cerr << ", " << outcome.journal_torn_lines << " torn journal lines";
   }
   std::cerr << "\n";
-  std::cout << accuracy_report(rig.plan, outcome.result);
+  const Document doc = assessment_document(rig.plan, outcome.result, ropts);
+  std::cout << (json ? render_json(doc) : render_text(doc));
   return 0;
 }
 
@@ -474,17 +491,21 @@ int usage() {
       "              [--faults none|mild|harsh] [--dropout F] [--dead N]"
       " [--interval S]\n"
       "              [--byzantine F] [--reconcile 1] [--threads N]\n"
+      "              [--json] [--trace-stages]\n"
       "  reconcile   --nodes N [--cv F] [--seed S] [--byzantine F]\n"
       "              [--defend 0|1] [--windows K] [--threads N]"
       " [--interval S]\n"
+      "              [--json] [--trace-stages]\n"
       "  collect     --nodes N [--cv F] [--level 1|2|3] [--seed S]\n"
       "              [--drop F] [--dup F] [--blackhole F] [--dead N]\n"
       "              [--latency MS] [--jitter MS] [--timeout S]"
       " [--retries K]\n"
       "              [--chunk S] [--breaker-after K] [--cooldown S]\n"
       "              [--threads N] [--interval S] [--checkpoint FILE]\n"
-      "              [--resume 1] [--crash-after K]\n"
-      "options accept '--key value' or '--key=value'.\n";
+      "              [--resume 1] [--crash-after K] [--json]"
+      " [--trace-stages]\n"
+      "options accept '--key value' or '--key=value';\n"
+      "--json and --trace-stages may also appear bare.\n";
   return 2;
 }
 
@@ -510,6 +531,11 @@ int main(int argc, char** argv) {
     // and a --resume run will finish the campaign.
     std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
     return 3;
+  } catch (const pv::NoUsableDataError& e) {
+    // Every meter in scope was lost: there is no number to submit, which
+    // is a campaign outcome, not a usage error.
+    std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
+    return 4;
   } catch (const std::exception& e) {
     std::cerr << "powervar " << cmd << ": " << e.what() << '\n'
               << "(run 'powervar' without arguments for usage)\n";
