@@ -1,0 +1,209 @@
+// Throughput bench for the resident campaign service (src/service):
+// campaigns/sec through CampaignService, cold provision cache vs warm.
+//
+// Two scenarios, each a batch of PV_SERVICE_REQS requests on 4 workers:
+//
+//   service_cold   every request names a distinct ScenarioSpec (seeds
+//                  differ), so every request pays a full Provision build;
+//   service_warm   every request shares one ScenarioSpec under distinct
+//                  ids, so only the first request builds — the rest hit
+//                  the content-addressed cache and skip Provision.
+//
+// Best-of-PV_PERF_REPS wall time per scenario, a fresh service per rep
+// (so the cache genuinely starts cold/warms up inside the timed window).
+// Three contracts are enforced in-binary (exit 1 on violation):
+//
+//   1. every response in every rep is `ok` — a bench that sheds or
+//      faults is measuring the wrong thing;
+//   2. the cold run's cache counts exactly PV_SERVICE_REQS misses and
+//      zero hits (no accidental sharing);
+//   3. the warm run counts exactly one miss and PV_SERVICE_REQS - 1
+//      hits — the deterministic proof that warm requests skip Provision
+//      (single-flight stats are interleaving-independent by design).
+//
+// Results land in BENCH_service.json (override with PV_PERF_JSON) for
+// tools/check_perf.sh, which gates on the warm-over-cold speedup
+// against the committed bench/BENCH_service_baseline.json.  The ratio —
+// not absolute campaigns/sec — is the gated number: both halves are
+// measured back-to-back under identical machine load, so the ratio
+// survives noisy CI boxes where a millisecond-scale batch time cannot.
+//
+// Env overrides: PV_SERVICE_REQS (12), PV_SERVICE_NODES (240),
+// PV_PERF_REPS (5), PV_PERF_JSON.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pv;
+
+ServiceRequest make_request(bool cold, std::size_t i, std::size_t nodes) {
+  ServiceRequest req;
+  req.id = (cold ? "cold-" : "warm-") + std::to_string(i);
+  req.nodes = nodes;
+  // Cold: distinct seeds -> distinct ScenarioSpec fingerprints -> every
+  // request provisions.  Warm: one shared seed -> one fingerprint.
+  req.seed = cold ? 1000 + i : 1000;
+  req.interval_s = 10.0;
+  return req;
+}
+
+struct BatchResult {
+  std::string name;
+  std::size_t requests = 0;
+  double best_ms = 0.0;
+  double campaigns_per_sec = 0.0;
+  std::size_t cache_hits = 0;    // from the final rep (deterministic)
+  std::size_t cache_misses = 0;
+  bool all_ok = true;
+  bool cache_contract = true;
+};
+
+BatchResult run_batch(const std::string& name, bool cold,
+                      std::size_t requests, std::size_t nodes,
+                      std::size_t reps) {
+  BatchResult out;
+  out.name = name;
+  out.requests = requests;
+  out.best_ms = 1e300;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    ServiceConfig config;
+    config.workers = 4;
+    config.max_queue = requests;
+    config.cache_capacity = requests;  // no capacity-eviction noise
+    CampaignService service(config);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::size_t> tickets;
+    tickets.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      const AdmissionVerdict verdict =
+          service.submit(make_request(cold, i, nodes));
+      if (verdict.decision == Admission::kShed) out.all_ok = false;
+      tickets.push_back(verdict.ticket);
+    }
+    for (const std::size_t ticket : tickets) {
+      if (service.wait(ticket).code != ResponseCode::kOk) out.all_ok = false;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    out.best_ms = std::min(
+        out.best_ms,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+
+    const DrainReport report = service.drain();
+    out.cache_hits = report.cache.hits;
+    out.cache_misses = report.cache.misses;
+    // Single-flight builder/waiter accounting makes these exact under
+    // any interleaving — this IS the skip-Provision proof.
+    const std::size_t want_misses = cold ? requests : 1;
+    if (report.cache.misses != want_misses ||
+        report.cache.hits != requests - want_misses) {
+      out.cache_contract = false;
+    }
+  }
+  out.campaigns_per_sec =
+      static_cast<double>(requests) / (out.best_ms / 1e3);
+  return out;
+}
+
+void write_json(const std::string& path,
+                const std::vector<BatchResult>& scenarios, std::size_t reps,
+                double warm_over_cold) {
+  std::ofstream out(path);
+  out.precision(6);
+  out << "{\n  \"schema\": \"powervar-bench-service-v1\",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"warm_over_cold\": " << warm_over_cold << ",\n"
+      << "  \"scenarios\": {\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const BatchResult& s = scenarios[i];
+    out << "    \"" << s.name << "\": {\n"
+        << "      \"requests\": " << s.requests << ",\n"
+        << "      \"best_ms\": " << s.best_ms << ",\n"
+        << "      \"campaigns_per_sec\": " << s.campaigns_per_sec << ",\n"
+        << "      \"cache_hits\": " << s.cache_hits << ",\n"
+        << "      \"cache_misses\": " << s.cache_misses << ",\n"
+        << "      \"all_ok\": " << (s.all_ok ? "true" : "false") << ",\n"
+        << "      \"cache_contract\": "
+        << (s.cache_contract ? "true" : "false") << "\n    }"
+        << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("service-throughput",
+                "campaign service, cold vs warm provision cache");
+
+  const std::size_t requests = bench::env_size("PV_SERVICE_REQS", 12);
+  const std::size_t nodes = bench::env_size("PV_SERVICE_NODES", 240);
+  const std::size_t reps = bench::env_size("PV_PERF_REPS", 5);
+  const char* json_env = std::getenv("PV_PERF_JSON");
+  const std::string json_path =
+      (json_env != nullptr && *json_env != '\0') ? json_env
+                                                 : "BENCH_service.json";
+
+  std::vector<BatchResult> scenarios;
+  scenarios.push_back(
+      run_batch("service_cold", true, requests, nodes, reps));
+  scenarios.push_back(
+      run_batch("service_warm", false, requests, nodes, reps));
+
+  TextTable t({"scenario", "requests", "batch", "campaigns/s", "hits",
+               "misses", "all ok"});
+  const auto ms = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f ms", v);
+    return std::string(buf);
+  };
+  const auto rate = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return std::string(buf);
+  };
+  for (const BatchResult& s : scenarios) {
+    t.add_row({s.name, std::to_string(s.requests), ms(s.best_ms),
+               rate(s.campaigns_per_sec), std::to_string(s.cache_hits),
+               std::to_string(s.cache_misses), s.all_ok ? "yes" : "NO"});
+  }
+  std::cout << t.render();
+  const double warm_over_cold = scenarios[0].best_ms / scenarios[1].best_ms;
+  std::cout << "\nwarm over cold: " << warm_over_cold << "x ("
+            << requests - 1 << " Provision builds skipped)\n";
+
+  write_json(json_path, scenarios, reps, warm_over_cold);
+  std::cout << "wrote " << json_path << " (best of " << reps
+            << " reps per scenario)\n";
+
+  bool ok = true;
+  for (const BatchResult& s : scenarios) {
+    if (!s.all_ok) {
+      std::cout << "CONTRACT VIOLATED: " << s.name
+                << " had non-ok responses\n";
+      ok = false;
+    }
+    if (!s.cache_contract) {
+      std::cout << "CONTRACT VIOLATED: " << s.name
+                << " cache stats off (" << s.cache_misses << " misses, "
+                << s.cache_hits << " hits for " << s.requests
+                << " requests)\n";
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "\nall service cache contracts hold\n"
+                   : "\nsome contracts VIOLATED\n");
+  return ok ? 0 : 1;
+}

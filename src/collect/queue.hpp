@@ -50,7 +50,12 @@ class BoundedQueue {
   }
 
   /// Wakes every blocked producer (push fails) and consumer (pop drains
-  /// whatever is queued, then returns nullopt).  Idempotent.
+  /// whatever is queued, then returns nullopt).  Idempotent.  The
+  /// close-while-full contract (regression-tested): producers blocked on
+  /// a full queue all return false without their item entering the
+  /// queue, items already queued all survive to be popped, and no push
+  /// that returned true is ever lost — every item is either popped
+  /// exactly once or was rejected with push() == false.
   void close() {
     {
       std::unique_lock lock(mu_);
@@ -62,7 +67,7 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  [[nodiscard]] std::size_t size() {
+  [[nodiscard]] std::size_t size() const {
     std::unique_lock lock(mu_);
     return items_.size();
   }
@@ -70,7 +75,7 @@ class BoundedQueue {
  private:
   const std::size_t capacity_;
   std::queue<T> items_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_item_;
   std::condition_variable cv_space_;
   bool closed_ = false;

@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -9,51 +10,32 @@
 namespace pv {
 
 // run_campaign is now a thin conductor over the staged pipeline
-// (core/pipeline): it picks the Meter stage for the plan's tap point and
-// lets run_pipeline drive Provision -> Meter -> Repair -> [Reconcile] ->
-// Aggregate -> Assess.  The stages carry the exact historical arithmetic
-// and RNG consumption order, so results stay bit-identical.
+// (core/pipeline): make_campaign_stages picks the Meter stage for the
+// plan's tap point and run_campaign_stages drives Provision -> Meter ->
+// Repair -> [Reconcile] -> Aggregate -> Assess.  The stages carry the
+// exact historical arithmetic and RNG consumption order, so results
+// stay bit-identical.
 CampaignResult run_campaign(const ClusterPowerModel& cluster,
                             const SystemPowerModel& electrical,
                             const MeasurementPlan& plan,
-                            const CampaignConfig& config) {
-  PV_EXPECTS(!plan.node_indices.empty(), "plan selects no nodes");
-  PV_EXPECTS(electrical.node_count() == cluster.node_count(),
-             "electrical model does not match the cluster");
-  PV_EXPECTS(plan.window.valid(), "plan window is empty");
+                            const CampaignConfig& config,
+                            const CancelToken* cancel) {
+  return run_campaign_stages(cluster, electrical, plan, config,
+                             make_campaign_stages(plan, config), cancel);
+}
 
-  CampaignContext ctx;
-  ctx.cluster = &cluster;
-  ctx.electrical = &electrical;
-  ctx.plan = &plan;
-  ctx.config = &config;
-
-  const bool node_tap = plan.point != MeasurementPoint::kFacilityFeed &&
-                        plan.point != MeasurementPoint::kRackPdu;
-  std::vector<StagePtr> stages;
-  stages.push_back(make_provision_stage());
-  switch (plan.point) {
-    case MeasurementPoint::kFacilityFeed:
-      stages.push_back(make_facility_meter_stage());
-      break;
-    case MeasurementPoint::kRackPdu:
-      stages.push_back(make_rack_meter_stage());
-      break;
-    default:
-      stages.push_back(make_node_meter_stage());
-      break;
+void force_byzantine_meters(CampaignConfig& config,
+                            const MeasurementPlan& plan, double fraction) {
+  if (fraction <= 0.0) return;
+  const std::size_t count = plan.node_indices.size();
+  const auto n_byz = static_cast<std::size_t>(
+      fraction * static_cast<double>(count) + 0.5);
+  const double stride = static_cast<double>(count) /
+                        static_cast<double>(std::max<std::size_t>(n_byz, 1));
+  for (std::size_t k = 0; k < n_byz; ++k) {
+    const auto idx = static_cast<std::size_t>(static_cast<double>(k) * stride);
+    config.faults.byzantine_meters.push_back(plan.node_indices[idx]);
   }
-  stages.push_back(make_repair_stage());
-  // Only node-tap campaigns reconcile — rack/facility taps have no
-  // sibling cohort to cross-validate against.
-  if (node_tap && config.reconcile.enabled) {
-    stages.push_back(make_reconcile_stage());
-  }
-  stages.push_back(make_aggregate_stage());
-  stages.push_back(make_assess_stage());
-
-  run_pipeline(stages, ctx);
-  return std::move(ctx.result);
 }
 
 void apply_dc_conversion(const MeasurementPlan& plan,

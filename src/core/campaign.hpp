@@ -18,6 +18,8 @@
 
 namespace pv {
 
+class CancelToken;  // util/cancel.hpp — run_campaign takes it by pointer
+
 /// Thrown when a campaign ends with no usable data at all — every meter
 /// dead, degraded below the coverage floor, or written off by the
 /// collection layer — so there is nothing to extrapolate from.  The CLI
@@ -175,10 +177,23 @@ struct CampaignResult {
 ///
 /// Lifetime: `electrical` must have been built from `cluster` (see
 /// make_system_power_model) and both must outlive the call.
+///
+/// `cancel` (optional) is a cooperative cancellation/deadline token
+/// consulted at every stage boundary; a fired token unwinds as
+/// CancelledError / DeadlineExceededError with no result produced.
 [[nodiscard]] CampaignResult run_campaign(const ClusterPowerModel& cluster,
                                           const SystemPowerModel& electrical,
                                           const MeasurementPlan& plan,
-                                          const CampaignConfig& config);
+                                          const CampaignConfig& config,
+                                          const CancelToken* cancel = nullptr);
+
+/// Forces `fraction` of the plan's node meters byzantine, spread evenly
+/// across the selection so every rack sees some liars (the fault kinds
+/// cycle drift -> unit error -> clock skew -> recalibration step).
+/// Shared by the CLI's --byzantine knob and the service's request
+/// materialization, so both pick the exact same meters for a fraction.
+void force_byzantine_meters(CampaignConfig& config,
+                            const MeasurementPlan& plan, double fraction);
 
 /// The scope-matched true power for a spec: compute-only average for
 /// compute-only rules, compute + auxiliaries otherwise (core phase).

@@ -1,11 +1,333 @@
 #include "core/doc.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 #include "util/expects.hpp"
 
 namespace pv {
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a byte string.  Builds values
+/// through Json's public API only; duplicate-key detection rides on
+/// Json::find so parser and serializer agree on key identity.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing bytes after the JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonParseError("JSON parse error at byte " + std::to_string(pos_) +
+                         ": " + why);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return s_[pos_++];
+  }
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+  void expect_literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (eof() || s_[pos_] != *p) {
+        fail(std::string("invalid literal (expected '") + lit + "')");
+      }
+      ++pos_;
+    }
+  }
+
+  Json parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        expect_literal("true");
+        return Json(true);
+      case 'f':
+        expect_literal("false");
+        return Json(false);
+      case 'n':
+        expect_literal("null");
+        return Json{};
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected an object key string");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_ws();
+      if (next() != ':') fail("expected ':' after object key");
+      skip_ws();
+      obj[key] = parse_value(depth + 1);
+      skip_ws();
+      const char c = next();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(s_[pos_++]);
+      if (c == '"') return out;
+      if (c < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low half must follow.
+            if (eof() || next() != '\\' || eof() || next() != 'u') {
+              fail("lone high surrogate");
+            }
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    // Scan the exact JSON number grammar (strtod alone would also accept
+    // "inf", "nan" and hex floats), then convert the validated span.
+    const std::size_t begin = pos_;
+    bool integral = true;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof()) fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digits must follow the decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digits must follow the exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token = s_.substr(begin, pos_ - begin);
+    if (integral) {
+      errno = 0;
+      if (token[0] == '-') {
+        char* end = nullptr;
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && *end == '\0') return Json(v);
+      } else {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno != ERANGE && *end == '\0') {
+          constexpr auto kMaxLL = static_cast<unsigned long long>(
+              std::numeric_limits<long long>::max());
+          if (v <= kMaxLL) return Json(static_cast<long long>(v));
+          return Json(v);
+        }
+      }
+      // Integral but outside 64 bits: fall through to a double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') fail("invalid number");
+    if (!std::isfinite(v)) fail("number outside the double range");
+    return Json(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+bool Json::bool_value() const {
+  PV_EXPECTS(kind_ == Kind::kBool, "Json::bool_value on a non-bool");
+  return bool_;
+}
+
+double Json::number_value() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kNumber:
+      return num_;
+    default:
+      PV_EXPECTS(false, "Json::number_value on a non-number");
+      return 0.0;
+  }
+}
+
+const std::string& Json::string_value() const {
+  PV_EXPECTS(kind_ == Kind::kString, "Json::string_value on a non-string");
+  return str_;
+}
+
+const std::vector<Json>& Json::items() const {
+  PV_EXPECTS(kind_ == Kind::kArray, "Json::items on a non-array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  PV_EXPECTS(kind_ == Kind::kObject, "Json::members on a non-object");
+  return members_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  PV_EXPECTS(kind_ == Kind::kObject, "Json::find on a non-object");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
 
 void Json::push_back(Json v) {
   PV_EXPECTS(kind_ == Kind::kArray, "Json::push_back on a non-array");

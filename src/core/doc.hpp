@@ -9,17 +9,29 @@
 // queryable measurement record.
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace pv {
 
+/// Thrown by Json::parse on malformed input, with the byte offset of the
+/// failure.  A typed error so request handlers can tell "the bytes were
+/// not JSON" (reject the request) apart from programming errors.
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// A small, deterministic JSON value: object keys keep insertion order,
 /// doubles print with max_digits10 precision (lossless round-trip, same
 /// convention as CsvWriter), and non-finite doubles render as null (JSON
-/// has no NaN/Inf).  Just enough JSON for the assessment documents — not
-/// a general-purpose parser.
+/// has no NaN/Inf).  parse() is the strict inverse for machine input
+/// (service requests): full-input consumption, duplicate object keys
+/// rejected, nesting depth bounded — hostile bytes either parse or throw
+/// JsonParseError, never crash.
 class Json {
  public:
   enum class Kind { kNull, kBool, kInt, kUint, kNumber, kString, kArray, kObject };
@@ -45,8 +57,32 @@ class Json {
     return j;
   }
 
+  /// Parses one complete JSON text.  Strict where it matters for a
+  /// request schema: trailing bytes after the value, duplicate object
+  /// keys, raw control characters in strings, nesting beyond 64 levels
+  /// and non-finite number spellings all throw JsonParseError.  Numbers
+  /// without fraction or exponent parse as kInt/kUint (so dump() of a
+  /// parsed document round-trips the serializer's bytes); anything else
+  /// parses as kNumber via strtod.
+  [[nodiscard]] static Json parse(const std::string& text);
+
   [[nodiscard]] Kind kind() const { return kind_; }
   [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kNumber;
+  }
+
+  // Read accessors for parsed values.  Kind mismatches are programming
+  // errors (contract_error) — schema validation checks kind() first.
+  [[nodiscard]] bool bool_value() const;
+  [[nodiscard]] double number_value() const;  ///< any numeric kind
+  [[nodiscard]] const std::string& string_value() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+  /// Object lookup without insertion; nullptr when the key is absent.
+  [[nodiscard]] const Json* find(const std::string& key) const;
 
   /// Appends to an array (the value must be an array).
   void push_back(Json v);

@@ -1016,8 +1016,58 @@ StagePtr make_reconcile_stage() { return std::make_unique<ReconcileStage>(); }
 StagePtr make_aggregate_stage() { return std::make_unique<AggregateStage>(); }
 StagePtr make_assess_stage() { return std::make_unique<AssessStage>(); }
 
+std::vector<StagePtr> make_campaign_stages(const MeasurementPlan& plan,
+                                           const CampaignConfig& config) {
+  const bool node_tap = plan.point != MeasurementPoint::kFacilityFeed &&
+                        plan.point != MeasurementPoint::kRackPdu;
+  std::vector<StagePtr> stages;
+  stages.push_back(make_provision_stage());
+  switch (plan.point) {
+    case MeasurementPoint::kFacilityFeed:
+      stages.push_back(make_facility_meter_stage());
+      break;
+    case MeasurementPoint::kRackPdu:
+      stages.push_back(make_rack_meter_stage());
+      break;
+    default:
+      stages.push_back(make_node_meter_stage());
+      break;
+  }
+  stages.push_back(make_repair_stage());
+  // Only node-tap campaigns reconcile — rack/facility taps have no
+  // sibling cohort to cross-validate against.
+  if (node_tap && config.reconcile.enabled) {
+    stages.push_back(make_reconcile_stage());
+  }
+  stages.push_back(make_aggregate_stage());
+  stages.push_back(make_assess_stage());
+  return stages;
+}
+
+CampaignResult run_campaign_stages(const ClusterPowerModel& cluster,
+                                   const SystemPowerModel& electrical,
+                                   const MeasurementPlan& plan,
+                                   const CampaignConfig& config,
+                                   const std::vector<StagePtr>& stages,
+                                   const CancelToken* cancel) {
+  PV_EXPECTS(!plan.node_indices.empty(), "plan selects no nodes");
+  PV_EXPECTS(electrical.node_count() == cluster.node_count(),
+             "electrical model does not match the cluster");
+  PV_EXPECTS(plan.window.valid(), "plan window is empty");
+
+  CampaignContext ctx;
+  ctx.cluster = &cluster;
+  ctx.electrical = &electrical;
+  ctx.plan = &plan;
+  ctx.config = &config;
+  ctx.cancel = cancel;
+  run_pipeline(stages, ctx);
+  return std::move(ctx.result);
+}
+
 void run_pipeline(const std::vector<StagePtr>& stages, CampaignContext& ctx) {
   for (const StagePtr& stage : stages) {
+    if (ctx.cancel != nullptr) ctx.cancel->check(stage->name());
     StageTrace trace;
     trace.stage = stage->name();
     const auto t0 = std::chrono::steady_clock::now();
@@ -1027,6 +1077,9 @@ void run_pipeline(const std::vector<StagePtr>& stages, CampaignContext& ctx) {
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     ctx.result.stage_traces.push_back(std::move(trace));
   }
+  // The closing boundary: a deadline eaten inside the *last* stage must
+  // still surface as DeadlineExceeded, not as a completed result.
+  if (ctx.cancel != nullptr) ctx.cancel->check("finish");
 }
 
 }  // namespace pv

@@ -36,6 +36,7 @@
 #include "core/campaign.hpp"
 #include "core/plan.hpp"
 #include "sim/streaming.hpp"
+#include "util/cancel.hpp"
 
 namespace pv {
 
@@ -68,6 +69,12 @@ struct CampaignContext {
   /// Null for the tail-only path (finalize_node_campaign): Aggregate and
   /// Assess are pure functions of readings + dq and never look at it.
   const CampaignConfig* config = nullptr;
+  /// Optional cooperative cancellation: run_pipeline consults it at
+  /// every stage boundary (null = never cancelled).  Checking only at
+  /// boundaries is what makes unwinding safe — between stages the
+  /// context is consistent by construction, so a fired token throws out
+  /// of run_pipeline without ever exposing a torn artifact.
+  const CancelToken* cancel = nullptr;
 
   // --- Provision artifacts ----------------------------------------------
   Seconds interval{0.0};              ///< effective meter reporting interval
@@ -147,8 +154,28 @@ using StagePtr = std::unique_ptr<CampaignStage>;
 /// Uses the memoized integrand when the streaming probe held.
 [[nodiscard]] StagePtr make_assess_stage();
 
+/// Assembles the full stage list run_campaign executes for `plan`:
+/// Provision, the tap-point Meter stage, Repair, Reconcile (node taps
+/// with the defense enabled), Aggregate, Assess.  Exposed so callers —
+/// the campaign service's chaos harness foremost — can decorate or
+/// replace individual stages before running them.
+[[nodiscard]] std::vector<StagePtr> make_campaign_stages(
+    const MeasurementPlan& plan, const CampaignConfig& config);
+
+/// Runs a caller-assembled stage list as run_campaign would: validates
+/// the rig, wires the context and returns the result.  `cancel` (may be
+/// null) is checked at every stage boundary; a fired token throws
+/// CancelledError / DeadlineExceededError with no result produced.
+[[nodiscard]] CampaignResult run_campaign_stages(
+    const ClusterPowerModel& cluster, const SystemPowerModel& electrical,
+    const MeasurementPlan& plan, const CampaignConfig& config,
+    const std::vector<StagePtr>& stages, const CancelToken* cancel = nullptr);
+
 /// Runs the stages in order, appending one StageTrace per stage (with
 /// wall clock) to ctx.result.stage_traces.  Exceptions propagate.
+/// Consults ctx.cancel (when set) before every stage and once after the
+/// last — so a deadline spent *inside* a stage is still detected at the
+/// next boundary, wherever that stage sits in the list.
 void run_pipeline(const std::vector<StagePtr>& stages, CampaignContext& ctx);
 
 }  // namespace pv

@@ -1,0 +1,174 @@
+#include "service/cache.hpp"
+
+#include <utility>
+
+#include "trace/wal.hpp"
+
+namespace pv {
+
+namespace {
+
+void put_bytes(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+template <typename T>
+void put_pod(std::string& out, const T& v) {
+  put_bytes(out, &v, sizeof v);
+}
+
+/// Canonical byte serialization of a spec: every field, doubles by bit
+/// pattern, the name length-prefixed so "ab"+"c" never collides with
+/// "a"+"bc".
+std::string spec_key(const ScenarioSpec& spec) {
+  std::string key;
+  put_pod(key, spec.name.size());
+  key += spec.name;
+  put_pod(key, spec.nodes);
+  put_pod(key, spec.cv);
+  put_pod(key, spec.mean_node_w);
+  put_pod(key, spec.fleet_seed);
+  put_pod(key, spec.nodes_per_rack);
+  put_pod(key, spec.run_minutes);
+  put_pod(key, spec.load);
+  put_pod(key, spec.ramp_minutes);
+  put_pod(key, spec.tail_minutes);
+  return key;
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The sealed snapshot the CRC protects: the spec's canonical bytes plus
+/// the generated fleet's per-node means — the exact data every Provision
+/// artifact (electrical model, plan inputs) derives from.
+std::string snapshot_of(const ScenarioSpec& spec, const Scenario& built) {
+  std::string snap = spec_key(spec);
+  const auto means = built.cluster->node_means();
+  put_bytes(snap, means.data(), means.size() * sizeof(double));
+  return snap;
+}
+
+}  // namespace
+
+ScenarioCache::ScenarioCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::uint64_t ScenarioCache::fingerprint(const ScenarioSpec& spec) {
+  return fnv1a(spec_key(spec));
+}
+
+void ScenarioCache::evict_if_full_locked() {
+  while (entries_.size() >= capacity_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.sealed) continue;  // still building; never evict
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything is in flight
+    entries_.erase(victim);
+    ++stats_.evicted;
+  }
+}
+
+std::shared_ptr<const Scenario> ScenarioCache::acquire(
+    const ScenarioSpec& spec, bool strict, bool inject_corruption) {
+  const std::uint64_t fp = fingerprint(spec);
+  bool inject = inject_corruption;
+  for (;;) {
+    std::shared_future<std::shared_ptr<const Scenario>> wait_on;
+    std::promise<std::shared_ptr<const Scenario>> build_promise;
+    bool builder = false;
+    {
+      std::unique_lock lock(mu_);
+      auto it = entries_.find(fp);
+      if (it == entries_.end()) {
+        builder = true;
+        ++stats_.misses;
+        evict_if_full_locked();
+        Entry e;
+        e.ready = build_promise.get_future().share();
+        e.last_use = ++use_clock_;
+        entries_.emplace(fp, std::move(e));
+      } else {
+        it->second.last_use = ++use_clock_;
+        wait_on = it->second.ready;
+      }
+    }
+
+    std::shared_ptr<const Scenario> artifact;
+    if (builder) {
+      try {
+        artifact = std::make_shared<const Scenario>(build_scenario(spec));
+      } catch (...) {
+        {
+          std::unique_lock lock(mu_);
+          entries_.erase(fp);
+        }
+        build_promise.set_exception(std::current_exception());
+        throw;
+      }
+      const std::string snap = snapshot_of(spec, *artifact);
+      {
+        std::unique_lock lock(mu_);
+        auto it = entries_.find(fp);
+        if (it != entries_.end()) {
+          it->second.snapshot = snap;
+          it->second.crc = crc32(snap);
+          it->second.sealed = true;
+        }
+      }
+      build_promise.set_value(artifact);
+    } else {
+      // Single flight: wait for the builder; a build failure propagates
+      // to every waiter (the builder already removed the entry).
+      artifact = wait_on.get();
+    }
+
+    // Revalidate the sealed entry before serving — builder and waiter
+    // alike, so an injected corruption fires whatever the temperature.
+    {
+      std::unique_lock lock(mu_);
+      auto it = entries_.find(fp);
+      if (it == entries_.end() || !it->second.sealed) {
+        // Quarantined or evicted between the build and now: the map no
+        // longer vouches for this artifact, so take the miss path again.
+        if (builder) return artifact;  // our own build, sealed above
+        continue;
+      }
+      if (inject && !it->second.snapshot.empty()) {
+        it->second.snapshot[it->second.snapshot.size() / 2] ^=
+            static_cast<char>(0x20);
+      }
+      if (crc32(it->second.snapshot) != it->second.crc) {
+        ++stats_.quarantined;
+        entries_.erase(it);
+        if (strict) {
+          throw CacheCorruptError(
+              "provision cache entry failed CRC revalidation "
+              "(quarantined); strict mode refuses to rebuild");
+        }
+        inject = false;  // rebuild cleanly on the next pass
+        continue;
+      }
+      if (!builder) ++stats_.hits;
+    }
+    return artifact;
+  }
+}
+
+CacheStats ScenarioCache::stats() const {
+  std::unique_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace pv

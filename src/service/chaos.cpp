@@ -1,0 +1,67 @@
+#include "service/chaos.hpp"
+
+namespace pv {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: turns the (seed, id-hash) combination into
+/// well-mixed bits so nearby seeds/ids decorrelate.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_of(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* to_string(ServiceFault fault) {
+  switch (fault) {
+    case ServiceFault::kNone:
+      return "none";
+    case ServiceFault::kThrowStage:
+      return "throw_stage";
+    case ServiceFault::kStallStage:
+      return "stall_stage";
+    case ServiceFault::kCacheCorrupt:
+      return "cache_corrupt";
+    case ServiceFault::kWorkerDeath:
+      return "worker_death";
+  }
+  return "unknown";
+}
+
+ServiceFault ServiceFaultPlan::decide(const std::string& id) const {
+  const double u = unit_of(mix(seed ^ fnv1a(id)));
+  double edge = throw_prob;
+  if (u < edge) return ServiceFault::kThrowStage;
+  edge += stall_prob;
+  if (u < edge) return ServiceFault::kStallStage;
+  edge += cache_corrupt_prob;
+  if (u < edge) return ServiceFault::kCacheCorrupt;
+  edge += worker_death_prob;
+  if (u < edge) return ServiceFault::kWorkerDeath;
+  return ServiceFault::kNone;
+}
+
+std::size_t ServiceFaultPlan::stage_of(const std::string& id) const {
+  // A second independent draw (different stream constant) so the target
+  // stage does not correlate with the fault decision.
+  return static_cast<std::size_t>(
+      mix(seed ^ fnv1a(id) ^ 0xa5a5a5a5a5a5a5a5ULL));
+}
+
+}  // namespace pv

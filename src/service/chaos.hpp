@@ -1,0 +1,79 @@
+#pragma once
+// Seeded fault injection for the campaign service.
+//
+// The chaos harness needs faults that are (a) injected below the
+// service's own abstractions — inside stages, inside the cache, inside
+// worker threads — and (b) reproducible enough that a test can compute,
+// from the plan alone, exactly which fault every request suffered and
+// therefore exactly which typed response it must receive.  So the plan
+// is a pure function: decide(id) hashes the request id, mixes it with
+// the plan seed, and maps the result through the configured
+// probabilities.  No global state, no arrival-order dependence — two
+// service runs (or a test re-deriving expectations) agree byte for
+// byte on who gets hurt.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pv {
+
+/// The faults the plan can inject, one per request at most (the matrix
+/// in docs/robustness.md maps each to its required response code).
+enum class ServiceFault {
+  kNone,
+  kThrowStage,    ///< a pipeline stage throws mid-campaign
+  kStallStage,    ///< a stage eats the whole deadline budget
+  kCacheCorrupt,  ///< the request's cache entry is corrupted pre-read
+  kWorkerDeath,   ///< the worker thread dies while running the request
+};
+
+[[nodiscard]] const char* to_string(ServiceFault fault);
+
+/// Thrown by a chaos-wrapped stage for ServiceFault::kThrowStage; the
+/// service maps it to the `stage_failed` response.
+class InjectedStageError : public std::runtime_error {
+ public:
+  explicit InjectedStageError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by a chaos-wrapped stage for ServiceFault::kWorkerDeath.  The
+/// service treats it as the worker thread dying mid-request: the
+/// request gets the `worker_lost` response and the service accounts a
+/// worker replacement.  (The pool's catch-all already guarantees the
+/// thread itself survives any stage exception; modeling death as a
+/// typed throw keeps the soak test in one process.)
+class WorkerDeathError : public std::runtime_error {
+ public:
+  explicit WorkerDeathError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Seeded, per-request fault schedule.  Probabilities are cumulative in
+/// declaration order (throw, stall, corrupt, death); their sum must be
+/// <= 1.  drain_after additionally trips a service-wide shutdown after
+/// that many admissions (0 = never) — the shutdown-mid-request fault.
+struct ServiceFaultPlan {
+  std::uint64_t seed = 0;
+  double throw_prob = 0.0;
+  double stall_prob = 0.0;
+  double cache_corrupt_prob = 0.0;
+  double worker_death_prob = 0.0;
+  std::size_t drain_after = 0;
+
+  [[nodiscard]] bool any() const {
+    return throw_prob > 0.0 || stall_prob > 0.0 || cache_corrupt_prob > 0.0 ||
+           worker_death_prob > 0.0 || drain_after > 0;
+  }
+
+  /// The fault this request suffers — a pure function of (seed, id).
+  [[nodiscard]] ServiceFault decide(const std::string& id) const;
+
+  /// Which stage (by index, modulo the stage count) a kThrowStage or
+  /// kStallStage fault targets — also pure in (seed, id), so faults
+  /// land on different pipeline stages across requests.
+  [[nodiscard]] std::size_t stage_of(const std::string& id) const;
+};
+
+}  // namespace pv

@@ -1,0 +1,301 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/doc.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "trace/wal.hpp"
+#include "util/expects.hpp"
+
+namespace pv {
+
+namespace {
+
+/// Decorator injecting one stage-level fault.  kThrowStage and
+/// kWorkerDeath throw before the inner stage runs; kStallStage models a
+/// stage that eats the whole deadline budget — it exhausts the token and
+/// returns without running the inner stage, so the *next* boundary check
+/// in run_pipeline (there is one after the last stage too) unwinds the
+/// campaign exactly as a real overrun would.
+class ChaosStage final : public CampaignStage {
+ public:
+  ChaosStage(StagePtr inner, ServiceFault fault, CancelToken* token)
+      : inner_(std::move(inner)), fault_(fault), token_(token) {}
+
+  [[nodiscard]] const char* name() const override { return inner_->name(); }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    switch (fault_) {
+      case ServiceFault::kThrowStage:
+        throw InjectedStageError(std::string("injected failure in stage '") +
+                                 inner_->name() + "'");
+      case ServiceFault::kWorkerDeath:
+        throw WorkerDeathError(std::string("worker died in stage '") +
+                               inner_->name() + "'");
+      case ServiceFault::kStallStage:
+        if (token_ != nullptr) token_->exhaust_deadline();
+        return;  // the stalled stage never finishes; boundary check fires
+      case ServiceFault::kNone:
+      case ServiceFault::kCacheCorrupt:
+        break;
+    }
+    inner_->run(ctx, trace);
+  }
+
+ private:
+  StagePtr inner_;
+  ServiceFault fault_;
+  CancelToken* token_;
+};
+
+}  // namespace
+
+std::uint64_t service_checkpoint_fingerprint() {
+  // FNV-1a of the journal schema tag: binds drain-checkpoint journals to
+  // this format so replay rejects journals written by anything else.
+  const std::string tag = "powervar-service-checkpoint-v1";
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+CampaignService::CampaignService(ServiceConfig config)
+    : config_(std::move(config)),
+      pool_(std::make_unique<ThreadPool>(std::max(1u, config_.workers))),
+      cache_(config_.cache_capacity) {
+  config_.workers = pool_->size();
+}
+
+CampaignService::~CampaignService() {
+  try {
+    drain();
+  } catch (...) {
+    // Destruction must not throw; drain errors are already reflected in
+    // per-request responses.
+  }
+}
+
+AdmissionVerdict CampaignService::submit_line(const std::string& json_line) {
+  try {
+    return submit(parse_request(json_line));
+  } catch (const std::exception& e) {
+    // JsonParseError or RequestParseError: the line never reaches
+    // admission, but still resolves to exactly one typed response.
+    std::unique_lock lock(mu_);
+    ++report_.submitted;
+    ++report_.invalid;
+    auto slot = std::make_unique<Slot>();
+    slot->state = State::kDone;
+    slot->response.code = ResponseCode::kInvalidRequest;
+    slot->response.message = e.what();
+    AdmissionVerdict verdict;
+    verdict.decision = Admission::kShed;
+    verdict.ticket = slots_.size();
+    verdict.has_ticket = true;
+    slots_.push_back(std::move(slot));
+    return verdict;
+  }
+}
+
+AdmissionVerdict CampaignService::submit(const ServiceRequest& req) {
+  std::size_t ticket = 0;
+  const CancelToken* token = nullptr;
+  AdmissionVerdict verdict;
+  {
+    std::unique_lock lock(mu_);
+    ++report_.submitted;
+    const std::size_t in_flight = running_ + queued_;
+    const bool over_queue =
+        in_flight >= config_.workers &&
+        in_flight - config_.workers >= config_.max_queue;
+    if (draining_ || over_queue) {
+      ++report_.shed;
+      auto slot = std::make_unique<Slot>();
+      slot->state = State::kDone;
+      slot->response.id = req.id;
+      slot->response.code = ResponseCode::kShed;
+      slot->response.retry_after_s = config_.retry_after_s;
+      slot->response.message =
+          draining_ ? "service is draining" : "admission queue is full";
+      verdict.decision = Admission::kShed;
+      verdict.ticket = slots_.size();
+      verdict.has_ticket = true;
+      verdict.retry_after_s = config_.retry_after_s;
+      slots_.push_back(std::move(slot));
+      return verdict;
+    }
+
+    ++report_.admitted;
+    auto slot = std::make_unique<Slot>();
+    slot->request = req;
+    slot->counts_admitted = true;
+    slot->cancel = std::make_unique<CancelToken>();
+    const double budget =
+        req.deadline_ms > 0.0 ? req.deadline_ms : config_.default_deadline_ms;
+    if (budget > 0.0) slot->cancel->arm_deadline(budget);
+    token = slot->cancel.get();
+    ticket = slots_.size();
+    ++queued_;
+    verdict.decision =
+        in_flight < config_.workers ? Admission::kAccepted : Admission::kQueued;
+    verdict.ticket = ticket;
+    verdict.has_ticket = true;
+    verdict.queue_depth =
+        in_flight >= config_.workers ? in_flight - config_.workers + 1 : 0;
+    slots_.push_back(std::move(slot));
+
+    // Chaos: shutdown-mid-request — trip the drain flag after the Nth
+    // admission; later submits shed, queued work gets checkpointed by
+    // the (user-initiated) drain.
+    if (config_.chaos.drain_after > 0 &&
+        report_.admitted >= config_.chaos.drain_after) {
+      draining_ = true;
+    }
+  }
+  // The pool skips the job if the token is already cancelled at dequeue
+  // (drain handles those slots itself).
+  pool_->submit([this, ticket] { execute(ticket); }, token);
+  return verdict;
+}
+
+ServiceResponse CampaignService::run_request(const ServiceRequest& req,
+                                             CancelToken* token,
+                                             ServiceFault fault) {
+  ServiceResponse resp;
+  resp.id = req.id;
+  try {
+    token->check("admission");
+    const auto scenario =
+        cache_.acquire(scenario_spec_of(req), config_.strict_cache,
+                       fault == ServiceFault::kCacheCorrupt);
+    const MeasurementPlan plan = plan_of(req, *scenario);
+    const CampaignConfig config = campaign_config_of(req, plan);
+    std::vector<StagePtr> stages = make_campaign_stages(plan, config);
+    if (fault == ServiceFault::kThrowStage ||
+        fault == ServiceFault::kStallStage ||
+        fault == ServiceFault::kWorkerDeath) {
+      const std::size_t idx = config_.chaos.stage_of(req.id) % stages.size();
+      stages[idx] =
+          std::make_unique<ChaosStage>(std::move(stages[idx]), fault, token);
+    }
+    const CampaignResult result = run_campaign_stages(
+        *scenario->cluster, *scenario->electrical, plan, config, stages, token);
+    resp.code = ResponseCode::kOk;
+    resp.assessment_json = render_json(assessment_document(plan, result));
+  } catch (const DeadlineExceededError& e) {
+    resp.code = ResponseCode::kDeadlineExceeded;
+    resp.message = e.what();
+  } catch (const CancelledError& e) {
+    resp.code = ResponseCode::kCancelled;
+    resp.message = e.what();
+  } catch (const CacheCorruptError& e) {
+    resp.code = ResponseCode::kCacheCorrupt;
+    resp.message = e.what();
+  } catch (const WorkerDeathError& e) {
+    resp.code = ResponseCode::kWorkerLost;
+    resp.message = e.what();
+  } catch (const InjectedStageError& e) {
+    resp.code = ResponseCode::kStageFailed;
+    resp.message = e.what();
+  } catch (const NoUsableDataError& e) {
+    resp.code = ResponseCode::kNoUsableData;
+    resp.message = e.what();
+  } catch (const std::exception& e) {
+    resp.code = ResponseCode::kStageFailed;
+    resp.message = e.what();
+  }
+  return resp;
+}
+
+void CampaignService::execute(std::size_t ticket) {
+  Slot* slot = nullptr;
+  ServiceRequest req;
+  CancelToken* token = nullptr;
+  {
+    std::unique_lock lock(mu_);
+    slot = slots_[ticket].get();
+    if (slot->state != State::kQueued) return;  // drained before start
+    slot->state = State::kRunning;
+    --queued_;
+    ++running_;
+    req = slot->request;
+    token = slot->cancel.get();
+  }
+  const ServiceFault fault = config_.chaos.decide(req.id);
+  ServiceResponse resp = run_request(req, token, fault);
+  if (fault != ServiceFault::kNone) resp.fault_injected = to_string(fault);
+  {
+    std::unique_lock lock(mu_);
+    if (resp.code == ResponseCode::kWorkerLost) ++report_.workers_replaced;
+    --running_;
+    finish_locked(*slot, std::move(resp));
+  }
+}
+
+void CampaignService::finish_locked(Slot& slot, ServiceResponse resp) {
+  slot.state = State::kDone;
+  slot.response = std::move(resp);
+  ++report_.completed;
+  cv_done_.notify_all();
+}
+
+ServiceResponse CampaignService::wait(std::size_t ticket) {
+  std::unique_lock lock(mu_);
+  PV_EXPECTS(ticket < slots_.size(), "wait() on an unknown ticket");
+  cv_done_.wait(lock,
+                [&] { return slots_[ticket]->state == State::kDone; });
+  return slots_[ticket]->response;
+}
+
+DrainReport CampaignService::drain() {
+  std::unique_lock lock(mu_);
+  if (drained_) {
+    report_.cache = cache_.stats();
+    return report_;
+  }
+  draining_ = true;
+
+  // Checkpoint (or cancel) everything admitted but not yet started.  The
+  // cancelled tokens also make the pool skip those jobs at dequeue.
+  std::unique_ptr<WalWriter> wal;
+  for (auto& owned : slots_) {
+    Slot& slot = *owned;
+    if (slot.state != State::kQueued) continue;
+    slot.cancel->cancel();
+    ServiceResponse resp;
+    resp.id = slot.request.id;
+    if (!config_.checkpoint_path.empty()) {
+      if (!wal) {
+        wal = std::make_unique<WalWriter>(config_.checkpoint_path,
+                                          service_checkpoint_fingerprint());
+      }
+      wal->append(render_request_json(slot.request));
+      resp.code = ResponseCode::kCheckpointed;
+      resp.message = "drained before start; request checkpointed";
+    } else {
+      resp.code = ResponseCode::kCancelled;
+      resp.message = "drained before start (no checkpoint journal)";
+    }
+    slot.state = State::kDone;
+    slot.response = std::move(resp);
+    --queued_;
+    ++report_.checkpointed;
+  }
+  cv_done_.notify_all();
+
+  // Let running requests finish — they are never torn mid-stage.
+  cv_done_.wait(lock, [&] { return running_ == 0 && queued_ == 0; });
+  drained_ = true;
+  lock.unlock();
+  pool_->shutdown();
+  lock.lock();
+  report_.cache = cache_.stats();
+  return report_;
+}
+
+}  // namespace pv

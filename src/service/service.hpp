@@ -1,0 +1,164 @@
+#pragma once
+// The resident campaign service: a multi-tenant front end over the
+// staged pipeline.  `powervar serve` (and the soak tests) construct one
+// CampaignService, feed it request lines, and collect typed responses.
+//
+// Design pillars (docs/robustness.md, "The campaign service"):
+//
+//   admission      a bounded queue in front of a fixed worker pool.
+//                  submit() returns an immediate verdict: accepted
+//                  (a worker slot was free), queued (waiting, queue
+//                  depth reported), or shed (queue full / draining —
+//                  the response carries retry_after_s, and the service
+//                  did NOT take the work).
+//
+//   deadlines      each request runs under its own CancelToken, armed
+//                  with the request's deadline budget (or the service
+//                  default).  The pipeline checks the token at every
+//                  stage boundary, so an exhausted budget unwinds
+//                  between stages — never a torn Document — and maps to
+//                  the deadline_exceeded response.
+//
+//   isolation      requests share nothing mutable: every campaign's RNG
+//                  is keyed by its own request seed, scratch state
+//                  lives in its own CampaignContext, and the only
+//                  shared artifact — the provisioned scenario — is
+//                  immutable behind shared_ptr<const>.  N concurrent
+//                  campaigns are bit-identical to N solo runs; a ctest
+//                  enforces it.
+//
+//   caching        expensive Provision artifacts come from the
+//                  content-addressed ScenarioCache (CRC-revalidated,
+//                  quarantine on corruption — see service/cache.hpp).
+//
+//   drain          drain() stops admission (late submits are shed),
+//                  lets running requests finish, and checkpoints
+//                  still-queued ones to the PR2 WAL so no accepted
+//                  request is silently lost.  The DrainReport accounts
+//                  for every request the service ever saw.
+//
+//   chaos          a seeded ServiceFaultPlan (service/chaos.hpp) wraps
+//                  pipeline stages and poisons cache reads; the soak
+//                  test asserts each injected fault maps to exactly one
+//                  typed response with zero cross-request contamination.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/chaos.hpp"
+#include "service/request.hpp"
+#include "util/cancel.hpp"
+#include "util/parallel.hpp"
+
+namespace pv {
+
+struct ServiceConfig {
+  unsigned workers = 4;           ///< worker threads running campaigns
+  std::size_t max_queue = 8;      ///< waiting requests beyond the workers
+  double default_deadline_ms = 0.0;  ///< per-request budget (0 = none)
+  double retry_after_s = 1.0;     ///< hint attached to shed responses
+  std::size_t cache_capacity = 8;
+  bool strict_cache = false;      ///< corrupt cache refuses, not rebuilds
+  /// WAL path for drain checkpoints ("" = drained-but-unstarted requests
+  /// get the weaker `cancelled` response instead of `checkpointed`).
+  std::string checkpoint_path;
+  ServiceFaultPlan chaos;         ///< all-zeros = no injection
+};
+
+/// submit()'s immediate verdict.
+enum class Admission { kAccepted, kQueued, kShed };
+
+struct AdmissionVerdict {
+  Admission decision = Admission::kShed;
+  std::size_t ticket = 0;       ///< handle for wait(); valid unless kShed...
+  bool has_ticket = false;      ///< ...but shed submits get a ticket too
+                                ///  (their response is pre-written)
+  std::size_t queue_depth = 0;  ///< waiting requests after this verdict
+  double retry_after_s = 0.0;   ///< kShed only
+};
+
+/// Everything that happened across the service's lifetime, returned by
+/// drain().  The accounting identity the chaos soak asserts:
+///   submitted == invalid + shed + completed + checkpointed.
+struct DrainReport {
+  std::size_t submitted = 0;     ///< submit() calls, valid or not
+  std::size_t invalid = 0;       ///< rejected before admission
+  std::size_t shed = 0;          ///< load-shed at admission
+  std::size_t admitted = 0;      ///< accepted or queued
+  std::size_t completed = 0;     ///< ran to a terminal response
+  std::size_t checkpointed = 0;  ///< drained before start (journaled or
+                                 ///  cancelled)
+  std::size_t workers_replaced = 0;  ///< worker deaths survived
+  CacheStats cache;
+};
+
+/// Fingerprint drain-checkpoint journals are written under — exposed so
+/// resuming tools (and the tests) can validate a replayed journal's
+/// header against it.
+[[nodiscard]] std::uint64_t service_checkpoint_fingerprint();
+
+class CampaignService {
+ public:
+  explicit CampaignService(ServiceConfig config);
+  ~CampaignService();
+
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  /// Parses and submits one request line.  A line that fails to parse is
+  /// not admitted: it gets a ticket whose response is already
+  /// `invalid_request` (decision kShed, has_ticket true).
+  AdmissionVerdict submit_line(const std::string& json_line);
+
+  /// Admits a parsed request.  Never blocks: the verdict is immediate
+  /// and sheds carry retry_after_s.  Every non-shed verdict's ticket
+  /// resolves to exactly one response via wait().
+  AdmissionVerdict submit(const ServiceRequest& req);
+
+  /// Blocks until the ticket's request reaches a terminal state and
+  /// returns its response.  Tickets from shed/invalid submits return
+  /// immediately.
+  [[nodiscard]] ServiceResponse wait(std::size_t ticket);
+
+  /// Graceful shutdown: stops admission, cancels queued requests
+  /// (checkpointing them to the WAL when configured), waits for running
+  /// requests to finish, and shuts the pool down.  Idempotent; the
+  /// report covers the whole lifetime.
+  DrainReport drain();
+
+ private:
+  enum class State { kQueued, kRunning, kDone };
+
+  struct Slot {
+    ServiceRequest request;
+    State state = State::kQueued;
+    bool counts_admitted = false;
+    ServiceResponse response;
+    std::unique_ptr<CancelToken> cancel;
+  };
+
+  void execute(std::size_t ticket);
+  void finish_locked(Slot& slot, ServiceResponse resp);
+  ServiceResponse run_request(const ServiceRequest& req, CancelToken* token,
+                              ServiceFault fault);
+
+  ServiceConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  ScenarioCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_done_;
+  std::vector<std::unique_ptr<Slot>> slots_;  ///< ticket -> slot
+  std::size_t running_ = 0;
+  std::size_t queued_ = 0;
+  bool draining_ = false;
+  bool drained_ = false;
+  DrainReport report_;
+};
+
+}  // namespace pv

@@ -108,7 +108,15 @@ double z_critical(double alpha) {
 
 double log_gamma(double x) {
   PV_EXPECTS(x > 0.0, "log_gamma defined here for x > 0");
+#if defined(__unix__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam` (POSIX legacy) — a
+  // data race when campaigns share a worker pool.  The sign is always
+  // +1 for x > 0, so the reentrant variant loses nothing.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double incomplete_beta(double a, double b, double x) {

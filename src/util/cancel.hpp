@@ -1,0 +1,113 @@
+#pragma once
+// Cooperative cancellation with a deadline budget.
+//
+// The campaign service admits many concurrent requests and must be able
+// to abandon one — because its deadline expired, or because the service
+// is draining — without tearing shared state.  Preemption can't do that
+// (a thread killed mid-Meter leaves a half-filled context), so the
+// pipeline cooperates instead: every request carries a CancelToken, and
+// run_pipeline consults it at each stage boundary, where the context is
+// consistent by construction.  A fired token unwinds as a typed
+// exception, the stage's local resources (worker pools, scratch buffers)
+// release via ordinary destructors, and the caller maps the exception to
+// a typed response — never a torn Document.
+//
+// The deadline is a *budget*, not a timer: wall clock elapsed since
+// arm_deadline() plus whatever charge() added.  The explicit charge hook
+// is what makes the chaos harness deterministic — a "stalled stage"
+// fault charges the whole budget instead of actually sleeping, so the
+// soak test exercises the deadline path without wall-clock flakiness.
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace pv {
+
+/// Thrown by CancelToken::check when the token was cancelled outright
+/// (drain, caller abandoned the request).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown by CancelToken::check when the deadline budget is spent.  The
+/// service maps this to its typed `deadline_exceeded` response.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One request's cancellation + deadline state.  cancel(), charge() and
+/// exhaust_deadline() may race with check() from another thread; the
+/// wall-clock baseline (arm_deadline) must be set before the token is
+/// shared, which the service does before submitting the job.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Starts the wall clock on a budget of `budget_ms` milliseconds.
+  /// Call at most once, before sharing the token.
+  void arm_deadline(double budget_ms) {
+    armed_ = budget_ms > 0.0;
+    budget_ms_ = budget_ms;
+    start_ = std::chrono::steady_clock::now();
+  }
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] double budget_ms() const noexcept { return budget_ms_; }
+
+  /// Deterministically consumes `ms` of the budget without sleeping.
+  void charge(double ms) noexcept {
+    charged_ms_.fetch_add(ms, std::memory_order_acq_rel);
+  }
+
+  /// Marks the entire budget spent, armed or not — the stalled-stage
+  /// chaos fault, which must hit the deadline path even when the caller
+  /// configured no explicit deadline.
+  void exhaust_deadline() noexcept {
+    exhausted_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool deadline_expired() const {
+    if (exhausted_.load(std::memory_order_acquire)) return true;
+    if (!armed_) return false;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    return elapsed_ms + charged_ms_.load(std::memory_order_acquire) >=
+           budget_ms_;
+  }
+
+  /// Throws CancelledError / DeadlineExceededError if the token fired;
+  /// `where` names the boundary for the diagnostic ("provision", ...).
+  void check(const char* where) const {
+    if (cancelled()) {
+      throw CancelledError(std::string("request cancelled at ") + where);
+    }
+    if (deadline_expired()) {
+      throw DeadlineExceededError(
+          std::string("deadline budget exhausted at ") + where);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> exhausted_{false};
+  std::atomic<double> charged_ms_{0.0};
+  bool armed_ = false;
+  double budget_ms_ = 0.0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace pv

@@ -29,12 +29,14 @@ void ThreadPool::shutdown() {
   workers_.clear();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+void ThreadPool::submit(std::function<void()> job, const CancelToken* cancel) {
   PV_EXPECTS(job != nullptr, "null job");
   {
     std::unique_lock lock(mu_);
-    PV_EXPECTS(!stopping_, "submit on stopping pool");
-    queue_.push(std::move(job));
+    if (stopping_) {
+      throw PoolStoppedError("ThreadPool::submit on a stopped pool");
+    }
+    queue_.push(Task{std::move(job), cancel});
     ++in_flight_;
   }
   cv_job_.notify_one();
@@ -47,16 +49,19 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Task task;
     {
       std::unique_lock lock(mu_);
       cv_job_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
-      job = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop();
     }
     try {
-      job();
+      // A task whose token fired while it sat in the queue is skipped:
+      // whoever cancelled it has already answered for it (the service
+      // checkpoints drained requests before cancelling their tokens).
+      if (task.cancel == nullptr || !task.cancel->cancelled()) task.job();
     } catch (...) {
       // A job's exception must not kill the worker thread (std::terminate)
       // or leave in_flight_ stuck above zero (wait_idle deadlock).  Jobs

@@ -11,10 +11,25 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace pv {
+
+/// Thrown by ThreadPool::submit on a stopped (or stopping) pool.  A
+/// typed error rather than a contract violation: shutdown legitimately
+/// races with producers (the campaign service drains while requests are
+/// still arriving), so callers must be able to catch the rejection and
+/// respond — silently dropping the job would lose a request.
+class PoolStoppedError : public std::runtime_error {
+ public:
+  explicit PoolStoppedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Fixed-size pool of worker threads executing submitted jobs FIFO.
 /// Destruction joins all workers after draining the queue.
@@ -29,25 +44,38 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a job; throws if the pool is shut down (or shutting down).
-  /// Exceptions escaping the job are swallowed by the worker (it keeps
-  /// serving and wait_idle still returns); jobs that must propagate errors
-  /// capture them into an std::exception_ptr themselves, as parallel_for
-  /// does.
-  void submit(std::function<void()> job);
+  /// Enqueues a job; throws PoolStoppedError if the pool is shut down
+  /// (or shutting down) — the job is guaranteed not to run in that case,
+  /// and a non-throwing submit is guaranteed to run it (wait_idle/
+  /// shutdown drain the queue).  Exceptions escaping the job are
+  /// swallowed by the worker (it keeps serving and wait_idle still
+  /// returns); jobs that must propagate errors capture them into an
+  /// std::exception_ptr themselves, as parallel_for does.
+  void submit(std::function<void()> job) { submit(std::move(job), nullptr); }
+
+  /// As above, with a cancellation token: a job whose token is already
+  /// cancelled when a worker dequeues it is skipped (never invoked) —
+  /// the cheap half of drain; the cooperative half runs inside the job.
+  /// `cancel` may be null and must outlive the job.
+  void submit(std::function<void()> job, const CancelToken* cancel);
 
   /// Blocks until every submitted job has finished executing.
   void wait_idle();
 
   /// Drains the queue and joins all workers.  Idempotent; called by the
-  /// destructor.  submit after shutdown throws contract_error.
+  /// destructor.  submit after shutdown throws PoolStoppedError.
   void shutdown();
 
  private:
+  struct Task {
+    std::function<void()> job;
+    const CancelToken* cancel = nullptr;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mu_;
   std::condition_variable cv_job_;
   std::condition_variable cv_idle_;

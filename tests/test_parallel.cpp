@@ -160,15 +160,66 @@ TEST(ThreadPool, WaitIdleRacingNewSubmissions) {
   EXPECT_EQ(count.load(), 500);
 }
 
-TEST(ThreadPool, SubmitAfterShutdownThrows) {
+TEST(ThreadPool, SubmitAfterShutdownThrowsTypedError) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
   for (int i = 0; i < 10; ++i) pool.submit([&count] { count.fetch_add(1); });
   pool.shutdown();
   EXPECT_EQ(count.load(), 10);  // shutdown drains before joining
-  EXPECT_THROW(pool.submit([] {}), contract_error);
+  // A typed, catchable rejection — shutdown legitimately races with
+  // producers, so this must not be a contract violation.
+  EXPECT_THROW(pool.submit([] {}), PoolStoppedError);
   pool.shutdown();  // idempotent
   EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ThreadPool, SubmitVersusStopRace) {
+  // Hammer submit from several threads while the pool shuts down.  The
+  // contract: every submit either returns normally (the job runs before
+  // shutdown completes) or throws PoolStoppedError (the job never runs).
+  // Executed count == accepted count proves no job was silently dropped.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> submitters;
+    submitters.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          try {
+            pool.submit([&executed] { executed.fetch_add(1); });
+            accepted.fetch_add(1);
+          } catch (const PoolStoppedError&) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::this_thread::yield();
+    pool.shutdown();
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+    EXPECT_EQ(accepted.load() + rejected.load(), 200) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, CancelledTokenSkipsJobAtDequeue) {
+  ThreadPool pool(1);
+  CancelToken gate;     // blocks the worker so later jobs stay queued
+  CancelToken doomed;   // cancelled while its job is still queued
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  pool.submit([&release] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  pool.submit([&ran] { ran.fetch_add(1); }, &doomed);
+  pool.submit([&ran] { ran.fetch_add(1); }, &gate);
+  doomed.cancel();
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);  // doomed job skipped, gated job ran
 }
 
 TEST(ParallelForDynamic, CoversEveryIndexExactlyOnce) {

@@ -1,0 +1,270 @@
+// Chaos soak for the campaign service (src/service/chaos.hpp).
+//
+// The ServiceFaultPlan decides each request's fate as a pure function of
+// (plan seed, request id), so this test can recompute, for every request
+// it submits, exactly which fault the service will inject — and then
+// assert the full fault taxonomy: every injected fault maps to exactly
+// one typed response code, unfaulted requests stay byte-identical to
+// solo runs (zero cross-request contamination), and drain accounts for
+// every accepted request.
+
+#include "service/chaos.hpp"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
+#include "trace/wal.hpp"
+
+namespace pv {
+namespace {
+
+std::string solo_assessment(const ServiceRequest& req) {
+  const Scenario scenario = build_scenario(scenario_spec_of(req));
+  const MeasurementPlan plan = plan_of(req, scenario);
+  const CampaignConfig config = campaign_config_of(req, plan);
+  const CampaignResult result =
+      run_campaign(*scenario.cluster, *scenario.electrical, plan, config);
+  return render_json(assessment_document(plan, result));
+}
+
+ServiceRequest soak_request(std::size_t i) {
+  ServiceRequest req;
+  req.id = "soak-" + std::to_string(i);
+  req.nodes = 24 + 8 * (i % 3);  // three scenario specs share the cache
+  req.seed = 100 + (i % 3);
+  if (i % 4 == 1) req.faults = "mild";
+  req.interval_s = 10.0;
+  return req;
+}
+
+ResponseCode expected_code(ServiceFault fault) {
+  switch (fault) {
+    case ServiceFault::kNone:
+      return ResponseCode::kOk;
+    case ServiceFault::kThrowStage:
+      return ResponseCode::kStageFailed;
+    case ServiceFault::kStallStage:
+      return ResponseCode::kDeadlineExceeded;
+    case ServiceFault::kCacheCorrupt:
+      return ResponseCode::kCacheCorrupt;  // strict mode refuses
+    case ServiceFault::kWorkerDeath:
+      return ResponseCode::kWorkerLost;
+  }
+  return ResponseCode::kStageFailed;
+}
+
+TEST(ServiceChaos, FaultPlanIsPureAndArrivalOrderIndependent) {
+  ServiceFaultPlan plan;
+  plan.seed = 42;
+  plan.throw_prob = 0.2;
+  plan.stall_prob = 0.2;
+  plan.cache_corrupt_prob = 0.2;
+  plan.worker_death_prob = 0.2;
+  std::map<ServiceFault, int> histogram;
+  for (int i = 0; i < 500; ++i) {
+    const std::string id = "req-" + std::to_string(i);
+    const ServiceFault first = plan.decide(id);
+    EXPECT_EQ(first, plan.decide(id));  // pure: same id, same verdict
+    ++histogram[first];
+  }
+  // With 20% per fault over 500 ids, every fault kind must appear, and
+  // clean requests must survive too.
+  EXPECT_EQ(histogram.size(), 5u);
+  for (const auto& [fault, count] : histogram) {
+    EXPECT_GE(count, 20) << to_string(fault);
+  }
+}
+
+TEST(ServiceChaos, SoakEveryInjectedFaultMapsToExactlyOneTypedResponse) {
+  constexpr std::size_t kRequests = 40;
+
+  ServiceConfig config;
+  config.workers = 4;
+  config.max_queue = kRequests;
+  config.strict_cache = true;  // corruption is refused, not repaired
+  config.chaos.seed = 7;
+  config.chaos.throw_prob = 0.15;
+  config.chaos.stall_prob = 0.15;
+  config.chaos.cache_corrupt_prob = 0.15;
+  config.chaos.worker_death_prob = 0.15;
+  CampaignService service(config);
+
+  // Solo references for the requests the plan leaves untouched.
+  std::map<std::string, std::string> solo;
+  std::size_t deaths = 0;
+  std::map<ServiceFault, int> injected;
+  std::vector<ServiceRequest> requests;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const ServiceRequest req = soak_request(i);
+    const ServiceFault fault = config.chaos.decide(req.id);
+    ++injected[fault];
+    if (fault == ServiceFault::kNone && !solo.contains(req.id)) {
+      solo[req.id] = solo_assessment(req);
+    }
+    if (fault == ServiceFault::kWorkerDeath) ++deaths;
+    requests.push_back(req);
+  }
+  // The probabilities must actually exercise the whole matrix.
+  ASSERT_EQ(injected.size(), 5u) << "soak seed no longer covers every fault";
+
+  std::vector<std::size_t> tickets;
+  for (const auto& req : requests) {
+    const AdmissionVerdict verdict = service.submit(req);
+    ASSERT_NE(verdict.decision, Admission::kShed) << req.id;
+    tickets.push_back(verdict.ticket);
+  }
+
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const ServiceFault fault = config.chaos.decide(requests[i].id);
+    const ServiceResponse resp = service.wait(tickets[i]);
+    ASSERT_EQ(resp.id, requests[i].id);
+    // Exactly one typed response per injected fault — never a crash,
+    // never a second code.
+    EXPECT_EQ(resp.code, expected_code(fault))
+        << requests[i].id << " fault " << to_string(fault) << ": "
+        << resp.message;
+    if (fault == ServiceFault::kNone) {
+      // Zero cross-request contamination: byte-identical to solo even
+      // while neighbors threw, stalled, corrupted and died.
+      EXPECT_EQ(resp.assessment_json, solo.at(requests[i].id));
+      EXPECT_TRUE(resp.fault_injected.empty());
+    } else {
+      EXPECT_EQ(resp.fault_injected, to_string(fault));
+      EXPECT_TRUE(resp.assessment_json.empty());
+    }
+  }
+
+  const DrainReport report = service.drain();
+  EXPECT_EQ(report.admitted, kRequests);
+  EXPECT_EQ(report.completed, kRequests);
+  EXPECT_EQ(report.checkpointed, 0u);
+  EXPECT_EQ(report.workers_replaced, deaths);
+  EXPECT_GE(report.cache.quarantined, 1u);
+}
+
+TEST(ServiceChaos, NonStrictCacheCorruptionQuarantinesAndRebuilds) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.strict_cache = false;
+  config.chaos.seed = 3;
+  config.chaos.cache_corrupt_prob = 1.0;  // every request corrupts its entry
+  CampaignService service(config);
+
+  std::vector<std::size_t> tickets;
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    ServiceRequest req;
+    req.id = "rebuild-" + std::to_string(i);
+    req.nodes = 24;
+    req.interval_s = 10.0;
+    requests.push_back(req);
+    tickets.push_back(service.submit(req).ticket);
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const ServiceResponse resp = service.wait(tickets[i]);
+    // Quarantine-and-rebuild: the corruption is detected, the entry
+    // evicted, and the request still gets a correct answer.
+    ASSERT_EQ(resp.code, ResponseCode::kOk) << resp.message;
+    EXPECT_EQ(resp.fault_injected, "cache_corrupt");
+    EXPECT_EQ(resp.assessment_json, solo_assessment(requests[i]));
+  }
+  const DrainReport report = service.drain();
+  EXPECT_GE(report.cache.quarantined, 1u);
+}
+
+TEST(ServiceChaos, DrainUnderLoadCheckpointsEveryUnstartedRequest) {
+  const std::string wal_path =
+      testing::TempDir() + "/powervar_service_drain.wal";
+
+  ServiceConfig config;
+  config.workers = 1;  // one running slot; the rest queue behind it
+  config.max_queue = 16;
+  config.checkpoint_path = wal_path;
+  CampaignService service(config);
+
+  std::vector<std::size_t> tickets;
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    ServiceRequest req;
+    req.id = "load-" + std::to_string(i);
+    req.nodes = 24 + 8 * (i % 2);
+    req.seed = 7 + i;
+    req.interval_s = 10.0;
+    requests.push_back(req);
+    const AdmissionVerdict verdict = service.submit(req);
+    ASSERT_NE(verdict.decision, Admission::kShed);
+    tickets.push_back(verdict.ticket);
+  }
+
+  // Drain immediately — without waiting — so still-queued requests must
+  // be checkpointed, not run and not lost.
+  const DrainReport report = service.drain();
+  EXPECT_EQ(report.admitted, 8u);
+  EXPECT_EQ(report.completed + report.checkpointed, 8u);
+
+  std::size_t completed = 0;
+  std::size_t checkpointed = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const ServiceResponse resp = service.wait(tickets[i]);
+    if (resp.code == ResponseCode::kOk) {
+      ++completed;
+    } else {
+      ASSERT_EQ(resp.code, ResponseCode::kCheckpointed) << resp.message;
+      ++checkpointed;
+    }
+  }
+  EXPECT_EQ(completed, report.completed);
+  EXPECT_EQ(checkpointed, report.checkpointed);
+
+  // The journal holds exactly the checkpointed requests, replayable into
+  // valid request objects under the service fingerprint.
+  const WalReplay replay = replay_wal(wal_path);
+  if (checkpointed == 0) {
+    EXPECT_FALSE(replay.exists);
+  } else {
+    ASSERT_TRUE(replay.exists);
+    EXPECT_EQ(replay.fingerprint, service_checkpoint_fingerprint());
+    EXPECT_EQ(replay.torn_lines, 0u);
+    ASSERT_EQ(replay.records.size(), checkpointed);
+    for (const auto& record : replay.records) {
+      const ServiceRequest restored = parse_request(record);
+      EXPECT_EQ(record, render_request_json(restored));  // round-trips
+    }
+  }
+}
+
+TEST(ServiceChaos, ShutdownMidStreamShedsLateArrivals) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.chaos.drain_after = 3;
+  CampaignService service(config);
+  std::vector<AdmissionVerdict> verdicts;
+  for (int i = 0; i < 6; ++i) {
+    ServiceRequest req;
+    req.id = "mid-" + std::to_string(i);
+    req.nodes = 24;
+    req.interval_s = 10.0;
+    verdicts.push_back(service.submit(req));
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(verdicts[i].decision, Admission::kShed) << i;
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(verdicts[i].decision, Admission::kShed) << i;
+    EXPECT_EQ(service.wait(verdicts[i].ticket).code, ResponseCode::kShed);
+  }
+  const DrainReport report = service.drain();
+  EXPECT_EQ(report.admitted, 3u);
+  EXPECT_EQ(report.shed, 3u);
+  EXPECT_EQ(report.submitted, 6u);
+}
+
+}  // namespace
+}  // namespace pv

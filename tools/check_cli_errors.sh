@@ -127,6 +127,52 @@ expect_error "collect rejects unknown flag" "unknown option" \
   -- collect --nodes 64 --bogus 1
 rm -f "$trace_csv" "$values_txt"
 
+# ---- serve exit codes -------------------------------------------------
+# The service subcommand maps request outcomes to exact exit codes:
+# 2 usage, 5 shed, 6 deadline exceeded, 7 corrupt cache (worst response
+# in the batch wins; other failures exit 1).  Each recipe below forces
+# the outcome deterministically via the seeded chaos plan.
+serve_reqs=$(mktemp /tmp/pv_cli_serve.XXXXXX.jsonl)
+{
+  echo '{"schema":"powervar-request-v1","id":"r1","nodes":24,"interval":10}'
+  echo '{"schema":"powervar-request-v1","id":"r2","nodes":24,"interval":10}'
+} >"$serve_reqs"
+
+expect_error "serve without --requests is a usage error" \
+  "missing required option --requests" \
+  -- serve
+expect_error "serve with unreadable requests file" "cannot open" \
+  -- serve --requests /nonexistent/requests.jsonl
+
+# expect_serve <description> <expected-exit-code> -- <args...>
+expect_serve() {
+  local what="$1" want_rc="$2"
+  shift 3
+  local rc
+  "$powervar" serve --requests "$serve_reqs" "$@" >/dev/null 2>&1
+  rc=$?
+  if [[ "$rc" -ne "$want_rc" ]]; then
+    echo "FAIL: $what: exited $rc, want $want_rc" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $what (exit $rc)"
+}
+
+expect_serve "serve usage error exits 2" 2 -- --workers abc
+expect_serve "serve clean batch exits 0" 0 -- --workers 2
+expect_serve "serve shed requests exit 5" 5 -- --chaos-drain-after 1
+expect_serve "serve exhausted deadlines exit 6" 6 -- --chaos-stall 1
+expect_serve "serve corrupt strict cache exits 7" 7 \
+  -- --strict-cache --chaos-cache 1
+# Severity ranking: a corrupt-cache response outranks a shed one.
+expect_serve "serve worst response code wins" 7 \
+  -- --strict-cache --chaos-cache 1 --chaos-drain-after 1
+# An invalid request line is the generic failure, below the typed codes.
+echo 'not json at all' >>"$serve_reqs"
+expect_serve "serve invalid request line exits 1" 1 -- --workers 2
+rm -f "$serve_reqs"
+
 # And the happy path must still work, including the --key=value spelling.
 if ! "$powervar" accuracy --nodes=210 --cv=0.02 --n=4 >/dev/null; then
   echo "FAIL: valid --key=value invocation failed" >&2

@@ -147,3 +147,47 @@ if ! awk -v t="$text_w" -v j="$json_w" \
 fi
 
 echo "OK: JSON rendering is deterministic and agrees with the text report"
+
+# ---------------------------------------------------------------------------
+# Service-isolation contract at the CLI level: a campaign served through
+# `powervar serve` — sharing a worker pool and the provision cache with
+# neighbors — must embed an assessment byte-identical to the same
+# campaign run solo through `campaign --json`, and the whole served batch
+# must be deterministic across runs even with concurrent workers.
+cat >"$tmpdir/serve_reqs.jsonl" <<'REQS'
+{"schema":"powervar-request-v1","id":"d1","nodes":64,"cv":0.03,"level":1,"seed":42,"faults":"harsh","dropout":0.1,"dead":2,"interval":10}
+{"schema":"powervar-request-v1","id":"d2","nodes":48,"level":2,"seed":7,"interval":10}
+{"schema":"powervar-request-v1","id":"d3","nodes":64,"cv":0.03,"seed":42,"interval":30}
+REQS
+
+serve_a="$("$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" \
+           --json --workers 4)"
+serve_b="$("$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" \
+           --json --workers 4)"
+if [[ "$serve_a" != "$serve_b" ]]; then
+  echo "FAIL: two identical served batches diverged" >&2
+  diff <(printf '%s\n' "$serve_a") <(printf '%s\n' "$serve_b") >&2 || true
+  exit 1
+fi
+
+# Extract d1's embedded assessment: everything after "assessment": up to
+# the response line's closing brace (the assessment is the final field of
+# an ok response, so stripping one trailing '}' recovers its exact bytes).
+d1_line="$(grep -F '"id":"d1"' <<<"$serve_a")"
+d1_assessment="${d1_line#*\"assessment\":}"
+d1_assessment="${d1_assessment%\}}"
+solo_json="$("$powervar" campaign --nodes 64 --cv 0.03 --level 1 --seed 42 \
+             --faults harsh --dropout 0.1 --dead 2 --interval 10 --json)"
+if [[ "$d1_assessment" != "$solo_json" ]]; then
+  echo "FAIL: served assessment diverged from the solo campaign --json run" >&2
+  diff <(printf '%s\n' "$solo_json") <(printf '%s\n' "$d1_assessment") >&2 || true
+  exit 1
+fi
+
+# The batch must actually have exercised the cache (d3 shares d1's spec).
+if ! grep -qF '"cache":{"hits":1,"misses":2' <<<"$serve_a"; then
+  echo "FAIL: served batch did not report the expected cache accounting" >&2
+  exit 1
+fi
+
+echo "OK: served campaigns are deterministic and byte-identical to solo runs"

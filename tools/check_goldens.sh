@@ -47,6 +47,14 @@ check reconcile_byzantine.txt \
 check collect_resilient.txt \
   -- collect --nodes 64 --cv 0.03 --level 1 --seed 42 --blackhole 0.2 \
      --drop 0.05 --interval 10 --threads 4
+# Service batch over the golden request file: three response lines plus
+# the drain report, all JSON — pins the powervar-response-v1 and
+# powervar-drain-v1 wire formats byte-for-byte (r3 shares r1's scenario
+# spec, so the drain line also pins the cache accounting: 1 hit, 2
+# misses).  Single worker keeps response production deterministic.
+check serve_once.txt \
+  -- serve --requests "$golden_dir/serve_requests.jsonl" --once --json \
+     --workers 1
 
 if [[ "$failures" -ne 0 ]]; then
   echo "FAIL: $failures golden transcript(s) drifted" >&2

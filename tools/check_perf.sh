@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Perf-regression gate: runs bench_perf_campaign, then compares the
-# BENCH_perf.json it emits against the committed baseline.
+# BENCH_perf.json it emits against the committed baseline.  Optionally
+# also runs bench_service (the campaign-service cold/warm-cache bench)
+# and compares its BENCH_service.json the same way.
 #
-# Usage: tools/check_perf.sh <bench-binary> <baseline-json> [out-json]
+# Usage: tools/check_perf.sh <bench-binary> <baseline-json> [out-json] \
+#                            [service-bench] [service-baseline] [service-out]
 #
 # Two classes of checks:
 #   hard   engine/thread byte-identity (the bench binary exits nonzero on
@@ -15,9 +18,11 @@
 #          exists to catch the engine regressing to the eager path
 #          (a ~4x ratio collapsing to ~1x), not 10% drifts.
 #
-# Updating the baseline after an intentional perf change:
+# Updating a baseline after an intentional perf change:
 #   build/bench/bench_perf_campaign            # writes BENCH_perf.json
 #   cp BENCH_perf.json bench/BENCH_perf_baseline.json
+#   build/bench/bench_service                  # writes BENCH_service.json
+#   cp BENCH_service.json bench/BENCH_service_baseline.json
 # then commit the new baseline alongside the change that moved it
 # (details in docs/performance.md).
 set -euo pipefail
@@ -84,4 +89,76 @@ if failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
 print("check_perf: within allowance of committed baseline")
+EOF
+
+# ---- campaign-service bench (optional second triple) -----------------
+if [[ $# -lt 4 ]]; then
+  exit 0
+fi
+service_bin="$4"
+service_baseline="${5:?service baseline path required with service bench}"
+service_out="${6:-BENCH_service.json}"
+
+if [[ ! -f "$service_baseline" ]]; then
+  echo "check_perf: service baseline $service_baseline missing" >&2
+  exit 2
+fi
+
+# The bench exits nonzero itself if any response is non-ok or the
+# cold/warm cache counts are off (the skip-Provision hard contract).
+PV_PERF_JSON="$service_out" PV_PERF_REPS="${PV_PERF_REPS:-3}" "$service_bin"
+
+python3 - "$service_out" "$service_baseline" "$allowance" <<'EOF'
+import json
+import sys
+
+out_path, base_path, allowance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(out_path) as f:
+    got = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+failures = []
+for name, b in base["scenarios"].items():
+    g = got["scenarios"].get(name)
+    if g is None:
+        failures.append(f"{name}: scenario missing from fresh run")
+        continue
+    # Hard: every response ok, deterministic cache accounting intact.
+    if not g["all_ok"]:
+        failures.append(f"{name}: non-ok responses in the bench batch")
+    if not g["cache_contract"]:
+        failures.append(
+            f"{name}: cache counts off ({g['cache_misses']} misses, "
+            f"{g['cache_hits']} hits for {g['requests']} requests)")
+
+# The gated perf number is the warm-over-cold speedup: both halves run
+# back-to-back under identical machine load, so the ratio is robust on
+# noisy boxes where absolute campaigns/sec on a millisecond batch is not.
+ratio = got["warm_over_cold"]
+# Hard floor: the warm cache must never make the batch slower.
+if ratio < 1.0:
+    failures.append(
+        f"warm_over_cold = {ratio:.2f}x — warm cache slower than cold")
+# Soft floor: generous fraction of the committed baseline ratio.
+floor = allowance * base["warm_over_cold"]
+if ratio < floor:
+    failures.append(
+        f"warm_over_cold = {ratio:.2f}x, below {floor:.2f}x "
+        f"(= {allowance} x baseline {base['warm_over_cold']:.2f}x)")
+
+for name, g in got["scenarios"].items():
+    b = base["scenarios"].get(name, {})
+    print(f"  {name}: {g['campaigns_per_sec']:.1f} campaigns/s "
+          f"(baseline {b.get('campaigns_per_sec', 0):.1f}), "
+          f"{g['cache_hits']} hits / {g['cache_misses']} misses")
+print(f"  warm_over_cold: {ratio:.2f}x "
+      f"(baseline {base['warm_over_cold']:.2f}x)")
+
+if failures:
+    print("check_perf: SERVICE REGRESSION", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("check_perf: service bench within allowance of committed baseline")
 EOF

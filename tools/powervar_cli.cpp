@@ -47,6 +47,21 @@
 //       crash-safe journal.  The accuracy report goes to stdout (it is
 //       byte-identical between a clean run and a kill-and-resume pair);
 //       collection progress goes to stderr.
+//
+//   powervar serve --requests FILE|- [--once] [--workers N] [--queue N]
+//                  [--deadline-ms MS] [--retry-after S] [--cache N]
+//                  [--strict-cache] [--checkpoint FILE] [--json]
+//                  [--chaos-* ...]
+//       The resident campaign service, driven as one batch: each input
+//       line is a powervar-request-v1 JSON object; each gets exactly one
+//       powervar-response-v1 line (in submission order), then a drain
+//       report.  Admission is bounded (--queue), deadlines cooperative
+//       (--deadline-ms), Provision artifacts cached and CRC-revalidated
+//       (--cache/--strict-cache), drained work checkpointed to the WAL
+//       (--checkpoint), and the seeded chaos knobs inject stage-level
+//       faults for the soak harness.  Exit code is the worst outcome:
+//       7 corrupt cache refused, 6 deadline exceeded, 5 shed, 1 other
+//       failures, 0 all ok.
 
 #include <cerrno>
 #include <cstdlib>
@@ -61,6 +76,8 @@
 
 #include "collect/collector.hpp"
 #include "core/baselines.hpp"
+#include "service/request.hpp"
+#include "service/service.hpp"
 #include "core/campaign.hpp"
 #include "core/gaming.hpp"
 #include "core/report.hpp"
@@ -77,6 +94,13 @@ namespace {
 
 using namespace pv;
 
+/// A bad command line (as opposed to a campaign that ran and failed):
+/// maps to the usage text and exit code 2.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Strict --key value / --key=value argument map.  Numbers must parse in
 /// full (no silent atof-to-zero), rates must land in [0, 1], and every
 /// option needs a value — violations throw and the CLI exits non-zero.
@@ -85,7 +109,8 @@ class Args {
   Args(int argc, char** argv, int first) {
     // Boolean switches that may appear bare (no value); anything else
     // keeps the strict --key value contract.
-    static const std::set<std::string> kBareFlags = {"json", "trace-stages"};
+    static const std::set<std::string> kBareFlags = {"json", "trace-stages",
+                                                     "once", "strict-cache"};
     for (int i = first; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) != 0 || token.size() <= 2) {
@@ -333,23 +358,6 @@ SyntheticRig make_synthetic_rig(const Args& args, int default_level = 1) {
   return rig;
 }
 
-/// Forces `fraction` of the plan's node meters byzantine, spread evenly
-/// across the selection so every rack sees some liars (the fault kinds
-/// cycle drift -> unit error -> clock skew -> recalibration step).
-void force_byzantine_meters(CampaignConfig& config,
-                            const MeasurementPlan& plan, double fraction) {
-  if (fraction <= 0.0) return;
-  const std::size_t count = plan.node_indices.size();
-  const auto n_byz = static_cast<std::size_t>(
-      fraction * static_cast<double>(count) + 0.5);
-  const double stride = static_cast<double>(count) /
-                        static_cast<double>(std::max<std::size_t>(n_byz, 1));
-  for (std::size_t k = 0; k < n_byz; ++k) {
-    const auto idx = static_cast<std::size_t>(static_cast<double>(k) * stride);
-    config.faults.byzantine_meters.push_back(plan.node_indices[idx]);
-  }
-}
-
 int cmd_campaign(const Args& args) {
   const SyntheticRig rig = make_synthetic_rig(args);
 
@@ -475,6 +483,139 @@ int cmd_collect(const Args& args) {
   return 0;
 }
 
+/// Severity order for the batch exit code: the worst thing that happened
+/// to any request wins.  Corrupt cache (refused data) outranks a blown
+/// deadline outranks load shedding outranks other failures.
+int serve_exit_code(const std::vector<ServiceResponse>& responses) {
+  int worst = 0;
+  for (const auto& resp : responses) {
+    int rank = 0;
+    switch (resp.code) {
+      case ResponseCode::kOk:
+      case ResponseCode::kCheckpointed:
+        rank = 0;
+        break;
+      case ResponseCode::kCacheCorrupt:
+        rank = 7;
+        break;
+      case ResponseCode::kDeadlineExceeded:
+        rank = 6;
+        break;
+      case ResponseCode::kShed:
+        rank = 5;
+        break;
+      default:
+        rank = 1;
+        break;
+    }
+    worst = std::max(worst, rank);
+  }
+  return worst;
+}
+
+int cmd_serve(const Args& args) {
+  std::string requests_path;
+  ServiceConfig config;
+  bool json = false;
+  try {
+    requests_path = args.text("requests");
+    config.workers = static_cast<unsigned>(args.number_or("workers", 2.0));
+    config.max_queue = static_cast<std::size_t>(args.number_or("queue", 8.0));
+    config.default_deadline_ms = args.number_or("deadline-ms", 0.0);
+    config.retry_after_s = args.number_or("retry-after", 1.0);
+    config.cache_capacity =
+        static_cast<std::size_t>(args.number_or("cache", 8.0));
+    config.strict_cache = args.flag_or("strict-cache");
+    config.checkpoint_path = args.text_or("checkpoint", "");
+    config.chaos.seed =
+        static_cast<std::uint64_t>(args.number_or("chaos-seed", 0.0));
+    config.chaos.throw_prob = args.rate_or("chaos-throw", 0.0);
+    config.chaos.stall_prob = args.rate_or("chaos-stall", 0.0);
+    config.chaos.cache_corrupt_prob = args.rate_or("chaos-cache", 0.0);
+    config.chaos.worker_death_prob = args.rate_or("chaos-death", 0.0);
+    config.chaos.drain_after =
+        static_cast<std::size_t>(args.number_or("chaos-drain-after", 0.0));
+    json = args.flag_or("json");
+    // Accepted for forward compatibility: the CLI always runs one batch
+    // (submit every line, answer every ticket, drain) — a resident
+    // deployment drives CampaignService directly.
+    (void)args.flag_or("once");
+    args.reject_unknown();
+  } catch (const std::exception& e) {
+    // Everything above is command-line validation, not campaign failure.
+    throw UsageError(e.what());
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (requests_path != "-") {
+    file.open(requests_path);
+    if (!file) {
+      throw UsageError("cannot open requests file '" + requests_path + "'");
+    }
+    in = &file;
+  }
+
+  CampaignService service(config);
+  std::vector<std::size_t> tickets;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    tickets.push_back(service.submit_line(line).ticket);
+  }
+
+  // Answer every ticket in submission order, then drain.  Waiting first
+  // means a normal batch drains empty; drain-mid-flight semantics (the
+  // checkpointed/cancelled codes) belong to chaos runs and library users.
+  std::vector<ServiceResponse> responses;
+  responses.reserve(tickets.size());
+  for (const std::size_t ticket : tickets) {
+    responses.push_back(service.wait(ticket));
+  }
+  const DrainReport report = service.drain();
+
+  for (const auto& resp : responses) {
+    if (json) {
+      std::cout << render_response_json(resp) << "\n";
+    } else {
+      std::cout << "request " << (resp.id.empty() ? "(invalid)" : resp.id)
+                << ": " << to_string(resp.code);
+      if (resp.code == ResponseCode::kShed) {
+        std::cout << " (retry after " << fmt_fixed(resp.retry_after_s, 1)
+                  << "s)";
+      }
+      if (!resp.fault_injected.empty()) {
+        std::cout << " [chaos: " << resp.fault_injected << "]";
+      }
+      if (!resp.message.empty()) std::cout << " — " << resp.message;
+      std::cout << "\n";
+    }
+  }
+  if (json) {
+    std::cout << "{\"schema\":\"powervar-drain-v1\",\"submitted\":"
+              << report.submitted << ",\"invalid\":" << report.invalid
+              << ",\"shed\":" << report.shed
+              << ",\"admitted\":" << report.admitted
+              << ",\"completed\":" << report.completed
+              << ",\"checkpointed\":" << report.checkpointed
+              << ",\"workers_replaced\":" << report.workers_replaced
+              << ",\"cache\":{\"hits\":" << report.cache.hits
+              << ",\"misses\":" << report.cache.misses
+              << ",\"quarantined\":" << report.cache.quarantined
+              << ",\"evicted\":" << report.cache.evicted << "}}\n";
+  } else {
+    std::cout << "drain: " << report.submitted << " submitted, "
+              << report.invalid << " invalid, " << report.shed << " shed, "
+              << report.admitted << " admitted, " << report.completed
+              << " completed, " << report.checkpointed << " checkpointed, "
+              << report.workers_replaced << " workers replaced; cache "
+              << report.cache.hits << " hits / " << report.cache.misses
+              << " misses / " << report.cache.quarantined
+              << " quarantined / " << report.cache.evicted << " evicted\n";
+  }
+  return serve_exit_code(responses);
+}
+
 int usage() {
   std::cerr <<
       "usage: powervar <command> [--option value ...]\n"
@@ -504,8 +645,15 @@ int usage() {
       "              [--threads N] [--interval S] [--checkpoint FILE]\n"
       "              [--resume 1] [--crash-after K] [--json]"
       " [--trace-stages]\n"
+      "  serve       --requests FILE|- [--once] [--workers N] [--queue N]\n"
+      "              [--deadline-ms MS] [--retry-after S] [--cache N]\n"
+      "              [--strict-cache] [--checkpoint FILE] [--json]\n"
+      "              [--chaos-seed S] [--chaos-throw F] [--chaos-stall F]\n"
+      "              [--chaos-cache F] [--chaos-death F]"
+      " [--chaos-drain-after K]\n"
       "options accept '--key value' or '--key=value';\n"
-      "--json and --trace-stages may also appear bare.\n";
+      "--json, --trace-stages, --once and --strict-cache may also appear "
+      "bare.\n";
   return 2;
 }
 
@@ -524,7 +672,11 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "reconcile") return cmd_reconcile(args);
     if (cmd == "collect") return cmd_collect(args);
+    if (cmd == "serve") return cmd_serve(args);
     std::cerr << "unknown command: " << cmd << "\n";
+    return usage();
+  } catch (const UsageError& e) {
+    std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
     return usage();
   } catch (const pv::CollectionAborted& e) {
     // The simulated crash (--crash-after): the journal on disk is valid
