@@ -1,17 +1,30 @@
 // Throughput bench for the resident campaign service (src/service):
-// campaigns/sec through CampaignService, cold provision cache vs warm.
+// campaigns/sec through CampaignService, cold provision cache vs warm,
+// plus the round-2 hardening scenarios (persistent-cache restart and
+// tenant fair-share).
 //
-// Two scenarios, each a batch of PV_SERVICE_REQS requests on 4 workers:
+// Four scenarios:
 //
-//   service_cold   every request names a distinct ScenarioSpec (seeds
-//                  differ), so every request pays a full Provision build;
-//   service_warm   every request shares one ScenarioSpec under distinct
-//                  ids, so only the first request builds — the rest hit
-//                  the content-addressed cache and skip Provision.
+//   service_cold          PV_SERVICE_REQS requests, 4 workers, every
+//                         request names a distinct ScenarioSpec (seeds
+//                         differ) — every request pays a Provision build;
+//   service_warm          same batch sharing one ScenarioSpec under
+//                         distinct ids — only the first request builds,
+//                         the rest hit the content-addressed cache;
+//   service_restart_warm  an untimed run spills the shared artifact to a
+//                         persistent --cache-dir, then a FRESH service on
+//                         the same directory serves the timed batch: zero
+//                         Provision builds (one disk load, the rest
+//                         memory hits) — the warm-restart contract;
+//   service_fair          a flooding tenant 10x two steady tenants on 2
+//                         workers with a roomy queue: deficit-weighted
+//                         fair-share must interleave the steady lanes
+//                         ahead of the backlog (bounded dispatch order)
+//                         without shedding anyone.
 //
 // Best-of-PV_PERF_REPS wall time per scenario, a fresh service per rep
 // (so the cache genuinely starts cold/warms up inside the timed window).
-// Three contracts are enforced in-binary (exit 1 on violation):
+// Contracts are enforced in-binary (exit 1 on violation):
 //
 //   1. every response in every rep is `ok` — a bench that sheds or
 //      faults is measuring the wrong thing;
@@ -19,7 +32,12 @@
 //      zero hits (no accidental sharing);
 //   3. the warm run counts exactly one miss and PV_SERVICE_REQS - 1
 //      hits — the deterministic proof that warm requests skip Provision
-//      (single-flight stats are interleaving-independent by design).
+//      (single-flight stats are interleaving-independent by design);
+//   4. the restart-warm run counts zero misses, one disk hit and
+//      PV_SERVICE_REQS - 1 memory hits — the proof that a restarted
+//      service revalidates the spilled artifact instead of rebuilding;
+//   5. the fair run completes every request with the steady tenants'
+//      worst dispatch order bounded, and the flood dispatched last.
 //
 // Results land in BENCH_service.json (override with PV_PERF_JSON) for
 // tools/check_perf.sh, which gates on the warm-over-cold speedup
@@ -27,6 +45,7 @@
 // not absolute campaigns/sec — is the gated number: both halves are
 // measured back-to-back under identical machine load, so the ratio
 // survives noisy CI boxes where a millisecond-scale batch time cannot.
+// The two hardening scenarios are contract-gated, not time-gated.
 //
 // Env overrides: PV_SERVICE_REQS (12), PV_SERVICE_NODES (240),
 // PV_PERF_REPS (5), PV_PERF_JSON.
@@ -34,6 +53,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -66,7 +86,13 @@ struct BatchResult {
   double campaigns_per_sec = 0.0;
   std::size_t cache_hits = 0;    // from the final rep (deterministic)
   std::size_t cache_misses = 0;
+  std::size_t cache_disk_hits = 0;
+  std::size_t steady_max_order = 0;  // service_fair only
+  std::size_t flood_max_order = 0;   // service_fair only
   bool all_ok = true;
+  // The scenario's hard invariant (cache accounting for the cache
+  // scenarios, bounded dispatch order for service_fair) — gated by
+  // tools/check_perf.sh under this name.
   bool cache_contract = true;
 };
 
@@ -117,6 +143,159 @@ BatchResult run_batch(const std::string& name, bool cold,
   return out;
 }
 
+// service_restart_warm: spill the shared artifact to a persistent cache
+// directory, then time a fresh service on the same directory.  The timed
+// batch must run zero Provision builds: the first acquire revalidates the
+// CRC-framed spill from disk, every later request is a memory hit.
+BatchResult run_restart_warm(std::size_t requests, std::size_t nodes,
+                             std::size_t reps) {
+  namespace fs = std::filesystem;
+  BatchResult out;
+  out.name = "service_restart_warm";
+  out.requests = requests;
+  out.best_ms = 1e300;
+  const fs::path dir = fs::temp_directory_path() / "pv_bench_service_cache";
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+
+    ServiceConfig config;
+    config.workers = 4;
+    config.max_queue = requests;
+    config.cache_capacity = requests;
+    config.cache_dir = dir.string();
+
+    {  // Untimed first life: one build, one spill.
+      CampaignService warmup(config);
+      const AdmissionVerdict verdict =
+          warmup.submit(make_request(false, 0, nodes));
+      if (warmup.wait(verdict.ticket).code != ResponseCode::kOk) {
+        out.all_ok = false;
+      }
+      const DrainReport pre = warmup.drain();
+      if (pre.cache.misses != 1 || pre.cache.spills != 1) {
+        out.cache_contract = false;
+      }
+    }
+
+    // Second life: a fresh service, warm only through the directory.
+    CampaignService service(config);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::size_t> tickets;
+    tickets.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+      const AdmissionVerdict verdict =
+          service.submit(make_request(false, i, nodes));
+      if (verdict.decision == Admission::kShed) out.all_ok = false;
+      tickets.push_back(verdict.ticket);
+    }
+    for (const std::size_t ticket : tickets) {
+      if (service.wait(ticket).code != ResponseCode::kOk) out.all_ok = false;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    out.best_ms = std::min(
+        out.best_ms,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+
+    const DrainReport report = service.drain();
+    out.cache_hits = report.cache.hits;
+    out.cache_misses = report.cache.misses;
+    out.cache_disk_hits = report.cache.disk_hits;
+    if (report.cache.misses != 0 || report.cache.disk_hits != 1 ||
+        report.cache.hits != requests - 1 || report.cache.spills != 0) {
+      out.cache_contract = false;
+    }
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  out.campaigns_per_sec =
+      static_cast<double>(requests) / (out.best_ms / 1e3);
+  return out;
+}
+
+// service_fair: one tenant floods 10x two steady tenants on 2 workers
+// with a queue roomy enough that nobody sheds.  Deficit-weighted
+// fair-share must interleave the steady lanes ahead of the backlog: the
+// steady tenants' worst dispatch order stays bounded (they would sit at
+// orders 21..24 under FIFO) while the flood still finishes last.
+BatchResult run_fair(std::size_t nodes, std::size_t reps) {
+  constexpr std::size_t kFlood = 20;
+  constexpr std::size_t kSteadyEach = 2;
+  constexpr std::size_t kTotal = kFlood + 2 * kSteadyEach;
+  // Up to two flood requests can be popped while submission is still in
+  // flight; every later steady dispatch is pure fair-share interleave.
+  constexpr std::size_t kSteadyOrderBound = 14;
+
+  BatchResult out;
+  out.name = "service_fair";
+  out.requests = kTotal;
+  out.best_ms = 1e300;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    ServiceConfig config;
+    config.workers = 2;
+    config.max_queue = kTotal * 2;
+    config.cache_capacity = 8;
+    CampaignService service(config);
+
+    const auto request_for = [nodes](const std::string& tenant,
+                                     std::size_t i, std::uint64_t seed) {
+      ServiceRequest req;
+      req.id = tenant + "-" + std::to_string(i);
+      req.tenant = tenant;
+      req.nodes = nodes;
+      req.seed = seed + i;
+      req.interval_s = 10.0;
+      return req;
+    };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::size_t> flood_tickets;
+    std::vector<std::size_t> steady_tickets;
+    for (std::size_t i = 0; i < kFlood; ++i) {
+      flood_tickets.push_back(
+          service.submit(request_for("flood", i, 2000)).ticket);
+    }
+    for (std::size_t i = 0; i < kSteadyEach; ++i) {
+      steady_tickets.push_back(
+          service.submit(request_for("steady-a", i, 3000)).ticket);
+      steady_tickets.push_back(
+          service.submit(request_for("steady-b", i, 4000)).ticket);
+    }
+
+    std::size_t steady_max = 0;
+    std::size_t flood_max = 0;
+    for (const std::size_t ticket : steady_tickets) {
+      const ServiceResponse resp = service.wait(ticket);
+      if (resp.code != ResponseCode::kOk) out.all_ok = false;
+      steady_max = std::max(steady_max, resp.dispatch_order);
+    }
+    for (const std::size_t ticket : flood_tickets) {
+      const ServiceResponse resp = service.wait(ticket);
+      if (resp.code != ResponseCode::kOk) out.all_ok = false;
+      flood_max = std::max(flood_max, resp.dispatch_order);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    out.best_ms = std::min(
+        out.best_ms,
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+
+    out.steady_max_order = steady_max;
+    out.flood_max_order = flood_max;
+    if (steady_max > kSteadyOrderBound || flood_max != kTotal) {
+      out.cache_contract = false;
+    }
+
+    const DrainReport report = service.drain();
+    out.cache_hits = report.cache.hits;
+    out.cache_misses = report.cache.misses;
+    if (report.shed != 0) out.all_ok = false;
+  }
+  out.campaigns_per_sec =
+      static_cast<double>(kTotal) / (out.best_ms / 1e3);
+  return out;
+}
+
 void write_json(const std::string& path,
                 const std::vector<BatchResult>& scenarios, std::size_t reps,
                 double warm_over_cold) {
@@ -134,7 +313,12 @@ void write_json(const std::string& path,
         << "      \"campaigns_per_sec\": " << s.campaigns_per_sec << ",\n"
         << "      \"cache_hits\": " << s.cache_hits << ",\n"
         << "      \"cache_misses\": " << s.cache_misses << ",\n"
-        << "      \"all_ok\": " << (s.all_ok ? "true" : "false") << ",\n"
+        << "      \"cache_disk_hits\": " << s.cache_disk_hits << ",\n";
+    if (s.name == "service_fair") {
+      out << "      \"steady_max_order\": " << s.steady_max_order << ",\n"
+          << "      \"flood_max_order\": " << s.flood_max_order << ",\n";
+    }
+    out << "      \"all_ok\": " << (s.all_ok ? "true" : "false") << ",\n"
         << "      \"cache_contract\": "
         << (s.cache_contract ? "true" : "false") << "\n    }"
         << (i + 1 < scenarios.size() ? "," : "") << "\n";
@@ -161,6 +345,8 @@ int main() {
       run_batch("service_cold", true, requests, nodes, reps));
   scenarios.push_back(
       run_batch("service_warm", false, requests, nodes, reps));
+  scenarios.push_back(run_restart_warm(requests, nodes, reps));
+  scenarios.push_back(run_fair(nodes, reps));
 
   TextTable t({"scenario", "requests", "batch", "campaigns/s", "hits",
                "misses", "all ok"});
@@ -183,6 +369,13 @@ int main() {
   const double warm_over_cold = scenarios[0].best_ms / scenarios[1].best_ms;
   std::cout << "\nwarm over cold: " << warm_over_cold << "x ("
             << requests - 1 << " Provision builds skipped)\n";
+  std::cout << "restart-warm: " << scenarios[2].cache_disk_hits
+            << " disk hit / " << scenarios[2].cache_misses
+            << " Provision builds on the second service life\n";
+  std::cout << "fair-share: steady tenants' worst dispatch order "
+            << scenarios[3].steady_max_order << " of "
+            << scenarios[3].requests << " (flood finished at "
+            << scenarios[3].flood_max_order << ")\n";
 
   write_json(json_path, scenarios, reps, warm_over_cold);
   std::cout << "wrote " << json_path << " (best of " << reps

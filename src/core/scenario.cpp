@@ -13,13 +13,18 @@ MeasurementPlan Scenario::plan(const MethodologySpec& spec,
 }
 
 Scenario build_scenario(const ScenarioSpec& spec) {
+  FleetVariability var = FleetVariability::typical_cpu().scaled_to(spec.cv);
+  var.outlier_prob = 0.0;
+  return build_scenario_with_powers(
+      spec, generate_node_powers(spec.nodes, spec.mean_node_w, var,
+                                 spec.fleet_seed));
+}
+
+Scenario build_scenario_with_powers(const ScenarioSpec& spec,
+                                    std::vector<double> powers) {
   auto workload = std::make_shared<FirestarterWorkload>(
       minutes(spec.run_minutes), spec.load, minutes(spec.ramp_minutes),
       minutes(spec.tail_minutes));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(spec.cv);
-  var.outlier_prob = 0.0;
-  auto powers = generate_node_powers(spec.nodes, spec.mean_node_w, var,
-                                     spec.fleet_seed);
 
   Scenario s;
   s.cluster = std::make_unique<ClusterPowerModel>(spec.name, std::move(powers),

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/plan.hpp"
 #include "sim/cluster.hpp"
@@ -65,5 +66,14 @@ struct Scenario {
 /// its electrical model (platinum PSUs, no auxiliaries), and fills
 /// PlanInputs from the cluster's phases.
 [[nodiscard]] Scenario build_scenario(const ScenarioSpec& spec);
+
+/// Builds the scenario from an externally supplied fleet draw instead of
+/// generating one — `powers.size()` must equal `spec.nodes`.  The fleet
+/// means are the only nondeterministic-looking input to a build, so
+/// build_scenario(spec) is exactly build_scenario_with_powers(spec,
+/// generate_node_powers(...)); the persistent provision cache uses this
+/// to reconstruct a scenario bit-identically from spilled node means.
+[[nodiscard]] Scenario build_scenario_with_powers(const ScenarioSpec& spec,
+                                                  std::vector<double> powers);
 
 }  // namespace pv

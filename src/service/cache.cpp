@@ -1,5 +1,8 @@
 #include "service/cache.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "trace/wal.hpp"
@@ -55,13 +58,120 @@ std::string snapshot_of(const ScenarioSpec& spec, const Scenario& built) {
   return snap;
 }
 
+/// Disk artifacts are bound to fingerprint ^ this tag, so a journal
+/// written by anything else (a drain checkpoint, a collect WAL, an old
+/// format revision) is refused as foreign, not replayed as node means.
+std::uint64_t disk_format_tag() {
+  return fnv1a("powervar-scenario-cache-v1");
+}
+
+/// 16 lowercase hex chars of a double's bit pattern — the only encoding
+/// that round-trips every fleet draw bit-exactly through a text WAL.
+std::string hex_of_double(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(bits));
+  return std::string(buf, 16);
+}
+
+bool double_of_hex(const std::string& s, double& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t bits = 0;
+  for (const char c : s) {
+    int nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    bits = (bits << 4) | static_cast<std::uint64_t>(nibble);
+  }
+  std::memcpy(&out, &bits, sizeof out);
+  return true;
+}
+
 }  // namespace
 
-ScenarioCache::ScenarioCache(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+ScenarioCache::ScenarioCache(std::size_t capacity, std::string dir)
+    : capacity_(capacity == 0 ? 1 : capacity), dir_(std::move(dir)) {}
 
 std::uint64_t ScenarioCache::fingerprint(const ScenarioSpec& spec) {
   return fnv1a(spec_key(spec));
+}
+
+std::string ScenarioCache::disk_path(std::uint64_t fp) const {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp));
+  return dir_ + "/" + std::string(buf, 16) + ".scn";
+}
+
+bool ScenarioCache::try_load_disk(const ScenarioSpec& spec, std::uint64_t fp,
+                                  bool strict, std::vector<double>& means) {
+  const std::string path = disk_path(fp);
+  bool corrupt = false;
+  std::string why;
+  try {
+    const WalReplay replay = replay_wal(path);
+    if (!replay.exists) return false;  // plain cold miss, nothing on disk
+    if (replay.fingerprint != (fp ^ disk_format_tag())) {
+      corrupt = true;
+      why = "foreign fingerprint";
+    } else if (replay.torn_lines != 0) {
+      corrupt = true;
+      why = "torn record(s)";
+    } else if (replay.records.size() != spec.nodes) {
+      corrupt = true;
+      why = "node-count mismatch";
+    } else {
+      means.clear();
+      means.reserve(replay.records.size());
+      for (const std::string& record : replay.records) {
+        double v = 0.0;
+        if (!double_of_hex(record, v) || !std::isfinite(v) || v <= 0.0) {
+          corrupt = true;
+          why = "unparseable node mean";
+          break;
+        }
+        means.push_back(v);
+      }
+    }
+  } catch (const std::exception&) {
+    corrupt = true;  // not even a journal (garbage header)
+    why = "unreadable header";
+  }
+  if (!corrupt) return true;
+
+  // Quarantine: move the carcass aside so the next probe is a clean
+  // miss, then refuse (strict) or rebuild from scratch.
+  means.clear();
+  (void)std::rename(path.c_str(), (path + ".quarantined").c_str());
+  {
+    std::unique_lock lock(mu_);
+    ++stats_.quarantined;
+  }
+  if (strict) {
+    throw CacheCorruptError("spilled provision artifact failed revalidation (" +
+                            why +
+                            "; quarantined); strict mode refuses to rebuild");
+  }
+  return false;
+}
+
+void ScenarioCache::spill_to_disk(std::uint64_t fp, const Scenario& built) {
+  try {
+    WalWriter wal(disk_path(fp), fp ^ disk_format_tag());
+    for (const double mean : built.cluster->node_means()) {
+      wal.append(hex_of_double(mean));
+    }
+    std::unique_lock lock(mu_);
+    ++stats_.spills;
+  } catch (...) {
+    // Best effort: an unwritable cache dir degrades to memory-only.
+  }
 }
 
 void ScenarioCache::evict_if_full_locked() {
@@ -93,7 +203,6 @@ std::shared_ptr<const Scenario> ScenarioCache::acquire(
       auto it = entries_.find(fp);
       if (it == entries_.end()) {
         builder = true;
-        ++stats_.misses;
         evict_if_full_locked();
         Entry e;
         e.ready = build_promise.get_future().share();
@@ -108,7 +217,23 @@ std::shared_ptr<const Scenario> ScenarioCache::acquire(
     std::shared_ptr<const Scenario> artifact;
     if (builder) {
       try {
-        artifact = std::make_shared<const Scenario>(build_scenario(spec));
+        // Persistent tier first: a valid spilled artifact replays the
+        // fleet draw bit-exactly and skips generate_node_powers; only a
+        // true cold miss builds (and then spills for the next restart).
+        std::vector<double> means;
+        if (!dir_.empty() && try_load_disk(spec, fp, strict, means)) {
+          artifact = std::make_shared<const Scenario>(
+              build_scenario_with_powers(spec, std::move(means)));
+          std::unique_lock lock(mu_);
+          ++stats_.disk_hits;
+        } else {
+          {
+            std::unique_lock lock(mu_);
+            ++stats_.misses;
+          }
+          artifact = std::make_shared<const Scenario>(build_scenario(spec));
+          if (!dir_.empty()) spill_to_disk(fp, *artifact);
+        }
       } catch (...) {
         {
           std::unique_lock lock(mu_);

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
 
@@ -50,12 +51,26 @@ struct CacheStats {
   std::size_t hits = 0;         ///< revalidated hits served
   std::size_t misses = 0;       ///< scenario builds (cold or post-quarantine)
   std::size_t quarantined = 0;  ///< entries evicted on CRC mismatch
+                                ///  (in-memory or on-disk)
   std::size_t evicted = 0;      ///< entries displaced by capacity pressure
+  std::size_t disk_hits = 0;    ///< rebuilt from a spilled artifact
+                                ///  (skipped the fleet draw; not a miss)
+  std::size_t spills = 0;       ///< artifacts persisted to the cache dir
 };
 
 class ScenarioCache {
  public:
-  explicit ScenarioCache(std::size_t capacity = 8);
+  /// `dir` enables the persistent tier: misses probe `dir` for a spilled
+  /// artifact before building, and fresh builds are spilled back.  Disk
+  /// artifacts are CRC-framed WAL files (one record per node mean, bit
+  /// patterns in hex) revalidated on every load; a torn, truncated or
+  /// foreign file is quarantined on the spot (renamed *.quarantined) and
+  /// either rebuilt from scratch (strict = false) or refused with
+  /// CacheCorruptError (strict = true) — the same taxonomy as the
+  /// in-memory tier.  Capacity eviction only ever drops the in-memory
+  /// entry; the spilled file survives, which is what makes a warm
+  /// restart skip Provision.
+  explicit ScenarioCache(std::size_t capacity = 8, std::string dir = "");
 
   ScenarioCache(const ScenarioCache&) = delete;
   ScenarioCache& operator=(const ScenarioCache&) = delete;
@@ -87,9 +102,19 @@ class ScenarioCache {
   };
 
   void evict_if_full_locked();
+  [[nodiscard]] std::string disk_path(std::uint64_t fp) const;
+  /// Probes the persistent tier.  Returns true and fills `means` on a
+  /// valid spilled artifact; quarantines a corrupt one (throwing in
+  /// strict mode); returns false when there is nothing usable.
+  bool try_load_disk(const ScenarioSpec& spec, std::uint64_t fp, bool strict,
+                     std::vector<double>& means);
+  /// Best-effort spill of a fresh build (a failed spill never fails the
+  /// request — the artifact just stays memory-only).
+  void spill_to_disk(std::uint64_t fp, const Scenario& built);
 
   mutable std::mutex mu_;
   std::size_t capacity_;
+  std::string dir_;
   std::uint64_t use_clock_ = 0;
   std::map<std::uint64_t, Entry> entries_;
   CacheStats stats_;

@@ -1,0 +1,69 @@
+#include "service/fair.hpp"
+
+#include <algorithm>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+FairShareQueue::FairShareQueue(double age_boost) : age_boost_(age_boost) {}
+
+void FairShareQueue::enqueue(std::size_t ticket, const std::string& tenant,
+                             unsigned priority) {
+  PV_EXPECTS(priority >= 1 && priority <= 8,
+             "fair-share priority out of [1, 8]");
+  Lane& lane = lanes_[tenant];
+  if (lane.fifo.empty()) {
+    // Rejoin at the current virtual time: an idle tenant must not bank
+    // credit from its quiet period and then monopolize the pool.
+    lane.pass = std::max(lane.pass, vtime_);
+  }
+  lane.fifo.push_back(Item{ticket, priority, dispatch_clock_});
+  ++size_;
+}
+
+std::size_t FairShareQueue::pop() {
+  PV_EXPECTS(size_ > 0, "pop() on an empty fair-share queue");
+  // The lane with the lowest aging-discounted pass wins; std::map
+  // iteration order plus strict '<' makes ties fall to the
+  // lexicographically smallest tenant.
+  Lane* best = nullptr;
+  double best_eff = 0.0;
+  for (auto& [tenant, lane] : lanes_) {
+    if (lane.fifo.empty()) continue;
+    const auto age =
+        static_cast<double>(dispatch_clock_ - lane.fifo.front().enqueued_at);
+    const double eff = static_cast<double>(lane.pass) -
+                       age_boost_ * static_cast<double>(kStride) * age;
+    if (best == nullptr || eff < best_eff) {
+      best = &lane;
+      best_eff = eff;
+    }
+  }
+  const Item item = best->fifo.front();
+  best->fifo.pop_front();
+  vtime_ = std::max(vtime_, best->pass);
+  best->pass += kStride / item.priority;
+  ++dispatch_clock_;
+  --size_;
+  return item.ticket;
+}
+
+std::vector<std::size_t> FairShareQueue::clear() {
+  std::vector<std::size_t> tickets;
+  tickets.reserve(size_);
+  for (auto& [tenant, lane] : lanes_) {
+    for (const Item& item : lane.fifo) tickets.push_back(item.ticket);
+    lane.fifo.clear();
+  }
+  std::sort(tickets.begin(), tickets.end());
+  size_ = 0;
+  return tickets;
+}
+
+std::size_t FairShareQueue::waiting(const std::string& tenant) const {
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.fifo.size();
+}
+
+}  // namespace pv

@@ -1,0 +1,90 @@
+#pragma once
+// Deficit-weighted fair-share dispatch queue for the campaign service.
+//
+// PR6's service dispatched admitted requests FIFO through the worker
+// pool, so one flooding tenant could starve everyone behind it for the
+// whole backlog.  FairShareQueue replaces the FIFO with per-tenant lanes
+// scheduled by stride scheduling plus aging:
+//
+//   lanes      every tenant owns a FIFO lane; requests never reorder
+//              within a tenant.
+//
+//   stride     each dispatch advances the chosen lane's pass by
+//              kStride / priority (kStride = lcm(1..8), so the division
+//              is exact for every legal priority).  The lane with the
+//              lowest pass dispatches next: a priority-p tenant advances
+//              1/p as fast and therefore runs p times as often under
+//              contention.  Ties break on the lexicographically
+//              smallest tenant name — the whole policy is a pure
+//              function of the enqueue/pop call sequence.
+//
+//   aging      a lane's effective pass is discounted by age_boost *
+//              kStride per dispatch its head request has waited, so
+//              even a weight-1 tenant behind a high-priority flood is
+//              dispatched in bounded time (no permanent starvation).
+//
+//   joining    a lane that goes from empty to non-empty rejoins at the
+//              current virtual time (the highest pass already
+//              dispatched), so an idle tenant cannot bank credit and
+//              then monopolize the pool.
+//
+// The queue is not thread-safe: CampaignService drives it under its own
+// mutex.  Determinism matters more than micro-cost here — the fair-share
+// unit tests assert exact dispatch orders.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pv {
+
+class FairShareQueue {
+ public:
+  /// Stride numerator: lcm(1..8), so pass increments are exact integers
+  /// for every legal priority.
+  static constexpr std::uint64_t kStride = 840;
+
+  /// `age_boost` is the starvation discount in strides per dispatch
+  /// waited (0 = pure stride scheduling).
+  explicit FairShareQueue(double age_boost = 0.0);
+
+  /// Appends a ticket to its tenant's lane.  `priority` must be in
+  /// [1, 8] (the request parser enforces it).
+  void enqueue(std::size_t ticket, const std::string& tenant,
+               unsigned priority);
+
+  /// Picks and removes the next ticket under the policy above.
+  /// Precondition: !empty().
+  [[nodiscard]] std::size_t pop();
+
+  /// Removes every queued ticket, returned in ascending ticket order —
+  /// the drain path, where checkpoint order must match slot order.
+  std::vector<std::size_t> clear();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Queued tickets of one tenant (the per-tenant admission cap).
+  [[nodiscard]] std::size_t waiting(const std::string& tenant) const;
+
+ private:
+  struct Item {
+    std::size_t ticket = 0;
+    unsigned priority = 1;
+    std::uint64_t enqueued_at = 0;  ///< dispatch-clock reading at enqueue
+  };
+  struct Lane {
+    std::deque<Item> fifo;
+    std::uint64_t pass = 0;
+  };
+
+  double age_boost_;
+  std::size_t size_ = 0;
+  std::uint64_t dispatch_clock_ = 0;  ///< pops so far
+  std::uint64_t vtime_ = 0;           ///< highest pass ever dispatched at
+  std::map<std::string, Lane> lanes_;
+};
+
+}  // namespace pv

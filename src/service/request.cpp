@@ -124,6 +124,16 @@ ServiceRequest parse_request(const std::string& json_line) {
     } else if (key == "deadline_ms") {
       req.deadline_ms = need_number(value, "deadline_ms");
       if (req.deadline_ms < 0.0) bad("field 'deadline_ms' must be >= 0");
+    } else if (key == "tenant") {
+      req.tenant = need_string(value, "tenant");
+      if (req.tenant.empty() || req.tenant.size() > 64 ||
+          req.tenant.find('\n') != std::string::npos) {
+        bad("field 'tenant' must be a non-empty single-line string (<= 64 "
+            "bytes)");
+      }
+    } else if (key == "priority") {
+      req.priority = static_cast<unsigned>(need_count(value, "priority", 8));
+      if (req.priority < 1) bad("field 'priority' must be in [1, 8]");
     } else {
       bad("unknown request field '" + key + "'");
     }
@@ -152,6 +162,10 @@ std::string render_request_json(const ServiceRequest& req) {
   }
   if (req.interval_s > 0.0) o["interval"] = req.interval_s;
   if (req.deadline_ms > 0.0) o["deadline_ms"] = req.deadline_ms;
+  if (req.tenant != "default") o["tenant"] = req.tenant;
+  if (req.priority != 1) {
+    o["priority"] = static_cast<unsigned long long>(req.priority);
+  }
   return o.dump();
 }
 
@@ -179,6 +193,18 @@ const char* to_string(ResponseCode code) {
       return "stage_failed";
   }
   return "unknown";
+}
+
+std::string render_response_json(const ServiceResponse& resp,
+                                 std::size_t seq) {
+  std::string out = "{\"schema\":\"powervar-response-v1\",\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"id\":";
+  const std::string body = render_response_json(resp);
+  // Splice the tagged prefix onto the batch-mode line so the two
+  // renderings can never drift: everything after "id": is shared bytes.
+  out += body.substr(body.find("\"id\":") + 5);
+  return out;
 }
 
 std::string render_response_json(const ServiceResponse& resp) {

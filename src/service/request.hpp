@@ -53,6 +53,14 @@ struct ServiceRequest {
   unsigned threads = 0;        ///< campaign fan-out (0 = serial)
   double interval_s = 0.0;     ///< meter interval override (0 = plan's)
   double deadline_ms = 0.0;    ///< per-request budget (0 = service default)
+  /// Fair-share identity: requests of one tenant share a FIFO lane in
+  /// the dispatch queue (service/fair.hpp).  Single-line, <= 64 bytes.
+  std::string tenant = "default";
+  /// Fair-share weight 1..8: a priority-p tenant advances its stride
+  /// pass 1/p as fast, so it is dispatched p times as often under
+  /// contention.  Rendered (like tenant) only when non-default, so PR6
+  /// drain journals and goldens keep their exact bytes.
+  unsigned priority = 1;
 };
 
 /// Parses one request line.  Throws JsonParseError (malformed bytes) or
@@ -93,12 +101,24 @@ struct ServiceResponse {
   /// verbatim (embedded raw into the response line) so isolation tests
   /// compare bytes, not re-serializations.
   std::string assessment_json;
+  /// Position in the service's global dispatch order (1-based; 0 = never
+  /// dispatched: shed/invalid/checkpointed).  Observability for the
+  /// fair-share soak — never rendered to the wire.
+  std::size_t dispatch_order = 0;
 };
 
 /// The response as one JSON line (no trailing newline).  Field order is
 /// fixed; absent-by-code fields are omitted, so the line is a
 /// deterministic function of the response.
 [[nodiscard]] std::string render_response_json(const ServiceResponse& resp);
+
+/// The streaming front-end's variant: same line with a `"seq":N` tag
+/// right after the schema, where N is the request's submission index.
+/// Completion-order transcripts stay byte-comparable across runs as
+/// *sets* (sort both), and stripping the seq field recovers the exact
+/// batch-mode line.
+[[nodiscard]] std::string render_response_json(const ServiceResponse& resp,
+                                               std::size_t seq);
 
 /// The scenario a request provisions — the content-addressed cache key.
 /// Mirrors the CLI: fleet_seed = seed ^ 0x99 (historical mixing).

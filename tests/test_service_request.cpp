@@ -111,6 +111,13 @@ TEST(FuzzServiceRequest, HandCraftedHostileInputs) {
       R"({"schema":"powervar-request-v1","id":"x","threads":1e6})",
       R"({"schema":"powervar-request-v1","id":"x","interval":-1})",
       R"({"schema":"powervar-request-v1","id":"x","deadline_ms":-1})",
+      R"({"schema":"powervar-request-v1","id":"x","tenant":""})",
+      R"({"schema":"powervar-request-v1","id":"x","tenant":42})",
+      "{\"schema\":\"powervar-request-v1\",\"id\":\"x\",\"tenant\":\"a\\nb\"}",
+      R"({"schema":"powervar-request-v1","id":"x","priority":0})",
+      R"({"schema":"powervar-request-v1","id":"x","priority":9})",
+      R"({"schema":"powervar-request-v1","id":"x","priority":2.5})",
+      R"({"schema":"powervar-request-v1","id":"x","priority":"3"})",
       R"({"schema":"powervar-request-v1","id":"x","wibble":1})",    // unknown
       R"({"schema":"powervar-request-v1","id":"x","nodes":64,"nodes":32})",
       R"({"schema":"powervar-request-v1","id":"x"} trailing)",
@@ -129,6 +136,12 @@ TEST(FuzzServiceRequest, HandCraftedHostileInputs) {
   EXPECT_THROW(
       parse_request(R"({"schema":"powervar-request-v1","id":")" + long_id +
                     R"("})"),
+      RequestParseError);
+  // So is the tenant cap (64 bytes).
+  std::string long_tenant(65, 't');
+  EXPECT_THROW(
+      parse_request(R"({"schema":"powervar-request-v1","id":"x","tenant":")" +
+                    long_tenant + R"("})"),
       RequestParseError);
   // A nesting bomb must be a loud parse error, not a stack overflow.
   std::string bomb = R"({"schema":"powervar-request-v1","id":)";
@@ -191,6 +204,51 @@ TEST(FuzzServiceRequest, DeterministicMutationSchedule) {
     }
     expect_parse_or_typed_reject(s);
   }
+}
+
+TEST(FuzzServiceRequest, TenantAndPriorityRoundTripWhenNonDefault) {
+  ServiceRequest req;
+  req.id = "fair";
+  req.tenant = "acme";
+  req.priority = 5;
+  const std::string line = render_request_json(req);
+  EXPECT_NE(line.find("\"tenant\":\"acme\""), std::string::npos);
+  EXPECT_NE(line.find("\"priority\":5"), std::string::npos);
+  const ServiceRequest back = parse_request(line);
+  EXPECT_EQ(back.tenant, "acme");
+  EXPECT_EQ(back.priority, 5u);
+  EXPECT_EQ(render_request_json(back), line);
+}
+
+TEST(FuzzServiceRequest, DefaultTenantAndPriorityKeepTheOldWireBytes) {
+  // Backward compatibility with PR6 drain journals and goldens: a
+  // default-tenant, priority-1 request renders the exact pre-fair-share
+  // line — the new fields appear only when they say something.
+  const std::string line = valid_line();
+  EXPECT_EQ(line.find("tenant"), std::string::npos);
+  EXPECT_EQ(line.find("priority"), std::string::npos);
+  const ServiceRequest req = parse_request(line);
+  EXPECT_EQ(req.tenant, "default");
+  EXPECT_EQ(req.priority, 1u);
+}
+
+TEST(ServiceResponseJson, SeqTagSplicesOntoTheExactBatchLine) {
+  ServiceResponse resp;
+  resp.id = "stream-1";
+  resp.code = ResponseCode::kShed;
+  resp.message = "admission queue is full";
+  resp.retry_after_s = 1.5;
+  const std::string batch = render_response_json(resp);
+  const std::string tagged = render_response_json(resp, 7);
+  EXPECT_EQ(tagged.rfind("{\"schema\":\"powervar-response-v1\",\"seq\":7,", 0),
+            0u);
+  // Stripping the seq field recovers the batch line byte for byte — the
+  // contract the determinism gate's sed pipeline relies on.
+  std::string stripped = tagged;
+  const std::size_t at = stripped.find("\"seq\":7,");
+  ASSERT_NE(at, std::string::npos);
+  stripped.erase(at, std::string("\"seq\":7,").size());
+  EXPECT_EQ(stripped, batch);
 }
 
 TEST(FuzzServiceRequest, JsonParserRoundTripsSerializerOutput) {

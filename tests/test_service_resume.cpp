@@ -1,0 +1,506 @@
+// Restart/resume contracts for the hardened campaign service
+// (src/service): drain checkpoints replayed through resume_from must
+// reproduce the uninterrupted run byte for byte, and every defective
+// journal — missing, foreign, torn, unparseable — must be refused
+// loudly with CheckpointError before anything is submitted.  The
+// torture drills reuse the WAL-corruption discipline from test_wal.cpp
+// over a *real* drain checkpoint: clean prefix or typed refusal, never
+// a forged response.
+
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/request.hpp"
+#include "stats/rng.hpp"
+#include "trace/wal.hpp"
+
+namespace pv {
+namespace {
+
+std::string temp_wal(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << text;
+}
+
+/// A real (small) campaign request — the byte-identity tests need
+/// responses that carry full assessments.
+ServiceRequest campaign_request(std::size_t i) {
+  ServiceRequest req;
+  req.id = "rr-" + std::to_string(i);
+  req.nodes = 24 + 8 * (i % 2);
+  req.seed = 300 + i;
+  req.interval_s = 10.0;
+  if (i % 3 == 1) req.faults = "mild";
+  if (i == 2) {
+    req.tenant = "acme";  // tenant/priority must survive the journal
+    req.priority = 3;
+  }
+  return req;
+}
+
+/// A request whose deadline is already spent: it resolves to a typed
+/// deadline_exceeded response in microseconds, so the torture drills can
+/// resume dozens of journals without paying for real campaigns.
+ServiceRequest cheap_request(const std::string& id, std::uint64_t seed) {
+  ServiceRequest req;
+  req.id = id;
+  req.nodes = 24;
+  req.seed = seed;
+  req.interval_s = 10.0;
+  req.deadline_ms = 1e-7;
+  return req;
+}
+
+/// Writes a genuine drain-checkpoint journal holding `reqs` (held
+/// submissions checkpoint in ticket order, deterministically at any
+/// worker count) and returns its bytes.
+std::string checkpoint_journal(const std::string& path,
+                               const std::vector<ServiceRequest>& reqs) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queue = reqs.size();
+  config.checkpoint_path = path;
+  CampaignService service(config);
+  for (const ServiceRequest& req : reqs) {
+    EXPECT_NE(service.submit(req, /*hold=*/true).decision, Admission::kShed)
+        << req.id;
+  }
+  const DrainReport report = service.drain();
+  EXPECT_EQ(report.checkpointed, reqs.size());
+  return slurp(path);
+}
+
+TEST(ServiceResume, DrainRestartResumeIsByteIdenticalToUninterruptedRun) {
+  std::vector<ServiceRequest> reqs;
+  for (std::size_t i = 0; i < 6; ++i) reqs.push_back(campaign_request(i));
+
+  for (const unsigned workers : {1u, 4u}) {
+    // The reference: one service, no interruption.
+    std::vector<std::string> clean;
+    {
+      ServiceConfig config;
+      config.workers = workers;
+      config.max_queue = reqs.size();
+      CampaignService service(config);
+      std::vector<std::size_t> tickets;
+      for (const auto& req : reqs) tickets.push_back(service.submit(req).ticket);
+      for (const std::size_t t : tickets) {
+        const ServiceResponse resp = service.wait(t);
+        ASSERT_EQ(resp.code, ResponseCode::kOk) << resp.message;
+        clean.push_back(render_response_json(resp));
+      }
+    }
+
+    // The interrupted run: the first two requests complete, the rest are
+    // held (the CLI's --drain-after) and checkpointed by drain.
+    const std::string wal = temp_wal("resume_identity_" +
+                                     std::to_string(workers) + ".wal");
+    std::vector<std::string> pieced;
+    {
+      ServiceConfig config;
+      config.workers = workers;
+      config.max_queue = reqs.size();
+      config.checkpoint_path = wal;
+      CampaignService service(config);
+      std::vector<std::size_t> tickets;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        tickets.push_back(service.submit(reqs[i], /*hold=*/i >= 2).ticket);
+      }
+      // Let the two dispatchable requests finish before the "crash":
+      // drain then checkpoints exactly the held tail.
+      for (std::size_t i = 0; i < 2; ++i) (void)service.wait(tickets[i]);
+      const DrainReport report = service.drain();
+      EXPECT_EQ(report.completed, 2u);
+      EXPECT_EQ(report.checkpointed, 4u);
+      for (std::size_t i = 0; i < 2; ++i) {
+        const ServiceResponse resp = service.wait(tickets[i]);
+        ASSERT_EQ(resp.code, ResponseCode::kOk) << resp.message;
+        pieced.push_back(render_response_json(resp));
+      }
+      for (std::size_t i = 2; i < reqs.size(); ++i) {
+        EXPECT_EQ(service.wait(tickets[i]).code, ResponseCode::kCheckpointed);
+      }
+    }
+
+    // The restarted process: resume under the original ids and seeds.
+    {
+      ServiceConfig config;
+      config.workers = workers;
+      config.max_queue = reqs.size();
+      CampaignService service(config);
+      const ResumeOutcome outcome = service.resume_from(wal);
+      EXPECT_EQ(outcome.duplicates, 0u);
+      ASSERT_EQ(outcome.tickets.size(), 4u);
+      for (const std::size_t t : outcome.tickets) {
+        const ServiceResponse resp = service.wait(t);
+        ASSERT_EQ(resp.code, ResponseCode::kOk) << resp.message;
+        pieced.push_back(render_response_json(resp));
+      }
+    }
+
+    // The union of both halves is the uninterrupted transcript, byte for
+    // byte — same ids, same seeds, same assessments.
+    std::vector<std::string> want = clean;
+    std::sort(want.begin(), want.end());
+    std::sort(pieced.begin(), pieced.end());
+    EXPECT_EQ(pieced, want) << "with " << workers << " workers";
+  }
+}
+
+TEST(ServiceResume, HeldSubmissionsAreNeverDispatched) {
+  // Without a journal, a held (admitted) request drains to the weaker
+  // `cancelled` response; with one it is checkpointed.  Either way its
+  // dispatch_order stays 0 — it never touched a worker.
+  {
+    ServiceConfig config;
+    config.workers = 2;
+    CampaignService service(config);
+    const std::size_t t =
+        service.submit(cheap_request("held-0", 1), /*hold=*/true).ticket;
+    const DrainReport report = service.drain();
+    EXPECT_EQ(report.completed, 0u);
+    EXPECT_EQ(report.checkpointed, 1u);
+    const ServiceResponse resp = service.wait(t);
+    EXPECT_EQ(resp.code, ResponseCode::kCancelled);
+    EXPECT_EQ(resp.dispatch_order, 0u);
+  }
+  {
+    ServiceConfig config;
+    config.workers = 2;
+    config.checkpoint_path = temp_wal("resume_held.wal");
+    CampaignService service(config);
+    const std::size_t t =
+        service.submit(cheap_request("held-1", 1), /*hold=*/true).ticket;
+    (void)service.drain();
+    const ServiceResponse resp = service.wait(t);
+    EXPECT_EQ(resp.code, ResponseCode::kCheckpointed);
+    EXPECT_EQ(resp.dispatch_order, 0u);
+  }
+}
+
+TEST(ServiceResume, MissingOrEmptyJournalIsRefused) {
+  ServiceConfig config;
+  config.workers = 1;
+  CampaignService service(config);
+  EXPECT_THROW(service.resume_from(temp_wal("resume_never_written.wal")),
+               CheckpointError);
+  const std::string empty = temp_wal("resume_empty.wal");
+  { std::ofstream f(empty); }
+  EXPECT_THROW(service.resume_from(empty), CheckpointError);
+  EXPECT_EQ(service.drain().submitted, 0u);  // nothing was submitted
+}
+
+TEST(ServiceResume, ForeignFingerprintIsRefused) {
+  const std::string path = temp_wal("resume_foreign.wal");
+  {
+    WalWriter w(path, 0x1234ULL);  // a collect journal, not a drain one
+    w.append(render_request_json(cheap_request("f-0", 1)));
+  }
+  ServiceConfig config;
+  config.workers = 1;
+  CampaignService service(config);
+  try {
+    (void)service.resume_from(path);
+    FAIL() << "foreign journal was accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("foreign fingerprint"),
+              std::string::npos);
+  }
+  EXPECT_EQ(service.drain().submitted, 0u);
+}
+
+TEST(ServiceResume, TornJournalIsRefusedNotResumedPastTheTear) {
+  const std::string path = temp_wal("resume_torn.wal");
+  std::vector<ServiceRequest> reqs = {cheap_request("t-0", 1),
+                                      cheap_request("t-1", 2)};
+  checkpoint_journal(path, reqs);
+  std::ofstream(path, std::ios::app) << "R half-written-before-the-crash";
+  ServiceConfig config;
+  config.workers = 1;
+  CampaignService service(config);
+  try {
+    (void)service.resume_from(path);
+    FAIL() << "torn journal was accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("torn"), std::string::npos);
+  }
+  // Whole-journal validation: even the intact prefix was NOT submitted.
+  EXPECT_EQ(service.drain().submitted, 0u);
+}
+
+TEST(ServiceResume, UnparseableRecordRefusesTheWholeJournal) {
+  const std::string path = temp_wal("resume_badrecord.wal");
+  {
+    WalWriter w(path, service_checkpoint_fingerprint());
+    w.append(render_request_json(cheap_request("b-0", 1)));
+    w.append("this CRC-valid record is not a request");
+    w.append(render_request_json(cheap_request("b-2", 3)));
+  }
+  ServiceConfig config;
+  config.workers = 1;
+  CampaignService service(config);
+  EXPECT_THROW(service.resume_from(path), CheckpointError);
+  // Neither the record before nor after the bad one was submitted: a
+  // defective journal is refused outright, never half-applied.
+  EXPECT_EQ(service.drain().submitted, 0u);
+}
+
+TEST(ServiceResume, DuplicatedRecordsAreDroppedByKeyedDedup) {
+  const std::string path = temp_wal("resume_dup.wal");
+  const ServiceRequest a = cheap_request("dup-a", 1);
+  const ServiceRequest b = cheap_request("dup-b", 2);
+  {
+    WalWriter w(path, service_checkpoint_fingerprint());
+    w.append(render_request_json(a));
+    w.append(render_request_json(b));
+    w.append(render_request_json(a));  // a buffered retry re-appended it
+  }
+  ServiceConfig config;
+  config.workers = 2;
+  CampaignService service(config);
+  const ResumeOutcome outcome = service.resume_from(path);
+  EXPECT_EQ(outcome.duplicates, 1u);
+  ASSERT_EQ(outcome.tickets.size(), 2u);
+  EXPECT_EQ(service.wait(outcome.tickets[0]).id, "dup-a");
+  EXPECT_EQ(service.wait(outcome.tickets[1]).id, "dup-b");
+  EXPECT_EQ(service.drain().submitted, 2u);
+}
+
+TEST(ServiceResume, AlreadyAcceptedIdsAreNeverResubmitted) {
+  const std::string path = temp_wal("resume_dedup_live.wal");
+  const ServiceRequest a = cheap_request("live-a", 1);
+  const ServiceRequest c = cheap_request("live-c", 3);
+  {
+    WalWriter w(path, service_checkpoint_fingerprint());
+    w.append(render_request_json(a));
+    w.append(render_request_json(c));
+  }
+  ServiceConfig config;
+  config.workers = 2;
+  CampaignService service(config);
+  (void)service.wait(service.submit(a).ticket);  // the service saw 'live-a'
+  const ResumeOutcome outcome = service.resume_from(path);
+  EXPECT_EQ(outcome.duplicates, 1u);
+  ASSERT_EQ(outcome.tickets.size(), 1u);
+  EXPECT_EQ(service.wait(outcome.tickets[0]).id, "live-c");
+  const DrainReport report = service.drain();
+  EXPECT_EQ(report.admitted, 2u);  // 'live-a' exactly once
+}
+
+TEST(ServiceResume, CrashMidDrainLeavesAValidPrefixJournal) {
+  const std::string path = temp_wal("resume_crash.wal");
+  std::vector<ServiceRequest> reqs;
+  for (std::size_t i = 0; i < 5; ++i) {
+    reqs.push_back(cheap_request("crash-" + std::to_string(i), 10 + i));
+  }
+  std::vector<std::size_t> tickets;
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.max_queue = reqs.size();
+    config.checkpoint_path = path;
+    config.crash_after_checkpoints = 2;
+    CampaignService service(config);
+    for (const auto& req : reqs) {
+      tickets.push_back(service.submit(req, /*hold=*/true).ticket);
+    }
+    EXPECT_THROW(service.drain(), ServiceAbortedError);
+    // The first two slots made it into the journal; the crash lost the
+    // rest — loudly, as cancelled, never as forged checkpointed/ok.
+    EXPECT_EQ(service.wait(tickets[0]).code, ResponseCode::kCheckpointed);
+    EXPECT_EQ(service.wait(tickets[1]).code, ResponseCode::kCheckpointed);
+    for (std::size_t i = 2; i < tickets.size(); ++i) {
+      const ServiceResponse resp = service.wait(tickets[i]);
+      EXPECT_EQ(resp.code, ResponseCode::kCancelled);
+      EXPECT_NE(resp.message.find("crash"), std::string::npos);
+    }
+    // A second drain after the simulated crash is a calm no-op report.
+    EXPECT_NO_THROW((void)service.drain());
+  }
+
+  // The journal on disk is a valid 2-record prefix a restart can resume.
+  const WalReplay replay = replay_wal(path);
+  ASSERT_TRUE(replay.exists);
+  EXPECT_EQ(replay.fingerprint, service_checkpoint_fingerprint());
+  EXPECT_EQ(replay.torn_lines, 0u);
+  ASSERT_EQ(replay.records.size(), 2u);
+  ServiceConfig config;
+  config.workers = 1;
+  CampaignService service(config);
+  const ResumeOutcome outcome = service.resume_from(path);
+  ASSERT_EQ(outcome.tickets.size(), 2u);
+  EXPECT_EQ(service.wait(outcome.tickets[0]).id, "crash-0");
+  EXPECT_EQ(service.wait(outcome.tickets[1]).id, "crash-1");
+}
+
+TEST(ServiceResume, CrashRequiresAConfiguredJournal) {
+  // crash_after_checkpoints only counts journal appends: without a
+  // checkpoint path nothing is ever appended, so the crash never fires.
+  ServiceConfig config;
+  config.workers = 1;
+  config.crash_after_checkpoints = 1;
+  CampaignService service(config);
+  (void)service.submit(cheap_request("nc-0", 1), /*hold=*/true);
+  EXPECT_NO_THROW((void)service.drain());
+}
+
+// --- torture: seeded corruption drills over a real drain journal --------
+
+/// Attempts a resume of `path` into a fresh service.  On success the
+/// resumed ids must be exactly a prefix of `wrote` (clean prefix, every
+/// response typed); on refusal nothing may have been submitted.
+void drill_resume(const std::string& path,
+                  const std::vector<std::string>& wrote) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.max_queue = wrote.size();
+  CampaignService service(config);
+  std::optional<ResumeOutcome> outcome;
+  try {
+    outcome = service.resume_from(path);
+  } catch (const CheckpointError&) {
+    EXPECT_EQ(service.drain().submitted, 0u);  // loud refusal, no submits
+    return;
+  }
+  ASSERT_LE(outcome->tickets.size(), wrote.size());
+  for (std::size_t i = 0; i < outcome->tickets.size(); ++i) {
+    const ServiceResponse resp = service.wait(outcome->tickets[i]);
+    EXPECT_EQ(resp.id, wrote[i]) << "record " << i << " is not the prefix";
+    EXPECT_EQ(resp.code, ResponseCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(service.drain().admitted, outcome->tickets.size());
+}
+
+TEST(ServiceResumeTorture, SeededTruncationsResumeACleanPrefixOrRefuse) {
+  const std::string path = temp_wal("resume_torture_trunc.wal");
+  std::vector<ServiceRequest> reqs;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < 12; ++i) {
+    reqs.push_back(cheap_request("tt-" + std::to_string(i), 100 + i));
+    ids.push_back(reqs.back().id);
+  }
+  checkpoint_journal(path, reqs);
+  const std::string pristine = slurp(path);
+  const std::size_t header_end = pristine.find('\n') + 1;
+
+  Rng rng(0xC0FFEE);
+  bool saw_partial_resume = false;
+  for (int drill = 0; drill < 30; ++drill) {
+    const std::size_t cut =
+        header_end + static_cast<std::size_t>(rng.uniform_index(
+                         pristine.size() - header_end + 1));
+    dump(path, pristine.substr(0, cut));
+    drill_resume(path, ids);
+    // Track that the corpus actually exercises the clean-prefix branch
+    // (a cut on a line boundary), not just refusals.
+    if (cut < pristine.size() && cut > header_end &&
+        pristine[cut - 1] == '\n') {
+      saw_partial_resume = true;
+    }
+  }
+  EXPECT_TRUE(saw_partial_resume) << "corpus never hit a line boundary";
+}
+
+TEST(ServiceResumeTorture, SeededBitFlipsNeverForgeARequest) {
+  const std::string path = temp_wal("resume_torture_flip.wal");
+  std::vector<ServiceRequest> reqs;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < 12; ++i) {
+    reqs.push_back(cheap_request("tf-" + std::to_string(i), 200 + i));
+    ids.push_back(reqs.back().id);
+  }
+  checkpoint_journal(path, reqs);
+  const std::string pristine = slurp(path);
+  const std::size_t header_end = pristine.find('\n') + 1;
+
+  Rng rng(0xBADC0DE);
+  for (int drill = 0; drill < 30; ++drill) {
+    std::string text = pristine;
+    const int flips = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at =
+          header_end + static_cast<std::size_t>(rng.uniform_index(
+                           text.size() - header_end));
+      text[at] = static_cast<char>(
+          text[at] ^ static_cast<char>(1 << rng.uniform_index(8)));
+    }
+    dump(path, text);
+    // Record CRCs catch every flip: the resume refuses (torn) — and must
+    // never surface a record that was not journaled.  drill_resume also
+    // accepts the (theoretical) clean-prefix outcome.
+    drill_resume(path, ids);
+  }
+}
+
+TEST(ServiceResumeTorture, HeaderFlipIsARefusalNotAFreshStart) {
+  const std::string path = temp_wal("resume_torture_header.wal");
+  std::vector<ServiceRequest> reqs = {cheap_request("th-0", 1)};
+  checkpoint_journal(path, reqs);
+  std::string text = slurp(path);
+  text[2] ^= 0x01;  // inside the fingerprint hex
+  dump(path, text);
+  ServiceConfig config;
+  config.workers = 1;
+  CampaignService service(config);
+  EXPECT_THROW(service.resume_from(path), CheckpointError);
+  EXPECT_EQ(service.drain().submitted, 0u);
+}
+
+TEST(ServiceResume, NextCompletedStreamsEveryTicketExactlyOnce) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.max_queue = 8;
+  CampaignService service(config);
+
+  std::vector<std::size_t> consumed;
+  std::thread consumer([&] {
+    while (const auto ticket = service.next_completed()) {
+      consumed.push_back(*ticket);
+    }
+  });
+
+  std::size_t tickets = 0;
+  // One invalid line, four cheap requests, one held — every flavor of
+  // terminal state must appear on the stream exactly once.
+  ASSERT_TRUE(service.submit_line("not json at all").has_ticket);
+  ++tickets;
+  for (std::size_t i = 0; i < 4; ++i) {
+    (void)service.submit(cheap_request("nc-" + std::to_string(i), i));
+    ++tickets;
+  }
+  (void)service.submit(cheap_request("nc-held", 9), /*hold=*/true);
+  ++tickets;
+
+  (void)service.drain();  // closes the stream once everything resolved
+  consumer.join();
+
+  ASSERT_EQ(consumed.size(), tickets);
+  std::vector<std::size_t> sorted = consumed;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < tickets; ++i) {
+    EXPECT_EQ(sorted[i], i);  // each ticket exactly once, none invented
+  }
+  // A closed, fully consumed stream keeps answering nullopt.
+  EXPECT_FALSE(service.next_completed().has_value());
+}
+
+}  // namespace
+}  // namespace pv

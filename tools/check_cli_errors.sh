@@ -173,6 +173,78 @@ echo 'not json at all' >>"$serve_reqs"
 expect_serve "serve invalid request line exits 1" 1 -- --workers 2
 rm -f "$serve_reqs"
 
+# ---- serve checkpoint/resume exit codes -------------------------------
+# A refused checkpoint is its own failure class (exit 8), distinct from
+# the generic 1: the operator must know the journal — not the requests —
+# is the problem.  Each refusal names its cause on stderr.
+serve_reqs=$(mktemp /tmp/pv_cli_serve.XXXXXX.jsonl)
+serve_wal=$(mktemp /tmp/pv_cli_serve.XXXXXX.wal)
+{
+  echo '{"schema":"powervar-request-v1","id":"c1","nodes":24,"interval":10}'
+  echo '{"schema":"powervar-request-v1","id":"c2","nodes":24,"interval":10}'
+} >"$serve_reqs"
+
+expect_exit "serve --resume with a missing checkpoint exits 8" 8 \
+  "missing or empty" \
+  -- serve --resume /nonexistent/drain.wal
+expect_exit "serve --crash-after without --checkpoint is a usage error" 2 \
+  "needs a --checkpoint journal" \
+  -- serve --requests "$serve_reqs" --crash-after 1
+
+# Build a real drain checkpoint (hold everything, exit 0), then torture
+# it: a mid-record truncation and a foreign (collect-format) journal must
+# both be refused outright, never half-resumed.
+if ! "$powervar" serve --requests "$serve_reqs" --drain-after 0 \
+     --checkpoint "$serve_wal" >/dev/null 2>&1; then
+  echo "FAIL: could not produce a drain checkpoint for the refusal cases" >&2
+  failures=$((failures + 1))
+else
+  wal_bytes=$(wc -c <"$serve_wal")
+  head -c "$((wal_bytes - 3))" "$serve_wal" >"$serve_wal.torn"
+  expect_exit "serve --resume with a torn checkpoint exits 8" 8 \
+    "torn line" \
+    -- serve --resume "$serve_wal.torn"
+  rm -f "$serve_wal.torn"
+fi
+
+collect_wal=$(mktemp /tmp/pv_cli_collect.XXXXXX.wal)
+if ! "$powervar" collect --nodes 24 --seed 7 --interval 10 \
+     --checkpoint "$collect_wal" >/dev/null 2>&1; then
+  echo "FAIL: could not produce a collect journal for the fingerprint case" >&2
+  failures=$((failures + 1))
+else
+  expect_exit "serve --resume refuses a foreign-fingerprint journal" 8 \
+    "foreign fingerprint" \
+    -- serve --resume "$collect_wal"
+fi
+rm -f "$collect_wal"
+
+# A simulated crash mid-drain is the dedicated exit 3 (same class as a
+# crashed collect), not a checkpoint refusal and not the generic 1.
+expect_exit "serve --crash-after dies with exit 3" 3 "crash" \
+  -- serve --requests "$serve_reqs" --drain-after 0 \
+     --checkpoint "$serve_wal" --crash-after 1
+
+# Malformed lines on the streaming stdin front-end are the generic
+# failure (1): the batch keeps going, the exit code remembers.
+stream_rc=0
+printf '%s\n%s\n' \
+  '{"schema":"powervar-request-v1","id":"s1","nodes":24,"interval":10}' \
+  'this is not a request' |
+  "$powervar" serve --requests - --stream >/dev/null 2>&1 || stream_rc=$?
+if [[ "$stream_rc" -ne 1 ]]; then
+  echo "FAIL: malformed streamed line: exited $stream_rc, want 1" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: malformed streamed request line exits 1 (exit $stream_rc)"
+fi
+
+# An out-of-range priority is invalid at admission, like any bad field.
+echo '{"schema":"powervar-request-v1","id":"p0","nodes":24,"interval":10,"priority":0}' \
+  >"$serve_reqs"
+expect_serve "serve rejects priority 0 with exit 1" 1 -- --workers 1
+rm -f "$serve_reqs" "$serve_wal"
+
 # And the happy path must still work, including the --key=value spelling.
 if ! "$powervar" accuracy --nodes=210 --cv=0.02 --n=4 >/dev/null; then
   echo "FAIL: valid --key=value invocation failed" >&2

@@ -191,3 +191,109 @@ if ! grep -qF '"cache":{"hits":1,"misses":2' <<<"$serve_a"; then
 fi
 
 echo "OK: served campaigns are deterministic and byte-identical to solo runs"
+
+# ---------------------------------------------------------------------------
+# Drain-and-resume contract at the serve level: a batch interrupted by a
+# drain (--drain-after K checkpoints every held request to the WAL) and
+# finished by a fresh `serve --resume` must produce — as a set — exactly
+# the response lines of the uninterrupted batch, byte for byte.  The
+# resumed requests run under their original ids and seeds, so nothing in
+# the output can betray that the service restarted.
+clean_resp="$(grep -F '"code":"ok"' <<<"$serve_a" | sort)"
+
+drain_out="$("$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" \
+             --json --workers 2 --drain-after 1 \
+             --checkpoint "$tmpdir/serve_drain.wal")"
+if ! grep -qF '"checkpointed":2' <<<"$drain_out"; then
+  echo "FAIL: drain run did not checkpoint the two held requests" >&2
+  exit 1
+fi
+resume_out="$("$powervar" serve --resume "$tmpdir/serve_drain.wal" \
+              --json --workers 2 2>/dev/null)"
+if ! grep -qF '"completed":2' <<<"$resume_out"; then
+  echo "FAIL: resume run did not complete the two checkpointed requests" >&2
+  exit 1
+fi
+union_resp="$( { grep -F '"code":"ok"' <<<"$drain_out" || true
+                 grep -F '"code":"ok"' <<<"$resume_out" || true; } | sort)"
+if [[ "$union_resp" != "$clean_resp" ]]; then
+  echo "FAIL: drain+resume responses diverged from the uninterrupted batch" >&2
+  diff <(printf '%s\n' "$clean_resp") <(printf '%s\n' "$union_resp") >&2 || true
+  exit 1
+fi
+
+# Same contract through the text renderer.
+clean_text="$("$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" \
+              --workers 2 | grep '^request .*: ok' | sort)"
+drain_text="$("$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" \
+              --workers 2 --drain-after 1 \
+              --checkpoint "$tmpdir/serve_drain_text.wal")"
+resume_text="$("$powervar" serve --resume "$tmpdir/serve_drain_text.wal" \
+               --workers 2 2>/dev/null)"
+union_text="$( { grep '^request .*: ok' <<<"$drain_text" || true
+                 grep '^request .*: ok' <<<"$resume_text" || true; } | sort)"
+if [[ "$union_text" != "$clean_text" ]]; then
+  echo "FAIL: text-mode drain+resume diverged from the uninterrupted batch" >&2
+  diff <(printf '%s\n' "$clean_text") <(printf '%s\n' "$union_text") >&2 || true
+  exit 1
+fi
+
+echo "OK: serve drain-and-resume is byte-identical to the uninterrupted batch"
+
+# ---------------------------------------------------------------------------
+# Crash-mid-drain contract at the serve level: --crash-after K dies (exit
+# 3) after journaling K of the held requests, but the journal on disk
+# keeps a valid K-record prefix that a fresh --resume finishes — and the
+# recovered response is a byte-exact member of the clean batch.
+set +e
+"$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" --json --workers 2 \
+    --drain-after 1 --checkpoint "$tmpdir/serve_crash.wal" --crash-after 1 \
+    >"$tmpdir/serve_crash.out" 2>/dev/null
+crash_rc=$?
+set -e
+if [[ "$crash_rc" -ne 3 ]]; then
+  echo "FAIL: serve --crash-after exited with $crash_rc, expected 3" >&2
+  exit 1
+fi
+crash_resume="$("$powervar" serve --resume "$tmpdir/serve_crash.wal" \
+                --json --workers 2 2>/dev/null)"
+recovered="$(grep -F '"code":"ok"' <<<"$crash_resume" || true)"
+if [[ -z "$recovered" || "$(wc -l <<<"$recovered")" -ne 1 ]]; then
+  echo "FAIL: crash-mid-drain resume recovered $(wc -l <<<"$recovered") requests, expected 1" >&2
+  exit 1
+fi
+if ! grep -qF "$recovered" <<<"$clean_resp"; then
+  echo "FAIL: the crash-recovered response is not a member of the clean batch" >&2
+  exit 1
+fi
+
+echo "OK: serve crash-mid-drain leaves a resumable journal prefix"
+
+# ---------------------------------------------------------------------------
+# Streaming front-end contract: --stream prints each response the moment
+# it completes, tagged with its submission seq.  Completion order may
+# vary with the scheduler, but the *set* of lines is deterministic — and
+# stripping the seq tag must recover the batch-mode lines byte for byte.
+stream_a="$("$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" \
+            --json --workers 4 --stream | sort)"
+stream_b="$("$powervar" serve --requests "$tmpdir/serve_reqs.jsonl" \
+            --json --workers 4 --stream | sort)"
+if [[ "$stream_a" != "$stream_b" ]]; then
+  echo "FAIL: two identical streamed batches diverged as sets" >&2
+  diff <(printf '%s\n' "$stream_a") <(printf '%s\n' "$stream_b") >&2 || true
+  exit 1
+fi
+stream_resp="$(grep -F '"powervar-response-v1"' <<<"$stream_a" |
+               sed 's/"seq":[0-9]*,//' | sort)"
+batch_resp="$(grep -F '"powervar-response-v1"' <<<"$serve_a" | sort)"
+if [[ "$stream_resp" != "$batch_resp" ]]; then
+  echo "FAIL: seq-stripped streamed lines diverged from batch-mode lines" >&2
+  diff <(printf '%s\n' "$batch_resp") <(printf '%s\n' "$stream_resp") >&2 || true
+  exit 1
+fi
+if ! grep -qF '"seq":' <<<"$stream_a"; then
+  echo "FAIL: streamed responses carried no seq tags" >&2
+  exit 1
+fi
+
+echo "OK: streamed serve output is a deterministic seq-tagged set"

@@ -55,6 +55,16 @@ check collect_resilient.txt \
 check serve_once.txt \
   -- serve --requests "$golden_dir/serve_requests.jsonl" --once --json \
      --workers 1
+# Interrupted service batch: --drain-after 1 completes r1 and checkpoints
+# r2/r3 to the WAL — pins the checkpointed response wording and the drain
+# report's checkpoint accounting.  The follow-up resume run replays the
+# WAL under the original ids/seeds, so its two assessments must carry the
+# exact bytes of the uninterrupted serve_once.txt lines.
+check serve_drain.txt \
+  -- serve --requests "$golden_dir/serve_requests.jsonl" --json --workers 1 \
+     --drain-after 1 --checkpoint "$tmp/serve_drain.wal"
+check serve_resume.txt \
+  -- serve --resume "$tmp/serve_drain.wal" --json --workers 1
 
 if [[ "$failures" -ne 0 ]]; then
   echo "FAIL: $failures golden transcript(s) drifted" >&2

@@ -48,23 +48,34 @@
 //       byte-identical between a clean run and a kill-and-resume pair);
 //       collection progress goes to stderr.
 //
-//   powervar serve --requests FILE|- [--once] [--workers N] [--queue N]
+//   powervar serve --requests FILE|- [--resume CHECKPOINT] [--stream]
+//                  [--once] [--workers N] [--queue N] [--tenant-queue N]
 //                  [--deadline-ms MS] [--retry-after S] [--cache N]
-//                  [--strict-cache] [--checkpoint FILE] [--json]
+//                  [--strict-cache] [--cache-dir DIR] [--checkpoint FILE]
+//                  [--drain-after K] [--crash-after K] [--json]
 //                  [--chaos-* ...]
-//       The resident campaign service, driven as one batch: each input
-//       line is a powervar-request-v1 JSON object; each gets exactly one
-//       powervar-response-v1 line (in submission order), then a drain
-//       report.  Admission is bounded (--queue), deadlines cooperative
-//       (--deadline-ms), Provision artifacts cached and CRC-revalidated
-//       (--cache/--strict-cache), drained work checkpointed to the WAL
-//       (--checkpoint), and the seeded chaos knobs inject stage-level
-//       faults for the soak harness.  Exit code is the worst outcome:
-//       7 corrupt cache refused, 6 deadline exceeded, 5 shed, 1 other
-//       failures, 0 all ok.
+//       The resident campaign service.  Each input line is a
+//       powervar-request-v1 JSON object; each gets exactly one
+//       powervar-response-v1 line — in submission order by default, or
+//       in completion order tagged with a "seq" submission index under
+//       --stream — then a drain report.  Admission is bounded globally
+//       (--queue) and per tenant (--tenant-queue, fair-share dispatch by
+//       the request's tenant/priority fields), deadlines cooperative
+//       (--deadline-ms), Provision artifacts cached, CRC-revalidated and
+//       optionally spilled to a persistent tier (--cache/--strict-cache/
+//       --cache-dir), drained work checkpointed to the WAL
+//       (--checkpoint, --drain-after K holds all but the first K
+//       submissions for the drain), and --resume CHECKPOINT replays a
+//       drain journal — byte-identical responses under the original
+//       ids/seeds, torn or foreign journals refused.  --crash-after K
+//       simulates dying mid-drain after K checkpoint appends (exit 3).
+//       Exit code is the worst outcome: 8 checkpoint refused, 7 corrupt
+//       cache refused, 6 deadline exceeded, 5 shed, 3 simulated crash,
+//       1 other failures, 0 all ok.
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -72,6 +83,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "collect/collector.hpp"
@@ -109,8 +121,8 @@ class Args {
   Args(int argc, char** argv, int first) {
     // Boolean switches that may appear bare (no value); anything else
     // keeps the strict --key value contract.
-    static const std::set<std::string> kBareFlags = {"json", "trace-stages",
-                                                     "once", "strict-cache"};
+    static const std::set<std::string> kBareFlags = {
+        "json", "trace-stages", "once", "strict-cache", "stream"};
     for (int i = first; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) != 0 || token.size() <= 2) {
@@ -513,84 +525,24 @@ int serve_exit_code(const std::vector<ServiceResponse>& responses) {
   return worst;
 }
 
-int cmd_serve(const Args& args) {
-  std::string requests_path;
-  ServiceConfig config;
-  bool json = false;
-  try {
-    requests_path = args.text("requests");
-    config.workers = static_cast<unsigned>(args.number_or("workers", 2.0));
-    config.max_queue = static_cast<std::size_t>(args.number_or("queue", 8.0));
-    config.default_deadline_ms = args.number_or("deadline-ms", 0.0);
-    config.retry_after_s = args.number_or("retry-after", 1.0);
-    config.cache_capacity =
-        static_cast<std::size_t>(args.number_or("cache", 8.0));
-    config.strict_cache = args.flag_or("strict-cache");
-    config.checkpoint_path = args.text_or("checkpoint", "");
-    config.chaos.seed =
-        static_cast<std::uint64_t>(args.number_or("chaos-seed", 0.0));
-    config.chaos.throw_prob = args.rate_or("chaos-throw", 0.0);
-    config.chaos.stall_prob = args.rate_or("chaos-stall", 0.0);
-    config.chaos.cache_corrupt_prob = args.rate_or("chaos-cache", 0.0);
-    config.chaos.worker_death_prob = args.rate_or("chaos-death", 0.0);
-    config.chaos.drain_after =
-        static_cast<std::size_t>(args.number_or("chaos-drain-after", 0.0));
-    json = args.flag_or("json");
-    // Accepted for forward compatibility: the CLI always runs one batch
-    // (submit every line, answer every ticket, drain) — a resident
-    // deployment drives CampaignService directly.
-    (void)args.flag_or("once");
-    args.reject_unknown();
-  } catch (const std::exception& e) {
-    // Everything above is command-line validation, not campaign failure.
-    throw UsageError(e.what());
+/// One response as its human-readable line.  `seq` tags streaming-mode
+/// lines with the request's submission index ("#N "), mirroring the
+/// JSON rendering's "seq" field.
+void print_response_text(const ServiceResponse& resp, long seq = -1) {
+  if (seq >= 0) std::cout << "#" << seq << " ";
+  std::cout << "request " << (resp.id.empty() ? "(invalid)" : resp.id) << ": "
+            << to_string(resp.code);
+  if (resp.code == ResponseCode::kShed) {
+    std::cout << " (retry after " << fmt_fixed(resp.retry_after_s, 1) << "s)";
   }
+  if (!resp.fault_injected.empty()) {
+    std::cout << " [chaos: " << resp.fault_injected << "]";
+  }
+  if (!resp.message.empty()) std::cout << " — " << resp.message;
+  std::cout << "\n";
+}
 
-  std::ifstream file;
-  std::istream* in = &std::cin;
-  if (requests_path != "-") {
-    file.open(requests_path);
-    if (!file) {
-      throw UsageError("cannot open requests file '" + requests_path + "'");
-    }
-    in = &file;
-  }
-
-  CampaignService service(config);
-  std::vector<std::size_t> tickets;
-  std::string line;
-  while (std::getline(*in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    tickets.push_back(service.submit_line(line).ticket);
-  }
-
-  // Answer every ticket in submission order, then drain.  Waiting first
-  // means a normal batch drains empty; drain-mid-flight semantics (the
-  // checkpointed/cancelled codes) belong to chaos runs and library users.
-  std::vector<ServiceResponse> responses;
-  responses.reserve(tickets.size());
-  for (const std::size_t ticket : tickets) {
-    responses.push_back(service.wait(ticket));
-  }
-  const DrainReport report = service.drain();
-
-  for (const auto& resp : responses) {
-    if (json) {
-      std::cout << render_response_json(resp) << "\n";
-    } else {
-      std::cout << "request " << (resp.id.empty() ? "(invalid)" : resp.id)
-                << ": " << to_string(resp.code);
-      if (resp.code == ResponseCode::kShed) {
-        std::cout << " (retry after " << fmt_fixed(resp.retry_after_s, 1)
-                  << "s)";
-      }
-      if (!resp.fault_injected.empty()) {
-        std::cout << " [chaos: " << resp.fault_injected << "]";
-      }
-      if (!resp.message.empty()) std::cout << " — " << resp.message;
-      std::cout << "\n";
-    }
-  }
+void print_drain_report(const DrainReport& report, bool json) {
   if (json) {
     std::cout << "{\"schema\":\"powervar-drain-v1\",\"submitted\":"
               << report.submitted << ",\"invalid\":" << report.invalid
@@ -602,7 +554,21 @@ int cmd_serve(const Args& args) {
               << ",\"cache\":{\"hits\":" << report.cache.hits
               << ",\"misses\":" << report.cache.misses
               << ",\"quarantined\":" << report.cache.quarantined
-              << ",\"evicted\":" << report.cache.evicted << "}}\n";
+              << ",\"evicted\":" << report.cache.evicted
+              << ",\"disk_hits\":" << report.cache.disk_hits
+              << ",\"spills\":" << report.cache.spills << "}";
+    // std::map iteration: tenants render sorted by name, deterministic.
+    std::cout << ",\"tenants\":{";
+    bool first = true;
+    for (const auto& [tenant, t] : report.tenants) {
+      if (!first) std::cout << ",";
+      first = false;
+      std::cout << "\"" << tenant << "\":{\"submitted\":" << t.submitted
+                << ",\"shed\":" << t.shed << ",\"admitted\":" << t.admitted
+                << ",\"completed\":" << t.completed
+                << ",\"checkpointed\":" << t.checkpointed << "}";
+    }
+    std::cout << "}}\n";
   } else {
     std::cout << "drain: " << report.submitted << " submitted, "
               << report.invalid << " invalid, " << report.shed << " shed, "
@@ -611,8 +577,178 @@ int cmd_serve(const Args& args) {
               << report.workers_replaced << " workers replaced; cache "
               << report.cache.hits << " hits / " << report.cache.misses
               << " misses / " << report.cache.quarantined
-              << " quarantined / " << report.cache.evicted << " evicted\n";
+              << " quarantined / " << report.cache.evicted << " evicted / "
+              << report.cache.disk_hits << " disk hits / "
+              << report.cache.spills << " spills\n";
+    for (const auto& [tenant, t] : report.tenants) {
+      std::cout << "tenant " << tenant << ": " << t.submitted
+                << " submitted, " << t.shed << " shed, " << t.admitted
+                << " admitted, " << t.completed << " completed, "
+                << t.checkpointed << " checkpointed\n";
+    }
   }
+}
+
+int cmd_serve(const Args& args) {
+  std::string requests_path;
+  std::string resume_path;
+  ServiceConfig config;
+  bool json = false;
+  bool stream = false;
+  double drain_after = -1.0;  // < 0: disabled; K >= 0: hold past the Kth
+  try {
+    resume_path = args.text_or("resume", "");
+    requests_path = args.text_or("requests", "");
+    if (requests_path.empty() && resume_path.empty()) {
+      throw std::runtime_error("missing required option --requests");
+    }
+    config.workers = static_cast<unsigned>(args.number_or("workers", 2.0));
+    config.max_queue = static_cast<std::size_t>(args.number_or("queue", 8.0));
+    config.default_deadline_ms = args.number_or("deadline-ms", 0.0);
+    config.retry_after_s = args.number_or("retry-after", 1.0);
+    config.cache_capacity =
+        static_cast<std::size_t>(args.number_or("cache", 8.0));
+    config.strict_cache = args.flag_or("strict-cache");
+    config.cache_dir = args.text_or("cache-dir", "");
+    config.checkpoint_path = args.text_or("checkpoint", "");
+    config.tenant_queue =
+        static_cast<std::size_t>(args.number_or("tenant-queue", 0.0));
+    config.crash_after_checkpoints =
+        static_cast<std::size_t>(args.number_or("crash-after", 0.0));
+    drain_after = args.number_or("drain-after", -1.0);
+    config.chaos.seed =
+        static_cast<std::uint64_t>(args.number_or("chaos-seed", 0.0));
+    config.chaos.throw_prob = args.rate_or("chaos-throw", 0.0);
+    config.chaos.stall_prob = args.rate_or("chaos-stall", 0.0);
+    config.chaos.cache_corrupt_prob = args.rate_or("chaos-cache", 0.0);
+    config.chaos.worker_death_prob = args.rate_or("chaos-death", 0.0);
+    config.chaos.drain_after =
+        static_cast<std::size_t>(args.number_or("chaos-drain-after", 0.0));
+    json = args.flag_or("json");
+    stream = args.flag_or("stream");
+    // Accepted for forward compatibility: the CLI always runs one batch
+    // (submit every line, answer every ticket, drain) — a resident
+    // deployment drives CampaignService directly.
+    (void)args.flag_or("once");
+    if (config.crash_after_checkpoints > 0 && config.checkpoint_path.empty()) {
+      throw std::runtime_error("--crash-after needs a --checkpoint journal");
+    }
+    args.reject_unknown();
+  } catch (const std::exception& e) {
+    // Everything above is command-line validation, not campaign failure.
+    throw UsageError(e.what());
+  }
+
+  // The cache treats an unusable directory as memory-only; the CLI's
+  // job is to make a merely-absent one usable.  Best effort: if the
+  // path cannot be created the batch still runs, just without spills.
+  if (!config.cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.cache_dir, ec);
+  }
+
+  std::ifstream file;
+  std::istream* in = nullptr;
+  if (!requests_path.empty()) {
+    if (requests_path == "-") {
+      in = &std::cin;
+    } else {
+      file.open(requests_path);
+      if (!file) {
+        throw UsageError("cannot open requests file '" + requests_path + "'");
+      }
+      in = &file;
+    }
+  }
+
+  CampaignService service(config);
+
+  // The streaming front-end prints each response the moment it
+  // completes, tagged with its submission index ("seq"), from a single
+  // consumer thread; batch mode collects everything and prints in
+  // submission order.  Either way the transcript is a deterministic
+  // *set* of lines.
+  std::vector<ServiceResponse> responses;  // for the exit code
+  std::mutex resp_mu;
+  std::thread consumer;
+  if (stream) {
+    consumer = std::thread([&] {
+      while (const auto ticket = service.next_completed()) {
+        const ServiceResponse resp = service.wait(*ticket);
+        if (json) {
+          std::cout << render_response_json(resp, *ticket) << "\n";
+        } else {
+          print_response_text(resp, static_cast<long>(*ticket));
+        }
+        std::cout.flush();
+        std::unique_lock lock(resp_mu);
+        responses.push_back(resp);
+      }
+    });
+  }
+
+  // Submission sequence: resumed checkpoint records first (their WAL
+  // order), then the request file.  --drain-after K dispatches the first
+  // K submissions normally and admits the rest held-for-drain, making
+  // the completed-vs-checkpointed split deterministic at any worker
+  // count.
+  std::vector<std::size_t> tickets;
+  std::vector<std::size_t> dispatched;
+  const auto held = [&] {
+    return drain_after >= 0.0 &&
+           tickets.size() >= static_cast<std::size_t>(drain_after);
+  };
+  if (!resume_path.empty()) {
+    const ResumeOutcome resumed = service.resume_from(resume_path);
+    std::cerr << "serve: resumed " << resumed.tickets.size()
+              << " checkpointed request(s)";
+    if (resumed.duplicates > 0) {
+      std::cerr << ", dropped " << resumed.duplicates << " duplicate(s)";
+    }
+    std::cerr << "\n";
+    for (const std::size_t ticket : resumed.tickets) {
+      tickets.push_back(ticket);
+      dispatched.push_back(ticket);
+    }
+  }
+  if (in != nullptr) {
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const bool hold = held();
+      tickets.push_back(service.submit_line(line, hold).ticket);
+      if (!hold) dispatched.push_back(tickets.back());
+    }
+  }
+
+  // Wait for everything dispatchable, then drain (checkpointing the
+  // held remainder).  A simulated crash-mid-drain must still join the
+  // consumer before unwinding to the exit-code mapping.
+  for (const std::size_t ticket : dispatched) (void)service.wait(ticket);
+  DrainReport report;
+  try {
+    report = service.drain();
+  } catch (...) {
+    if (consumer.joinable()) consumer.join();
+    throw;
+  }
+  if (consumer.joinable()) consumer.join();
+
+  if (!stream) {
+    responses.reserve(tickets.size());
+    for (const std::size_t ticket : tickets) {
+      responses.push_back(service.wait(ticket));
+    }
+    for (const auto& resp : responses) {
+      if (json) {
+        std::cout << render_response_json(resp) << "\n";
+      } else {
+        print_response_text(resp);
+      }
+    }
+  }
+  print_drain_report(report, json);
+  std::unique_lock lock(resp_mu);
   return serve_exit_code(responses);
 }
 
@@ -645,15 +781,18 @@ int usage() {
       "              [--threads N] [--interval S] [--checkpoint FILE]\n"
       "              [--resume 1] [--crash-after K] [--json]"
       " [--trace-stages]\n"
-      "  serve       --requests FILE|- [--once] [--workers N] [--queue N]\n"
+      "  serve       --requests FILE|- [--resume CHECKPOINT] [--stream]\n"
+      "              [--once] [--workers N] [--queue N] [--tenant-queue N]\n"
       "              [--deadline-ms MS] [--retry-after S] [--cache N]\n"
-      "              [--strict-cache] [--checkpoint FILE] [--json]\n"
+      "              [--strict-cache] [--cache-dir DIR]"
+      " [--checkpoint FILE]\n"
+      "              [--drain-after K] [--crash-after K] [--json]\n"
       "              [--chaos-seed S] [--chaos-throw F] [--chaos-stall F]\n"
       "              [--chaos-cache F] [--chaos-death F]"
       " [--chaos-drain-after K]\n"
       "options accept '--key value' or '--key=value';\n"
-      "--json, --trace-stages, --once and --strict-cache may also appear "
-      "bare.\n";
+      "--json, --trace-stages, --once, --stream and --strict-cache may also "
+      "appear bare.\n";
   return 2;
 }
 
@@ -683,6 +822,17 @@ int main(int argc, char** argv) {
     // and a --resume run will finish the campaign.
     std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
     return 3;
+  } catch (const pv::ServiceAbortedError& e) {
+    // serve's simulated crash-mid-drain: same contract as collect's —
+    // the checkpoint journal keeps a valid prefix, resume finishes it.
+    std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
+    return 3;
+  } catch (const pv::CheckpointError& e) {
+    // A resume journal the service refuses to trust (missing, torn,
+    // foreign fingerprint, bad record): a distinct exit code, and no
+    // partial or forged responses were emitted.
+    std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
+    return 8;
   } catch (const pv::NoUsableDataError& e) {
     // Every meter in scope was lost: there is no number to submit, which
     // is a campaign outcome, not a usage error.
