@@ -1,11 +1,28 @@
 #pragma once
 // Shared helpers for the reproduction benches.
 
+#include <sys/resource.h>
+
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 namespace pv::bench {
+
+/// Peak resident set size of this process in MB, from getrusage.  The
+/// kernel reports a monotone high-watermark (ru_maxrss never decreases),
+/// so memory-growth comparisons must take both readings before anything
+/// larger runs in the same process.
+inline double peak_rss_mb() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
 
 /// Reads a std::size_t from the environment, with a default — used to let
 /// CI shrink Monte-Carlo counts (e.g. PV_FIG3_SIMS=5000).

@@ -20,7 +20,13 @@
 //   2. the streaming engine is not slower than eager (ratio >= 1.0 after
 //      the generous machine-noise allowance baked into check_perf.sh;
 //      this binary only *reports* ratios, the gate compares them to the
-//      committed baseline).
+//      committed baseline);
+//   3. the live streaming path is bounded-memory: before any timing
+//      scenario runs (ru_maxrss is a monotone high-watermark), the
+//      `rss_flat` scenario compares the peak RSS of a short live campaign
+//      against one 10x as long — growth above kRssGrowthCeilingMb fails
+//      the bench, and the long run's report must still be byte-identical
+//      to the batch engine's.
 //
 // Results land in BENCH_perf.json (override with PV_PERF_JSON) for
 // tools/check_perf.sh, which diffs them against the committed
@@ -56,18 +62,31 @@ struct Rig {
   MeasurementPlan plan;
 };
 
-Rig make_rig(std::size_t nodes, Level level) {
+Rig make_rig(std::size_t nodes, Level level, double run_minutes = 30.0) {
   ScenarioSpec spec;
   spec.name = "perf-rig";
   spec.nodes = nodes;
   spec.cv = 0.03;
   spec.fleet_seed = 7;
+  spec.run_minutes = run_minutes;
   Scenario built = build_scenario(spec);
   Rig rig;
   rig.cluster = std::move(built.cluster);
   rig.electrical = std::move(built.electrical);
   rig.plan = built.plan(MethodologySpec::get(level, Revision::kV2015), 11);
   return rig;
+}
+
+// Metered samples across the whole cohort for a plan at `interval`.
+std::size_t planned_samples(const Rig& rig, const MeterAccuracy& acc,
+                            Seconds interval) {
+  Rng probe_rng(0);
+  const MeterModel probe(acc, rig.plan.meter_mode, interval, probe_rng);
+  std::size_t per_node = 0;
+  for (const TimeWindow& w : metered_windows(rig.plan, interval)) {
+    per_node += probe.samples_in(w);
+  }
+  return per_node * rig.plan.node_count();
 }
 
 // Byte comparison of everything a campaign reports (NaN-safe, unlike ==).
@@ -122,8 +141,66 @@ struct ScenarioResult {
   double speedup_1t = 0.0;   // eager@1 / streaming@1
   double speedup_8t = 0.0;   // eager@1 / streaming@8 (PR contract ratio)
   double samples_per_sec = 0.0;  // streaming@1 throughput
+  double peak_rss_mb = 0.0;  // process high-watermark after this scenario
   bool identical = false;
 };
+
+// Bounded-memory contract for the live streaming path: the peak RSS of a
+// campaign must be flat in campaign length (O(nodes + windows), never
+// O(total samples)).  Measured as the watermark delta between a short
+// live campaign and one 10x as long, taken before anything larger runs.
+struct RssFlatResult {
+  std::size_t samples_short = 0;
+  std::size_t samples_long = 0;
+  double rss_short_mb = 0.0;
+  double rss_long_mb = 0.0;
+  double growth_mb = 0.0;
+  bool identical = false;  // live long-run final == batch long-run final
+};
+
+// A 10x-longer campaign may grow the watermark by at most this much
+// (covers the O(windows) summaries plus allocator slack) — far below the
+// tens of MB a materialized O(samples) trace would cost at this scale.
+constexpr double kRssGrowthCeilingMb = 16.0;
+
+RssFlatResult run_rss_flat(std::size_t nodes) {
+  // ru_maxrss is a monotone high-watermark: this scenario MUST run before
+  // the timing scenarios, and both rigs are built up front so the two
+  // readings differ only by what the long run itself allocated.
+  const Seconds interval{1.0};
+  const Rig rig_short = make_rig(nodes, Level::kL3, 150.0);
+  const Rig rig_long = make_rig(nodes, Level::kL3, 1500.0);
+
+  CampaignConfig cfg;
+  cfg.seed = 5;
+  cfg.meter_interval_override = interval;
+  cfg.live.enabled = true;  // bounded-memory streaming path, no sink
+
+  RssFlatResult r;
+  r.samples_short =
+      planned_samples(rig_short, cfg.meter_accuracy, interval);
+  r.samples_long = planned_samples(rig_long, cfg.meter_accuracy, interval);
+
+  const CampaignResult live_short =
+      run_campaign(*rig_short.cluster, *rig_short.electrical, rig_short.plan,
+                   cfg);
+  (void)live_short;
+  r.rss_short_mb = bench::peak_rss_mb();
+  const CampaignResult live_long = run_campaign(
+      *rig_long.cluster, *rig_long.electrical, rig_long.plan, cfg);
+  r.rss_long_mb = bench::peak_rss_mb();
+  r.growth_mb = r.rss_long_mb - r.rss_short_mb;
+
+  // The long campaign through the batch engine must still report the
+  // exact bytes the live run produced (runs after both watermark reads,
+  // so its materialized tables cannot contaminate the growth number).
+  CampaignConfig batch = cfg;
+  batch.live.enabled = false;
+  const CampaignResult batch_long = run_campaign(
+      *rig_long.cluster, *rig_long.electrical, rig_long.plan, batch);
+  r.identical = identical_reports(live_long, batch_long);
+  return r;
+}
 
 ScenarioResult run_scenario(const std::string& name, Level level,
                             const MeterAccuracy& acc, std::size_t nodes,
@@ -148,14 +225,7 @@ ScenarioResult run_scenario(const std::string& name, Level level,
 
   ScenarioResult s;
   s.name = name;
-  Rng probe_rng(0);
-  const MeterModel probe(base.meter_accuracy, rig.plan.meter_mode,
-                         Seconds{5.0}, probe_rng);
-  std::size_t per_node = 0;
-  for (const TimeWindow& w : metered_windows(rig.plan, Seconds{5.0})) {
-    per_node += probe.samples_in(w);
-  }
-  s.samples = per_node * rig.plan.node_count();
+  s.samples = planned_samples(rig, base.meter_accuracy, Seconds{5.0});
   s.eager1_ms = te.best_ms;
   s.stream1_ms = t1.best_ms;
   s.stream8_ms = t8.best_ms;
@@ -164,16 +234,27 @@ ScenarioResult run_scenario(const std::string& name, Level level,
   s.samples_per_sec = static_cast<double>(s.samples) / (t1.best_ms / 1e3);
   s.identical = identical_reports(te.result, t1.result) &&
                 identical_reports(te.result, t8.result);
+  s.peak_rss_mb = bench::peak_rss_mb();
   return s;
 }
 
 void write_json(const std::string& path,
                 const std::vector<ScenarioResult>& scenarios,
-                std::size_t nodes, std::size_t reps) {
+                const RssFlatResult& rss, std::size_t nodes,
+                std::size_t reps) {
   std::ofstream out(path);
   out.precision(6);
   out << "{\n  \"schema\": \"powervar-bench-perf-v1\",\n"
       << "  \"nodes\": " << nodes << ",\n  \"reps\": " << reps << ",\n"
+      << "  \"rss_flat\": {\n"
+      << "    \"samples_short\": " << rss.samples_short << ",\n"
+      << "    \"samples_long\": " << rss.samples_long << ",\n"
+      << "    \"rss_short_mb\": " << rss.rss_short_mb << ",\n"
+      << "    \"rss_long_mb\": " << rss.rss_long_mb << ",\n"
+      << "    \"growth_mb\": " << rss.growth_mb << ",\n"
+      << "    \"growth_ceiling_mb\": " << kRssGrowthCeilingMb << ",\n"
+      << "    \"identical\": " << (rss.identical ? "true" : "false")
+      << "\n  },\n"
       << "  \"scenarios\": {\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const ScenarioResult& s = scenarios[i];
@@ -185,6 +266,7 @@ void write_json(const std::string& path,
         << "      \"speedup_1t\": " << s.speedup_1t << ",\n"
         << "      \"speedup_8t\": " << s.speedup_8t << ",\n"
         << "      \"samples_per_sec\": " << s.samples_per_sec << ",\n"
+        << "      \"peak_rss_mb\": " << s.peak_rss_mb << ",\n"
         << "      \"identical\": " << (s.identical ? "true" : "false")
         << "\n    }" << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
@@ -204,6 +286,25 @@ int main() {
       (json_env != nullptr && *json_env != '\0') ? json_env
                                                  : "BENCH_perf.json";
 
+  // Peak-RSS first: ru_maxrss only ever rises, so the growth comparison
+  // is meaningless once the 240-node timing scenarios have run.
+  const RssFlatResult rss = run_rss_flat(nodes);
+  {
+    TextTable rt({"run", "samples", "peak rss", "growth"});
+    const auto mb = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f MB", v);
+      return std::string(buf);
+    };
+    rt.add_row({"live short", std::to_string(rss.samples_short),
+                mb(rss.rss_short_mb), "-"});
+    rt.add_row({"live long (10x)", std::to_string(rss.samples_long),
+                mb(rss.rss_long_mb), mb(rss.growth_mb)});
+    std::cout << rt.render();
+    std::cout << "live-vs-batch long-run reports identical: "
+              << (rss.identical ? "yes" : "NO") << "\n\n";
+  }
+
   std::vector<ScenarioResult> scenarios;
   scenarios.push_back(run_scenario("l1_pdu", Level::kL1,
                                    MeterAccuracy::pdu_grade(), nodes, reps));
@@ -213,7 +314,7 @@ int main() {
                                    MeterAccuracy::perfect(), nodes, reps));
 
   TextTable t({"scenario", "samples", "eager@1", "stream@1", "stream@8",
-               "speedup@1", "speedup@8", "identical"});
+               "speedup@1", "speedup@8", "peak rss", "identical"});
   const auto ms = [](double v) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.2f ms", v);
@@ -224,14 +325,20 @@ int main() {
     std::snprintf(buf, sizeof buf, "%.2fx", v);
     return std::string(buf);
   };
+  const auto mb = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f MB", v);
+    return std::string(buf);
+  };
   for (const ScenarioResult& s : scenarios) {
     t.add_row({s.name, std::to_string(s.samples), ms(s.eager1_ms),
                ms(s.stream1_ms), ms(s.stream8_ms), x(s.speedup_1t),
-               x(s.speedup_8t), s.identical ? "yes" : "NO"});
+               x(s.speedup_8t), mb(s.peak_rss_mb),
+               s.identical ? "yes" : "NO"});
   }
   std::cout << t.render();
 
-  write_json(json_path, scenarios, nodes, reps);
+  write_json(json_path, scenarios, rss, nodes, reps);
   std::cout << "\nwrote " << json_path << " (best of " << reps
             << " reps per variant)\n";
 
@@ -242,6 +349,17 @@ int main() {
                 << " reports differ across engines/threads\n";
       ok = false;
     }
+  }
+  if (!rss.identical) {
+    std::cout << "CONTRACT VIOLATED: rss_flat live report differs from "
+                 "the batch engine\n";
+    ok = false;
+  }
+  if (rss.growth_mb > kRssGrowthCeilingMb) {
+    std::cout << "CONTRACT VIOLATED: rss_flat grew "
+              << rss.growth_mb << " MB over a 10x-longer campaign "
+              << "(ceiling " << kRssGrowthCeilingMb << " MB)\n";
+    ok = false;
   }
   std::cout << (ok ? "\nall engine-identity contracts hold\n"
                    : "\nsome contracts VIOLATED\n");

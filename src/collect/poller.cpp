@@ -69,6 +69,7 @@ MeterRecord poll_meter(const PollJob& job, const SimTransport& transport,
   double now_s = 0.0;   // virtual clock: 0 == campaign window begin
   double busy_s = 0.0;  // time actually spent waiting on this meter
   std::size_t delivered = 0;
+  std::vector<double> readings;  // chunk reply buffer, reused per chunk
 
   for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
     const Chunk& chunk = chunks[ci];
@@ -105,14 +106,13 @@ MeterRecord poll_meter(const PollJob& job, const SimTransport& transport,
     // retries, duplicates and resumed runs see identical values.
     Rng noise(job.seed ^ kChunkNoiseSalt,
               mix_streams(job.meter_id, ci));
-    const PowerTrace trace =
-        job.meter->measure(job.truth, chunk.window.begin, chunk.window.end,
-                           noise);
+    job.meter->measure_into(job.truth, chunk.window.begin, chunk.window.end,
+                            noise, readings);
     double sum = 0.0;
-    for (double w : trace.watts()) sum += w;
+    for (double w : readings) sum += w;
     window_sum[chunk.window_index] += sum;
-    window_count[chunk.window_index] += trace.size();
-    delivered += trace.size();
+    window_count[chunk.window_index] += readings.size();
+    delivered += readings.size();
   }
 
   rec.busy_s = busy_s;

@@ -4,6 +4,7 @@
 // the accuracy assessment the paper says should accompany every
 // submission, and the ground truth the simulation uniquely provides.
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -63,6 +64,28 @@ enum class CampaignEngine {
 };
 
 /// Execution knobs of a campaign.
+/// Live (bounded-memory) metering options.  When enabled, node-tap
+/// campaigns run the window-major live meter stage: per-window shape
+/// chunks replace the up-front full-campaign tables, per-node window
+/// accumulators replace materialized traces, and partial assessment
+/// Documents can be emitted mid-run on a pinned virtual-time schedule.
+/// The final result is byte-identical to the batch stage (ctest-enforced
+/// by test_streaming_assessment).
+struct LiveOptions {
+  bool enabled = false;
+  /// Virtual seconds between partial emissions; 0 emits one partial at
+  /// every closed metering window.  The schedule is pinned in virtual
+  /// time, so reruns emit identical partials.
+  double emit_every_s = 0.0;
+  /// Samples streamed per kernel chunk — the peak per-worker footprint
+  /// of the clean streaming path is O(chunk_samples), independent of
+  /// campaign length.
+  std::size_t chunk_samples = 4096;
+  /// Closed-window summaries retained in the fixed-capacity ring buffer
+  /// (reported in partial Documents' "live" block).
+  std::size_t history_windows = 8;
+};
+
 struct CampaignConfig {
   MeterAccuracy meter_accuracy = MeterAccuracy::pdu_grade();
   std::uint64_t seed = 1;
@@ -88,6 +111,13 @@ struct CampaignConfig {
   /// reconciling campaigns also honor reconcile.threads (the larger of
   /// the two wins, preserving the PR3 knob).
   std::size_t threads = 1;
+  /// Bounded-memory live metering (see LiveOptions).
+  LiveOptions live;
+  /// Receives each partial assessment Document as one complete rendered
+  /// JSON line (render_json output: compact, trailing newline) — a single
+  /// call per partial, so a consumer never observes a torn write.  Null
+  /// runs the live stage without emitting.
+  std::function<void(const std::string&)> live_sink;
 };
 
 /// What the *collection path* (src/collect's asynchronous transport +

@@ -5,15 +5,20 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "core/report.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/fused.hpp"
 #include "stats/robust.hpp"
+#include "stats/sketch.hpp"
 #include "util/expects.hpp"
 #include "util/mathx.hpp"
 #include "util/parallel.hpp"
+#include "util/ring.hpp"
 #include "workload/workload.hpp"
 
 namespace pv {
@@ -29,6 +34,11 @@ double mean_over_window(const std::function<double(double)>& f, double a,
 // are 0x5CA1AB1E / 0xBADCAB1E in the meter stages below).
 constexpr std::uint64_t kFateSalt = 0xFA7E0FA7ULL;
 constexpr std::uint64_t kFaultSalt = 0x1FAC7ED0ULL;
+
+// Node-tap Aggregate tail (defined with the other aggregate functions
+// below); the live meter stage also runs it on mid-run snapshots so
+// partial and final documents cannot drift apart structurally.
+void aggregate_nodes(CampaignContext& ctx);
 
 // The common time grid cross-validation compares meters on.  Plans that
 // already meter several windows (L2 spot sampling) use those directly;
@@ -72,13 +82,227 @@ struct StreamScope {
   StreamScratch* scratch = nullptr;
 };
 
-// Meters `truth` over every window.  With faults disabled this is the
-// exact historical metering loop (identical RNG consumption, identical
-// arithmetic); with faults enabled the clean trace is corrupted, quality-
-// checked, repaired and despiked, and the device may come back lost.
-// With `stream_scope` set the clean readings come from the streaming
-// kernels instead of the truth function — bit-identical by construction
-// (sim/streaming.hpp), so everything downstream is shared verbatim.
+// Window-fed metering state machine for one device.  The batch stages
+// drive it window by window (meter_device below) and the live stage
+// drives it chunk by chunk — both end at the identical DeviceReading,
+// because every accumulator here chains in the exact order the historical
+// metering loop used.  Holds no reference to the meter or the window
+// list, so a fleet of these can live in a relocatable slot vector.
+//
+// With faults disabled a device is fed clean readings (whole traces or
+// window chunks); with faults enabled each window's clean trace is
+// corrupted, quality-checked, repaired and despiked, and the device may
+// finish lost.
+class DeviceMeter {
+ public:
+  DeviceMeter(const FaultPlan& fp, std::uint64_t seed, std::uint64_t stream,
+              std::size_t meter_id, TimeWindow campaign_window,
+              std::size_t n_windows, std::size_t samples_expected,
+              const std::vector<TimeWindow>* analysis)
+      : fp_(&fp), analysis_(analysis), n_windows_(n_windows) {
+    if (analysis_ != nullptr) {
+      bucket_sum_.assign(analysis_->size(), 0.0);
+      bucket_n_.assign(analysis_->size(), 0);
+    }
+    faulty_ = fp.enabled();
+    if (!faulty_) return;
+    r_.samples_expected = samples_expected;
+    if (fp.forced_dead(meter_id)) {
+      dead_ = true;
+      r_.lost = true;
+      r_.samples_lost = r_.samples_expected;
+      return;
+    }
+    Rng fate_rng(seed ^ kFateSalt, stream);
+    fault_rng_.emplace(seed ^ kFaultSalt, stream);
+    fate_ = draw_meter_fate(fp.spec, campaign_window, fate_rng);
+    const std::size_t byz_pos = fp.forced_byzantine(meter_id);
+    if (byz_pos != FaultPlan::npos) {
+      fp.apply_forced_byzantine(byz_pos, campaign_window, fate_);
+    }
+  }
+
+  /// Forced dead at provision time: feed nothing, finish() is final.
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  /// Clean path, chunk-fed: samples [first, first + readings.size()) of
+  /// the current window.  Chunks must arrive in order; the running sum
+  /// chains left-to-right, so any chunking reproduces the whole-window
+  /// bits.
+  void feed_clean_chunk(double t_begin, double dt, std::size_t first,
+                        std::span<const double> readings) {
+    double s = win_sum_;
+    for (const double x : readings) s += x;
+    win_sum_ = s;
+    win_n_ += readings.size();
+    win_dt_ = dt;
+    bucket(t_begin, dt, first, readings);
+  }
+
+  /// Closes the current chunk-fed clean window; returns its mean.
+  double close_clean_window() {
+    // 0.0 + win_sum_: the exact expression the historical per-window
+    // FusedAccumulator produced (bulk push into a fresh accumulator adds
+    // the batch sum onto the zero seed), so chunk-fed windows close on
+    // the same bits the batch path computed.
+    const double total = 0.0 + win_sum_;
+    const double window_mean = total / static_cast<double>(win_n_);
+    mean_acc_ += window_mean;
+    r_.energy_j += total * win_dt_;
+    win_sum_ = 0.0;
+    win_n_ = 0;
+    ++windows_contributing_;
+    return window_mean;
+  }
+
+  /// Clean path, whole-trace (eager engine); returns the window mean.
+  double feed_clean_trace(const PowerTrace& trace) {
+    const double window_mean = trace.mean_power().value();
+    mean_acc_ += window_mean;
+    r_.energy_j += trace.energy().value();
+    bucket(trace.t0().value(), trace.dt().value(), 0, trace.watts());
+    ++windows_contributing_;
+    return window_mean;
+  }
+
+  /// Faulted path: corrupt, flag, repair and despike one window's clean
+  /// trace.  Returns the window mean when the window contributed, nullopt
+  /// when it was fully lost.
+  std::optional<double> feed_faulted_window(const PowerTrace& clean,
+                                            const TimeWindow& w) {
+    GappyTrace gappy = inject_faults(clean, fp_->spec, fate_, *fault_rng_);
+    r_.stuck_flagged += flag_stuck_runs(gappy, fp_->stuck_run_min);
+    const GapStats gs = gappy.gap_stats();
+    valid_total_ += gs.total - gs.missing;
+    r_.samples_lost += gs.missing;
+    if (gs.missing == gs.total) return std::nullopt;  // window fully lost
+
+    const PowerTrace dense = gappy.repaired(fp_->repair);
+    const HampelResult despiked = hampel_filter(
+        dense.watts(), fp_->hampel_half_window, fp_->hampel_n_sigmas);
+    r_.spikes_filtered += despiked.outlier_count;
+    r_.samples_repaired += gs.missing;
+    const double window_mean = mean_of(despiked.filtered);
+    mean_acc_ += window_mean;
+    r_.energy_j += window_mean * w.duration().value();
+    ++windows_contributing_;
+    bucket(dense.t0().value(), dense.dt().value(), 0, despiked.filtered);
+    return window_mean;
+  }
+
+  /// Finalizes the reading: clean mean over all windows, or the faulted
+  /// coverage-floor verdict.  Call exactly once, after the last window.
+  DeviceReading finish() {
+    if (dead_) return std::move(r_);
+    if (!faulty_) {
+      r_.mean_w = mean_acc_ / static_cast<double>(n_windows_);
+      finish_buckets();
+      return std::move(r_);
+    }
+    const double coverage =
+        r_.samples_expected == 0
+            ? 0.0
+            : static_cast<double>(valid_total_) /
+                  static_cast<double>(r_.samples_expected);
+    if (windows_contributing_ == 0 || coverage < fp_->min_coverage) {
+      r_.lost = true;
+      // A discarded series repairs nothing; its whole record is lost.
+      r_.samples_lost = r_.samples_expected;
+      r_.samples_repaired = 0;
+      r_.energy_j = 0.0;
+      return std::move(r_);
+    }
+    r_.mean_w = mean_acc_ / static_cast<double>(windows_contributing_);
+    finish_buckets();
+    return std::move(r_);
+  }
+
+  // --- read-only mid-run snapshots for partial (live) reporting.  None
+  // of these mutate state or draw RNG, so emission cannot perturb the
+  // final numbers.
+
+  /// Device has at least one contributing (or open, partially-fed)
+  /// window to report on.
+  [[nodiscard]] bool live_has_data() const {
+    return !dead_ && (windows_contributing_ > 0 || win_n_ > 0);
+  }
+  /// Running mean over contributing windows, including the open window's
+  /// partial samples when present.
+  [[nodiscard]] double live_mean_w() const {
+    double acc = mean_acc_;
+    std::size_t n = windows_contributing_;
+    if (win_n_ > 0) {
+      acc += (0.0 + win_sum_) / static_cast<double>(win_n_);
+      ++n;
+    }
+    return acc / static_cast<double>(n);
+  }
+  /// Energy accumulated so far, including the open window's samples.
+  [[nodiscard]] double live_energy_j() const {
+    double e = r_.energy_j;
+    if (win_n_ > 0) e += (0.0 + win_sum_) * win_dt_;
+    return e;
+  }
+
+ private:
+  // Accumulates per-analysis-window sums for cross-validation on the
+  // *window-global* sample index.  Reading already-produced values draws
+  // no RNG, so enabling reconciliation cannot perturb the metered
+  // numbers.
+  void bucket(double t0, double dt, std::size_t first,
+              std::span<const double> values) {
+    if (analysis_ == nullptr) return;
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      const double t = t0 + (static_cast<double>(first + j) + 0.5) * dt;
+      for (std::size_t a = 0; a < analysis_->size(); ++a) {
+        const TimeWindow& aw = (*analysis_)[a];
+        if (t >= aw.begin.value() && t < aw.end.value()) {
+          bucket_sum_[a] += values[j];
+          ++bucket_n_[a];
+          break;
+        }
+      }
+    }
+  }
+
+  void finish_buckets() {
+    if (analysis_ == nullptr) return;
+    r_.analysis_means_w.assign(analysis_->size(),
+                               std::numeric_limits<double>::quiet_NaN());
+    for (std::size_t a = 0; a < analysis_->size(); ++a) {
+      if (bucket_n_[a] > 0) {
+        r_.analysis_means_w[a] =
+            bucket_sum_[a] / static_cast<double>(bucket_n_[a]);
+      }
+    }
+  }
+
+  const FaultPlan* fp_;
+  const std::vector<TimeWindow>* analysis_;
+  std::size_t n_windows_;
+  DeviceReading r_;
+  std::vector<double> bucket_sum_;
+  std::vector<std::size_t> bucket_n_;
+  bool faulty_ = false;
+  bool dead_ = false;
+  double mean_acc_ = 0.0;
+  std::size_t windows_contributing_ = 0;
+  std::size_t valid_total_ = 0;
+  // Open clean window: left-to-right chained sum + sample count.
+  double win_sum_ = 0.0;
+  double win_dt_ = 0.0;
+  std::size_t win_n_ = 0;
+  // Faulted state: the fate is drawn once; the fault stream persists
+  // across windows exactly like the historical single-loop consumption.
+  MeterFate fate_;
+  std::optional<Rng> fault_rng_;
+};
+
+// Meters `truth` over every window by driving a DeviceMeter through the
+// batch feeding order.  With `stream_scope` set the clean readings come
+// from the streaming kernels instead of the truth function —
+// bit-identical by construction (sim/streaming.hpp), so everything
+// downstream is shared verbatim.
 DeviceReading meter_device(const MeterModel& meter,
                            const PowerFunction& truth,
                            const std::vector<TimeWindow>& windows,
@@ -87,94 +311,30 @@ DeviceReading meter_device(const MeterModel& meter,
                            std::uint64_t stream, std::size_t meter_id,
                            const std::vector<TimeWindow>* analysis = nullptr,
                            const StreamScope* stream_scope = nullptr) {
-  const FaultPlan& fp = config.faults;
-  DeviceReading r;
+  DeviceMeter dm(config.faults, config.seed, stream, meter_id,
+                 campaign_window, windows.size(),
+                 expected_samples(windows, meter), analysis);
+  if (dm.dead()) return dm.finish();
 
-  // Accumulates per-analysis-window sums for cross-validation.  Reading
-  // the already-produced trace draws no RNG, so enabling reconciliation
-  // cannot perturb the metered numbers.
-  std::vector<double> bucket_sum;
-  std::vector<std::size_t> bucket_n;
-  if (analysis != nullptr) {
-    bucket_sum.assign(analysis->size(), 0.0);
-    bucket_n.assign(analysis->size(), 0);
-  }
-  const auto bucket = [&](Seconds t0, Seconds dt,
-                          std::span<const double> values) {
-    if (analysis == nullptr) return;
-    for (std::size_t j = 0; j < values.size(); ++j) {
-      const double t =
-          t0.value() + (static_cast<double>(j) + 0.5) * dt.value();
-      for (std::size_t a = 0; a < analysis->size(); ++a) {
-        const TimeWindow& aw = (*analysis)[a];
-        if (t >= aw.begin.value() && t < aw.end.value()) {
-          bucket_sum[a] += values[j];
-          ++bucket_n[a];
-          break;
-        }
-      }
-    }
-  };
-  const auto finish_buckets = [&] {
-    if (analysis == nullptr) return;
-    r.analysis_means_w.assign(analysis->size(),
-                              std::numeric_limits<double>::quiet_NaN());
-    for (std::size_t a = 0; a < analysis->size(); ++a) {
-      if (bucket_n[a] > 0) {
-        r.analysis_means_w[a] =
-            bucket_sum[a] / static_cast<double>(bucket_n[a]);
-      }
-    }
-  };
-
-  if (!fp.enabled()) {
-    double mean_acc = 0.0;
+  if (!config.faults.enabled()) {
     if (stream_scope != nullptr) {
       // Streaming clean path: no PowerTrace, no per-window allocation.
-      // The fused accumulator's in-order sum reproduces the prefix-sum
-      // bits mean_power()/energy() would compute from the same readings.
       StreamScratch& scratch = *stream_scope->scratch;
       for (std::size_t wi = 0; wi < windows.size(); ++wi) {
         const ShapeTable& table = (*stream_scope->tables)[wi];
         stream_node_window(table, stream_scope->mean_w, stream_scope->curve,
                            meter, noise, scratch);
-        FusedAccumulator acc;
-        acc.push(std::span<const double>(scratch.readings));
-        mean_acc += acc.sum() / static_cast<double>(acc.count());
-        r.energy_j += acc.sum() * table.dt;
-        bucket(Seconds{table.t_begin}, Seconds{table.dt}, scratch.readings);
+        dm.feed_clean_chunk(table.t_begin, table.dt, 0, scratch.readings);
+        dm.close_clean_window();
       }
     } else {
       for (const TimeWindow& w : windows) {
-        const PowerTrace trace = meter.measure(truth, w.begin, w.end, noise);
-        mean_acc += trace.mean_power().value();
-        r.energy_j += trace.energy().value();
-        bucket(trace.t0(), trace.dt(), trace.watts());
+        dm.feed_clean_trace(meter.measure(truth, w.begin, w.end, noise));
       }
     }
-    r.mean_w = mean_acc / static_cast<double>(windows.size());
-    finish_buckets();
-    return r;
+    return dm.finish();
   }
 
-  r.samples_expected = expected_samples(windows, meter);
-  if (fp.forced_dead(meter_id)) {
-    r.lost = true;
-    r.samples_lost = r.samples_expected;
-    return r;
-  }
-
-  Rng fate_rng(config.seed ^ kFateSalt, stream);
-  Rng fault_rng(config.seed ^ kFaultSalt, stream);
-  MeterFate fate = draw_meter_fate(fp.spec, campaign_window, fate_rng);
-  const std::size_t byz_pos = fp.forced_byzantine(meter_id);
-  if (byz_pos != FaultPlan::npos) {
-    fp.apply_forced_byzantine(byz_pos, campaign_window, fate);
-  }
-
-  double mean_acc = 0.0;
-  std::size_t windows_used = 0;
-  std::size_t valid_total = 0;
   for (std::size_t wi = 0; wi < windows.size(); ++wi) {
     const TimeWindow& w = windows[wi];
     // The fault pipeline consumes a materialized trace either way; the
@@ -189,41 +349,9 @@ DeviceReading meter_device(const MeterModel& meter,
       return PowerTrace(w.begin, meter.interval(),
                         stream_scope->scratch->readings);
     }();
-    GappyTrace gappy = inject_faults(clean, fp.spec, fate, fault_rng);
-    r.stuck_flagged += flag_stuck_runs(gappy, fp.stuck_run_min);
-    const GapStats gs = gappy.gap_stats();
-    valid_total += gs.total - gs.missing;
-    r.samples_lost += gs.missing;
-    if (gs.missing == gs.total) continue;  // window fully lost
-
-    const PowerTrace dense = gappy.repaired(fp.repair);
-    const HampelResult despiked = hampel_filter(
-        dense.watts(), fp.hampel_half_window, fp.hampel_n_sigmas);
-    r.spikes_filtered += despiked.outlier_count;
-    r.samples_repaired += gs.missing;
-    const double window_mean = mean_of(despiked.filtered);
-    mean_acc += window_mean;
-    r.energy_j += window_mean * w.duration().value();
-    ++windows_used;
-    bucket(dense.t0(), dense.dt(), despiked.filtered);
+    dm.feed_faulted_window(clean, w);
   }
-
-  const double coverage =
-      r.samples_expected == 0
-          ? 0.0
-          : static_cast<double>(valid_total) /
-                static_cast<double>(r.samples_expected);
-  if (windows_used == 0 || coverage < fp.min_coverage) {
-    r.lost = true;
-    // A discarded series repairs nothing; its whole record is lost.
-    r.samples_lost = r.samples_expected;
-    r.samples_repaired = 0;
-    r.energy_j = 0.0;
-    return r;
-  }
-  r.mean_w = mean_acc / static_cast<double>(windows_used);
-  finish_buckets();
-  return r;
+  return dm.finish();
 }
 
 void absorb_tallies(DataQuality& dq, const DeviceReading& r) {
@@ -451,7 +579,10 @@ class ProvisionStage final : public CampaignStage {
           }
         }
         ctx.streaming = streaming;
-        if (streaming) {
+        // The live (bounded-memory) meter stage builds its own per-chunk
+        // shape tables on the fly — materializing every window here would
+        // defeat its O(nodes + windows) footprint.
+        if (streaming && !config.live.enabled) {
           ctx.tables = build_shape_tables(cluster, ctx.windows, ctx.interval,
                                           plan.meter_mode);
         }
@@ -581,6 +712,357 @@ class NodeMeterStage final : public CampaignStage {
         {"engine_streaming", streaming ? 1.0 : 0.0},
         {"fanout", static_cast<double>(fanout)},
         {"lost", static_cast<double>(lost)},
+    };
+  }
+};
+
+// One closed metering window's fleet-level summary, retained in the live
+// stage's fixed-capacity ring buffer.
+struct WindowSummary {
+  std::size_t index = 0;
+  double fleet_mean_w = 0.0;
+  std::size_t nodes = 0;
+};
+
+// Bounded-memory node-tap Meter stage (config.live).  Window-major: the
+// outer loop walks metering windows — clean streaming campaigns in
+// fixed-size shape chunks — and the inner fan-out walks per-node slots.
+// Peak footprint is O(nodes + chunk_samples + analysis windows),
+// independent of campaign length, versus the batch stage's O(total
+// samples) up-front shape tables.
+//
+// Byte-identity with NodeMeterStage: every per-node RNG stream is keyed
+// identically and consumed in the identical time order (calibration at
+// slot build, noise chunk-by-chunk within each node), kernel chunks
+// evaluate the window-global sample grid, and DeviceMeter chains every
+// accumulator in batch feeding order.  The pool barrier after each chunk
+// gives the serial bookkeeping a happens-before edge over every worker
+// write.  test_streaming_assessment memcmps the result against the batch
+// stage across seeds x levels x threads x fault plans.
+class LiveNodeMeterStage final : public CampaignStage {
+ public:
+  [[nodiscard]] const char* name() const override { return "meter"; }
+
+  void run(CampaignContext& ctx, StageTrace& trace) override {
+    const ClusterPowerModel& cluster = *ctx.cluster;
+    const SystemPowerModel& electrical = *ctx.electrical;
+    const MeasurementPlan& plan = *ctx.plan;
+    const CampaignConfig& config = *ctx.config;
+    const LiveOptions& live = config.live;
+    const bool streaming = ctx.streaming;
+    const bool reconciling = ctx.reconciling;
+    const bool faulty = ctx.faulty;
+    const std::size_t n = plan.node_count();
+
+    // Per-node state slots: everything a worker touches for node i lives
+    // in slot i, so the window-major fan-out is bit-identical at any
+    // thread count.
+    struct NodeSlot {
+      MeterModel meter;
+      Rng noise;
+      DeviceMeter dm;
+      double mean_w = 0.0;  // streaming: the node's own mean draw
+      const CompiledPsuCurve* curve = nullptr;  // streaming AC tap
+      PowerFunction truth;                      // eager truth chain
+      double window_mean = 0.0;  // current window's mean (worker-written)
+      bool window_contributed = false;
+    };
+    std::vector<NodeSlot> slots;
+    slots.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t node = plan.node_indices[i];
+      PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
+      Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
+      Rng noise(config.seed ^ 0xBADCAB1EULL, node);
+      MeterModel meter(config.meter_accuracy, plan.meter_mode, ctx.interval,
+                       calibration);
+      DeviceMeter dm(config.faults, config.seed, node, node, plan.window,
+                     ctx.windows.size(),
+                     expected_samples(ctx.windows, meter),
+                     reconciling ? &ctx.analysis : nullptr);
+      NodeSlot slot{std::move(meter), std::move(noise), std::move(dm),
+                    0.0,     nullptr,         PowerFunction{},
+                    0.0,     false};
+      if (streaming) {
+        slot.mean_w = cluster.node_means()[node];
+        slot.curve = plan.point == MeasurementPoint::kNodeDc
+                         ? nullptr
+                         : &electrical.node_psu(node).compiled();
+      } else {
+        slot.truth = plan.point == MeasurementPoint::kNodeDc
+                         ? PowerFunction([&electrical, node](double t) {
+                             return electrical.node_dc_w(node, t);
+                           })
+                         : electrical.node_ac_function(node);
+      }
+      slots.push_back(std::move(slot));
+    }
+
+    const std::size_t fanout = std::max<std::size_t>(
+        {config.threads,
+         reconciling ? static_cast<std::size_t>(config.reconcile.threads)
+                     : std::size_t{1},
+         std::size_t{1}});
+    std::optional<ThreadPool> pool;
+    if (fanout > 1) pool.emplace(static_cast<unsigned>(fanout));
+    ThreadPool* const pool_ptr = pool ? &*pool : nullptr;
+
+    // Campaign-wide bounded state: a fixed-capacity ring of closed-window
+    // fleet summaries plus a mergeable quantile sketch over per-node
+    // window means — one small sketch per closed window, merged in, which
+    // is exact (sketch-of-stream == merge-of-window-sketches, pinned by
+    // the sketch property tests).
+    RingBuffer<WindowSummary> ring(
+        std::max<std::size_t>(std::size_t{1}, live.history_windows));
+    QuantileSketch campaign_sketch(0.01);
+    std::size_t windows_closed = 0;
+    std::size_t chunks_run = 0;
+    std::size_t partials = 0;
+
+    // Ground truth for partial documents, computed once on first use (the
+    // final document's truth comes from AssessStage as usual).
+    std::optional<double> truth_cache;
+    const auto truth_w = [&]() -> double {
+      if (!truth_cache) {
+        truth_cache =
+            (streaming
+                 ? streaming_true_scope_power(cluster, electrical, plan.spec)
+                 : true_scope_power(cluster, electrical, plan.spec))
+                .value();
+      }
+      return *truth_cache;
+    };
+
+    // Emits one partial assessment Document from a read-only snapshot of
+    // the slots.  Runs strictly between fan-out barriers; draws no RNG
+    // and mutates no metering state, so emission cannot perturb the
+    // final numbers.
+    const auto emit_partial = [&](double virtual_now) {
+      if (!config.live_sink) return;
+      std::vector<NodeReading> partial;
+      partial.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const NodeSlot& s = slots[i];
+        if (!s.dm.live_has_data()) continue;
+        NodeReading nr;
+        nr.node = plan.node_indices[i];
+        nr.lost = false;
+        nr.mean_w = s.dm.live_mean_w();
+        nr.energy_j = s.dm.live_energy_j();
+        if (plan.timing != TimingStrategy::kContinuous) {
+          nr.energy_j = nr.mean_w * plan.window.duration().value();
+        }
+        apply_dc_conversion(plan, electrical, nr.node, nr.mean_w,
+                            nr.energy_j);
+        partial.push_back(nr);
+      }
+      if (partial.empty()) return;
+
+      // Run the snapshot through the exact node-tap Aggregate tail the
+      // final result uses, on a scratch context.
+      CampaignContext snap;
+      snap.cluster = ctx.cluster;
+      snap.electrical = ctx.electrical;
+      snap.plan = ctx.plan;
+      snap.config = ctx.config;
+      snap.readings = std::move(partial);
+      snap.dq().meters_planned = ctx.dq().meters_planned;
+      snap.dq().faults_enabled = faulty;
+      aggregate_nodes(snap);
+      snap.result.true_power = Watts{truth_w()};
+      snap.result.relative_error =
+          std::fabs(snap.result.submitted_power.value() - truth_w()) /
+          truth_w();
+
+      LiveProgress prog;
+      prog.seq = partials;
+      prog.virtual_s = virtual_now;
+      prog.windows_closed = windows_closed;
+      prog.nodes_reporting = snap.readings.size();
+      prog.window_capacity = ring.capacity();
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        prog.recent_windows.emplace_back(ring[i].index, ring[i].fleet_mean_w);
+      }
+      prog.sketch_count = campaign_sketch.count();
+      if (!campaign_sketch.empty()) {
+        prog.sketch_bins = campaign_sketch.bin_count();
+        prog.sketch_alpha = campaign_sketch.alpha();
+        prog.p05_w = campaign_sketch.quantile(0.05);
+        prog.p50_w = campaign_sketch.quantile(0.50);
+        prog.p95_w = campaign_sketch.quantile(0.95);
+      }
+      // One complete rendered line per call — the sink never observes a
+      // torn document.
+      config.live_sink(
+          render_json(live_assessment_document(plan, snap.result, prog)));
+      ++partials;
+    };
+
+    // Pinned virtual-time emission schedule: thresholds advance from the
+    // first window's origin in emit_every_s steps, checked at chunk and
+    // window boundaries, so reruns emit identical partials at identical
+    // points.
+    double next_emit = ctx.windows.empty()
+                           ? 0.0
+                           : ctx.windows.front().begin.value() +
+                                 live.emit_every_s;
+    const auto maybe_emit = [&](double virtual_now) {
+      if (live.emit_every_s <= 0.0) return;
+      if (virtual_now + 1e-9 < next_emit) return;
+      emit_partial(virtual_now);
+      while (next_emit <= virtual_now + 1e-9) next_emit += live.emit_every_s;
+    };
+
+    // Closes window `wi` fleet-wide: per-node window means feed one
+    // window sketch (merged into the campaign sketch) and the ring.
+    const auto close_window_stats = [&](std::size_t wi) {
+      QuantileSketch window_sketch(campaign_sketch.alpha());
+      FusedAccumulator fleet;
+      for (const NodeSlot& s : slots) {
+        if (!s.window_contributed) continue;
+        window_sketch.push(s.window_mean);
+        fleet.push(s.window_mean);
+      }
+      campaign_sketch.merge(window_sketch);
+      if (!fleet.empty()) {
+        ring.push(WindowSummary{wi, fleet.mean(), fleet.count()});
+      }
+      ++windows_closed;
+    };
+
+    double virtual_now =
+        ctx.windows.empty() ? 0.0 : ctx.windows.front().begin.value();
+    if (streaming && !faulty) {
+      // Clean streaming driver: each window streams in fixed-size chunks
+      // of the window-global sample grid.  The chunk's shape table is
+      // built serially (once, shared by every node) and its storage is
+      // reused, so peak memory never depends on the window length.
+      const std::size_t chunk_cap =
+          std::max<std::size_t>(std::size_t{1}, live.chunk_samples);
+      ShapeTable chunk;
+      for (std::size_t wi = 0; wi < ctx.windows.size(); ++wi) {
+        const TimeWindow& w = ctx.windows[wi];
+        const std::size_t samples = window_sample_count(w, ctx.interval);
+        PV_EXPECTS(samples > 0,
+                   "window shorter than one reporting interval");
+        for (std::size_t first = 0; first < samples; first += chunk_cap) {
+          const std::size_t count = std::min(chunk_cap, samples - first);
+          build_shape_chunk(cluster, w, ctx.interval, plan.meter_mode, first,
+                            count, chunk);
+          parallel_chunks(pool_ptr, n, [&](std::size_t b, std::size_t e) {
+            StreamScratch scratch;
+            for (std::size_t i = b; i < e; ++i) {
+              NodeSlot& s = slots[i];
+              stream_node_window(chunk, s.mean_w, s.curve, s.meter, s.noise,
+                                 scratch);
+              s.dm.feed_clean_chunk(chunk.t_begin, chunk.dt, first,
+                                    scratch.readings);
+            }
+          });
+          ++chunks_run;
+          virtual_now = w.begin.value() +
+                        ctx.interval.value() *
+                            static_cast<double>(first + count);
+          maybe_emit(virtual_now);
+        }
+        for (NodeSlot& s : slots) {
+          s.window_mean = s.dm.close_clean_window();
+          s.window_contributed = true;
+        }
+        close_window_stats(wi);
+        virtual_now = w.end.value();
+        if (live.emit_every_s <= 0.0) emit_partial(virtual_now);
+      }
+    } else {
+      // Whole-window driver (faulted campaigns need a materialized clean
+      // trace per window for the corruption pipeline; eager clean
+      // campaigns measure per window anyway).  Only one window per node
+      // is ever in flight, so memory stays bounded by the window length.
+      ShapeTable chunk;
+      for (std::size_t wi = 0; wi < ctx.windows.size(); ++wi) {
+        const TimeWindow& w = ctx.windows[wi];
+        if (streaming) {
+          const std::size_t samples = window_sample_count(w, ctx.interval);
+          PV_EXPECTS(samples > 0,
+                     "window shorter than one reporting interval");
+          build_shape_chunk(cluster, w, ctx.interval, plan.meter_mode, 0,
+                            samples, chunk);
+        }
+        parallel_chunks(pool_ptr, n, [&](std::size_t b, std::size_t e) {
+          StreamScratch scratch;
+          for (std::size_t i = b; i < e; ++i) {
+            NodeSlot& s = slots[i];
+            s.window_contributed = false;
+            if (s.dm.dead()) continue;
+            if (!faulty) {
+              s.window_mean = s.dm.feed_clean_trace(
+                  s.meter.measure(s.truth, w.begin, w.end, s.noise));
+              s.window_contributed = true;
+              continue;
+            }
+            const PowerTrace clean = [&] {
+              if (!streaming) {
+                return s.meter.measure(s.truth, w.begin, w.end, s.noise);
+              }
+              stream_node_window(chunk, s.mean_w, s.curve, s.meter, s.noise,
+                                 scratch);
+              return PowerTrace(w.begin, s.meter.interval(),
+                                scratch.readings);
+            }();
+            const std::optional<double> wm =
+                s.dm.feed_faulted_window(clean, w);
+            if (wm.has_value()) {
+              s.window_mean = *wm;
+              s.window_contributed = true;
+            }
+          }
+        });
+        ++chunks_run;
+        close_window_stats(wi);
+        virtual_now = w.end.value();
+        if (live.emit_every_s <= 0.0) {
+          emit_partial(virtual_now);
+        } else {
+          maybe_emit(virtual_now);
+        }
+      }
+    }
+
+    // Finish: identical post-processing to NodeMeterStage.
+    ctx.devices.resize(n);
+    ctx.readings.resize(n);
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ctx.devices[i] = slots[i].dm.finish();
+      const DeviceReading& reading = ctx.devices[i];
+      NodeReading nr;
+      nr.node = plan.node_indices[i];
+      nr.lost = reading.lost;
+      if (!reading.lost) {
+        nr.mean_w = reading.mean_w;
+        nr.energy_j = reading.energy_j;
+        if (plan.timing != TimingStrategy::kContinuous) {
+          // Spot sampling: report energy as mean power over the window.
+          nr.energy_j = nr.mean_w * plan.window.duration().value();
+        }
+        apply_dc_conversion(plan, electrical, nr.node, nr.mean_w,
+                            nr.energy_j);
+      }
+      ctx.readings[i] = nr;
+      lost += nr.lost ? 1 : 0;
+    }
+
+    trace.items = ctx.readings.size();
+    trace.samples = ctx.samples_per_meter * ctx.readings.size();
+    trace.virtual_s = metered_virtual_s(ctx, ctx.readings.size());
+    trace.counters = {
+        {"engine_streaming", streaming ? 1.0 : 0.0},
+        {"fanout", static_cast<double>(fanout)},
+        {"lost", static_cast<double>(lost)},
+        {"live", 1.0},
+        {"chunks", static_cast<double>(chunks_run)},
+        {"windows_stored", static_cast<double>(ring.size())},
+        {"partials_emitted", static_cast<double>(partials)},
     };
   }
 };
@@ -1007,6 +1489,9 @@ Watts true_scope_power(const ClusterPowerModel& cluster,
 
 StagePtr make_provision_stage() { return std::make_unique<ProvisionStage>(); }
 StagePtr make_node_meter_stage() { return std::make_unique<NodeMeterStage>(); }
+StagePtr make_live_node_meter_stage() {
+  return std::make_unique<LiveNodeMeterStage>();
+}
 StagePtr make_rack_meter_stage() { return std::make_unique<RackMeterStage>(); }
 StagePtr make_facility_meter_stage() {
   return std::make_unique<FacilityMeterStage>();
@@ -1030,7 +1515,8 @@ std::vector<StagePtr> make_campaign_stages(const MeasurementPlan& plan,
       stages.push_back(make_rack_meter_stage());
       break;
     default:
-      stages.push_back(make_node_meter_stage());
+      stages.push_back(config.live.enabled ? make_live_node_meter_stage()
+                                           : make_node_meter_stage());
       break;
   }
   stages.push_back(make_repair_stage());

@@ -125,6 +125,15 @@ using StagePtr = std::unique_ptr<CampaignStage>;
 /// (bit-identical at any thread count).
 [[nodiscard]] StagePtr make_node_meter_stage();
 
+/// Bounded-memory node-tap Meter stage (config.live): window-major over
+/// per-node window accumulators, streaming each window in fixed-size
+/// shape chunks, so peak memory is O(nodes + windows) independent of
+/// campaign length.  Emits partial assessment Documents to
+/// config.live_sink on the pinned virtual-time schedule.  The finished
+/// devices/readings — and therefore the final Document — are
+/// byte-identical to make_node_meter_stage's.
+[[nodiscard]] StagePtr make_live_node_meter_stage();
+
 /// Rack-PDU Meter stage: one meter per rack containing a selected node;
 /// the reading is later attributed evenly to the rack's nodes.
 [[nodiscard]] StagePtr make_rack_meter_stage();

@@ -307,6 +307,119 @@ std::string accuracy_report(const MeasurementPlan& plan,
   return render_text(assessment_document(plan, result));
 }
 
+Document live_assessment_document(const MeasurementPlan& plan,
+                                  const CampaignResult& result,
+                                  const LiveProgress& progress) {
+  Document doc = assessment_document(plan, result);
+  DocBlock& b = doc.block("live", "\n--- live (partial) ---\n");
+  b.field("seq", progress.seq,
+          kv("partial", "#" + std::to_string(progress.seq) + " at t=" +
+                            fmt_fixed(progress.virtual_s, 1) + " s, " +
+                            std::to_string(progress.windows_closed) +
+                            " windows closed, " +
+                            std::to_string(progress.nodes_reporting) +
+                            " nodes reporting"));
+  b.field("virtual_s", progress.virtual_s);
+  b.field("windows_closed", progress.windows_closed);
+  b.field("nodes_reporting", progress.nodes_reporting);
+  b.field("window_capacity", progress.window_capacity);
+  {
+    Json recent = Json::array();
+    std::string rows;
+    for (const auto& [index, mean_w] : progress.recent_windows) {
+      Json row = Json::object();
+      row["window"] = index;
+      row["fleet_mean_w"] = mean_w;
+      recent.push_back(std::move(row));
+      rows += "  window " + std::to_string(index) + ": " +
+              fmt_fixed(mean_w, 2) + " W fleet mean\n";
+    }
+    b.field("recent_windows", std::move(recent), std::move(rows));
+  }
+  if (progress.sketch_count > 0) {
+    Json sketch = Json::object();
+    sketch["count"] = progress.sketch_count;
+    sketch["bins"] = progress.sketch_bins;
+    sketch["alpha"] = progress.sketch_alpha;
+    sketch["p05_w"] = progress.p05_w;
+    sketch["p50_w"] = progress.p50_w;
+    sketch["p95_w"] = progress.p95_w;
+    b.field("sketch", std::move(sketch),
+            kv("node-window means",
+               "p05 " + fmt_fixed(progress.p05_w, 1) + " W, p50 " +
+                   fmt_fixed(progress.p50_w, 1) + " W, p95 " +
+                   fmt_fixed(progress.p95_w, 1) + " W (" +
+                   std::to_string(progress.sketch_count) + " in " +
+                   std::to_string(progress.sketch_bins) + " bins)"));
+  }
+  return doc;
+}
+
+Json parse_assessment_line(const std::string& line) {
+  if (line.empty() || line.back() != '\n') {
+    throw AssessmentParseError(
+        "assessment line is not newline-terminated (torn write?)");
+  }
+  if (line.find('\n') != line.size() - 1) {
+    throw AssessmentParseError("assessment line contains embedded newlines");
+  }
+  Json doc;
+  try {
+    doc = Json::parse(line.substr(0, line.size() - 1));
+  } catch (const JsonParseError& e) {
+    throw AssessmentParseError(std::string("invalid JSON: ") + e.what());
+  }
+  if (doc.kind() != Json::Kind::kObject) {
+    throw AssessmentParseError("assessment document is not a JSON object");
+  }
+  const Json* schema = doc.find("schema");
+  if (schema == nullptr || schema->kind() != Json::Kind::kString ||
+      schema->string_value() != "powervar-assessment-v1") {
+    throw AssessmentParseError("missing or wrong schema tag");
+  }
+  const Json* a = doc.find("assessment");
+  if (a == nullptr || a->kind() != Json::Kind::kObject) {
+    throw AssessmentParseError("missing assessment block");
+  }
+  for (const char* key :
+       {"nodes_measured", "window_s", "submitted_power_w", "window_energy_j",
+        "relative_halfwidth", "true_power_w", "relative_error"}) {
+    const Json* v = a->find(key);
+    if (v == nullptr || !v->is_number()) {
+      throw AssessmentParseError(std::string("assessment field '") + key +
+                                 "' missing or non-numeric");
+    }
+  }
+  const Json* live = doc.find("live");
+  if (live != nullptr) {
+    if (live->kind() != Json::Kind::kObject) {
+      throw AssessmentParseError("live block is not an object");
+    }
+    for (const char* key :
+         {"seq", "virtual_s", "windows_closed", "nodes_reporting",
+          "window_capacity"}) {
+      const Json* v = live->find(key);
+      if (v == nullptr || !v->is_number()) {
+        throw AssessmentParseError(std::string("live field '") + key +
+                                   "' missing or non-numeric");
+      }
+    }
+    const Json* recent = live->find("recent_windows");
+    if (recent == nullptr || recent->kind() != Json::Kind::kArray) {
+      throw AssessmentParseError("live.recent_windows missing or not an array");
+    }
+    for (const Json& row : recent->items()) {
+      if (row.kind() != Json::Kind::kObject ||
+          row.find("window") == nullptr || !row.find("window")->is_number() ||
+          row.find("fleet_mean_w") == nullptr ||
+          !row.find("fleet_mean_w")->is_number()) {
+        throw AssessmentParseError("malformed live.recent_windows row");
+      }
+    }
+  }
+  return doc;
+}
+
 std::string data_quality_report(const DataQuality& q) {
   Document doc;
   append_data_quality(doc, q);

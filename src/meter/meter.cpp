@@ -31,8 +31,9 @@ MeterModel::MeterModel(MeterAccuracy accuracy, MeterMode mode,
   offset_w_ = calibration_rng.normal(0.0, accuracy.offset_error_sd_w);
 }
 
-PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
-                               Seconds t_end, Rng& noise_rng) const {
+void MeterModel::measure_into(const PowerFunction& truth_w, Seconds t_begin,
+                              Seconds t_end, Rng& noise_rng,
+                              std::vector<double>& readings) const {
   PV_EXPECTS(truth_w != nullptr, "null ground-truth function");
   PV_EXPECTS(t_end.value() > t_begin.value(), "empty metering window");
   const double dt = interval_.value();
@@ -43,7 +44,7 @@ PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
   // The streaming kernels evaluate the exact sample times and quadrature
   // below in a different translation unit; -ffp-contract=off project-wide
   // keeps every multiply-add here and there rounding identically.
-  std::vector<double> readings(n);
+  readings.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const double a = t_begin.value() + dt * static_cast<double>(i);
     double truth;
@@ -59,6 +60,12 @@ PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
     }
     readings[i] = apply_errors(truth, noise_rng);
   }
+}
+
+PowerTrace MeterModel::measure(const PowerFunction& truth_w, Seconds t_begin,
+                               Seconds t_end, Rng& noise_rng) const {
+  std::vector<double> readings;
+  measure_into(truth_w, t_begin, t_end, noise_rng, readings);
   return PowerTrace(t_begin, interval_, std::move(readings));
 }
 

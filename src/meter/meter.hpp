@@ -82,6 +82,13 @@ class MeterModel {
                                    Seconds t_begin, Seconds t_end,
                                    Rng& noise_rng) const;
 
+  /// measure() into a caller-owned buffer (resized to the sample count) —
+  /// identical arithmetic and RNG draws, but no per-window allocation, so
+  /// chunked pollers and the live engine can reuse one buffer throughout.
+  void measure_into(const PowerFunction& truth_w, Seconds t_begin,
+                    Seconds t_end, Rng& noise_rng,
+                    std::vector<double>& readings) const;
+
   /// Total energy over a window as this meter would report it.
   [[nodiscard]] Joules measure_energy(const PowerFunction& truth_w,
                                       Seconds t_begin, Seconds t_end,

@@ -36,41 +36,57 @@ void index_shape_levels(ShapeTable& table) {
 
 }  // namespace
 
+std::size_t window_sample_count(const TimeWindow& w, Seconds interval) {
+  PV_EXPECTS(interval.value() > 0.0, "reporting interval must be positive");
+  PV_EXPECTS(w.valid(), "empty metering window");
+  // Same floor arithmetic as MeterModel::measure / samples_in.
+  return static_cast<std::size_t>(
+      std::floor((w.end.value() - w.begin.value()) / interval.value() + 1e-9));
+}
+
+void build_shape_chunk(const ClusterPowerModel& cluster, const TimeWindow& w,
+                       Seconds interval, MeterMode mode, std::size_t first,
+                       std::size_t count, ShapeTable& out) {
+  PV_EXPECTS(count > 0, "empty shape chunk");
+  const double dt = interval.value();
+  out.t_begin = w.begin.value();
+  out.dt = dt;
+  out.mode = mode;
+  out.samples = count;
+  out.levels.clear();
+  out.level_idx.clear();
+  if (mode == MeterMode::kIntegrated) {
+    // Plane-major (see ShapeTable): quadrature plane q at q*count.
+    out.shape.resize(count * 4);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Window-global sample index: double(first + i) carries the exact
+      // bits double(i_global) has in the full-window build.
+      const double a = out.t_begin + dt * static_cast<double>(first + i);
+      for (std::size_t q = 0; q < 4; ++q) {
+        out.shape[q * count + i] = cluster.shape_factor(a + gl4::kXs[q] * dt);
+      }
+    }
+  } else {
+    out.shape.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double a = out.t_begin + dt * static_cast<double>(first + i);
+      out.shape[i] = cluster.shape_factor(a + 0.5 * dt);
+    }
+  }
+  index_shape_levels(out);
+}
+
 std::vector<ShapeTable> build_shape_tables(
     const ClusterPowerModel& cluster, const std::vector<TimeWindow>& windows,
     Seconds interval, MeterMode mode) {
   PV_EXPECTS(interval.value() > 0.0, "reporting interval must be positive");
-  const double dt = interval.value();
   std::vector<ShapeTable> tables;
   tables.reserve(windows.size());
   for (const TimeWindow& w : windows) {
-    PV_EXPECTS(w.valid(), "empty metering window");
+    const std::size_t samples = window_sample_count(w, interval);
+    PV_EXPECTS(samples > 0, "window shorter than one reporting interval");
     ShapeTable table;
-    table.t_begin = w.begin.value();
-    table.dt = dt;
-    table.mode = mode;
-    // Same floor arithmetic as MeterModel::measure / samples_in.
-    table.samples = static_cast<std::size_t>(
-        std::floor((w.end.value() - w.begin.value()) / dt + 1e-9));
-    PV_EXPECTS(table.samples > 0, "window shorter than one reporting interval");
-    if (mode == MeterMode::kIntegrated) {
-      // Plane-major (see ShapeTable): quadrature plane q at q*samples.
-      table.shape.resize(table.samples * 4);
-      for (std::size_t i = 0; i < table.samples; ++i) {
-        const double a = table.t_begin + dt * static_cast<double>(i);
-        for (std::size_t q = 0; q < 4; ++q) {
-          table.shape[q * table.samples + i] =
-              cluster.shape_factor(a + gl4::kXs[q] * dt);
-        }
-      }
-    } else {
-      table.shape.reserve(table.samples);
-      for (std::size_t i = 0; i < table.samples; ++i) {
-        const double a = table.t_begin + dt * static_cast<double>(i);
-        table.shape.push_back(cluster.shape_factor(a + 0.5 * dt));
-      }
-    }
-    index_shape_levels(table);
+    build_shape_chunk(cluster, w, interval, mode, 0, samples, table);
     tables.push_back(std::move(table));
   }
   return tables;

@@ -64,6 +64,22 @@ struct ShapeTable {
     const ClusterPowerModel& cluster, const std::vector<TimeWindow>& windows,
     Seconds interval, MeterMode mode);
 
+/// Readings MeterModel::measure would produce over `w` at `interval` —
+/// the same floor arithmetic as samples_in.
+[[nodiscard]] std::size_t window_sample_count(const TimeWindow& w,
+                                              Seconds interval);
+
+/// Fills `out` with the shape table for samples [first, first + count) of
+/// window `w` — the bounded-memory building block the live engine uses
+/// instead of materializing every window's table up front.  Sample i of
+/// the chunk sits on the *window-global* time grid (index first + i), so
+/// chunked streaming reproduces the full-window bits exactly.  `out`'s
+/// storage is reused across calls; out.samples is the chunk's count and
+/// out.t_begin stays the window's origin.
+void build_shape_chunk(const ClusterPowerModel& cluster, const TimeWindow& w,
+                       Seconds interval, MeterMode mode, std::size_t first,
+                       std::size_t count, ShapeTable& out);
+
 /// Reused per-worker buffers for stream_node_window.  `readings` receives
 /// the finished samples; the rest are kernel-internal staging arrays for
 /// the batched (vectorized) PSU evaluation.  One instance per shard,

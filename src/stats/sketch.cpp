@@ -1,0 +1,116 @@
+#include "stats/sketch.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/expects.hpp"
+
+namespace pv {
+namespace {
+
+// Magnitudes below this cannot be log-indexed without underflow; they are
+// counted in the zero bin and reported as exactly 0.0.
+constexpr double kZeroFloor = std::numeric_limits<double>::min();
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+  PV_EXPECTS(alpha > 0.0 && alpha < 1.0,
+             "QuantileSketch alpha must be in (0, 1)");
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+long long QuantileSketch::key_for(double magnitude) const {
+  return static_cast<long long>(std::ceil(std::log(magnitude) * inv_log_gamma_));
+}
+
+double QuantileSketch::bin_value(long long key) const {
+  // Midpoint (in relative terms) of the bin (gamma^(key-1), gamma^key]:
+  // within alpha relative error of every value the bin can hold.
+  return 2.0 * std::pow(gamma_, static_cast<double>(key)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::push(double x) {
+  PV_EXPECTS(std::isfinite(x), "QuantileSketch::push requires finite values");
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  if (x >= kZeroFloor) {
+    ++positive_[key_for(x)];
+  } else if (x <= -kZeroFloor) {
+    ++negative_[key_for(-x)];
+  } else {
+    ++zero_;
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  PV_EXPECTS(alpha_ == other.alpha_,
+             "QuantileSketch::merge requires matching alpha");
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  n_ += other.n_;
+  zero_ += other.zero_;
+  for (const auto& [key, count] : other.positive_) positive_[key] += count;
+  for (const auto& [key, count] : other.negative_) negative_[key] += count;
+}
+
+double QuantileSketch::quantile(double q) const {
+  PV_EXPECTS(n_ > 0, "QuantileSketch::quantile on empty sketch");
+  PV_EXPECTS(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  // Target the order statistic at floor(q * (n - 1)), matching the rank
+  // convention of the property tests (0 -> min item, 1 -> max item).
+  const auto rank = static_cast<std::uint64_t>(
+      std::floor(q * static_cast<double>(n_ - 1)));
+  std::uint64_t seen = 0;
+  // Ascending value order: most-negative magnitude first, then zero,
+  // then positives from the smallest magnitude up.
+  for (auto it = negative_.rbegin(); it != negative_.rend(); ++it) {
+    seen += it->second;
+    if (seen > rank) return clamp_estimate(-bin_value(it->first));
+  }
+  seen += zero_;
+  if (seen > rank) return clamp_estimate(0.0);
+  for (const auto& [key, count] : positive_) {
+    seen += count;
+    if (seen > rank) return clamp_estimate(bin_value(key));
+  }
+  return max_;  // Unreachable when counters are consistent.
+}
+
+double QuantileSketch::clamp_estimate(double v) const {
+  if (v < min_) return min_;
+  if (v > max_) return max_;
+  return v;
+}
+
+double QuantileSketch::min() const {
+  PV_EXPECTS(n_ > 0, "QuantileSketch::min on empty sketch");
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  PV_EXPECTS(n_ > 0, "QuantileSketch::max on empty sketch");
+  return max_;
+}
+
+bool QuantileSketch::identical(const QuantileSketch& other) const {
+  return alpha_ == other.alpha_ && n_ == other.n_ && zero_ == other.zero_ &&
+         std::memcmp(&min_, &other.min_, sizeof min_) == 0 &&
+         std::memcmp(&max_, &other.max_, sizeof max_) == 0 &&
+         positive_ == other.positive_ && negative_ == other.negative_;
+}
+
+}  // namespace pv

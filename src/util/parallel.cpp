@@ -90,7 +90,14 @@ void parallel_for(ThreadPool* pool, std::size_t n,
 
   std::exception_ptr first_error;
   std::mutex err_mu;
-  std::atomic<std::size_t> done{0};
+  // Completion latch.  The counter is mutex-guarded, not atomic, on
+  // purpose: with an atomic, the waiter's predicate can become true
+  // between a worker's fetch_add and its notify, letting the waiter
+  // return and reuse this stack frame while the worker still reads
+  // `submitted` / locks `done_mu` (a use-after-scope TSan caught).
+  // Under the mutex, a worker's last touch of the frame is the unlock
+  // the waiter is blocked on.
+  std::size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   const std::size_t submitted = (n + chunk - 1) / chunk;
@@ -104,15 +111,13 @@ void parallel_for(ThreadPool* pool, std::size_t n,
         std::scoped_lock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      if (done.fetch_add(1) + 1 == submitted) {
-        std::scoped_lock lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::scoped_lock lock(done_mu);
+      if (++done == submitted) done_cv.notify_all();
     });
   }
   {
     std::unique_lock lock(done_mu);
-    done_cv.wait(lock, [&] { return done.load() == submitted; });
+    done_cv.wait(lock, [&] { return done == submitted; });
   }
   if (first_error) std::rethrow_exception(first_error);
 }
@@ -137,7 +142,9 @@ void parallel_chunks(
 
   std::exception_ptr first_error;
   std::mutex err_mu;
-  std::atomic<std::size_t> done{0};
+  // Mutex-guarded completion latch — see parallel_for for why the
+  // counter must not be a bare atomic.
+  std::size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -150,15 +157,13 @@ void parallel_chunks(
         std::scoped_lock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      if (done.fetch_add(1) + 1 == submitted) {
-        std::scoped_lock lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::scoped_lock lock(done_mu);
+      if (++done == submitted) done_cv.notify_all();
     });
   }
   {
     std::unique_lock lock(done_mu);
-    done_cv.wait(lock, [&] { return done.load() == submitted; });
+    done_cv.wait(lock, [&] { return done == submitted; });
   }
   if (first_error) std::rethrow_exception(first_error);
 }
@@ -175,7 +180,9 @@ void parallel_for_dynamic(ThreadPool* pool, std::size_t n,
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex err_mu;
-  std::atomic<std::size_t> done{0};
+  // Mutex-guarded completion latch — see parallel_for for why the
+  // counter must not be a bare atomic.
+  std::size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -191,15 +198,13 @@ void parallel_for_dynamic(ThreadPool* pool, std::size_t n,
         std::scoped_lock lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      if (done.fetch_add(1) + 1 == workers) {
-        std::scoped_lock lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::scoped_lock lock(done_mu);
+      if (++done == workers) done_cv.notify_all();
     });
   }
   {
     std::unique_lock lock(done_mu);
-    done_cv.wait(lock, [&] { return done.load() == workers; });
+    done_cv.wait(lock, [&] { return done == workers; });
   }
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -1,0 +1,61 @@
+#pragma once
+// Fixed-capacity ring buffer for bounded-memory window storage.
+//
+// The live meter stage keeps only the last few closed windows of fleet
+// state (the circular_buffer idiom from flux's node_power_profile.h):
+// capacity is fixed at construction, pushing into a full buffer
+// overwrites the oldest entry, and iteration order is oldest-first.
+// Nothing here allocates after construction, so peak memory stays
+// O(capacity) no matter how many windows a campaign closes.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/expects.hpp"
+
+namespace pv {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity) {
+    PV_EXPECTS(capacity > 0, "RingBuffer capacity must be positive");
+  }
+
+  /// Appends `value`; when full, the oldest entry is overwritten.
+  void push(T value) {
+    slots_[next_] = std::move(value);
+    next_ = (next_ + 1) % slots_.size();
+    if (size_ < slots_.size()) ++size_;
+  }
+
+  /// Element `i` counted from the oldest retained entry (0 = oldest).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    PV_EXPECTS(i < size_, "RingBuffer index out of range");
+    const std::size_t oldest = (next_ + slots_.size() - size_) % slots_.size();
+    return slots_[(oldest + i) % slots_.size()];
+  }
+
+  [[nodiscard]] const T& back() const {
+    PV_EXPECTS(size_ > 0, "RingBuffer::back on empty buffer");
+    return slots_[(next_ + slots_.size() - 1) % slots_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+
+  void clear() {
+    size_ = 0;
+    next_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pv

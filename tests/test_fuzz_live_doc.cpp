@@ -1,0 +1,170 @@
+// Deterministic fuzz corpus for the live-Document path: every line a
+// `campaign --live` consumer might read — a partial mid-run document, the
+// final document, or any mutation/truncation of either — must parse as a
+// valid powervar-assessment-v1 line or be refused loudly with
+// AssessmentParseError.  Never a crash, never a torn write accepted.
+// The corpus is generated from a real live run (no corpus files) and the
+// mutation schedule is seeded, so failures reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/plan.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+namespace pv {
+namespace {
+
+// Tiny deterministic generator for the mutation schedule (matches the
+// trace-io fuzzer's convention: self-contained, library-independent).
+struct Lcg {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+  }
+  std::size_t below(std::size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+// One real live campaign's emitted lines: every partial plus the final
+// document — the honest corpus the mutations start from.
+std::vector<std::string> live_corpus() {
+  ScenarioSpec spec;
+  spec.name = "fuzz-live";
+  spec.nodes = 32;
+  spec.cv = 0.03;
+  spec.fleet_seed = 41 ^ 0x99;
+  Scenario built = build_scenario(spec);
+  const MeasurementPlan plan =
+      built.plan(MethodologySpec::get(Level::kL2, Revision::kV2015), 41);
+
+  std::vector<std::string> lines;
+  CampaignConfig cfg;
+  cfg.seed = 41;
+  cfg.meter_interval_override = Seconds{10.0};
+  cfg.live.enabled = true;
+  cfg.live.chunk_samples = 37;
+  cfg.live.emit_every_s = 300.0;
+  cfg.live_sink = [&lines](const std::string& line) {
+    lines.push_back(line);
+  };
+  const auto result =
+      run_campaign(*built.cluster, *built.electrical, plan, cfg);
+  lines.push_back(render_json(assessment_document(plan, result)));
+  return lines;
+}
+
+// Either a valid document or a loud AssessmentParseError (which includes
+// wrapped JsonParseError) — anything else fails the test.
+void expect_parse_or_refuse(const std::string& line) {
+  try {
+    const Json doc = parse_assessment_line(line);
+    // Accepted lines really carry the schema and a numeric assessment.
+    const Json* schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->string_value(), "powervar-assessment-v1");
+    const Json* assessment = doc.find("assessment");
+    ASSERT_NE(assessment, nullptr);
+    EXPECT_TRUE(assessment->find("submitted_power_w")->is_number());
+  } catch (const AssessmentParseError&) {
+    // loud refusal is the other acceptable outcome
+  }
+}
+
+TEST(FuzzLiveDoc, HonestCorpusAllParses) {
+  const std::vector<std::string> corpus = live_corpus();
+  ASSERT_GE(corpus.size(), 3u);  // at least two partials + the final
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    SCOPED_TRACE("line " + std::to_string(i));
+    EXPECT_NO_THROW((void)parse_assessment_line(corpus[i]));
+  }
+  // Partials carry the live block; the final must not.
+  EXPECT_NE(parse_assessment_line(corpus.front()).find("live"), nullptr);
+  EXPECT_EQ(parse_assessment_line(corpus.back()).find("live"), nullptr);
+}
+
+TEST(FuzzLiveDoc, TruncationAtEveryByteIsRefused) {
+  // A torn write is a strict prefix of a valid line.  Every proper prefix
+  // must be refused — a complete line ends in '\n', so no prefix is also
+  // a valid document.
+  const std::vector<std::string> corpus = live_corpus();
+  for (const std::string& line : {corpus.front(), corpus.back()}) {
+    for (std::size_t cut = 0; cut < line.size(); ++cut) {
+      EXPECT_THROW((void)parse_assessment_line(line.substr(0, cut)),
+                   AssessmentParseError)
+          << "accepted torn prefix of " << cut << " bytes";
+    }
+    EXPECT_NO_THROW((void)parse_assessment_line(line));
+  }
+}
+
+TEST(FuzzLiveDoc, HandCraftedHostileLines) {
+  const std::vector<std::string> must_refuse = {
+      "",                                     // empty
+      "\n",                                   // newline only
+      "{}\n",                                 // no schema
+      "null\n",                               // not an object
+      "[1,2,3]\n",                            // array, not an object
+      "{\"schema\":\"powervar-assessment-v1\"}\n",  // no assessment block
+      "{\"schema\":\"powervar-drain-v1\",\"assessment\":{}}\n",  // wrong tag
+      "{\"schema\":\"powervar-assessment-v1\",\"assessment\":[]}\n",
+      "{\"schema\":\"powervar-assessment-v1\",\"assessment\":{"
+      "\"nodes_measured\":\"ten\"}}\n",       // non-numeric field
+      "{\"schema\":\"powervar-assessment-v1\",\"assessment\":{}}\n{}\n",
+      // two lines in one read: an embedded newline is a framing error
+      "{\"schema\":\"powervar-assessment-v1\",\"asse",  // torn mid-key
+  };
+  for (const std::string& line : must_refuse) {
+    EXPECT_THROW((void)parse_assessment_line(line), AssessmentParseError)
+        << "accepted: '" << line.substr(0, 60) << "'";
+  }
+  // A valid partial whose live block was half-overwritten must refuse,
+  // not return a document with a mangled live section.
+  std::string doctored = live_corpus().front();
+  const std::size_t pos = doctored.find("\"live\"");
+  ASSERT_NE(pos, std::string::npos);
+  doctored.replace(pos, 6, "\"live\":0,\"x\"");
+  EXPECT_THROW((void)parse_assessment_line(doctored), AssessmentParseError);
+}
+
+TEST(FuzzLiveDoc, DeterministicMutationSchedule) {
+  const std::vector<std::string> corpus = live_corpus();
+  static constexpr char kAlphabet[] = "0123456789.,-+eE\"{}[]:\n\0 nifNIF";
+  Lcg rng{0x11FEC0DEu};
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string s = corpus[rng.below(corpus.size())];
+    const std::size_t edits = 1 + rng.below(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      switch (rng.below(4)) {
+        case 0:  // overwrite a byte
+          s[rng.below(s.size())] =
+              kAlphabet[rng.below(sizeof kAlphabet - 1)];
+          break;
+        case 1:  // delete a byte
+          s.erase(rng.below(s.size()), 1);
+          break;
+        case 2:  // insert a byte
+          s.insert(rng.below(s.size() + 1), 1,
+                   kAlphabet[rng.below(sizeof kAlphabet - 1)]);
+          break;
+        default:  // splice a random chunk over another position
+          if (s.size() > 8) {
+            const std::size_t from = rng.below(s.size() - 4);
+            const std::size_t len = 1 + rng.below(4);
+            s.insert(rng.below(s.size()), s.substr(from, len));
+          }
+          break;
+      }
+    }
+    expect_parse_or_refuse(s);
+  }
+}
+
+}  // namespace
+}  // namespace pv

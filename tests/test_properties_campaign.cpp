@@ -23,8 +23,7 @@
 
 #include "core/campaign.hpp"
 #include "core/plan.hpp"
-#include "sim/fleet.hpp"
-#include "workload/profiles.hpp"
+#include "core/scenario.hpp"
 
 namespace pv {
 namespace {
@@ -35,24 +34,20 @@ struct Rig {
   MeasurementPlan plan;
 };
 
+// The canonical synthetic rig via core/scenario — the historical inline
+// construction (typical-CPU fleet at cv 0.03, pinned fleet seed 1234 so
+// every trial sees the same machine) expressed as overrides.
 Rig make_rig(std::size_t nodes, Level level, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "property-rig";
+  spec.nodes = nodes;
+  spec.cv = 0.03;
+  spec.fleet_seed = 1234;
+  Scenario built = build_scenario(spec);
   Rig rig;
-  auto workload = std::make_shared<FirestarterWorkload>(
-      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.03);
-  var.outlier_prob = 0.0;
-  rig.cluster = std::make_unique<ClusterPowerModel>(
-      "property-rig", generate_node_powers(nodes, 400.0, var, 1234),
-      workload);
-  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
-      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
-  PlanInputs in;
-  in.total_nodes = nodes;
-  in.approx_node_power = watts(400.0);
-  in.run = rig.cluster->phases();
-  Rng rng(seed);
-  rig.plan = plan_measurement(MethodologySpec::get(level, Revision::kV2015),
-                              in, rng);
+  rig.plan = built.plan(MethodologySpec::get(level, Revision::kV2015), seed);
+  rig.cluster = std::move(built.cluster);
+  rig.electrical = std::move(built.electrical);
   return rig;
 }
 

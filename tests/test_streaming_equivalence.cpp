@@ -14,8 +14,7 @@
 
 #include "core/campaign.hpp"
 #include "core/plan.hpp"
-#include "sim/fleet.hpp"
-#include "workload/profiles.hpp"
+#include "core/scenario.hpp"
 
 namespace pv {
 namespace {
@@ -26,24 +25,20 @@ struct Rig {
   MeasurementPlan plan;
 };
 
+// The canonical synthetic rig via core/scenario — the historical inline
+// construction (typical-CPU fleet at cv 0.03, fleet seed `seed ^ 0x99`)
+// expressed as overrides, so the generated fleet and plan are unchanged.
 Rig make_rig(std::size_t nodes, Level level, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "equiv-rig";
+  spec.nodes = nodes;
+  spec.cv = 0.03;
+  spec.fleet_seed = seed ^ 0x99;
+  Scenario built = build_scenario(spec);
   Rig rig;
-  auto workload = std::make_shared<FirestarterWorkload>(
-      minutes(30.0), 1.0, minutes(2.0), minutes(1.0));
-  FleetVariability var = FleetVariability::typical_cpu().scaled_to(0.03);
-  var.outlier_prob = 0.0;
-  rig.cluster = std::make_unique<ClusterPowerModel>(
-      "equiv-rig", generate_node_powers(nodes, 400.0, var, seed ^ 0x99),
-      workload);
-  rig.electrical = std::make_unique<SystemPowerModel>(make_system_power_model(
-      *rig.cluster, 16, PsuEfficiencyCurve::platinum(), AuxiliaryConfig{}));
-  PlanInputs in;
-  in.total_nodes = nodes;
-  in.approx_node_power = watts(400.0);
-  in.run = rig.cluster->phases();
-  Rng rng(seed);
-  rig.plan = plan_measurement(MethodologySpec::get(level, Revision::kV2015),
-                              in, rng);
+  rig.plan = built.plan(MethodologySpec::get(level, Revision::kV2015), seed);
+  rig.cluster = std::move(built.cluster);
+  rig.electrical = std::move(built.electrical);
   return rig;
 }
 

@@ -297,3 +297,73 @@ if ! grep -qF '"seq":' <<<"$stream_a"; then
 fi
 
 echo "OK: streamed serve output is a deterministic seq-tagged set"
+
+# ---------------------------------------------------------------------------
+# Live-assessment contract: `campaign --live` streams partial assessment
+# documents on a pinned virtual-time schedule, then a final document that
+# must be byte-identical to the plain --json run of the same campaign —
+# observing the campaign mid-run may not change a single reported byte.
+# The whole transcript (partials included) is deterministic and
+# thread-count invariant: partials are emitted between fan-out barriers
+# from per-node RNG streams.
+live_args=(campaign --nodes 64 --cv 0.03 --level 2 --seed 7 --interval 10
+           --json --live --live-every 600)
+
+live_a="$("$powervar" "${live_args[@]}")"
+live_b="$("$powervar" "${live_args[@]}")"
+live_t="$("$powervar" "${live_args[@]}" --threads 4)"
+
+if [[ "$live_a" != "$live_b" ]]; then
+  echo "FAIL: two identically seeded --live campaigns diverged" >&2
+  diff <(printf '%s\n' "$live_a") <(printf '%s\n' "$live_b") >&2 || true
+  exit 1
+fi
+if [[ "$live_a" != "$live_t" ]]; then
+  echo "FAIL: --live transcript diverged between 1 and 4 threads" >&2
+  diff <(printf '%s\n' "$live_a") <(printf '%s\n' "$live_t") >&2 || true
+  exit 1
+fi
+
+# The run must actually have streamed partials (otherwise this guards a
+# plain batch run), every partial must carry the live progress block, and
+# the final line must not.
+partials="$(head -n -1 <<<"$live_a")"
+if [[ -z "$partials" ]]; then
+  echo "FAIL: --live run emitted no partial documents" >&2
+  exit 1
+fi
+if grep -qv '"live":' <<<"$partials"; then
+  echo "FAIL: a partial document lacks the live progress block" >&2
+  exit 1
+fi
+final_line="$(tail -n 1 <<<"$live_a")"
+if grep -qF '"live":' <<<"$final_line"; then
+  echo "FAIL: the final document still carries the live block" >&2
+  exit 1
+fi
+
+# Headline byte-identity at the CLI: the final streamed line IS the batch
+# document.
+batch_line="$("$powervar" campaign --nodes 64 --cv 0.03 --level 2 --seed 7 \
+              --interval 10 --json)"
+if [[ "$final_line" != "$batch_line" ]]; then
+  echo "FAIL: final --live document diverged from the plain --json run" >&2
+  diff <(printf '%s\n' "$batch_line") <(printf '%s\n' "$final_line") >&2 || true
+  exit 1
+fi
+
+# Same contract under degraded data: harsh faults + dead nodes exercise
+# the whole-window live driver (corruption needs materialized windows),
+# which must still finish on the batch engine's exact bytes.
+faulted_live="$("$powervar" campaign --nodes 64 --cv 0.03 --level 1 --seed 42 \
+                --faults harsh --dropout 0.1 --dead 2 --interval 10 \
+                --json --live --live-every 900 | tail -n 1)"
+faulted_batch="$("$powervar" campaign --nodes 64 --cv 0.03 --level 1 --seed 42 \
+                 --faults harsh --dropout 0.1 --dead 2 --interval 10 --json)"
+if [[ "$faulted_live" != "$faulted_batch" ]]; then
+  echo "FAIL: faulted --live final document diverged from the batch run" >&2
+  diff <(printf '%s\n' "$faulted_batch") <(printf '%s\n' "$faulted_live") >&2 || true
+  exit 1
+fi
+
+echo "OK: live assessment partials are deterministic and the final line is the batch document"

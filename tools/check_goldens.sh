@@ -47,6 +47,13 @@ check reconcile_byzantine.txt \
 check collect_resilient.txt \
   -- collect --nodes 64 --cv 0.03 --level 1 --seed 42 --blackhole 0.2 \
      --drop 0.05 --interval 10 --threads 4
+# Live L2 campaign: two partial assessment documents on the pinned
+# 600-virtual-second schedule plus the final document — pins the
+# powervar-assessment-v1 live wire format (progress block, recent-window
+# ring, sketch quantiles) byte-for-byte.
+check campaign_live_l2.txt \
+  -- campaign --nodes 48 --cv 0.02 --level 2 --seed 9 --interval 10 \
+     --live --live-every 600 --json
 # Service batch over the golden request file: three response lines plus
 # the drain report, all JSON — pins the powervar-response-v1 and
 # powervar-drain-v1 wire formats byte-for-byte (r3 shares r1's scenario

@@ -9,8 +9,11 @@
 #
 # Two classes of checks:
 #   hard   engine/thread byte-identity (the bench binary exits nonzero on
-#          its own if any report differs) and the streaming engine being
-#          at least as fast as eager after the noise allowance;
+#          its own if any report differs), the streaming engine being
+#          at least as fast as eager after the noise allowance, and the
+#          live path's peak RSS staying flat in campaign length (the
+#          rss_flat growth ceiling — memory is not wall-time, so no
+#          machine-noise allowance applies);
 #   soft   per-scenario speedups may not fall below ALLOWANCE times the
 #          committed baseline.  The allowance is deliberately generous
 #          (0.5x by default, PV_PERF_ALLOWANCE to override): shared CI
@@ -77,10 +80,34 @@ for name, b in base["scenarios"].items():
                 f"{name}: {key} = {g[key]:.2f}x, below {floor:.2f}x "
                 f"(= {allowance} x baseline {b[key]:.2f}x)")
 
+# Memory gate: the live streaming path must stay bounded — peak RSS flat
+# in campaign length.  Growth is an absolute ceiling carried in the JSON
+# (not a ratio of the baseline: a healthy baseline growth of ~0 MB would
+# make any ratio-based floor vacuous or explosive).
+rss = got.get("rss_flat")
+if rss is None:
+    failures.append("rss_flat: scenario missing from fresh run")
+else:
+    if not rss["identical"]:
+        failures.append(
+            "rss_flat: live long-run report not byte-identical to batch")
+    ceiling = rss.get("growth_ceiling_mb", 16.0)
+    if rss["growth_mb"] > ceiling:
+        failures.append(
+            f"rss_flat: peak RSS grew {rss['growth_mb']:.1f} MB over a "
+            f"10x-longer campaign (ceiling {ceiling:.1f} MB) — the live "
+            f"path is no longer bounded-memory")
+    base_rss = base.get("rss_flat", {})
+    print(f"  rss_flat: growth {rss['growth_mb']:.1f} MB over "
+          f"{rss['samples_long']} samples "
+          f"(baseline {base_rss.get('growth_mb', 0):.1f} MB, "
+          f"ceiling {ceiling:.1f} MB), identical={rss['identical']}")
+
 for name, g in got["scenarios"].items():
     print(f"  {name}: speedup@1 {g['speedup_1t']:.2f}x "
           f"(baseline {base['scenarios'].get(name, {}).get('speedup_1t', 0):.2f}x), "
           f"speedup@8 {g['speedup_8t']:.2f}x, "
+          f"peak rss {g.get('peak_rss_mb', 0):.1f} MB, "
           f"identical={g['identical']}")
 
 if failures:

@@ -22,10 +22,14 @@
 //   powervar campaign --nodes N --cv F --level 1|2|3 [--seed S]
 //                     [--faults none|mild|harsh] [--dropout F] [--dead N]
 //                     [--byzantine F] [--reconcile 1] [--threads N]
-//                     [--engine eager|streaming]
+//                     [--engine eager|streaming] [--live] [--live-every S]
 //       Simulates a full measurement campaign on a synthetic cluster and
 //       prints the accuracy assessment; with faults, also the data-quality
-//       block (meters lost, coverage, repairs).
+//       block (meters lost, coverage, repairs).  --live runs the
+//       bounded-memory window-major engine and streams partial assessment
+//       documents (JSON lines) to stdout as the campaign advances — every
+//       --live-every virtual seconds, or at every closed window when
+//       omitted — before the final (byte-identical) report.
 //
 //   powervar reconcile --nodes N [--cv F] [--seed S] [--byzantine F]
 //                      [--defend 0|1] [--windows K] [--threads N]
@@ -122,7 +126,7 @@ class Args {
     // Boolean switches that may appear bare (no value); anything else
     // keeps the strict --key value contract.
     static const std::set<std::string> kBareFlags = {
-        "json", "trace-stages", "once", "strict-cache", "stream"};
+        "json", "trace-stages", "once", "strict-cache", "stream", "live"};
     for (int i = first; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) != 0 || token.size() <= 2) {
@@ -405,6 +409,21 @@ int cmd_campaign(const Args& args) {
     config.engine = CampaignEngine::kEager;
   } else if (engine != "streaming") {
     throw std::runtime_error("--engine must be eager or streaming");
+  }
+  // Live (bounded-memory) mode: partial assessment documents stream to
+  // stdout as JSON lines while the campaign runs; the final document
+  // (printed last) is byte-identical to a non-live run's.
+  config.live.enabled = args.flag_or("live");
+  const double live_every = args.number_or("live-every", 0.0);
+  if (live_every > 0.0 && !config.live.enabled) {
+    throw std::runtime_error("--live-every requires --live");
+  }
+  if (live_every < 0.0) {
+    throw std::runtime_error("--live-every must be >= 0");
+  }
+  config.live.emit_every_s = live_every;
+  if (config.live.enabled) {
+    config.live_sink = [](const std::string& line) { std::cout << line; };
   }
   const bool json = args.flag_or("json");
   ReportOptions ropts;
@@ -768,7 +787,7 @@ int usage() {
       "              [--faults none|mild|harsh] [--dropout F] [--dead N]"
       " [--interval S]\n"
       "              [--byzantine F] [--reconcile 1] [--threads N]\n"
-      "              [--json] [--trace-stages]\n"
+      "              [--live] [--live-every S] [--json] [--trace-stages]\n"
       "  reconcile   --nodes N [--cv F] [--seed S] [--byzantine F]\n"
       "              [--defend 0|1] [--windows K] [--threads N]"
       " [--interval S]\n"
@@ -791,8 +810,8 @@ int usage() {
       "              [--chaos-cache F] [--chaos-death F]"
       " [--chaos-drain-after K]\n"
       "options accept '--key value' or '--key=value';\n"
-      "--json, --trace-stages, --once, --stream and --strict-cache may also "
-      "appear bare.\n";
+      "--json, --trace-stages, --once, --stream, --strict-cache and --live "
+      "may also appear bare.\n";
   return 2;
 }
 

@@ -41,15 +41,17 @@ cmake --build "${build_dir}-ubsan" -j "$jobs"
 ctest --test-dir "${build_dir}-ubsan" --output-on-failure -j "$jobs" -LE perf
 
 # ThreadSanitizer tree for the genuinely concurrent surfaces: the
-# campaign service (soak included), the thread pool and the bounded
-# queue.  TSan finds the races ASan cannot; the deterministic numeric
-# suites gain nothing from it, so the filter keeps this pass fast.
+# campaign service (soak included), the thread pool, the bounded queue
+# and the live streaming assessment (its meter stage fans chunk kernels
+# out across worker threads between emission barriers).  TSan finds the
+# races ASan cannot; the deterministic numeric suites gain nothing from
+# it, so the filter keeps this pass fast.
 # Wall-time-sensitive gates are excluded as in the other trees.
 echo "=== tier 1: TSan build + concurrency ctest (${build_dir}-tsan) ==="
 cmake -B "${build_dir}-tsan" -S . -DPV_TSAN=ON >/dev/null
 cmake --build "${build_dir}-tsan" -j "$jobs"
 ctest --test-dir "${build_dir}-tsan" --output-on-failure -j "$jobs" \
-  -R 'ThreadPool|ParallelFor|DefaultPool|BoundedQueue|CampaignService|ServiceChaos|Collector' \
+  -R 'ThreadPool|ParallelFor|DefaultPool|BoundedQueue|CampaignService|ServiceChaos|Collector|StreamingAssessment' \
   -LE perf
 
 echo "=== tier 1: all green ==="
