@@ -7,7 +7,14 @@
 //   l3_pdu       L3 (every node) with pdu-grade meters — the headline
 //                configuration of the PR contract;
 //   l3_perfect   L3 with perfect meters, isolating the simulation kernels
-//                from the (shared, irreducible) noise-draw floor.
+//                from the (shared, irreducible) noise-draw floor;
+//   l3_reconcile L3 with pdu-grade meters and cross-validation enabled —
+//                times the analysis-bucket accounting on top of metering;
+//   async_collect  the asynchronous collector (pollers over a clean
+//                transport) on the L3 cohort — no eager reference exists
+//                for this path, so it reports 1-vs-8-thread wall times
+//                and byte-identity across thread counts instead of
+//                engine speedups.
 //
 // Each scenario runs the historical eager engine single-threaded (the
 // pre-streaming hot path, kept as the reference implementation), the
@@ -45,6 +52,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "collect/collector.hpp"
 #include "core/campaign.hpp"
 #include "core/plan.hpp"
 #include "core/scenario.hpp"
@@ -143,6 +151,10 @@ struct ScenarioResult {
   double samples_per_sec = 0.0;  // streaming@1 throughput
   double peak_rss_mb = 0.0;  // process high-watermark after this scenario
   bool identical = false;
+  /// async_collect has no eager reference: eager1_ms and the speedups are
+  /// omitted from its JSON entry (check_perf.sh only gates keys the
+  /// baseline entry carries).
+  bool has_engine_speedups = true;
 };
 
 // Bounded-memory contract for the live streaming path: the peak RSS of a
@@ -204,13 +216,14 @@ RssFlatResult run_rss_flat(std::size_t nodes) {
 
 ScenarioResult run_scenario(const std::string& name, Level level,
                             const MeterAccuracy& acc, std::size_t nodes,
-                            std::size_t reps) {
+                            std::size_t reps, bool reconcile = false) {
   const Rig rig = make_rig(nodes, level);
 
   CampaignConfig base;
   base.seed = 5;
   base.meter_accuracy = acc;
   base.meter_interval_override = Seconds{5.0};
+  base.reconcile.enabled = reconcile;
 
   CampaignConfig eager1 = base;
   eager1.engine = CampaignEngine::kEager;
@@ -238,6 +251,49 @@ ScenarioResult run_scenario(const std::string& name, Level level,
   return s;
 }
 
+// The asynchronous collection path: pollers over a clean (fault-free)
+// transport, journalling disabled.  There is no eager reference for this
+// pipeline; the contract is thread-count byte-identity and the wall times
+// are reported 1-vs-8 threads.
+ScenarioResult run_async_collect(std::size_t nodes, std::size_t reps) {
+  const Rig rig = make_rig(nodes, Level::kL3);
+
+  CollectorConfig base;
+  base.campaign.seed = 5;
+  base.campaign.meter_interval_override = Seconds{5.0};
+  base.queue_capacity = 64;
+
+  const auto best_of = [&](unsigned threads) {
+    CollectorConfig cfg = base;
+    cfg.threads = threads;
+    double best_ms = 1e300;
+    CollectionOutcome out;
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      out = collect_campaign(*rig.cluster, *rig.electrical, rig.plan, cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      best_ms = std::min(
+          best_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return std::pair<double, CollectionOutcome>(best_ms, std::move(out));
+  };
+
+  const auto [ms1, out1] = best_of(1);
+  const auto [ms8, out8] = best_of(8);
+
+  ScenarioResult s;
+  s.name = "async_collect";
+  s.has_engine_speedups = false;
+  s.samples =
+      planned_samples(rig, base.campaign.meter_accuracy, Seconds{5.0});
+  s.stream1_ms = ms1;
+  s.stream8_ms = ms8;
+  s.samples_per_sec = static_cast<double>(s.samples) / (ms1 / 1e3);
+  s.identical = identical_reports(out1.result, out8.result);
+  s.peak_rss_mb = bench::peak_rss_mb();
+  return s;
+}
+
 void write_json(const std::string& path,
                 const std::vector<ScenarioResult>& scenarios,
                 const RssFlatResult& rss, std::size_t nodes,
@@ -259,13 +315,17 @@ void write_json(const std::string& path,
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const ScenarioResult& s = scenarios[i];
     out << "    \"" << s.name << "\": {\n"
-        << "      \"samples\": " << s.samples << ",\n"
-        << "      \"eager1_ms\": " << s.eager1_ms << ",\n"
-        << "      \"stream1_ms\": " << s.stream1_ms << ",\n"
-        << "      \"stream8_ms\": " << s.stream8_ms << ",\n"
-        << "      \"speedup_1t\": " << s.speedup_1t << ",\n"
-        << "      \"speedup_8t\": " << s.speedup_8t << ",\n"
-        << "      \"samples_per_sec\": " << s.samples_per_sec << ",\n"
+        << "      \"samples\": " << s.samples << ",\n";
+    if (s.has_engine_speedups) {
+      out << "      \"eager1_ms\": " << s.eager1_ms << ",\n";
+    }
+    out << "      \"stream1_ms\": " << s.stream1_ms << ",\n"
+        << "      \"stream8_ms\": " << s.stream8_ms << ",\n";
+    if (s.has_engine_speedups) {
+      out << "      \"speedup_1t\": " << s.speedup_1t << ",\n"
+          << "      \"speedup_8t\": " << s.speedup_8t << ",\n";
+    }
+    out << "      \"samples_per_sec\": " << s.samples_per_sec << ",\n"
         << "      \"peak_rss_mb\": " << s.peak_rss_mb << ",\n"
         << "      \"identical\": " << (s.identical ? "true" : "false")
         << "\n    }" << (i + 1 < scenarios.size() ? "," : "") << "\n";
@@ -312,6 +372,10 @@ int main() {
                                    MeterAccuracy::pdu_grade(), nodes, reps));
   scenarios.push_back(run_scenario("l3_perfect", Level::kL3,
                                    MeterAccuracy::perfect(), nodes, reps));
+  scenarios.push_back(run_scenario("l3_reconcile", Level::kL3,
+                                   MeterAccuracy::pdu_grade(), nodes, reps,
+                                   /*reconcile=*/true));
+  scenarios.push_back(run_async_collect(nodes, reps));
 
   TextTable t({"scenario", "samples", "eager@1", "stream@1", "stream@8",
                "speedup@1", "speedup@8", "peak rss", "identical"});
@@ -331,10 +395,12 @@ int main() {
     return std::string(buf);
   };
   for (const ScenarioResult& s : scenarios) {
-    t.add_row({s.name, std::to_string(s.samples), ms(s.eager1_ms),
-               ms(s.stream1_ms), ms(s.stream8_ms), x(s.speedup_1t),
-               x(s.speedup_8t), mb(s.peak_rss_mb),
-               s.identical ? "yes" : "NO"});
+    t.add_row({s.name, std::to_string(s.samples),
+               s.has_engine_speedups ? ms(s.eager1_ms) : "-",
+               ms(s.stream1_ms), ms(s.stream8_ms),
+               s.has_engine_speedups ? x(s.speedup_1t) : "-",
+               s.has_engine_speedups ? x(s.speedup_8t) : "-",
+               mb(s.peak_rss_mb), s.identical ? "yes" : "NO"});
   }
   std::cout << t.render();
 

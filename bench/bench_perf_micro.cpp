@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/coverage.hpp"
 #include "core/sample_size.hpp"
 #include "sim/catalog.hpp"
@@ -16,15 +17,26 @@
 
 namespace {
 
+/// Every micro-benchmark reports the process peak-RSS high-watermark as
+/// a counter (ru_maxrss is monotone, so the number is the peak up to and
+/// including this benchmark's run) — the bench-hygiene counterpart of
+/// the per-scenario peak_rss_mb in the end-to-end perf JSONs.
+void report_peak_rss(benchmark::State& state) {
+  state.counters["peak_rss_mb"] =
+      benchmark::Counter(pv::bench::peak_rss_mb());
+}
+
 void BM_RngNext(benchmark::State& state) {
   pv::Rng rng(1);
   for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+  report_peak_rss(state);
 }
 BENCHMARK(BM_RngNext);
 
 void BM_RngNormal(benchmark::State& state) {
   pv::Rng rng(2);
   for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+  report_peak_rss(state);
 }
 BENCHMARK(BM_RngNormal);
 
@@ -35,6 +47,7 @@ void BM_NormQuantile(benchmark::State& state) {
     p += 1e-6;
     if (p >= 1.0) p = 0.0001;
   }
+  report_peak_rss(state);
 }
 BENCHMARK(BM_NormQuantile);
 
@@ -46,6 +59,7 @@ void BM_TQuantile(benchmark::State& state) {
     p += 1e-5;
     if (p >= 0.999) p = 0.7;
   }
+  report_peak_rss(state);
 }
 BENCHMARK(BM_TQuantile)->Arg(3)->Arg(15)->Arg(291);
 
@@ -57,6 +71,7 @@ void BM_TraceWindowMean(benchmark::State& state) {
                            pv::Seconds{static_cast<double>(n) * 0.9}};
   for (auto _ : state) benchmark::DoNotOptimize(trace.mean_power(win));
   state.SetItemsProcessed(state.iterations());
+  report_peak_rss(state);
 }
 BENCHMARK(BM_TraceWindowMean)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
@@ -73,6 +88,7 @@ void BM_WindowSweep(benchmark::State& state) {
     benchmark::DoNotOptimize(pv::min_average_window(trace, bounds, width));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  report_peak_rss(state);
 }
 BENCHMARK(BM_WindowSweep)->Arg(1 << 12)->Arg(1 << 15);
 
@@ -83,6 +99,7 @@ void BM_FleetGeneration(benchmark::State& state) {
     benchmark::DoNotOptimize(pv::generate_node_powers(n, 500.0, var, 1));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  report_peak_rss(state);
 }
 BENCHMARK(BM_FleetGeneration)->Arg(480)->Arg(9216)->Arg(18688);
 
@@ -95,6 +112,7 @@ void BM_NodeInstanceBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(
         node.dc_power(1.0, pv::NodeSettings::defaults()));
   }
+  report_peak_rss(state);
 }
 BENCHMARK(BM_NodeInstanceBuild);
 
@@ -107,6 +125,7 @@ void BM_HplIntensity(benchmark::State& state) {
     t += 0.37;
     if (t >= T) t = 0.0;
   }
+  report_peak_rss(state);
 }
 BENCHMARK(BM_HplIntensity);
 
@@ -116,6 +135,7 @@ void BM_SampleWithoutReplacement(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(pv::sample_without_replacement(rng, n, n / 64));
   }
+  report_peak_rss(state);
 }
 BENCHMARK(BM_SampleWithoutReplacement)->Arg(9216)->Arg(18688);
 
@@ -132,6 +152,7 @@ void BM_CoverageStudyInnerLoop(benchmark::State& state) {
     benchmark::DoNotOptimize(pv::coverage_study(pilot, cfg));
   }
   state.SetItemsProcessed(state.iterations() * 200);
+  report_peak_rss(state);
 }
 BENCHMARK(BM_CoverageStudyInnerLoop);
 
@@ -142,6 +163,7 @@ void BM_RequiredSampleSize(benchmark::State& state) {
     cv += 1e-6;
     if (cv > 0.05) cv = 0.015;
   }
+  report_peak_rss(state);
 }
 BENCHMARK(BM_RequiredSampleSize);
 

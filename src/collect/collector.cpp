@@ -19,8 +19,6 @@
 namespace pv {
 namespace {
 
-constexpr std::uint64_t kCalibrationSalt = 0x5CA1AB1EULL;  // as run_campaign
-
 std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
   return mix_streams(h, v);
 }
@@ -220,6 +218,22 @@ void AsyncMeterStage::run(CampaignContext& ctx, StageTrace& trace) {
   std::optional<ThreadPool> local_pool;
   if (config.threads > 0) local_pool.emplace(config.threads);
   ThreadPool* pool = local_pool ? &*local_pool : &default_pool();
+
+  // Provision the cohort's meters once, as an SoA fleet table sharded
+  // over the poll pool: every lane's calibration stream is keyed by its
+  // node id (Rng(seed ^ kCalibrationSalt, node), as the synchronous
+  // stages draw it), so each poll task just reads its lane instead of
+  // re-deriving the model inline.  Polling walks the eager truth chain,
+  // so no PSU lanes are bound (ac_tap = false).
+  FleetProvisionSpec fspec;
+  fspec.accuracy = campaign.meter_accuracy;
+  fspec.mode = plan.meter_mode;
+  fspec.interval = interval;
+  fspec.seed = campaign.seed;
+  fspec.ac_tap = false;
+  const FleetState fleet = build_fleet_state(
+      plan.node_indices, fspec, windows, nullptr, nullptr, nullptr, pool);
+
   std::exception_ptr poll_error;
   std::mutex poll_error_mu;
   parallel_for_dynamic(pool, to_poll.size(), [&](std::size_t k) {
@@ -227,12 +241,9 @@ void AsyncMeterStage::run(CampaignContext& ctx, StageTrace& trace) {
     try {
       const std::size_t i = to_poll[k];
       const std::size_t node = plan.node_indices[i];
-      Rng calibration(campaign.seed ^ kCalibrationSalt, node);
-      const MeterModel meter(campaign.meter_accuracy, plan.meter_mode,
-                             interval, calibration);
       PollJob job;
       job.meter_id = node;
-      job.meter = &meter;
+      job.meter = &fleet.meters[i];
       job.truth = plan.point == MeasurementPoint::kNodeDc
                       ? PowerFunction([&electrical, node](double t) {
                           return electrical.node_dc_w(node, t);

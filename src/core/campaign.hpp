@@ -111,6 +111,12 @@ struct CampaignConfig {
   /// reconciling campaigns also honor reconcile.threads (the larger of
   /// the two wins, preserving the PR3 knob).
   std::size_t threads = 1;
+  /// Structure-of-arrays fleet kernels for clean streaming node-tap
+  /// campaigns: window samples stream with the node index as the SIMD
+  /// lane (sim/fleet_state.hpp).  Results are bit-identical either way
+  /// (every lane runs the per-node expressions operand for operand) —
+  /// the switch exists for differential tests and benchmarks.
+  bool fleet_soa = true;
   /// Bounded-memory live metering (see LiveOptions).
   LiveOptions live;
   /// Receives each partial assessment Document as one complete rendered

@@ -31,7 +31,8 @@ double mean_over_window(const std::function<double(double)>& f, double a,
 }
 
 // RNG stream salts for the fault processes (the calibration/noise salts
-// are 0x5CA1AB1E / 0xBADCAB1E in the meter stages below).
+// are kCalibrationSalt / kNoiseSalt from sim/fleet_state.hpp, shared with
+// fleet provisioning and the async collector).
 constexpr std::uint64_t kFateSalt = 0xFA7E0FA7ULL;
 constexpr std::uint64_t kFaultSalt = 0x1FAC7ED0ULL;
 
@@ -137,6 +138,18 @@ class DeviceMeter {
     win_n_ += readings.size();
     win_dt_ = dt;
     bucket(t_begin, dt, first, readings);
+  }
+
+  /// Adopts a chunk the fused fleet kernels already chained: `chained`
+  /// is the window's running sum *after* this chunk (the kernels add
+  /// into a per-lane accumulator with the exact feed_clean_chunk
+  /// chaining), `count` the chunk's samples.  Keeps win_n_/win_dt_ and
+  /// therefore the live snapshots and close_clean_window() working
+  /// unchanged.  Clean non-reconciling windows only (no buckets).
+  void adopt_clean_chunk(double chained, std::size_t count, double dt) {
+    win_sum_ = chained;
+    win_n_ += count;
+    win_dt_ = dt;
   }
 
   /// Closes the current chunk-fed clean window; returns its mean.
@@ -389,8 +402,8 @@ std::vector<double> measure_check_meter(const PowerFunction& truth,
                                         const CampaignConfig& config,
                                         Seconds interval,
                                         std::uint64_t stream) {
-  Rng calibration(config.seed ^ 0x5CA1AB1EULL, stream);
-  Rng noise(config.seed ^ 0xBADCAB1EULL, stream);
+  Rng calibration(config.seed ^ kCalibrationSalt, stream);
+  Rng noise(config.seed ^ kNoiseSalt, stream);
   const MeterModel meter(config.meter_accuracy, plan.meter_mode, interval,
                          calibration);
   std::vector<double> means;
@@ -506,6 +519,16 @@ Watts streaming_true_scope_power(const ClusterPowerModel& cluster,
 
 // --- stages ---------------------------------------------------------------
 
+// Worker threads for the node fan-outs: the meter fan-out knob, widened
+// by the reconcile knob when the defense is on.
+std::size_t node_fanout(const CampaignConfig& config, bool reconciling) {
+  return std::max<std::size_t>(
+      {config.threads,
+       reconciling ? static_cast<std::size_t>(config.reconcile.threads)
+                   : std::size_t{1},
+       std::size_t{1}});
+}
+
 class ProvisionStage final : public CampaignStage {
  public:
   [[nodiscard]] const char* name() const override { return "provision"; }
@@ -586,6 +609,28 @@ class ProvisionStage final : public CampaignStage {
           ctx.tables = build_shape_tables(cluster, ctx.windows, ctx.interval,
                                           plan.meter_mode);
         }
+        // Transpose the cohort into the fleet table: meter models +
+        // calibration columns, per-node noise streams, PSU lanes and
+        // fault flags, in plan order.  Built once here, shared by every
+        // downstream metering path (batch, live, async collection).
+        // Sharded over the fan-out pool; every lane is a pure function
+        // of its own node id, so the build is bit-identical at any
+        // thread count.
+        {
+          FleetProvisionSpec fspec;
+          fspec.accuracy = config.meter_accuracy;
+          fspec.mode = plan.meter_mode;
+          fspec.interval = ctx.interval;
+          fspec.seed = config.seed;
+          fspec.ac_tap = plan.point != MeasurementPoint::kNodeDc;
+          const std::size_t fanout = node_fanout(config, ctx.reconciling);
+          std::optional<ThreadPool> pool;
+          if (fanout > 1) pool.emplace(static_cast<unsigned>(fanout));
+          ctx.fleet = std::make_unique<FleetState>(build_fleet_state(
+              plan.node_indices, fspec, ctx.windows,
+              ctx.faulty ? &config.faults : nullptr, &cluster, &electrical,
+              pool ? &*pool : nullptr));
+        }
         break;
       }
     }
@@ -607,6 +652,10 @@ class ProvisionStage final : public CampaignStage {
         {"analysis_windows", static_cast<double>(ctx.analysis.size())},
         {"streaming", ctx.streaming ? 1.0 : 0.0},
         {"interval_s", ctx.interval.value()},
+        {"fleet_nodes",
+         ctx.fleet ? static_cast<double>(ctx.fleet->size()) : 0.0},
+        {"fleet_psu_shared",
+         ctx.fleet && ctx.fleet->bank.shared() ? 1.0 : 0.0},
     };
   }
 };
@@ -623,49 +672,32 @@ class NodeMeterStage final : public CampaignStage {
   [[nodiscard]] const char* name() const override { return "meter"; }
 
   void run(CampaignContext& ctx, StageTrace& trace) override {
-    const ClusterPowerModel& cluster = *ctx.cluster;
     const SystemPowerModel& electrical = *ctx.electrical;
     const MeasurementPlan& plan = *ctx.plan;
     const CampaignConfig& config = *ctx.config;
     const bool streaming = ctx.streaming;
     const bool reconciling = ctx.reconciling;
 
-    // Meter every selected node.  Each node gets its own meter device
-    // whose calibration errors are drawn from a stream keyed by the node
-    // id, and a separate per-sample noise stream.
-    ctx.devices.resize(plan.node_count());
-    ctx.readings.resize(plan.node_count());
-    const auto meter_one = [&](std::size_t i, StreamScratch& scratch) {
-      const std::size_t node = plan.node_indices[i];
-      PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
-      Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
-      Rng noise(config.seed ^ 0xBADCAB1EULL, node);
-      const MeterModel meter(config.meter_accuracy, plan.meter_mode,
-                             ctx.interval, calibration);
-      PowerFunction truth;  // only the eager path walks the function chain
-      StreamScope scope;
-      if (streaming) {
-        scope.tables = &ctx.tables;
-        scope.mean_w = cluster.node_means()[node];
-        scope.curve = plan.point == MeasurementPoint::kNodeDc
-                          ? nullptr
-                          : &electrical.node_psu(node).compiled();
-        scope.scratch = &scratch;
-      } else {
-        truth = plan.point == MeasurementPoint::kNodeDc
-                    ? PowerFunction([&electrical, node](double t) {
-                        return electrical.node_dc_w(node, t);
-                      })
-                    : electrical.node_ac_function(node);
-      }
+    // Meter every selected node through the fleet table Provision built:
+    // calibration errors and noise streams were drawn there, keyed by the
+    // node id, so this stage only consumes lanes.
+    PV_EXPECTS(ctx.fleet != nullptr, "meter stage needs a provisioned fleet");
+    FleetState& fleet = *ctx.fleet;
+    const std::size_t n = plan.node_count();
+    ctx.devices.resize(n);
+    ctx.readings.resize(n);
+    const std::size_t fanout = node_fanout(config, reconciling);
+    // Fused fleet kernels: clean streaming campaigns stream every window
+    // sample-major with the node index as the SIMD lane.  Faulted
+    // campaigns keep the per-node path — the corruption pipeline needs a
+    // materialized trace per node per window.
+    const bool fused = streaming && !ctx.faulty && config.fleet_soa;
 
-      ctx.devices[i] =
-          meter_device(meter, truth, ctx.windows, plan.window, noise, config,
-                       node, node, reconciling ? &ctx.analysis : nullptr,
-                       streaming ? &scope : nullptr);
+    // DeviceReading -> NodeReading, identical to the historical tail.
+    const auto to_node_reading = [&](std::size_t i) {
       const DeviceReading& reading = ctx.devices[i];
       NodeReading nr;
-      nr.node = node;
+      nr.node = plan.node_indices[i];
       nr.lost = reading.lost;
       if (!reading.lost) {
         nr.mean_w = reading.mean_w;
@@ -674,32 +706,100 @@ class NodeMeterStage final : public CampaignStage {
           // Spot sampling: report energy as mean power over the window.
           nr.energy_j = nr.mean_w * plan.window.duration().value();
         }
-        apply_dc_conversion(plan, electrical, node, nr.mean_w, nr.energy_j);
+        apply_dc_conversion(plan, electrical, nr.node, nr.mean_w,
+                            nr.energy_j);
       }
       ctx.readings[i] = nr;
     };
-    // Every stream above is keyed by the node id and every result lands
-    // in its own slot, so the fan-out is bit-identical at any thread
-    // count.  Chunked sharding gives each worker one contiguous range and
-    // one scratch buffer reused across all of its nodes.
-    const std::size_t fanout = std::max<std::size_t>(
-        {config.threads,
-         reconciling ? static_cast<std::size_t>(config.reconcile.threads)
-                     : std::size_t{1},
-         std::size_t{1}});
-    if (fanout > 1) {
-      ThreadPool pool(static_cast<unsigned>(fanout));
-      parallel_chunks(&pool, plan.node_count(),
-                      [&](std::size_t begin, std::size_t end) {
-                        StreamScratch scratch;
-                        for (std::size_t i = begin; i < end; ++i) {
-                          meter_one(i, scratch);
-                        }
-                      });
+
+    if (fused) {
+      // Each lane runs the per-node expressions operand for operand
+      // (sim/fleet_state.hpp), so the finished devices carry the same
+      // bits meter_device would produce lane by lane.
+      std::vector<std::vector<std::int32_t>> analysis_idx;
+      FleetAccumulators acc;
+      acc.init(n, reconciling ? ctx.analysis.size() : 0);
+      if (reconciling) {
+        // The sample grid is shared across the clean cohort, so the
+        // bucket mapping and counts are computed once per window — the
+        // per-node path recomputed them per device.
+        analysis_idx.reserve(ctx.tables.size());
+        for (const ShapeTable& t : ctx.tables) {
+          analysis_idx.push_back(map_analysis_samples(t, ctx.analysis));
+          count_analysis_samples(analysis_idx.back(), acc.bucket_n);
+        }
+      }
+      const auto stream_lanes = [&](std::size_t b, std::size_t e) {
+        FleetScratch scratch;
+        stream_fleet_windows(ctx.tables, analysis_idx, fleet, b, e, acc,
+                             scratch);
+      };
+      if (fanout > 1) {
+        ThreadPool pool(static_cast<unsigned>(fanout));
+        parallel_chunks(&pool, n, stream_lanes);
+      } else {
+        stream_lanes(0, n);
+      }
+      // Finish: the exact DeviceMeter::finish()/finish_buckets()
+      // expressions per lane.
+      const double n_windows = static_cast<double>(ctx.windows.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        DeviceReading r;
+        r.mean_w = acc.mean_acc[i] / n_windows;
+        r.energy_j = acc.energy_j[i];
+        if (reconciling) {
+          r.analysis_means_w.assign(
+              ctx.analysis.size(), std::numeric_limits<double>::quiet_NaN());
+          for (std::size_t a = 0; a < ctx.analysis.size(); ++a) {
+            if (acc.bucket_n[a] > 0) {
+              r.analysis_means_w[a] = acc.bucket_sum[a * n + i] /
+                                      static_cast<double>(acc.bucket_n[a]);
+            }
+          }
+        }
+        ctx.devices[i] = std::move(r);
+        to_node_reading(i);
+      }
     } else {
-      StreamScratch scratch;
-      for (std::size_t i = 0; i < plan.node_count(); ++i) {
-        meter_one(i, scratch);
+      const auto meter_one = [&](std::size_t i, StreamScratch& scratch) {
+        const std::size_t node = plan.node_indices[i];
+        PowerFunction truth;  // only the eager path walks the function chain
+        StreamScope scope;
+        if (streaming) {
+          scope.tables = &ctx.tables;
+          scope.mean_w = fleet.mean_w[i];
+          scope.curve = fleet.curve[i];
+          scope.scratch = &scratch;
+        } else {
+          truth = plan.point == MeasurementPoint::kNodeDc
+                      ? PowerFunction([&electrical, node](double t) {
+                          return electrical.node_dc_w(node, t);
+                        })
+                      : electrical.node_ac_function(node);
+        }
+        ctx.devices[i] = meter_device(
+            fleet.meters[i], truth, ctx.windows, plan.window, fleet.noise[i],
+            config, node, node, reconciling ? &ctx.analysis : nullptr,
+            streaming ? &scope : nullptr);
+        to_node_reading(i);
+      };
+      // Every lane's streams are keyed by its node id and every result
+      // lands in its own slot, so the fan-out is bit-identical at any
+      // thread count.  Chunked sharding gives each worker one contiguous
+      // range and one scratch buffer reused across all of its nodes.
+      if (fanout > 1) {
+        ThreadPool pool(static_cast<unsigned>(fanout));
+        parallel_chunks(&pool, n, [&](std::size_t begin, std::size_t end) {
+          StreamScratch scratch;
+          for (std::size_t i = begin; i < end; ++i) {
+            meter_one(i, scratch);
+          }
+        });
+      } else {
+        StreamScratch scratch;
+        for (std::size_t i = 0; i < n; ++i) {
+          meter_one(i, scratch);
+        }
       }
     }
 
@@ -710,6 +810,7 @@ class NodeMeterStage final : public CampaignStage {
     trace.virtual_s = metered_virtual_s(ctx, ctx.readings.size());
     trace.counters = {
         {"engine_streaming", streaming ? 1.0 : 0.0},
+        {"fleet_fused", fused ? 1.0 : 0.0},
         {"fanout", static_cast<double>(fanout)},
         {"lost", static_cast<double>(lost)},
     };
@@ -754,16 +855,17 @@ class LiveNodeMeterStage final : public CampaignStage {
     const bool faulty = ctx.faulty;
     const std::size_t n = plan.node_count();
 
-    // Per-node state slots: everything a worker touches for node i lives
-    // in slot i, so the window-major fan-out is bit-identical at any
-    // thread count.
+    // The cohort's meters, noise streams, means and PSU lanes live in the
+    // fleet table Provision built; this stage only consumes lanes.
+    PV_EXPECTS(ctx.fleet != nullptr, "meter stage needs a provisioned fleet");
+    FleetState& fleet = *ctx.fleet;
+
+    // Per-node driver state: everything a worker mutates for node i lives
+    // in slot i (or lane i of the fleet), so the window-major fan-out is
+    // bit-identical at any thread count.
     struct NodeSlot {
-      MeterModel meter;
-      Rng noise;
       DeviceMeter dm;
-      double mean_w = 0.0;  // streaming: the node's own mean draw
-      const CompiledPsuCurve* curve = nullptr;  // streaming AC tap
-      PowerFunction truth;                      // eager truth chain
+      PowerFunction truth;       // eager truth chain
       double window_mean = 0.0;  // current window's mean (worker-written)
       bool window_contributed = false;
     };
@@ -771,24 +873,11 @@ class LiveNodeMeterStage final : public CampaignStage {
     slots.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t node = plan.node_indices[i];
-      PV_EXPECTS(node < cluster.node_count(), "plan references missing node");
-      Rng calibration(config.seed ^ 0x5CA1AB1EULL, node);
-      Rng noise(config.seed ^ 0xBADCAB1EULL, node);
-      MeterModel meter(config.meter_accuracy, plan.meter_mode, ctx.interval,
-                       calibration);
       DeviceMeter dm(config.faults, config.seed, node, node, plan.window,
-                     ctx.windows.size(),
-                     expected_samples(ctx.windows, meter),
+                     ctx.windows.size(), fleet.samples_expected[i],
                      reconciling ? &ctx.analysis : nullptr);
-      NodeSlot slot{std::move(meter), std::move(noise), std::move(dm),
-                    0.0,     nullptr,         PowerFunction{},
-                    0.0,     false};
-      if (streaming) {
-        slot.mean_w = cluster.node_means()[node];
-        slot.curve = plan.point == MeasurementPoint::kNodeDc
-                         ? nullptr
-                         : &electrical.node_psu(node).compiled();
-      } else {
+      NodeSlot slot{std::move(dm), PowerFunction{}, 0.0, false};
+      if (!streaming) {
         slot.truth = plan.point == MeasurementPoint::kNodeDc
                          ? PowerFunction([&electrical, node](double t) {
                              return electrical.node_dc_w(node, t);
@@ -798,11 +887,7 @@ class LiveNodeMeterStage final : public CampaignStage {
       slots.push_back(std::move(slot));
     }
 
-    const std::size_t fanout = std::max<std::size_t>(
-        {config.threads,
-         reconciling ? static_cast<std::size_t>(config.reconcile.threads)
-                     : std::size_t{1},
-         std::size_t{1}});
+    const std::size_t fanout = node_fanout(config, reconciling);
     std::optional<ThreadPool> pool;
     if (fanout > 1) pool.emplace(static_cast<unsigned>(fanout));
     ThreadPool* const pool_ptr = pool ? &*pool : nullptr;
@@ -937,9 +1022,19 @@ class LiveNodeMeterStage final : public CampaignStage {
       // of the window-global sample grid.  The chunk's shape table is
       // built serially (once, shared by every node) and its storage is
       // reused, so peak memory never depends on the window length.
+      //
+      // Fused variant (fleet_soa, no reconcile buckets): the chunk
+      // streams through the fleet kernels with the node index as the
+      // SIMD lane, chaining each lane's running sum in a stage-owned
+      // vector; the serial adopt below hands the chained sums to the
+      // DeviceMeters between barriers, so live snapshots and window
+      // closes observe the exact per-node state.
       const std::size_t chunk_cap =
           std::max<std::size_t>(std::size_t{1}, live.chunk_samples);
       ShapeTable chunk;
+      const bool fused = config.fleet_soa && !reconciling;
+      std::vector<double> fleet_win_sum;
+      if (fused) fleet_win_sum.assign(n, 0.0);
       for (std::size_t wi = 0; wi < ctx.windows.size(); ++wi) {
         const TimeWindow& w = ctx.windows[wi];
         const std::size_t samples = window_sample_count(w, ctx.interval);
@@ -949,16 +1044,28 @@ class LiveNodeMeterStage final : public CampaignStage {
           const std::size_t count = std::min(chunk_cap, samples - first);
           build_shape_chunk(cluster, w, ctx.interval, plan.meter_mode, first,
                             count, chunk);
-          parallel_chunks(pool_ptr, n, [&](std::size_t b, std::size_t e) {
-            StreamScratch scratch;
-            for (std::size_t i = b; i < e; ++i) {
-              NodeSlot& s = slots[i];
-              stream_node_window(chunk, s.mean_w, s.curve, s.meter, s.noise,
-                                 scratch);
-              s.dm.feed_clean_chunk(chunk.t_begin, chunk.dt, first,
-                                    scratch.readings);
+          if (fused) {
+            parallel_chunks(pool_ptr, n, [&](std::size_t b, std::size_t e) {
+              FleetScratch scratch;
+              stream_fleet_chunk(chunk, fleet, b, e,
+                                 std::span<double>(fleet_win_sum), scratch);
+            });
+            for (std::size_t i = 0; i < n; ++i) {
+              slots[i].dm.adopt_clean_chunk(fleet_win_sum[i], count,
+                                            chunk.dt);
             }
-          });
+          } else {
+            parallel_chunks(pool_ptr, n, [&](std::size_t b, std::size_t e) {
+              StreamScratch scratch;
+              for (std::size_t i = b; i < e; ++i) {
+                NodeSlot& s = slots[i];
+                stream_node_window(chunk, fleet.mean_w[i], fleet.curve[i],
+                                   fleet.meters[i], fleet.noise[i], scratch);
+                s.dm.feed_clean_chunk(chunk.t_begin, chunk.dt, first,
+                                      scratch.readings);
+              }
+            });
+          }
           ++chunks_run;
           virtual_now = w.begin.value() +
                         ctx.interval.value() *
@@ -968,6 +1075,9 @@ class LiveNodeMeterStage final : public CampaignStage {
         for (NodeSlot& s : slots) {
           s.window_mean = s.dm.close_clean_window();
           s.window_contributed = true;
+        }
+        if (fused) {
+          std::fill(fleet_win_sum.begin(), fleet_win_sum.end(), 0.0);
         }
         close_window_stats(wi);
         virtual_now = w.end.value();
@@ -995,18 +1105,19 @@ class LiveNodeMeterStage final : public CampaignStage {
             s.window_contributed = false;
             if (s.dm.dead()) continue;
             if (!faulty) {
-              s.window_mean = s.dm.feed_clean_trace(
-                  s.meter.measure(s.truth, w.begin, w.end, s.noise));
+              s.window_mean = s.dm.feed_clean_trace(fleet.meters[i].measure(
+                  s.truth, w.begin, w.end, fleet.noise[i]));
               s.window_contributed = true;
               continue;
             }
             const PowerTrace clean = [&] {
               if (!streaming) {
-                return s.meter.measure(s.truth, w.begin, w.end, s.noise);
+                return fleet.meters[i].measure(s.truth, w.begin, w.end,
+                                               fleet.noise[i]);
               }
-              stream_node_window(chunk, s.mean_w, s.curve, s.meter, s.noise,
-                                 scratch);
-              return PowerTrace(w.begin, s.meter.interval(),
+              stream_node_window(chunk, fleet.mean_w[i], fleet.curve[i],
+                                 fleet.meters[i], fleet.noise[i], scratch);
+              return PowerTrace(w.begin, fleet.meters[i].interval(),
                                 scratch.readings);
             }();
             const std::optional<double> wm =
@@ -1057,6 +1168,9 @@ class LiveNodeMeterStage final : public CampaignStage {
     trace.virtual_s = metered_virtual_s(ctx, ctx.readings.size());
     trace.counters = {
         {"engine_streaming", streaming ? 1.0 : 0.0},
+        {"fleet_fused",
+         streaming && !faulty && config.fleet_soa && !reconciling ? 1.0
+                                                                  : 0.0},
         {"fanout", static_cast<double>(fanout)},
         {"lost", static_cast<double>(lost)},
         {"live", 1.0},
@@ -1082,8 +1196,8 @@ class RackMeterStage final : public CampaignStage {
     // practice when only PDU instrumentation exists.
     std::size_t lost = 0;
     for (std::size_t rack : ctx.racks) {
-      Rng calibration(config.seed ^ 0x5CA1AB1EULL, kRackStreamBase + rack);
-      Rng noise(config.seed ^ 0xBADCAB1EULL, kRackStreamBase + rack);
+      Rng calibration(config.seed ^ kCalibrationSalt, kRackStreamBase + rack);
+      Rng noise(config.seed ^ kNoiseSalt, kRackStreamBase + rack);
       const MeterModel meter(config.meter_accuracy, plan.meter_mode,
                              ctx.interval, calibration);
       const std::size_t first = rack * electrical.nodes_per_rack();
@@ -1132,8 +1246,8 @@ class FacilityMeterStage final : public CampaignStage {
           "campaign: the facility-feed meter is dead and no fallback "
           "instrumentation exists");
     }
-    Rng calibration(config.seed ^ 0x5CA1AB1EULL, kFacilityStream);
-    Rng noise(config.seed ^ 0xBADCAB1EULL, kFacilityStream);
+    Rng calibration(config.seed ^ kCalibrationSalt, kFacilityStream);
+    Rng noise(config.seed ^ kNoiseSalt, kFacilityStream);
     const MeterModel meter(config.meter_accuracy, plan.meter_mode,
                            ctx.interval, calibration);
     ctx.devices.push_back(meter_device(

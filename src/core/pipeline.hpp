@@ -35,6 +35,7 @@
 
 #include "core/campaign.hpp"
 #include "core/plan.hpp"
+#include "sim/fleet_state.hpp"
 #include "sim/streaming.hpp"
 #include "util/cancel.hpp"
 
@@ -86,6 +87,14 @@ struct CampaignContext {
   std::vector<ShapeTable> tables;     ///< shared shapes (streaming only)
   std::size_t samples_per_meter = 0;  ///< expected samples, any one meter
   std::vector<std::size_t> racks;     ///< racks metered (rack-PDU tap only)
+  /// The node-tap cohort transposed to structure-of-arrays (null for the
+  /// rack/facility taps): meter models + calibration columns, per-node
+  /// noise streams, PSU curve lanes and fault flags, all in plan order.
+  /// Provision builds it (sharded over the fan-out pool); the Meter
+  /// stages consume it as views — per-node paths index lanes, the fused
+  /// kernels stream whole lane ranges.  unique_ptr so the context stays
+  /// cheap to default-construct for tail-only snapshots.
+  std::unique_ptr<FleetState> fleet;
 
   // --- Meter artifacts ---------------------------------------------------
   /// One per meter, in plan order (nodes), rack order, or the single

@@ -5,6 +5,45 @@
 #include "workload/profiles.hpp"
 
 namespace pv {
+namespace {
+
+// Scenario-scale guard rails, checked before any allocation.  The node
+// cap bounds the lowered electrical model (one PsuModel per node); the
+// sample guard keeps fleet-wide sample accounting — nodes x samples at
+// the 1 s spec floor — inside 2^53, the exact integer range of a double,
+// so coverage ratios and trace counters stay exact at any scale.
+constexpr std::size_t kMaxScenarioNodes = std::size_t{1} << 22;  // ~4.2M
+constexpr double kMaxExactDouble = 9007199254740992.0;           // 2^53
+
+void validate_spec(const ScenarioSpec& spec) {
+  if (spec.nodes == 0) {
+    throw ScenarioError("scenario '" + spec.name +
+                        "': node count must be positive");
+  }
+  if (spec.nodes > kMaxScenarioNodes) {
+    throw ScenarioError(
+        "scenario '" + spec.name + "': " + std::to_string(spec.nodes) +
+        " nodes exceeds the supported fleet scale (" +
+        std::to_string(kMaxScenarioNodes) + ")");
+  }
+  if (!(spec.run_minutes > 0.0)) {
+    throw ScenarioError("scenario '" + spec.name +
+                        "': run_minutes must be positive");
+  }
+  const double run_seconds =
+      (spec.run_minutes + spec.ramp_minutes + spec.tail_minutes) * 60.0;
+  const double fleet_samples =
+      static_cast<double>(spec.nodes) * run_seconds;
+  if (!(fleet_samples <= kMaxExactDouble)) {
+    throw ScenarioError(
+        "scenario '" + spec.name +
+        "': fleet-wide sample count overflows exact double accounting "
+        "(nodes x run seconds > 2^53); shorten the run or shrink the "
+        "fleet");
+  }
+}
+
+}  // namespace
 
 MeasurementPlan Scenario::plan(const MethodologySpec& spec,
                                std::uint64_t plan_seed) const {
@@ -13,6 +52,7 @@ MeasurementPlan Scenario::plan(const MethodologySpec& spec,
 }
 
 Scenario build_scenario(const ScenarioSpec& spec) {
+  validate_spec(spec);
   FleetVariability var = FleetVariability::typical_cpu().scaled_to(spec.cv);
   var.outlier_prob = 0.0;
   return build_scenario_with_powers(
@@ -22,6 +62,13 @@ Scenario build_scenario(const ScenarioSpec& spec) {
 
 Scenario build_scenario_with_powers(const ScenarioSpec& spec,
                                     std::vector<double> powers) {
+  validate_spec(spec);
+  if (powers.size() != spec.nodes) {
+    throw ScenarioError("scenario '" + spec.name + "': " +
+                        std::to_string(powers.size()) +
+                        " node powers supplied for " +
+                        std::to_string(spec.nodes) + " nodes");
+  }
   auto workload = std::make_shared<FirestarterWorkload>(
       minutes(spec.run_minutes), spec.load, minutes(spec.ramp_minutes),
       minutes(spec.tail_minutes));

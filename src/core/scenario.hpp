@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,17 @@
 #include "sim/fleet.hpp"
 
 namespace pv {
+
+/// A ScenarioSpec that cannot be built: zero node count, a fleet beyond
+/// the supported scale, or sample accounting that would overflow the
+/// exact integer range of a double.  Thrown by the builders before any
+/// allocation happens; the CLI maps it to the usage exit code (2) — bad
+/// input, not a failed campaign.
+class ScenarioError : public std::invalid_argument {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
 
 /// Declarative description of a synthetic measurement scenario.  Defaults
 /// match the canonical rig every harness used; callers override the few

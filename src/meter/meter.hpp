@@ -60,6 +60,10 @@ enum class MeterMode {
 /// A meter instance: fixed calibration errors plus a reporting interval.
 class MeterModel {
  public:
+  /// Identity meter (unit gain, zero offset, no noise) so fleet tables
+  /// can size std::vector<MeterModel> before per-lane provisioning.
+  MeterModel() = default;
+
   /// `calibration_rng` is consumed to draw this device's gain/offset;
   /// pass a stream keyed by the meter's identity for reproducibility.
   MeterModel(MeterAccuracy accuracy, MeterMode mode, Seconds interval,
@@ -114,9 +118,9 @@ class MeterModel {
   }
 
  private:
-  MeterAccuracy accuracy_;
-  MeterMode mode_;
-  Seconds interval_;
+  MeterAccuracy accuracy_{};  // all-zero: error-free
+  MeterMode mode_ = MeterMode::kSampled;
+  Seconds interval_{0.0};
   double gain_ = 1.0;
   double offset_w_ = 0.0;
 };

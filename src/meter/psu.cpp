@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/expects.hpp"
 #include "util/mathx.hpp"
@@ -136,6 +137,108 @@ void CompiledPsuCurve::ac_from_dc_batch(std::span<const double> dc,
   }
 }
 
+namespace {
+
+/// Bitwise equality of two breakpoint vectors — the shared-table test must
+/// not admit values that merely compare equal (e.g. -0.0 vs +0.0), because
+/// the blend passes feed these operands straight into reported doubles.
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+FleetPsuBank FleetPsuBank::build(
+    std::span<const CompiledPsuCurve* const> curves) {
+  FleetPsuBank bank;
+  bank.curves_.assign(curves.begin(), curves.end());
+  const std::size_t n = bank.curves_.size();
+  bank.inv_rated_.assign(n, 0.0);
+  const CompiledPsuCurve* ref = nullptr;
+  bool shared = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const CompiledPsuCurve* c = bank.curves_[i];
+    if (c == nullptr || c->empty()) {
+      // A DC-tap lane in an otherwise AC fleet breaks the uniform blend.
+      shared = false;
+      continue;
+    }
+    bank.inv_rated_[i] = c->inv_rated_;
+    if (ref == nullptr) {
+      ref = c;
+    } else if (c != ref && (!bits_equal(c->xs_, ref->xs_) ||
+                            !bits_equal(c->ys_, ref->ys_) ||
+                            !bits_equal(c->slopes_, ref->slopes_))) {
+      shared = false;
+    }
+  }
+  if (ref == nullptr) shared = false;  // all DC taps: pass-through fallback
+  if (shared) {
+    bank.xs_ = ref->xs_;
+    bank.ys_ = ref->ys_;
+    bank.slopes_ = ref->slopes_;
+  }
+  bank.shared_ = shared;
+  return bank;
+}
+
+void FleetPsuBank::ac_from_dc_fleet(std::span<const double> dc,
+                                    std::span<double> ac,
+                                    std::size_t lane_begin,
+                                    std::vector<double>& lf_tmp,
+                                    std::vector<double>& eff_tmp) const {
+  const std::size_t n = dc.size();
+  PV_EXPECTS(lane_begin + n <= curves_.size(), "lane range out of bank");
+  PV_EXPECTS(ac.size() == n, "dc/ac spans must have equal length");
+  if (!shared_) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const CompiledPsuCurve* c = curves_[lane_begin + k];
+      ac[k] = (c != nullptr && !c->empty()) ? c->ac_from_dc(dc[k]) : dc[k];
+    }
+    return;
+  }
+  // The ac_from_dc_batch blend with the node index as the lane: identical
+  // passes and operand order, except lf[k] carries the per-node 1/rated.
+  // Each lane therefore computes exactly the scalar call's expression.
+  lf_tmp.resize(n);
+  eff_tmp.resize(n);
+  double* const lf = lf_tmp.data();
+  double* const eff = eff_tmp.data();
+  const double* const d = dc.data();
+  const double* const inv = inv_rated_.data() + lane_begin;
+  double* const out = ac.data();
+  for (std::size_t k = 0; k < n; ++k) lf[k] = d[k] * inv[k];
+  const std::size_t last = xs_.size() - 1;
+  {
+    const double x0 = xs_[0];
+    const double y0 = ys_[0];
+    const double s0 = slopes_[0];
+    for (std::size_t k = 0; k < n; ++k) {
+      const double cand = y0 + (lf[k] - x0) * s0;
+      eff[k] = lf[k] > x0 ? cand : y0;
+    }
+  }
+  for (std::size_t i = 1; i < last; ++i) {
+    const double xi = xs_[i];
+    const double yi = ys_[i];
+    const double si = slopes_[i];
+    for (std::size_t k = 0; k < n; ++k) {
+      const double prev = eff[k];
+      const double cand = yi + (lf[k] - xi) * si;
+      eff[k] = lf[k] > xi ? cand : prev;
+    }
+  }
+  // Zero loads divide to +0.0 exactly as in ac_from_dc_batch.
+  const double xl = xs_[last];
+  const double yl = ys_[last];
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ei = eff[k];
+    const double e = lf[k] >= xl ? yl : ei;
+    out[k] = d[k] / e;
+  }
+}
+
 PsuModel::PsuModel(Watts rated_dc_output, PsuEfficiencyCurve curve)
     : rated_(rated_dc_output),
       curve_(std::move(curve)),
@@ -158,7 +261,7 @@ Watts PsuModel::dc_output(Watts ac) const {
     hi *= 2.0;
     PV_EXPECTS(hi < 1e12, "AC input beyond any plausible PSU operating point");
   }
-  for (int i = 0; i < 200; ++i) {
+  for (std::size_t i = 0; i < 200; ++i) {
     const double mid = 0.5 * (lo + hi);
     if (ac_input(Watts{mid}).value() < ac.value()) {
       lo = mid;

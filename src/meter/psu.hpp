@@ -69,10 +69,55 @@ class CompiledPsuCurve {
                         std::vector<double>& eff_tmp) const;
 
  private:
+  friend class FleetPsuBank;
+
   std::vector<double> xs_;      // load fractions, strictly increasing
   std::vector<double> ys_;      // efficiencies at xs_
   std::vector<double> slopes_;  // (ys_[i+1]-ys_[i]) / (xs_[i+1]-xs_[i])
   double inv_rated_ = 0.0;
+};
+
+/// Fleet-wide PSU evaluation: ac[i] = curves[i]->ac_from_dc(dc[i]) for one
+/// DC value per node, bit-identical per lane to the scalar call.
+///
+/// Real clusters provision one PSU SKU across a fleet, so every node's
+/// CompiledPsuCurve shares the same breakpoint table (xs/ys/slopes are
+/// bitwise-equal) and differs only in 1/rated — the rated output scales
+/// with the node's provisioned mean draw.  The bank detects that shared
+/// shape at build time and flattens the fleet into one breakpoint table
+/// plus a contiguous inv_rated[] vector, so the ac_from_dc_batch blend
+/// passes run with the node index as the SIMD lane.  Mixed-SKU fleets
+/// (or lanes with differing tables) fall back to the scalar evaluation
+/// per lane, which produces the same bits by construction.
+class FleetPsuBank {
+ public:
+  FleetPsuBank() = default;
+
+  /// Build from one curve pointer per node.  Null entries mean a DC tap
+  /// for that node: the bank passes the DC value through unchanged.
+  static FleetPsuBank build(std::span<const CompiledPsuCurve* const> curves);
+
+  [[nodiscard]] std::size_t size() const { return curves_.size(); }
+  [[nodiscard]] bool empty() const { return curves_.empty(); }
+  /// True when every non-null lane shares one breakpoint table and the
+  /// fleet-major blend passes apply (the fast path).
+  [[nodiscard]] bool shared() const { return shared_; }
+
+  /// ac[k] = curve(lane_begin + k) ? curve->ac_from_dc(dc[k]) : dc[k] for
+  /// k in [0, dc.size()): one DC load per lane of the contiguous lane
+  /// range starting at `lane_begin`.  `lf_tmp`/`eff_tmp` are caller-owned
+  /// scratch reused across calls (resized to dc.size()).
+  void ac_from_dc_fleet(std::span<const double> dc, std::span<double> ac,
+                        std::size_t lane_begin, std::vector<double>& lf_tmp,
+                        std::vector<double>& eff_tmp) const;
+
+ private:
+  std::vector<const CompiledPsuCurve*> curves_;  // per-lane fallback handles
+  std::vector<double> inv_rated_;  // per-lane 1/rated (0 for DC-tap lanes)
+  std::vector<double> xs_;         // shared breakpoint table (shared_ only)
+  std::vector<double> ys_;
+  std::vector<double> slopes_;
+  bool shared_ = false;
 };
 
 /// Load-dependent PSU efficiency curve: efficiency as a function of the

@@ -85,9 +85,10 @@ SystemPowerModel make_system_power_model(const ClusterPowerModel& cluster,
   // Peak node shape factor over the run, for PSU sizing.
   const RunPhases phases = cluster.phases();
   double peak_shape = 0.0;
-  constexpr int kScan = 512;
-  for (int i = 0; i <= kScan; ++i) {
-    const double t = phases.total().value() * static_cast<double>(i) / kScan;
+  constexpr std::size_t kScan = 512;
+  for (std::size_t i = 0; i <= kScan; ++i) {
+    const double t = phases.total().value() * static_cast<double>(i) /
+                     static_cast<double>(kScan);
     // shape is identical across nodes; probe through node 0.
     peak_shape = std::max(peak_shape,
                           cluster.node_power_w(0, t) / cluster.node_means()[0]);

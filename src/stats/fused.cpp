@@ -87,6 +87,12 @@ void FusedAccumulator::merge(const FusedAccumulator& other) {
   n_ += other.n_;
 }
 
+FusedAccumulator merge_all(std::span<const FusedAccumulator> shards) {
+  FusedAccumulator out;
+  for (const FusedAccumulator& s : shards) out.merge(s);
+  return out;
+}
+
 double FusedAccumulator::mean() const {
   PV_EXPECTS(n_ > 0, "mean of empty accumulator");
   return mean_;

@@ -81,4 +81,11 @@ class FusedAccumulator {
   std::vector<std::size_t> counts_;
 };
 
+/// Reduces per-shard accumulators into one, merging left to right in
+/// index order (Chan et al. pairwise update per merge, so the reduction
+/// is deterministic for a fixed shard layout).  The fleet fan-outs
+/// accumulate per-lane-range shards and fold them with this.
+[[nodiscard]] FusedAccumulator merge_all(
+    std::span<const FusedAccumulator> shards);
+
 }  // namespace pv

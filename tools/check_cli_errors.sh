@@ -90,6 +90,14 @@ expect_exit() {
   echo "ok: $what (exit $rc)"
 }
 
+# A scenario the builders refuse to construct — a node count past the
+# supported fleet scale, which would also overflow exact fleet-sample
+# accounting — is bad input (exit 2 with the usage text), caught as the
+# typed ScenarioError before any allocation happens.
+expect_exit "absurd node count exits 2" 2 \
+  "exceeds the supported fleet scale" \
+  -- campaign --nodes 99999999 --level 1 --seed 7 --interval 10
+
 # A campaign that loses every meter has no number to submit: that is a
 # campaign outcome with its own exit code (4), not the generic catch-all.
 expect_exit "all node meters dead exits 4" 4 "every node meter was lost" \

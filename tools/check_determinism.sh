@@ -367,3 +367,42 @@ if [[ "$faulted_live" != "$faulted_batch" ]]; then
 fi
 
 echo "OK: live assessment partials are deterministic and the final line is the batch document"
+
+# ---------------------------------------------------------------------------
+# Fleet-SoA contract: the fused structure-of-arrays kernels (the default
+# engine) must report byte-identical documents to the per-node scalar
+# path (--scalar-fleet), and the sharded fleet provision + fused fan-out
+# must be thread-count invariant — every lane is a pure function of its
+# own node id and RNG streams.
+fleet_args=(campaign --nodes 96 --cv 0.03 --level 1 --seed 5
+            --reconcile 1 --interval 10 --json)
+
+soa_out="$("$powervar" "${fleet_args[@]}")"
+scalar_out="$("$powervar" "${fleet_args[@]}" --scalar-fleet)"
+if [[ "$soa_out" != "$scalar_out" ]]; then
+  echo "FAIL: fused fleet kernels diverged from the per-node scalar path" >&2
+  diff <(printf '%s\n' "$scalar_out") <(printf '%s\n' "$soa_out") >&2 || true
+  exit 1
+fi
+
+fanned_fleet="$("$powervar" "${fleet_args[@]}" --threads 4)"
+if [[ "$soa_out" != "$fanned_fleet" ]]; then
+  echo "FAIL: sharded fleet campaign diverged between 1 and 4 threads" >&2
+  diff <(printf '%s\n' "$soa_out") <(printf '%s\n' "$fanned_fleet") >&2 || true
+  exit 1
+fi
+
+# Same contract through the live chunk driver (no reconcile: the live
+# fused path covers clean streaming windows).
+live_fleet_args=(campaign --nodes 96 --cv 0.03 --level 1 --seed 5
+                 --interval 10 --json --live)
+live_soa="$("$powervar" "${live_fleet_args[@]}" | tail -n 1)"
+live_scalar="$("$powervar" "${live_fleet_args[@]}" --scalar-fleet |
+               tail -n 1)"
+if [[ "$live_soa" != "$live_scalar" ]]; then
+  echo "FAIL: live fused chunk driver diverged from the scalar path" >&2
+  diff <(printf '%s\n' "$live_scalar") <(printf '%s\n' "$live_soa") >&2 || true
+  exit 1
+fi
+
+echo "OK: fleet-SoA kernels match the scalar path and are thread-count invariant"

@@ -5,7 +5,8 @@
 # and compares its BENCH_service.json the same way.
 #
 # Usage: tools/check_perf.sh <bench-binary> <baseline-json> [out-json] \
-#                            [service-bench] [service-baseline] [service-out]
+#                            [service-bench] [service-baseline] [service-out] \
+#                            [fleet-bench] [fleet-baseline] [fleet-out]
 #
 # Two classes of checks:
 #   hard   engine/thread byte-identity (the bench binary exits nonzero on
@@ -67,13 +68,20 @@ for name, b in base["scenarios"].items():
         continue
     if not g["identical"]:
         failures.append(f"{name}: engine/thread reports not byte-identical")
-    # Hard floor: streaming must never lose to eager outright.
+    # Speedup keys are gated only where the baseline entry carries them:
+    # async_collect has no eager reference, so its entry reports wall
+    # times and identity only.
     for key in ("speedup_1t", "speedup_8t"):
+        if key not in b:
+            continue
+        if key not in g:
+            failures.append(f"{name}: {key} missing from fresh run")
+            continue
+        # Hard floor: streaming must never lose to eager outright.
         if g[key] < 1.0:
             failures.append(
                 f"{name}: {key} = {g[key]:.2f}x — streaming slower than eager")
-    # Soft floor: generous fraction of the committed baseline ratio.
-    for key in ("speedup_1t", "speedup_8t"):
+        # Soft floor: generous fraction of the committed baseline ratio.
         floor = allowance * b[key]
         if g[key] < floor:
             failures.append(
@@ -104,9 +112,13 @@ else:
           f"ceiling {ceiling:.1f} MB), identical={rss['identical']}")
 
 for name, g in got["scenarios"].items():
-    print(f"  {name}: speedup@1 {g['speedup_1t']:.2f}x "
-          f"(baseline {base['scenarios'].get(name, {}).get('speedup_1t', 0):.2f}x), "
-          f"speedup@8 {g['speedup_8t']:.2f}x, "
+    if "speedup_1t" in g:
+        head = (f"speedup@1 {g['speedup_1t']:.2f}x (baseline "
+                f"{base['scenarios'].get(name, {}).get('speedup_1t', 0):.2f}x), "
+                f"speedup@8 {g['speedup_8t']:.2f}x")
+    else:
+        head = (f"1t {g['stream1_ms']:.2f} ms, 8t {g['stream8_ms']:.2f} ms")
+    print(f"  {name}: {head}, "
           f"peak rss {g.get('peak_rss_mb', 0):.1f} MB, "
           f"identical={g['identical']}")
 
@@ -188,4 +200,77 @@ if failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
 print("check_perf: service bench within allowance of committed baseline")
+EOF
+
+# ---- fleet-scale SoA bench (optional third triple) -------------------
+if [[ $# -lt 7 ]]; then
+  exit 0
+fi
+fleet_bin="$7"
+fleet_baseline="${8:?fleet baseline path required with fleet bench}"
+fleet_out="${9:-BENCH_perf_fleet.json}"
+
+if [[ ! -f "$fleet_baseline" ]]; then
+  echo "check_perf: fleet baseline $fleet_baseline missing" >&2
+  exit 2
+fi
+
+# The bench exits nonzero itself if any scalar/SoA report pair differs or
+# a scenario breaches its absolute peak-RSS ceiling.
+PV_PERF_JSON="$fleet_out" PV_PERF_REPS="${PV_PERF_REPS:-3}" "$fleet_bin"
+
+python3 - "$fleet_out" "$fleet_baseline" "$allowance" <<'EOF'
+import json
+import sys
+
+out_path, base_path, allowance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(out_path) as f:
+    got = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+failures = []
+for name, b in base["scenarios"].items():
+    g = got["scenarios"].get(name)
+    if g is None:
+        failures.append(f"{name}: scenario missing from fresh run")
+        continue
+    if not g["identical"]:
+        failures.append(f"{name}: scalar/SoA reports not byte-identical")
+    # Hard floor: a gated scenario's 8-thread SoA speedup may never fall
+    # below the gate carried in the baseline (the tentpole's 2x contract
+    # on fleet10k_l1) — no machine-noise allowance on this one.
+    gate = b.get("gate_soa_8t", 0.0)
+    if gate > 0.0 and g["speedup_soa_8t"] < gate:
+        failures.append(
+            f"{name}: speedup_soa_8t = {g['speedup_soa_8t']:.2f}x, "
+            f"below the hard {gate:.1f}x gate")
+    # Memory ceiling: absolute, carried in the JSON.
+    ceiling = b.get("rss_ceiling_mb", 0.0)
+    if ceiling > 0.0 and g["peak_rss_mb"] > ceiling:
+        failures.append(
+            f"{name}: peak RSS {g['peak_rss_mb']:.1f} MB above the "
+            f"{ceiling:.0f} MB ceiling")
+    # Soft floor: generous fraction of the committed baseline ratios.
+    for key in ("speedup_soa_1t", "speedup_soa_8t"):
+        floor = allowance * b[key]
+        if g[key] < floor:
+            failures.append(
+                f"{name}: {key} = {g[key]:.2f}x, below {floor:.2f}x "
+                f"(= {allowance} x baseline {b[key]:.2f}x)")
+
+for name, g in got["scenarios"].items():
+    b = base["scenarios"].get(name, {})
+    print(f"  {name}: soa@1 {g['speedup_soa_1t']:.2f}x "
+          f"(baseline {b.get('speedup_soa_1t', 0):.2f}x), "
+          f"soa@8 {g['speedup_soa_8t']:.2f}x, "
+          f"{g['samples_per_sec']:.3g} samples/s, "
+          f"peak rss {g['peak_rss_mb']:.1f} MB, identical={g['identical']}")
+
+if failures:
+    print("check_perf: FLEET REGRESSION", file=sys.stderr)
+    for f_ in failures:
+        print(f"  {f_}", file=sys.stderr)
+    sys.exit(1)
+print("check_perf: fleet bench within allowance of committed baseline")
 EOF

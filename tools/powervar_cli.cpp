@@ -126,7 +126,8 @@ class Args {
     // Boolean switches that may appear bare (no value); anything else
     // keeps the strict --key value contract.
     static const std::set<std::string> kBareFlags = {
-        "json", "trace-stages", "once", "strict-cache", "stream", "live"};
+        "json", "trace-stages", "once",        "strict-cache",
+        "stream", "live",       "scalar-fleet"};
     for (int i = first; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) != 0 || token.size() <= 2) {
@@ -410,6 +411,10 @@ int cmd_campaign(const Args& args) {
   } else if (engine != "streaming") {
     throw std::runtime_error("--engine must be eager or streaming");
   }
+  // The fused SoA fleet kernels are the default; --scalar-fleet forces
+  // the per-node path (the check_determinism.sh differential uses this —
+  // both paths must report identical bytes).
+  config.fleet_soa = !args.flag_or("scalar-fleet");
   // Live (bounded-memory) mode: partial assessment documents stream to
   // stdout as JSON lines while the campaign runs; the final document
   // (printed last) is byte-identical to a non-live run's.
@@ -787,7 +792,8 @@ int usage() {
       "              [--faults none|mild|harsh] [--dropout F] [--dead N]"
       " [--interval S]\n"
       "              [--byzantine F] [--reconcile 1] [--threads N]\n"
-      "              [--live] [--live-every S] [--json] [--trace-stages]\n"
+      "              [--live] [--live-every S] [--scalar-fleet]\n"
+      "              [--json] [--trace-stages]\n"
       "  reconcile   --nodes N [--cv F] [--seed S] [--byzantine F]\n"
       "              [--defend 0|1] [--windows K] [--threads N]"
       " [--interval S]\n"
@@ -834,6 +840,11 @@ int main(int argc, char** argv) {
     std::cerr << "unknown command: " << cmd << "\n";
     return usage();
   } catch (const UsageError& e) {
+    std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
+    return usage();
+  } catch (const pv::ScenarioError& e) {
+    // A scenario the builders refuse to construct (zero/absurd node
+    // count, sample accounting past 2^53): bad input, exit code 2.
     std::cerr << "powervar " << cmd << ": " << e.what() << '\n';
     return usage();
   } catch (const pv::CollectionAborted& e) {

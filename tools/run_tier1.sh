@@ -18,6 +18,11 @@ cmake --build "$build_dir" -j "$jobs"
 # engine/thread byte-identity contract plus tools/check_perf.sh's diff of
 # BENCH_perf.json against the committed baseline.
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+# Fleet-SoA smoke at the 1k-node scale: the scalar-vs-SoA byte-identity
+# contract on a real campaign (the 10k/100k scenarios stay in the full
+# perf gate; the smoke keeps the plain tier fast).
+PV_PERF_FLEET_SMOKE=1 PV_PERF_JSON="$build_dir/BENCH_perf_fleet_smoke.json" \
+  "$build_dir/bench/bench_perf_fleet"
 
 if [[ "${PV_SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "=== tier 1: sanitizer pass skipped (PV_SKIP_SANITIZE=1) ==="
@@ -41,17 +46,18 @@ cmake --build "${build_dir}-ubsan" -j "$jobs"
 ctest --test-dir "${build_dir}-ubsan" --output-on-failure -j "$jobs" -LE perf
 
 # ThreadSanitizer tree for the genuinely concurrent surfaces: the
-# campaign service (soak included), the thread pool, the bounded queue
-# and the live streaming assessment (its meter stage fans chunk kernels
-# out across worker threads between emission barriers).  TSan finds the
-# races ASan cannot; the deterministic numeric suites gain nothing from
-# it, so the filter keeps this pass fast.
+# campaign service (soak included), the thread pool, the bounded queue,
+# the live streaming assessment (its meter stage fans chunk kernels
+# out across worker threads between emission barriers) and the fleet-SoA
+# suite (sharded provision + fused batch/live drivers across thread
+# counts).  TSan finds the races ASan cannot; the deterministic numeric
+# suites gain nothing from it, so the filter keeps this pass fast.
 # Wall-time-sensitive gates are excluded as in the other trees.
 echo "=== tier 1: TSan build + concurrency ctest (${build_dir}-tsan) ==="
 cmake -B "${build_dir}-tsan" -S . -DPV_TSAN=ON >/dev/null
 cmake --build "${build_dir}-tsan" -j "$jobs"
 ctest --test-dir "${build_dir}-tsan" --output-on-failure -j "$jobs" \
-  -R 'ThreadPool|ParallelFor|DefaultPool|BoundedQueue|CampaignService|ServiceChaos|Collector|StreamingAssessment' \
+  -R 'ThreadPool|ParallelFor|DefaultPool|BoundedQueue|CampaignService|ServiceChaos|Collector|StreamingAssessment|FleetSoA' \
   -LE perf
 
 echo "=== tier 1: all green ==="
